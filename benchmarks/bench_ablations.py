@@ -1,0 +1,75 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations (the third — the async engine view — lives in
+``bench_views.py``):
+
+* **Quantile estimator** — the order-statistic estimator vs. the
+  exponential-tail-fit estimator for the high-probability time ``T_{1/n}``,
+  compared on the same sample (they must agree when the sample resolves the
+  ``1 − 1/n`` level, and the tail fit must extrapolate sensibly when it does
+  not).
+* **Trial allocation** — fixed trial count vs. adaptive allocation that stops
+  once the mean's confidence half-width is below a target; adaptive runs
+  should reach the target with no more (and typically fewer) trials than the
+  fixed budget while producing a statistically compatible estimate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import run_adaptive_trials, run_trials
+from repro.analysis.quantiles import high_probability_time
+from repro.graphs import hypercube_graph
+
+
+@pytest.mark.parametrize("method", ["empirical", "tail_fit"])
+def test_quantile_estimator_ablation(benchmark, method):
+    """Estimate T_{1/n} with each estimator from the same Monte Carlo sample."""
+    graph = hypercube_graph(7)
+    sample = run_trials(graph, 0, "pp-a", trials=200, seed=31)
+
+    estimate = benchmark.pedantic(
+        high_probability_time,
+        args=(sample,),
+        kwargs={"method": method},
+        rounds=3,
+        iterations=1,
+    )
+    # Both estimators must land in a plausible window around the sample maximum.
+    assert sample.mean <= estimate.value <= 2.0 * sample.maximum
+    assert estimate.method == method
+
+
+def test_fixed_trial_allocation(benchmark):
+    graph = hypercube_graph(7)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return run_trials(graph, 0, "pp", trials=200, seed=counter[0])
+
+    sample = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sample.num_trials == 200
+
+
+def test_adaptive_trial_allocation(benchmark):
+    graph = hypercube_graph(7)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return run_adaptive_trials(
+            graph,
+            0,
+            "pp",
+            initial_trials=40,
+            batch_size=40,
+            max_trials=200,
+            relative_precision=0.03,
+            seed=counter[0],
+        )
+
+    sample = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The adaptive run never exceeds the fixed budget and usually stops early.
+    assert sample.num_trials <= 200
+    half_width = 1.96 * sample.standard_error()
+    assert half_width <= 0.03 * sample.mean or sample.num_trials == 200

@@ -1,0 +1,20 @@
+"""Benchmark E9 — the lower-bound machinery (block decomposition, Lemmas 13 and 14).
+
+Regenerates the E9 table and asserts the two invariants of the Section 5
+coupling: the asynchronous informed set stays contained in the synchronous
+one after every block, and the number of generated rounds stays within the
+``O(steps / sqrt(n) + sqrt(n))`` budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_block_decomposition_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E9", preset=bench_preset)
+    assert result.conclusion("lemma13_subset_invariant_always_held") is True
+    assert result.conclusion("lemma14_bound_respected") is True
+    for row in result.rows:
+        assert row["Lemma13 subset held"] is True
+        assert row["normalized rounds"] < 4.0

@@ -1,0 +1,19 @@
+"""Benchmark E6 — classical topologies: constant-factor agreement.
+
+Regenerates the E6 table and asserts that on hypercubes, connected G(n, p)
+and random regular graphs the synchronous/asynchronous ratio of expected
+push-pull spreading times stays in a narrow constant band across sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_classical_graphs_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E6", preset=bench_preset)
+    assert result.conclusion("constant_factor_agreement") is True
+    assert result.conclusion("ratio_band_width") < 4.0
+    # Spreading times on these families are logarithmic, hence small.
+    for row in result.rows:
+        assert row["E[T(pp)]"] < 6.0 * (row["n"] ** 0.5)

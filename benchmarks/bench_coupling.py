@@ -1,0 +1,22 @@
+"""Benchmark E8 — the upper-bound machinery (Lemmas 6, 8, 9, 10; push coupling).
+
+Regenerates the E8 table and asserts every lemma-level check: stochastic
+domination of ppx by pp, O(log n) coupling slacks, the exponential law of
+the conditional minimum, and the non-positive push-coupling gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_coupling_machinery_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E8", preset=bench_preset)
+    assert result.conclusion("lemma6_dominance_holds_on_all_graphs") is True
+    assert result.conclusion("lemma9_slack_within_log_budget") is True
+    assert result.conclusion("lemma10_slack_within_log_budget") is True
+    assert result.conclusion("lemma8_matches_exponential") is True
+    assert result.conclusion("push_coupling_gap_nonpositive") is True
+    for row in result.rows:
+        assert row["Lemma9 max slack"] <= row["log-budget"]
+        assert row["Lemma10 max slack"] <= row["log-budget"]

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the protocol engines themselves.
+
+Not tied to a table of the paper; these time the hot paths (one synchronous
+round sweep, one asynchronous run, one coupled run, one block-coupling run)
+so performance regressions in the simulators are caught by the benchmark
+harness alongside the experiment reproductions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import spread
+from repro.coupling.blocks import run_block_coupling
+from repro.coupling.pull_coupling import run_coupled_processes
+from repro.graphs import complete_graph, hypercube_graph, star_graph
+from repro.graphs.random_graphs import power_law_chung_lu_graph
+
+
+@pytest.mark.parametrize("protocol", ["pp", "push", "pull", "ppx", "ppy"])
+def test_synchronous_engine_speed(benchmark, protocol):
+    graph = hypercube_graph(9)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return spread(graph, 0, protocol=protocol, seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    assert result.completed
+
+
+@pytest.mark.parametrize("protocol", ["pp-a", "push-a", "pull-a"])
+def test_asynchronous_engine_speed(benchmark, protocol):
+    graph = hypercube_graph(9)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return spread(graph, 0, protocol=protocol, seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    assert result.completed
+
+
+def test_async_engine_on_power_law_graph(benchmark):
+    graph = power_law_chung_lu_graph(1000, seed=7)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return spread(graph, 0, protocol="pp-a", seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.completed
+
+
+def test_sync_engine_on_star_push(benchmark):
+    """The slowest standard workload: coupon-collector push on the star."""
+    graph = star_graph(512)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return spread(graph, 1, protocol="push", seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.completed
+
+
+def test_coupled_processes_speed(benchmark):
+    graph = hypercube_graph(7)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return run_coupled_processes(graph, 0, seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.ppa_spreading_time > 0
+
+
+def test_block_coupling_speed(benchmark):
+    graph = complete_graph(128)
+
+    def run(counter=[0]):
+        counter[0] += 1
+        return run_block_coupling(graph, 0, seed=counter[0])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.subset_invariant_held

@@ -1,0 +1,24 @@
+"""Benchmark E5 — gap constructions separating the two models.
+
+Regenerates the E5 table and asserts both separation directions: the
+string-of-stars graph makes synchronous push-pull polynomially slower than
+asynchronous (ratio growing with n, below the sqrt(n) ceiling), and the star
+makes asynchronous slower by a Θ(log n) factor only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_gap_graph_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E5", preset=bench_preset)
+    assert result.conclusion("async_gap_ratio_grows") is True
+    assert result.conclusion("async_gap_below_sqrt_ceiling") is True
+    assert result.conclusion("star_ratio_within_log_ceiling") is True
+    # On every async-gap row the synchronous protocol is the slower one.
+    for row in result.rows:
+        if row["direction"] == "async wins":
+            assert row["E[T(pp)]"] > row["E[T(pp-a)]"]
+        else:
+            assert row["E[T(pp-a)]"] > row["E[T(pp)]"]

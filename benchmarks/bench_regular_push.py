@@ -1,0 +1,19 @@
+"""Benchmark E11 — regular graphs: async push is distributed as twice async push-pull.
+
+Regenerates the E11 table and asserts the distributional identity used in
+the derivation of Corollary 3 (and its expected failure on the irregular
+star contrast).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_regular_push_identity_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E11", preset=bench_preset)
+    assert result.conclusion("identity_holds_on_regular_graphs") is True
+    assert result.conclusion("max_mean_ratio_error_on_regular_graphs") < 0.2
+    for row in result.rows:
+        if row["regular"]:
+            assert 0.7 < row["mean ratio"] < 1.3

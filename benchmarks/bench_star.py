@@ -1,0 +1,22 @@
+"""Benchmark E4 — the star-graph anomaly of Section 1.
+
+Regenerates the E4 table and asserts the three facts it reproduces:
+2 synchronous push-pull rounds, Θ(log n) asynchronous time, Θ(n log n)
+synchronous push rounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_star_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E4", preset=bench_preset)
+    assert result.conclusion("sync_pushpull_at_most_2_rounds") is True
+    assert result.conclusion("push_superlinear") is True
+    assert result.conclusion("async_log_fit_r2") > 0.8
+    for row in result.rows:
+        # Asynchronous time sits between the sync 2 rounds and the push blow-up.
+        assert row["T_hp(pp)"] <= 2.0
+        assert row["E[T(pp-a)]"] > row["T_hp(pp)"]
+        assert row["E[T(push)]"] > row["E[T(pp-a)]"]

@@ -1,0 +1,20 @@
+"""Benchmark E1 — Theorem 1: async push-pull time vs sync time + log n.
+
+Regenerates the E1 table (DESIGN.md per-experiment index) and asserts the
+qualitative shape of the claim: the empirical constant
+``T_{1/n}(pp-a) / (T_{1/n}(pp) + ln n)`` stays below a universal constant on
+every family in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_theorem1_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E1", preset=bench_preset)
+    assert result.conclusion("theorem1_consistent") is True
+    assert result.conclusion("max_constant_c1") < 4.0
+    # Every row individually respects a generous universal constant.
+    for row in result.rows:
+        assert row["c1 = async/(sync+ln n)"] < 4.0

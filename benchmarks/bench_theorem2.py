@@ -1,0 +1,21 @@
+"""Benchmark E2 — Theorem 2: sync/async expected-time ratio vs sqrt(n).
+
+Regenerates the E2 table and asserts the claim's shape: the normalised
+constant ``(E[T(pp)]/E[T(pp-a)]) / sqrt(n)`` stays bounded everywhere, and
+the gap construction's raw ratio grows with ``n`` while staying below the
+``sqrt(n)`` ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_theorem2_experiment(run_once, bench_preset):
+    result = run_once(run_experiment, "E2", preset=bench_preset)
+    assert result.conclusion("theorem2_consistent") is True
+    assert result.conclusion("max_constant_c2") < 2.0
+    if "gap_graph_ratio_exponent" in result.conclusions:
+        # The async-favouring construction grows polynomially but stays below
+        # the sqrt(n) exponent allowed by Theorem 2.
+        assert result.conclusion("gap_graph_ratio_exponent") < 0.6

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs its experiment exactly once per pytest-benchmark round
+(``rounds=1, iterations=1``): the experiments are themselves Monte Carlo
+aggregates, so repeating them inside the timer would only multiply wall-clock
+time without improving the timing signal.  The benchmark preset can be chosen
+with ``--bench-preset`` (default ``smoke`` so the whole suite completes in a
+few minutes; use ``quick`` or ``full`` to regenerate the EXPERIMENTS.md
+numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-preset",
+        action="store",
+        default="smoke",
+        choices=["smoke", "quick", "full"],
+        help="experiment preset used by the benchmark harness (default: smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_preset(request) -> str:
+    """The preset name every experiment benchmark runs with."""
+    return request.config.getoption("--bench-preset")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate synchronous and asynchronous rumor spreading on a few graphs.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds three topologies (a hypercube, an Erdős–Rényi graph and a
+star), runs one synchronous and one asynchronous push–pull simulation on
+each, then estimates mean spreading times and the paper's high-probability
+time ``T_{1/n}`` from a small Monte Carlo sample.
+"""
+
+from __future__ import annotations
+
+from repro import graphs, spread
+from repro.analysis import high_probability_time, run_trials
+
+
+def single_runs() -> None:
+    """One simulation per (graph, protocol) pair, printing the raw results."""
+    print("=== single simulation runs ===")
+    suite = [
+        (graphs.hypercube_graph(8), 0),
+        (graphs.connected_erdos_renyi_graph(256, seed=1), 0),
+        (graphs.star_graph(256), 1),
+    ]
+    for graph, source in suite:
+        for protocol in ("pp", "pp-a"):
+            result = spread(graph, source, protocol=protocol, seed=42)
+            print(f"  {result.summary()}")
+    print()
+
+
+def monte_carlo_estimates() -> None:
+    """Estimate E[T] and T_{1/n} for both protocols on the hypercube."""
+    print("=== Monte Carlo estimates on the 8-dimensional hypercube ===")
+    graph = graphs.hypercube_graph(8)
+    for protocol in ("pp", "pp-a"):
+        sample = run_trials(graph, 0, protocol, trials=200, seed=7)
+        hp = high_probability_time(sample)
+        unit = "rounds" if protocol == "pp" else "time units"
+        print(
+            f"  {protocol:>5}: E[T] = {sample.mean:6.2f} {unit:10}   "
+            f"T_1/n ≈ {hp.value:6.2f} ({hp.method} estimate from {hp.num_samples} trials)"
+        )
+    print()
+
+
+def inspect_one_infection_tree() -> None:
+    """Show the infection path of the last-informed vertex in one async run."""
+    print("=== infection path of the last informed vertex (async push-pull) ===")
+    graph = graphs.hypercube_graph(6)
+    result = spread(graph, 0, protocol="pp-a", seed=3)
+    last_vertex = max(range(graph.num_vertices), key=lambda v: result.informed_time[v])
+    path = result.infection_path(last_vertex)
+    print(f"  graph: {graph.name}, last informed vertex: {last_vertex}")
+    print(f"  informed at time {result.informed_time[last_vertex]:.2f} via path {path}")
+    print(
+        f"  infections by push: {result.push_infections}, by pull: {result.pull_infections}"
+    )
+    print()
+
+
+def main() -> None:
+    single_runs()
+    monte_carlo_estimates()
+    inspect_one_infection_tree()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Information dissemination in social-network models: why asynchrony helps.
+
+Run with::
+
+    python examples/social_network_dissemination.py
+
+The paper motivates the asynchronous model with rumor spreading in social
+networks: on Chung–Lu power-law graphs and preferential-attachment graphs the
+asynchronous push–pull protocol informs a large fraction of the vertices
+noticeably faster than the synchronous one (Fountoulakis–Panagiotou–Sauerwald;
+Doerr–Fouz–Friedrich).  This example measures the time to reach 50%, 90% and
+100% coverage under both models and prints the speed-up factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_sparkline, coverage_curve, run_trials
+from repro.analysis.montecarlo import collect_results
+from repro.experiments.records import format_table
+from repro.graphs import power_law_chung_lu_graph, preferential_attachment_graph
+
+COVERAGE = (0.5, 0.9, 1.0)
+
+
+def measure(graph, trials: int, seed: int) -> dict[str, object]:
+    row: dict[str, object] = {"graph": graph.name, "n": graph.num_vertices}
+    samples = {
+        protocol: run_trials(
+            graph, "random", protocol, trials=trials, seed=seed + index, fractions=COVERAGE
+        )
+        for index, protocol in enumerate(("pp", "pp-a"))
+    }
+    for level in COVERAGE:
+        sync_mean = float(np.mean(samples["pp"].fraction_times[level]))
+        async_mean = float(np.mean(samples["pp-a"].fraction_times[level]))
+        row[f"speedup@{int(level * 100)}%"] = sync_mean / async_mean
+    return row
+
+
+def show_trajectories(graph, trials: int = 40, seed: int = 300) -> None:
+    """Render the mean coverage trajectory of both protocols as sparklines.
+
+    Both curves are drawn on a normalised time axis (0 .. completion), so the
+    shapes are comparable: the asynchronous curve rises much earlier.
+    """
+    print(f"\nCoverage trajectories on {graph.name} (normalised time axis):")
+    for protocol in ("pp", "pp-a"):
+        runs = collect_results(graph, 0, protocol, trials=trials, seed=seed)
+        curve = coverage_curve(runs, grid_points=120)
+        print(f"  {protocol:>5} |{ascii_sparkline(curve.mean_fraction, width=60)}|")
+
+
+def main() -> None:
+    rows = []
+    graphs_built = []
+    for builder, seed in (
+        (lambda: power_law_chung_lu_graph(600, exponent=2.5, seed=11), 100),
+        (lambda: preferential_attachment_graph(600, edges_per_vertex=2, seed=13), 200),
+    ):
+        graph = builder()
+        graphs_built.append(graph)
+        rows.append(measure(graph, trials=80, seed=seed))
+    print("Speed-up = E[time for synchronous pp] / E[time for asynchronous pp-a]\n")
+    print(format_table(["graph", "n", "speedup@50%", "speedup@90%", "speedup@100%"], rows))
+    show_trajectories(graphs_built[1])
+    print(
+        "\nThe asynchronous advantage is largest for partial coverage (50%/90%): hubs are\n"
+        "contacted at high rate early in continuous time, while the synchronous protocol\n"
+        "pays a full round even when only a handful of useful contacts happen in it.\n"
+        "Informing the very last vertices is comparable in both models, consistent with\n"
+        "Theorem 1's guarantee that asynchrony never loses more than an additive O(log n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

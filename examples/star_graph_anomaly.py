@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The star-graph anomaly: where synchrony wins and push-only loses (paper, Section 1).
+
+Run with::
+
+    python examples/star_graph_anomaly.py
+
+Reproduces the introduction's running example on a sweep of star sizes:
+
+* synchronous push–pull finishes in at most 2 rounds,
+* asynchronous push–pull needs Θ(log n) time (the additive log-n term of
+  Theorem 1 is real and tight),
+* synchronous push-only needs Θ(n log n) rounds (push–pull's pull half is
+  what saves the synchronous protocol).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    run_trials,
+    star_async_pushpull_time,
+    star_sync_push_rounds,
+)
+from repro.experiments.records import format_table
+from repro.graphs import star_graph
+
+
+def main() -> None:
+    rows = []
+    for n in (64, 128, 256, 512):
+        graph = star_graph(n)
+        source = 1  # a leaf, as in the paper's 2-round accounting
+        pp = run_trials(graph, source, "pp", trials=150, seed=n)
+        ppa = run_trials(graph, source, "pp-a", trials=150, seed=n + 1)
+        push = run_trials(graph, source, "push", trials=60, seed=n + 2)
+        rows.append(
+            {
+                "n": n,
+                "pp (max over trials)": pp.maximum,
+                "pp-a mean": ppa.mean,
+                "theory ln(n)+g": star_async_pushpull_time(n),
+                "push mean": push.mean,
+                "theory (n-1)H(n-1)": star_sync_push_rounds(n),
+            }
+        )
+    print("Star graph, source = a leaf; times in rounds (sync) / time units (async)\n")
+    print(
+        format_table(
+            [
+                "n",
+                "pp (max over trials)",
+                "pp-a mean",
+                "theory ln(n)+g",
+                "push mean",
+                "theory (n-1)H(n-1)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: the synchronous push-pull column never exceeds 2; the\n"
+        "asynchronous column tracks ln(n) + gamma; the push-only column tracks the\n"
+        "coupon-collector expectation (n-1)*H_{n-1} - push-pull's advantage over push\n"
+        "exists only because the star is highly irregular (Corollary 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``python setup.py develop`` keeps working on minimal
+environments that lack the ``wheel`` package (PEP 660 editable installs via
+``pip install -e .`` need it to build an editable wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "How Asynchrony Affects Rumor Spreading Time" (PODC 2016).
+
+The library provides:
+
+* :mod:`repro.graphs` — graph types, generators (star, hypercube, random
+  regular, Chung–Lu, preferential attachment, gap constructions, ...) and
+  structural parameters (conductance, vertex expansion, diameter);
+* :mod:`repro.core` — simulation engines for synchronous push / pull /
+  push–pull, the asynchronous Poisson-clock variants, and the auxiliary
+  analysis processes ``ppx`` / ``ppy``;
+* :mod:`repro.coupling` — executable versions of the paper's coupling
+  constructions (push coupling, exponential pull coupling, block
+  decomposition of the lower-bound proof);
+* :mod:`repro.analysis` — Monte Carlo estimation of spreading-time
+  distributions, quantiles (``T_q``, in particular the high-probability time
+  ``T_{1/n}``), confidence intervals, scaling fits and theoretical bounds;
+* :mod:`repro.experiments` — the experiment harness reproducing each claim
+  of the paper (see DESIGN.md for the experiment index).
+
+Quickstart::
+
+    from repro import graphs, spread
+
+    g = graphs.star_graph(256)
+    sync_result = spread(g, source=1, protocol="pp", seed=1)
+    async_result = spread(g, source=1, protocol="pp-a", seed=1)
+    print(sync_result.spreading_time, async_result.spreading_time)
+"""
+
+from repro._version import __version__
+from repro.core.protocols import available_protocols, spread
+from repro.core.result import ContactEvent, SpreadingResult
+from repro.errors import (
+    AnalysisError,
+    CouplingError,
+    ExperimentError,
+    GraphError,
+    GraphGenerationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.graphs.base import Graph
+
+__all__ = [
+    "__version__",
+    "available_protocols",
+    "spread",
+    "ContactEvent",
+    "SpreadingResult",
+    "Graph",
+    "AnalysisError",
+    "CouplingError",
+    "ExperimentError",
+    "GraphError",
+    "GraphGenerationError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+]

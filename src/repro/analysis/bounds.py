@@ -1,0 +1,182 @@
+"""Closed-form theoretical bounds used as reference lines in the experiments.
+
+Three groups of formulas:
+
+1. **This paper's bounds** — Theorem 1 (``T_{1/n}(pp-a) <= c·(T_{1/n}(pp) +
+   log n)``) and Theorem 2 (``E[T(pp-a)] >= c·E[T(pp)]/sqrt(n)``), exposed as
+   functions of a measured synchronous/asynchronous time so the experiment
+   tables can print "measured vs. allowed".
+2. **Prior work the paper improves on** — Acan et al.'s multiplicative
+   ``O(log n)`` upper bound and ``O(n^{2/3})`` lower-bound factor, for
+   side-by-side comparison.
+3. **Classical spreading times of specific topologies** — the star,
+   complete graph, and hypercube facts quoted in the introduction, used as
+   sanity anchors by the star/classical experiments and by tests.
+
+Asymptotic statements carry unknown constants; every function exposes its
+constant as an argument with a default of 1 so experiments can report the
+measured constant (the empirical ratio) rather than assert a particular one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "theorem1_upper_bound",
+    "theorem2_lower_bound",
+    "acan_multiplicative_upper_bound",
+    "acan_lower_bound_factor",
+    "theorem1_constant",
+    "theorem2_constant",
+    "star_sync_pushpull_rounds",
+    "star_async_pushpull_time",
+    "star_sync_push_rounds",
+    "complete_graph_time",
+    "hypercube_time",
+    "harmonic_number",
+]
+
+
+def _require_positive(value: float, name: str) -> None:
+    if value <= 0:
+        raise AnalysisError(f"{name} must be positive, got {value}")
+
+
+# ----------------------------------------------------------------------- #
+# Group 1: this paper's bounds
+# ----------------------------------------------------------------------- #
+def theorem1_upper_bound(sync_hp_time: float, num_vertices: int, *, constant: float = 1.0) -> float:
+    """Theorem 1's allowed asynchronous high-probability time.
+
+    ``T_{1/n}(pp-a) <= constant · (T_{1/n}(pp) + log n)``.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    if sync_hp_time < 0:
+        raise AnalysisError(f"sync_hp_time must be non-negative, got {sync_hp_time}")
+    return constant * (sync_hp_time + math.log(num_vertices))
+
+
+def theorem2_lower_bound(sync_expected_time: float, num_vertices: int, *, constant: float = 1.0) -> float:
+    """Theorem 2's guaranteed asynchronous expected time.
+
+    ``E[T(pp-a)] >= constant · E[T(pp)] / sqrt(n)``.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    if sync_expected_time < 0:
+        raise AnalysisError(f"sync_expected_time must be non-negative, got {sync_expected_time}")
+    return constant * sync_expected_time / math.sqrt(num_vertices)
+
+
+def theorem1_constant(async_hp_time: float, sync_hp_time: float, num_vertices: int) -> float:
+    """The empirical constant ``T_{1/n}(pp-a) / (T_{1/n}(pp) + log n)``.
+
+    Theorem 1 asserts this stays bounded as ``n`` grows; the experiments
+    report it per graph family and size.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    denominator = sync_hp_time + math.log(num_vertices)
+    if denominator <= 0:
+        raise AnalysisError("sync_hp_time + log(n) must be positive")
+    return async_hp_time / denominator
+
+
+def theorem2_constant(async_expected_time: float, sync_expected_time: float, num_vertices: int) -> float:
+    """The empirical constant ``(E[T(pp)] / E[T(pp-a)]) / sqrt(n)``.
+
+    Theorem 2 asserts this stays bounded as ``n`` grows.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    _require_positive(async_expected_time, "async_expected_time")
+    ratio = sync_expected_time / async_expected_time
+    return ratio / math.sqrt(num_vertices)
+
+
+# ----------------------------------------------------------------------- #
+# Group 2: Acan et al. (PODC 2015) comparison bounds
+# ----------------------------------------------------------------------- #
+def acan_multiplicative_upper_bound(sync_hp_time: float, num_vertices: int, *, constant: float = 1.0) -> float:
+    """Acan et al.'s bound: ``T_{1/n}(pp-a) <= constant · log(n) · T_{1/n}(pp)``.
+
+    The paper's Theorem 1 replaces the multiplicative ``log n`` with an
+    additive one; comparing the two right-hand sides on concrete data shows
+    where the improvement matters (graphs with super-constant synchronous
+    time).
+    """
+    _require_positive(num_vertices, "num_vertices")
+    if sync_hp_time < 0:
+        raise AnalysisError(f"sync_hp_time must be non-negative, got {sync_hp_time}")
+    return constant * math.log(num_vertices) * max(sync_hp_time, 1.0)
+
+
+def acan_lower_bound_factor(num_vertices: int) -> float:
+    """Acan et al.'s worst-case factor ``n^{2/3}`` (improved to ``sqrt(n)`` by Theorem 2)."""
+    _require_positive(num_vertices, "num_vertices")
+    return float(num_vertices) ** (2.0 / 3.0)
+
+
+# ----------------------------------------------------------------------- #
+# Group 3: classical per-topology facts quoted in the introduction
+# ----------------------------------------------------------------------- #
+def harmonic_number(k: int) -> float:
+    """The ``k``-th harmonic number ``H_k`` (coupon-collector expectations)."""
+    if k < 0:
+        raise AnalysisError(f"harmonic number needs k >= 0, got {k}")
+    return sum(1.0 / i for i in range(1, k + 1))
+
+
+def star_sync_pushpull_rounds() -> int:
+    """Synchronous push–pull on the star: at most 2 rounds (Section 1).
+
+    One round for the center to be informed (the source leaf pushes to it —
+    or, if the source is the center, zero rounds), and one round for every
+    leaf to pull from the center.
+    """
+    return 2
+
+
+def star_async_pushpull_time(num_vertices: int) -> float:
+    """Asynchronous push–pull on the star: ``Θ(log n)`` expected time.
+
+    Each uninformed leaf is informed at rate ~1 (its own clock contacts the
+    center), so the completion time is the maximum of ``n − 2`` unit-rate
+    exponentials plus O(1): about ``ln(n) + γ``.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    return math.log(max(num_vertices, 2)) + 0.5772156649015329
+
+
+def star_sync_push_rounds(num_vertices: int) -> float:
+    """Synchronous push on the star: ``Θ(n log n)`` rounds.
+
+    After the center is informed, only the center can push, and it informs a
+    uniformly random leaf each round — a coupon-collector process over
+    ``n − 1`` leaves, i.e. about ``(n−1)·H_{n−1}`` rounds.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    leaves = max(int(num_vertices) - 1, 1)
+    return leaves * harmonic_number(leaves)
+
+
+def complete_graph_time(num_vertices: int) -> float:
+    """Push–pull on the complete graph: ``Θ(log n)`` (both models).
+
+    The classical bound is ``log_3 n + O(log log n)`` synchronous rounds
+    (Karp et al.); we return ``log_3 n`` as the reference curve — only the
+    logarithmic shape matters for the experiments.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    return math.log(max(num_vertices, 2), 3.0)
+
+
+def hypercube_time(num_vertices: int) -> float:
+    """Push–pull on the hypercube: ``Θ(log n)`` in both models.
+
+    The dimension ``d = log2 n`` is a lower bound (the diameter), and
+    ``O(log n)`` is the known upper bound; we return ``log2 n`` as the
+    reference curve.
+    """
+    _require_positive(num_vertices, "num_vertices")
+    return math.log2(max(num_vertices, 2))

@@ -1,0 +1,168 @@
+"""Informed-fraction curves: how coverage grows over time, averaged over trials.
+
+The social-network motivation of the paper (and experiment E7) is about the
+*trajectory* of dissemination, not just its endpoint: the asynchronous
+protocol reaches a large fraction of the vertices early even when the time to
+inform the very last vertex is similar in both models.  This module turns a
+collection of :class:`~repro.core.result.SpreadingResult` runs into an
+averaged coverage curve on a common time grid, so trajectories of different
+protocols can be compared, tabulated, or rendered as a quick ASCII sparkline
+in terminal examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import SpreadingResult
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CoverageCurve",
+    "coverage_curve",
+    "compare_coverage_curves",
+    "ascii_sparkline",
+]
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """The mean informed fraction as a function of time.
+
+    Attributes:
+        protocol: protocol name of the underlying runs.
+        graph_name: graph the runs were executed on.
+        times: the common time grid (starts at 0, ends at the latest
+            completion time over all runs).
+        mean_fraction: mean informed fraction at each grid point.
+        lower_fraction / upper_fraction: pointwise min / max over runs,
+            giving a cheap envelope of the trajectories.
+        num_runs: how many runs were aggregated.
+    """
+
+    protocol: str
+    graph_name: str
+    times: tuple[float, ...]
+    mean_fraction: tuple[float, ...]
+    lower_fraction: tuple[float, ...]
+    upper_fraction: tuple[float, ...]
+    num_runs: int
+
+    def fraction_at(self, time: float) -> float:
+        """Mean informed fraction at an arbitrary time (step interpolation)."""
+        times = np.asarray(self.times)
+        index = int(np.searchsorted(times, time, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return self.mean_fraction[min(index, len(self.mean_fraction) - 1)]
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """Earliest grid time at which the mean coverage reaches ``fraction``."""
+        if not 0.0 < fraction <= 1.0:
+            raise AnalysisError(f"fraction must be in (0, 1], got {fraction}")
+        for time, value in zip(self.times, self.mean_fraction):
+            if value >= fraction:
+                return time
+        return math.inf
+
+
+def coverage_curve(
+    results: Sequence[SpreadingResult],
+    *,
+    grid_points: int = 200,
+) -> CoverageCurve:
+    """Aggregate runs into a mean coverage curve on a common grid.
+
+    All runs must come from the same protocol and the same number of vertices
+    (typically the same graph).  Incomplete runs are allowed; their coverage
+    simply plateaus below 1.
+    """
+    if not results:
+        raise AnalysisError("coverage_curve needs at least one run")
+    if grid_points < 2:
+        raise AnalysisError(f"grid_points must be at least 2, got {grid_points}")
+    protocols = {result.protocol for result in results}
+    vertex_counts = {result.num_vertices for result in results}
+    if len(protocols) != 1:
+        raise AnalysisError(f"runs mix protocols: {sorted(protocols)}")
+    if len(vertex_counts) != 1:
+        raise AnalysisError(f"runs mix graph sizes: {sorted(vertex_counts)}")
+    n = vertex_counts.pop()
+
+    horizons = []
+    for result in results:
+        finite = [t for t in result.informed_time if math.isfinite(t)]
+        horizons.append(max(finite) if finite else 0.0)
+    horizon = max(max(horizons), 1e-12)
+    grid = np.linspace(0.0, horizon, grid_points)
+
+    fractions = np.empty((len(results), grid_points))
+    for row, result in enumerate(results):
+        finite_times = np.sort([t for t in result.informed_time if math.isfinite(t)])
+        # Number informed by time t = #(informed_time <= t).
+        counts = np.searchsorted(finite_times, grid, side="right")
+        fractions[row] = counts / n
+
+    return CoverageCurve(
+        protocol=protocols.pop(),
+        graph_name=results[0].graph_name,
+        times=tuple(float(t) for t in grid),
+        mean_fraction=tuple(float(x) for x in fractions.mean(axis=0)),
+        lower_fraction=tuple(float(x) for x in fractions.min(axis=0)),
+        upper_fraction=tuple(float(x) for x in fractions.max(axis=0)),
+        num_runs=len(results),
+    )
+
+
+def compare_coverage_curves(
+    curves: Sequence[CoverageCurve],
+    fractions: Sequence[float] = (0.5, 0.9, 0.99, 1.0),
+) -> list[dict[str, object]]:
+    """Tabulate times-to-coverage for several curves side by side.
+
+    Returns one row per curve with the protocol name and the (mean-curve)
+    time to reach each requested fraction — the quantities experiment E7
+    reports, derived from full trajectories instead of per-run order
+    statistics.
+    """
+    if not curves:
+        raise AnalysisError("need at least one curve to compare")
+    rows = []
+    for curve in curves:
+        row: dict[str, object] = {
+            "protocol": curve.protocol,
+            "graph": curve.graph_name,
+            "runs": curve.num_runs,
+        }
+        for fraction in fractions:
+            row[f"t@{int(fraction * 100)}%"] = curve.time_to_fraction(fraction)
+        rows.append(row)
+    return rows
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """Render values in [0, 1] as a unicode sparkline of the given width.
+
+    Used by the examples to show coverage trajectories without plotting
+    dependencies.  Values outside [0, 1] are clipped.
+    """
+    if width < 1:
+        raise AnalysisError(f"width must be positive, got {width}")
+    data = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    if data.size == 0:
+        raise AnalysisError("sparkline needs at least one value")
+    # Resample to the requested width by taking evenly spaced points.
+    indices = np.linspace(0, data.size - 1, width).round().astype(int)
+    sampled = data[indices]
+    characters = [
+        _SPARK_LEVELS[min(int(value * (len(_SPARK_LEVELS) - 1) + 1e-9), len(_SPARK_LEVELS) - 1)]
+        for value in sampled
+    ]
+    return "".join(characters)

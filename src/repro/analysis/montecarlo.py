@@ -1,0 +1,281 @@
+"""Monte Carlo trial runners for spreading-time estimation.
+
+The quantities the paper reasons about are properties of the *distribution*
+of the rumor spreading time ``T(alg, G, u)``: its expectation (Theorem 2)
+and its ``1 − 1/n`` quantile ``T_{1/n}`` (Theorem 1).  This module runs
+repeated independent simulations and collects the resulting samples into
+:class:`SpreadingTimeSample` objects that the quantile/statistics helpers
+consume.
+
+Two run modes are supported:
+
+* a **fixed graph** — all trials run on the same graph instance (the correct
+  semantics for the theorems, which hold for every individual graph);
+* a **graph factory** — each trial draws a fresh random graph (used when the
+  experiment is about a random-graph *family*, e.g. "random 3-regular
+  graphs", and we want to average over the family as the cited literature
+  does).
+
+Both modes support fixed sources and uniformly random sources, fixed trial
+counts and an adaptive mode that keeps adding trials until the relative
+half-width of the mean's confidence interval drops below a target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.protocols import get_protocol, spread
+from repro.core.result import SpreadingResult
+from repro.errors import AnalysisError
+from repro.graphs.base import Graph
+from repro.randomness.rng import SeedLike, as_generator, spawn_generators
+
+__all__ = [
+    "SpreadingTimeSample",
+    "run_trials",
+    "run_adaptive_trials",
+    "collect_results",
+]
+
+GraphFactory = Callable[[np.random.Generator], Graph]
+SourceSpec = Union[int, str]
+
+
+@dataclass(frozen=True)
+class SpreadingTimeSample:
+    """A sample of spreading times for one (protocol, graph/family, source) setting.
+
+    Attributes:
+        protocol: canonical protocol name.
+        graph_name: name of the graph (or family representative).
+        num_vertices: number of vertices of the simulated graph(s).
+        source: the fixed source vertex, or ``-1`` when sources were random.
+        times: the observed spreading times, one per trial.
+        fraction_times: optional per-trial times to inform given fractions
+            (only populated when requested).
+        num_trials: convenience alias for ``len(times)``.
+    """
+
+    protocol: str
+    graph_name: str
+    num_vertices: int
+    source: int
+    times: tuple[float, ...]
+    fraction_times: dict[float, tuple[float, ...]] = field(default_factory=dict)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.times)
+
+    def as_array(self) -> np.ndarray:
+        """The spreading times as a NumPy array."""
+        return np.asarray(self.times, dtype=float)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the spreading time (estimates ``E[T]``)."""
+        return float(np.mean(self.as_array()))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single trial)."""
+        values = self.as_array()
+        if values.size < 2:
+            return 0.0
+        return float(np.std(values, ddof=1))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.as_array()))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.as_array()))
+
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self.num_trials < 2:
+            return math.inf
+        return self.std / math.sqrt(self.num_trials)
+
+    def merged_with(self, other: "SpreadingTimeSample") -> "SpreadingTimeSample":
+        """Combine two samples of the same setting (used by adaptive runs)."""
+        if (self.protocol, self.num_vertices) != (other.protocol, other.num_vertices):
+            raise AnalysisError("cannot merge samples from different settings")
+        merged_fraction_times = dict(self.fraction_times)
+        for fraction, values in other.fraction_times.items():
+            merged_fraction_times[fraction] = tuple(merged_fraction_times.get(fraction, ())) + values
+        return SpreadingTimeSample(
+            protocol=self.protocol,
+            graph_name=self.graph_name,
+            num_vertices=self.num_vertices,
+            source=self.source if self.source == other.source else -1,
+            times=self.times + other.times,
+            fraction_times=merged_fraction_times,
+        )
+
+
+def _resolve_source(source: SourceSpec, graph: Graph, rng: np.random.Generator) -> int:
+    if isinstance(source, str):
+        if source != "random":
+            raise AnalysisError(f"source must be a vertex id or 'random', got {source!r}")
+        return int(rng.integers(graph.num_vertices))
+    if not (0 <= int(source) < graph.num_vertices):
+        raise AnalysisError(
+            f"source {source} is not a vertex of {graph.name} (n={graph.num_vertices})"
+        )
+    return int(source)
+
+
+def run_trials(
+    graph_or_factory: Union[Graph, GraphFactory],
+    source: SourceSpec,
+    protocol: str,
+    *,
+    trials: int,
+    seed: SeedLike = None,
+    fractions: Sequence[float] = (),
+    engine_options: Optional[dict] = None,
+) -> SpreadingTimeSample:
+    """Run ``trials`` independent simulations and collect spreading times.
+
+    Args:
+        graph_or_factory: a fixed :class:`Graph`, or a callable mapping an
+            RNG to a freshly sampled graph (for random families).
+        source: a vertex id, or the string ``"random"`` to pick a fresh
+            uniformly random source in every trial.
+        protocol: canonical protocol name (``"pp"``, ``"pp-a"``, ...).
+        trials: number of independent trials (must be positive).
+        seed: master seed; per-trial generators are spawned from it.
+        fractions: optional fractions (e.g. ``(0.5, 0.9)``) for which the
+            time to inform that fraction of vertices is also recorded.
+        engine_options: extra keyword arguments forwarded to the engine.
+
+    Returns:
+        The collected :class:`SpreadingTimeSample`.
+    """
+    if trials < 1:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    get_protocol(protocol)  # validate the name eagerly
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise AnalysisError(f"fractions must be in (0, 1], got {fraction}")
+    options = dict(engine_options or {})
+    generators = spawn_generators(trials, seed)
+
+    times: list[float] = []
+    fraction_times: dict[float, list[float]] = {fraction: [] for fraction in fractions}
+    graph_name = None
+    num_vertices = None
+    fixed_source: Optional[int] = None
+
+    for rng in generators:
+        if isinstance(graph_or_factory, Graph):
+            graph = graph_or_factory
+        else:
+            graph = graph_or_factory(rng)
+        if graph_name is None:
+            graph_name = graph.name
+            num_vertices = graph.num_vertices
+        trial_source = _resolve_source(source, graph, rng)
+        if fixed_source is None:
+            fixed_source = trial_source
+        elif fixed_source != trial_source:
+            fixed_source = -1
+        result = spread(graph, trial_source, protocol=protocol, seed=rng, **options)
+        times.append(result.spreading_time)
+        for fraction in fractions:
+            fraction_times[fraction].append(result.time_to_inform_fraction(fraction))
+
+    assert graph_name is not None and num_vertices is not None
+    return SpreadingTimeSample(
+        protocol=protocol,
+        graph_name=graph_name,
+        num_vertices=num_vertices,
+        source=fixed_source if fixed_source is not None else -1,
+        times=tuple(times),
+        fraction_times={f: tuple(v) for f, v in fraction_times.items()},
+    )
+
+
+def run_adaptive_trials(
+    graph_or_factory: Union[Graph, GraphFactory],
+    source: SourceSpec,
+    protocol: str,
+    *,
+    initial_trials: int = 50,
+    batch_size: int = 50,
+    max_trials: int = 2000,
+    relative_precision: float = 0.05,
+    seed: SeedLike = None,
+    engine_options: Optional[dict] = None,
+) -> SpreadingTimeSample:
+    """Keep adding trial batches until the mean is known to the requested precision.
+
+    The stopping rule is ``1.96 * standard_error <= relative_precision * mean``
+    (a ~95% confidence half-width below the requested relative precision), or
+    ``max_trials`` trials, whichever comes first.  This is the "adaptive
+    trial allocation" ablation mentioned in DESIGN.md.
+    """
+    if initial_trials < 2:
+        raise AnalysisError("initial_trials must be at least 2")
+    if batch_size < 1:
+        raise AnalysisError("batch_size must be positive")
+    if max_trials < initial_trials:
+        raise AnalysisError("max_trials must be at least initial_trials")
+    if not 0 < relative_precision < 1:
+        raise AnalysisError("relative_precision must be in (0, 1)")
+    master = as_generator(seed)
+    sample = run_trials(
+        graph_or_factory,
+        source,
+        protocol,
+        trials=initial_trials,
+        seed=master,
+        engine_options=engine_options,
+    )
+    while sample.num_trials < max_trials:
+        half_width = 1.96 * sample.standard_error()
+        if sample.mean > 0 and half_width <= relative_precision * sample.mean:
+            break
+        remaining = min(batch_size, max_trials - sample.num_trials)
+        extra = run_trials(
+            graph_or_factory,
+            source,
+            protocol,
+            trials=remaining,
+            seed=master,
+            engine_options=engine_options,
+        )
+        sample = sample.merged_with(extra)
+    return sample
+
+
+def collect_results(
+    graph: Graph,
+    source: SourceSpec,
+    protocol: str,
+    *,
+    trials: int,
+    seed: SeedLike = None,
+    engine_options: Optional[dict] = None,
+) -> list[SpreadingResult]:
+    """Run ``trials`` simulations and return the full result objects.
+
+    Unlike :func:`run_trials` this keeps every :class:`SpreadingResult`
+    (parents, infection kinds, per-vertex times), which the coupling
+    experiments and a few tests need; it is correspondingly heavier.
+    """
+    if trials < 1:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    options = dict(engine_options or {})
+    results = []
+    for rng in spawn_generators(trials, seed):
+        trial_source = _resolve_source(source, graph, rng)
+        results.append(spread(graph, trial_source, protocol=protocol, seed=rng, **options))
+    return results

@@ -1,0 +1,160 @@
+"""Parallel Monte Carlo execution across processes.
+
+Spreading-time trials are embarrassingly parallel, and the experiment suites
+run thousands of them.  :func:`run_trials_parallel` splits a trial budget
+into chunks, executes the chunks in a :class:`concurrent.futures.ProcessPoolExecutor`,
+and merges the resulting :class:`~repro.analysis.montecarlo.SpreadingTimeSample`
+objects.  Seeds are spawned from the master seed *before* dispatch, so the
+merged sample is identical in distribution (though not in order) to a serial
+run with the same total number of trials, and fully reproducible for a fixed
+``(seed, trials, num_workers)`` triple.
+
+Graphs are rebuilt inside each worker from a named family (or passed as a
+pickled :class:`~repro.graphs.base.Graph`, which is cheap — the object is a
+few tuples), so no shared state is needed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.analysis.montecarlo import SpreadingTimeSample, run_trials
+from repro.errors import AnalysisError
+from repro.graphs.base import Graph
+from repro.graphs.families import get_family
+from repro.randomness.rng import SeedLike, spawn_seeds
+
+__all__ = ["ParallelTrialSpec", "run_trials_parallel", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Number of worker processes to use by default (CPU count, at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ParallelTrialSpec:
+    """Description of one chunk of trials executed in a worker process.
+
+    Attributes:
+        family_name: name of a registered graph family (mutually exclusive
+            with ``graph``); the worker builds the graph itself.
+        graph: an explicit graph to run on (pickled to the worker).
+        size: family size to build (required with ``family_name``).
+        graph_seed: seed for building random-family graphs.
+        source: source vertex or ``"random"``.
+        protocol: canonical protocol name.
+        trials: number of trials in this chunk.
+        trial_seed: seed for the chunk's trials.
+        fractions: coverage fractions to record.
+    """
+
+    protocol: str
+    source: Union[int, str]
+    trials: int
+    trial_seed: int
+    family_name: Optional[str] = None
+    size: Optional[int] = None
+    graph_seed: Optional[int] = None
+    graph: Optional[Graph] = None
+    fractions: tuple[float, ...] = ()
+
+
+def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
+    """Worker entry point: build the graph (if needed) and run the chunk."""
+    if spec.graph is not None:
+        graph = spec.graph
+    else:
+        if spec.family_name is None or spec.size is None:
+            raise AnalysisError("a chunk needs either a graph or a (family_name, size) pair")
+        graph = get_family(spec.family_name).build(spec.size, seed=spec.graph_seed)
+    return run_trials(
+        graph,
+        spec.source,
+        spec.protocol,
+        trials=spec.trials,
+        seed=spec.trial_seed,
+        fractions=spec.fractions,
+    )
+
+
+def run_trials_parallel(
+    graph_or_family: Union[Graph, str],
+    source: Union[int, str],
+    protocol: str,
+    *,
+    trials: int,
+    seed: SeedLike = None,
+    size: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    fractions: Sequence[float] = (),
+) -> SpreadingTimeSample:
+    """Run ``trials`` independent simulations across worker processes.
+
+    Args:
+        graph_or_family: a :class:`Graph` instance, or the name of a
+            registered graph family (in which case ``size`` is required and
+            every worker builds the same graph from a shared graph seed).
+        source: source vertex id or ``"random"``.
+        protocol: canonical protocol name.
+        trials: total number of trials across all workers.
+        seed: master seed.
+        size: family size (only with a family name).
+        num_workers: worker processes; defaults to the CPU count.  With one
+            worker the call degenerates to a serial :func:`run_trials`.
+        fractions: coverage fractions to record per trial.
+
+    Returns:
+        The merged :class:`SpreadingTimeSample`.
+    """
+    if trials < 1:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    workers = default_worker_count() if num_workers is None else int(num_workers)
+    if workers < 1:
+        raise AnalysisError(f"num_workers must be positive, got {num_workers}")
+    workers = min(workers, trials)
+
+    graph_seed, *chunk_seeds = spawn_seeds(workers + 1, seed)
+    base, remainder = divmod(trials, workers)
+    chunk_sizes = [base + (1 if index < remainder else 0) for index in range(workers)]
+
+    specs = []
+    for chunk_size, chunk_seed in zip(chunk_sizes, chunk_seeds):
+        if chunk_size == 0:
+            continue
+        if isinstance(graph_or_family, Graph):
+            spec = ParallelTrialSpec(
+                protocol=protocol,
+                source=source,
+                trials=chunk_size,
+                trial_seed=chunk_seed,
+                graph=graph_or_family,
+                fractions=tuple(fractions),
+            )
+        else:
+            if size is None:
+                raise AnalysisError("size is required when passing a family name")
+            spec = ParallelTrialSpec(
+                protocol=protocol,
+                source=source,
+                trials=chunk_size,
+                trial_seed=chunk_seed,
+                family_name=str(graph_or_family),
+                size=int(size),
+                graph_seed=graph_seed,
+                fractions=tuple(fractions),
+            )
+        specs.append(spec)
+
+    if len(specs) == 1:
+        merged = _run_chunk(specs[0])
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            samples = list(executor.map(_run_chunk, specs))
+        merged = samples[0]
+        for sample in samples[1:]:
+            merged = merged.merged_with(sample)
+    return merged

@@ -1,0 +1,186 @@
+"""Scaling-law fits: how measured spreading times grow with the graph size.
+
+The theorems are asymptotic, so the experiments measure spreading times over
+a sweep of sizes ``n`` and ask questions like:
+
+* does ``T_{1/n}(pp-a) − T_{1/n}(pp)`` grow like ``log n`` (Theorem 1's
+  additive term)?
+* does the ratio ``E[T(pp)] / E[T(pp-a)]`` stay below ``c · sqrt(n)``
+  (Theorem 2), and what exponent does it actually grow with on the gap
+  construction?
+* is the star's asynchronous time ``Θ(log n)`` while its synchronous time is
+  constant?
+
+This module fits the three model shapes that cover every such question —
+``a + b·log n``, ``a·n^b`` (power law via log–log least squares), and
+``a + b·sqrt(n)`` — and reports goodness-of-fit so experiments can state
+which shape describes the data best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "FitResult",
+    "fit_logarithmic",
+    "fit_power_law",
+    "fit_sqrt",
+    "fit_linear",
+    "best_fit",
+    "growth_exponent",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of one scaling-law fit.
+
+    Attributes:
+        model: ``"logarithmic"``, ``"power_law"``, ``"sqrt"``, or ``"linear"``.
+        parameters: the fitted parameters (meaning depends on the model —
+            ``(a, b)`` for ``a + b·f(n)`` shapes, ``(a, b)`` for ``a·n^b``).
+        r_squared: coefficient of determination of the fit (in the model's
+            natural space: log–log for the power law, linear otherwise).
+        description: human readable formula with the fitted numbers.
+    """
+
+    model: str
+    parameters: tuple[float, ...]
+    r_squared: float
+    description: str
+
+    def predict(self, n: float) -> float:
+        """Evaluate the fitted curve at size ``n``."""
+        a, b = self.parameters
+        if self.model == "logarithmic":
+            return a + b * math.log(n)
+        if self.model == "power_law":
+            return a * n**b
+        if self.model == "sqrt":
+            return a + b * math.sqrt(n)
+        if self.model == "linear":
+            return a + b * n
+        raise AnalysisError(f"unknown model {self.model!r}")
+
+
+def _validate_xy(sizes: Sequence[float], values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.size != y.size:
+        raise AnalysisError("sizes and values must have the same length")
+    if x.size < 2:
+        raise AnalysisError("need at least two points to fit a scaling law")
+    if np.any(x <= 0):
+        raise AnalysisError("sizes must be positive")
+    if np.any(~np.isfinite(y)):
+        raise AnalysisError("values must be finite")
+    return x, y
+
+
+def _least_squares(design: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ coefficients
+    residual = float(np.sum((y - predictions) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
+    return coefficients, r_squared
+
+
+def fit_logarithmic(sizes: Sequence[float], values: Sequence[float]) -> FitResult:
+    """Fit ``value ≈ a + b · log(n)``."""
+    x, y = _validate_xy(sizes, values)
+    design = np.column_stack([np.ones_like(x), np.log(x)])
+    (a, b), r2 = _least_squares(design, y)
+    return FitResult(
+        model="logarithmic",
+        parameters=(float(a), float(b)),
+        r_squared=r2,
+        description=f"{a:.3g} + {b:.3g}*log(n)",
+    )
+
+
+def fit_sqrt(sizes: Sequence[float], values: Sequence[float]) -> FitResult:
+    """Fit ``value ≈ a + b · sqrt(n)``."""
+    x, y = _validate_xy(sizes, values)
+    design = np.column_stack([np.ones_like(x), np.sqrt(x)])
+    (a, b), r2 = _least_squares(design, y)
+    return FitResult(
+        model="sqrt",
+        parameters=(float(a), float(b)),
+        r_squared=r2,
+        description=f"{a:.3g} + {b:.3g}*sqrt(n)",
+    )
+
+
+def fit_linear(sizes: Sequence[float], values: Sequence[float]) -> FitResult:
+    """Fit ``value ≈ a + b · n``."""
+    x, y = _validate_xy(sizes, values)
+    design = np.column_stack([np.ones_like(x), x])
+    (a, b), r2 = _least_squares(design, y)
+    return FitResult(
+        model="linear",
+        parameters=(float(a), float(b)),
+        r_squared=r2,
+        description=f"{a:.3g} + {b:.3g}*n",
+    )
+
+
+def fit_power_law(sizes: Sequence[float], values: Sequence[float]) -> FitResult:
+    """Fit ``value ≈ a · n^b`` by least squares in log–log space.
+
+    All values must be positive (they are spreading times or ratios of
+    spreading times in every use within the library).
+    """
+    x, y = _validate_xy(sizes, values)
+    if np.any(y <= 0):
+        raise AnalysisError("power-law fit needs positive values")
+    design = np.column_stack([np.ones_like(x), np.log(x)])
+    (log_a, b), r2 = _least_squares(design, np.log(y))
+    a = math.exp(float(log_a))
+    return FitResult(
+        model="power_law",
+        parameters=(a, float(b)),
+        r_squared=r2,
+        description=f"{a:.3g} * n^{b:.3g}",
+    )
+
+
+def growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """The fitted exponent ``b`` of ``value ≈ a · n^b``.
+
+    A convenient scalar for experiment tables: ~0 means the quantity is
+    essentially constant in ``n``, ~0.5 means it grows like ``sqrt(n)``,
+    ~1 like ``n``.
+    """
+    return fit_power_law(sizes, values).parameters[1]
+
+
+def best_fit(sizes: Sequence[float], values: Sequence[float]) -> FitResult:
+    """Return the best-fitting model among logarithmic, sqrt, linear and power law.
+
+    "Best" is judged by the coefficient of determination computed in the
+    *original* space for all candidates (the power-law candidate is
+    re-scored in the original space so the comparison is fair).
+    """
+    x, y = _validate_xy(sizes, values)
+    candidates: list[FitResult] = [fit_logarithmic(x, y), fit_sqrt(x, y), fit_linear(x, y)]
+    if np.all(y > 0):
+        power = fit_power_law(x, y)
+        predictions = np.array([power.predict(value) for value in x])
+        total = float(np.sum((y - y.mean()) ** 2))
+        residual = float(np.sum((y - predictions) ** 2))
+        rescored = FitResult(
+            model=power.model,
+            parameters=power.parameters,
+            r_squared=1.0 if total == 0 else max(0.0, 1.0 - residual / total),
+            description=power.description,
+        )
+        candidates.append(rescored)
+    return max(candidates, key=lambda fit: fit.r_squared)

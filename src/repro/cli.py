@@ -1,0 +1,154 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage examples::
+
+    # list everything that can be run
+    python -m repro list
+
+    # run one experiment with the quick preset and print its table
+    python -m repro run E4
+
+    # run every experiment with the smoke preset and save JSON/CSV artefacts
+    python -m repro run-all --preset smoke --output results/
+
+    # show the registered protocols and graph families
+    python -m repro protocols
+    python -m repro families
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.core.protocols import PROTOCOLS
+from repro.errors import ReproError
+from repro.experiments.presets import PRESETS
+from repro.graphs.families import FAMILIES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction harness for 'How Asynchrony Affects Rumor Spreading Time' "
+            "(Giakkoupis, Nazari, Woelfel; PODC 2016)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+    subparsers.add_parser("protocols", help="list the registered rumor-spreading protocols")
+    subparsers.add_parser("families", help="list the registered graph families")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E1 or 1")
+    run_parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the experiment's default seed")
+    run_parser.add_argument("--json", action="store_true", help="print JSON instead of the text report")
+    run_parser.add_argument("--output", type=Path, default=None, help="directory to save JSON/CSV artefacts")
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
+    run_all_parser.add_argument("--seed", type=int, default=None)
+    run_all_parser.add_argument("--output", type=Path, default=None, help="directory to save JSON/CSV artefacts")
+
+    return parser
+
+
+def _command_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS, available_experiments
+
+    for experiment_id in available_experiments():
+        spec = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id:>4}  {spec.title}")
+        print(f"      claim: {spec.claim}")
+    return 0
+
+
+def _command_protocols() -> int:
+    for name in sorted(PROTOCOLS):
+        spec = PROTOCOLS[name]
+        clock = "rounds" if spec.synchronous else "continuous time"
+        marker = "" if spec.realistic else " [analysis-only]"
+        print(f"{name:>7}  ({clock}){marker}  {spec.description}")
+    return 0
+
+
+def _command_families() -> int:
+    for name in sorted(FAMILIES):
+        family = FAMILIES[name]
+        flags = []
+        if family.is_regular:
+            flags.append("regular")
+        if family.is_random:
+            flags.append("random")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        print(f"{name:>24}{suffix}  {family.description}")
+    return 0
+
+
+def _save(results, output: Optional[Path]) -> None:
+    if output is None:
+        return
+    from repro.reporting.results_io import save_results
+
+    written = save_results(results, output)
+    for path in written:
+        print(f"wrote {path}")
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(arguments.experiment, preset=arguments.preset, seed=arguments.seed)
+    if arguments.json:
+        print(result.to_json())
+    else:
+        print(result.to_text())
+    _save([result], arguments.output)
+    return 0
+
+
+def _command_run_all(arguments: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_all_experiments
+
+    results = run_all_experiments(preset=arguments.preset, seed=arguments.seed)
+    for experiment_id in sorted(results, key=lambda key: int(key.lstrip("E"))):
+        print(results[experiment_id].to_text())
+        print()
+    _save(list(results.values()), arguments.output)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return _command_list()
+        if arguments.command == "protocols":
+            return _command_protocols()
+        if arguments.command == "families":
+            return _command_families()
+        if arguments.command == "run":
+            return _command_run(arguments)
+        if arguments.command == "run-all":
+            return _command_run_all(arguments)
+        parser.error(f"unknown command {arguments.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,498 @@
+"""Asynchronous rumor spreading engines (the paper's ``pp-a`` and friends).
+
+In the asynchronous model every vertex carries an independent Poisson clock
+of rate 1.  Whenever the clock of ``v`` ticks, ``v`` contacts a uniformly
+random neighbor ``w`` and the rumor is exchanged exactly as in the
+synchronous protocol (push, pull, or both), using the informed set at the
+instant of the tick.  The rumor spreading time is measured in continuous
+time units.
+
+Section 2 of the paper lists three equivalent descriptions of the model, and
+this module implements all three so their equivalence can be validated
+empirically (experiment E10):
+
+* ``"global"`` — a single Poisson clock of rate ``n``; on every tick a
+  uniformly random vertex takes a step.  This is the fastest view (one
+  exponential gap and two uniform draws per step) and the default.
+* ``"node_clocks"`` — a literal per-vertex clock realised with a priority
+  queue of next-tick times.
+* ``"edge_clocks"`` — one clock per *ordered* adjacent pair ``(v, w)`` with
+  rate ``1 / deg(v)``; on a tick, ``v`` contacts ``w``.
+
+The equivalence follows from the superposition and thinning properties of
+Poisson processes plus the memorylessness of the exponential distribution —
+precisely the facts the paper quotes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import ContactEvent, SpreadingResult
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.base import Graph
+from repro.randomness.rng import SeedLike, as_generator
+
+__all__ = [
+    "run_asynchronous",
+    "default_max_steps",
+    "ASYNC_MODES",
+    "ASYNC_VIEWS",
+]
+
+#: Valid values for the ``mode`` argument.
+ASYNC_MODES = ("push", "pull", "push-pull")
+
+#: Valid values for the ``view`` argument.
+ASYNC_VIEWS = ("global", "node_clocks", "edge_clocks")
+
+_PROTOCOL_NAMES = {"push": "push-a", "pull": "pull-a", "push-pull": "pp-a"}
+
+
+def default_max_steps(num_vertices: int) -> int:
+    """A generous default step budget.
+
+    The slowest standard case is asynchronous push (or pull) on the star,
+    which needs :math:`\\Theta(n \\log n)` time units, i.e.
+    :math:`\\Theta(n^2 \\log n)` steps.  The default budget is a constant
+    multiple of that, so in practice it is only ever hit for disconnected
+    graphs or genuinely pathological inputs.
+    """
+    n = max(2, num_vertices)
+    return int(40 * n * n * max(1.0, math.log(n)) + 20_000)
+
+
+def _validate(graph: Graph, source: int, mode: str, view: str) -> None:
+    if mode not in ASYNC_MODES:
+        raise ProtocolError(f"unknown asynchronous mode {mode!r}; expected one of {ASYNC_MODES}")
+    if view not in ASYNC_VIEWS:
+        raise ProtocolError(f"unknown asynchronous view {view!r}; expected one of {ASYNC_VIEWS}")
+    if not (0 <= source < graph.num_vertices):
+        raise ProtocolError(
+            f"source {source} is not a vertex of {graph.name} (n={graph.num_vertices})"
+        )
+    if graph.num_vertices > 1 and not graph.is_connected():
+        raise ProtocolError(
+            f"{graph.name} is not connected; the rumor can never reach every vertex"
+        )
+
+
+def run_asynchronous(
+    graph: Graph,
+    source: int,
+    *,
+    mode: str = "push-pull",
+    view: str = "global",
+    seed: SeedLike = None,
+    max_steps: Optional[int] = None,
+    max_time: Optional[float] = None,
+    record_trace: bool = False,
+    on_budget_exhausted: str = "error",
+) -> SpreadingResult:
+    """Simulate one run of an asynchronous rumor spreading protocol.
+
+    Args:
+        graph: the (connected) graph to spread on.
+        source: the initially informed vertex ``u``.
+        mode: ``"push"``, ``"pull"``, or ``"push-pull"`` (the paper's
+            ``push-a``, ``pull-a`` and ``pp-a``).
+        view: which of the three equivalent model descriptions to simulate
+            (``"global"``, ``"node_clocks"``, ``"edge_clocks"``).
+        seed: RNG seed / generator.
+        max_steps: step budget; defaults to :func:`default_max_steps`.
+        max_time: optional wall-clock (simulated time) budget; whichever of
+            the two budgets is hit first stops the run.
+        record_trace: record every contact as a :class:`ContactEvent`.
+        on_budget_exhausted: ``"error"`` raises :class:`SimulationError` when
+            the run stops before everyone is informed; ``"partial"`` returns
+            the incomplete result.
+
+    Returns:
+        A :class:`SpreadingResult` with continuous informing times; the
+        ``steps`` field counts how many clock ticks were simulated.
+    """
+    _validate(graph, source, mode, view)
+    if on_budget_exhausted not in ("error", "partial"):
+        raise ProtocolError(
+            f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
+        )
+    n = graph.num_vertices
+    step_budget = default_max_steps(n) if max_steps is None else int(max_steps)
+    if step_budget < 0:
+        raise ProtocolError(f"max_steps must be non-negative, got {max_steps}")
+    time_budget = math.inf if max_time is None else float(max_time)
+    if time_budget < 0:
+        raise ProtocolError(f"max_time must be non-negative, got {max_time}")
+
+    protocol_name = _PROTOCOL_NAMES[mode]
+    if n == 1:
+        return SpreadingResult(
+            protocol=protocol_name,
+            graph_name=graph.name,
+            num_vertices=1,
+            source=source,
+            informed_time=(0.0,),
+            parent=(-1,),
+            infection_kind=("source",),
+            completed=True,
+            steps=0,
+            push_infections=0,
+            pull_infections=0,
+            total_contacts=0,
+            trace=None,
+        )
+
+    rng = as_generator(seed)
+    if view == "global":
+        runner = _run_global_view
+    elif view == "node_clocks":
+        runner = _run_node_clock_view
+    else:
+        runner = _run_edge_clock_view
+    return runner(
+        graph,
+        source,
+        mode,
+        rng,
+        step_budget,
+        time_budget,
+        record_trace,
+        on_budget_exhausted,
+        protocol_name,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shared per-step rumor exchange logic
+# ---------------------------------------------------------------------- #
+def _exchange(
+    mode: str,
+    caller: int,
+    callee: int,
+    informed: list[bool],
+    informed_time: list[float],
+    parent: list[int],
+    kind: list[Optional[str]],
+    now: float,
+) -> tuple[Optional[int], Optional[str]]:
+    """Apply one contact; returns (vertex informed, kind) or (None, None)."""
+    caller_informed = informed[caller]
+    callee_informed = informed[callee]
+    if caller_informed == callee_informed:
+        return None, None
+    if caller_informed:
+        if mode in ("push", "push-pull"):
+            informed[callee] = True
+            informed_time[callee] = now
+            parent[callee] = caller
+            kind[callee] = "push"
+            return callee, "push"
+        return None, None
+    # Caller is uninformed, callee informed: a pull.
+    if mode in ("pull", "push-pull"):
+        informed[caller] = True
+        informed_time[caller] = now
+        parent[caller] = callee
+        kind[caller] = "pull"
+        return caller, "pull"
+    return None, None
+
+
+def _build_result(
+    protocol_name: str,
+    graph: Graph,
+    source: int,
+    informed_time: list[float],
+    parent: list[int],
+    kind: list[Optional[str]],
+    steps: int,
+    push_infections: int,
+    pull_infections: int,
+    trace: list[ContactEvent],
+    record_trace: bool,
+    on_budget_exhausted: str,
+    budget_description: str,
+) -> SpreadingResult:
+    completed = all(math.isfinite(t) for t in informed_time)
+    if not completed and on_budget_exhausted == "error":
+        informed_count = sum(1 for t in informed_time if math.isfinite(t))
+        raise SimulationError(
+            f"{protocol_name} on {graph.name} informed only {informed_count}/"
+            f"{graph.num_vertices} vertices within {budget_description}"
+        )
+    return SpreadingResult(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=graph.num_vertices,
+        source=source,
+        informed_time=tuple(informed_time),
+        parent=tuple(parent),
+        infection_kind=tuple(kind),
+        completed=completed,
+        steps=steps,
+        push_infections=push_infections,
+        pull_infections=pull_infections,
+        total_contacts=steps,
+        trace=tuple(trace) if record_trace else None,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# View 1: single global Poisson clock of rate n
+# ---------------------------------------------------------------------- #
+def _run_global_view(
+    graph: Graph,
+    source: int,
+    mode: str,
+    rng: np.random.Generator,
+    step_budget: int,
+    time_budget: float,
+    record_trace: bool,
+    on_budget_exhausted: str,
+    protocol_name: str,
+) -> SpreadingResult:
+    n = graph.num_vertices
+    adjacency = graph.adjacency
+    degrees = graph.degrees
+
+    informed = [False] * n
+    informed[source] = True
+    informed_time = [math.inf] * n
+    informed_time[source] = 0.0
+    parent = [-1] * n
+    kind: list[Optional[str]] = [None] * n
+    kind[source] = "source"
+
+    push_infections = 0
+    pull_infections = 0
+    trace: list[ContactEvent] = []
+
+    now = 0.0
+    steps = 0
+    num_informed = 1
+    batch_size = 4096
+    scale = 1.0 / n  # mean gap of the rate-n global clock
+
+    while num_informed < n and steps < step_budget and now <= time_budget:
+        remaining = step_budget - steps
+        this_batch = min(batch_size, remaining)
+        gaps = rng.exponential(scale, this_batch).tolist()
+        callers = rng.integers(0, n, this_batch).tolist()
+        neighbor_uniforms = rng.random(this_batch).tolist()
+        for gap, caller, u in zip(gaps, callers, neighbor_uniforms):
+            now += gap
+            if now > time_budget:
+                break
+            steps += 1
+            degree = degrees[caller]
+            callee = adjacency[caller][min(int(u * degree), degree - 1)]
+            informed_vertex, event_kind = _exchange(
+                mode, caller, callee, informed, informed_time, parent, kind, now
+            )
+            if event_kind == "push":
+                push_infections += 1
+                num_informed += 1
+            elif event_kind == "pull":
+                pull_infections += 1
+                num_informed += 1
+            if record_trace:
+                trace.append(
+                    ContactEvent(
+                        time=now,
+                        caller=caller,
+                        callee=callee,
+                        informed=informed_vertex,
+                        kind=event_kind,
+                    )
+                )
+            if num_informed == n:
+                break
+
+    return _build_result(
+        protocol_name,
+        graph,
+        source,
+        informed_time,
+        parent,
+        kind,
+        steps,
+        push_infections,
+        pull_infections,
+        trace,
+        record_trace,
+        on_budget_exhausted,
+        f"{step_budget} steps / time {time_budget}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# View 2: one Poisson clock of rate 1 per vertex (priority queue)
+# ---------------------------------------------------------------------- #
+def _run_node_clock_view(
+    graph: Graph,
+    source: int,
+    mode: str,
+    rng: np.random.Generator,
+    step_budget: int,
+    time_budget: float,
+    record_trace: bool,
+    on_budget_exhausted: str,
+    protocol_name: str,
+) -> SpreadingResult:
+    n = graph.num_vertices
+    adjacency = graph.adjacency
+    degrees = graph.degrees
+
+    informed = [False] * n
+    informed[source] = True
+    informed_time = [math.inf] * n
+    informed_time[source] = 0.0
+    parent = [-1] * n
+    kind: list[Optional[str]] = [None] * n
+    kind[source] = "source"
+
+    push_infections = 0
+    pull_infections = 0
+    trace: list[ContactEvent] = []
+
+    first_ticks = rng.exponential(1.0, n)
+    heap: list[tuple[float, int]] = [(float(first_ticks[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+
+    steps = 0
+    num_informed = 1
+    now = 0.0
+    while num_informed < n and steps < step_budget:
+        now, caller = heapq.heappop(heap)
+        if now > time_budget:
+            break
+        steps += 1
+        degree = degrees[caller]
+        callee = adjacency[caller][min(int(rng.random() * degree), degree - 1)]
+        informed_vertex, event_kind = _exchange(
+            mode, caller, callee, informed, informed_time, parent, kind, now
+        )
+        if event_kind == "push":
+            push_infections += 1
+            num_informed += 1
+        elif event_kind == "pull":
+            pull_infections += 1
+            num_informed += 1
+        if record_trace:
+            trace.append(
+                ContactEvent(
+                    time=now,
+                    caller=caller,
+                    callee=callee,
+                    informed=informed_vertex,
+                    kind=event_kind,
+                )
+            )
+        heapq.heappush(heap, (now + float(rng.exponential(1.0)), caller))
+
+    return _build_result(
+        protocol_name,
+        graph,
+        source,
+        informed_time,
+        parent,
+        kind,
+        steps,
+        push_infections,
+        pull_infections,
+        trace,
+        record_trace,
+        on_budget_exhausted,
+        f"{step_budget} steps / time {time_budget}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# View 3: one Poisson clock of rate 1/deg(v) per ordered pair (v, w)
+# ---------------------------------------------------------------------- #
+def _run_edge_clock_view(
+    graph: Graph,
+    source: int,
+    mode: str,
+    rng: np.random.Generator,
+    step_budget: int,
+    time_budget: float,
+    record_trace: bool,
+    on_budget_exhausted: str,
+    protocol_name: str,
+) -> SpreadingResult:
+    n = graph.num_vertices
+
+    informed = [False] * n
+    informed[source] = True
+    informed_time = [math.inf] * n
+    informed_time[source] = 0.0
+    parent = [-1] * n
+    kind: list[Optional[str]] = [None] * n
+    kind[source] = "source"
+
+    push_infections = 0
+    pull_infections = 0
+    trace: list[ContactEvent] = []
+
+    # Ordered pairs (v, w) for every edge {v, w}: clock rate 1/deg(v) means
+    # the inter-tick times have mean deg(v).
+    ordered_pairs: list[tuple[int, int]] = []
+    for v in range(n):
+        for w in graph.neighbors(v):
+            ordered_pairs.append((v, w))
+    heap: list[tuple[float, int]] = []
+    for index, (v, _w) in enumerate(ordered_pairs):
+        first = float(rng.exponential(graph.degree(v)))
+        heap.append((first, index))
+    heapq.heapify(heap)
+
+    steps = 0
+    num_informed = 1
+    now = 0.0
+    while num_informed < n and steps < step_budget and heap:
+        now, pair_index = heapq.heappop(heap)
+        if now > time_budget:
+            break
+        steps += 1
+        caller, callee = ordered_pairs[pair_index]
+        informed_vertex, event_kind = _exchange(
+            mode, caller, callee, informed, informed_time, parent, kind, now
+        )
+        if event_kind == "push":
+            push_infections += 1
+            num_informed += 1
+        elif event_kind == "pull":
+            pull_infections += 1
+            num_informed += 1
+        if record_trace:
+            trace.append(
+                ContactEvent(
+                    time=now,
+                    caller=caller,
+                    callee=callee,
+                    informed=informed_vertex,
+                    kind=event_kind,
+                )
+            )
+        heapq.heappush(heap, (now + float(rng.exponential(graph.degree(caller))), pair_index))
+
+    return _build_result(
+        protocol_name,
+        graph,
+        source,
+        informed_time,
+        parent,
+        kind,
+        steps,
+        push_infections,
+        pull_infections,
+        trace,
+        record_trace,
+        on_budget_exhausted,
+        f"{step_budget} steps / time {time_budget}",
+    )

@@ -1,0 +1,106 @@
+"""Flat (CSR-style) adjacency arrays for fast vectorised simulation.
+
+The synchronous engines draw "one uniform random neighbor for every vertex"
+each round; doing that with Python-level tuples would dominate the run time.
+:class:`FlatAdjacency` stores the adjacency structure as two NumPy arrays —
+``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``) — so a full
+round of neighbor choices is three vectorised operations.
+
+Instances are cached per :class:`~repro.graphs.base.Graph` object (graphs are
+immutable, so caching by identity is safe), which matters when the Monte
+Carlo driver runs thousands of trials on the same graph.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = ["FlatAdjacency", "flat_adjacency"]
+
+
+class FlatAdjacency:
+    """CSR-style adjacency arrays for a graph.
+
+    Attributes:
+        indptr: ``indptr[v]:indptr[v+1]`` is the slice of ``indices`` holding
+            the neighbors of ``v``.
+        indices: concatenated neighbor lists.
+        degrees: ``degrees[v] = deg(v)`` as an ``int64`` array.
+        num_vertices: number of vertices.
+    """
+
+    __slots__ = ("indptr", "indices", "degrees", "num_vertices", "__weakref__")
+
+    def __init__(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        degrees = np.asarray(graph.degrees, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for v in range(n):
+            nbrs = graph.neighbors(v)
+            indices[indptr[v] : indptr[v + 1]] = nbrs
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = degrees
+        self.num_vertices = n
+
+    def random_neighbors(self, vertices: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Map each vertex to a uniform random neighbor.
+
+        Args:
+            vertices: array of vertex ids.
+            uniforms: array of uniform(0, 1) draws of the same shape; entry
+                ``i`` selects the neighbor of ``vertices[i]``.
+
+        Returns:
+            Array of chosen neighbor ids (same shape as ``vertices``).
+
+        Vertices of degree zero are not supported (the protocols only run on
+        connected graphs, where every vertex has a neighbor).
+        """
+        degs = self.degrees[vertices]
+        offsets = (uniforms * degs).astype(np.int64)
+        # Guard against the measure-zero event uniform == 1.0.
+        np.minimum(offsets, degs - 1, out=offsets)
+        return self.indices[self.indptr[vertices] + offsets]
+
+    def random_neighbor(self, vertex: int, uniform: float) -> int:
+        """Scalar version of :meth:`random_neighbors`."""
+        degree = int(self.degrees[vertex])
+        offset = min(int(uniform * degree), degree - 1)
+        return int(self.indices[self.indptr[vertex] + offset])
+
+
+_CACHE: "weakref.WeakValueDictionary[int, FlatAdjacency]" = weakref.WeakValueDictionary()
+_CACHE_KEEPALIVE: dict[int, tuple[weakref.ref, FlatAdjacency]] = {}
+_KEEPALIVE_LIMIT = 64
+
+
+def flat_adjacency(graph: Graph) -> FlatAdjacency:
+    """Return the (cached) :class:`FlatAdjacency` for ``graph``.
+
+    The cache keeps a bounded number of recently used structures alive and
+    drops entries automatically once their graph is garbage collected.
+    """
+    key = id(graph)
+    cached = _CACHE_KEEPALIVE.get(key)
+    if cached is not None:
+        graph_ref, flat = cached
+        if graph_ref() is graph:
+            return flat
+        del _CACHE_KEEPALIVE[key]
+    flat = FlatAdjacency(graph)
+    if len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
+        # Drop entries whose graphs have been collected first, then oldest.
+        dead = [k for k, (ref, _) in _CACHE_KEEPALIVE.items() if ref() is None]
+        for k in dead:
+            del _CACHE_KEEPALIVE[k]
+        while len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
+            _CACHE_KEEPALIVE.pop(next(iter(_CACHE_KEEPALIVE)))
+    _CACHE_KEEPALIVE[key] = (weakref.ref(graph), flat)
+    return flat

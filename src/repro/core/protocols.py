@@ -1,0 +1,204 @@
+"""Protocol registry and the uniform :func:`spread` entry point.
+
+Every protocol studied in the paper is registered here under its canonical
+short name, so analysis code, experiments, the CLI and user scripts can all
+run any protocol through one call:
+
+>>> from repro import graphs, spread
+>>> result = spread(graphs.star_graph(64), source=0, protocol="pp-a", seed=7)
+>>> result.completed
+True
+
+Canonical names (matching the paper's notation):
+
+========  ===========================================================
+``pp``     synchronous push–pull
+``push``   synchronous push only
+``pull``   synchronous pull only
+``pp-a``   asynchronous push–pull (rate-1 Poisson clock per vertex)
+``push-a`` asynchronous push only
+``pull-a`` asynchronous pull only
+``ppx``    auxiliary process of Definition 5 (analysis device)
+``ppy``    auxiliary process of Definition 7 (analysis device)
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.async_engine import run_asynchronous
+from repro.core.aux_processes import run_auxiliary_process
+from repro.core.result import SpreadingResult
+from repro.core.sync_engine import run_synchronous
+from repro.errors import ProtocolError
+from repro.graphs.base import Graph
+from repro.randomness.rng import SeedLike
+
+__all__ = [
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "available_protocols",
+    "get_protocol",
+    "spread",
+    "is_synchronous_protocol",
+    "is_asynchronous_protocol",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Metadata and runner for one registered protocol.
+
+    Attributes:
+        name: canonical short name (e.g. ``"pp-a"``).
+        description: one-line human readable description.
+        synchronous: whether the protocol is round based.
+        realistic: ``False`` for the analysis-only processes ``ppx``/``ppy``
+            (they assume knowledge of which neighbors are informed).
+        runner: callable implementing the protocol; signature
+            ``runner(graph, source, seed=..., **options) -> SpreadingResult``.
+    """
+
+    name: str
+    description: str
+    synchronous: bool
+    realistic: bool
+    runner: Callable[..., SpreadingResult]
+
+
+def _sync_runner(mode: str) -> Callable[..., SpreadingResult]:
+    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
+        return run_synchronous(graph, source, mode=mode, seed=seed, **options)
+
+    return run
+
+
+def _async_runner(mode: str) -> Callable[..., SpreadingResult]:
+    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
+        return run_asynchronous(graph, source, mode=mode, seed=seed, **options)
+
+    return run
+
+
+def _aux_runner(variant: str) -> Callable[..., SpreadingResult]:
+    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
+        return run_auxiliary_process(graph, source, variant=variant, seed=seed, **options)
+
+    return run
+
+
+PROTOCOLS: dict[str, ProtocolSpec] = {
+    "pp": ProtocolSpec(
+        name="pp",
+        description="synchronous push-pull: every vertex contacts a random neighbor each round",
+        synchronous=True,
+        realistic=True,
+        runner=_sync_runner("push-pull"),
+    ),
+    "push": ProtocolSpec(
+        name="push",
+        description="synchronous push: only informed callers transmit",
+        synchronous=True,
+        realistic=True,
+        runner=_sync_runner("push"),
+    ),
+    "pull": ProtocolSpec(
+        name="pull",
+        description="synchronous pull: only uninformed callers receive",
+        synchronous=True,
+        realistic=True,
+        runner=_sync_runner("pull"),
+    ),
+    "pp-a": ProtocolSpec(
+        name="pp-a",
+        description="asynchronous push-pull: rate-1 Poisson clock per vertex",
+        synchronous=False,
+        realistic=True,
+        runner=_async_runner("push-pull"),
+    ),
+    "push-a": ProtocolSpec(
+        name="push-a",
+        description="asynchronous push: ticks of informed vertices push the rumor",
+        synchronous=False,
+        realistic=True,
+        runner=_async_runner("push"),
+    ),
+    "pull-a": ProtocolSpec(
+        name="pull-a",
+        description="asynchronous pull: ticks of uninformed vertices pull the rumor",
+        synchronous=False,
+        realistic=True,
+        runner=_async_runner("pull"),
+    ),
+    "ppx": ProtocolSpec(
+        name="ppx",
+        description="auxiliary process of Definition 5 (pull prob. 1-e^{-2k/deg}, forced at k>=deg/2)",
+        synchronous=True,
+        realistic=False,
+        runner=_aux_runner("ppx"),
+    ),
+    "ppy": ProtocolSpec(
+        name="ppy",
+        description="auxiliary process of Definition 7 (pull prob. 1-e^{-2k/deg})",
+        synchronous=True,
+        realistic=False,
+        runner=_aux_runner("ppy"),
+    ),
+}
+
+
+def available_protocols(*, include_analysis_only: bool = True) -> list[str]:
+    """Sorted list of registered protocol names."""
+    return sorted(
+        name
+        for name, spec in PROTOCOLS.items()
+        if include_analysis_only or spec.realistic
+    )
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a protocol by name; raises with the list of valid names."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+
+
+def is_synchronous_protocol(name: str) -> bool:
+    """Whether the named protocol measures time in rounds."""
+    return get_protocol(name).synchronous
+
+
+def is_asynchronous_protocol(name: str) -> bool:
+    """Whether the named protocol measures time in continuous time units."""
+    return not get_protocol(name).synchronous
+
+
+def spread(
+    graph: Graph,
+    source: int,
+    *,
+    protocol: str = "pp",
+    seed: SeedLike = None,
+    **options,
+) -> SpreadingResult:
+    """Run one rumor-spreading simulation.
+
+    Args:
+        graph: the (connected) graph to spread on.
+        source: the initially informed vertex.
+        protocol: a canonical protocol name (see module docstring).
+        seed: RNG seed or generator.
+        **options: engine-specific options forwarded to the underlying
+            runner (``max_rounds``, ``max_steps``, ``max_time``, ``view``,
+            ``record_trace``, ``on_budget_exhausted``).
+
+    Returns:
+        The :class:`~repro.core.result.SpreadingResult` of the run.
+    """
+    spec = get_protocol(protocol)
+    return spec.runner(graph, source, seed=seed, **options)

@@ -1,0 +1,219 @@
+"""Result records produced by every protocol engine.
+
+A single simulation trial produces a :class:`SpreadingResult` carrying the
+per-vertex informing times, the overall spreading time (the paper's
+``T(alg, G, u)``), the infection tree (who informed whom and whether by push
+or pull), and bookkeeping counters.  The analysis layer consumes these
+records; it never needs to re-inspect engine internals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["ContactEvent", "SpreadingResult", "InfectionKind"]
+
+#: How a vertex learned the rumor.
+InfectionKind = str  # "source", "push", or "pull"
+
+
+@dataclass(frozen=True)
+class ContactEvent:
+    """A single communication: ``caller`` contacted ``callee``.
+
+    For synchronous protocols ``time`` is the (1-based) round number; for
+    asynchronous protocols it is the continuous Poisson-clock time.
+    ``informed`` names the vertex (if any) that became informed because of
+    this contact, and ``kind`` records whether that was a push or a pull.
+    """
+
+    time: float
+    caller: int
+    callee: int
+    informed: Optional[int] = None
+    kind: Optional[InfectionKind] = None
+
+
+@dataclass(frozen=True)
+class SpreadingResult:
+    """The outcome of one rumor-spreading simulation.
+
+    Attributes:
+        protocol: canonical protocol name (``"pp"``, ``"pp-a"``, ``"push"``,
+            ``"pull"``, ``"push-a"``, ``"pull-a"``, ``"ppx"``, ``"ppy"``).
+        graph_name: display name of the simulated graph.
+        num_vertices: number of vertices of the simulated graph.
+        source: the initially informed vertex ``u``.
+        informed_time: per-vertex informing time (round number for
+            synchronous protocols, clock time for asynchronous ones); the
+            source has time 0; vertices never informed carry ``math.inf``.
+        parent: per-vertex id of the vertex it learned the rumor from
+            (``-1`` for the source and for never-informed vertices).
+        infection_kind: per-vertex ``"source"``/``"push"``/``"pull"``/``None``.
+        completed: whether every vertex was informed within the budget.
+        rounds: number of synchronous rounds executed (``None`` for
+            asynchronous protocols).
+        steps: number of asynchronous steps executed (``None`` for
+            synchronous protocols).
+        push_infections / pull_infections: how many vertices learned the
+            rumor via push / pull.
+        total_contacts: total number of communications simulated.
+        trace: optional list of every contact (only populated when the
+            engine was asked to record a trace; traces are large).
+    """
+
+    protocol: str
+    graph_name: str
+    num_vertices: int
+    source: int
+    informed_time: tuple[float, ...]
+    parent: tuple[int, ...]
+    infection_kind: tuple[Optional[InfectionKind], ...]
+    completed: bool
+    rounds: Optional[int] = None
+    steps: Optional[int] = None
+    push_infections: int = 0
+    pull_infections: int = 0
+    total_contacts: int = 0
+    trace: Optional[tuple[ContactEvent, ...]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def spreading_time(self) -> float:
+        """The rumor spreading time ``T(alg, G, u)``: the last informing time.
+
+        Infinite when the run did not complete within its budget.
+        """
+        return max(self.informed_time)
+
+    @property
+    def num_informed(self) -> int:
+        """How many vertices were informed by the end of the run."""
+        return sum(1 for t in self.informed_time if math.isfinite(t))
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether the producing protocol is round based."""
+        return self.rounds is not None
+
+    def informed_fraction(self) -> float:
+        """Fraction of vertices informed by the end of the run."""
+        return self.num_informed / self.num_vertices
+
+    def time_to_inform_fraction(self, fraction: float) -> float:
+        """Earliest time by which at least ``fraction`` of vertices are informed.
+
+        Used by the social-network experiment (E7), which compares the time
+        to inform e.g. 50% or 90% of the vertices across models.  Returns
+        ``math.inf`` when the run never reached the requested fraction.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        needed = math.ceil(fraction * self.num_vertices)
+        finite_times = sorted(t for t in self.informed_time if math.isfinite(t))
+        if len(finite_times) < needed:
+            return math.inf
+        return finite_times[needed - 1]
+
+    def informed_counts_over_time(self) -> list[tuple[float, int]]:
+        """The step function ``t -> |informed at time t|`` as (time, count) pairs."""
+        finite_times = sorted(t for t in self.informed_time if math.isfinite(t))
+        curve: list[tuple[float, int]] = []
+        for index, time in enumerate(finite_times, start=1):
+            if curve and curve[-1][0] == time:
+                curve[-1] = (time, index)
+            else:
+                curve.append((time, index))
+        return curve
+
+    def infection_path(self, vertex: int) -> list[int]:
+        """The path ``source -> ... -> vertex`` along which the rumor travelled.
+
+        This is the path ``π_v`` used in the proofs of Lemmas 9 and 10.
+        Raises ``ValueError`` if ``vertex`` was never informed.
+        """
+        if not (0 <= vertex < self.num_vertices):
+            raise ValueError(f"vertex {vertex} out of range")
+        if not math.isfinite(self.informed_time[vertex]):
+            raise ValueError(f"vertex {vertex} was never informed")
+        path = [vertex]
+        current = vertex
+        while current != self.source:
+            current = self.parent[current]
+            if current < 0:
+                raise ValueError(
+                    f"broken parent chain at vertex {path[-1]} (corrupt result?)"
+                )
+            path.append(current)
+        path.reverse()
+        return path
+
+    def summary(self) -> str:
+        """One-line human readable summary for logs and examples."""
+        status = "complete" if self.completed else "INCOMPLETE"
+        clock = f"{self.rounds} rounds" if self.is_synchronous else f"{self.steps} steps"
+        return (
+            f"{self.protocol} on {self.graph_name} from {self.source}: "
+            f"T={self.spreading_time:.3f} ({clock}, {self.num_informed}/"
+            f"{self.num_vertices} informed, {status})"
+        )
+
+
+def check_result_consistency(result: SpreadingResult) -> list[str]:
+    """Validate internal consistency of a result; returns a list of problems.
+
+    Used by tests and by the experiment harness in "paranoid" mode.  An empty
+    list means the record is consistent:
+
+    * the source is informed at time 0 with no parent;
+    * every informed non-source vertex has an informed parent with a strictly
+      smaller informing time;
+    * push/pull counters add up to the number of informed non-source vertices.
+    """
+    problems: list[str] = []
+    n = result.num_vertices
+    if not (0 <= result.source < n):
+        problems.append(f"source {result.source} outside 0..{n - 1}")
+        return problems
+    if result.informed_time[result.source] != 0:
+        problems.append("source informing time is not 0")
+    if result.parent[result.source] != -1:
+        problems.append("source has a parent")
+    informed_non_source = 0
+    for v in range(n):
+        t = result.informed_time[v]
+        if v == result.source:
+            continue
+        if math.isfinite(t):
+            informed_non_source += 1
+            p = result.parent[v]
+            if p < 0 or p >= n:
+                problems.append(f"vertex {v} informed but parent {p} invalid")
+                continue
+            if not math.isfinite(result.informed_time[p]):
+                problems.append(f"vertex {v} informed by never-informed parent {p}")
+            elif result.informed_time[p] >= t:
+                # In every protocol the parent must have been informed
+                # strictly before the child (pre-round snapshots for the
+                # synchronous engines, continuous times for the asynchronous
+                # ones), so equality is also inconsistent.
+                problems.append(
+                    f"vertex {v} informed at {t} not strictly after its parent {p} "
+                    f"at {result.informed_time[p]}"
+                )
+            if result.infection_kind[v] not in ("push", "pull"):
+                problems.append(f"vertex {v} informed with kind {result.infection_kind[v]!r}")
+        else:
+            if result.parent[v] != -1:
+                problems.append(f"vertex {v} never informed but has parent {result.parent[v]}")
+    if result.push_infections + result.pull_infections != informed_non_source:
+        problems.append(
+            "push + pull infection counters do not add up to informed non-source vertices"
+        )
+    if result.completed and informed_non_source != n - 1:
+        problems.append("marked completed but not all vertices informed")
+    return problems

@@ -1,0 +1,233 @@
+"""Synchronous rumor spreading engines: push, pull, and push–pull.
+
+This is the paper's baseline model (Section 2): time proceeds in rounds
+``r = 1, 2, ...``; in every round each vertex ``v`` contacts a uniformly
+random neighbor ``w``.  If exactly one of ``v, w`` was informed *before the
+round*, the other becomes informed in that round:
+
+* **push** — only informed callers transmit (``v`` informed, ``w`` not);
+* **pull** — only uninformed callers receive (``v`` not informed, ``w`` is);
+* **push–pull** (``pp``) — both directions are allowed.
+
+All vertices' contacts within a round happen "in parallel and
+independently"; the informed set used to decide transmissions is the one
+from the *start* of the round, and all vertices that received the rumor are
+added at the end of the round.  The engine is fully vectorised over
+vertices, so a round costs a handful of NumPy operations regardless of
+degree structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.flatgraph import flat_adjacency
+from repro.core.result import ContactEvent, SpreadingResult
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.base import Graph
+from repro.randomness.rng import SeedLike, as_generator
+
+__all__ = [
+    "run_synchronous",
+    "default_max_rounds",
+    "SYNC_MODES",
+]
+
+#: Valid values for the ``mode`` argument.
+SYNC_MODES = ("push", "pull", "push-pull")
+
+
+def default_max_rounds(num_vertices: int) -> int:
+    """A generous default round budget.
+
+    The slowest protocol/topology pair in the standard suites is synchronous
+    push on the star, which needs :math:`\\Theta(n \\log n)` rounds; the
+    default budget is a large constant times that, so hitting it indicates a
+    genuine problem (e.g. a disconnected graph) rather than bad luck.
+    """
+    n = max(2, num_vertices)
+    return int(200 * n * max(1.0, math.log(n)) + 2000)
+
+
+def _validate(graph: Graph, source: int, mode: str) -> None:
+    if mode not in SYNC_MODES:
+        raise ProtocolError(f"unknown synchronous mode {mode!r}; expected one of {SYNC_MODES}")
+    if not (0 <= source < graph.num_vertices):
+        raise ProtocolError(
+            f"source {source} is not a vertex of {graph.name} (n={graph.num_vertices})"
+        )
+    if graph.num_vertices > 1 and not graph.is_connected():
+        raise ProtocolError(
+            f"{graph.name} is not connected; the rumor can never reach every vertex"
+        )
+
+
+def run_synchronous(
+    graph: Graph,
+    source: int,
+    *,
+    mode: str = "push-pull",
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+    record_trace: bool = False,
+    on_budget_exhausted: str = "error",
+) -> SpreadingResult:
+    """Simulate one run of a synchronous rumor spreading protocol.
+
+    Args:
+        graph: the (connected) graph to spread on.
+        source: the initially informed vertex ``u``.
+        mode: ``"push"``, ``"pull"``, or ``"push-pull"``.
+        seed: RNG seed / generator for reproducibility.
+        max_rounds: round budget; defaults to :func:`default_max_rounds`.
+        record_trace: record every contact as a :class:`ContactEvent` (slow
+            and memory heavy; intended for debugging and coupling tests).
+        on_budget_exhausted: ``"error"`` raises :class:`SimulationError` when
+            the budget runs out before everyone is informed; ``"partial"``
+            returns the incomplete result instead.
+
+    Returns:
+        A :class:`SpreadingResult`; informing times are round numbers
+        (the source has time 0).
+    """
+    _validate(graph, source, mode)
+    if on_budget_exhausted not in ("error", "partial"):
+        raise ProtocolError(
+            f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
+        )
+    n = graph.num_vertices
+    budget = default_max_rounds(n) if max_rounds is None else int(max_rounds)
+    if budget < 0:
+        raise ProtocolError(f"max_rounds must be non-negative, got {max_rounds}")
+
+    rng = as_generator(seed)
+    flat = flat_adjacency(graph)
+    all_vertices = np.arange(n, dtype=np.int64)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, np.inf)
+    informed_round[source] = 0.0
+    parent = np.full(n, -1, dtype=np.int64)
+    kind: list[Optional[str]] = [None] * n
+    kind[source] = "source"
+
+    push_infections = 0
+    pull_infections = 0
+    total_contacts = 0
+    trace: list[ContactEvent] = []
+
+    protocol_name = {"push": "push", "pull": "pull", "push-pull": "pp"}[mode]
+    rounds_executed = 0
+
+    if n == 1:
+        return SpreadingResult(
+            protocol=protocol_name,
+            graph_name=graph.name,
+            num_vertices=1,
+            source=source,
+            informed_time=(0.0,),
+            parent=(-1,),
+            infection_kind=("source",),
+            completed=True,
+            rounds=0,
+            push_infections=0,
+            pull_infections=0,
+            total_contacts=0,
+            trace=tuple(trace) if record_trace else None,
+        )
+
+    num_informed = 1
+    while num_informed < n and rounds_executed < budget:
+        rounds_executed += 1
+        contacts = flat.random_neighbors(all_vertices, rng.random(n))
+        total_contacts += n
+        informed_before = informed  # the snapshot used for this round's decisions
+        contacted_informed = informed_before[contacts]
+
+        new_by_pull = np.zeros(n, dtype=bool)
+        if mode in ("pull", "push-pull"):
+            # Uninformed caller v contacting an informed callee pulls the rumor.
+            new_by_pull = (~informed_before) & contacted_informed
+
+        new_by_push = np.zeros(n, dtype=bool)
+        push_sources = np.empty(0, dtype=np.int64)
+        push_targets = np.empty(0, dtype=np.int64)
+        if mode in ("push", "push-pull"):
+            # Informed caller v contacting an uninformed callee pushes the rumor.
+            pusher_mask = informed_before & ~informed_before[contacts]
+            push_sources = all_vertices[pusher_mask]
+            push_targets = contacts[pusher_mask]
+            # A vertex may be pushed to by several callers; keep the first
+            # occurrence as the parent (any informed caller is a valid parent).
+            if push_targets.size:
+                unique_targets, first_index = np.unique(push_targets, return_index=True)
+                push_targets = unique_targets
+                push_sources = push_sources[first_index]
+                # A vertex that pulled this round is already accounted for.
+                fresh = ~new_by_pull[push_targets]
+                push_targets = push_targets[fresh]
+                push_sources = push_sources[fresh]
+                new_by_push[push_targets] = True
+
+        newly_informed = new_by_pull | new_by_push
+        if newly_informed.any():
+            new_ids = all_vertices[newly_informed]
+            informed_round[new_ids] = float(rounds_executed)
+            pull_ids = all_vertices[new_by_pull]
+            parent[pull_ids] = contacts[pull_ids]
+            for v in pull_ids:
+                kind[int(v)] = "pull"
+            pull_infections += int(pull_ids.size)
+            parent[push_targets] = push_sources
+            for v in push_targets:
+                kind[int(v)] = "push"
+            push_infections += int(push_targets.size)
+            informed = informed_before.copy()
+            informed[new_ids] = True
+            num_informed += int(new_ids.size)
+
+        if record_trace:
+            for v in range(n):
+                w = int(contacts[v])
+                informed_vertex: Optional[int] = None
+                event_kind: Optional[str] = None
+                if new_by_pull[v] and parent[v] == w:
+                    informed_vertex, event_kind = v, "pull"
+                elif new_by_push[w] and parent[w] == v:
+                    informed_vertex, event_kind = w, "push"
+                trace.append(
+                    ContactEvent(
+                        time=float(rounds_executed),
+                        caller=v,
+                        callee=w,
+                        informed=informed_vertex,
+                        kind=event_kind,
+                    )
+                )
+
+    completed = num_informed == n
+    if not completed and on_budget_exhausted == "error":
+        raise SimulationError(
+            f"synchronous {mode} on {graph.name} informed only {num_informed}/{n} "
+            f"vertices within {budget} rounds"
+        )
+
+    return SpreadingResult(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=n,
+        source=source,
+        informed_time=tuple(float(t) for t in informed_round),
+        parent=tuple(int(p) for p in parent),
+        infection_kind=tuple(kind),
+        completed=completed,
+        rounds=rounds_executed,
+        push_infections=push_infections,
+        pull_infections=pull_infections,
+        total_contacts=total_contacts,
+        trace=tuple(trace) if record_trace else None,
+    )

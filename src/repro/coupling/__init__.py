@@ -1,0 +1,67 @@
+"""Executable couplings from the paper's proofs.
+
+* :mod:`repro.coupling.push_coupling` — the classical push coupling between
+  synchronous and asynchronous push (Section 3's warm-up).
+* :mod:`repro.coupling.pull_coupling` — the Section 4 coupling of ``ppx``,
+  ``ppy`` and ``pp-a`` on shared randomness (Lemmas 9 and 10).
+* :mod:`repro.coupling.blocks` — the Section 5 block decomposition mapping
+  asynchronous steps to synchronous rounds (Lemmas 13 and 14).
+* :mod:`repro.coupling.domination` — the probabilistic lemmas (8 and 15)
+  as samplers and bounds.
+"""
+
+from repro.coupling.blocks import (
+    Block,
+    BlockCouplingRun,
+    BlockStatistics,
+    Step,
+    is_left_incompatible,
+    is_right_incompatible,
+    partition_steps_into_blocks,
+    run_block_coupling,
+    simulate_step_sequence,
+)
+from repro.coupling.domination import (
+    Lemma8Sample,
+    dominated_sum_quantile_bound,
+    geometric_domination_check,
+    lemma8_theoretical_cdf,
+    lemma15_negbin_bound,
+    negbin_tail_quantile,
+    sample_conditional_minimum,
+)
+from repro.coupling.pull_coupling import (
+    CoupledProcessesRun,
+    SharedCouplingVariables,
+    run_coupled_processes,
+)
+from repro.coupling.push_coupling import (
+    CoupledPushRun,
+    average_push_coupling_gap,
+    run_coupled_push,
+)
+
+__all__ = [
+    "Block",
+    "BlockCouplingRun",
+    "BlockStatistics",
+    "Step",
+    "is_left_incompatible",
+    "is_right_incompatible",
+    "partition_steps_into_blocks",
+    "run_block_coupling",
+    "simulate_step_sequence",
+    "Lemma8Sample",
+    "dominated_sum_quantile_bound",
+    "geometric_domination_check",
+    "lemma8_theoretical_cdf",
+    "lemma15_negbin_bound",
+    "negbin_tail_quantile",
+    "sample_conditional_minimum",
+    "CoupledProcessesRun",
+    "SharedCouplingVariables",
+    "run_coupled_processes",
+    "CoupledPushRun",
+    "average_push_coupling_gap",
+    "run_coupled_push",
+]

@@ -1,0 +1,228 @@
+"""Executable versions of the paper's probabilistic lemmas (Lemma 8 and Lemma 15).
+
+These two lemmas carry the probability theory of the upper-bound proof:
+
+* **Lemma 8** — let ``Z_1, ..., Z_k`` be i.i.d. ``Exp(λ)``, let
+  ``J = argmin_i Z_i``, fix non-negative integers ``α_i``, and condition on
+  the event ``A = {∀i: Z_i > α_i}`` together with ``J = j``.  Then
+  ``Z = min_i (Z_i − α_i)`` is distributed ``Exp(kλ)``.  (Knowing *which*
+  variable attains the minimum adds no information about the shifted
+  minimum.)
+* **Lemma 15** — if ``Z_1, ..., Z_k`` satisfy
+  ``P[Z_i <= j | Z_1..Z_{i-1}] >= 1 − q^j`` for all ``j >= 0``, then
+  ``Σ_i Z_i ≼ NegBin(k, 1 − q)``.
+
+Both are exact mathematical statements; here we provide Monte Carlo
+machinery that (a) samples the exact conditional laws involved so tests can
+compare them against the closed forms, and (b) applies the Lemma 15 bound to
+empirical data from the couplings (the per-hop slacks ``d'_i − d_i + 1``
+of Lemma 9 are exactly variables of this type).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.randomness.distributions import NegativeBinomial
+from repro.randomness.rng import SeedLike, as_generator
+
+__all__ = [
+    "Lemma8Sample",
+    "sample_conditional_minimum",
+    "lemma8_theoretical_cdf",
+    "lemma15_negbin_bound",
+    "negbin_tail_quantile",
+    "dominated_sum_quantile_bound",
+    "geometric_domination_check",
+]
+
+
+@dataclass(frozen=True)
+class Lemma8Sample:
+    """Samples of the conditional minimum of Lemma 8.
+
+    Attributes:
+        values: samples of ``Z = min_i (Z_i − α_i)`` conditioned on
+            ``J = argmin_i Z_i = j`` and ``∀i: Z_i > α_i``.
+        num_variables: the number ``k`` of exponential variables.
+        rate: the rate ``λ`` of each variable.
+        conditioned_index: the index ``j`` that was conditioned to attain the
+            minimum.
+        offsets: the integer offsets ``α_i``.
+        acceptance_rate: fraction of raw draws that satisfied the
+            conditioning event (diagnostic for the rejection sampler).
+    """
+
+    values: tuple[float, ...]
+    num_variables: int
+    rate: float
+    conditioned_index: int
+    offsets: tuple[int, ...]
+    acceptance_rate: float
+
+
+def sample_conditional_minimum(
+    num_variables: int,
+    rate: float,
+    offsets: Sequence[int],
+    conditioned_index: int,
+    *,
+    num_samples: int,
+    seed: SeedLike = None,
+    max_batches: int = 20_000,
+) -> Lemma8Sample:
+    """Sample ``Z = min_i (Z_i − α_i)`` conditioned on ``J = j`` and ``∀i: Z_i > α_i``.
+
+    Uses straightforward rejection sampling: draw the ``k`` exponentials,
+    keep the draw when every ``Z_i`` exceeds its ``α_i`` and the argmin is
+    the requested index.  Lemma 8 asserts that the accepted values follow
+    ``Exp(k λ)`` exactly, which the tests verify with a Kolmogorov–Smirnov
+    comparison.
+    """
+    if num_variables < 1:
+        raise AnalysisError(f"need at least one variable, got {num_variables}")
+    if rate <= 0:
+        raise AnalysisError(f"rate must be positive, got {rate}")
+    if len(offsets) != num_variables:
+        raise AnalysisError("offsets must have one entry per variable")
+    if any(a < 0 for a in offsets):
+        raise AnalysisError("offsets must be non-negative integers")
+    if not (0 <= conditioned_index < num_variables):
+        raise AnalysisError("conditioned index out of range")
+    if num_samples < 1:
+        raise AnalysisError(f"num_samples must be >= 1, got {num_samples}")
+
+    rng = as_generator(seed)
+    offsets_array = np.asarray(offsets, dtype=float)
+    accepted: list[float] = []
+    raw_draws = 0
+    batch_size = max(256, num_samples)
+    batches = 0
+    while len(accepted) < num_samples and batches < max_batches:
+        batches += 1
+        draws = rng.exponential(1.0 / rate, size=(batch_size, num_variables))
+        raw_draws += batch_size
+        above = np.all(draws > offsets_array, axis=1)
+        argmins = np.argmin(draws, axis=1)
+        keep = above & (argmins == conditioned_index)
+        if np.any(keep):
+            shifted = draws[keep] - offsets_array
+            accepted.extend(float(x) for x in shifted.min(axis=1))
+    if len(accepted) < num_samples:
+        raise AnalysisError(
+            "rejection sampler for Lemma 8 could not reach the requested sample size; "
+            "the conditioning event is too rare for these offsets"
+        )
+    return Lemma8Sample(
+        values=tuple(accepted[:num_samples]),
+        num_variables=num_variables,
+        rate=rate,
+        conditioned_index=conditioned_index,
+        offsets=tuple(int(a) for a in offsets),
+        acceptance_rate=len(accepted) / raw_draws,
+    )
+
+
+def lemma8_theoretical_cdf(num_variables: int, rate: float, t: float) -> float:
+    """The CDF ``1 − e^{−kλt}`` that Lemma 8 predicts for the conditional minimum."""
+    if t <= 0:
+        return 0.0
+    return 1.0 - math.exp(-num_variables * rate * t)
+
+
+def lemma15_negbin_bound(num_terms: int, per_term_tail: float) -> NegativeBinomial:
+    """The ``NegBin(k, 1 − q)`` law that dominates the sum in Lemma 15.
+
+    Args:
+        num_terms: the number ``k`` of summands.
+        per_term_tail: the geometric tail parameter ``q`` (each summand
+            satisfies ``P[Z_i > j | past] <= q^j``).
+    """
+    if num_terms < 1:
+        raise AnalysisError(f"need at least one term, got {num_terms}")
+    if not 0 < per_term_tail < 1:
+        raise AnalysisError(f"tail parameter must be in (0, 1), got {per_term_tail}")
+    return NegativeBinomial(num_terms, 1.0 - per_term_tail)
+
+
+def negbin_tail_quantile(num_terms: int, success_probability: float, tail: float) -> int:
+    """Smallest ``m`` with ``P[NegBin(k, p) > m] <= tail``.
+
+    This is the quantity used to turn Lemma 15 into the explicit
+    "``2l + O(log(n/δ))``" bound in the proof of Lemma 9: with ``k = l``
+    terms and ``p = 1 − 1/e``, the ``1 − δ/2n`` quantile of the NegBin is at
+    most ``2l + O(log(n/δ))``.
+    """
+    if not 0 < tail < 1:
+        raise AnalysisError(f"tail must be in (0, 1), got {tail}")
+    law = NegativeBinomial(num_terms, success_probability)
+    # The quantile is at most mean + O(log(1/tail)) / p; scan from the mean.
+    m = max(num_terms, int(law.mean))
+    upper_guard = int(law.mean + 200 * (1 + math.log(1.0 / tail)) / success_probability) + 10
+    while m < upper_guard:
+        if 1.0 - law.cdf(m) <= tail:
+            return m
+        m += 1
+    raise AnalysisError("failed to locate the NegBin tail quantile (guard exceeded)")
+
+
+def dominated_sum_quantile_bound(
+    num_terms: int,
+    per_term_tail: float,
+    confidence: float,
+) -> int:
+    """High-probability bound on a Lemma 15 sum.
+
+    Returns the smallest ``m`` such that ``P[Σ Z_i > m] <= 1 − confidence``
+    under the dominating ``NegBin(k, 1 − q)`` law.  The experiments use this
+    to draw the "theory" line next to measured coupling slacks.
+    """
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    return negbin_tail_quantile(num_terms, 1.0 - per_term_tail, 1.0 - confidence)
+
+
+def geometric_domination_check(
+    samples: Sequence[Sequence[float]],
+    per_term_tail: float,
+) -> float:
+    """Check Lemma 15 empirically on per-term samples.
+
+    Args:
+        samples: a list of runs; each run is the sequence of summands
+            ``Z_1, ..., Z_k`` observed in that run (runs may have different
+            lengths).
+        per_term_tail: the geometric parameter ``q`` the terms are supposed
+            to satisfy.
+
+    Returns:
+        The largest empirical violation of
+        ``P[Σ Z_i > m] <= P[NegBin(k, 1 − q) > m]`` over runs-with-equal-k
+        and thresholds ``m`` (0 when the domination holds empirically).
+        Runs are grouped by their length ``k`` because the dominating law
+        depends on ``k``.
+    """
+    if not samples:
+        raise AnalysisError("need at least one run")
+    by_length: dict[int, list[float]] = {}
+    for run in samples:
+        k = len(run)
+        if k == 0:
+            continue
+        by_length.setdefault(k, []).append(float(sum(run)))
+    worst = 0.0
+    for k, sums in by_length.items():
+        law = NegativeBinomial(k, 1.0 - per_term_tail)
+        values = np.asarray(sums, dtype=float)
+        # Evaluate on integer thresholds covering the sample range.
+        upper = int(max(values.max(), law.mean + 10 * math.sqrt(law.variance)))
+        for m in range(k, upper + 1):
+            empirical_tail = float(np.mean(values > m))
+            theoretical_tail = 1.0 - law.cdf(m)
+            worst = max(worst, empirical_tail - theoretical_tail)
+    return worst

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.  More
+specific subclasses communicate which subsystem rejected the input:
+
+* :class:`GraphError` — malformed or unsupported graph structures.
+* :class:`GraphGenerationError` — a generator was asked for parameters it
+  cannot satisfy (e.g. a random regular graph with ``n * d`` odd).
+* :class:`ProtocolError` — a rumor-spreading engine was configured or driven
+  incorrectly (unknown protocol name, source vertex not in the graph, ...).
+* :class:`SimulationError` — a simulation failed at run time (e.g. the step
+  budget was exhausted before the rumor reached every vertex).
+* :class:`AnalysisError` — statistical post-processing received unusable
+  inputs (empty samples, impossible quantiles, ...).
+* :class:`ExperimentError` — the experiment harness was asked for an unknown
+  experiment or given an invalid configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph structure is malformed or unsupported for the operation."""
+
+
+class GraphGenerationError(GraphError):
+    """A graph generator received parameters it cannot satisfy."""
+
+
+class ProtocolError(ReproError):
+    """A rumor-spreading protocol was configured or invoked incorrectly."""
+
+
+class SimulationError(ReproError):
+    """A simulation run failed (e.g. exceeded its step or round budget)."""
+
+
+class AnalysisError(ReproError):
+    """Statistical analysis received invalid or insufficient input."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was configured or invoked incorrectly."""
+
+
+class CouplingError(ReproError):
+    """A coupling construction was driven with inconsistent inputs."""

@@ -1,0 +1,143 @@
+"""Experiment E5 — gap constructions: how far apart can the two models be?
+
+The paper's results are sandwiched between two known separations:
+
+* the **star** shows that the asynchronous protocol can be slower by an
+  additive ``Θ(log n)`` term (tight for Theorem 1);
+* the **Acan et al. construction** shows that the synchronous protocol can be
+  slower by a polynomial factor (their example: ``Θ(n^{1/3})`` synchronous
+  rounds vs. ``O(log n)`` asynchronous time), which limits how much Theorem 2
+  could be improved.
+
+The experiment runs both directions:
+
+* on the string-of-stars gap graph (``async_gap`` family) it measures the
+  ratio ``E[T(pp)] / E[T(pp-a)]`` and fits its growth exponent in ``n`` —
+  the shape should be a clearly growing polynomial, while staying below the
+  ``sqrt(n)`` ceiling of Theorem 2;
+* on the star (``sync_gap`` family) it measures the opposite ratio
+  ``T_{1/n}(pp-a) / T_{1/n}(pp)`` and checks it grows like ``log n``
+  (and not faster), matching the tightness discussion of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.analysis.comparison import sweep_family
+from repro.analysis.scaling import fit_logarithmic, fit_power_law
+from repro.experiments.presets import get_preset
+from repro.experiments.records import ExperimentResult
+from repro.randomness.rng import SeedLike
+
+__all__ = ["run"]
+
+
+def run(
+    preset: str = "quick",
+    *,
+    seed: SeedLike = 20160729,
+    sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Run experiment E5 and return its result table."""
+    config = get_preset(preset)
+    size_sweep = tuple(sizes) if sizes is not None else config.large_sizes
+
+    rows: list[dict[str, object]] = []
+
+    # Direction 1: asynchronous wins (string of stars).
+    async_gap_sizes: list[int] = []
+    async_gap_ratios: list[float] = []
+    sweep = sweep_family(
+        "async_gap",
+        ["pp", "pp-a"],
+        sizes=size_sweep,
+        trials=config.trials,
+        seed=seed,
+        ratios=[("pp", "pp-a")],
+    )
+    for comparison in sweep.comparisons:
+        n = comparison.num_vertices
+        ratio = comparison.ratios["pp/pp-a"].value
+        async_gap_sizes.append(n)
+        async_gap_ratios.append(ratio)
+        rows.append(
+            {
+                "family": "async_gap (string of stars)",
+                "direction": "async wins",
+                "n": n,
+                "E[T(pp)]": comparison.measurement("pp").mean.value,
+                "E[T(pp-a)]": comparison.measurement("pp-a").mean.value,
+                "ratio (slow/fast)": ratio,
+                "ceiling": math.sqrt(n),
+            }
+        )
+
+    # Direction 2: synchrony wins (the star).
+    star_sizes: list[int] = []
+    star_ratios: list[float] = []
+    sweep = sweep_family(
+        "sync_gap",
+        ["pp", "pp-a"],
+        sizes=size_sweep,
+        trials=config.trials,
+        seed=seed,
+    )
+    for comparison in sweep.comparisons:
+        n = comparison.num_vertices
+        sync_hp = comparison.measurement("pp").high_probability
+        async_hp = comparison.measurement("pp-a").high_probability
+        ratio = async_hp / max(sync_hp, 1.0)
+        star_sizes.append(n)
+        star_ratios.append(ratio)
+        rows.append(
+            {
+                "family": "sync_gap (star)",
+                "direction": "sync wins",
+                "n": n,
+                "E[T(pp)]": comparison.measurement("pp").mean.value,
+                "E[T(pp-a)]": comparison.measurement("pp-a").mean.value,
+                "ratio (slow/fast)": ratio,
+                "ceiling": math.log(n),
+            }
+        )
+
+    conclusions: dict[str, object] = {}
+    if len(async_gap_ratios) >= 2:
+        gap_fit = fit_power_law(async_gap_sizes, async_gap_ratios)
+        conclusions["async_gap_ratio_exponent"] = gap_fit.parameters[1]
+        conclusions["async_gap_ratio_grows"] = gap_fit.parameters[1] > 0.05
+        conclusions["async_gap_below_sqrt_ceiling"] = all(
+            ratio <= 1.5 * math.sqrt(n) for n, ratio in zip(async_gap_sizes, async_gap_ratios)
+        )
+    if len(star_ratios) >= 2:
+        star_fit = fit_logarithmic(star_sizes, star_ratios)
+        conclusions["star_ratio_log_fit"] = star_fit.description
+        conclusions["star_ratio_log_fit_r2"] = star_fit.r_squared
+        conclusions["star_ratio_within_log_ceiling"] = all(
+            ratio <= 3.0 * math.log(n) for n, ratio in zip(star_sizes, star_ratios)
+        )
+
+    notes = [
+        f"preset={config.name}, trials={config.trials} per cell, sizes={list(size_sweep)}",
+        "async_gap: string of stars with chain ~ n^(1/3), bundle ~ n^(2/3) (Acan-et-al-style separation)",
+        "sync_gap: the star, the paper's tight example for the additive log n of Theorem 1",
+    ]
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Gap constructions: graphs where one model is far faster than the other",
+        claim="Async can win by a polynomial factor (but below sqrt(n)); sync can win by at most Theta(log n)",
+        columns=[
+            "family",
+            "direction",
+            "n",
+            "E[T(pp)]",
+            "E[T(pp-a)]",
+            "ratio (slow/fast)",
+            "ceiling",
+        ],
+        rows=rows,
+        conclusions=conclusions,
+        notes=notes,
+    )

@@ -1,0 +1,130 @@
+"""Experiment E2 — Theorem 2: synchrony can beat asynchrony by at most a ``sqrt(n)`` factor.
+
+Claim (Theorem 2 / Theorem 11): ``E[T(pp-a, G, u)] = Ω(E[T(pp, G, u)] / sqrt(n))``
+for every connected graph, i.e. the ratio of expected synchronous rounds to
+expected asynchronous time never exceeds ``O(sqrt(n))``.
+
+The experiment measures the ratio ``E[T(pp)] / E[T(pp-a)]`` on the standard
+suite *and* on the asynchronous-favouring gap construction (where the ratio
+is largest), normalises by ``sqrt(n)``, and reports
+
+    c₂(G) = (E[T(pp)] / E[T(pp-a)]) / sqrt(n).
+
+Theorem 2 predicts ``c₂`` bounded by a universal constant.  On the gap
+construction the experiment also fits the growth exponent of the raw ratio,
+which the Acan et al. example says can reach ``n^{1/3} / log n``-ish — well
+below the ``sqrt(n)`` ceiling, matching the paper's remark that the bound
+may be off by at most ``n^{1/6}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.analysis.bounds import theorem2_constant
+from repro.analysis.comparison import sweep_family
+from repro.analysis.scaling import fit_power_law
+from repro.experiments.presets import get_preset
+from repro.experiments.records import ExperimentResult
+from repro.randomness.rng import SeedLike
+
+__all__ = ["run", "DEFAULT_FAMILIES"]
+
+DEFAULT_FAMILIES: tuple[str, ...] = (
+    "star",
+    "cycle",
+    "complete",
+    "hypercube",
+    "barbell",
+    "erdos_renyi",
+    "random_regular_3",
+    "async_gap",
+)
+
+
+def run(
+    preset: str = "quick",
+    *,
+    seed: SeedLike = 20160726,
+    families: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Run experiment E2 and return its result table."""
+    config = get_preset(preset)
+    family_names = tuple(families) if families is not None else DEFAULT_FAMILIES
+    size_sweep = tuple(sizes) if sizes is not None else config.sizes
+
+    rows: list[dict[str, object]] = []
+    worst_constant = 0.0
+    worst_setting = ""
+    gap_sizes: list[int] = []
+    gap_ratios: list[float] = []
+
+    for family_name in family_names:
+        sweep = sweep_family(
+            family_name,
+            ["pp", "pp-a"],
+            sizes=size_sweep,
+            trials=config.trials,
+            seed=seed,
+            ratios=[("pp", "pp-a")],
+        )
+        for comparison in sweep.comparisons:
+            n = comparison.num_vertices
+            sync_mean = comparison.measurement("pp").mean.value
+            async_mean = comparison.measurement("pp-a").mean.value
+            ratio = comparison.ratios["pp/pp-a"].value
+            constant = theorem2_constant(async_mean, sync_mean, n)
+            if constant > worst_constant:
+                worst_constant = constant
+                worst_setting = f"{family_name}(n={n})"
+            if family_name == "async_gap":
+                gap_sizes.append(n)
+                gap_ratios.append(ratio)
+            rows.append(
+                {
+                    "family": family_name,
+                    "n": n,
+                    "E[T(pp)]": sync_mean,
+                    "E[T(pp-a)]": async_mean,
+                    "ratio sync/async": ratio,
+                    "sqrt(n)": math.sqrt(n),
+                    "c2 = ratio/sqrt(n)": constant,
+                }
+            )
+
+    conclusions: dict[str, object] = {
+        "max_constant_c2": worst_constant,
+        "max_constant_setting": worst_setting,
+        "theorem2_consistent": worst_constant < 2.0,
+    }
+    if len(gap_ratios) >= 2:
+        fit = fit_power_law(gap_sizes, gap_ratios)
+        conclusions["gap_graph_ratio_exponent"] = fit.parameters[1]
+        conclusions["gap_graph_ratio_fit"] = fit.description
+        conclusions["gap_exponent_below_half"] = fit.parameters[1] < 0.5 + 0.1
+
+    notes = [
+        f"preset={config.name}, trials={config.trials} per cell, sizes={list(size_sweep)}",
+        "Theorem 2 predicts c2 = (E[T(pp)]/E[T(pp-a)])/sqrt(n) bounded by a universal constant",
+        "The async_gap rows realise the Acan-et-al-style separation; the fitted exponent of their "
+        "ratio shows how close to the sqrt(n) ceiling a concrete construction gets",
+    ]
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Theorem 2: ratio of synchronous to asynchronous expected spreading time vs sqrt(n)",
+        claim="E[T(pp-a, G, u)] = Omega(E[T(pp, G, u)] / sqrt(n)) for every connected graph",
+        columns=[
+            "family",
+            "n",
+            "E[T(pp)]",
+            "E[T(pp-a)]",
+            "ratio sync/async",
+            "sqrt(n)",
+            "c2 = ratio/sqrt(n)",
+        ],
+        rows=rows,
+        conclusions=conclusions,
+        notes=notes,
+    )

@@ -1,0 +1,308 @@
+"""Core graph data structure used by every simulator in the library.
+
+The paper analyses rumor spreading on *connected, undirected, simple*
+graphs.  All protocol engines in :mod:`repro.core` operate on the
+:class:`Graph` type defined here rather than on :mod:`networkx` graphs for
+two reasons:
+
+* **Speed** — Monte Carlo experiments draw millions of "uniform random
+  neighbor of *v*" samples.  A flat tuple-of-tuples adjacency structure with
+  integer vertex ids makes that a single indexed lookup, with no hashing and
+  no attribute-dictionary overhead.
+* **Immutability** — a :class:`Graph` is frozen after construction, so a
+  single instance can safely be shared by thousands of simulation trials
+  (and across processes) without defensive copying.
+
+Vertices are always the integers ``0 .. n-1``.  Conversion helpers to and
+from :mod:`networkx` live in :mod:`repro.graphs.converters`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.errors import GraphError
+
+__all__ = ["Graph", "Edge", "normalize_edges"]
+
+#: An undirected edge, stored with ``u < v``.
+Edge = tuple[int, int]
+
+
+def normalize_edges(edges: Iterable[Sequence[int]]) -> list[Edge]:
+    """Return a sorted, de-duplicated list of undirected edges.
+
+    Each input edge may be any two-element sequence of vertex ids.  Self
+    loops are rejected (the protocols contact a *neighbor*, never the node
+    itself), duplicate edges — in either orientation — are collapsed.
+
+    Raises:
+        GraphError: if an edge does not have exactly two endpoints, has a
+            negative endpoint, or is a self loop.
+    """
+    seen: set[Edge] = set()
+    for edge in edges:
+        if len(edge) != 2:
+            raise GraphError(f"edge {edge!r} does not have exactly two endpoints")
+        u, v = int(edge[0]), int(edge[1])
+        if u < 0 or v < 0:
+            raise GraphError(f"edge ({u}, {v}) has a negative endpoint")
+        if u == v:
+            raise GraphError(f"self loop ({u}, {v}) is not allowed")
+        seen.add((u, v) if u < v else (v, u))
+    return sorted(seen)
+
+
+class Graph:
+    """An immutable, undirected, simple graph on vertices ``0 .. n-1``.
+
+    Args:
+        num_vertices: number of vertices ``n``; vertices are ``0 .. n-1``.
+        edges: iterable of 2-sequences of vertex ids.  Duplicates (in either
+            orientation) are collapsed; self loops raise :class:`GraphError`.
+        name: optional human-readable name (e.g. ``"star(128)"``) used in
+            experiment tables and ``repr``.
+
+    The most frequently used accessors are :meth:`neighbors` and
+    :meth:`degree`, both O(1); neighbor lists are exposed as tuples so they
+    can be handed directly to random samplers.
+    """
+
+    __slots__ = ("_n", "_adjacency", "_edges", "_degrees", "_name", "__weakref__")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Sequence[int]],
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_vertices < 1:
+            raise GraphError(f"a graph needs at least one vertex, got {num_vertices}")
+        edge_list = normalize_edges(edges)
+        adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+        for u, v in edge_list:
+            if u >= num_vertices or v >= num_vertices:
+                raise GraphError(
+                    f"edge ({u}, {v}) references a vertex outside 0..{num_vertices - 1}"
+                )
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        self._n = num_vertices
+        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adjacency
+        )
+        self._edges: tuple[Edge, ...] = tuple(edge_list)
+        self._degrees: tuple[int, ...] = tuple(len(nbrs) for nbrs in self._adjacency)
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self._edges)
+
+    @property
+    def name(self) -> str:
+        """Human readable name; synthesised from size if none was given."""
+        if self._name is not None:
+            return self._name
+        return f"graph(n={self._n}, m={self.num_edges})"
+
+    @property
+    def vertices(self) -> range:
+        """The vertex set as a ``range`` object (vertices are ``0..n-1``)."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """All undirected edges as ``(u, v)`` tuples with ``u < v``."""
+        return self._edges
+
+    @property
+    def adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """The full adjacency structure: ``adjacency[v]`` are v's neighbors."""
+        return self._adjacency
+
+    @property
+    def degrees(self) -> tuple[int, ...]:
+        """Degree sequence indexed by vertex id."""
+        return self._degrees
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Neighbors of vertex ``v`` (sorted tuple).
+
+        This is the set :math:`\\Gamma(v)` from the paper.
+        """
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree :math:`\\deg(v)` of vertex ``v``."""
+        return self._degrees[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the graph."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        # Neighbor tuples are small for most vertices; for the occasional
+        # hub, a linear scan is still cheap relative to simulation cost.
+        return v in self._adjacency[u]
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self.name!r}, n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Structural queries used throughout the library
+    # ------------------------------------------------------------------ #
+    def is_connected(self) -> bool:
+        """Whether the graph is connected.
+
+        All rumor-spreading theorems in the paper assume connectivity; the
+        protocol engines validate it via this method.
+        """
+        if self._n == 1:
+            return True
+        if self.num_edges < self._n - 1:
+            return False
+        seen = bytearray(self._n)
+        stack = [0]
+        seen[0] = 1
+        count = 1
+        adjacency = self._adjacency
+        while stack:
+            u = stack.pop()
+            for w in adjacency[u]:
+                if not seen[w]:
+                    seen[w] = 1
+                    count += 1
+                    stack.append(w)
+        return count == self._n
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted vertex lists (sorted by minimum)."""
+        seen = bytearray(self._n)
+        components: list[list[int]] = []
+        adjacency = self._adjacency
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = 1
+            component = [start]
+            while stack:
+                u = stack.pop()
+                for w in adjacency[u]:
+                    if not seen[w]:
+                        seen[w] = 1
+                        component.append(w)
+                        stack.append(w)
+            components.append(sorted(component))
+        return components
+
+    def is_regular(self) -> bool:
+        """Whether every vertex has the same degree."""
+        return len(set(self._degrees)) <= 1
+
+    def min_degree(self) -> int:
+        """Minimum degree over all vertices."""
+        return min(self._degrees)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices."""
+        return max(self._degrees)
+
+    def bfs_distances(self, source: int) -> list[int]:
+        """Breadth-first-search distances from ``source``.
+
+        Unreachable vertices get distance ``-1``.  Used for diameter and
+        eccentricity computations and by a few deterministic lower bounds
+        (the rumor needs at least ``dist(u, v)`` synchronous rounds to reach
+        ``v``).
+        """
+        if not (0 <= source < self._n):
+            raise GraphError(f"source {source} is not a vertex of {self.name}")
+        dist = [-1] * self._n
+        dist[source] = 0
+        frontier = [source]
+        adjacency = self._adjacency
+        level = 0
+        while frontier:
+            level += 1
+            next_frontier: list[int] = []
+            for u in frontier:
+                for w in adjacency[u]:
+                    if dist[w] < 0:
+                        dist[w] = level
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return dist
+
+    def eccentricity(self, source: int) -> int:
+        """Largest BFS distance from ``source``; raises if disconnected."""
+        distances = self.bfs_distances(source)
+        if min(distances) < 0:
+            raise GraphError(f"{self.name} is not connected; eccentricity undefined")
+        return max(distances)
+
+    def subgraph(self, keep: Iterable[int], *, name: Optional[str] = None) -> "Graph":
+        """Induced subgraph on the vertex set ``keep``.
+
+        Vertices are relabelled ``0..k-1`` in increasing order of their old
+        ids.  Mostly used by tests and by gap-graph constructions.
+        """
+        kept = sorted(set(int(v) for v in keep))
+        for v in kept:
+            if not (0 <= v < self._n):
+                raise GraphError(f"vertex {v} is not a vertex of {self.name}")
+        index = {old: new for new, old in enumerate(kept)}
+        edges = [
+            (index[u], index[v])
+            for u, v in self._edges
+            if u in index and v in index
+        ]
+        return Graph(len(kept), edges, name=name)
+
+    def relabeled(self, mapping: Sequence[int], *, name: Optional[str] = None) -> "Graph":
+        """Return a copy with vertex ``v`` renamed to ``mapping[v]``.
+
+        ``mapping`` must be a permutation of ``0..n-1``.
+        """
+        if sorted(mapping) != list(range(self._n)):
+            raise GraphError("mapping must be a permutation of 0..n-1")
+        edges = [(mapping[u], mapping[v]) for u, v in self._edges]
+        return Graph(self._n, edges, name=name or self._name)
+
+    def with_name(self, name: str) -> "Graph":
+        """Return the same graph carrying a different display name."""
+        clone = Graph.__new__(Graph)
+        clone._n = self._n
+        clone._adjacency = self._adjacency
+        clone._edges = self._edges
+        clone._degrees = self._degrees
+        clone._name = name
+        return clone

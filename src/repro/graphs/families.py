@@ -1,0 +1,325 @@
+"""Named graph *families* — size-parameterised generators for experiment sweeps.
+
+The theorems are asymptotic statements ("for any graph on *n* vertices ..."),
+so every experiment sweeps a family of graphs over increasing *n* and looks
+at how the measured spreading times scale.  A :class:`GraphFamily` packages
+
+* a display name,
+* a builder mapping a requested size (and a seed for random families) to a
+  concrete :class:`~repro.graphs.base.Graph`,
+* whether the family is random (and therefore needs fresh samples per trial
+  batch) and whether it is regular (relevant for Corollary 3),
+
+so the experiment harness can treat deterministic and random topologies
+uniformly.  The registry at the bottom lists the standard suites used by the
+benchmarks: ``THEOREM_SUITE`` (broad coverage for Theorems 1 and 2),
+``REGULAR_SUITE`` (Corollary 3), and ``SOCIAL_SUITE`` (the social-network
+motivation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import GraphGenerationError
+from repro.graphs import generators, random_graphs
+from repro.graphs.base import Graph
+from repro.graphs.gap_graphs import async_favoring_gap_graph, sync_favoring_gap_graph
+
+__all__ = [
+    "GraphFamily",
+    "FAMILIES",
+    "get_family",
+    "available_families",
+    "THEOREM_SUITE",
+    "REGULAR_SUITE",
+    "SOCIAL_SUITE",
+    "GAP_SUITE",
+]
+
+#: Builder signature: size and optional seed -> Graph.
+Builder = Callable[[int, Optional[int]], Graph]
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """A size-parameterised family of graphs.
+
+    Attributes:
+        name: registry key and display name (e.g. ``"hypercube"``).
+        builder: callable mapping ``(size, seed)`` to a graph with roughly
+            ``size`` vertices (families with structural constraints round to
+            the nearest realisable size).
+        is_random: whether repeated calls with different seeds produce
+            different graphs.
+        is_regular: whether every graph in the family is regular.
+        description: one-line description used in documentation and CLI
+            listings.
+        default_sizes: the size sweep used by the benchmark for this family.
+    """
+
+    name: str
+    builder: Builder
+    is_random: bool
+    is_regular: bool
+    description: str
+    default_sizes: tuple[int, ...] = field(default=(64, 128, 256))
+
+    def build(self, size: int, seed: Optional[int] = None) -> Graph:
+        """Build a family member with roughly ``size`` vertices."""
+        if size < 2:
+            raise GraphGenerationError(
+                f"family {self.name!r} needs size >= 2, got {size}"
+            )
+        return self.builder(size, seed)
+
+
+def _nearest_power_of_two_exponent(size: int) -> int:
+    return max(1, round(math.log2(max(size, 2))))
+
+
+def _hypercube_builder(size: int, seed: Optional[int]) -> Graph:
+    return generators.hypercube_graph(_nearest_power_of_two_exponent(size))
+
+
+def _torus_builder(size: int, seed: Optional[int]) -> Graph:
+    side = max(3, round(math.sqrt(size)))
+    return generators.torus_graph(side, side)
+
+
+def _grid_builder(size: int, seed: Optional[int]) -> Graph:
+    side = max(2, round(math.sqrt(size)))
+    return generators.grid_graph(side, side)
+
+
+def _binary_tree_builder(size: int, seed: Optional[int]) -> Graph:
+    depth = max(1, round(math.log2(max(size + 1, 2))) - 1)
+    return generators.binary_tree_graph(depth)
+
+
+def _random_regular_builder(degree: int) -> Builder:
+    def build(size: int, seed: Optional[int]) -> Graph:
+        n = size if (size * degree) % 2 == 0 else size + 1
+        n = max(n, degree + 2)
+        return random_graphs.random_regular_graph(n, degree, seed=seed)
+
+    return build
+
+
+def _erdos_renyi_builder(size: int, seed: Optional[int]) -> Graph:
+    return random_graphs.connected_erdos_renyi_graph(size, seed=seed)
+
+
+def _chung_lu_builder(size: int, seed: Optional[int]) -> Graph:
+    return random_graphs.power_law_chung_lu_graph(size, exponent=2.5, seed=seed)
+
+
+def _preferential_attachment_builder(size: int, seed: Optional[int]) -> Graph:
+    return random_graphs.preferential_attachment_graph(size, edges_per_vertex=2, seed=seed)
+
+
+def _barbell_builder(size: int, seed: Optional[int]) -> Graph:
+    return generators.barbell_graph(max(2, size // 2))
+
+
+def _double_star_builder(size: int, seed: Optional[int]) -> Graph:
+    return generators.double_star_graph(max(1, (size - 2) // 2))
+
+
+FAMILIES: dict[str, GraphFamily] = {
+    "star": GraphFamily(
+        name="star",
+        builder=lambda size, seed: generators.star_graph(size),
+        is_random=False,
+        is_regular=False,
+        description="n-vertex star: 2 sync push-pull rounds vs Θ(log n) async time",
+        default_sizes=(64, 128, 256, 512),
+    ),
+    "double_star": GraphFamily(
+        name="double_star",
+        builder=_double_star_builder,
+        is_random=False,
+        is_regular=False,
+        description="two adjacent hubs with private leaves; low-conductance irregular graph",
+        default_sizes=(66, 130, 258),
+    ),
+    "path": GraphFamily(
+        name="path",
+        builder=lambda size, seed: generators.path_graph(size),
+        is_random=False,
+        is_regular=False,
+        description="path graph: diameter-bound spreading, Θ(n) in both models",
+        default_sizes=(32, 64, 128),
+    ),
+    "cycle": GraphFamily(
+        name="cycle",
+        builder=lambda size, seed: generators.cycle_graph(size),
+        is_random=False,
+        is_regular=True,
+        description="cycle (2-regular): Θ(n) spreading, regular family for Corollary 3",
+        default_sizes=(32, 64, 128),
+    ),
+    "complete": GraphFamily(
+        name="complete",
+        builder=lambda size, seed: generators.complete_graph(size),
+        is_random=False,
+        is_regular=True,
+        description="complete graph: Θ(log n) in both models",
+        default_sizes=(64, 128, 256),
+    ),
+    "hypercube": GraphFamily(
+        name="hypercube",
+        builder=_hypercube_builder,
+        is_random=False,
+        is_regular=True,
+        description="d-dimensional hypercube: Richardson's model substrate, Θ(log n) spreading",
+        default_sizes=(64, 128, 256, 512),
+    ),
+    "torus": GraphFamily(
+        name="torus",
+        builder=_torus_builder,
+        is_random=False,
+        is_regular=True,
+        description="2-D torus (4-regular): Θ(sqrt(n)) spreading",
+        default_sizes=(64, 144, 256),
+    ),
+    "grid": GraphFamily(
+        name="grid",
+        builder=_grid_builder,
+        is_random=False,
+        is_regular=False,
+        description="2-D grid: Θ(sqrt(n)) spreading, non-regular boundary",
+        default_sizes=(64, 144, 256),
+    ),
+    "binary_tree": GraphFamily(
+        name="binary_tree",
+        builder=_binary_tree_builder,
+        is_random=False,
+        is_regular=False,
+        description="complete binary tree: Θ(log n) diameter, degree-3 internal vertices",
+        default_sizes=(63, 127, 255),
+    ),
+    "barbell": GraphFamily(
+        name="barbell",
+        builder=_barbell_builder,
+        is_random=False,
+        is_regular=False,
+        description="two cliques joined by an edge: polynomially slow in both models",
+        default_sizes=(32, 64, 128),
+    ),
+    "erdos_renyi": GraphFamily(
+        name="erdos_renyi",
+        builder=_erdos_renyi_builder,
+        is_random=True,
+        is_regular=False,
+        description="connected G(n, 2 ln n / n): Θ(log n) spreading in both models",
+        default_sizes=(64, 128, 256),
+    ),
+    "random_regular_3": GraphFamily(
+        name="random_regular_3",
+        builder=_random_regular_builder(3),
+        is_random=True,
+        is_regular=True,
+        description="random 3-regular graph: expander, Θ(log n) spreading",
+        default_sizes=(64, 128, 256),
+    ),
+    "random_regular_4": GraphFamily(
+        name="random_regular_4",
+        builder=_random_regular_builder(4),
+        is_random=True,
+        is_regular=True,
+        description="random 4-regular graph: expander, Θ(log n) spreading",
+        default_sizes=(64, 128, 256),
+    ),
+    "chung_lu_power_law": GraphFamily(
+        name="chung_lu_power_law",
+        builder=_chung_lu_builder,
+        is_random=True,
+        is_regular=False,
+        description="Chung-Lu power-law (β=2.5): social-network model, async favours large-fraction spread",
+        default_sizes=(128, 256, 512),
+    ),
+    "preferential_attachment": GraphFamily(
+        name="preferential_attachment",
+        builder=_preferential_attachment_builder,
+        is_random=True,
+        is_regular=False,
+        description="Barabási-Albert preferential attachment (m=2): social-network model",
+        default_sizes=(128, 256, 512),
+    ),
+    "async_gap": GraphFamily(
+        name="async_gap",
+        builder=lambda size, seed: async_favoring_gap_graph(size),
+        is_random=False,
+        is_regular=False,
+        description="string-of-stars gap graph: async polylog-ish vs sync polynomial",
+        default_sizes=(128, 256, 512),
+    ),
+    "sync_gap": GraphFamily(
+        name="sync_gap",
+        builder=lambda size, seed: sync_favoring_gap_graph(size),
+        is_random=False,
+        is_regular=False,
+        description="star as the sync-favoring gap graph: 2 rounds vs Θ(log n)",
+        default_sizes=(128, 256, 512),
+    ),
+}
+
+
+def get_family(name: str) -> GraphFamily:
+    """Look up a family by name; raises with the list of valid names."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise GraphGenerationError(
+            f"unknown graph family {name!r}; available: {sorted(FAMILIES)}"
+        ) from None
+
+
+def available_families() -> list[str]:
+    """Sorted list of registered family names."""
+    return sorted(FAMILIES)
+
+
+#: Broad suite exercising Theorems 1 and 2 across sparse/dense, regular/
+#: irregular, low/high conductance, deterministic/random topologies.
+THEOREM_SUITE: tuple[str, ...] = (
+    "star",
+    "double_star",
+    "path",
+    "cycle",
+    "complete",
+    "hypercube",
+    "torus",
+    "binary_tree",
+    "barbell",
+    "erdos_renyi",
+    "random_regular_3",
+    "chung_lu_power_law",
+    "preferential_attachment",
+    "async_gap",
+)
+
+#: Regular families for Corollary 3 (push vs push-pull equivalence).
+REGULAR_SUITE: tuple[str, ...] = (
+    "cycle",
+    "complete",
+    "hypercube",
+    "torus",
+    "random_regular_3",
+    "random_regular_4",
+)
+
+#: Social-network style families for the asynchronous-speedup motivation.
+SOCIAL_SUITE: tuple[str, ...] = (
+    "chung_lu_power_law",
+    "preferential_attachment",
+)
+
+#: Opposite-direction gap graphs.
+GAP_SUITE: tuple[str, ...] = (
+    "async_gap",
+    "sync_gap",
+)

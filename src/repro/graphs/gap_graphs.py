@@ -1,0 +1,166 @@
+"""Graphs designed to separate synchronous from asynchronous push–pull.
+
+The paper frames its two theorems around known "gap" examples:
+
+* the **star** (and its relatives), where the *synchronous* protocol is much
+  faster — 2 rounds versus :math:`\\Theta(\\log n)` asynchronous time — which
+  shows the additive :math:`\\log n` term of Theorem 1 is necessary;
+* constructions of Acan, Collevecchio, Mehrabian & Wormald (PODC 2015) where
+  the *asynchronous* protocol is much faster: there are graphs with
+  poly-logarithmic asynchronous time but polynomial synchronous time
+  (Acan et al. describe one where synchronous push–pull needs
+  :math:`\\Theta(n^{1/3})` rounds while asynchronous finishes in
+  :math:`O(\\log n)` time), which bounds how far Theorem 2 can be improved.
+
+This module provides executable versions of both directions.
+
+The asynchronous-favouring construction is a **string of stars**: a chain of
+``chain_length + 1`` hub vertices, consecutive hubs joined by ``bundle_size``
+vertex-disjoint two-edge paths (through degree-2 leaf vertices).  The crucial
+asymmetry between the models is the *cost of one hop along the chain*:
+
+* **Synchronous push–pull** needs at least one round per hop no matter how
+  large the bundle is — a round is the indivisible unit of progress.  In
+  fact each hop costs :math:`\\Theta(1)` rounds (in the first round about
+  half of the bundle's leaves pull the rumor from the informed hub; in the
+  next round the far hub is pushed to, or pulls, with constant probability),
+  so the synchronous time is :math:`\\Theta(\\text{chain length})`.
+* **Asynchronous push–pull** crosses a hop in expected time
+  :math:`\\Theta(1/\\sqrt{b})` where ``b = bundle_size``: after time ``t``
+  about ``b·t/2`` leaves have pulled the rumor (each leaf contacts the
+  informed hub at rate 1/2), and those leaves push to the far hub at total
+  rate about ``b·t/4``, so the hop completes when
+  :math:`\\int_0^t b s/4\\,ds = \\Theta(1)`, i.e. :math:`t = \\Theta(1/\\sqrt b)`.
+  The asynchronous time is therefore
+  :math:`\\Theta(\\ell/\\sqrt{b} + \\log n)` for chain length :math:`\\ell`.
+
+Choosing :math:`\\ell \\approx n^{1/3}` and :math:`b \\approx n^{2/3}` (so
+:math:`\\ell \\cdot b \\approx n`) gives synchronous time
+:math:`\\Theta(n^{1/3})` versus asynchronous time :math:`O(\\log n)` — the
+same polynomial-versus-logarithmic separation as the Acan et al. example,
+which is what experiment E5 measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GraphGenerationError
+from repro.graphs.base import Graph
+from repro.graphs.generators import star_graph
+
+__all__ = [
+    "string_of_stars_graph",
+    "async_favoring_gap_graph",
+    "sync_favoring_gap_graph",
+    "balanced_gap_suite",
+    "expected_sync_rounds_string_of_stars",
+    "expected_async_time_string_of_stars",
+]
+
+
+def string_of_stars_graph(chain_length: int, bundle_size: int) -> Graph:
+    """A chain of ``chain_length + 1`` hubs, consecutive hubs joined by ``bundle_size`` disjoint 2-paths.
+
+    Layout: hubs are vertices ``0 .. chain_length``; the ``bundle_size``
+    intermediate leaves between hub ``i`` and hub ``i+1`` occupy a contiguous
+    block after the hubs.  The total vertex count is
+    ``(chain_length + 1) + chain_length * bundle_size``.
+
+    See the module docstring for why synchronous push–pull needs
+    :math:`\\Theta(\\text{chain\\_length})` rounds on this graph while the
+    asynchronous protocol needs only
+    :math:`\\Theta(\\text{chain\\_length}/\\sqrt{\\text{bundle\\_size}} + \\log n)`
+    time.
+    """
+    if chain_length < 1:
+        raise GraphGenerationError(f"chain_length must be >= 1, got {chain_length}")
+    if bundle_size < 1:
+        raise GraphGenerationError(f"bundle_size must be >= 1, got {bundle_size}")
+    num_hubs = chain_length + 1
+    n = num_hubs + chain_length * bundle_size
+    edges: list[tuple[int, int]] = []
+    next_leaf = num_hubs
+    for link in range(chain_length):
+        left_hub = link
+        right_hub = link + 1
+        for _ in range(bundle_size):
+            leaf = next_leaf
+            next_leaf += 1
+            edges.append((left_hub, leaf))
+            edges.append((leaf, right_hub))
+    return Graph(
+        n,
+        edges,
+        name=f"string_of_stars(len={chain_length}, bundle={bundle_size})",
+    )
+
+
+def async_favoring_gap_graph(n: int) -> Graph:
+    """A ~``n``-vertex graph where asynchronous push–pull beats synchronous push–pull.
+
+    Uses the string of stars with chain length :math:`\\ell \\approx n^{1/3}`
+    and bundle size :math:`b \\approx n^{2/3}`, so the synchronous time grows
+    like :math:`n^{1/3}` while the asynchronous time stays
+    :math:`O(\\log n)` — the ratio grows polynomially with ``n``, as in the
+    Acan et al. separation that motivates Theorem 2.  The exact vertex count
+    is the nearest realisable value; the graph name records the parameters.
+    """
+    if n < 16:
+        raise GraphGenerationError(f"async-favoring gap graph needs n >= 16, got {n}")
+    chain_length = max(2, round(n ** (1.0 / 3.0)))
+    bundle_size = max(2, (n - (chain_length + 1)) // chain_length)
+    graph = string_of_stars_graph(chain_length, bundle_size)
+    return graph.with_name(
+        f"async_gap(n≈{graph.num_vertices}, chain={chain_length}, bundle={bundle_size})"
+    )
+
+
+def sync_favoring_gap_graph(n: int) -> Graph:
+    """A graph where *synchronous* push–pull beats asynchronous: the star.
+
+    The star is the paper's own extremal example for this direction (2
+    synchronous rounds versus :math:`\\Theta(\\log n)` asynchronous time), and
+    it is tight for the additive term of Theorem 1.  Exposed under this name
+    so the gap-graph experiment can iterate over both directions uniformly.
+    """
+    return star_graph(n).with_name(f"sync_gap_star(n={n})")
+
+
+def balanced_gap_suite(n: int) -> dict[str, Graph]:
+    """The pair of opposite-direction gap graphs at comparable sizes.
+
+    Returns a mapping with keys ``"async_favoring"`` and ``"sync_favoring"``;
+    used by experiment E5 and by the gap-graph example script.
+    """
+    if n < 16:
+        raise GraphGenerationError(f"gap suite needs n >= 16, got {n}")
+    return {
+        "async_favoring": async_favoring_gap_graph(n),
+        "sync_favoring": sync_favoring_gap_graph(n),
+    }
+
+
+def expected_sync_rounds_string_of_stars(chain_length: int, bundle_size: int) -> float:
+    """Back-of-envelope expectation for synchronous push–pull on the string of stars.
+
+    Each hub-to-hub hop costs :math:`\\Theta(1)` rounds (roughly two: one for
+    the bundle's leaves to pull from the informed hub, one for the far hub to
+    be pushed to), so the total is roughly ``2 * chain_length`` plus a couple
+    of rounds to finish off the remaining leaves.  Used only as a sanity
+    anchor in experiments and documentation — the Monte Carlo estimate is
+    authoritative.
+    """
+    return 2.0 * chain_length + 2.0
+
+
+def expected_async_time_string_of_stars(chain_length: int, bundle_size: int) -> float:
+    """Back-of-envelope expectation for asynchronous push–pull on the string of stars.
+
+    Each hop costs about :math:`\\sqrt{8/b}` time units (see the module
+    docstring), and once the hubs are informed the remaining leaves finish
+    after a coupon-collector-style :math:`\\Theta(\\log)` tail.
+    """
+    total_leaves = chain_length * bundle_size
+    per_hop = math.sqrt(8.0 / bundle_size)
+    return chain_length * per_hop + math.log(max(total_leaves, 2))

@@ -1,0 +1,249 @@
+"""Deterministic graph generators.
+
+These cover every fixed topology the paper refers to explicitly or
+implicitly:
+
+* the *n*-vertex **star** — the running example separating synchronous and
+  asynchronous push–pull (2 rounds vs. :math:`\\Theta(\\log n)` time), and
+  separating push from push–pull in the synchronous model
+  (:math:`\\Theta(n \\log n)` vs. 2 rounds);
+* the **hypercube** — where asynchronous push–pull coincides with
+  Richardson's model and both models agree within constant factors;
+* **complete graphs, paths, cycles, grids, tori, binary trees** — the
+  classical benchmark topologies of the rumor-spreading literature, used
+  here to populate the experiment suites for Theorems 1 and 2 and
+  Corollary 3 (cycles, tori and complete graphs are regular);
+* **barbell, lollipop, double-star** — low-conductance graphs that stress
+  the additive ``log n`` term and the ``sqrt(n)`` lower-bound factor.
+
+All generators return :class:`repro.graphs.base.Graph` instances with a
+descriptive :attr:`~repro.graphs.base.Graph.name`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphGenerationError
+from repro.graphs.base import Graph
+
+__all__ = [
+    "star_graph",
+    "double_star_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "binary_tree_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "clique_chain_graph",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphGenerationError(message)
+
+
+def star_graph(n: int) -> Graph:
+    """The star on ``n`` vertices: center ``0`` joined to leaves ``1..n-1``.
+
+    The paper's introductory example: synchronous push–pull informs the star
+    in at most two rounds, while the asynchronous variant needs
+    :math:`\\Theta(\\log n)` time, and synchronous push-only needs
+    :math:`\\Theta(n \\log n)` rounds.
+    """
+    _require(n >= 2, f"a star needs at least 2 vertices, got {n}")
+    edges = [(0, v) for v in range(1, n)]
+    return Graph(n, edges, name=f"star(n={n})")
+
+
+def double_star_graph(leaves_per_center: int) -> Graph:
+    """Two adjacent centers, each with ``leaves_per_center`` private leaves.
+
+    A classic low-conductance, highly irregular graph; push–pull still
+    finishes in O(1) synchronous rounds while asynchronous push–pull pays a
+    coupon-collector :math:`\\Theta(\\log n)` factor, making it a useful
+    stress case for the additive ``log n`` term of Theorem 1.
+    """
+    _require(leaves_per_center >= 1, "each center needs at least one leaf")
+    k = leaves_per_center
+    n = 2 + 2 * k
+    edges = [(0, 1)]
+    edges.extend((0, 2 + i) for i in range(k))
+    edges.extend((1, 2 + k + i) for i in range(k))
+    return Graph(n, edges, name=f"double_star(k={k})")
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph :math:`K_n`."""
+    _require(n >= 1, f"a complete graph needs at least 1 vertex, got {n}")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"complete(n={n})")
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """The complete bipartite graph :math:`K_{a,b}` (left part ``0..a-1``)."""
+    _require(a >= 1 and b >= 1, "both parts need at least one vertex")
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return Graph(a + b, edges, name=f"complete_bipartite(a={a}, b={b})")
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` vertices ``0 - 1 - ... - n-1``."""
+    _require(n >= 1, f"a path needs at least 1 vertex, got {n}")
+    edges = [(v, v + 1) for v in range(n - 1)]
+    return Graph(n, edges, name=f"path(n={n})")
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n`` vertices (2-regular for ``n >= 3``)."""
+    _require(n >= 3, f"a cycle needs at least 3 vertices, got {n}")
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    return Graph(n, edges, name=f"cycle(n={n})")
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid with 4-neighborhoods (no wrap-around)."""
+    _require(rows >= 1 and cols >= 1, "grid dimensions must be positive")
+    _require(rows * cols >= 2, "a grid graph needs at least 2 vertices")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges, name=f"grid({rows}x{cols})")
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (grid with wrap-around; 4-regular).
+
+    Requires both dimensions at least 3 so the graph stays simple (smaller
+    wrap-arounds would create parallel edges).
+    """
+    _require(rows >= 3 and cols >= 3, "torus dimensions must be at least 3")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((vid(r, c), vid(r, (c + 1) % cols)))
+            edges.append((vid(r, c), vid((r + 1) % rows, c)))
+    return Graph(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on ``2**dimension`` vertices.
+
+    Vertices are bit strings; two vertices are adjacent iff they differ in
+    exactly one bit.  On the hypercube, asynchronous push–pull corresponds to
+    Richardson's model for the spread of a disease (first-passage
+    percolation), one of the historical motivations cited in the paper.
+    """
+    _require(dimension >= 1, f"hypercube dimension must be >= 1, got {dimension}")
+    _require(dimension <= 24, "hypercube dimension above 24 is unreasonably large")
+    n = 1 << dimension
+    edges = []
+    for v in range(n):
+        for bit in range(dimension):
+            w = v ^ (1 << bit)
+            if v < w:
+                edges.append((v, w))
+    return Graph(n, edges, name=f"hypercube(d={dimension})")
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """The complete binary tree of the given ``depth``.
+
+    Depth 0 is a single root; depth ``d`` has ``2**(d+1) - 1`` vertices.
+    Vertex ``v`` has children ``2v + 1`` and ``2v + 2`` (heap layout).
+    """
+    _require(depth >= 0, f"depth must be non-negative, got {depth}")
+    _require(depth <= 22, "binary tree depth above 22 is unreasonably large")
+    n = (1 << (depth + 1)) - 1
+    edges = []
+    for v in range(n):
+        left, right = 2 * v + 1, 2 * v + 2
+        if left < n:
+            edges.append((v, left))
+        if right < n:
+            edges.append((v, right))
+    return Graph(n, edges, name=f"binary_tree(depth={depth})")
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Two cliques of size ``clique_size`` joined by a path of ``bridge_length`` extra vertices.
+
+    With ``bridge_length = 0`` the two cliques are joined by a single edge.
+    Barbells have conductance :math:`\\Theta(1/n^2)` and are the canonical
+    "slow for push–pull" instances; they exercise the regime where both the
+    synchronous and asynchronous protocols are polynomially slow, so the
+    *ratio* statements of Theorems 1 and 2 are tested away from the
+    logarithmic regime.
+    """
+    _require(clique_size >= 2, "each clique needs at least 2 vertices")
+    _require(bridge_length >= 0, "bridge length cannot be negative")
+    k = clique_size
+    n = 2 * k + bridge_length
+    edges = []
+    # Left clique: vertices 0..k-1.  Right clique: vertices k+bridge .. n-1.
+    for u in range(k):
+        for v in range(u + 1, k):
+            edges.append((u, v))
+    right_offset = k + bridge_length
+    for u in range(k):
+        for v in range(u + 1, k):
+            edges.append((right_offset + u, right_offset + v))
+    # Bridge path.
+    chain = [k - 1] + [k + i for i in range(bridge_length)] + [right_offset]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return Graph(n, edges, name=f"barbell(k={k}, bridge={bridge_length})")
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique of size ``clique_size`` with a path of ``path_length`` vertices attached."""
+    _require(clique_size >= 2, "the clique needs at least 2 vertices")
+    _require(path_length >= 1, "the path needs at least 1 vertex")
+    k = clique_size
+    n = k + path_length
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    chain = [k - 1] + [k + i for i in range(path_length)]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return Graph(n, edges, name=f"lollipop(k={k}, path={path_length})")
+
+
+def clique_chain_graph(num_cliques: int, clique_size: int) -> Graph:
+    """A chain of ``num_cliques`` cliques, consecutive cliques sharing one edge via a cut vertex pair.
+
+    Consecutive cliques are connected by a single edge between one designated
+    "port" vertex of each clique.  The construction gives a graph of diameter
+    :math:`\\Theta(\\text{num\\_cliques})` with locally dense neighborhoods; it
+    is the deterministic backbone used by the gap-graph constructions in
+    :mod:`repro.graphs.gap_graphs`.
+    """
+    _require(num_cliques >= 1, "need at least one clique")
+    _require(clique_size >= 2, "cliques need at least 2 vertices")
+    k = clique_size
+    n = num_cliques * k
+    edges = []
+    for block in range(num_cliques):
+        offset = block * k
+        for u in range(k):
+            for v in range(u + 1, k):
+                edges.append((offset + u, offset + v))
+        if block + 1 < num_cliques:
+            # Connect the "last" vertex of this clique to the "first" of the next.
+            edges.append((offset + k - 1, offset + k))
+    return Graph(n, edges, name=f"clique_chain(c={num_cliques}, k={k})")

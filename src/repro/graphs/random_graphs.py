@@ -1,0 +1,348 @@
+"""Random graph generators.
+
+The paper motivates the asynchronous model with information dissemination in
+social networks, and cites three random-graph families where the
+synchronous/asynchronous behaviour of push–pull is well understood:
+
+* **Erdős–Rényi graphs** :math:`G(n, p)` above the connectivity threshold —
+  both models finish in :math:`\\Theta(\\log n)` time;
+* **random regular graphs** — both models agree within constant factors
+  (Fountoulakis & Panagiotou; Panagiotou & Speidel), and they are the natural
+  testbed for Corollary 3;
+* **Chung–Lu power-law graphs** and **preferential-attachment graphs** —
+  models of social networks where the asynchronous protocol informs a large
+  fraction of the vertices significantly faster than the synchronous one
+  (Fountoulakis, Panagiotou & Sauerwald; Doerr, Fouz & Friedrich).
+
+All generators take an explicit seed (or :class:`numpy.random.Generator`) so
+experiment runs are reproducible, and retry/patch the construction so that the
+returned graph is always **connected** — the theorems only apply to connected
+graphs, and a disconnected sample would make the spreading time infinite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphGenerationError
+from repro.graphs.base import Graph
+from repro.randomness.rng import as_generator
+
+__all__ = [
+    "erdos_renyi_graph",
+    "connected_erdos_renyi_graph",
+    "random_regular_graph",
+    "chung_lu_graph",
+    "power_law_chung_lu_graph",
+    "preferential_attachment_graph",
+    "random_geometric_graph",
+    "connectivity_threshold_probability",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def connectivity_threshold_probability(n: int, factor: float = 2.0) -> float:
+    """Edge probability ``factor * ln(n) / n`` (clamped to [0, 1]).
+
+    ``G(n, p)`` is connected with high probability for ``p`` above
+    ``ln(n)/n``; experiments default to twice the threshold so that almost
+    every sample is connected to begin with.
+    """
+    if n < 2:
+        return 1.0
+    return min(1.0, factor * math.log(n) / n)
+
+
+def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """A single sample of the Erdős–Rényi graph :math:`G(n, p)`.
+
+    The sample is *not* forced to be connected; use
+    :func:`connected_erdos_renyi_graph` when connectivity is required.
+    """
+    if n < 1:
+        raise GraphGenerationError(f"G(n, p) needs n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphGenerationError(f"edge probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    if p > 0.0 and n > 1:
+        # Vectorised upper-triangular Bernoulli sampling, row by row to keep
+        # memory linear in n rather than quadratic when p is small.
+        for u in range(n - 1):
+            row = rng.random(n - u - 1)
+            hits = np.nonzero(row < p)[0]
+            edges.extend((u, u + 1 + int(offset)) for offset in hits)
+    return Graph(n, edges, name=f"erdos_renyi(n={n}, p={p:.4g})")
+
+
+def connected_erdos_renyi_graph(
+    n: int,
+    p: Optional[float] = None,
+    seed: SeedLike = None,
+    max_attempts: int = 50,
+) -> Graph:
+    """A connected :math:`G(n, p)` sample.
+
+    If ``p`` is omitted it defaults to twice the connectivity threshold.  The
+    generator redraws up to ``max_attempts`` times and, as a last resort,
+    patches connectivity by adding one edge between consecutive components
+    (this changes the distribution negligibly in the super-critical regime
+    used by the experiments, and is reported in the graph name).
+    """
+    if p is None:
+        p = connectivity_threshold_probability(n)
+    rng = as_generator(seed)
+    graph = erdos_renyi_graph(n, p, rng)
+    attempts = 1
+    while not graph.is_connected() and attempts < max_attempts:
+        graph = erdos_renyi_graph(n, p, rng)
+        attempts += 1
+    if graph.is_connected():
+        return graph.with_name(f"erdos_renyi_connected(n={n}, p={p:.4g})")
+    components = graph.connected_components()
+    extra = [
+        (components[i][0], components[i + 1][0]) for i in range(len(components) - 1)
+    ]
+    patched = Graph(
+        n,
+        list(graph.edges) + extra,
+        name=f"erdos_renyi_patched(n={n}, p={p:.4g})",
+    )
+    return patched
+
+
+def random_regular_graph(
+    n: int,
+    degree: int,
+    seed: SeedLike = None,
+    max_attempts: int = 400,
+) -> Graph:
+    """A uniform-ish random ``degree``-regular graph on ``n`` vertices.
+
+    Uses the configuration (pairing) model with rejection of self loops and
+    parallel edges, which for constant degree produces a simple graph with
+    probability bounded away from zero, and conditions the result on being
+    connected (again, an event of constant probability for ``degree >= 3``).
+    If the pairing model fails to produce a simple sample within
+    ``max_attempts`` (which becomes likely only for larger degrees), the
+    generator falls back to :func:`networkx.random_regular_graph`, whose
+    pairing-with-repair algorithm succeeds for any feasible ``(n, degree)``.
+
+    Raises:
+        GraphGenerationError: if ``n * degree`` is odd, ``degree >= n``, or no
+            connected sample was found.
+    """
+    if degree < 1:
+        raise GraphGenerationError(f"degree must be positive, got {degree}")
+    if degree >= n:
+        raise GraphGenerationError(f"degree {degree} must be smaller than n={n}")
+    if (n * degree) % 2 != 0:
+        raise GraphGenerationError(
+            f"n * degree must be even for a {degree}-regular graph on {n} vertices"
+        )
+    rng = as_generator(seed)
+    stubs_template = np.repeat(np.arange(n, dtype=np.int64), degree)
+
+    for _ in range(max_attempts):
+        stubs = rng.permutation(stubs_template)
+        pairs = stubs.reshape(-1, 2)
+        edge_set: set[tuple[int, int]] = set()
+        simple = True
+        for a, b in pairs:
+            u, v = int(a), int(b)
+            if u == v:
+                simple = False
+                break
+            key = (u, v) if u < v else (v, u)
+            if key in edge_set:
+                simple = False
+                break
+            edge_set.add(key)
+        if not simple:
+            continue
+        graph = Graph(n, sorted(edge_set), name=f"random_regular(n={n}, d={degree})")
+        if degree == 1 or graph.is_connected():
+            return graph
+
+    # Fallback: networkx's generator (pairing model with repair).  Retry a
+    # handful of times for connectivity, which fails only with tiny
+    # probability for degree >= 3.
+    import networkx as nx
+
+    for attempt in range(50):
+        nx_seed = int(rng.integers(2**31 - 1))
+        nx_graph = nx.random_regular_graph(degree, n, seed=nx_seed)
+        graph = Graph(
+            n, list(nx_graph.edges()), name=f"random_regular(n={n}, d={degree})"
+        )
+        if degree <= 2 or graph.is_connected():
+            return graph
+    raise GraphGenerationError(
+        f"failed to sample a connected {degree}-regular graph on {n} vertices"
+    )
+
+
+def chung_lu_graph(
+    weights: "np.ndarray | list[float]",
+    seed: SeedLike = None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """A Chung–Lu random graph with the given expected-degree weights.
+
+    Vertices ``u`` and ``v`` are joined independently with probability
+    ``min(1, w_u * w_v / sum(w))``.  With power-law weights this is the model
+    cited by the paper (via Fountoulakis, Panagiotou & Sauerwald) for
+    ultra-fast rumor spreading in social networks.
+
+    If ``ensure_connected`` is set, isolated components are attached to the
+    highest-weight vertex by a single edge each, which preserves the degree
+    profile up to lower-order terms and keeps the spreading time finite.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.size < 2:
+        raise GraphGenerationError("weights must be a 1-D array with at least 2 entries")
+    if np.any(w <= 0):
+        raise GraphGenerationError("all Chung-Lu weights must be positive")
+    n = int(w.size)
+    total = float(w.sum())
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    for u in range(n - 1):
+        probs = np.minimum(1.0, w[u] * w[u + 1 :] / total)
+        hits = np.nonzero(rng.random(n - u - 1) < probs)[0]
+        edges.extend((u, u + 1 + int(offset)) for offset in hits)
+    graph = Graph(n, edges, name=f"chung_lu(n={n})")
+    if ensure_connected and not graph.is_connected():
+        hub = int(np.argmax(w))
+        extra = []
+        for component in graph.connected_components():
+            if hub not in component:
+                extra.append((hub, component[0]))
+        graph = Graph(n, list(graph.edges) + extra, name=f"chung_lu_connected(n={n})")
+    return graph
+
+
+def power_law_chung_lu_graph(
+    n: int,
+    exponent: float = 2.5,
+    average_degree: float = 8.0,
+    seed: SeedLike = None,
+) -> Graph:
+    """A Chung–Lu graph with power-law expected degrees.
+
+    Weights follow ``w_i ∝ (i + i0)^(-1/(exponent - 1))`` — the standard
+    parameterisation giving a degree distribution with tail exponent
+    ``exponent`` — rescaled so the mean weight equals ``average_degree``.
+    Exponents in ``(2, 3)`` are the social-network regime where the cited
+    results show ultra-fast (sub-logarithmic) push–pull spreading.
+    """
+    if n < 3:
+        raise GraphGenerationError(f"power-law graph needs n >= 3, got {n}")
+    if exponent <= 2.0:
+        raise GraphGenerationError(
+            f"power-law exponent must exceed 2 for a finite mean degree, got {exponent}"
+        )
+    if average_degree <= 0:
+        raise GraphGenerationError("average degree must be positive")
+    rng = as_generator(seed)
+    ranks = np.arange(n, dtype=float)
+    # Offset i0 keeps the maximum weight at roughly n^{1/(exponent-1)}.
+    raw = (ranks + 1.0) ** (-1.0 / (exponent - 1.0))
+    weights = raw * (average_degree / raw.mean())
+    graph = chung_lu_graph(weights, seed=rng, ensure_connected=True)
+    return graph.with_name(
+        f"power_law_chung_lu(n={n}, beta={exponent:g}, avg_deg={average_degree:g})"
+    )
+
+
+def preferential_attachment_graph(
+    n: int,
+    edges_per_vertex: int = 2,
+    seed: SeedLike = None,
+) -> Graph:
+    """A Barabási–Albert preferential-attachment graph.
+
+    Starts from a clique on ``edges_per_vertex + 1`` vertices; every new
+    vertex attaches to ``edges_per_vertex`` *distinct* existing vertices
+    chosen with probability proportional to their current degree (sampled by
+    the standard repeated-endpoint trick).  This is the topology for which
+    Doerr, Fouz & Friedrich showed the asynchronous push–pull protocol is
+    faster than the synchronous one — the motivating observation of the
+    paper — so experiment E7 runs on these graphs.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise GraphGenerationError(f"edges_per_vertex must be >= 1, got {m}")
+    if n <= m:
+        raise GraphGenerationError(
+            f"preferential attachment needs n > edges_per_vertex (n={n}, m={m})"
+        )
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    # Endpoint multiset for degree-proportional sampling.
+    endpoints: list[int] = []
+    seed_size = m + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            edges.append((u, v))
+            endpoints.append(u)
+            endpoints.append(v)
+    for v in range(seed_size, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            # Mix of degree-proportional and uniform choice keeps the loop
+            # finite even in degenerate corner cases.
+            if endpoints and rng.random() < 0.99:
+                targets.add(int(endpoints[int(rng.integers(len(endpoints)))]))
+            else:
+                targets.add(int(rng.integers(v)))
+        for t in targets:
+            edges.append((t, v))
+            endpoints.append(t)
+            endpoints.append(v)
+    return Graph(n, edges, name=f"preferential_attachment(n={n}, m={m})")
+
+
+def random_geometric_graph(
+    n: int,
+    radius: Optional[float] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """A random geometric graph on the unit square, patched to be connected.
+
+    Vertices are uniform points in :math:`[0,1]^2`; two vertices are adjacent
+    when their Euclidean distance is at most ``radius``.  The default radius
+    is ``sqrt(3 * ln(n) / (pi * n))``, slightly above the connectivity
+    threshold.  Geometric graphs add a high-diameter, locally-dense family to
+    the experiment suite (wireless/ad-hoc flavoured workloads).
+    """
+    if n < 2:
+        raise GraphGenerationError(f"geometric graph needs n >= 2, got {n}")
+    rng = as_generator(seed)
+    if radius is None:
+        radius = math.sqrt(3.0 * math.log(max(n, 2)) / (math.pi * n))
+    points = rng.random((n, 2))
+    edges: list[tuple[int, int]] = []
+    r2 = radius * radius
+    for u in range(n - 1):
+        delta = points[u + 1 :] - points[u]
+        dist2 = np.einsum("ij,ij->i", delta, delta)
+        hits = np.nonzero(dist2 <= r2)[0]
+        edges.extend((u, u + 1 + int(offset)) for offset in hits)
+    graph = Graph(n, edges, name=f"random_geometric(n={n}, r={radius:.3g})")
+    if not graph.is_connected():
+        components = graph.connected_components()
+        extra = [
+            (components[i][0], components[i + 1][0])
+            for i in range(len(components) - 1)
+        ]
+        graph = Graph(
+            n,
+            list(graph.edges) + extra,
+            name=f"random_geometric_patched(n={n}, r={radius:.3g})",
+        )
+    return graph

@@ -1,0 +1,47 @@
+"""Randomness substrate: seed management, named distributions, dominance checks."""
+
+from repro.randomness.distributions import (
+    Erlang,
+    Exponential,
+    Geometric,
+    NegativeBinomial,
+    exponential_minimum_rate,
+    exponential_tail,
+    geometric_tail,
+)
+from repro.randomness.dominance import (
+    DominanceReport,
+    dominates_empirically,
+    dominates_with_confidence,
+    empirical_dominance_violation,
+    empirical_survival,
+    erlang_dominated_by_negbin_violations,
+)
+from repro.randomness.rng import (
+    SeedLike,
+    as_generator,
+    derive_generator,
+    spawn_generators,
+    spawn_seeds,
+)
+
+__all__ = [
+    "Erlang",
+    "Exponential",
+    "Geometric",
+    "NegativeBinomial",
+    "exponential_minimum_rate",
+    "exponential_tail",
+    "geometric_tail",
+    "DominanceReport",
+    "dominates_empirically",
+    "dominates_with_confidence",
+    "empirical_dominance_violation",
+    "empirical_survival",
+    "erlang_dominated_by_negbin_violations",
+    "SeedLike",
+    "as_generator",
+    "derive_generator",
+    "spawn_generators",
+    "spawn_seeds",
+]

@@ -1,0 +1,266 @@
+"""The named probability distributions used throughout the paper.
+
+Section 2 of the paper fixes notation for four distributions, all of which
+appear in the coupling arguments:
+
+* ``Exp(λ)`` — exponential with rate ``λ`` (Poisson clock inter-arrival
+  times, the pull-coupling variables ``Y_{v,w}``);
+* ``Geom(p)`` — geometric with success probability ``p`` on ``{1, 2, ...}``
+  (rounds until a synchronous event first happens);
+* ``NegBin(k, p)`` — sum of ``k`` i.i.d. geometrics (Lemma 15's domination
+  target);
+* ``Erl(k, λ)`` — Erlang, the sum of ``k`` i.i.d. exponentials (waiting time
+  for the ``k``-th clock tick).
+
+Each distribution is exposed as a small frozen class with ``sample``,
+``cdf``, ``mean`` and ``variance`` so tests and couplings can check the
+identities the proofs rely on (e.g. ``Erl(k, λ) ≼ NegBin(k, 1 − e^{-λ})``
+used at the end of Lemma 10, or the memorylessness of the exponential).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.randomness.rng import SeedLike, as_generator
+
+__all__ = [
+    "Exponential",
+    "Geometric",
+    "NegativeBinomial",
+    "Erlang",
+    "exponential_minimum_rate",
+    "geometric_tail",
+    "exponential_tail",
+]
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """The exponential distribution ``Exp(rate)``.
+
+    Density ``rate * exp(-rate * x)`` on ``x >= 0``.  The memoryless property
+    — ``P[X > s + t | X > s] = P[X > t]`` — is what makes the three views of
+    the asynchronous protocol equivalent and underpins Lemma 8.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0:
+            raise AnalysisError(f"exponential rate must be positive, got {self.rate}")
+
+    def sample(self, rng: SeedLike = None, size: int | None = None):
+        """Draw one sample (``size=None``) or an array of samples."""
+        generator = as_generator(rng)
+        return generator.exponential(scale=1.0 / self.rate, size=size)
+
+    def cdf(self, x: float) -> float:
+        """``P[X <= x]``."""
+        if x <= 0:
+            return 0.0
+        return 1.0 - math.exp(-self.rate * x)
+
+    def survival(self, x: float) -> float:
+        """``P[X > x]``."""
+        return 1.0 - self.cdf(x)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+
+@dataclass(frozen=True)
+class Geometric:
+    """The geometric distribution ``Geom(p)`` on ``{1, 2, 3, ...}``.
+
+    ``P[X = k] = (1 - p)^(k-1) * p``.  This is the law of the round in which
+    a per-round event of probability ``p`` first occurs in a synchronous
+    protocol.
+    """
+
+    success_probability: float
+
+    def __post_init__(self) -> None:
+        p = self.success_probability
+        if not 0 < p <= 1:
+            raise AnalysisError(f"geometric success probability must be in (0, 1], got {p}")
+
+    def sample(self, rng: SeedLike = None, size: int | None = None):
+        generator = as_generator(rng)
+        return generator.geometric(self.success_probability, size=size)
+
+    def cdf(self, k: float) -> float:
+        """``P[X <= k]`` (``k`` may be fractional; floor is applied)."""
+        kk = math.floor(k)
+        if kk < 1:
+            return 0.0
+        return 1.0 - (1.0 - self.success_probability) ** kk
+
+    def pmf(self, k: int) -> float:
+        if k < 1:
+            return 0.0
+        p = self.success_probability
+        return (1.0 - p) ** (k - 1) * p
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.success_probability
+
+    @property
+    def variance(self) -> float:
+        p = self.success_probability
+        return (1.0 - p) / (p * p)
+
+
+@dataclass(frozen=True)
+class NegativeBinomial:
+    """``NegBin(k, p)``: the sum of ``k`` i.i.d. ``Geom(p)`` variables.
+
+    This is the "number of rounds to collect ``k`` successes" law that
+    Lemma 15 uses as a domination target for sums of conditionally
+    geometric-dominated variables.
+    """
+
+    num_successes: int
+    success_probability: float
+
+    def __post_init__(self) -> None:
+        if self.num_successes < 1:
+            raise AnalysisError(
+                f"negative binomial needs at least one success, got {self.num_successes}"
+            )
+        p = self.success_probability
+        if not 0 < p <= 1:
+            raise AnalysisError(f"success probability must be in (0, 1], got {p}")
+
+    def sample(self, rng: SeedLike = None, size: int | None = None):
+        generator = as_generator(rng)
+        geometric_draws = generator.geometric(
+            self.success_probability,
+            size=(self.num_successes,) if size is None else (size, self.num_successes),
+        )
+        total = geometric_draws.sum(axis=-1)
+        if size is None:
+            return int(total)
+        return total
+
+    def cdf(self, k: float) -> float:
+        """``P[X <= k]`` via the regularised incomplete beta function.
+
+        Uses the identity ``P[NegBin(r, p) <= k] = I_p(r, k - r + 1)`` for the
+        "number of trials" parameterisation on ``{r, r+1, ...}``.
+        """
+        from scipy.stats import nbinom
+
+        kk = math.floor(k)
+        if kk < self.num_successes:
+            return 0.0
+        # scipy's nbinom counts failures before the r-th success.
+        return float(nbinom.cdf(kk - self.num_successes, self.num_successes, self.success_probability))
+
+    @property
+    def mean(self) -> float:
+        return self.num_successes / self.success_probability
+
+    @property
+    def variance(self) -> float:
+        p = self.success_probability
+        return self.num_successes * (1.0 - p) / (p * p)
+
+
+@dataclass(frozen=True)
+class Erlang:
+    """``Erl(k, rate)``: the sum of ``k`` i.i.d. ``Exp(rate)`` variables.
+
+    The waiting time until the ``k``-th tick of a Poisson clock of the given
+    rate; Lemma 10 uses ``Erl(x, 1)`` for the asynchronous time a node needs
+    to take its ``x``-th step, and the domination
+    ``Erl(k, λ) ≼ NegBin(k, 1 - e^{-λ})``.
+    """
+
+    shape: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.shape < 1:
+            raise AnalysisError(f"Erlang shape must be a positive integer, got {self.shape}")
+        if not self.rate > 0:
+            raise AnalysisError(f"Erlang rate must be positive, got {self.rate}")
+
+    def sample(self, rng: SeedLike = None, size: int | None = None):
+        generator = as_generator(rng)
+        draws = generator.exponential(
+            scale=1.0 / self.rate,
+            size=(self.shape,) if size is None else (size, self.shape),
+        )
+        total = draws.sum(axis=-1)
+        if size is None:
+            return float(total)
+        return total
+
+    def cdf(self, x: float) -> float:
+        """``P[X <= x]`` via the regularised lower incomplete gamma function."""
+        from scipy.special import gammainc
+
+        if x <= 0:
+            return 0.0
+        return float(gammainc(self.shape, self.rate * x))
+
+    @property
+    def mean(self) -> float:
+        return self.shape / self.rate
+
+    @property
+    def variance(self) -> float:
+        return self.shape / (self.rate * self.rate)
+
+    def dominating_negative_binomial(self) -> NegativeBinomial:
+        """The ``NegBin(k, 1 - e^{-rate})`` law that stochastically dominates this Erlang.
+
+        This is the domination used in the proof of Lemma 10 to convert a
+        continuous waiting time into a discrete round count.
+        """
+        return NegativeBinomial(self.shape, 1.0 - math.exp(-self.rate))
+
+
+def exponential_minimum_rate(rates: "list[float] | np.ndarray") -> float:
+    """Rate of the minimum of independent exponentials with the given rates.
+
+    ``min_i Exp(λ_i) ~ Exp(Σ λ_i)`` — the superposition property that makes
+    the per-node, per-edge, and global-clock views of the asynchronous
+    protocol equivalent, and that drives the ``rw* + Yv,w* − r* = O(1)``
+    estimate in the upper-bound analysis.
+    """
+    rates_array = np.asarray(rates, dtype=float)
+    if rates_array.size == 0:
+        raise AnalysisError("need at least one rate")
+    if np.any(rates_array <= 0):
+        raise AnalysisError("all rates must be positive")
+    return float(rates_array.sum())
+
+
+def geometric_tail(p: float, k: int) -> float:
+    """``P[Geom(p) > k] = (1 - p)^k`` for integer ``k >= 0``."""
+    if not 0 < p <= 1:
+        raise AnalysisError(f"success probability must be in (0, 1], got {p}")
+    if k < 0:
+        return 1.0
+    return (1.0 - p) ** k
+
+
+def exponential_tail(rate: float, t: float) -> float:
+    """``P[Exp(rate) > t] = exp(-rate * t)`` for ``t >= 0``."""
+    if rate <= 0:
+        raise AnalysisError(f"rate must be positive, got {rate}")
+    if t <= 0:
+        return 1.0
+    return math.exp(-rate * t)

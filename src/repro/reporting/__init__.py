@@ -1,0 +1,15 @@
+"""Reporting utilities: persisting and reloading experiment results."""
+
+from repro.reporting.results_io import (
+    load_result_json,
+    save_result_csv,
+    save_result_json,
+    save_results,
+)
+
+__all__ = [
+    "load_result_json",
+    "save_result_csv",
+    "save_result_json",
+    "save_results",
+]

@@ -1,0 +1,88 @@
+"""Persistence of experiment results: JSON and CSV.
+
+The benchmark harness and the CLI can write every
+:class:`~repro.experiments.records.ExperimentResult` to disk so that
+EXPERIMENTS.md numbers can be traced back to a concrete artefact.  JSON
+round-trips the whole record; CSV exports just the table rows (one file per
+experiment) for spreadsheet-style inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.records import ExperimentResult
+
+__all__ = [
+    "save_result_json",
+    "load_result_json",
+    "save_result_csv",
+    "save_results",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write one experiment result as JSON; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(result.to_json(), encoding="utf8")
+    return target
+
+
+def load_result_json(path: PathLike) -> ExperimentResult:
+    """Load an experiment result previously written by :func:`save_result_json`."""
+    source = Path(path)
+    if not source.exists():
+        raise ExperimentError(f"no such result file: {source}")
+    payload = json.loads(source.read_text(encoding="utf8"))
+    required = {"experiment_id", "title", "claim", "columns", "rows"}
+    missing = required - payload.keys()
+    if missing:
+        raise ExperimentError(f"result file {source} is missing fields: {sorted(missing)}")
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        claim=payload["claim"],
+        columns=list(payload["columns"]),
+        rows=[dict(row) for row in payload["rows"]],
+        conclusions=dict(payload.get("conclusions", {})),
+        notes=list(payload.get("notes", [])),
+    )
+
+
+def save_result_csv(result: ExperimentResult, path: PathLike) -> Path:
+    """Write the result's table rows as CSV; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="", encoding="utf8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=result.columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+    return target
+
+
+def save_results(
+    results: Iterable[ExperimentResult],
+    directory: PathLike,
+    *,
+    formats: tuple[str, ...] = ("json", "csv"),
+) -> list[Path]:
+    """Save a collection of results under ``directory``; returns written paths."""
+    written: list[Path] = []
+    base = Path(directory)
+    for result in results:
+        stem = result.experiment_id.lower()
+        if "json" in formats:
+            written.append(save_result_json(result, base / f"{stem}.json"))
+        if "csv" in formats:
+            written.append(save_result_csv(result, base / f"{stem}.csv"))
+        if not formats:
+            raise ExperimentError("at least one output format is required")
+    return written

@@ -1,0 +1,79 @@
+"""Unit tests for the closed-form theoretical bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+from repro.errors import AnalysisError
+
+
+class TestPaperBounds:
+    def test_theorem1_upper_bound(self):
+        assert bounds.theorem1_upper_bound(10.0, 100) == pytest.approx(10.0 + math.log(100))
+        assert bounds.theorem1_upper_bound(0.0, 100, constant=2.0) == pytest.approx(2 * math.log(100))
+        with pytest.raises(AnalysisError):
+            bounds.theorem1_upper_bound(-1.0, 100)
+        with pytest.raises(AnalysisError):
+            bounds.theorem1_upper_bound(1.0, 0)
+
+    def test_theorem2_lower_bound(self):
+        assert bounds.theorem2_lower_bound(100.0, 100) == pytest.approx(10.0)
+        with pytest.raises(AnalysisError):
+            bounds.theorem2_lower_bound(-1.0, 100)
+
+    def test_theorem1_constant(self):
+        value = bounds.theorem1_constant(12.0, 4.0, 64)
+        assert value == pytest.approx(12.0 / (4.0 + math.log(64)))
+        with pytest.raises(AnalysisError):
+            bounds.theorem1_constant(1.0, 1.0, 0)
+
+    def test_theorem2_constant(self):
+        value = bounds.theorem2_constant(2.0, 20.0, 100)
+        assert value == pytest.approx((20.0 / 2.0) / 10.0)
+        with pytest.raises(AnalysisError):
+            bounds.theorem2_constant(0.0, 10.0, 100)
+
+    def test_theorem1_improves_on_acan_for_slow_graphs(self):
+        """The additive log n beats the multiplicative log n once T_sync >> log n."""
+        n = 1024
+        slow_sync_time = 200.0
+        assert bounds.theorem1_upper_bound(slow_sync_time, n) < bounds.acan_multiplicative_upper_bound(
+            slow_sync_time, n
+        )
+
+    def test_theorem2_improves_on_acan_factor(self):
+        n = 10**6
+        assert math.sqrt(n) < bounds.acan_lower_bound_factor(n)
+
+
+class TestClassicalFacts:
+    def test_harmonic_number(self):
+        assert bounds.harmonic_number(0) == 0.0
+        assert bounds.harmonic_number(1) == 1.0
+        assert bounds.harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        assert bounds.harmonic_number(1000) == pytest.approx(math.log(1000) + 0.5772, abs=0.01)
+        with pytest.raises(AnalysisError):
+            bounds.harmonic_number(-1)
+
+    def test_star_facts(self):
+        assert bounds.star_sync_pushpull_rounds() == 2
+        assert bounds.star_async_pushpull_time(100) == pytest.approx(math.log(100) + 0.5772, abs=1e-3)
+        push_rounds = bounds.star_sync_push_rounds(100)
+        assert push_rounds == pytest.approx(99 * bounds.harmonic_number(99))
+
+    def test_star_push_gap_grows_linearly(self):
+        """The push/push-pull gap on the star grows like ~ n log n / 2."""
+        ratio_small = bounds.star_sync_push_rounds(100) / bounds.star_sync_pushpull_rounds()
+        ratio_large = bounds.star_sync_push_rounds(1000) / bounds.star_sync_pushpull_rounds()
+        assert ratio_large > 9 * ratio_small
+
+    def test_complete_and_hypercube_reference_curves(self):
+        assert bounds.complete_graph_time(27) == pytest.approx(3.0)
+        assert bounds.hypercube_time(1024) == pytest.approx(10.0)
+        with pytest.raises(AnalysisError):
+            bounds.complete_graph_time(0)
+        with pytest.raises(AnalysisError):
+            bounds.hypercube_time(-5)

@@ -1,0 +1,107 @@
+"""Unit tests for protocol comparisons and family sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_protocols_on_graph,
+    measure_protocol,
+    sweep_family,
+)
+from repro.errors import AnalysisError
+from repro.graphs import complete_graph, star_graph
+
+
+class TestMeasureProtocol:
+    def test_fields(self):
+        measurement = measure_protocol(star_graph(16), 1, "pp", trials=12, seed=1)
+        assert measurement.protocol == "pp"
+        assert measurement.num_vertices == 16
+        assert measurement.sample.num_trials == 12
+        assert measurement.mean.value <= 2.0
+        assert measurement.high_probability <= 2.0
+
+    def test_reproducible(self):
+        a = measure_protocol(complete_graph(12), 0, "pp-a", trials=10, seed=3)
+        b = measure_protocol(complete_graph(12), 0, "pp-a", trials=10, seed=3)
+        assert a.mean.value == b.mean.value
+
+
+class TestCompareProtocolsOnGraph:
+    def test_measurements_and_ratios(self):
+        comparison = compare_protocols_on_graph(
+            star_graph(24),
+            1,
+            ["pp", "pp-a"],
+            trials=15,
+            seed=5,
+            ratios=[("pp-a", "pp")],
+        )
+        assert set(comparison.measurements) == {"pp", "pp-a"}
+        ratio = comparison.ratios["pp-a/pp"]
+        # On the star the asynchronous protocol is slower, so the ratio > 1.
+        assert ratio.value > 1.0
+        assert ratio.lower <= ratio.value <= ratio.upper
+
+    def test_measurement_lookup_errors(self):
+        comparison = compare_protocols_on_graph(star_graph(12), 1, ["pp"], trials=5, seed=7)
+        with pytest.raises(AnalysisError):
+            comparison.measurement("push")
+
+    def test_ratio_requires_measured_protocols(self):
+        with pytest.raises(AnalysisError):
+            compare_protocols_on_graph(
+                star_graph(12), 1, ["pp"], trials=5, seed=7, ratios=[("pp", "push")]
+            )
+
+    def test_requires_at_least_one_protocol(self):
+        with pytest.raises(AnalysisError):
+            compare_protocols_on_graph(star_graph(12), 1, [], trials=5)
+
+
+class TestSweepFamily:
+    def test_deterministic_family_sweep(self):
+        sweep = sweep_family("star", ["pp", "pp-a"], sizes=[16, 32], trials=10, seed=9)
+        assert sweep.family_name == "star"
+        assert sweep.sizes == (16, 32)
+        assert len(sweep.comparisons) == 2
+        pp_series = sweep.series("pp")
+        assert all(value <= 2.0 for value in pp_series)
+        hp_series = sweep.series("pp-a", quantity="hp")
+        assert hp_series[1] > hp_series[0]  # async time grows with n on the star
+
+    def test_family_object_accepted(self):
+        from repro.graphs.families import get_family
+
+        sweep = sweep_family(get_family("complete"), ["pp"], sizes=[12], trials=8, seed=11)
+        assert sweep.comparisons[0].num_vertices == 12
+
+    def test_ratio_series(self):
+        sweep = sweep_family(
+            "complete",
+            ["pp", "pp-a"],
+            sizes=[16, 32],
+            trials=10,
+            seed=13,
+            ratios=[("pp", "pp-a")],
+        )
+        ratios = sweep.ratio_series("pp/pp-a")
+        assert len(ratios) == 2
+        assert all(ratio > 0 for ratio in ratios)
+        with pytest.raises(AnalysisError):
+            sweep.ratio_series("push/pp")
+
+    def test_unknown_series_quantity(self):
+        sweep = sweep_family("star", ["pp"], sizes=[16], trials=5, seed=15)
+        with pytest.raises(AnalysisError):
+            sweep.series("pp", quantity="median")
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_family("star", ["pp"], sizes=[], trials=5)
+
+    def test_random_family_builds_fresh_graph_per_size(self):
+        sweep = sweep_family("erdos_renyi", ["pp"], sizes=[24, 48], trials=6, seed=17)
+        assert sweep.comparisons[0].num_vertices == 24
+        assert sweep.comparisons[1].num_vertices == 48

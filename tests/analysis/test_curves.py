@@ -1,0 +1,113 @@
+"""Unit tests for coverage curves and their helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.curves import (
+    ascii_sparkline,
+    compare_coverage_curves,
+    coverage_curve,
+)
+from repro.analysis.montecarlo import collect_results
+from repro.errors import AnalysisError
+from repro.graphs import complete_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def complete_graph_runs():
+    graph = complete_graph(24)
+    return collect_results(graph, 0, "pp-a", trials=12, seed=3)
+
+
+class TestCoverageCurve:
+    def test_basic_shape(self, complete_graph_runs):
+        curve = coverage_curve(complete_graph_runs, grid_points=100)
+        assert curve.num_runs == 12
+        assert len(curve.times) == 100
+        assert curve.times[0] == 0.0
+        # Coverage starts at 1/n (only the source) and ends at 1.
+        assert curve.mean_fraction[0] == pytest.approx(1 / 24)
+        assert curve.mean_fraction[-1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self, complete_graph_runs):
+        curve = coverage_curve(complete_graph_runs)
+        assert all(a <= b + 1e-12 for a, b in zip(curve.mean_fraction, curve.mean_fraction[1:]))
+        assert all(
+            lower <= mean <= upper + 1e-12
+            for lower, mean, upper in zip(
+                curve.lower_fraction, curve.mean_fraction, curve.upper_fraction
+            )
+        )
+
+    def test_fraction_at_and_time_to_fraction(self, complete_graph_runs):
+        curve = coverage_curve(complete_graph_runs)
+        assert curve.fraction_at(-1.0) == 0.0
+        assert curve.fraction_at(curve.times[-1] + 10) == pytest.approx(1.0)
+        t_half = curve.time_to_fraction(0.5)
+        t_full = curve.time_to_fraction(1.0)
+        assert 0 < t_half <= t_full < math.inf
+        with pytest.raises(AnalysisError):
+            curve.time_to_fraction(0.0)
+
+    def test_validation(self, complete_graph_runs):
+        with pytest.raises(AnalysisError):
+            coverage_curve([])
+        with pytest.raises(AnalysisError):
+            coverage_curve(complete_graph_runs, grid_points=1)
+
+    def test_mixed_protocols_rejected(self):
+        graph = star_graph(12)
+        sync_runs = collect_results(graph, 1, "pp", trials=2, seed=1)
+        async_runs = collect_results(graph, 1, "pp-a", trials=2, seed=2)
+        with pytest.raises(AnalysisError):
+            coverage_curve(sync_runs + async_runs)
+
+    def test_incomplete_runs_plateau_below_one(self):
+        graph = star_graph(32)
+        runs = collect_results(
+            graph,
+            1,
+            "pp-a",
+            trials=4,
+            seed=5,
+            engine_options={"max_steps": 30, "on_budget_exhausted": "partial"},
+        )
+        curve = coverage_curve(runs)
+        assert curve.mean_fraction[-1] < 1.0
+
+
+class TestCompareCurves:
+    def test_table_rows(self):
+        graph = complete_graph(20)
+        sync_curve = coverage_curve(collect_results(graph, 0, "pp", trials=8, seed=7))
+        async_curve = coverage_curve(collect_results(graph, 0, "pp-a", trials=8, seed=8))
+        rows = compare_coverage_curves([sync_curve, async_curve], fractions=(0.5, 1.0))
+        assert len(rows) == 2
+        assert {row["protocol"] for row in rows} == {"pp", "pp-a"}
+        for row in rows:
+            assert row["t@50%"] <= row["t@100%"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_coverage_curves([])
+
+
+class TestSparkline:
+    def test_length_and_characters(self):
+        line = ascii_sparkline([0.0, 0.25, 0.5, 0.75, 1.0], width=20)
+        assert len(line) == 20
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_clipping(self):
+        line = ascii_sparkline([-5.0, 2.0], width=2)
+        assert line == "▁█"
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_sparkline([], width=5)
+        with pytest.raises(AnalysisError):
+            ascii_sparkline([0.5], width=0)

@@ -1,0 +1,123 @@
+"""Unit tests for quantile / high-probability-time estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import SpreadingTimeSample
+from repro.analysis.quantiles import (
+    empirical_quantile,
+    high_probability_time,
+    quantile_confidence_interval,
+    tail_fitted_quantile,
+)
+from repro.errors import AnalysisError
+
+
+class TestEmpiricalQuantile:
+    def test_known_values(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert empirical_quantile(values, 0.5) == 3.0
+        assert empirical_quantile(values, 0.2) == 1.0
+        assert empirical_quantile(values, 0.95) == 5.0
+
+    def test_unsorted_input(self):
+        assert empirical_quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            empirical_quantile([], 0.5)
+        with pytest.raises(AnalysisError):
+            empirical_quantile([1.0], 0.0)
+        with pytest.raises(AnalysisError):
+            empirical_quantile([1.0, float("inf")], 0.5)
+
+    def test_matches_true_quantile_on_large_sample(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(1.0, 20000)
+        estimate = empirical_quantile(values, 0.9)
+        assert estimate == pytest.approx(-np.log(0.1), rel=0.05)
+
+
+class TestTailFittedQuantile:
+    def test_within_sample_levels_fall_back_to_empirical(self):
+        values = list(np.linspace(1, 100, 100))
+        assert tail_fitted_quantile(values, 0.5) == empirical_quantile(values, 0.5)
+
+    def test_extrapolates_beyond_sample_maximum(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(1.0, 200)
+        extreme = tail_fitted_quantile(values, 1 - 1e-4)
+        assert extreme >= max(values)
+        # The true 1-1e-4 quantile of Exp(1) is ~9.2; the fit should be in the
+        # right ballpark (exponential tails extrapolate well).
+        assert 5.0 <= extreme <= 20.0
+
+    def test_degenerate_sample(self):
+        values = [3.0] * 50
+        assert tail_fitted_quantile(values, 0.999) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            tail_fitted_quantile([1.0, 2.0], 0.9, tail_fraction=0.0)
+        with pytest.raises(AnalysisError):
+            tail_fitted_quantile([1.0, 2.0], 1.5)
+
+
+class TestHighProbabilityTime:
+    def test_from_sample_object(self):
+        sample = SpreadingTimeSample("pp", "g", 64, 0, tuple(float(x) for x in range(1, 201)))
+        estimate = high_probability_time(sample)
+        assert estimate.level == pytest.approx(1 - 1 / 64)
+        assert estimate.method == "empirical"
+        assert estimate.num_samples == 200
+        assert estimate.value >= 196
+
+    def test_from_raw_values_requires_n(self):
+        with pytest.raises(AnalysisError):
+            high_probability_time([1.0, 2.0, 3.0])
+        estimate = high_probability_time([1.0, 2.0, 3.0], num_vertices=100)
+        assert estimate.method == "tail_fit"
+
+    def test_method_override(self):
+        values = list(np.linspace(0, 10, 50))
+        forced = high_probability_time(values, num_vertices=1000, method="empirical")
+        assert forced.method == "empirical"
+        with pytest.raises(AnalysisError):
+            high_probability_time(values, num_vertices=1000, method="magic")
+
+    def test_small_n_validation(self):
+        with pytest.raises(AnalysisError):
+            high_probability_time([1.0, 2.0], num_vertices=1)
+
+    def test_hp_time_is_monotone_in_level(self):
+        """T_{1/n} grows with n: a higher-probability guarantee needs more time."""
+        rng = np.random.default_rng(3)
+        values = list(rng.exponential(1.0, 5000))
+        small_n = high_probability_time(values, num_vertices=16).value
+        large_n = high_probability_time(values, num_vertices=4096).value
+        assert large_n >= small_n
+
+
+class TestQuantileConfidenceInterval:
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(10.0, 2.0, 500)
+        lower, upper = quantile_confidence_interval(values, 0.9)
+        point = empirical_quantile(values, 0.9)
+        assert lower <= point <= upper
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(5)
+        small = rng.exponential(1.0, 100)
+        large = rng.exponential(1.0, 10000)
+        small_width = np.subtract(*quantile_confidence_interval(small, 0.8)[::-1])
+        large_width = np.subtract(*quantile_confidence_interval(large, 0.8)[::-1])
+        assert large_width < small_width
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            quantile_confidence_interval([1.0, 2.0], 1.2)
+        with pytest.raises(AnalysisError):
+            quantile_confidence_interval([1.0, 2.0], 0.5, confidence=0.0)

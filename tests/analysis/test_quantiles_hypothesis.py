@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for quantile estimation and statistics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.quantiles import empirical_quantile, tail_fitted_quantile
+from repro.analysis.statistics import normal_mean_interval
+
+finite_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+levels = st.floats(min_value=0.01, max_value=0.99)
+
+
+class TestQuantileProperties:
+    @given(finite_samples, levels)
+    @settings(max_examples=80, deadline=None)
+    def test_quantile_lies_within_sample_range(self, values, level):
+        estimate = empirical_quantile(values, level)
+        assert min(values) <= estimate <= max(values)
+        assert estimate in values
+
+    @given(finite_samples, levels, levels)
+    @settings(max_examples=80, deadline=None)
+    def test_quantile_monotone_in_level(self, values, level_a, level_b):
+        low, high = sorted((level_a, level_b))
+        assert empirical_quantile(values, low) <= empirical_quantile(values, high)
+
+    @given(finite_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_extreme_level_returns_maximum(self, values):
+        level = 1.0 - 1.0 / (10 * len(values) + 10)
+        assert empirical_quantile(values, level) == max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=3, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_tail_fit_never_below_empirical_estimate_beyond_sample(self, values):
+        # For a level finer than the sample resolution the tail fit must not
+        # fall below the sample maximum (it extrapolates upward).
+        level = 1.0 - 1.0 / (100 * len(values))
+        assert tail_fitted_quantile(values, level) >= max(values)
+
+    @given(finite_samples, st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_are_translation_equivariant(self, values, shift):
+        level = 0.7
+        shifted = [value + shift for value in values]
+        base = empirical_quantile(values, level)
+        assert empirical_quantile(shifted, level) == base + shift
+
+
+class TestMeanIntervalProperties:
+    @given(finite_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_interval_brackets_the_mean(self, values):
+        estimate = normal_mean_interval(values)
+        assert estimate.lower <= estimate.value <= estimate.upper
+
+    @given(finite_samples, st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_scales_with_the_data(self, values, factor):
+        base = normal_mean_interval(values)
+        scaled = normal_mean_interval([value * factor for value in values])
+        assert scaled.value == pytest_approx(base.value * factor)
+        assert scaled.half_width() == pytest_approx(base.half_width() * factor)
+
+
+def pytest_approx(value: float, rel: float = 1e-9, abs_tol: float = 1e-6):
+    """Local approx helper (keeps hypothesis-reported values readable)."""
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=abs_tol)

@@ -1,0 +1,112 @@
+"""Unit tests for scaling-law fits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    best_fit,
+    fit_linear,
+    fit_logarithmic,
+    fit_power_law,
+    fit_sqrt,
+    growth_exponent,
+)
+from repro.errors import AnalysisError
+
+SIZES = [32, 64, 128, 256, 512, 1024]
+
+
+class TestIndividualFits:
+    def test_logarithmic_recovers_parameters(self):
+        values = [2.0 + 3.0 * math.log(n) for n in SIZES]
+        fit = fit_logarithmic(SIZES, values)
+        assert fit.parameters[0] == pytest.approx(2.0, abs=1e-6)
+        assert fit.parameters[1] == pytest.approx(3.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100) == pytest.approx(2.0 + 3.0 * math.log(100))
+
+    def test_sqrt_recovers_parameters(self):
+        values = [1.0 + 0.5 * math.sqrt(n) for n in SIZES]
+        fit = fit_sqrt(SIZES, values)
+        assert fit.parameters == (pytest.approx(1.0), pytest.approx(0.5))
+        assert fit.model == "sqrt"
+
+    def test_linear_recovers_parameters(self):
+        values = [5.0 + 2.0 * n for n in SIZES]
+        fit = fit_linear(SIZES, values)
+        assert fit.parameters == (pytest.approx(5.0), pytest.approx(2.0))
+
+    def test_power_law_recovers_exponent(self):
+        values = [0.7 * n**1.5 for n in SIZES]
+        fit = fit_power_law(SIZES, values)
+        assert fit.parameters[0] == pytest.approx(0.7, rel=1e-6)
+        assert fit.parameters[1] == pytest.approx(1.5, abs=1e-9)
+        assert "n^1.5" in fit.description
+
+    def test_growth_exponent_shortcut(self):
+        values = [2.0 * n**0.5 for n in SIZES]
+        assert growth_exponent(SIZES, values) == pytest.approx(0.5, abs=1e-9)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(1)
+        values = [10 * math.log(n) + rng.normal(0, 0.5) for n in SIZES]
+        fit = fit_logarithmic(SIZES, values)
+        assert fit.parameters[1] == pytest.approx(10.0, rel=0.1)
+        assert fit.r_squared > 0.95
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            fit_linear([1, 2, 3], [1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            fit_logarithmic([10], [1.0])
+
+    def test_nonpositive_sizes(self):
+        with pytest.raises(AnalysisError):
+            fit_sqrt([0, 10], [1.0, 2.0])
+
+    def test_power_law_needs_positive_values(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law([1, 2], [1.0, -1.0])
+
+    def test_nonfinite_values(self):
+        with pytest.raises(AnalysisError):
+            fit_linear([1, 2], [1.0, float("inf")])
+
+    def test_predict_unknown_model(self):
+        from repro.analysis.scaling import FitResult
+
+        bogus = FitResult(model="cubic", parameters=(1.0, 1.0), r_squared=1.0, description="?")
+        with pytest.raises(AnalysisError):
+            bogus.predict(10)
+
+
+class TestBestFit:
+    def test_identifies_logarithmic_growth(self):
+        values = [3.0 * math.log(n) + 1.0 for n in SIZES]
+        assert best_fit(SIZES, values).model == "logarithmic"
+
+    def test_identifies_linear_growth(self):
+        values = [2.0 * n + 1.0 for n in SIZES]
+        best = best_fit(SIZES, values)
+        assert best.model in ("linear", "power_law")
+        assert best.predict(2048) == pytest.approx(2.0 * 2048 + 1.0, rel=0.1)
+
+    def test_identifies_sqrt_growth(self):
+        values = [4.0 * math.sqrt(n) for n in SIZES]
+        best = best_fit(SIZES, values)
+        assert best.model in ("sqrt", "power_law")
+        if best.model == "power_law":
+            assert best.parameters[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_handles_non_positive_values(self):
+        values = [-1.0 + 0.001 * n for n in SIZES]
+        best = best_fit(SIZES, values)
+        assert best.model in ("linear", "sqrt", "logarithmic")

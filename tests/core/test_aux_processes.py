@@ -1,0 +1,115 @@
+"""Unit tests for the auxiliary processes ppx and ppy (Definitions 5 and 7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aux_processes import pull_probability, run_auxiliary_process, run_ppx, run_ppy
+from repro.core.result import check_result_consistency
+from repro.core.sync_engine import run_synchronous
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import complete_graph, cycle_graph, star_graph
+from repro.graphs.base import Graph
+from repro.randomness.dominance import dominates_empirically
+
+
+class TestPullProbability:
+    def test_zero_informed_neighbors(self):
+        assert pull_probability("ppx", 0, 10) == 0.0
+        assert pull_probability("ppy", 0, 10) == 0.0
+
+    def test_ppy_formula(self):
+        assert pull_probability("ppy", 3, 10) == pytest.approx(1 - math.exp(-0.6))
+        # Even with every neighbor informed, ppy stays below 1.
+        assert pull_probability("ppy", 10, 10) == pytest.approx(1 - math.exp(-2.0))
+
+    def test_ppx_forces_pull_at_half_coverage(self):
+        assert pull_probability("ppx", 5, 10) == 1.0
+        assert pull_probability("ppx", 6, 10) == 1.0
+        assert pull_probability("ppx", 4, 10) == pytest.approx(1 - math.exp(-0.8))
+
+    def test_single_informed_neighbor_matches_paper_example(self):
+        """Paper: with one informed neighbor the pull probability is 1 - e^{-2/deg}."""
+        assert pull_probability("ppy", 1, 8) == pytest.approx(1 - math.exp(-0.25))
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            pull_probability("ppz", 1, 4)
+        with pytest.raises(ProtocolError):
+            pull_probability("ppx", 1, 0)
+
+
+class TestRunAuxiliaryProcess:
+    def test_unknown_variant_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_auxiliary_process(small_star, 0, variant="ppz")
+
+    def test_bad_source_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_ppx(small_star, 999)
+
+    def test_disconnected_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ProtocolError):
+            run_ppy(graph, 0)
+
+    def test_single_vertex(self):
+        result = run_ppx(Graph(1, []), 0)
+        assert result.completed and result.rounds == 0
+
+    @pytest.mark.parametrize("runner", [run_ppx, run_ppy])
+    def test_completes_and_consistent(self, small_graph, runner):
+        result = runner(small_graph, 0, seed=1)
+        assert result.completed
+        assert check_result_consistency(result) == []
+
+    def test_protocol_names(self, small_cycle):
+        assert run_ppx(small_cycle, 0, seed=0).protocol == "ppx"
+        assert run_ppy(small_cycle, 0, seed=0).protocol == "ppy"
+
+    def test_reproducible(self, small_hypercube):
+        assert (
+            run_ppx(small_hypercube, 0, seed=3).informed_time
+            == run_ppx(small_hypercube, 0, seed=3).informed_time
+        )
+
+    def test_budget_exhaustion(self):
+        graph = cycle_graph(64)
+        with pytest.raises(SimulationError):
+            run_ppy(graph, 0, max_rounds=2)
+        partial = run_ppy(graph, 0, max_rounds=2, on_budget_exhausted="partial", seed=1)
+        assert not partial.completed
+
+
+class TestPaperRelations:
+    def test_ppx_star_two_rounds(self):
+        """On the star, ppx forces the pull once half the neighbors (the center's 1 of 1
+        relevant case: every leaf has its single neighbor informed) are informed, so it
+        matches push-pull's 2-round behaviour from a leaf source."""
+        graph = star_graph(48)
+        for seed in range(10):
+            result = run_ppx(graph, 1, seed=seed)
+            assert result.spreading_time <= 3.0
+
+    def test_lemma6_ppx_dominated_by_pp(self):
+        """Lemma 6: T(ppx) is stochastically dominated by T(pp)."""
+        graph = complete_graph(24)
+        ppx_times = [run_ppx(graph, 0, seed=s).spreading_time for s in range(60)]
+        pp_times = [run_synchronous(graph, 0, seed=1000 + s).spreading_time for s in range(60)]
+        report = dominates_empirically(ppx_times, pp_times)
+        assert report.holds
+
+    def test_ppx_no_slower_than_ppy_on_average(self):
+        """ppx only adds forced pulls on top of ppy, so it cannot be slower on average."""
+        graph = star_graph(32)
+        ppx_mean = np.mean([run_ppx(graph, 1, seed=s).spreading_time for s in range(40)])
+        ppy_mean = np.mean([run_ppy(graph, 1, seed=500 + s).spreading_time for s in range(40)])
+        assert ppx_mean <= ppy_mean + 0.5
+
+    def test_pull_counts_dominate_on_star_leaves(self):
+        """On the star from a leaf, every other leaf must learn the rumor by pulling."""
+        result = run_ppx(star_graph(32), 1, seed=7)
+        assert result.pull_infections >= 30

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the protocol engines.
+
+These check structural invariants that must hold for *every* run on *every*
+connected graph, independent of randomness:
+
+* the source is informed at time 0, everyone else strictly later;
+* the parent pointers form a tree rooted at the source whose informing times
+  strictly increase along every root-to-leaf path;
+* every parent is a graph neighbor of its child;
+* push + pull counters account for all informed non-source vertices;
+* the spreading time of a synchronous run is at least the source's BFS
+  eccentricity (information travels one hop per round at best).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols import spread
+from repro.core.result import check_result_consistency
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import connected_erdos_renyi_graph
+
+
+@st.composite
+def connected_graph_and_source(draw):
+    """A small connected random graph plus a valid source vertex."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    graph = connected_erdos_renyi_graph(n, seed=seed)
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, source
+
+
+PROTOCOL_STRATEGY = st.sampled_from(["pp", "push", "pull", "pp-a", "push-a", "pull-a", "ppx", "ppy"])
+
+
+class TestUniversalInvariants:
+    @given(connected_graph_and_source(), PROTOCOL_STRATEGY, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_result_record_is_always_consistent(self, graph_and_source, protocol, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol=protocol, seed=seed)
+        assert result.completed
+        assert check_result_consistency(result) == []
+
+    @given(connected_graph_and_source(), PROTOCOL_STRATEGY, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_parents_are_neighbors_and_times_increase(self, graph_and_source, protocol, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol=protocol, seed=seed)
+        for v in range(graph.num_vertices):
+            if v == source:
+                assert result.informed_time[v] == 0.0
+                assert result.parent[v] == -1
+                continue
+            parent = result.parent[v]
+            assert graph.has_edge(v, parent)
+            assert result.informed_time[parent] < result.informed_time[v]
+
+    @given(connected_graph_and_source(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sync_time_at_least_eccentricity(self, graph_and_source, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol="pp", seed=seed)
+        assert result.spreading_time >= graph.eccentricity(source)
+
+    @given(connected_graph_and_source(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_infection_paths_follow_edges(self, graph_and_source, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol="pp-a", seed=seed)
+        for v in range(graph.num_vertices):
+            path = result.infection_path(v)
+            assert path[0] == source and path[-1] == v
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b)
+
+    @given(connected_graph_and_source(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_push_only_infections_all_pushes(self, graph_and_source, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol="push", seed=seed)
+        assert result.pull_infections == 0
+        assert result.push_infections == graph.num_vertices - 1
+
+    @given(connected_graph_and_source(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_async_steps_at_least_vertices_minus_one(self, graph_and_source, seed):
+        graph, source = graph_and_source
+        result = spread(graph, source, protocol="pp-a", seed=seed)
+        # Each step informs at most one new vertex.
+        assert result.steps >= graph.num_vertices - 1
+        # Time equals max informing time and is finite.
+        assert math.isfinite(result.spreading_time)

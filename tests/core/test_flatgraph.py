@@ -1,0 +1,75 @@
+"""Unit tests for the CSR-style flat adjacency structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flatgraph import FlatAdjacency, flat_adjacency
+from repro.graphs import cycle_graph, star_graph
+
+
+class TestFlatAdjacency:
+    def test_structure_matches_graph(self):
+        graph = star_graph(6)
+        flat = FlatAdjacency(graph)
+        assert flat.num_vertices == 6
+        assert list(flat.degrees) == list(graph.degrees)
+        # Center 0 occupies the first slice.
+        assert sorted(flat.indices[flat.indptr[0] : flat.indptr[1]]) == [1, 2, 3, 4, 5]
+        # Every leaf's only neighbor is the center.
+        for leaf in range(1, 6):
+            assert list(flat.indices[flat.indptr[leaf] : flat.indptr[leaf + 1]]) == [0]
+
+    def test_random_neighbors_are_valid(self):
+        graph = cycle_graph(10)
+        flat = FlatAdjacency(graph)
+        rng = np.random.default_rng(0)
+        vertices = rng.integers(0, 10, 200)
+        neighbors = flat.random_neighbors(vertices, rng.random(200))
+        for v, w in zip(vertices, neighbors):
+            assert graph.has_edge(int(v), int(w))
+
+    def test_random_neighbors_cover_all_options(self):
+        graph = cycle_graph(6)
+        flat = FlatAdjacency(graph)
+        rng = np.random.default_rng(1)
+        chosen = set()
+        for _ in range(200):
+            chosen.add(int(flat.random_neighbor(0, float(rng.random()))))
+        assert chosen == set(graph.neighbors(0))
+
+    def test_uniform_edge_case_near_one(self):
+        graph = star_graph(4)
+        flat = FlatAdjacency(graph)
+        # uniform == 0.999999... must still select a valid index.
+        assert flat.random_neighbor(0, 0.999999999) in graph.neighbors(0)
+        assert flat.random_neighbor(1, 0.999999999) == 0
+
+    def test_neighbor_choice_is_roughly_uniform(self):
+        graph = cycle_graph(4)
+        flat = FlatAdjacency(graph)
+        rng = np.random.default_rng(2)
+        draws = [flat.random_neighbor(0, float(u)) for u in rng.random(4000)]
+        counts = {w: draws.count(w) for w in set(draws)}
+        assert set(counts) == set(graph.neighbors(0))
+        for count in counts.values():
+            assert abs(count - 2000) < 200
+
+
+class TestCache:
+    def test_same_graph_returns_cached_object(self):
+        graph = star_graph(8)
+        assert flat_adjacency(graph) is flat_adjacency(graph)
+
+    def test_distinct_graphs_get_distinct_structures(self):
+        a = star_graph(8)
+        b = star_graph(8)
+        assert flat_adjacency(a) is not flat_adjacency(b)
+
+    def test_cache_does_not_grow_without_bound(self):
+        from repro.core import flatgraph as module
+
+        graphs = [cycle_graph(5 + i % 7) for i in range(200)]
+        for graph in graphs:
+            flat_adjacency(graph)
+        assert len(module._CACHE_KEEPALIVE) <= module._KEEPALIVE_LIMIT

@@ -1,0 +1,156 @@
+"""Unit tests for SpreadingResult and its consistency checker."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.result import ContactEvent, SpreadingResult, check_result_consistency
+
+
+def make_result(**overrides) -> SpreadingResult:
+    """A small, fully consistent synchronous result used as a baseline."""
+    defaults = dict(
+        protocol="pp",
+        graph_name="test-graph",
+        num_vertices=4,
+        source=0,
+        informed_time=(0.0, 1.0, 1.0, 2.0),
+        parent=(-1, 0, 0, 1),
+        infection_kind=("source", "push", "pull", "push"),
+        completed=True,
+        rounds=2,
+        push_infections=2,
+        pull_infections=1,
+        total_contacts=8,
+    )
+    defaults.update(overrides)
+    return SpreadingResult(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_spreading_time_is_max_informing_time(self):
+        assert make_result().spreading_time == 2.0
+
+    def test_num_informed_and_fraction(self):
+        result = make_result()
+        assert result.num_informed == 4
+        assert result.informed_fraction() == 1.0
+        partial = make_result(
+            informed_time=(0.0, 1.0, math.inf, math.inf),
+            parent=(-1, 0, -1, -1),
+            infection_kind=("source", "push", None, None),
+            completed=False,
+            push_infections=1,
+            pull_infections=0,
+        )
+        assert partial.num_informed == 2
+        assert partial.informed_fraction() == 0.5
+        assert partial.spreading_time == math.inf
+
+    def test_is_synchronous_flag(self):
+        assert make_result().is_synchronous
+        async_result = make_result(rounds=None, steps=17)
+        assert not async_result.is_synchronous
+
+    def test_time_to_inform_fraction(self):
+        result = make_result()
+        assert result.time_to_inform_fraction(0.25) == 0.0
+        assert result.time_to_inform_fraction(0.5) == 1.0
+        assert result.time_to_inform_fraction(1.0) == 2.0
+        with pytest.raises(ValueError):
+            result.time_to_inform_fraction(0.0)
+
+    def test_time_to_inform_fraction_unreached(self):
+        partial = make_result(
+            informed_time=(0.0, math.inf, math.inf, math.inf),
+            parent=(-1, -1, -1, -1),
+            infection_kind=("source", None, None, None),
+            completed=False,
+            push_infections=0,
+            pull_infections=0,
+        )
+        assert partial.time_to_inform_fraction(0.9) == math.inf
+
+    def test_informed_counts_over_time(self):
+        curve = make_result().informed_counts_over_time()
+        assert curve == [(0.0, 1), (1.0, 3), (2.0, 4)]
+
+    def test_infection_path(self):
+        result = make_result()
+        assert result.infection_path(3) == [0, 1, 3]
+        assert result.infection_path(0) == [0]
+        with pytest.raises(ValueError):
+            result.infection_path(99)
+
+    def test_infection_path_for_uninformed_vertex(self):
+        partial = make_result(
+            informed_time=(0.0, 1.0, math.inf, math.inf),
+            parent=(-1, 0, -1, -1),
+            infection_kind=("source", "push", None, None),
+            completed=False,
+            push_infections=1,
+            pull_infections=0,
+        )
+        with pytest.raises(ValueError):
+            partial.infection_path(2)
+
+    def test_summary_mentions_protocol_and_status(self):
+        text = make_result().summary()
+        assert "pp" in text and "complete" in text and "4/4" in text
+
+
+class TestConsistencyChecker:
+    def test_consistent_result_has_no_problems(self):
+        assert check_result_consistency(make_result()) == []
+
+    def test_source_time_must_be_zero(self):
+        broken = make_result(informed_time=(1.0, 1.0, 1.0, 2.0))
+        assert any("source" in problem for problem in check_result_consistency(broken))
+
+    def test_parent_must_be_informed_earlier(self):
+        broken = make_result(informed_time=(0.0, 2.0, 1.0, 2.0), parent=(-1, 3, 0, 1))
+        problems = check_result_consistency(broken)
+        assert problems  # vertex 1's parent 3 is informed at the same time, not earlier-or-equal
+
+    def test_counters_must_add_up(self):
+        broken = make_result(push_infections=3)
+        assert any("add up" in problem for problem in check_result_consistency(broken))
+
+    def test_completed_flag_checked(self):
+        broken = make_result(
+            informed_time=(0.0, 1.0, 1.0, math.inf),
+            parent=(-1, 0, 0, -1),
+            infection_kind=("source", "push", "pull", None),
+            push_infections=1,
+            pull_infections=1,
+            completed=True,
+        )
+        assert any("completed" in problem for problem in check_result_consistency(broken))
+
+    def test_never_informed_vertex_with_parent_is_flagged(self):
+        broken = make_result(
+            informed_time=(0.0, 1.0, 1.0, math.inf),
+            parent=(-1, 0, 0, 2),
+            infection_kind=("source", "push", "pull", None),
+            push_infections=1,
+            pull_infections=1,
+            completed=False,
+        )
+        assert any("never informed" in problem for problem in check_result_consistency(broken))
+
+
+class TestContactEvent:
+    def test_fields(self):
+        event = ContactEvent(time=3.5, caller=1, callee=2, informed=2, kind="push")
+        assert event.time == 3.5
+        assert event.caller == 1
+        assert event.callee == 2
+        assert event.informed == 2
+        assert event.kind == "push"
+
+    def test_non_informing_contact(self):
+        event = ContactEvent(time=1.0, caller=0, callee=1)
+        assert event.informed is None
+        assert event.kind is None

@@ -1,0 +1,184 @@
+"""Unit tests for the synchronous push / pull / push-pull engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import check_result_consistency
+from repro.core.sync_engine import default_max_rounds, run_synchronous
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.base import Graph
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_synchronous(small_star, 0, mode="broadcast")
+
+    def test_bad_source_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_synchronous(small_star, 99)
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ProtocolError):
+            run_synchronous(graph, 0)
+
+    def test_bad_budget_policy_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_synchronous(small_star, 0, on_budget_exhausted="ignore")
+
+    def test_negative_budget_rejected(self, small_star):
+        with pytest.raises(ProtocolError):
+            run_synchronous(small_star, 0, max_rounds=-1)
+
+
+class TestBasicBehaviour:
+    def test_single_vertex_graph(self):
+        graph = Graph(1, [])
+        result = run_synchronous(graph, 0)
+        assert result.completed
+        assert result.rounds == 0
+        assert result.spreading_time == 0.0
+
+    def test_two_vertex_graph_one_round(self):
+        graph = Graph(2, [(0, 1)])
+        result = run_synchronous(graph, 0, seed=1)
+        assert result.completed
+        assert result.rounds == 1
+        assert result.informed_time == (0.0, 1.0)
+
+    @pytest.mark.parametrize("mode", ["push", "pull", "push-pull"])
+    def test_results_are_consistent_records(self, small_graph, mode):
+        result = run_synchronous(small_graph, 0, mode=mode, seed=3)
+        assert result.completed
+        assert check_result_consistency(result) == []
+
+    def test_protocol_name_mapping(self, small_cycle):
+        assert run_synchronous(small_cycle, 0, mode="push-pull", seed=0).protocol == "pp"
+        assert run_synchronous(small_cycle, 0, mode="push", seed=0).protocol == "push"
+        assert run_synchronous(small_cycle, 0, mode="pull", seed=0).protocol == "pull"
+
+    def test_reproducible_with_seed(self, small_hypercube):
+        a = run_synchronous(small_hypercube, 0, seed=42)
+        b = run_synchronous(small_hypercube, 0, seed=42)
+        assert a.informed_time == b.informed_time
+        assert a.parent == b.parent
+
+    def test_different_seeds_usually_differ(self, small_hypercube):
+        a = run_synchronous(small_hypercube, 0, seed=1)
+        b = run_synchronous(small_hypercube, 0, seed=2)
+        assert a.informed_time != b.informed_time
+
+    def test_informed_times_are_round_numbers(self, small_complete):
+        result = run_synchronous(small_complete, 0, seed=5)
+        for t in result.informed_time:
+            assert t == int(t)
+
+    def test_counts_contacts(self, small_cycle):
+        result = run_synchronous(small_cycle, 0, seed=7)
+        assert result.total_contacts == result.rounds * small_cycle.num_vertices
+
+
+class TestPaperFacts:
+    def test_star_pushpull_at_most_two_rounds(self):
+        """Section 1: sync push-pull informs the star within 2 rounds."""
+        graph = star_graph(64)
+        for seed in range(20):
+            result = run_synchronous(graph, 1, mode="push-pull", seed=seed)
+            assert result.spreading_time <= 2.0
+
+    def test_star_pull_only_from_center_one_round(self):
+        """With the center as source, every leaf pulls in round 1."""
+        graph = star_graph(32)
+        result = run_synchronous(graph, 0, mode="pull", seed=3)
+        assert result.spreading_time == 1.0
+
+    def test_star_push_is_coupon_collector_slow(self):
+        """Section 1: sync push on the star needs ~ n log n rounds."""
+        graph = star_graph(32)
+        times = [
+            run_synchronous(graph, 1, mode="push", seed=seed).spreading_time
+            for seed in range(15)
+        ]
+        expected = 31 * sum(1.0 / i for i in range(1, 32))
+        assert np.mean(times) > 0.5 * expected
+        assert np.mean(times) < 2.0 * expected
+
+    def test_pushpull_no_slower_than_push(self):
+        """Push-pull can only help: its mean time is at most push's (same graph)."""
+        graph = complete_graph(24)
+        push_mean = np.mean(
+            [run_synchronous(graph, 0, mode="push", seed=s).spreading_time for s in range(15)]
+        )
+        pp_mean = np.mean(
+            [run_synchronous(graph, 0, mode="push-pull", seed=s + 100).spreading_time for s in range(15)]
+        )
+        assert pp_mean <= push_mean + 1.0
+
+    def test_path_spreading_needs_at_least_diameter_rounds(self):
+        graph = path_graph(12)
+        result = run_synchronous(graph, 0, seed=9)
+        assert result.spreading_time >= graph.eccentricity(0)
+
+    def test_complete_graph_logarithmic_rounds(self):
+        graph = complete_graph(64)
+        times = [run_synchronous(graph, 0, seed=s).spreading_time for s in range(10)]
+        assert max(times) < 6 * math.log2(64)
+
+
+class TestBudgets:
+    def test_budget_exhaustion_raises_by_default(self):
+        graph = star_graph(64)
+        with pytest.raises(SimulationError):
+            run_synchronous(graph, 1, mode="push", max_rounds=3)
+
+    def test_budget_exhaustion_partial_result(self):
+        graph = star_graph(64)
+        result = run_synchronous(graph, 1, mode="push", max_rounds=3, on_budget_exhausted="partial")
+        assert not result.completed
+        assert result.rounds == 3
+        assert 0 < result.num_informed < 64
+
+    def test_default_budget_scales_superlinearly(self):
+        assert default_max_rounds(1000) > default_max_rounds(100) > 0
+
+
+class TestTraceRecording:
+    def test_trace_has_one_event_per_contact(self):
+        graph = cycle_graph(8)
+        result = run_synchronous(graph, 0, seed=11, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.total_contacts
+        # Every informing event in the trace is consistent with the result.
+        informing = [event for event in result.trace if event.informed is not None]
+        assert len(informing) == result.num_informed - 1
+        for event in informing:
+            assert result.informed_time[event.informed] == event.time
+            assert event.kind in ("push", "pull")
+
+    def test_trace_disabled_by_default(self, small_cycle):
+        assert run_synchronous(small_cycle, 0, seed=1).trace is None
+
+
+class TestInfectionAttribution:
+    def test_pull_only_never_reports_push(self, small_complete):
+        result = run_synchronous(small_complete, 0, mode="pull", seed=13)
+        assert result.push_infections == 0
+        assert result.pull_infections == small_complete.num_vertices - 1
+
+    def test_push_only_never_reports_pull(self, small_complete):
+        result = run_synchronous(small_complete, 0, mode="push", seed=13)
+        assert result.pull_infections == 0
+        assert result.push_infections == small_complete.num_vertices - 1
+
+    def test_parents_are_neighbors(self, small_hypercube):
+        result = run_synchronous(small_hypercube, 3, seed=17)
+        for v in range(small_hypercube.num_vertices):
+            if v == 3:
+                continue
+            assert small_hypercube.has_edge(v, result.parent[v])

@@ -1,0 +1,162 @@
+"""Unit tests for the Section 5 block decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coupling.blocks import (
+    is_left_incompatible,
+    is_right_incompatible,
+    partition_steps_into_blocks,
+    run_block_coupling,
+    simulate_step_sequence,
+)
+from repro.errors import ProtocolError
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph, star_graph
+from repro.graphs.base import Graph
+
+
+class TestIncompatibilityPredicates:
+    def test_left_incompatible_when_caller_already_appeared(self):
+        history = [(1, 2), (3, 4)]
+        assert is_left_incompatible((1, 5), history)  # 1 was a caller
+        assert is_left_incompatible((2, 5), history)  # 2 was a callee
+        assert is_left_incompatible((4, 0), history)
+        assert not is_left_incompatible((5, 1), history)  # only the caller matters
+        assert not is_left_incompatible((0, 6), history)
+
+    def test_left_incompatible_with_empty_history_is_false(self):
+        assert not is_left_incompatible((1, 2), [])
+
+    def test_right_incompatible_requires_fresh_caller(self):
+        history = [(0, 1)]  # 0 informs 1 (0 is the source)
+        informed = {0}
+        # (1, anything) is left-incompatible, so not right-incompatible.
+        assert not is_right_incompatible((1, 2), history, informed)
+        # Caller 2 is fresh; callee 1 became informed during the history.
+        assert is_right_incompatible((2, 1), history, informed)
+        # Callee 0 was informed before the history, so no right-incompatibility.
+        assert not is_right_incompatible((2, 0), history, informed)
+        # Callee 3 never became informed.
+        assert not is_right_incompatible((2, 3), history, informed)
+
+    def test_right_incompatible_traces_sequential_execution(self):
+        # 0 informs 1, then 1 informs 2 within the same history.
+        history = [(0, 1), (1, 2)]
+        informed = {0}
+        assert is_right_incompatible((3, 2), history, informed)
+        assert is_right_incompatible((3, 1), history, informed)
+
+
+class TestSimulateStepSequence:
+    def test_sequence_informs_everyone(self, small_hypercube):
+        steps = simulate_step_sequence(small_hypercube, 0, seed=1)
+        informed = {0}
+        for caller, callee in steps:
+            assert small_hypercube.has_edge(caller, callee) or caller == callee is None
+            if (caller in informed) != (callee in informed):
+                informed.update((caller, callee))
+        assert informed == set(range(small_hypercube.num_vertices))
+
+    def test_sequence_length_reasonable(self, small_complete):
+        steps = simulate_step_sequence(small_complete, 0, seed=2)
+        n = small_complete.num_vertices
+        assert n - 1 <= len(steps) <= 100 * n * math.log(n)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            simulate_step_sequence(star_graph(8), 55)
+        with pytest.raises(ProtocolError):
+            simulate_step_sequence(Graph(4, [(0, 1), (2, 3)]), 0)
+
+
+class TestPartition:
+    def test_blocks_cover_sequence_exactly(self, small_hypercube):
+        steps = simulate_step_sequence(small_hypercube, 0, seed=3)
+        blocks, stats = partition_steps_into_blocks(small_hypercube, 0, steps)
+        covered = []
+        for block in blocks:
+            covered.extend(range(block.start, block.end))
+        assert covered == list(range(len(steps)))
+        assert stats.num_steps == len(steps)
+        assert stats.num_normal_blocks + stats.num_special_blocks == len(blocks)
+
+    def test_normal_blocks_respect_size_limit(self, small_complete):
+        steps = simulate_step_sequence(small_complete, 0, seed=4)
+        blocks, stats = partition_steps_into_blocks(small_complete, 0, steps)
+        limit = stats.block_size_limit
+        assert limit == math.isqrt(small_complete.num_vertices)
+        for block in blocks:
+            if block.kind == "normal":
+                assert block.size <= limit
+            else:
+                assert block.size == 1
+
+    def test_special_blocks_follow_right_ended_blocks(self, small_hypercube):
+        steps = simulate_step_sequence(small_hypercube, 0, seed=5)
+        blocks, _ = partition_steps_into_blocks(small_hypercube, 0, steps)
+        for previous, current in zip(blocks, blocks[1:]):
+            if current.kind == "special":
+                assert previous.kind == "normal"
+                assert previous.end_condition == "right"
+
+    def test_custom_block_size_limit(self, small_complete):
+        steps = simulate_step_sequence(small_complete, 0, seed=6)
+        _, stats = partition_steps_into_blocks(small_complete, 0, steps, block_size_limit=2)
+        assert stats.block_size_limit == 2
+
+    def test_statistics_rho_consistency(self, small_cycle):
+        steps = simulate_step_sequence(small_cycle, 0, seed=7)
+        _, stats = partition_steps_into_blocks(small_cycle, 0, steps)
+        assert stats.rho_total == stats.rho_full + stats.rho_left + stats.rho_right + stats.rho_special
+        assert stats.rho_right >= stats.num_special_blocks - 1  # each special block follows a right end
+
+
+class TestBlockCoupling:
+    @pytest.mark.parametrize(
+        "graph_factory, source",
+        [
+            (lambda: star_graph(36), 1),
+            (lambda: cycle_graph(30), 0),
+            (lambda: hypercube_graph(5), 0),
+            (lambda: complete_graph(25), 0),
+        ],
+    )
+    def test_subset_invariant_and_completion(self, graph_factory, source):
+        graph = graph_factory()
+        run = run_block_coupling(graph, source, seed=8)
+        assert run.subset_invariant_held  # Lemma 13
+        assert run.num_steps >= graph.num_vertices - 1
+        assert run.num_rounds >= 1
+        assert run.async_spreading_time_estimate == pytest.approx(run.num_steps / graph.num_vertices)
+
+    def test_round_counts_within_lemma14_scale(self):
+        """Lemma 14: E[rounds] = O(steps / sqrt(n) + sqrt(n))."""
+        graph = hypercube_graph(6)
+        n = graph.num_vertices
+        ratios = []
+        for seed in range(10):
+            run = run_block_coupling(graph, 0, seed=seed)
+            ratios.append(run.num_rounds / (run.num_steps / math.sqrt(n) + 2 * math.sqrt(n)))
+        assert np.mean(ratios) < 3.0
+
+    def test_statistics_breakdown_adds_up(self, small_hypercube):
+        run = run_block_coupling(small_hypercube, 0, seed=9)
+        stats = run.statistics
+        assert stats.rho_total == run.num_rounds
+        assert stats.num_steps == run.num_steps
+
+    def test_reproducible(self, small_complete):
+        a = run_block_coupling(small_complete, 0, seed=10)
+        b = run_block_coupling(small_complete, 0, seed=10)
+        assert a.num_steps == b.num_steps
+        assert a.num_rounds == b.num_rounds
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            run_block_coupling(star_graph(8), 77)
+        with pytest.raises(ProtocolError):
+            run_block_coupling(Graph(4, [(0, 1), (2, 3)]), 0)

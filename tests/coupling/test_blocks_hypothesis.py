@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the block decomposition.
+
+The descriptive partition must satisfy its structural invariants for *any*
+step sequence over a graph — not only for sequences that the asynchronous
+engine actually generates.  Hypothesis feeds in arbitrary (valid) step
+sequences and checks:
+
+* the blocks cover the sequence exactly, in order, without overlap;
+* normal blocks never exceed the ``sqrt(n)`` size limit;
+* a special block always directly follows a right-ended normal block and has
+  size one;
+* within a normal block no caller appears twice (the left-incompatibility
+  rule) and no step's callee was informed earlier in the same block (the
+  right-incompatibility rule).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coupling.blocks import (
+    Step,
+    _informed_after,
+    is_left_incompatible,
+    partition_steps_into_blocks,
+)
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph
+
+GRAPHS = {
+    "complete": complete_graph(12),
+    "cycle": cycle_graph(12),
+    "hypercube": hypercube_graph(4),
+}
+
+
+@st.composite
+def graph_and_steps(draw):
+    """A test graph plus an arbitrary sequence of valid (caller, callee) steps."""
+    name = draw(st.sampled_from(sorted(GRAPHS)))
+    graph = GRAPHS[name]
+    length = draw(st.integers(min_value=0, max_value=120))
+    steps: list[Step] = []
+    for _ in range(length):
+        caller = draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+        neighbors = graph.neighbors(caller)
+        callee = neighbors[draw(st.integers(min_value=0, max_value=len(neighbors) - 1))]
+        steps.append((caller, callee))
+    source = draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+    return graph, source, steps
+
+
+class TestPartitionInvariants:
+    @given(graph_and_steps())
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_tile_the_sequence(self, data):
+        graph, source, steps = data
+        blocks, stats = partition_steps_into_blocks(graph, source, steps)
+        covered = [index for block in blocks for index in range(block.start, block.end)]
+        assert covered == list(range(len(steps)))
+        assert stats.num_steps == len(steps)
+
+    @given(graph_and_steps())
+    @settings(max_examples=60, deadline=None)
+    def test_block_kinds_and_sizes(self, data):
+        graph, source, steps = data
+        blocks, stats = partition_steps_into_blocks(graph, source, steps)
+        limit = max(1, math.isqrt(graph.num_vertices))
+        for previous, block in zip([None] + list(blocks[:-1]), blocks):
+            if block.kind == "normal":
+                assert block.size <= limit
+            else:
+                assert block.size == 1
+                assert previous is not None
+                assert previous.kind == "normal"
+                assert previous.end_condition == "right"
+        assert stats.block_size_limit == limit
+
+    @given(graph_and_steps())
+    @settings(max_examples=60, deadline=None)
+    def test_normal_blocks_are_incompatible_free(self, data):
+        graph, source, steps = data
+        blocks, _ = partition_steps_into_blocks(graph, source, steps)
+        informed = {source}
+        for block in blocks:
+            block_steps = list(steps[block.start : block.end])
+            if block.kind == "normal":
+                # No caller repeats within the block (left-incompatibility).
+                for index, step in enumerate(block_steps):
+                    assert not is_left_incompatible(step, block_steps[:index])
+                # No callee was informed earlier within the block
+                # (right-incompatibility), unless it was informed before it.
+                running = set(informed)
+                for caller, callee in block_steps:
+                    before = set(running)
+                    if (caller in running) != (callee in running):
+                        running.update((caller, callee))
+                    if callee not in informed and callee in before:
+                        raise AssertionError(
+                            f"callee {callee} was informed within the block before its step"
+                        )
+            informed = _informed_after(block_steps, informed)

@@ -1,0 +1,126 @@
+"""Unit tests for the Lemma 8 / Lemma 15 machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.coupling.domination import (
+    dominated_sum_quantile_bound,
+    geometric_domination_check,
+    lemma8_theoretical_cdf,
+    lemma15_negbin_bound,
+    negbin_tail_quantile,
+    sample_conditional_minimum,
+)
+from repro.errors import AnalysisError
+
+
+class TestLemma8Sampler:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(0, 1.0, [], 0, num_samples=10)
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(2, -1.0, [0, 0], 0, num_samples=10)
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(2, 1.0, [0], 0, num_samples=10)
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(2, 1.0, [0, -1], 0, num_samples=10)
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(2, 1.0, [0, 0], 5, num_samples=10)
+        with pytest.raises(AnalysisError):
+            sample_conditional_minimum(2, 1.0, [0, 0], 0, num_samples=0)
+
+    def test_sample_metadata(self):
+        sample = sample_conditional_minimum(3, 0.8, [0, 1, 0], 1, num_samples=200, seed=1)
+        assert len(sample.values) == 200
+        assert sample.num_variables == 3
+        assert sample.rate == 0.8
+        assert sample.conditioned_index == 1
+        assert 0 < sample.acceptance_rate <= 1.0
+        assert all(v > 0 for v in sample.values)
+
+    def test_lemma8_distribution_matches_exponential(self):
+        """The conditional minimum must be Exp(k*rate) regardless of the offsets."""
+        k, rate = 5, 0.6
+        offsets = [0, 2, 1, 0, 3]
+        sample = sample_conditional_minimum(k, rate, offsets, 3, num_samples=3000, seed=2)
+        result = scipy_stats.kstest(sample.values, "expon", args=(0, 1.0 / (k * rate)))
+        assert result.pvalue > 0.01
+
+    def test_lemma8_mean_matches(self):
+        k, rate = 4, 1.0
+        sample = sample_conditional_minimum(k, rate, [1, 0, 2, 1], 0, num_samples=4000, seed=3)
+        assert np.mean(sample.values) == pytest.approx(1.0 / (k * rate), rel=0.1)
+
+    def test_conditioning_on_different_indices_gives_same_law(self):
+        """Lemma 8's point: J = j adds no information about the shifted minimum."""
+        k, rate = 3, 1.0
+        offsets = [0, 2, 1]
+        samples = [
+            sample_conditional_minimum(k, rate, offsets, j, num_samples=1500, seed=10 + j).values
+            for j in range(k)
+        ]
+        for j in range(1, k):
+            result = scipy_stats.ks_2samp(samples[0], samples[j])
+            assert result.pvalue > 0.005
+
+    def test_theoretical_cdf(self):
+        assert lemma8_theoretical_cdf(4, 0.5, 0.0) == 0.0
+        assert lemma8_theoretical_cdf(4, 0.5, 1.0) == pytest.approx(1 - math.exp(-2.0))
+
+
+class TestLemma15Bounds:
+    def test_negbin_bound_parameters(self):
+        law = lemma15_negbin_bound(7, 1 / math.e)
+        assert law.num_successes == 7
+        assert law.success_probability == pytest.approx(1 - 1 / math.e)
+
+    def test_bound_validation(self):
+        with pytest.raises(AnalysisError):
+            lemma15_negbin_bound(0, 0.5)
+        with pytest.raises(AnalysisError):
+            lemma15_negbin_bound(3, 1.5)
+
+    def test_negbin_tail_quantile_monotone_in_tail(self):
+        q_loose = negbin_tail_quantile(10, 0.6, 0.1)
+        q_tight = negbin_tail_quantile(10, 0.6, 0.001)
+        assert q_tight >= q_loose >= 10
+
+    def test_negbin_tail_quantile_linear_plus_log_shape(self):
+        """Lemma 9's conclusion shape: the 1-δ quantile is ~ k/p + O(log(1/δ))."""
+        p = 1 - 1 / math.e
+        for k in (5, 20, 80):
+            quantile = negbin_tail_quantile(k, p, 1e-4)
+            assert quantile <= 2 * k / p + 60
+
+    def test_dominated_sum_quantile_bound(self):
+        bound = dominated_sum_quantile_bound(10, 1 / math.e, 0.99)
+        assert bound >= 10
+        with pytest.raises(AnalysisError):
+            dominated_sum_quantile_bound(10, 1 / math.e, 1.5)
+
+
+class TestGeometricDominationCheck:
+    def test_geometric_samples_respect_their_own_bound(self):
+        rng = np.random.default_rng(4)
+        q = 1 / math.e
+        # Fixed run length keeps all runs in one comparison group, so the
+        # one-sided empirical fluctuation stays at the ~1/sqrt(N) scale.
+        runs = [list(rng.geometric(1 - q, size=6)) for _ in range(600)]
+        violation = geometric_domination_check(runs, q)
+        assert violation <= 0.1
+
+    def test_heavier_tail_detected(self):
+        rng = np.random.default_rng(5)
+        # Summands with a much heavier tail than Geom(1 - 0.8) cannot hide.
+        runs = [list(rng.geometric(0.05, size=5)) for _ in range(300)]
+        violation = geometric_domination_check(runs, 0.2)
+        assert violation > 0.2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            geometric_domination_check([], 0.5)

@@ -1,0 +1,155 @@
+"""Unit tests for the Section 4 coupling of ppx, ppy and pp-a."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coupling.pull_coupling import (
+    CoupledProcessesRun,
+    SharedCouplingVariables,
+    run_coupled_processes,
+)
+from repro.errors import ProtocolError
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph, star_graph
+from repro.graphs.base import Graph
+from repro.randomness.rng import as_generator
+
+
+class TestSharedVariables:
+    def test_push_destinations_are_neighbors_and_stable(self):
+        graph = hypercube_graph(3)
+        shared = SharedCouplingVariables(graph, as_generator(1))
+        first = shared.push_destination(0, 1)
+        assert first in graph.neighbors(0)
+        # Re-querying the same index returns the same value (shared randomness).
+        assert shared.push_destination(0, 1) == first
+        assert shared.push_destination(0, 5) in graph.neighbors(0)
+
+    def test_pull_variables_positive_and_stable(self):
+        graph = star_graph(6)
+        shared = SharedCouplingVariables(graph, as_generator(2))
+        y = shared.pull_variable(0, 3)
+        assert y > 0
+        assert shared.pull_variable(0, 3) == y
+        # Different ordered pairs are independent draws.
+        assert shared.pull_variable(3, 0) != y
+
+    def test_push_index_validation(self):
+        graph = star_graph(4)
+        shared = SharedCouplingVariables(graph, as_generator(3))
+        from repro.errors import CouplingError
+
+        with pytest.raises(CouplingError):
+            shared.push_destination(0, 0)
+
+    def test_pull_rates_scale_with_degree(self):
+        """Y[v][w] ~ Exp(2/deg(v)): high-degree vertices get larger means."""
+        graph = star_graph(200)
+        rng = as_generator(4)
+        shared = SharedCouplingVariables(graph, rng)
+        center_draws = [shared.pull_variable(0, w) for w in range(1, 150)]
+        leaf_draws = [shared.pull_variable(w, 0) for w in range(1, 150)]
+        # Center has degree 199 -> mean ~ 99.5; leaves degree 1 -> mean 0.5.
+        assert np.mean(center_draws) > 20 * np.mean(leaf_draws)
+
+
+class TestCoupledProcesses:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            run_coupled_processes(star_graph(8), 99)
+        with pytest.raises(ProtocolError):
+            run_coupled_processes(Graph(4, [(0, 1), (2, 3)]), 0)
+
+    def test_single_vertex(self):
+        run = run_coupled_processes(Graph(1, []), 0)
+        assert run.ppx_round == run.ppy_round == run.ppa_time == (0.0,)
+
+    @pytest.mark.parametrize(
+        "graph_factory, source",
+        [
+            (lambda: star_graph(24), 1),
+            (lambda: hypercube_graph(4), 0),
+            (lambda: cycle_graph(20), 0),
+            (lambda: complete_graph(16), 0),
+        ],
+    )
+    def test_all_three_processes_complete(self, graph_factory, source):
+        graph = graph_factory()
+        run = run_coupled_processes(graph, source, seed=5)
+        assert run.num_vertices == graph.num_vertices
+        assert all(math.isfinite(t) for t in run.ppx_round)
+        assert all(math.isfinite(t) for t in run.ppy_round)
+        assert all(math.isfinite(t) for t in run.ppa_time)
+        assert run.ppx_round[source] == run.ppy_round[source] == run.ppa_time[source] == 0.0
+
+    def test_round_processes_have_integer_times(self, small_hypercube):
+        run = run_coupled_processes(small_hypercube, 0, seed=6)
+        assert all(t == int(t) for t in run.ppx_round)
+        assert all(t == int(t) for t in run.ppy_round)
+
+    def test_reproducible(self, small_star):
+        a = run_coupled_processes(small_star, 1, seed=8)
+        b = run_coupled_processes(small_star, 1, seed=8)
+        assert a.ppx_round == b.ppx_round
+        assert a.ppy_round == b.ppy_round
+        assert a.ppa_time == b.ppa_time
+
+    def test_slack_helpers_match_definitions(self, small_complete):
+        run = run_coupled_processes(small_complete, 0, seed=9)
+        expected9 = max(ry - 2 * rx for rx, ry in zip(run.ppx_round, run.ppy_round))
+        expected10 = max(t - 4 * ry for ry, t in zip(run.ppy_round, run.ppa_time))
+        assert run.lemma9_slack() == expected9
+        assert run.lemma10_slack() == expected10
+        assert run.theorem_slack() == max(
+            t - 8 * rx for rx, t in zip(run.ppx_round, run.ppa_time)
+        )
+
+
+class TestLemmaSlacks:
+    """The O(log n) slack bounds of Lemmas 9 and 10 on concrete graphs."""
+
+    @pytest.mark.parametrize(
+        "graph_factory, source",
+        [
+            (lambda: star_graph(64), 1),
+            (lambda: hypercube_graph(6), 0),
+            (lambda: complete_graph(48), 0),
+        ],
+    )
+    def test_slacks_within_logarithmic_budget(self, graph_factory, source):
+        graph = graph_factory()
+        budget = 8.0 * math.log(graph.num_vertices) + 8.0
+        slack9 = []
+        slack10 = []
+        rng = as_generator(10)
+        for _ in range(15):
+            run = run_coupled_processes(graph, source, seed=rng)
+            slack9.append(run.lemma9_slack())
+            slack10.append(run.lemma10_slack())
+        assert max(slack9) <= budget
+        assert max(slack10) <= budget
+
+    def test_ppx_is_fast_on_the_star(self):
+        """ppx's forced pull makes it finish in ~2 rounds on the star, like pp."""
+        run = run_coupled_processes(star_graph(48), 1, seed=11)
+        assert run.ppx_spreading_time <= 3.0
+
+    def test_coupled_marginals_are_plausible(self):
+        """The coupled ppy/pp-a marginals should have means close to the direct engines."""
+        from repro.core.aux_processes import run_ppy
+        from repro.core.async_engine import run_asynchronous
+
+        graph = hypercube_graph(5)
+        coupled_ppy, coupled_ppa = [], []
+        rng = as_generator(12)
+        for _ in range(30):
+            run = run_coupled_processes(graph, 0, seed=rng)
+            coupled_ppy.append(run.ppy_spreading_time)
+            coupled_ppa.append(run.ppa_spreading_time)
+        direct_ppy = [run_ppy(graph, 0, seed=s).spreading_time for s in range(30)]
+        direct_ppa = [run_asynchronous(graph, 0, seed=s).spreading_time for s in range(30)]
+        assert np.mean(coupled_ppy) == pytest.approx(np.mean(direct_ppy), rel=0.35)
+        assert np.mean(coupled_ppa) == pytest.approx(np.mean(direct_ppa), rel=0.35)

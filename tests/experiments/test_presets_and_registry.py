@@ -1,0 +1,62 @@
+"""Unit tests for experiment presets and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.presets import PRESETS, get_preset
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestPresets:
+    def test_all_presets_resolve(self):
+        for name in PRESETS:
+            preset = get_preset(name)
+            assert preset.name == name
+            assert preset.trials > 0
+            assert preset.coupling_trials > 0
+            assert all(size >= 2 for size in preset.sizes)
+
+    def test_presets_are_ordered_by_cost(self):
+        assert get_preset("smoke").trials < get_preset("quick").trials < get_preset("full").trials
+        assert get_preset("smoke").sizes[-1] <= get_preset("full").sizes[-1]
+
+    def test_unknown_preset(self):
+        with pytest.raises(ExperimentError, match="available"):
+            get_preset("gigantic")
+
+
+class TestRegistry:
+    def test_expected_experiment_ids(self):
+        ids = available_experiments()
+        assert ids[0] == "E1"
+        assert ids[-1] == "E11"
+        assert len(ids) == 11
+
+    def test_ids_cover_design_doc_index(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
+
+    def test_get_experiment_accepts_plain_numbers(self):
+        assert get_experiment("3").experiment_id == "E3"
+        assert get_experiment("e4").experiment_id == "E4"
+        assert get_experiment("E10").experiment_id == "E10"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="available"):
+            get_experiment("E99")
+
+    def test_specs_have_titles_and_claims(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title
+            assert spec.claim
+            assert callable(spec.runner)
+
+    def test_run_experiment_rejects_unknown_preset(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("E4", preset="enormous")

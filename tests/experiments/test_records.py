@@ -1,0 +1,94 @@
+"""Unit tests for experiment result records and table rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.records import ExperimentResult, format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats_fixed_precision(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(3.14159, precision=1) == "3.1"
+
+    def test_extreme_floats_use_general_format(self):
+        assert "e" in format_value(1.23e-7) or format_value(1.23e-7) == "1.23e-07"
+        assert format_value(2.5e7) == "2.5e+07"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_bools_and_strings(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("hello") == "hello"
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        table = format_table(
+            ["name", "value"],
+            [{"name": "alpha", "value": 1.0}, {"name": "b", "value": 22.5}],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "alpha" in lines[2]
+
+    def test_missing_cells_render_empty(self):
+        table = format_table(["a", "b"], [{"a": 1}])
+        assert table.count("\n") == 2
+
+    def test_needs_columns(self):
+        with pytest.raises(ExperimentError):
+            format_table([], [])
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="E0",
+            title="test experiment",
+            claim="testing works",
+            columns=["n", "value"],
+            rows=[{"n": 8, "value": 1.5}, {"n": 16, "value": 2.5}],
+            conclusions={"max_value": 2.5, "ok": True},
+            notes=["just a test"],
+        )
+
+    def test_to_table(self):
+        table = self.make().to_table()
+        assert "n" in table and "16" in table
+
+    def test_to_text_includes_everything(self):
+        text = self.make().to_text()
+        assert "E0: test experiment" in text
+        assert "claim: testing works" in text
+        assert "max_value" in text
+        assert "note: just a test" in text
+
+    def test_to_json_round_trip(self):
+        payload = json.loads(self.make().to_json())
+        assert payload["experiment_id"] == "E0"
+        assert payload["rows"][1]["n"] == 16
+        assert payload["conclusions"]["ok"] is True
+
+    def test_json_handles_numpy_scalars(self):
+        import numpy as np
+
+        result = self.make()
+        result.conclusions["np_value"] = np.float64(1.25)
+        payload = json.loads(result.to_json())
+        assert payload["conclusions"]["np_value"] == 1.25
+
+    def test_conclusion_accessor(self):
+        result = self.make()
+        assert result.conclusion("ok") is True
+        with pytest.raises(ExperimentError, match="available"):
+            result.conclusion("missing")

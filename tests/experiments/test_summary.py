@@ -1,0 +1,53 @@
+"""Unit tests for the markdown summary generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.records import ExperimentResult
+from repro.experiments.summary import result_to_markdown, results_to_markdown
+
+
+def make_result(experiment_id: str = "E4") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="star graph anomaly",
+        claim="sync pp <= 2 rounds; async pp = Theta(log n)",
+        columns=["n", "T_hp(pp)"],
+        rows=[{"n": 64, "T_hp(pp)": 2.0}, {"n": 128, "T_hp(pp)": 2.0}],
+        conclusions={"sync_pushpull_at_most_2_rounds": True, "max_sync_pushpull_hp_rounds": 2.0},
+        notes=["quick preset"],
+    )
+
+
+class TestSingleResult:
+    def test_contains_claim_conclusions_and_table(self):
+        text = result_to_markdown(make_result())
+        assert "### E4 — star graph anomaly" in text
+        assert "**Paper claim.**" in text
+        assert "`sync_pushpull_at_most_2_rounds` = yes" in text
+        assert "| n | T_hp(pp) |" in text
+        assert "*quick preset*" in text
+
+    def test_rows_can_be_omitted(self):
+        text = result_to_markdown(make_result(), include_rows=False)
+        assert "| n |" not in text
+
+
+class TestMultipleResults:
+    def test_document_orders_by_experiment_number(self):
+        doc = results_to_markdown([make_result("E10"), make_result("E2")], title="Report")
+        assert doc.startswith("# Report")
+        assert doc.index("### E2") < doc.index("### E10")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ExperimentError):
+            results_to_markdown([])
+
+    def test_round_trips_through_io_layer(self, tmp_path):
+        from repro.reporting import load_result_json, save_result_json
+
+        path = save_result_json(make_result(), tmp_path / "e4.json")
+        loaded = load_result_json(path)
+        assert "star graph anomaly" in results_to_markdown([loaded])

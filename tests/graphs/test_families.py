@@ -1,0 +1,75 @@
+"""Unit tests for the graph-family registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graphs import families
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in families.available_families():
+            assert families.get_family(name).name == name
+
+    def test_unknown_family_raises_with_suggestions(self):
+        with pytest.raises(GraphGenerationError, match="available"):
+            families.get_family("does-not-exist")
+
+    def test_suites_reference_registered_families(self):
+        registered = set(families.available_families())
+        for suite in (
+            families.THEOREM_SUITE,
+            families.REGULAR_SUITE,
+            families.SOCIAL_SUITE,
+            families.GAP_SUITE,
+        ):
+            assert set(suite) <= registered
+
+    def test_regular_suite_families_flagged_regular(self):
+        for name in families.REGULAR_SUITE:
+            assert families.get_family(name).is_regular
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", families.available_families())
+    def test_every_family_builds_a_connected_graph(self, name):
+        family = families.get_family(name)
+        graph = family.build(64, seed=123)
+        assert graph.num_vertices >= 16
+        assert graph.is_connected()
+
+    @pytest.mark.parametrize("name", ["cycle", "hypercube", "torus", "complete"])
+    def test_regular_families_build_regular_graphs(self, name):
+        graph = families.get_family(name).build(64, seed=1)
+        assert graph.is_regular()
+
+    def test_random_families_vary_with_seed(self):
+        family = families.get_family("erdos_renyi")
+        a = family.build(64, seed=1)
+        b = family.build(64, seed=2)
+        assert a.edges != b.edges
+
+    def test_deterministic_families_ignore_seed(self):
+        family = families.get_family("star")
+        assert family.build(64, seed=1) == family.build(64, seed=99)
+
+    def test_size_validation(self):
+        with pytest.raises(GraphGenerationError):
+            families.get_family("star").build(1)
+
+    def test_hypercube_family_rounds_to_power_of_two(self):
+        graph = families.get_family("hypercube").build(100, seed=0)
+        assert graph.num_vertices == 128
+
+    def test_random_regular_family_adjusts_parity(self):
+        graph = families.get_family("random_regular_3").build(33, seed=5)
+        assert graph.num_vertices % 2 == 0
+        assert graph.is_regular()
+
+    def test_default_sizes_are_positive_and_sorted(self):
+        for name in families.available_families():
+            sizes = families.get_family(name).default_sizes
+            assert all(size >= 2 for size in sizes)
+            assert list(sizes) == sorted(sizes)

@@ -1,0 +1,93 @@
+"""Unit tests for the gap-graph constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graphs import gap_graphs
+
+
+class TestStringOfStars:
+    def test_vertex_and_edge_counts(self):
+        graph = gap_graphs.string_of_stars_graph(chain_length=3, bundle_size=5)
+        # 4 hubs + 3*5 leaves.
+        assert graph.num_vertices == 4 + 15
+        # Each leaf contributes two edges.
+        assert graph.num_edges == 2 * 15
+        assert graph.is_connected()
+
+    def test_hub_and_leaf_degrees(self):
+        graph = gap_graphs.string_of_stars_graph(chain_length=3, bundle_size=5)
+        # End hubs touch one bundle, middle hubs touch two.
+        assert graph.degree(0) == 5
+        assert graph.degree(3) == 5
+        assert graph.degree(1) == 10
+        assert graph.degree(2) == 10
+        # Leaves have degree exactly 2.
+        for leaf in range(4, graph.num_vertices):
+            assert graph.degree(leaf) == 2
+
+    def test_leaves_connect_consecutive_hubs_only(self):
+        graph = gap_graphs.string_of_stars_graph(chain_length=2, bundle_size=3)
+        for leaf in range(3, graph.num_vertices):
+            hubs = sorted(graph.neighbors(leaf))
+            assert len(hubs) == 2
+            assert hubs[1] - hubs[0] == 1  # consecutive hubs
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphGenerationError):
+            gap_graphs.string_of_stars_graph(0, 5)
+        with pytest.raises(GraphGenerationError):
+            gap_graphs.string_of_stars_graph(3, 0)
+
+
+class TestGapGraphFactories:
+    def test_async_favoring_size_is_near_requested(self):
+        graph = gap_graphs.async_favoring_gap_graph(500)
+        assert 0.6 * 500 <= graph.num_vertices <= 1.2 * 500
+        assert graph.is_connected()
+
+    def test_async_favoring_rejects_tiny_n(self):
+        with pytest.raises(GraphGenerationError):
+            gap_graphs.async_favoring_gap_graph(8)
+
+    def test_sync_favoring_is_a_star(self):
+        graph = gap_graphs.sync_favoring_gap_graph(50)
+        assert graph.num_vertices == 50
+        assert graph.degree(0) == 49
+        assert graph.max_degree() == 49
+
+    def test_balanced_suite_contains_both_directions(self):
+        suite = gap_graphs.balanced_gap_suite(200)
+        assert set(suite) == {"async_favoring", "sync_favoring"}
+        assert all(graph.is_connected() for graph in suite.values())
+
+    def test_balanced_suite_rejects_tiny_n(self):
+        with pytest.raises(GraphGenerationError):
+            gap_graphs.balanced_gap_suite(4)
+
+
+class TestBackOfEnvelopeEstimates:
+    def test_sync_estimate_grows_with_chain_only(self):
+        short = gap_graphs.expected_sync_rounds_string_of_stars(4, 100)
+        long = gap_graphs.expected_sync_rounds_string_of_stars(16, 100)
+        assert long > short
+        # Bundle size does not change the synchronous estimate.
+        assert gap_graphs.expected_sync_rounds_string_of_stars(4, 10) == pytest.approx(short)
+
+    def test_async_estimate_shrinks_with_bundle(self):
+        narrow = gap_graphs.expected_async_time_string_of_stars(8, 4)
+        wide = gap_graphs.expected_async_time_string_of_stars(8, 400)
+        assert wide < narrow
+
+    def test_estimates_predict_a_growing_gap(self):
+        """The sync/async estimate ratio should grow as the construction scales."""
+        ratios = []
+        for n in (200, 2000, 20000):
+            chain = round(n ** (1 / 3))
+            bundle = max(2, n // chain)
+            sync = gap_graphs.expected_sync_rounds_string_of_stars(chain, bundle)
+            asynchronous = gap_graphs.expected_async_time_string_of_stars(chain, bundle)
+            ratios.append(sync / asynchronous)
+        assert ratios[0] < ratios[1] < ratios[2]

@@ -1,0 +1,197 @@
+"""Unit tests for the deterministic graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graphs import generators
+
+
+class TestStarAndDoubleStar:
+    def test_star_structure(self):
+        graph = generators.star_graph(10)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 9
+        assert graph.degree(0) == 9
+        assert all(graph.degree(v) == 1 for v in range(1, 10))
+        assert graph.is_connected()
+
+    def test_star_minimum_size(self):
+        with pytest.raises(GraphGenerationError):
+            generators.star_graph(1)
+
+    def test_double_star_structure(self):
+        graph = generators.double_star_graph(3)
+        assert graph.num_vertices == 8
+        assert graph.degree(0) == 4  # center 0: other center + 3 leaves
+        assert graph.degree(1) == 4
+        assert graph.is_connected()
+        assert graph.has_edge(0, 1)
+
+    def test_double_star_rejects_zero_leaves(self):
+        with pytest.raises(GraphGenerationError):
+            generators.double_star_graph(0)
+
+
+class TestCompleteFamilies:
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        assert graph.num_edges == 15
+        assert graph.is_regular()
+        assert graph.degree(3) == 5
+
+    def test_complete_graph_single_vertex(self):
+        graph = generators.complete_graph(1)
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite_graph(3, 4)
+        assert graph.num_vertices == 7
+        assert graph.num_edges == 12
+        assert graph.degree(0) == 4
+        assert graph.degree(6) == 3
+        assert not graph.has_edge(0, 1)  # same side
+
+    def test_complete_bipartite_rejects_empty_side(self):
+        with pytest.raises(GraphGenerationError):
+            generators.complete_bipartite_graph(0, 3)
+
+
+class TestPathsCyclesGrids:
+    def test_path(self):
+        graph = generators.path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+        assert graph.eccentricity(0) == 4
+
+    def test_cycle_is_two_regular(self):
+        graph = generators.cycle_graph(7)
+        assert graph.num_edges == 7
+        assert graph.is_regular()
+        assert graph.degree(0) == 2
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(GraphGenerationError):
+            generators.cycle_graph(2)
+
+    def test_grid_structure(self):
+        graph = generators.grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert graph.degree(0) == 2  # corner
+        assert graph.degree(5) == 4  # interior
+        assert graph.is_connected()
+
+    def test_torus_is_four_regular(self):
+        graph = generators.torus_graph(4, 5)
+        assert graph.num_vertices == 20
+        assert graph.is_regular()
+        assert graph.degree(0) == 4
+        assert graph.num_edges == 40
+
+    def test_torus_rejects_small_dimensions(self):
+        with pytest.raises(GraphGenerationError):
+            generators.torus_graph(2, 5)
+
+
+class TestHypercubeAndTrees:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5])
+    def test_hypercube_regularity(self, dimension):
+        graph = generators.hypercube_graph(dimension)
+        assert graph.num_vertices == 2**dimension
+        assert graph.is_regular()
+        assert graph.degree(0) == dimension
+        assert graph.num_edges == dimension * 2 ** (dimension - 1)
+        assert graph.is_connected()
+
+    def test_hypercube_adjacency_is_bit_flip(self):
+        graph = generators.hypercube_graph(3)
+        for u, v in graph.edges:
+            assert bin(u ^ v).count("1") == 1
+
+    def test_hypercube_rejects_huge_dimension(self):
+        with pytest.raises(GraphGenerationError):
+            generators.hypercube_graph(30)
+
+    def test_binary_tree_sizes(self):
+        graph = generators.binary_tree_graph(3)
+        assert graph.num_vertices == 15
+        assert graph.num_edges == 14
+        assert graph.degree(0) == 2
+        assert graph.degree(14) == 1  # a leaf
+        assert graph.is_connected()
+
+    def test_binary_tree_depth_zero(self):
+        graph = generators.binary_tree_graph(0)
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+
+class TestDenseSparseHybrids:
+    def test_barbell_structure(self):
+        graph = generators.barbell_graph(4)
+        assert graph.num_vertices == 8
+        # Two K4's (6 edges each) plus one bridge edge.
+        assert graph.num_edges == 13
+        assert graph.is_connected()
+
+    def test_barbell_with_bridge_path(self):
+        graph = generators.barbell_graph(3, bridge_length=2)
+        assert graph.num_vertices == 8
+        assert graph.is_connected()
+        assert graph.degree(3) == 2  # bridge vertex
+
+    def test_lollipop(self):
+        graph = generators.lollipop_graph(4, 3)
+        assert graph.num_vertices == 7
+        assert graph.is_connected()
+        assert graph.degree(6) == 1  # end of the path
+
+    def test_clique_chain(self):
+        graph = generators.clique_chain_graph(3, 4)
+        assert graph.num_vertices == 12
+        assert graph.is_connected()
+        # Each clique contributes C(4,2)=6 edges, plus 2 connector edges.
+        assert graph.num_edges == 3 * 6 + 2
+
+    def test_clique_chain_single_clique(self):
+        graph = generators.clique_chain_graph(1, 5)
+        assert graph.num_edges == 10
+
+    @pytest.mark.parametrize(
+        "factory, args",
+        [
+            (generators.barbell_graph, (1,)),
+            (generators.lollipop_graph, (1, 3)),
+            (generators.lollipop_graph, (3, 0)),
+            (generators.clique_chain_graph, (0, 3)),
+            (generators.grid_graph, (0, 3)),
+            (generators.binary_tree_graph, (-1,)),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory, args):
+        with pytest.raises(GraphGenerationError):
+            factory(*args)
+
+
+class TestDiameters:
+    """Sanity checks tying generators to known diameters (used by bounds)."""
+
+    def test_star_diameter_two(self):
+        assert generators.star_graph(20).eccentricity(1) == 2
+
+    def test_hypercube_diameter_is_dimension(self):
+        graph = generators.hypercube_graph(4)
+        assert graph.eccentricity(0) == 4
+
+    def test_cycle_diameter(self):
+        graph = generators.cycle_graph(10)
+        assert graph.eccentricity(0) == 5
+
+    def test_path_diameter(self):
+        assert generators.path_graph(9).eccentricity(0) == 8

@@ -1,0 +1,139 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    cycle_graph,
+    hypercube_graph,
+    star_graph,
+    string_of_stars_graph,
+)
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import erdos_renyi_graph, random_regular_graph
+
+
+@st.composite
+def random_graph_inputs(draw):
+    """Strategy producing (n, p, seed) triples for Erdős–Rényi graphs."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    p = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, p, seed
+
+
+class TestHandshakeLemma:
+    @given(random_graph_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edge_count(self, inputs):
+        n, p, seed = inputs
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        assert sum(graph.degrees) == 2 * graph.num_edges
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_star_always_satisfies_handshake(self, n):
+        graph = star_graph(n)
+        assert sum(graph.degrees) == 2 * graph.num_edges
+
+
+class TestAdjacencySymmetry:
+    @given(random_graph_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_neighbor_relation_is_symmetric(self, inputs):
+        n, p, seed = inputs
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        for v in graph.vertices:
+            for w in graph.neighbors(v):
+                assert v in graph.neighbors(w)
+
+    @given(random_graph_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_no_self_loops_ever(self, inputs):
+        n, p, seed = inputs
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        for v in graph.vertices:
+            assert v not in graph.neighbors(v)
+
+
+class TestComponentsPartitionVertices:
+    @given(random_graph_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_components_partition(self, inputs):
+        n, p, seed = inputs
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        components = graph.connected_components()
+        all_vertices = sorted(v for component in components for v in component)
+        assert all_vertices == list(range(n))
+        assert graph.is_connected() == (len(components) == 1)
+
+
+class TestRelabelInvariance:
+    @given(
+        st.integers(min_value=3, max_value=30),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_relabeling_preserves_degree_multiset(self, n, rng):
+        graph = cycle_graph(n)
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        relabeled = graph.relabeled(permutation)
+        assert sorted(relabeled.degrees) == sorted(graph.degrees)
+        assert relabeled.num_edges == graph.num_edges
+
+
+class TestRegularGraphInvariants:
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_regular_graph_is_regular(self, half_n, degree):
+        n = 2 * half_n
+        if degree >= n:
+            return
+        graph = random_regular_graph(n, degree, seed=half_n * 31 + degree)
+        assert graph.is_regular()
+        assert graph.degree(0) == degree
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_hypercube_edge_count(self, dimension):
+        graph = hypercube_graph(dimension)
+        assert graph.num_edges == dimension * 2 ** (dimension - 1)
+        assert graph.eccentricity(0) == dimension
+
+
+class TestStringOfStarsInvariants:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_and_connectivity(self, chain, bundle):
+        graph = string_of_stars_graph(chain, bundle)
+        assert graph.num_vertices == chain + 1 + chain * bundle
+        assert graph.num_edges == 2 * chain * bundle
+        assert graph.is_connected()
+        # The hub chain gives diameter 2 * chain (hub -> leaf -> hub per link).
+        assert graph.eccentricity(0) == 2 * chain
+
+
+class TestSubgraphInvariant:
+    @given(random_graph_inputs(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_subgraph_degrees_never_increase(self, inputs, data):
+        n, p, seed = inputs
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        keep_size = data.draw(st.integers(min_value=1, max_value=n))
+        keep = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=keep_size,
+                max_size=keep_size,
+                unique=True,
+            )
+        )
+        sub = graph.subgraph(keep)
+        assert sub.num_vertices == len(set(keep))
+        assert sub.num_edges <= graph.num_edges
+        assert max(sub.degrees) <= max(graph.degrees)

@@ -1,0 +1,127 @@
+"""Unit tests for graph structural parameters (conductance, expansion, diameter)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    conductance_estimate,
+    cut_conductance,
+    cut_vertex_expansion,
+    degree_summary,
+    diameter,
+    profile_graph,
+    vertex_expansion_estimate,
+)
+
+
+class TestDegreeSummary:
+    def test_star_summary(self):
+        summary = degree_summary(star_graph(10))
+        assert summary.minimum == 1
+        assert summary.maximum == 9
+        assert not summary.is_regular
+        assert summary.mean == pytest.approx(18 / 10)
+
+    def test_regular_summary(self):
+        summary = degree_summary(cycle_graph(8))
+        assert summary.is_regular
+        assert summary.minimum == summary.maximum == 2
+
+
+class TestDiameter:
+    def test_known_diameters(self):
+        assert diameter(path_graph(10)) == 9
+        assert diameter(cycle_graph(10)) == 5
+        assert diameter(star_graph(12)) == 2
+        assert diameter(hypercube_graph(4)) == 4
+        assert diameter(complete_graph(7)) == 1
+
+    def test_requires_connected(self):
+        from repro.graphs.base import Graph
+
+        with pytest.raises(GraphError):
+            diameter(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_large_graph_uses_double_sweep(self):
+        # The double-sweep heuristic is exact on paths.
+        graph = path_graph(50)
+        assert diameter(graph, exact_limit=10, seed=1) == 49
+
+
+class TestCutMeasures:
+    def test_cut_conductance_of_complete_graph_half(self):
+        graph = complete_graph(8)
+        value = cut_conductance(graph, range(4))
+        # Half of K8: boundary 16, volume 28 -> 16/28.
+        assert value == pytest.approx(16 / 28)
+
+    def test_cut_conductance_bridge(self):
+        graph = barbell_graph(4)
+        left = range(4)
+        value = cut_conductance(graph, left)
+        assert value == pytest.approx(1 / 13)
+
+    def test_cut_vertex_expansion(self):
+        graph = barbell_graph(4)
+        assert cut_vertex_expansion(graph, range(4)) == pytest.approx(1 / 4)
+
+    def test_cut_rejects_trivial_sides(self):
+        graph = cycle_graph(6)
+        with pytest.raises(GraphError):
+            cut_conductance(graph, [])
+        with pytest.raises(GraphError):
+            cut_vertex_expansion(graph, range(6))
+
+
+class TestGlobalEstimates:
+    def test_exact_small_graph_conductance(self):
+        # Path on 4 vertices: the middle cut has conductance 1/3 (1 edge / volume 3).
+        value = conductance_estimate(path_graph(4))
+        assert value == pytest.approx(1 / 3)
+
+    def test_barbell_has_low_conductance(self):
+        value = conductance_estimate(barbell_graph(8), seed=1)
+        assert value <= 1 / 20
+
+    def test_complete_graph_has_high_conductance(self):
+        value = conductance_estimate(complete_graph(10), seed=1)
+        assert value >= 0.4
+
+    def test_vertex_expansion_star(self):
+        # Cutting off any set of leaves has expansion <= 1/|S| ... the minimum
+        # over sweep cuts is at most 2/(n-1)-ish; just check it is small.
+        value = vertex_expansion_estimate(star_graph(12), seed=1)
+        assert value <= 0.5
+
+    def test_estimates_scale_to_larger_graphs(self):
+        value = conductance_estimate(cycle_graph(300), seed=2)
+        # A cycle cut in half has conductance ~ 2/(n) = 0.0067; sweep cuts find it.
+        assert value <= 0.05
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        profile = profile_graph(hypercube_graph(4), seed=3)
+        assert profile.num_vertices == 16
+        assert profile.num_edges == 32
+        assert profile.diameter == 4
+        assert profile.degrees.is_regular
+        assert profile.conductance is not None and profile.conductance > 0
+        assert profile.vertex_expansion is not None
+
+    def test_profile_can_skip_expensive_parts(self):
+        profile = profile_graph(cycle_graph(20), with_expansion=False, with_diameter=False)
+        assert profile.conductance is None
+        assert profile.diameter is None

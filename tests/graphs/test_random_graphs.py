@@ -1,0 +1,139 @@
+"""Unit tests for random graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graphs import random_graphs
+
+
+class TestErdosRenyi:
+    def test_reproducible_with_seed(self):
+        a = random_graphs.erdos_renyi_graph(30, 0.2, seed=42)
+        b = random_graphs.erdos_renyi_graph(30, 0.2, seed=42)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = random_graphs.erdos_renyi_graph(40, 0.3, seed=1)
+        b = random_graphs.erdos_renyi_graph(40, 0.3, seed=2)
+        assert a.edges != b.edges
+
+    def test_extreme_probabilities(self):
+        empty = random_graphs.erdos_renyi_graph(10, 0.0, seed=0)
+        full = random_graphs.erdos_renyi_graph(10, 1.0, seed=0)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.erdos_renyi_graph(10, 1.5)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        graph = random_graphs.erdos_renyi_graph(n, p, seed=7)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_connected_variant_is_connected(self):
+        for seed in range(5):
+            graph = random_graphs.connected_erdos_renyi_graph(60, seed=seed)
+            assert graph.is_connected()
+            assert graph.num_vertices == 60
+
+    def test_connected_variant_patches_sparse_graphs(self):
+        # Probability far below the connectivity threshold forces patching.
+        graph = random_graphs.connected_erdos_renyi_graph(50, p=0.001, seed=3, max_attempts=2)
+        assert graph.is_connected()
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("degree", [2, 3, 4])
+    def test_regularity_and_connectivity(self, degree):
+        graph = random_graphs.random_regular_graph(30, degree, seed=11)
+        assert graph.is_regular()
+        assert graph.degree(0) == degree
+        assert graph.is_connected()
+
+    def test_rejects_odd_degree_sum(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.random_regular_graph(7, 3)
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.random_regular_graph(5, 5)
+
+    def test_reproducible(self):
+        a = random_graphs.random_regular_graph(24, 3, seed=5)
+        b = random_graphs.random_regular_graph(24, 3, seed=5)
+        assert a.edges == b.edges
+
+
+class TestChungLu:
+    def test_requires_positive_weights(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.chung_lu_graph([1.0, -2.0, 3.0])
+
+    def test_degrees_track_weights(self):
+        n = 300
+        weights = np.full(n, 4.0)
+        weights[0] = 60.0
+        graph = random_graphs.chung_lu_graph(weights, seed=13)
+        degrees = np.asarray(graph.degrees)
+        # The heavy vertex should have far more neighbors than the median.
+        assert degrees[0] > 4 * np.median(degrees[1:])
+
+    def test_power_law_graph_is_connected_and_skewed(self):
+        graph = random_graphs.power_law_chung_lu_graph(300, exponent=2.5, seed=17)
+        assert graph.is_connected()
+        degrees = np.asarray(graph.degrees)
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_power_law_rejects_small_exponent(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.power_law_chung_lu_graph(100, exponent=1.9)
+
+
+class TestPreferentialAttachment:
+    def test_structure(self):
+        graph = random_graphs.preferential_attachment_graph(200, edges_per_vertex=2, seed=19)
+        assert graph.num_vertices == 200
+        assert graph.is_connected()
+        # Every non-seed vertex attaches with exactly m edges, so m*(n-m-1)
+        # new edges plus the seed clique.
+        assert graph.num_edges == 3 + 2 * (200 - 3)
+        assert graph.min_degree() >= 2
+
+    def test_hubs_emerge(self):
+        graph = random_graphs.preferential_attachment_graph(400, edges_per_vertex=2, seed=23)
+        degrees = np.asarray(graph.degrees)
+        assert degrees.max() > 6 * np.median(degrees)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphGenerationError):
+            random_graphs.preferential_attachment_graph(5, edges_per_vertex=5)
+        with pytest.raises(GraphGenerationError):
+            random_graphs.preferential_attachment_graph(10, edges_per_vertex=0)
+
+
+class TestGeometric:
+    def test_connected_by_construction(self):
+        graph = random_graphs.random_geometric_graph(120, seed=29)
+        assert graph.is_connected()
+        assert graph.num_vertices == 120
+
+    def test_radius_controls_density(self):
+        sparse = random_graphs.random_geometric_graph(100, radius=0.05, seed=31)
+        dense = random_graphs.random_geometric_graph(100, radius=0.4, seed=31)
+        assert dense.num_edges > sparse.num_edges
+
+
+class TestThresholdHelper:
+    def test_threshold_value(self):
+        assert random_graphs.connectivity_threshold_probability(2) <= 1.0
+        p = random_graphs.connectivity_threshold_probability(1000)
+        assert 0 < p < 0.05
+
+    def test_threshold_clamped(self):
+        assert random_graphs.connectivity_threshold_probability(3, factor=100.0) == 1.0

@@ -1,0 +1,125 @@
+"""Integration tests: the theorem-level statements checked through the public API.
+
+These tests tie together the graph substrate, the protocol engines and the
+analysis layer exactly the way a user of the library would, and verify the
+paper's two theorems and the corollary on concrete graphs with enough trials
+to make the checks statistically meaningful but still fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    high_probability_time,
+    run_trials,
+    theorem1_constant,
+    theorem2_constant,
+)
+from repro.graphs import (
+    async_favoring_gap_graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    double_star_graph,
+    hypercube_graph,
+    star_graph,
+)
+
+#: (graph, source) pairs spanning the structural extremes the theorems cover.
+THEOREM_SUITE = [
+    (star_graph(64), 1),
+    (double_star_graph(24), 2),
+    (cycle_graph(48), 0),
+    (complete_graph(48), 0),
+    (hypercube_graph(6), 0),
+    (barbell_graph(20), 0),
+    (async_favoring_gap_graph(96), 0),
+]
+
+
+class TestTheorem1:
+    """T_{1/n}(pp-a) = O(T_{1/n}(pp) + log n) on every graph in the suite."""
+
+    @pytest.mark.parametrize("graph, source", THEOREM_SUITE, ids=lambda g: getattr(g, "name", g))
+    def test_constant_is_bounded(self, graph, source):
+        trials = 80
+        sync = run_trials(graph, source, "pp", trials=trials, seed=101)
+        asynchronous = run_trials(graph, source, "pp-a", trials=trials, seed=202)
+        sync_hp = high_probability_time(sync).value
+        async_hp = high_probability_time(asynchronous).value
+        constant = theorem1_constant(async_hp, sync_hp, graph.num_vertices)
+        # Theorem 1 says this is O(1); a generous universal constant of 4
+        # catches regressions without flaking on Monte Carlo noise.
+        assert constant < 4.0
+
+
+class TestTheorem2:
+    """E[T(pp)] = O(sqrt(n) * E[T(pp-a)]) on every graph in the suite."""
+
+    @pytest.mark.parametrize("graph, source", THEOREM_SUITE, ids=lambda g: getattr(g, "name", g))
+    def test_constant_is_bounded(self, graph, source):
+        trials = 60
+        sync = run_trials(graph, source, "pp", trials=trials, seed=303)
+        asynchronous = run_trials(graph, source, "pp-a", trials=trials, seed=404)
+        constant = theorem2_constant(
+            asynchronous.mean, sync.mean, graph.num_vertices
+        )
+        assert constant < 2.0
+
+
+class TestCorollary3:
+    """On regular graphs push and push-pull have comparable hp spreading times."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(48), complete_graph(48), hypercube_graph(6)],
+        ids=lambda g: g.name,
+    )
+    def test_push_within_constant_factor_of_pushpull(self, graph):
+        trials = 60
+        push = run_trials(graph, 0, "push", trials=trials, seed=505)
+        pushpull = run_trials(graph, 0, "pp", trials=trials, seed=606)
+        ratio = high_probability_time(push).value / max(high_probability_time(pushpull).value, 1.0)
+        assert ratio < 6.0
+
+    def test_star_is_the_counterexample(self):
+        """On the (irregular) star the same ratio is huge — the corollary needs regularity."""
+        graph = star_graph(64)
+        push = run_trials(graph, 1, "push", trials=40, seed=707)
+        pushpull = run_trials(graph, 1, "pp", trials=40, seed=808)
+        ratio = push.mean / pushpull.mean
+        assert ratio > 20.0
+
+
+class TestTightnessOfTheorem1:
+    """The additive log n term is necessary: the star realises it."""
+
+    def test_star_async_minus_sync_grows_like_log_n(self):
+        gaps = []
+        sizes = [32, 128, 512]
+        for n in sizes:
+            graph = star_graph(n)
+            sync = run_trials(graph, 1, "pp", trials=40, seed=n)
+            asynchronous = run_trials(graph, 1, "pp-a", trials=40, seed=n + 1)
+            gaps.append(asynchronous.mean - sync.mean)
+        # The gap grows, and roughly like log n: quadrupling n adds ~log(4).
+        assert gaps[0] < gaps[1] < gaps[2]
+        assert gaps[2] - gaps[1] == pytest.approx(math.log(4), abs=1.2)
+
+
+class TestGapGraphSeparation:
+    """The string-of-stars graph separates the models in the async-favouring direction."""
+
+    def test_sync_slower_than_async_and_growing(self):
+        ratios = []
+        for n in (128, 512):
+            graph = async_favoring_gap_graph(n)
+            sync = run_trials(graph, 0, "pp", trials=30, seed=n)
+            asynchronous = run_trials(graph, 0, "pp-a", trials=30, seed=n + 7)
+            ratios.append(sync.mean / asynchronous.mean)
+        assert ratios[0] > 1.0
+        assert ratios[1] > ratios[0]

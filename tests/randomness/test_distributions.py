@@ -1,0 +1,164 @@
+"""Unit tests for the named distributions of Section 2."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.randomness.distributions import (
+    Erlang,
+    Exponential,
+    Geometric,
+    NegativeBinomial,
+    exponential_minimum_rate,
+    exponential_tail,
+    geometric_tail,
+)
+
+
+class TestExponential:
+    def test_moments(self):
+        law = Exponential(rate=2.0)
+        assert law.mean == pytest.approx(0.5)
+        assert law.variance == pytest.approx(0.25)
+
+    def test_cdf_and_survival(self):
+        law = Exponential(rate=1.0)
+        assert law.cdf(0.0) == 0.0
+        assert law.cdf(1.0) == pytest.approx(1 - math.exp(-1))
+        assert law.survival(2.0) == pytest.approx(math.exp(-2))
+
+    def test_sampling_matches_mean(self):
+        law = Exponential(rate=4.0)
+        samples = law.sample(rng=0, size=20000)
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(AnalysisError):
+            Exponential(rate=0.0)
+
+    def test_memorylessness_empirically(self):
+        """P[X > s + t | X > s] == P[X > t] — the key property behind the model views."""
+        law = Exponential(rate=1.5)
+        samples = np.asarray(law.sample(rng=1, size=60000))
+        s, t = 0.4, 0.7
+        conditional = np.mean(samples[samples > s] > s + t)
+        unconditional = np.mean(samples > t)
+        assert conditional == pytest.approx(unconditional, abs=0.02)
+
+
+class TestGeometric:
+    def test_moments(self):
+        law = Geometric(0.25)
+        assert law.mean == pytest.approx(4.0)
+        assert law.variance == pytest.approx(0.75 / 0.0625)
+
+    def test_pmf_and_cdf(self):
+        law = Geometric(0.5)
+        assert law.pmf(1) == pytest.approx(0.5)
+        assert law.pmf(3) == pytest.approx(0.125)
+        assert law.pmf(0) == 0.0
+        assert law.cdf(2) == pytest.approx(0.75)
+        assert law.cdf(0.5) == 0.0
+
+    def test_sampling_support_starts_at_one(self):
+        samples = Geometric(0.3).sample(rng=2, size=1000)
+        assert samples.min() >= 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(AnalysisError):
+            Geometric(0.0)
+        with pytest.raises(AnalysisError):
+            Geometric(1.5)
+
+
+class TestNegativeBinomial:
+    def test_moments(self):
+        law = NegativeBinomial(5, 0.5)
+        assert law.mean == pytest.approx(10.0)
+        assert law.variance == pytest.approx(5 * 0.5 / 0.25)
+
+    def test_cdf_starts_at_num_successes(self):
+        law = NegativeBinomial(4, 0.7)
+        assert law.cdf(3) == 0.0
+        assert 0.0 < law.cdf(5) < 1.0
+        assert law.cdf(200) == pytest.approx(1.0)
+
+    def test_sampling_matches_mean(self):
+        law = NegativeBinomial(6, 0.4)
+        samples = law.sample(rng=3, size=5000)
+        assert np.mean(samples) == pytest.approx(law.mean, rel=0.05)
+
+    def test_scalar_sample_is_int(self):
+        assert isinstance(NegativeBinomial(3, 0.5).sample(rng=4), int)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AnalysisError):
+            NegativeBinomial(0, 0.5)
+        with pytest.raises(AnalysisError):
+            NegativeBinomial(3, 0.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        law = Erlang(4, 2.0)
+        assert law.mean == pytest.approx(2.0)
+        assert law.variance == pytest.approx(1.0)
+
+    def test_cdf_monotone_and_normalised(self):
+        law = Erlang(3, 1.0)
+        values = [law.cdf(t) for t in (0.0, 1.0, 3.0, 10.0, 40.0)]
+        assert values[0] == 0.0
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sampling_matches_mean(self):
+        law = Erlang(5, 0.5)
+        samples = law.sample(rng=5, size=5000)
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_dominating_negbin_matches_lemma(self):
+        """Erl(k, λ) ≼ NegBin(k, 1 - e^{-λ}): the NegBin CDF never exceeds the Erlang CDF."""
+        law = Erlang(4, 0.8)
+        negbin = law.dominating_negative_binomial()
+        assert negbin.num_successes == 4
+        assert negbin.success_probability == pytest.approx(1 - math.exp(-0.8))
+        for t in np.linspace(0.1, 30.0, 60):
+            assert negbin.cdf(t) <= law.cdf(t) + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AnalysisError):
+            Erlang(0, 1.0)
+        with pytest.raises(AnalysisError):
+            Erlang(2, -1.0)
+
+
+class TestHelpers:
+    def test_minimum_rate_is_sum(self):
+        assert exponential_minimum_rate([1.0, 2.0, 0.5]) == pytest.approx(3.5)
+        with pytest.raises(AnalysisError):
+            exponential_minimum_rate([])
+        with pytest.raises(AnalysisError):
+            exponential_minimum_rate([1.0, -1.0])
+
+    def test_minimum_of_exponentials_distribution(self):
+        """min of independent Exp(λi) ~ Exp(Σ λi) — checked on samples."""
+        rng = np.random.default_rng(8)
+        rates = np.array([0.5, 1.5, 2.0])
+        draws = np.column_stack([rng.exponential(1.0 / r, 20000) for r in rates])
+        minima = draws.min(axis=1)
+        assert np.mean(minima) == pytest.approx(1.0 / rates.sum(), rel=0.05)
+
+    def test_tails(self):
+        assert geometric_tail(0.5, 3) == pytest.approx(0.125)
+        assert geometric_tail(0.5, 0) == 1.0
+        assert geometric_tail(0.5, -1) == 1.0
+        assert exponential_tail(2.0, 1.0) == pytest.approx(math.exp(-2.0))
+        assert exponential_tail(2.0, 0.0) == 1.0
+        with pytest.raises(AnalysisError):
+            geometric_tail(0.0, 2)
+        with pytest.raises(AnalysisError):
+            exponential_tail(-1.0, 2)

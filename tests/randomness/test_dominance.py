@@ -1,0 +1,90 @@
+"""Unit tests for stochastic-dominance utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.randomness.dominance import (
+    dominates_empirically,
+    dominates_with_confidence,
+    empirical_dominance_violation,
+    empirical_survival,
+    erlang_dominated_by_negbin_violations,
+)
+
+
+class TestEmpiricalSurvival:
+    def test_values(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert empirical_survival(sample, 2.5) == 0.5
+        assert empirical_survival(sample, 0.0) == 1.0
+        assert empirical_survival(sample, 10.0) == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_survival([], 1.0)
+
+
+class TestDominanceViolation:
+    def test_clear_dominance_has_zero_violation(self):
+        small = [1.0, 2.0, 3.0]
+        large = [10.0, 20.0, 30.0]
+        assert empirical_dominance_violation(small, large) == 0.0
+
+    def test_reversed_order_has_large_violation(self):
+        small = [1.0, 2.0, 3.0]
+        large = [10.0, 20.0, 30.0]
+        assert empirical_dominance_violation(large, small) == pytest.approx(1.0)
+
+    def test_identical_samples(self):
+        sample = [1.0, 2.0, 3.0]
+        assert empirical_dominance_violation(sample, sample) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_dominance_violation([], [1.0])
+
+
+class TestDominanceReports:
+    def test_true_dominance_detected_on_samples(self):
+        rng = np.random.default_rng(1)
+        x = rng.exponential(1.0, 800)
+        y = rng.exponential(1.0, 800) + 0.5  # strictly dominates
+        report = dominates_empirically(x, y)
+        assert report.holds
+        # Independent finite samples can show a sliver of empirical violation
+        # even under true dominance; it must be far below the tolerance.
+        assert report.max_violation < 0.25 * report.tolerance
+        assert report.sample_sizes == (800, 800)
+
+    def test_equal_distributions_not_flagged(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0.0, 1.0, 500)
+        y = rng.normal(0.0, 1.0, 500)
+        assert dominates_empirically(x, y).holds
+        assert dominates_with_confidence(x, y)
+
+    def test_gross_violation_flagged(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(5.0, 0.5, 500)
+        y = rng.normal(0.0, 0.5, 500)
+        assert not dominates_empirically(x, y).holds
+        assert not dominates_with_confidence(x, y)
+
+    def test_custom_tolerance(self):
+        report = dominates_empirically([1.0, 2.0], [0.5, 3.0], tolerance=0.9)
+        assert report.tolerance == 0.9
+        assert report.holds
+
+    def test_invalid_significance(self):
+        with pytest.raises(AnalysisError):
+            dominates_with_confidence([1.0], [2.0], significance=1.5)
+
+
+class TestErlangNegbinDomination:
+    @pytest.mark.parametrize("shape, rate", [(1, 0.5), (3, 1.0), (5, 0.3)])
+    def test_no_violation_for_paper_identity(self, shape, rate):
+        violation = erlang_dominated_by_negbin_violations(shape, rate)
+        assert violation <= 1e-9

@@ -1,0 +1,78 @@
+"""Unit tests for RNG / seed management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.randomness.rng import as_generator, derive_generator, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_from_none_gives_generator(self):
+        rng = as_generator(None)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_existing_generator_passed_through(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_from_seed_sequence(self):
+        sequence = np.random.SeedSequence(7)
+        a = as_generator(sequence).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.allclose(a, b)
+
+
+class TestSpawn:
+    def test_spawned_generators_are_independent_and_deterministic(self):
+        first = [g.random(4) for g in spawn_generators(3, seed=1)]
+        second = [g.random(4) for g in spawn_generators(3, seed=1)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+        # Different children produce different streams.
+        assert not np.allclose(first[0], first[1])
+
+    def test_spawn_counts(self):
+        assert spawn_generators(0, seed=1) == []
+        assert len(spawn_generators(5, seed=1)) == 5
+        with pytest.raises(ValueError):
+            spawn_generators(-1, seed=1)
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(4, seed=9) == spawn_seeds(4, seed=9)
+        assert spawn_seeds(4, seed=9) != spawn_seeds(4, seed=10)
+        with pytest.raises(ValueError):
+            spawn_seeds(-2, seed=0)
+
+    def test_spawn_from_generator_source(self):
+        children = spawn_generators(2, seed=np.random.default_rng(3))
+        assert len(children) == 2
+
+
+class TestDeriveGenerator:
+    def test_same_path_same_stream(self):
+        a = derive_generator(1, "theorem1", "star", 128).random(4)
+        b = derive_generator(1, "theorem1", "star", 128).random(4)
+        assert np.allclose(a, b)
+
+    def test_different_paths_differ(self):
+        a = derive_generator(1, "theorem1", "star", 128).random(4)
+        b = derive_generator(1, "theorem1", "star", 256).random(4)
+        c = derive_generator(1, "theorem2", "star", 128).random(4)
+        assert not np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_different_master_seeds_differ(self):
+        a = derive_generator(1, "x").random(4)
+        b = derive_generator(2, "x").random(4)
+        assert not np.allclose(a, b)
+
+    def test_none_seed_supported(self):
+        rng = derive_generator(None, "anything")
+        assert isinstance(rng, np.random.Generator)

@@ -1,0 +1,58 @@
+"""Tests for the shipped experiment artefacts under ``results/quick``.
+
+EXPERIMENTS.md quotes numbers from these JSON files, so the test suite checks
+that they stay loadable, complete (one per experiment id), internally
+consistent with the registry, and renderable into the Markdown report.
+If the artefacts are regenerated with different presets the tests keep
+passing — they check structure, not specific values.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.summary import results_to_markdown
+from repro.reporting import load_result_json
+
+ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "results" / "quick"
+
+requires_artifacts = pytest.mark.skipif(
+    not ARTIFACT_DIR.exists(), reason="results/quick artefacts not present"
+)
+
+
+@requires_artifacts
+class TestShippedArtifacts:
+    def _load_all(self):
+        return [load_result_json(path) for path in sorted(ARTIFACT_DIR.glob("e*.json"))]
+
+    def test_one_artifact_per_registered_experiment(self):
+        results = self._load_all()
+        assert {result.experiment_id for result in results} == set(EXPERIMENTS)
+
+    def test_titles_match_registry(self):
+        for result in self._load_all():
+            spec = EXPERIMENTS[result.experiment_id]
+            assert result.claim  # non-empty claim recorded
+            assert result.rows, f"{result.experiment_id} has no table rows"
+            assert set(result.columns) <= set(result.rows[0].keys()) | set(result.columns)
+
+    def test_headline_conclusions_present_and_positive(self):
+        results = {result.experiment_id: result for result in self._load_all()}
+        assert results["E1"].conclusions["theorem1_consistent"] in (True, "yes", 1)
+        assert results["E2"].conclusions["theorem2_consistent"] in (True, "yes", 1)
+        assert results["E3"].conclusions["corollary3_consistent"] in (True, "yes", 1)
+        assert results["E9"].conclusions["lemma13_subset_invariant_always_held"] in (True, "yes", 1)
+
+    def test_markdown_report_renders(self):
+        report = results_to_markdown(self._load_all(), title="Shipped results")
+        assert report.startswith("# Shipped results")
+        for experiment_id in EXPERIMENTS:
+            assert f"### {experiment_id} —" in report
+
+    def test_csv_artifacts_accompany_json(self):
+        for path in ARTIFACT_DIR.glob("e*.json"):
+            assert path.with_suffix(".csv").exists()

@@ -1,0 +1,79 @@
+"""Unit tests for experiment result persistence (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.records import ExperimentResult
+from repro.reporting.results_io import (
+    load_result_json,
+    save_result_csv,
+    save_result_json,
+    save_results,
+)
+
+
+@pytest.fixture
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="E4",
+        title="star graph",
+        claim="2 rounds vs log n",
+        columns=["n", "T_hp(pp)", "E[T(pp-a)]"],
+        rows=[
+            {"n": 32, "T_hp(pp)": 2.0, "E[T(pp-a)]": 4.5},
+            {"n": 64, "T_hp(pp)": 2.0, "E[T(pp-a)]": 5.2},
+        ],
+        conclusions={"sync_pushpull_at_most_2_rounds": True},
+        notes=["unit-test artefact"],
+    )
+
+
+class TestJsonRoundTrip:
+    def test_save_and_load(self, sample_result, tmp_path):
+        path = save_result_json(sample_result, tmp_path / "e4.json")
+        assert path.exists()
+        loaded = load_result_json(path)
+        assert loaded.experiment_id == "E4"
+        assert loaded.rows == sample_result.rows
+        assert loaded.conclusions["sync_pushpull_at_most_2_rounds"] is True
+        assert loaded.notes == sample_result.notes
+
+    def test_creates_parent_directories(self, sample_result, tmp_path):
+        path = save_result_json(sample_result, tmp_path / "nested" / "dir" / "e4.json")
+        assert path.exists()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result_json(tmp_path / "nope.json")
+
+    def test_load_rejects_malformed_payload(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"title": "incomplete"}))
+        with pytest.raises(ExperimentError, match="missing fields"):
+            load_result_json(bad)
+
+
+class TestCsvExport:
+    def test_rows_written_with_header(self, sample_result, tmp_path):
+        path = save_result_csv(sample_result, tmp_path / "e4.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["n"] == "32"
+        assert float(rows[1]["E[T(pp-a)]"]) == 5.2
+
+
+class TestSaveResults:
+    def test_writes_both_formats(self, sample_result, tmp_path):
+        written = save_results([sample_result], tmp_path)
+        names = {path.name for path in written}
+        assert names == {"e4.json", "e4.csv"}
+
+    def test_single_format(self, sample_result, tmp_path):
+        written = save_results([sample_result], tmp_path, formats=("json",))
+        assert [path.suffix for path in written] == [".json"]

@@ -1,0 +1,68 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_arguments(self):
+        arguments = build_parser().parse_args(["run", "E4", "--preset", "smoke", "--json"])
+        assert arguments.command == "run"
+        assert arguments.experiment == "E4"
+        assert arguments.preset == "smoke"
+        assert arguments.json is True
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestListCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E11" in output
+
+    def test_list_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "pp-a" in output and "analysis-only" in output
+
+    def test_list_families(self, capsys):
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        assert "hypercube" in output and "preferential_attachment" in output
+
+
+class TestRunCommand:
+    def test_run_star_experiment_text(self, capsys):
+        exit_code = main(["run", "E4", "--preset", "smoke", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "E4" in output
+        assert "conclusions:" in output
+
+    def test_run_with_json_and_output(self, capsys, tmp_path):
+        exit_code = main(
+            ["run", "4", "--preset", "smoke", "--seed", "3", "--json", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        payload = json.loads(output[: output.rindex("}") + 1])
+        assert payload["experiment_id"] == "E4"
+        assert (tmp_path / "e4.json").exists()
+        assert (tmp_path / "e4.csv").exists()
+
+    def test_unknown_experiment_returns_error_code(self, capsys):
+        assert main(["run", "E99", "--preset", "smoke"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Tests of the public API surface: every ``__all__`` entry must resolve.
+
+These catch broken re-exports early (a common failure mode when modules are
+reorganised) and double as a smoke test that every subpackage imports cleanly
+in a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.graphs",
+    "repro.randomness",
+    "repro.core",
+    "repro.coupling",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.reporting",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} should define __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing attribute {name!r}"
+
+
+def test_top_level_convenience_api():
+    import repro
+
+    assert callable(repro.spread)
+    assert isinstance(repro.__version__, str)
+    assert "pp" in repro.available_protocols()
+
+
+def test_experiments_lazy_registry_attributes():
+    import repro.experiments as experiments
+
+    assert callable(experiments.run_experiment)
+    assert "E1" in experiments.EXPERIMENTS
+    with pytest.raises(AttributeError):
+        experiments.not_a_real_attribute  # noqa: B018
+
+
+def test_error_hierarchy_rooted_at_repro_error():
+    from repro import errors
+
+    for name in (
+        "GraphError",
+        "GraphGenerationError",
+        "ProtocolError",
+        "SimulationError",
+        "AnalysisError",
+        "ExperimentError",
+        "CouplingError",
+    ):
+        exception_type = getattr(errors, name)
+        assert issubclass(exception_type, errors.ReproError)
+
+
+def test_version_matches_package_metadata():
+    import repro
+
+    from repro._version import __version__
+
+    assert repro.__version__ == __version__
+    parts = __version__.split(".")
+    assert len(parts) >= 2 and all(part.isdigit() for part in parts[:2])
