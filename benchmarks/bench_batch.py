@@ -1,0 +1,187 @@
+"""Batched vs serial Monte Carlo throughput (the PR-acceptance benchmark).
+
+Unlike the experiment benchmarks (``bench_theorem1.py`` and friends), which
+time whole paper-reproduction experiments, this file times the *trial
+engine* itself three ways on the same workload — synchronous push–pull on a
+1024-vertex random regular graph:
+
+* ``seed_baseline`` — a frozen copy of the pre-batching engine loop (the
+  repository's original serial hot path, kept here verbatim so the speedup
+  is measured against a fixed historical baseline rather than against the
+  continually-optimised current serial engine);
+* ``serial`` — today's ``run_trials(batch=False)`` path;
+* ``batched`` — the 2-D batch kernel path (``run_trials(batch="auto")``).
+
+``test_batched_speedup_over_seed_baseline`` asserts the batched path is at
+least 5x the seed baseline's throughput (trials/second); the pytest-benchmark
+entries record the absolute numbers for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.core.flatgraph import flat_adjacency
+from repro.graphs.random_graphs import random_regular_graph
+from repro.randomness.rng import spawn_generators
+
+#: Trials per preset; the smoke preset keeps the whole file under ~10 s.
+TRIALS = {"smoke": 96, "quick": 256, "full": 768}
+
+GRAPH_SIZE = 1024
+GRAPH_DEGREE = 8
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return random_regular_graph(GRAPH_SIZE, GRAPH_DEGREE, seed=1)
+
+
+# --------------------------------------------------------------------- #
+# Frozen seed baseline: the original (pre-batching) synchronous engine
+# loop, verbatim in structure — per-vertex Python loops for infection
+# kinds, np.unique parent resolution, and per-vertex tuple materialization.
+# Do not "optimise" this function; it exists to pin the comparison point.
+# --------------------------------------------------------------------- #
+def _seed_baseline_trial(graph, source, rng):
+    n = graph.num_vertices
+    flat = flat_adjacency(graph)
+    all_vertices = np.arange(n, dtype=np.int64)
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, np.inf)
+    informed_round[source] = 0.0
+    parent = np.full(n, -1, dtype=np.int64)
+    kind = [None] * n
+    kind[source] = "source"
+    num_informed = 1
+    rounds_executed = 0
+    while num_informed < n:
+        rounds_executed += 1
+        contacts = flat.random_neighbors(all_vertices, rng.random(n))
+        informed_before = informed
+        contacted_informed = informed_before[contacts]
+        new_by_pull = (~informed_before) & contacted_informed
+        new_by_push = np.zeros(n, dtype=bool)
+        pusher_mask = informed_before & ~informed_before[contacts]
+        push_sources = all_vertices[pusher_mask]
+        push_targets = contacts[pusher_mask]
+        if push_targets.size:
+            unique_targets, first_index = np.unique(push_targets, return_index=True)
+            push_targets = unique_targets
+            push_sources = push_sources[first_index]
+            fresh = ~new_by_pull[push_targets]
+            push_targets = push_targets[fresh]
+            push_sources = push_sources[fresh]
+            new_by_push[push_targets] = True
+        newly_informed = new_by_pull | new_by_push
+        if newly_informed.any():
+            new_ids = all_vertices[newly_informed]
+            informed_round[new_ids] = float(rounds_executed)
+            pull_ids = all_vertices[new_by_pull]
+            parent[pull_ids] = contacts[pull_ids]
+            for v in pull_ids:
+                kind[int(v)] = "pull"
+            parent[push_targets] = push_sources
+            for v in push_targets:
+                kind[int(v)] = "push"
+            informed = informed_before.copy()
+            informed[new_ids] = True
+            num_informed += int(new_ids.size)
+    informed_time = tuple(float(t) for t in informed_round)
+    tuple(int(p) for p in parent)
+    tuple(kind)
+    return max(informed_time)
+
+
+def _seed_baseline_run_trials(graph, source, trials, seed):
+    return [
+        _seed_baseline_trial(graph, source, rng)
+        for rng in spawn_generators(trials, seed)
+    ]
+
+
+def _throughput(fn, trials):
+    start = time.perf_counter()
+    fn()
+    return trials / (time.perf_counter() - start)
+
+
+def test_seed_baseline_throughput(benchmark, bench_preset, bench_graph):
+    trials = TRIALS[bench_preset]
+    times = benchmark.pedantic(
+        _seed_baseline_run_trials,
+        args=(bench_graph, 0, trials, 5),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(times) == trials
+
+
+def test_serial_throughput(benchmark, bench_preset, bench_graph):
+    trials = TRIALS[bench_preset]
+    sample = benchmark.pedantic(
+        run_trials,
+        args=(bench_graph, 0, "pp"),
+        kwargs=dict(trials=trials, seed=5, batch=False),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert sample.num_trials == trials
+
+
+def test_batched_throughput(benchmark, bench_preset, bench_graph):
+    trials = TRIALS[bench_preset]
+    sample = benchmark.pedantic(
+        run_trials,
+        args=(bench_graph, 0, "pp"),
+        kwargs=dict(trials=trials, seed=5, batch="auto"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert sample.num_trials == trials
+
+
+def test_batched_async_throughput(benchmark, bench_preset, bench_graph):
+    trials = max(128, TRIALS[bench_preset])
+    sample = benchmark.pedantic(
+        run_trials,
+        args=(bench_graph, 0, "pp-a"),
+        kwargs=dict(trials=trials, seed=5, batch="auto"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert sample.num_trials == trials
+
+
+def test_batched_speedup_over_seed_baseline(bench_preset, bench_graph):
+    """The PR acceptance gate: batched >= 5x the seed's serial throughput."""
+    trials = TRIALS[bench_preset]
+    # Warm both paths (flat adjacency cache, allocator).
+    _seed_baseline_run_trials(bench_graph, 0, 8, 0)
+    run_trials(bench_graph, 0, "pp", trials=8, seed=0, batch="auto")
+
+    baseline = _throughput(
+        lambda: _seed_baseline_run_trials(bench_graph, 0, trials, 5), trials
+    )
+    batched = _throughput(
+        lambda: run_trials(bench_graph, 0, "pp", trials=trials, seed=5, batch="auto"),
+        trials,
+    )
+    speedup = batched / baseline
+    print(
+        f"\nseed baseline {baseline:.0f} trials/s, batched {batched:.0f} trials/s, "
+        f"speedup {speedup:.2f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batched path is only {speedup:.2f}x the seed serial baseline "
+        f"({baseline:.0f} vs {batched:.0f} trials/s)"
+    )

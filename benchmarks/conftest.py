@@ -7,6 +7,15 @@ time without improving the timing signal.  The benchmark preset can be chosen
 with ``--bench-preset`` (default ``smoke`` so the whole suite completes in a
 few minutes; use ``quick`` or ``full`` to regenerate the EXPERIMENTS.md
 numbers).
+
+Most files here (``bench_theorem1.py``, ``bench_star.py``, ...) time whole
+paper-reproduction experiments end to end.  ``bench_batch.py`` is different:
+it times the Monte Carlo *trial engine* itself — the batched 2-D kernels
+against today's serial path and against a frozen copy of the original
+(pre-batching) serial loop — so engine-level throughput regressions show up
+independently of experiment composition.  It also carries the hard
+``>= 5x over the seed baseline`` assertion; the other files are
+record-only.
 """
 
 from __future__ import annotations

@@ -28,8 +28,9 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.core.batch_engine import run_batch
 from repro.core.protocols import available_protocols, spread
-from repro.core.result import ContactEvent, SpreadingResult
+from repro.core.result import BatchTimes, ContactEvent, SpreadingResult
 from repro.errors import (
     AnalysisError,
     CouplingError,
@@ -46,6 +47,8 @@ __all__ = [
     "__version__",
     "available_protocols",
     "spread",
+    "run_batch",
+    "BatchTimes",
     "ContactEvent",
     "SpreadingResult",
     "Graph",

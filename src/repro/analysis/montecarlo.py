@@ -19,6 +19,17 @@ Two run modes are supported:
 Both modes support fixed sources and uniformly random sources, fixed trial
 counts and an adaptive mode that keeps adding trials until the relative
 half-width of the mean's confidence interval drops below a target.
+
+**The batched fast path.**  When the caller asks only for spreading times
+(no traces, no per-vertex detail) on a fixed graph, :func:`run_trials`
+dispatches to the 2-D batch kernels in :mod:`repro.core.batch_engine`,
+which simulate whole blocks of trials as ``(B, n)`` NumPy arrays and skip
+:class:`~repro.core.result.SpreadingResult` materialization entirely.  The
+batch kernels consume per-trial randomness in exactly the serial engines'
+order, so ``run_trials(..., batch=True)`` and ``run_trials(...,
+batch=False)`` return identical samples for the same seed — the ``batch``
+argument is a pure throughput knob (``"auto"``, the default, batches
+whenever the protocol and options allow it).
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.batch_engine import is_batchable, run_batch
 from repro.core.protocols import get_protocol, spread
 from repro.core.result import SpreadingResult
 from repro.errors import AnalysisError
@@ -40,7 +52,28 @@ __all__ = [
     "run_trials",
     "run_adaptive_trials",
     "collect_results",
+    "DEFAULT_BATCH_WIDTH",
 ]
+
+#: Trials simulated per batch-kernel call on the batched fast path; bounds
+#: the (width, n) working-array memory while amortizing per-round overhead.
+DEFAULT_BATCH_WIDTH = 256
+
+#: In ``batch="auto"``/``batch=True`` mode the width is additionally capped
+#: so the kernels' (width, n) working buffers stay around tens of MB even
+#: on very large graphs.  An explicit integer width is honored as given.
+AUTO_BATCH_ELEMENT_BUDGET = 4_194_304
+
+#: In ``batch="auto"`` mode, asynchronous protocols only dispatch to the
+#: batched tick loop at this many trials or more: each tick advances every
+#: live trial by one step, so the per-iteration overhead amortizes across
+#: the batch and narrow batches are better served by the serial engine.
+#: (Synchronous rounds amortize over ``n`` vertices as well, so they batch
+#: at any width.)  Explicit ``batch=True``/``batch=<width>`` overrides this.
+ASYNC_AUTO_MIN_TRIALS = 128
+
+#: Accepted values for the ``batch`` argument of :func:`run_trials`.
+BatchSpec = Union[bool, int, str]
 
 GraphFactory = Callable[[np.random.Generator], Graph]
 SourceSpec = Union[int, str]
@@ -132,6 +165,66 @@ def _resolve_source(source: SourceSpec, graph: Graph, rng: np.random.Generator) 
     return int(source)
 
 
+def _resolve_batch_width(batch: BatchSpec, num_vertices: int) -> int:
+    """Map the ``batch`` argument to a positive batch width."""
+    if batch is True or batch == "auto":
+        return max(1, min(DEFAULT_BATCH_WIDTH, AUTO_BATCH_ELEMENT_BUDGET // max(1, num_vertices)))
+    width = int(batch)
+    if width < 1:
+        raise AnalysisError(f"batch width must be positive, got {batch}")
+    return width
+
+
+def _run_trials_batched(
+    graph: Graph,
+    source: SourceSpec,
+    protocol: str,
+    trials: int,
+    seed: SeedLike,
+    fractions: Sequence[float],
+    options: dict,
+    width: int,
+) -> SpreadingTimeSample:
+    """The batched fast path of :func:`run_trials`.
+
+    Spawns the same per-trial generators and resolves per-trial sources with
+    the same draws as the serial path, then hands blocks of ``width`` trials
+    to the batch kernels.  The full ``(B, n)`` time matrix is only recorded
+    when coverage fractions were requested.
+    """
+    generators = spawn_generators(trials, seed)
+    rng_sources = [_resolve_source(source, graph, rng) for rng in generators]
+    record_times = bool(fractions)
+
+    times: list[float] = []
+    fraction_values: dict[float, list[float]] = {fraction: [] for fraction in fractions}
+    for start in range(0, trials, width):
+        stop = min(start + width, trials)
+        block = run_batch(
+            graph,
+            rng_sources[start:stop],
+            protocol,
+            rngs=generators[start:stop],
+            record_times=record_times,
+            **options,
+        )
+        times.extend(block.spreading_times().tolist())
+        for fraction in fractions:
+            fraction_values[fraction].extend(
+                block.time_to_inform_fraction(fraction).tolist()
+            )
+
+    fixed_source = rng_sources[0] if len(set(rng_sources)) == 1 else -1
+    return SpreadingTimeSample(
+        protocol=protocol,
+        graph_name=graph.name,
+        num_vertices=graph.num_vertices,
+        source=fixed_source,
+        times=tuple(times),
+        fraction_times={f: tuple(v) for f, v in fraction_values.items()},
+    )
+
+
 def run_trials(
     graph_or_factory: Union[Graph, GraphFactory],
     source: SourceSpec,
@@ -141,6 +234,7 @@ def run_trials(
     seed: SeedLike = None,
     fractions: Sequence[float] = (),
     engine_options: Optional[dict] = None,
+    batch: BatchSpec = "auto",
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations and collect spreading times.
 
@@ -155,6 +249,13 @@ def run_trials(
         fractions: optional fractions (e.g. ``(0.5, 0.9)``) for which the
             time to inform that fraction of vertices is also recorded.
         engine_options: extra keyword arguments forwarded to the engine.
+        batch: ``"auto"`` (default) uses the vectorised batch kernels
+            whenever the setting allows it (fixed graph, batchable protocol
+            and options) and falls back to serial runs otherwise; ``False``
+            forces the serial path; ``True`` or a positive int (the batch
+            width) forces batching and raises :class:`AnalysisError` when
+            the setting cannot be batched.  Both paths produce identical
+            samples for the same seed.
 
     Returns:
         The collected :class:`SpreadingTimeSample`.
@@ -166,6 +267,35 @@ def run_trials(
         if not 0.0 < fraction <= 1.0:
             raise AnalysisError(f"fractions must be in (0, 1], got {fraction}")
     options = dict(engine_options or {})
+
+    if batch is not False:
+        eligible = isinstance(graph_or_factory, Graph) and is_batchable(protocol, options)
+        if (
+            eligible
+            and batch == "auto"
+            and not get_protocol(protocol).synchronous
+            and trials < ASYNC_AUTO_MIN_TRIALS
+        ):
+            eligible = False  # narrow async batches lose to the serial engine
+        if eligible:
+            return _run_trials_batched(
+                graph_or_factory,
+                source,
+                protocol,
+                trials,
+                seed,
+                tuple(fractions),
+                options,
+                _resolve_batch_width(batch, graph_or_factory.num_vertices),
+            )
+        if batch != "auto":
+            reason = (
+                "graph factories run one trial per graph"
+                if not isinstance(graph_or_factory, Graph)
+                else f"protocol {protocol!r} with options {sorted(options)} has no batched kernel"
+            )
+            raise AnalysisError(f"batch={batch!r} was requested but {reason}")
+
     generators = spawn_generators(trials, seed)
 
     times: list[float] = []
@@ -214,13 +344,16 @@ def run_adaptive_trials(
     relative_precision: float = 0.05,
     seed: SeedLike = None,
     engine_options: Optional[dict] = None,
+    batch: BatchSpec = "auto",
 ) -> SpreadingTimeSample:
     """Keep adding trial batches until the mean is known to the requested precision.
 
     The stopping rule is ``1.96 * standard_error <= relative_precision * mean``
     (a ~95% confidence half-width below the requested relative precision), or
     ``max_trials`` trials, whichever comes first.  This is the "adaptive
-    trial allocation" ablation mentioned in DESIGN.md.
+    trial allocation" ablation mentioned in DESIGN.md.  Each refinement block
+    goes through :func:`run_trials` and therefore picks up the batched fast
+    path under the same conditions (see the ``batch`` argument there).
     """
     if initial_trials < 2:
         raise AnalysisError("initial_trials must be at least 2")
@@ -238,6 +371,7 @@ def run_adaptive_trials(
         trials=initial_trials,
         seed=master,
         engine_options=engine_options,
+        batch=batch,
     )
     while sample.num_trials < max_trials:
         half_width = 1.96 * sample.standard_error()
@@ -251,6 +385,7 @@ def run_adaptive_trials(
             trials=remaining,
             seed=master,
             engine_options=engine_options,
+            batch=batch,
         )
         sample = sample.merged_with(extra)
     return sample

@@ -31,8 +31,23 @@ __all__ = ["ParallelTrialSpec", "run_trials_parallel", "default_worker_count"]
 
 
 def default_worker_count() -> int:
-    """Number of worker processes to use by default (CPU count, at least 1)."""
-    return max(1, os.cpu_count() or 1)
+    """Number of worker processes to use by default.
+
+    Defaults to the CPU count (at least 1).  The ``REPRO_MAX_WORKERS``
+    environment variable, when set to a positive integer, caps the fan-out —
+    useful on CI runners and shared machines; values above the CPU count are
+    clamped to it, and unparsable or non-positive values are ignored.
+    """
+    cpus = max(1, os.cpu_count() or 1)
+    raw = os.environ.get("REPRO_MAX_WORKERS")
+    if raw is not None:
+        try:
+            limit = int(raw)
+        except ValueError:
+            return cpus
+        if limit >= 1:
+            return min(limit, cpus)
+    return cpus
 
 
 @dataclass(frozen=True)
@@ -50,6 +65,11 @@ class ParallelTrialSpec:
         trials: number of trials in this chunk.
         trial_seed: seed for the chunk's trials.
         fractions: coverage fractions to record.
+        batch: batch dispatch mode forwarded to
+            :func:`~repro.analysis.montecarlo.run_trials`; with the default
+            ``"auto"`` each worker simulates its chunk through the 2-D batch
+            kernels (one vectorised job instead of a Python loop over trials)
+            whenever the protocol allows it.
     """
 
     protocol: str
@@ -61,6 +81,7 @@ class ParallelTrialSpec:
     graph_seed: Optional[int] = None
     graph: Optional[Graph] = None
     fractions: tuple[float, ...] = ()
+    batch: Union[bool, int, str] = "auto"
 
 
 def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
@@ -78,6 +99,7 @@ def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
         trials=spec.trials,
         seed=spec.trial_seed,
         fractions=spec.fractions,
+        batch=spec.batch,
     )
 
 
@@ -91,6 +113,7 @@ def run_trials_parallel(
     size: Optional[int] = None,
     num_workers: Optional[int] = None,
     fractions: Sequence[float] = (),
+    batch: Union[bool, int, str] = "auto",
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations across worker processes.
 
@@ -103,9 +126,15 @@ def run_trials_parallel(
         trials: total number of trials across all workers.
         seed: master seed.
         size: family size (only with a family name).
-        num_workers: worker processes; defaults to the CPU count.  With one
-            worker the call degenerates to a serial :func:`run_trials`.
+        num_workers: worker processes; defaults to
+            :func:`default_worker_count` (CPU count, capped by the
+            ``REPRO_MAX_WORKERS`` environment variable).  With one worker
+            the call degenerates to a serial :func:`run_trials`.
         fractions: coverage fractions to record per trial.
+        batch: batch dispatch mode for each worker's chunk (see
+            :func:`~repro.analysis.montecarlo.run_trials`); the default
+            ``"auto"`` makes every chunk one vectorised batch job when the
+            protocol allows it.
 
     Returns:
         The merged :class:`SpreadingTimeSample`.
@@ -133,6 +162,7 @@ def run_trials_parallel(
                 trial_seed=chunk_seed,
                 graph=graph_or_family,
                 fractions=tuple(fractions),
+                batch=batch,
             )
         else:
             if size is None:
@@ -146,6 +176,7 @@ def run_trials_parallel(
                 size=int(size),
                 graph_seed=graph_seed,
                 fractions=tuple(fractions),
+                batch=batch,
             )
         specs.append(spec)
 

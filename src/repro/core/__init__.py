@@ -13,6 +13,14 @@ from repro.core.aux_processes import (
     run_ppx,
     run_ppy,
 )
+from repro.core.batch_engine import (
+    ASYNC_BATCH_PROTOCOLS,
+    SYNC_BATCH_PROTOCOLS,
+    is_batchable,
+    run_asynchronous_batch,
+    run_batch,
+    run_synchronous_batch,
+)
 from repro.core.flatgraph import FlatAdjacency, flat_adjacency
 from repro.core.protocols import (
     PROTOCOLS,
@@ -23,7 +31,12 @@ from repro.core.protocols import (
     is_synchronous_protocol,
     spread,
 )
-from repro.core.result import ContactEvent, SpreadingResult, check_result_consistency
+from repro.core.result import (
+    BatchTimes,
+    ContactEvent,
+    SpreadingResult,
+    check_result_consistency,
+)
 from repro.core.sync_engine import SYNC_MODES, default_max_rounds, run_synchronous
 
 __all__ = [
@@ -31,6 +44,13 @@ __all__ = [
     "ASYNC_VIEWS",
     "default_max_steps",
     "run_asynchronous",
+    "ASYNC_BATCH_PROTOCOLS",
+    "SYNC_BATCH_PROTOCOLS",
+    "is_batchable",
+    "run_asynchronous_batch",
+    "run_batch",
+    "run_synchronous_batch",
+    "BatchTimes",
     "AUX_VARIANTS",
     "pull_probability",
     "run_auxiliary_process",

@@ -22,6 +22,13 @@ empirically (experiment E10):
 The equivalence follows from the superposition and thinning properties of
 Poisson processes plus the memorylessness of the exponential distribution —
 precisely the facts the paper quotes.
+
+As with the synchronous engine, this module simulates one trial with full
+:class:`~repro.core.result.SpreadingResult` bookkeeping; times-only Monte
+Carlo runs of the ``"global"`` view should go through
+:mod:`repro.core.batch_engine`, which batches the tick loop across trials
+and reproduces this engine's results trial-for-trial for the same
+per-trial generators.
 """
 
 from __future__ import annotations

@@ -1,0 +1,618 @@
+"""Batched simulation kernels: run ``B`` Monte Carlo trials as one 2-D job.
+
+Every quantity the paper reasons about — the expectation of the spreading
+time ``T(alg, G, u)`` (Theorem 2) and its ``1 - 1/n`` quantile (Theorem 1) —
+is a property of a *distribution*, so the real workload is thousands of
+independent trials per (protocol, graph, source) cell.  Running those trials
+one :func:`~repro.core.sync_engine.run_synchronous` call at a time pays the
+full Python-level per-round overhead and the per-vertex
+:class:`~repro.core.result.SpreadingResult` materialization once per trial.
+
+The kernels in this module instead simulate ``B`` trials *simultaneously* as
+``(B, n)`` NumPy arrays:
+
+* :func:`run_synchronous_batch` is a 2-D generalization of the synchronous
+  engine — one vectorised neighbor-sampling call per round covers every live
+  trial, and per-trial completion masks retire finished trials from the
+  working set (they stop consuming randomness, exactly like a serial run
+  that returned).
+* :func:`run_asynchronous_batch` is a batched tick loop for the ``"global"``
+  view of the asynchronous model: per-trial exponential time accumulators
+  advance all live trials by one Poisson tick per iteration, with the rumor
+  exchange vectorised across trials.
+
+**Exact serial equivalence.**  Each trial owns its own
+:class:`numpy.random.Generator` and the kernels consume randomness from it
+in *exactly* the order the serial engines do (``rng.random(n)`` per
+synchronous round while live; ``exponential``/``integers``/``random`` chunks
+of the same sizes for the asynchronous global view).  Consequently a batched
+trial with generator ``g`` produces bit-for-bit the same informing times as
+a serial run seeded with ``g`` — the batch dimension is a pure throughput
+optimization, testable trial-for-trial with spawned seeds.
+
+The output is a times-only :class:`~repro.core.result.BatchTimes` record:
+batched runs never build parents, infection kinds, or traces.  Callers that
+need those (coupling experiments, trace debugging) use the serial engines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.async_engine import ASYNC_MODES, default_max_steps
+from repro.core.flatgraph import flat_adjacency
+from repro.core.result import BatchTimes
+from repro.core.sync_engine import SYNC_MODES, default_max_rounds
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.base import Graph
+from repro.randomness.rng import SeedLike, spawn_generators
+
+__all__ = [
+    "run_batch",
+    "run_synchronous_batch",
+    "run_asynchronous_batch",
+    "is_batchable",
+    "SYNC_BATCH_PROTOCOLS",
+    "ASYNC_BATCH_PROTOCOLS",
+]
+
+#: Canonical protocol name -> synchronous engine mode.
+SYNC_BATCH_PROTOCOLS = {"pp": "push-pull", "push": "push", "pull": "pull"}
+
+#: Canonical protocol name -> asynchronous engine mode (``"global"`` view).
+ASYNC_BATCH_PROTOCOLS = {"pp-a": "push-pull", "push-a": "push", "pull-a": "pull"}
+
+_SYNC_MODE_NAMES = {"push": "push", "pull": "pull", "push-pull": "pp"}
+_ASYNC_MODE_NAMES = {"push": "push-a", "pull": "pull-a", "push-pull": "pp-a"}
+
+#: Engine options each batched kernel understands (beyond ``record_times``).
+_SYNC_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
+_ASYNC_OPTIONS = frozenset({"max_steps", "max_time", "view", "on_budget_exhausted"})
+
+#: Chunk size of the serial asynchronous global-view engine; the batched
+#: kernel must refill per-trial randomness buffers in chunks of exactly this
+#: size to reproduce the serial draw order.
+_ASYNC_CHUNK = 4096
+
+
+def is_batchable(protocol: str, engine_options: Optional[dict] = None) -> bool:
+    """Whether ``protocol`` (with these engine options) has a batched kernel.
+
+    Batched kernels cover the six realistic protocols (synchronous and
+    asynchronous push / pull / push–pull, the latter under the ``"global"``
+    view only) and the times-only options; anything needing parents, traces,
+    auxiliary processes, or the clock-queue views falls back to the serial
+    engines.
+    """
+    options = dict(engine_options or {})
+    if options.pop("record_trace", False):
+        return False
+    if protocol in SYNC_BATCH_PROTOCOLS:
+        return set(options) <= _SYNC_OPTIONS
+    if protocol in ASYNC_BATCH_PROTOCOLS:
+        if options.get("view", "global") != "global":
+            return False
+        return set(options) <= _ASYNC_OPTIONS
+    return False
+
+
+def _prepare(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    mode: str,
+    valid_modes: tuple[str, ...],
+    rngs: Optional[Sequence[np.random.Generator]],
+    trials: Optional[int],
+    seed: SeedLike,
+    on_budget_exhausted: str,
+) -> tuple[np.ndarray, list[np.random.Generator]]:
+    """Validate inputs and normalise (sources, rngs) to per-trial sequences."""
+    if mode not in valid_modes:
+        raise ProtocolError(f"unknown mode {mode!r}; expected one of {valid_modes}")
+    if on_budget_exhausted not in ("error", "partial"):
+        raise ProtocolError(
+            f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
+        )
+    if np.ndim(sources) == 0:
+        batch = len(rngs) if rngs is not None else trials
+        if batch is None:
+            raise ProtocolError(
+                "with a scalar source, pass per-trial rngs or an explicit trials count"
+            )
+        source_array = np.full(int(batch), int(sources), dtype=np.int64)
+    else:
+        source_array = np.asarray(sources, dtype=np.int64)
+    if source_array.size < 1:
+        raise ProtocolError("a batch needs at least one trial")
+    if rngs is None:
+        generators = spawn_generators(source_array.size, seed)
+    else:
+        generators = list(rngs)
+    if len(generators) != source_array.size:
+        raise ProtocolError(
+            f"got {source_array.size} sources but {len(generators)} generators"
+        )
+    n = graph.num_vertices
+    if source_array.min() < 0 or source_array.max() >= n:
+        bad = source_array[(source_array < 0) | (source_array >= n)][0]
+        raise ProtocolError(
+            f"source {int(bad)} is not a vertex of {graph.name} (n={n})"
+        )
+    if n > 1 and not graph.is_connected():
+        raise ProtocolError(
+            f"{graph.name} is not connected; the rumor can never reach every vertex"
+        )
+    return source_array, generators
+
+
+def _trivial_batch(
+    protocol_name: str,
+    graph: Graph,
+    sources: np.ndarray,
+    record_times: bool,
+    synchronous: bool,
+) -> BatchTimes:
+    """The n == 1 graph: every trial completes instantly."""
+    batch = sources.size
+    counters = np.zeros(batch, dtype=np.int64)
+    return BatchTimes(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=1,
+        sources=sources,
+        completed=np.ones(batch, dtype=bool),
+        completion_time=np.zeros(batch, dtype=float),
+        informed_time=np.zeros((batch, 1), dtype=float) if record_times else None,
+        rounds=counters if synchronous else None,
+        steps=None if synchronous else counters,
+    )
+
+
+def _raise_incomplete(
+    protocol_name: str,
+    graph: Graph,
+    num_informed: np.ndarray,
+    completed: np.ndarray,
+    budget_description: str,
+) -> None:
+    incomplete = np.flatnonzero(~completed)
+    worst = int(num_informed[incomplete].min())
+    raise SimulationError(
+        f"{protocol_name} on {graph.name} left {incomplete.size} of "
+        f"{completed.size} batched trials incomplete within {budget_description} "
+        f"(worst trial informed {worst}/{graph.num_vertices} vertices)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Synchronous batch kernel
+# ---------------------------------------------------------------------- #
+def run_synchronous_batch(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    *,
+    mode: str = "push-pull",
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    trials: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+    record_times: bool = True,
+    on_budget_exhausted: str = "error",
+) -> BatchTimes:
+    """Simulate a batch of synchronous rumor-spreading trials at once.
+
+    Args:
+        graph: the (connected) graph shared by every trial.
+        sources: per-trial source vertices (length ``B``), or a single vertex
+            id used by all trials.
+        mode: ``"push"``, ``"pull"``, or ``"push-pull"``.
+        rngs: per-trial generators (length ``B``).  Trial ``i`` consumes
+            randomness from ``rngs[i]`` exactly as a serial
+            :func:`~repro.core.sync_engine.run_synchronous` call would, so
+            fixed-seed results agree trial-for-trial with the serial engine.
+        trials: batch size when ``sources`` is a scalar and ``rngs`` is not
+            given.
+        seed: master seed used to spawn per-trial generators when ``rngs``
+            is not given.
+        max_rounds: per-trial round budget (shared), defaulting to
+            :func:`~repro.core.sync_engine.default_max_rounds`.
+        record_times: record the full ``(B, n)`` per-vertex time matrix.
+            With ``False`` only per-trial spreading times are kept, which is
+            cheaper and enough for spreading-time statistics.
+        on_budget_exhausted: ``"error"`` raises :class:`SimulationError` if
+            any trial fails to complete; ``"partial"`` marks such trials
+            incomplete instead.
+
+    Returns:
+        A :class:`~repro.core.result.BatchTimes` with round-valued times.
+    """
+    source_array, generators = _prepare(
+        graph, sources, mode, SYNC_MODES, rngs, trials, seed, on_budget_exhausted
+    )
+    protocol_name = _SYNC_MODE_NAMES[mode]
+    n = graph.num_vertices
+    batch = source_array.size
+    budget = default_max_rounds(n) if max_rounds is None else int(max_rounds)
+    if budget < 0:
+        raise ProtocolError(f"max_rounds must be non-negative, got {max_rounds}")
+    if n == 1:
+        return _trivial_batch(protocol_name, graph, source_array, record_times, True)
+
+    flat = flat_adjacency(graph)
+    # Narrow copies of the CSR arrays: the neighbor-sampling gathers are the
+    # hottest memory traffic in the round loop.  int32 covers flat (row,
+    # vertex) addresses whenever batch * n fits, which is every realistic
+    # batch; fall back to int64 otherwise.
+    idx_dtype = np.int32 if batch * n < 2**31 else np.int64
+    degrees_nw = flat.degrees.astype(idx_dtype)
+    max_offset_nw = degrees_nw - 1
+    start_nw = flat.indptr[:-1].astype(idx_dtype)
+    indices_nw = flat.indices.astype(idx_dtype)
+
+    pull_allowed = mode in ("pull", "push-pull")
+    push_allowed = mode in ("push", "push-pull")
+
+    # Live-trial working set, compacted whenever trials finish: row i of the
+    # live arrays belongs to trial live_ids[i].  Finished trials move their
+    # rows into the separate per-trial final storage and stop paying any
+    # per-round cost (and stop consuming randomness, like a serial run that
+    # returned).
+    live_ids = np.arange(batch, dtype=np.int64)
+    live_rngs = list(generators)
+    informed_live = np.zeros((batch, n), dtype=bool)
+    informed_live[live_ids, source_array] = True
+    informed_live_count = np.ones(batch, dtype=np.int64)
+    times_live = None
+    final_times = None
+    if record_times:
+        times_live = np.full((batch, n), np.inf)
+        times_live[live_ids, source_array] = 0.0
+        final_times = np.empty((batch, n))
+
+    final_rounds = np.zeros(batch, dtype=np.int64)
+    final_informed_count = np.full(batch, n, dtype=np.int64)
+    completed = np.zeros(batch, dtype=bool)
+    completion_time = np.full(batch, np.inf)
+    # Preallocated per-round working buffers (sliced to the live row count):
+    # the round loop reuses them instead of allocating ~n * live temporaries
+    # every round.
+    scratch = np.empty((batch, n))
+    offsets_buf = np.empty((batch, n), dtype=idx_dtype)
+    contact_buf = np.empty((batch, n), dtype=idx_dtype)
+    contacted_buf = np.empty((batch, n), dtype=bool)
+    pull_buf = np.empty((batch, n), dtype=bool)
+    push_buf = np.empty((batch, n), dtype=bool)
+    # Row offsets turning (row, vertex) pairs into indices of the raveled
+    # (live, n) arrays; the whole round works in that flat address space.
+    row_offsets = (np.arange(batch, dtype=idx_dtype) * idx_dtype(n))[:, None]
+
+    round_index = 0
+    while live_ids.size and round_index < budget:
+        round_index += 1
+        live = live_ids.size
+        draws = scratch[:live]
+        for i in range(live):
+            # One rng.random(n) per live trial per round — the exact draw the
+            # serial engine makes, so per-trial streams stay aligned.
+            live_rngs[i].random(out=draws[i])
+        # Contact selection, identical arithmetic to
+        # FlatAdjacency.random_neighbors_all but on narrow dtypes (the
+        # unsafe cast truncates toward zero exactly like .astype, and the
+        # 'clip' take mode skips bounds checks on indices that are in range
+        # by construction).
+        offsets = offsets_buf[:live]
+        np.multiply(draws, degrees_nw, out=offsets, casting="unsafe")
+        np.minimum(offsets, max_offset_nw, out=offsets)
+        offsets += start_nw
+        contact_flat = contact_buf[:live]
+        np.take(indices_nw, offsets, out=contact_flat, mode="clip")
+        contact_flat += row_offsets[:live]  # flat index of each contacted vertex
+        informed_flat = informed_live.reshape(-1)
+        contacted_informed = contacted_buf[:live]
+        np.take(informed_flat, contact_flat, out=contacted_informed, mode="clip")
+
+        # Everything below reads the round-start snapshot of the informed
+        # set before mutating it.  A flat position is its own "caller"
+        # index, so the pull update is a plain elementwise OR with the
+        # contacted statuses (a no-op on already-informed callers), and
+        # push infections scatter at the contacted positions of informed
+        # callers (a no-op on already-informed targets, so the snapshot
+        # mask `informed > contacted` drops them before the scatter).
+        push_targets = None
+        if push_allowed:
+            push_mask = np.greater(informed_live, contacted_informed, out=push_buf[:live])
+            push_targets = contact_flat[push_mask]
+        if times_live is not None:
+            times_flat = times_live.reshape(-1)
+            if pull_allowed:
+                pull_mask = np.less(informed_live, contacted_informed, out=pull_buf[:live])
+                np.copyto(times_live, float(round_index), where=pull_mask)
+            if push_targets is not None:
+                times_flat[push_targets] = float(round_index)
+        if pull_allowed:
+            informed_live |= contacted_informed
+        if push_targets is not None:
+            informed_flat[push_targets] = True
+
+        informed_live_count = informed_live.sum(axis=1)
+        finished = informed_live_count == n
+        if finished.any():
+            done = np.flatnonzero(finished)
+            done_ids = live_ids[done]
+            completed[done_ids] = True
+            completion_time[done_ids] = float(round_index)
+            final_rounds[done_ids] = round_index
+            if times_live is not None:
+                final_times[done_ids] = times_live[done]
+            keep = np.flatnonzero(~finished)
+            informed_live = informed_live[keep]
+            if times_live is not None:
+                times_live = times_live[keep]
+            informed_live_count = informed_live_count[keep]
+            live_rngs = [live_rngs[i] for i in keep]
+            live_ids = live_ids[keep]
+
+    if live_ids.size:
+        # Budget exhausted with trials still live: they executed every round.
+        final_rounds[live_ids] = round_index
+        final_informed_count[live_ids] = informed_live_count
+        if times_live is not None:
+            final_times[live_ids] = times_live
+
+    if not completed.all() and on_budget_exhausted == "error":
+        _raise_incomplete(
+            protocol_name, graph, final_informed_count, completed, f"{budget} rounds"
+        )
+
+    return BatchTimes(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=n,
+        sources=source_array,
+        completed=completed,
+        completion_time=completion_time,
+        informed_time=final_times,
+        rounds=final_rounds,
+        steps=None,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Asynchronous batch kernel ("global" view)
+# ---------------------------------------------------------------------- #
+def run_asynchronous_batch(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    *,
+    mode: str = "push-pull",
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    trials: Optional[int] = None,
+    seed: SeedLike = None,
+    max_steps: Optional[int] = None,
+    max_time: Optional[float] = None,
+    record_times: bool = True,
+    on_budget_exhausted: str = "error",
+) -> BatchTimes:
+    """Simulate a batch of asynchronous trials under the ``"global"`` view.
+
+    Every trial carries its own exponential time accumulator (the rate-``n``
+    global Poisson clock) and every loop iteration advances all live trials
+    by one tick, with the contact exchange vectorised across trials.
+    Per-trial randomness is drawn from ``rngs[i]`` in chunks of the same
+    sizes and order as the serial
+    :func:`~repro.core.async_engine.run_asynchronous` global view, so
+    fixed-seed results agree trial-for-trial with the serial engine.
+
+    Args: as :func:`run_synchronous_batch`, with the asynchronous budgets
+        ``max_steps`` (clock ticks) and ``max_time`` (simulated time).
+
+    Returns:
+        A :class:`~repro.core.result.BatchTimes` with continuous times.
+    """
+    source_array, generators = _prepare(
+        graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted
+    )
+    protocol_name = _ASYNC_MODE_NAMES[mode]
+    n = graph.num_vertices
+    batch = source_array.size
+    step_budget = default_max_steps(n) if max_steps is None else int(max_steps)
+    if step_budget < 0:
+        raise ProtocolError(f"max_steps must be non-negative, got {max_steps}")
+    time_budget = np.inf if max_time is None else float(max_time)
+    if time_budget < 0:
+        raise ProtocolError(f"max_time must be non-negative, got {max_time}")
+    if n == 1:
+        return _trivial_batch(protocol_name, graph, source_array, record_times, False)
+
+    flat = flat_adjacency(graph)
+    degrees_nw = flat.degrees.astype(np.int32)
+    max_offset_nw = degrees_nw - 1
+    start_nw = flat.indptr[:-1].astype(np.int32)
+    indices_nw = flat.indices.astype(np.int32)
+
+    mode_pp = mode == "push-pull"
+    push_allowed = mode in ("push", "push-pull")
+    finite_time_budget = np.isfinite(time_budget)
+    scale = 1.0 / n  # mean gap of the rate-n global clock
+
+    informed = np.zeros((batch, n), dtype=bool)
+    trial_rows = np.arange(batch, dtype=np.int64)
+    informed[trial_rows, source_array] = True
+    num_informed = np.ones(batch, dtype=np.int64)
+    times = None
+    if record_times:
+        times = np.full((batch, n), np.inf)
+        times[trial_rows, source_array] = 0.0
+
+    now = np.zeros(batch)
+    steps = np.zeros(batch, dtype=np.int64)
+    completed = np.zeros(batch, dtype=bool)
+    completion_time = np.full(batch, np.inf)
+
+    # Per-trial randomness buffers mirroring the serial engine's chunked
+    # draws: refilled (exponential gaps, callers, neighbor uniforms — in that
+    # order) whenever exhausted, with chunk size min(4096, remaining budget).
+    # A trial can only run out of step budget at a buffer boundary (chunks
+    # never outlive the budget), so the budget check lives in the refill.
+    gaps = np.empty((batch, _ASYNC_CHUNK))
+    callers = np.empty((batch, _ASYNC_CHUNK), dtype=np.int32)
+    nbr_uniforms = np.empty((batch, _ASYNC_CHUNK))
+    positions = np.zeros(batch, dtype=np.int64)
+    buffer_lengths = np.zeros(batch, dtype=np.int64)
+
+    live = num_informed < n
+    if step_budget == 0:
+        live[:] = False
+    rows = np.flatnonzero(live)
+    while rows.size:
+        at_boundary = positions[rows] >= buffer_lengths[rows]
+        if at_boundary.any():
+            for b in rows[at_boundary]:
+                remaining = step_budget - int(steps[b])
+                if remaining <= 0:
+                    live[b] = False
+                    continue
+                chunk = min(_ASYNC_CHUNK, remaining)
+                rng = generators[b]
+                gaps[b, :chunk] = rng.exponential(scale, chunk)
+                callers[b, :chunk] = rng.integers(0, n, chunk)
+                nbr_uniforms[b, :chunk] = rng.random(chunk)
+                buffer_lengths[b] = chunk
+                positions[b] = 0
+            rows = rows[live[rows]]
+            if rows.size == 0:
+                break
+
+        cursor = positions[rows]
+        gap = gaps[rows, cursor]
+        caller = callers[rows, cursor].astype(np.int64)
+        uniform = nbr_uniforms[rows, cursor]
+        positions[rows] = cursor + 1
+        tick_time = now[rows] + gap
+        now[rows] = tick_time
+
+        if finite_time_budget:
+            over_time = tick_time > time_budget
+            if over_time.any():
+                live[rows[over_time]] = False
+                keep = ~over_time
+                rows = rows[keep]
+                caller = caller[keep]
+                uniform = uniform[keep]
+                tick_time = tick_time[keep]
+                if rows.size == 0:
+                    rows = np.flatnonzero(live)
+                    continue
+        steps[rows] += 1
+
+        offsets = (uniform * degrees_nw[caller]).astype(np.int64)
+        np.minimum(offsets, max_offset_nw[caller], out=offsets)
+        callee = indices_nw[start_nw[caller] + offsets].astype(np.int64)
+
+        caller_informed = informed[rows, caller]
+        callee_informed = informed[rows, callee]
+        # One contact per trial per tick, so the exchange vectorises with no
+        # intra-iteration conflicts: push informs the callee, pull informs
+        # the caller, and in push-pull exactly the uninformed endpoint of an
+        # informative contact (caller_informed XOR callee_informed) learns.
+        if mode_pp:
+            active = caller_informed != callee_informed
+            targets = np.where(caller_informed, callee, caller)
+        elif push_allowed:
+            active = caller_informed & ~callee_informed
+            targets = callee
+        else:
+            active = ~caller_informed & callee_informed
+            targets = caller
+        if active.any():
+            active_rows = rows[active]
+            active_targets = targets[active]
+            informed[active_rows, active_targets] = True
+            if times is not None:
+                times[active_rows, active_targets] = tick_time[active]
+            num_informed[active_rows] += 1
+            done = active_rows[num_informed[active_rows] == n]
+            if done.size:
+                completed[done] = True
+                completion_time[done] = now[done]
+                live[done] = False
+                rows = np.flatnonzero(live)
+        # `rows` stays valid across iterations: every path that retires a
+        # trial (budget boundary, overtime, completion) refreshed it above.
+
+    if not completed.all() and on_budget_exhausted == "error":
+        _raise_incomplete(
+            protocol_name,
+            graph,
+            num_informed,
+            completed,
+            f"{step_budget} steps / time {time_budget}",
+        )
+    return BatchTimes(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=n,
+        sources=source_array,
+        completed=completed,
+        completion_time=completion_time,
+        informed_time=times,
+        rounds=None,
+        steps=steps,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Uniform entry point
+# ---------------------------------------------------------------------- #
+def run_batch(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    protocol: str = "pp",
+    *,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    trials: Optional[int] = None,
+    seed: SeedLike = None,
+    record_times: bool = True,
+    **options,
+) -> BatchTimes:
+    """Run a batch of trials of any batchable protocol.
+
+    The batched analogue of :func:`repro.core.protocols.spread`: dispatches
+    on the canonical protocol name to the synchronous or asynchronous batch
+    kernel.  ``options`` are forwarded to the kernel (``max_rounds`` /
+    ``max_steps`` / ``max_time`` / ``on_budget_exhausted``; the asynchronous
+    ``view`` option is accepted but must be ``"global"``).
+    """
+    if protocol in SYNC_BATCH_PROTOCOLS:
+        return run_synchronous_batch(
+            graph,
+            sources,
+            mode=SYNC_BATCH_PROTOCOLS[protocol],
+            rngs=rngs,
+            trials=trials,
+            seed=seed,
+            record_times=record_times,
+            **options,
+        )
+    if protocol in ASYNC_BATCH_PROTOCOLS:
+        view = options.pop("view", "global")
+        if view != "global":
+            raise ProtocolError(
+                f"batched asynchronous runs support only the 'global' view, got {view!r}"
+            )
+        return run_asynchronous_batch(
+            graph,
+            sources,
+            mode=ASYNC_BATCH_PROTOCOLS[protocol],
+            rngs=rngs,
+            trials=trials,
+            seed=seed,
+            record_times=record_times,
+            **options,
+        )
+    raise ProtocolError(
+        f"protocol {protocol!r} has no batched kernel; batchable protocols: "
+        f"{sorted(SYNC_BATCH_PROTOCOLS) + sorted(ASYNC_BATCH_PROTOCOLS)}"
+    )

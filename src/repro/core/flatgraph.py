@@ -69,6 +69,23 @@ class FlatAdjacency:
         np.minimum(offsets, degs - 1, out=offsets)
         return self.indices[self.indptr[vertices] + offsets]
 
+    def random_neighbors_all(self, uniforms: np.ndarray) -> np.ndarray:
+        """One uniform random neighbor for *every* vertex at once.
+
+        Args:
+            uniforms: uniform(0, 1) draws of shape ``(n,)`` or ``(B, n)``;
+                the last axis indexes vertices, so a ``(B, n)`` matrix selects
+                one neighbor per vertex for ``B`` independent trials in a
+                single vectorised call.
+
+        Returns:
+            Chosen neighbor ids, same shape as ``uniforms``.  Equivalent to
+            ``random_neighbors(arange(n), row)`` applied to every row.
+        """
+        offsets = (uniforms * self.degrees).astype(np.int64)
+        np.minimum(offsets, self.degrees - 1, out=offsets)
+        return self.indices[self.indptr[:-1] + offsets]
+
     def random_neighbor(self, vertex: int, uniform: float) -> int:
         """Scalar version of :meth:`random_neighbors`."""
         degree = int(self.degrees[vertex])
@@ -76,7 +93,9 @@ class FlatAdjacency:
         return int(self.indices[self.indptr[vertex] + offset])
 
 
-_CACHE: "weakref.WeakValueDictionary[int, FlatAdjacency]" = weakref.WeakValueDictionary()
+# LRU cache of FlatAdjacency structures keyed by graph identity.  Python
+# dicts preserve insertion order, so re-inserting an entry on every hit keeps
+# the dict ordered least-recently-used first and eviction can pop the front.
 _CACHE_KEEPALIVE: dict[int, tuple[weakref.ref, FlatAdjacency]] = {}
 _KEEPALIVE_LIMIT = 64
 
@@ -84,19 +103,26 @@ _KEEPALIVE_LIMIT = 64
 def flat_adjacency(graph: Graph) -> FlatAdjacency:
     """Return the (cached) :class:`FlatAdjacency` for ``graph``.
 
-    The cache keeps a bounded number of recently used structures alive and
-    drops entries automatically once their graph is garbage collected.
+    The cache keeps a bounded number of recently used structures alive (true
+    LRU: a hit refreshes the entry's recency) and drops entries automatically
+    once their graph is garbage collected.
     """
     key = id(graph)
     cached = _CACHE_KEEPALIVE.get(key)
     if cached is not None:
         graph_ref, flat = cached
         if graph_ref() is graph:
+            # Refresh recency: move the entry to the back of the dict so
+            # eviction drops the least-recently-*used* entry, not merely the
+            # oldest-inserted one.
+            del _CACHE_KEEPALIVE[key]
+            _CACHE_KEEPALIVE[key] = (graph_ref, flat)
             return flat
         del _CACHE_KEEPALIVE[key]
     flat = FlatAdjacency(graph)
     if len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
-        # Drop entries whose graphs have been collected first, then oldest.
+        # Drop entries whose graphs have been collected first, then the
+        # least recently used.
         dead = [k for k, (ref, _) in _CACHE_KEEPALIVE.items() if ref() is None]
         for k in dead:
             del _CACHE_KEEPALIVE[k]

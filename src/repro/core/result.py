@@ -5,6 +5,15 @@ per-vertex informing times, the overall spreading time (the paper's
 ``T(alg, G, u)``), the infection tree (who informed whom and whether by push
 or pull), and bookkeeping counters.  The analysis layer consumes these
 records; it never needs to re-inspect engine internals.
+
+Batched runs (``repro.core.batch_engine``) produce a :class:`BatchTimes`
+instead: a times-only record for ``B`` trials at once, with no parents,
+infection kinds, or traces.  Every distributional quantity the analysis
+layer needs — the spreading time ``T(alg, G, u)`` per trial and the time to
+inform a given fraction of vertices — is derivable from the ``(B, n)``
+informing-time matrix (or, when even that was skipped, from the per-trial
+completion rounds/times), so batched Monte Carlo runs never pay for the
+per-vertex Python-object bookkeeping of :class:`SpreadingResult`.
 """
 
 from __future__ import annotations
@@ -13,7 +22,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-__all__ = ["ContactEvent", "SpreadingResult", "InfectionKind"]
+import numpy as np
+
+__all__ = ["ContactEvent", "SpreadingResult", "BatchTimes", "InfectionKind"]
 
 #: How a vertex learned the rumor.
 InfectionKind = str  # "source", "push", or "pull"
@@ -160,6 +171,93 @@ class SpreadingResult:
             f"{self.protocol} on {self.graph_name} from {self.source}: "
             f"T={self.spreading_time:.3f} ({clock}, {self.num_informed}/"
             f"{self.num_vertices} informed, {status})"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class BatchTimes:
+    """Times-only outcome of a batch of ``B`` independent simulation trials.
+
+    Produced by :mod:`repro.core.batch_engine`.  Unlike
+    :class:`SpreadingResult` this record carries no parents, infection kinds,
+    or traces — only what the Monte Carlo statistics need — so batched runs
+    skip all per-vertex Python-object materialization.
+
+    Attributes:
+        protocol: canonical protocol name (``"pp"``, ``"pp-a"``, ...).
+        graph_name: display name of the simulated graph.
+        num_vertices: number of vertices ``n`` of the simulated graph.
+        sources: ``(B,)`` int array of per-trial source vertices.
+        completed: ``(B,)`` bool array; whether each trial informed everyone
+            within its budget.
+        completion_time: ``(B,)`` float array; the spreading time
+            ``T(alg, G, u)`` of each trial (round number for synchronous
+            protocols, continuous clock time for asynchronous ones), or
+            ``inf`` for trials that did not complete.
+        informed_time: optional ``(B, n)`` float matrix of per-vertex
+            informing times (``inf`` for never-informed vertices).  ``None``
+            when the engine ran in scalar mode (``record_times=False``),
+            which is enough for spreading-time statistics but not for
+            coverage fractions.
+        rounds: ``(B,)`` int array of synchronous rounds executed per trial
+            (``None`` for asynchronous protocols).
+        steps: ``(B,)`` int array of asynchronous clock ticks executed per
+            trial (``None`` for synchronous protocols).
+    """
+
+    protocol: str
+    graph_name: str
+    num_vertices: int
+    sources: np.ndarray
+    completed: np.ndarray
+    completion_time: np.ndarray
+    informed_time: Optional[np.ndarray] = field(default=None, repr=False)
+    rounds: Optional[np.ndarray] = None
+    steps: Optional[np.ndarray] = None
+
+    @property
+    def num_trials(self) -> int:
+        """The batch size ``B``."""
+        return int(self.sources.shape[0])
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether the producing protocol is round based."""
+        return self.rounds is not None
+
+    def spreading_times(self) -> np.ndarray:
+        """Per-trial spreading times ``T(alg, G, u)`` as a ``(B,)`` array."""
+        return self.completion_time
+
+    def time_to_inform_fraction(self, fraction: float) -> np.ndarray:
+        """Per-trial earliest time at which ``fraction`` of vertices know the rumor.
+
+        Mirrors :meth:`SpreadingResult.time_to_inform_fraction` but for the
+        whole batch at once; requires the engine to have recorded the full
+        per-vertex time matrix.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self.informed_time is None:
+            raise ValueError(
+                "per-vertex times were not recorded for this batch "
+                "(engine ran with record_times=False)"
+            )
+        needed = math.ceil(fraction * self.num_vertices)
+        # Sorting pushes inf (never informed) to the end, so the (needed-1)-th
+        # order statistic is exactly the serial definition — including the
+        # inf result for trials that never reached the fraction.
+        ordered = np.sort(self.informed_time, axis=1)
+        return ordered[:, needed - 1]
+
+    def summary(self) -> str:
+        """One-line human readable summary for logs and examples."""
+        finite = self.completion_time[np.isfinite(self.completion_time)]
+        mean = float(np.mean(finite)) if finite.size else math.inf
+        return (
+            f"{self.protocol} on {self.graph_name}: {self.num_trials} trials, "
+            f"{int(np.count_nonzero(self.completed))} complete, "
+            f"mean T={mean:.3f}"
         )
 
 

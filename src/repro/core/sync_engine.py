@@ -15,6 +15,13 @@ from the *start* of the round, and all vertices that received the rumor are
 added at the end of the round.  The engine is fully vectorised over
 vertices, so a round costs a handful of NumPy operations regardless of
 degree structure.
+
+This module simulates *one* trial and materialises the full
+:class:`~repro.core.result.SpreadingResult` (parents, infection kinds,
+optional traces).  Monte Carlo workloads that only need spreading times
+should go through :mod:`repro.core.batch_engine`, which runs whole blocks
+of trials as ``(B, n)`` arrays and reproduces this engine's results
+trial-for-trial for the same per-trial generators.
 """
 
 from __future__ import annotations
@@ -112,7 +119,7 @@ def run_synchronous(
     informed_round = np.full(n, np.inf)
     informed_round[source] = 0.0
     parent = np.full(n, -1, dtype=np.int64)
-    kind: list[Optional[str]] = [None] * n
+    kind = np.full(n, None, dtype=object)
     kind[source] = "source"
 
     push_infections = 0
@@ -143,7 +150,7 @@ def run_synchronous(
     num_informed = 1
     while num_informed < n and rounds_executed < budget:
         rounds_executed += 1
-        contacts = flat.random_neighbors(all_vertices, rng.random(n))
+        contacts = flat.random_neighbors_all(rng.random(n))
         total_contacts += n
         informed_before = informed  # the snapshot used for this round's decisions
         contacted_informed = informed_before[contacts]
@@ -179,35 +186,39 @@ def run_synchronous(
             informed_round[new_ids] = float(rounds_executed)
             pull_ids = all_vertices[new_by_pull]
             parent[pull_ids] = contacts[pull_ids]
-            for v in pull_ids:
-                kind[int(v)] = "pull"
+            kind[pull_ids] = "pull"
             pull_infections += int(pull_ids.size)
             parent[push_targets] = push_sources
-            for v in push_targets:
-                kind[int(v)] = "push"
+            kind[push_targets] = "push"
             push_infections += int(push_targets.size)
             informed = informed_before.copy()
             informed[new_ids] = True
             num_informed += int(new_ids.size)
 
         if record_trace:
-            for v in range(n):
-                w = int(contacts[v])
-                informed_vertex: Optional[int] = None
-                event_kind: Optional[str] = None
-                if new_by_pull[v] and parent[v] == w:
-                    informed_vertex, event_kind = v, "pull"
-                elif new_by_push[w] and parent[w] == v:
-                    informed_vertex, event_kind = w, "push"
-                trace.append(
-                    ContactEvent(
-                        time=float(rounds_executed),
-                        caller=v,
-                        callee=w,
-                        informed=informed_vertex,
-                        kind=event_kind,
-                    )
+            # A caller v is credited with an infection either because it
+            # pulled this round (its parent is necessarily its contact) or
+            # because its contact w was pushed to and chose v as parent.
+            informed_of = np.full(n, -1, dtype=np.int64)
+            kind_of = np.full(n, None, dtype=object)
+            informed_of[new_by_pull] = all_vertices[new_by_pull]
+            kind_of[new_by_pull] = "pull"
+            pushed_via = new_by_push[contacts] & (parent[contacts] == all_vertices) & ~new_by_pull
+            informed_of[pushed_via] = contacts[pushed_via]
+            kind_of[pushed_via] = "push"
+            round_time = float(rounds_executed)
+            trace.extend(
+                ContactEvent(
+                    time=round_time,
+                    caller=v,
+                    callee=w,
+                    informed=(i if i >= 0 else None),
+                    kind=k,
                 )
+                for v, w, i, k in zip(
+                    range(n), contacts.tolist(), informed_of.tolist(), kind_of.tolist()
+                )
+            )
 
     completed = num_informed == n
     if not completed and on_budget_exhausted == "error":
@@ -221,9 +232,9 @@ def run_synchronous(
         graph_name=graph.name,
         num_vertices=n,
         source=source,
-        informed_time=tuple(float(t) for t in informed_round),
-        parent=tuple(int(p) for p in parent),
-        infection_kind=tuple(kind),
+        informed_time=tuple(informed_round.tolist()),
+        parent=tuple(parent.tolist()),
+        infection_kind=tuple(kind.tolist()),
         completed=completed,
         rounds=rounds_executed,
         push_infections=push_infections,

@@ -1,0 +1,257 @@
+"""Unit tests for the 2-D batched simulation kernels.
+
+The central contract is *exact serial equivalence*: a batched trial that
+consumes generator ``g`` must produce bit-for-bit the informing times of a
+serial engine run seeded with ``g``.  These tests check that trial-for-trial
+across protocols, graphs, sources, and budget configurations, plus the
+usual validation and the ``BatchTimes`` record's derived quantities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_engine import (
+    ASYNC_BATCH_PROTOCOLS,
+    SYNC_BATCH_PROTOCOLS,
+    is_batchable,
+    run_asynchronous_batch,
+    run_batch,
+    run_synchronous_batch,
+)
+from repro.core.protocols import spread
+from repro.core.result import BatchTimes
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import random_regular_graph
+from repro.randomness.rng import spawn_generators
+
+ALL_BATCH_PROTOCOLS = sorted(SYNC_BATCH_PROTOCOLS) + sorted(ASYNC_BATCH_PROTOCOLS)
+
+
+def serial_reference(graph, sources, protocol, seed, **options):
+    """Run the serial engine once per trial with spawned generators."""
+    generators = spawn_generators(len(sources), seed)
+    return [
+        spread(graph, source, protocol=protocol, seed=rng, **options)
+        for source, rng in zip(sources, generators)
+    ]
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("protocol", ALL_BATCH_PROTOCOLS)
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            star_graph(24),
+            complete_graph(16),
+            cycle_graph(20),
+            random_regular_graph(32, 4, seed=5),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_times_match_serial_trial_for_trial(self, protocol, graph):
+        sources = [1, 0, 2, 1, 3, 0]
+        batched = run_batch(
+            graph, sources, protocol, rngs=spawn_generators(len(sources), 123)
+        )
+        serial = serial_reference(graph, sources, protocol, 123)
+        for i, result in enumerate(serial):
+            assert tuple(batched.informed_time[i]) == result.informed_time
+            assert bool(batched.completed[i]) == result.completed
+            assert batched.completion_time[i] == result.spreading_time
+
+    def test_rounds_and_steps_match_serial(self):
+        graph = random_regular_graph(24, 3, seed=2)
+        sources = [0] * 5
+        sync = run_batch(graph, sources, "pp", rngs=spawn_generators(5, 7))
+        for i, result in enumerate(serial_reference(graph, sources, "pp", 7)):
+            assert sync.rounds[i] == result.rounds
+        asyn = run_batch(graph, sources, "pp-a", rngs=spawn_generators(5, 7))
+        for i, result in enumerate(serial_reference(graph, sources, "pp-a", 7)):
+            assert asyn.steps[i] == result.steps
+
+    def test_scalar_source_with_seed_matches_spawned_rngs(self):
+        graph = star_graph(16)
+        a = run_batch(graph, 1, "pp", trials=8, seed=99)
+        b = run_batch(graph, [1] * 8, "pp", rngs=spawn_generators(8, 99))
+        assert np.array_equal(a.informed_time, b.informed_time)
+
+    def test_record_times_false_keeps_scalar_outputs_exact(self):
+        graph = random_regular_graph(32, 4, seed=5)
+        full = run_batch(graph, 0, "pp", trials=10, seed=3, record_times=True)
+        scalar = run_batch(graph, 0, "pp", trials=10, seed=3, record_times=False)
+        assert scalar.informed_time is None
+        assert np.array_equal(full.completion_time, scalar.completion_time)
+        assert np.array_equal(full.rounds, scalar.rounds)
+
+
+class TestBudgets:
+    def test_sync_partial_matches_serial(self):
+        graph = star_graph(32)
+        sources = [1] * 6
+        batched = run_synchronous_batch(
+            graph,
+            sources,
+            mode="push",
+            rngs=spawn_generators(6, 11),
+            max_rounds=3,
+            on_budget_exhausted="partial",
+        )
+        serial = serial_reference(
+            graph, sources, "push", 11, max_rounds=3, on_budget_exhausted="partial"
+        )
+        for i, result in enumerate(serial):
+            assert tuple(batched.informed_time[i]) == result.informed_time
+            assert bool(batched.completed[i]) == result.completed
+            assert batched.rounds[i] == result.rounds
+
+    @pytest.mark.parametrize("options", [{"max_steps": 40}, {"max_time": 1.25}])
+    def test_async_partial_matches_serial(self, options):
+        graph = star_graph(24)
+        sources = [1] * 6
+        batched = run_asynchronous_batch(
+            graph,
+            sources,
+            mode="push-pull",
+            rngs=spawn_generators(6, 13),
+            on_budget_exhausted="partial",
+            **options,
+        )
+        serial = serial_reference(
+            graph, sources, "pp-a", 13, on_budget_exhausted="partial", **options
+        )
+        for i, result in enumerate(serial):
+            assert tuple(batched.informed_time[i]) == result.informed_time
+            assert bool(batched.completed[i]) == result.completed
+
+    def test_exhaustion_raises_by_default(self):
+        with pytest.raises(SimulationError):
+            run_synchronous_batch(star_graph(32), 1, mode="push", trials=4, seed=3, max_rounds=1)
+        with pytest.raises(SimulationError):
+            run_asynchronous_batch(star_graph(32), 1, trials=4, seed=3, max_steps=2)
+
+    def test_zero_step_budget_is_incomplete_not_hung(self):
+        batched = run_asynchronous_batch(
+            star_graph(8), 1, trials=3, seed=1, max_steps=0, on_budget_exhausted="partial"
+        )
+        assert not batched.completed.any()
+        assert (batched.steps == 0).all()
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_synchronous_batch(star_graph(8), 0, mode="smoke", trials=2, seed=0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_batch(star_graph(8), [0, 99], "pp", seed=0)
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)], name="two-edges")
+        with pytest.raises(ProtocolError):
+            run_batch(graph, 0, "pp", trials=2, seed=0)
+
+    def test_scalar_source_needs_trial_count(self):
+        with pytest.raises(ProtocolError):
+            run_batch(star_graph(8), 0, "pp")
+
+    def test_mismatched_rngs_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_batch(star_graph(8), [0, 1, 2], "pp", rngs=spawn_generators(2, 0))
+
+    def test_unbatchable_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_batch(star_graph(8), 0, "ppx", trials=2, seed=0)
+
+    def test_non_global_view_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_batch(star_graph(8), 0, "pp-a", trials=2, seed=0, view="node_clocks")
+
+    def test_is_batchable_matrix(self):
+        assert is_batchable("pp")
+        assert is_batchable("pp-a")
+        assert is_batchable("pp-a", {"view": "global", "max_steps": 10})
+        assert not is_batchable("ppx")
+        assert not is_batchable("ppy")
+        assert not is_batchable("pp", {"record_trace": True})
+        assert not is_batchable("pp-a", {"view": "edge_clocks"})
+        assert not is_batchable("pp", {"max_steps": 10})  # async option on sync
+
+
+class TestBatchTimesRecord:
+    def test_trivial_single_vertex_graph(self):
+        batched = run_batch(Graph(1, [], name="dot"), 0, "pp", trials=4, seed=0)
+        assert batched.completed.all()
+        assert (batched.completion_time == 0.0).all()
+        assert batched.num_trials == 4
+
+    def test_derived_quantities_match_spreading_result(self):
+        graph = random_regular_graph(24, 3, seed=4)
+        sources = [0, 1, 2, 3]
+        batched = run_batch(graph, sources, "pp", rngs=spawn_generators(4, 21))
+        serial = serial_reference(graph, sources, "pp", 21)
+        assert np.array_equal(
+            batched.spreading_times(), [r.spreading_time for r in serial]
+        )
+        for fraction in (0.25, 0.5, 1.0):
+            assert np.array_equal(
+                batched.time_to_inform_fraction(fraction),
+                [r.time_to_inform_fraction(fraction) for r in serial],
+            )
+        assert batched.is_synchronous
+        assert "pp on" in batched.summary()
+
+    def test_fraction_needs_recorded_times(self):
+        batched = run_batch(star_graph(8), 0, "pp", trials=2, seed=0, record_times=False)
+        with pytest.raises(ValueError):
+            batched.time_to_inform_fraction(0.5)
+        with pytest.raises(ValueError):
+            batched.time_to_inform_fraction(1.5)
+
+
+class TestCompletionMasking:
+    """Finished trials must be frozen: more rounds for slow trials in the
+    same batch can never change (resurrect) an already-completed trial."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        batch=st.integers(min_value=1, max_value=9),
+        protocol=st.sampled_from(ALL_BATCH_PROTOCOLS),
+    )
+    def test_batch_composition_invariance(self, seed, batch, protocol):
+        """Each trial's outcome is independent of its batch-mates: running
+        the batch together equals running every trial in its own batch."""
+        graph = star_graph(12)
+        sources = [(seed + i) % graph.num_vertices for i in range(batch)]
+        together = run_batch(graph, sources, protocol, rngs=spawn_generators(batch, seed))
+        alone_rngs = spawn_generators(batch, seed)
+        for i in range(batch):
+            alone = run_batch(graph, [sources[i]], protocol, rngs=[alone_rngs[i]])
+            assert np.array_equal(together.informed_time[i], alone.informed_time[0])
+            assert together.completed[i] == alone.completed[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        batch=st.integers(min_value=2, max_value=8),
+    )
+    def test_completed_trials_are_internally_consistent(self, seed, batch):
+        graph = cycle_graph(10)
+        batched = run_batch(graph, 0, "pp", trials=batch, seed=seed)
+        assert batched.completed.all()
+        times = batched.informed_time
+        assert np.isfinite(times).all()
+        # The completion time is exactly the last informing time, and no
+        # vertex is informed after its trial completed.
+        assert np.array_equal(times.max(axis=1), batched.completion_time)
+        assert np.array_equal(times[:, 0], np.zeros(batch))
+        assert np.array_equal(batched.rounds.astype(float), batched.completion_time)

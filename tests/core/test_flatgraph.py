@@ -73,3 +73,23 @@ class TestCache:
         for graph in graphs:
             flat_adjacency(graph)
         assert len(module._CACHE_KEEPALIVE) <= module._KEEPALIVE_LIMIT
+
+    def test_hits_refresh_recency(self):
+        """True LRU: a hit protects the entry from the next eviction."""
+        from repro.core import flatgraph as module
+
+        hot = star_graph(9)
+        hot_flat = flat_adjacency(hot)
+        # Fill the cache to one below the limit, then touch the hot graph so
+        # it is the most recently used entry...
+        fillers = [cycle_graph(4 + i % 9) for i in range(module._KEEPALIVE_LIMIT - 1)]
+        for graph in fillers:
+            flat_adjacency(graph)
+        assert flat_adjacency(hot) is hot_flat
+        # ...and overflow the limit: the evicted entries must be old
+        # fillers, never the just-touched hot graph.
+        overflow = [cycle_graph(10 + i % 9) for i in range(8)]
+        for graph in overflow:
+            flat_adjacency(graph)
+        assert id(hot) in module._CACHE_KEEPALIVE
+        assert flat_adjacency(hot) is hot_flat
