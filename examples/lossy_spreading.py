@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Walkthrough: rumor spreading under adversity scenarios.
+
+Run with::
+
+    python examples/lossy_spreading.py
+
+The paper's model assumes a static graph and perfectly reliable exchanges.
+This script shows how the ``scenario=`` argument relaxes both: it measures
+the spreading-time blowup of synchronous push–pull under message loss, shows
+how node churn hits the hub-dependent star much harder than an expander,
+composes several perturbations (including an adversarial source placement),
+and demonstrates that the batched fast path — including the pooled-RNG
+mode — is preserved under scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import graphs
+from repro.analysis import run_trials
+from repro.scenarios import (
+    AdversarialSource,
+    Delay,
+    MessageLoss,
+    NodeChurn,
+    parse_scenario,
+)
+
+TRIALS = 300
+
+
+def loss_sweep() -> None:
+    """Mean spreading time vs loss rate: roughly a 1/(1-p) stretch."""
+    print("=== synchronous push-pull under message loss (random 8-regular, n=512) ===")
+    graph = graphs.random_regular_graph(512, 8, seed=1)
+    baseline = run_trials(graph, 0, "pp", trials=TRIALS, seed=7).mean
+    print(f"  p=0.0: mean T = {baseline:6.2f} rounds (blowup 1.00x)")
+    for p in (0.1, 0.2, 0.3, 0.5):
+        mean = run_trials(
+            graph, 0, "pp", trials=TRIALS, seed=7, scenario=MessageLoss(p)
+        ).mean
+        print(f"  p={p:.1f}: mean T = {mean:6.2f} rounds (blowup {mean / baseline:.2f}x)")
+    print()
+
+
+def churn_hits_hubs() -> None:
+    """Churn stalls hub topologies: the star vs an expander of the same size."""
+    print("=== node churn (crash 10%, recover 50% per round), n=256 ===")
+    scenario = NodeChurn(crash_rate=0.1, recovery_rate=0.5)
+    for graph in (graphs.star_graph(256), graphs.random_regular_graph(256, 8, seed=1)):
+        clean = run_trials(graph, 0, "pp", trials=TRIALS, seed=11).mean
+        churny = run_trials(graph, 0, "pp", trials=TRIALS, seed=11, scenario=scenario).mean
+        print(
+            f"  {graph.name:>28}: {clean:5.2f} -> {churny:6.2f} rounds "
+            f"(blowup {churny / clean:.2f}x)"
+        )
+    print("  (every exchange needs the hub up: the star pays far more than the expander)")
+    print()
+
+
+def composed_scenarios() -> None:
+    """Scenarios compose with | — and parse from CLI-style spec strings."""
+    print("=== composed adversity on the async model (n=256 star) ===")
+    graph = graphs.star_graph(256)
+    worst = MessageLoss(0.2) | NodeChurn(0.05, 0.5) | AdversarialSource("min_degree")
+    same = parse_scenario(
+        "loss:p=0.2+churn:crash_rate=0.05,recovery_rate=0.5"
+        "+adversarial-source:strategy=min_degree"
+    )
+    assert worst.spec() == same.spec()
+    clean = run_trials(graph, 1, "pp-a", trials=TRIALS, seed=3).mean
+    hard = run_trials(graph, 1, "pp-a", trials=TRIALS, seed=3, scenario=worst).mean
+    slow = run_trials(
+        graph, 1, "pp-a", trials=TRIALS, seed=3, scenario=Delay(low=0.25, high=1.0)
+    ).mean
+    print(f"  clean pp-a:                        mean T = {clean:6.2f}")
+    print(f"  {worst.spec()}")
+    print(f"    -> mean T = {hard:6.2f} ({hard / clean:.2f}x)")
+    print(f"  delay:low=0.25,high=1 (slow clocks): mean T = {slow:6.2f} ({slow / clean:.2f}x)")
+    print()
+
+
+def batching_is_preserved() -> None:
+    """Scenario sweeps keep the vectorised kernels (and the pooled mode)."""
+    print("=== throughput under MessageLoss(0.3) (pp, n=256, 300 trials) ===")
+    graph = graphs.random_regular_graph(256, 8, seed=1)
+    scenario = MessageLoss(0.3)
+    for label, batch in (("serial", False), ("batched", "auto"), ("pooled", "pooled")):
+        run_trials(graph, 0, "pp", trials=8, seed=0, batch=batch, scenario=scenario)
+        start = time.perf_counter()
+        run_trials(graph, 0, "pp", trials=TRIALS, seed=5, batch=batch, scenario=scenario)
+        rate = TRIALS / (time.perf_counter() - start)
+        print(f"  {label:>7}: {rate:8.0f} trials/s")
+    print("  (serial and batched agree trial-for-trial; pooled agrees in distribution)")
+
+
+if __name__ == "__main__":
+    loss_sweep()
+    churn_hits_hubs()
+    composed_scenarios()
+    batching_is_preserved()

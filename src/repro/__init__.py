@@ -14,6 +14,9 @@ The library provides:
 * :mod:`repro.analysis` — Monte Carlo estimation of spreading-time
   distributions, quantiles (``T_q``, in particular the high-probability time
   ``T_{1/n}``), confidence intervals, scaling fits and theoretical bounds;
+* :mod:`repro.scenarios` — composable adversity models (message loss, node
+  churn, dynamic graphs, adversarial sources, heterogeneous clocks) every
+  engine accepts through ``scenario=``;
 * :mod:`repro.experiments` — the experiment harness reproducing each claim
   of the paper (see DESIGN.md for the experiment index).
 
@@ -39,9 +42,11 @@ from repro.errors import (
     GraphGenerationError,
     ProtocolError,
     ReproError,
+    ScenarioError,
     SimulationError,
 )
 from repro.graphs.base import Graph
+from repro.scenarios.base import Scenario
 
 __all__ = [
     "__version__",
@@ -52,6 +57,7 @@ __all__ = [
     "ContactEvent",
     "SpreadingResult",
     "Graph",
+    "Scenario",
     "AnalysisError",
     "CouplingError",
     "ExperimentError",
@@ -59,5 +65,6 @@ __all__ = [
     "GraphGenerationError",
     "ProtocolError",
     "ReproError",
+    "ScenarioError",
     "SimulationError",
 ]

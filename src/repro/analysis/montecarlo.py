@@ -29,7 +29,15 @@ batch kernels consume per-trial randomness in exactly the serial engines'
 order, so ``run_trials(..., batch=True)`` and ``run_trials(...,
 batch=False)`` return identical samples for the same seed — the ``batch``
 argument is a pure throughput knob (``"auto"``, the default, batches
-whenever the protocol and options allow it).
+whenever the protocol and options allow it).  ``batch="pooled"`` trades the
+serial equivalence for one shared generator per batch (cheaper small-``n``
+rounds; agreement in distribution only).
+
+Every runner also takes a ``scenario=`` argument applying the composable
+adversity models of :mod:`repro.scenarios` (message loss, churn, dynamic
+graphs, adversarial sources, heterogeneous clocks); scenario sweeps keep the
+batched fast path whenever the scenario vectorises (see
+:func:`repro.core.batch_engine.is_batchable`).
 """
 
 from __future__ import annotations
@@ -46,6 +54,12 @@ from repro.core.result import SpreadingResult
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, as_generator, spawn_generators
+from repro.scenarios.base import (
+    Scenario,
+    ScenarioLike,
+    as_scenario,
+    select_adversarial_source,
+)
 
 __all__ = [
     "SpreadingTimeSample",
@@ -167,12 +181,19 @@ def _resolve_source(source: SourceSpec, graph: Graph, rng: np.random.Generator) 
 
 def _resolve_batch_width(batch: BatchSpec, num_vertices: int) -> int:
     """Map the ``batch`` argument to a positive batch width."""
-    if batch is True or batch == "auto":
+    if batch is True or batch in ("auto", "pooled"):
         return max(1, min(DEFAULT_BATCH_WIDTH, AUTO_BATCH_ELEMENT_BUDGET // max(1, num_vertices)))
     width = int(batch)
     if width < 1:
         raise AnalysisError(f"batch width must be positive, got {batch}")
     return width
+
+
+def _scenario_fixed_source(scenario: Optional[Scenario], graph: Graph) -> Optional[int]:
+    """The adversarially forced source, when the scenario carries one."""
+    if scenario is None or scenario.source_strategy is None:
+        return None
+    return select_adversarial_source(graph, scenario.source_strategy)
 
 
 def _run_trials_batched(
@@ -184,17 +205,40 @@ def _run_trials_batched(
     fractions: Sequence[float],
     options: dict,
     width: int,
+    scenario: Optional[Scenario],
+    pooled: bool,
 ) -> SpreadingTimeSample:
     """The batched fast path of :func:`run_trials`.
 
     Spawns the same per-trial generators and resolves per-trial sources with
     the same draws as the serial path, then hands blocks of ``width`` trials
     to the batch kernels.  The full ``(B, n)`` time matrix is only recorded
-    when coverage fractions were requested.
+    when coverage fractions were requested.  In pooled mode one shared
+    generator replaces the per-trial ones (distribution-level agreement
+    only; see :mod:`repro.core.batch_engine`).
     """
-    generators = spawn_generators(trials, seed)
-    rng_sources = [_resolve_source(source, graph, rng) for rng in generators]
     record_times = bool(fractions)
+    forced_source = _scenario_fixed_source(scenario, graph)
+    pooled_rng = None
+    generators = None
+    if pooled:
+        pooled_rng = as_generator(seed)
+        if forced_source is not None:
+            rng_sources = [forced_source] * trials
+        elif isinstance(source, str):
+            if source != "random":
+                raise AnalysisError(
+                    f"source must be a vertex id or 'random', got {source!r}"
+                )
+            rng_sources = pooled_rng.integers(0, graph.num_vertices, trials).tolist()
+        else:
+            rng_sources = [_resolve_source(source, graph, pooled_rng)] * trials
+    else:
+        generators = spawn_generators(trials, seed)
+        if forced_source is not None:
+            rng_sources = [forced_source] * trials
+        else:
+            rng_sources = [_resolve_source(source, graph, rng) for rng in generators]
 
     times: list[float] = []
     fraction_values: dict[float, list[float]] = {fraction: [] for fraction in fractions}
@@ -204,8 +248,10 @@ def _run_trials_batched(
             graph,
             rng_sources[start:stop],
             protocol,
-            rngs=generators[start:stop],
+            rngs=generators[start:stop] if generators is not None else None,
+            pooled_rng=pooled_rng,
             record_times=record_times,
+            scenario=scenario,
             **options,
         )
         times.extend(block.spreading_times().tolist())
@@ -235,6 +281,7 @@ def run_trials(
     fractions: Sequence[float] = (),
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
+    scenario: ScenarioLike = None,
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations and collect spreading times.
 
@@ -242,7 +289,10 @@ def run_trials(
         graph_or_factory: a fixed :class:`Graph`, or a callable mapping an
             RNG to a freshly sampled graph (for random families).
         source: a vertex id, or the string ``"random"`` to pick a fresh
-            uniformly random source in every trial.
+            uniformly random source in every trial.  An
+            :class:`~repro.scenarios.AdversarialSource` component in the
+            scenario overrides this argument entirely (deterministically, so
+            both dispatch paths agree).
         protocol: canonical protocol name (``"pp"``, ``"pp-a"``, ...).
         trials: number of independent trials (must be positive).
         seed: master seed; per-trial generators are spawned from it.
@@ -250,12 +300,20 @@ def run_trials(
             time to inform that fraction of vertices is also recorded.
         engine_options: extra keyword arguments forwarded to the engine.
         batch: ``"auto"`` (default) uses the vectorised batch kernels
-            whenever the setting allows it (fixed graph, batchable protocol
-            and options) and falls back to serial runs otherwise; ``False``
-            forces the serial path; ``True`` or a positive int (the batch
-            width) forces batching and raises :class:`AnalysisError` when
-            the setting cannot be batched.  Both paths produce identical
-            samples for the same seed.
+            whenever the setting allows it (fixed graph, batchable protocol,
+            options, and scenario) and falls back to serial runs otherwise;
+            ``False`` forces the serial path; ``True`` or a positive int
+            (the batch width) forces batching and raises
+            :class:`AnalysisError` when the setting cannot be batched.  All
+            of those produce identical samples for the same seed.
+            ``"pooled"`` also forces batching but shares *one* generator
+            across the whole batch instead of spawning one per trial —
+            roughly halving small-``n`` round cost at the price of serial
+            equivalence (pooled samples agree with the other modes in
+            distribution only).
+        scenario: optional adversity scenario from :mod:`repro.scenarios`
+            (a :class:`~repro.scenarios.Scenario` or a spec string such as
+            ``"loss:p=0.3"``), applied to every trial.
 
     Returns:
         The collected :class:`SpreadingTimeSample`.
@@ -263,13 +321,16 @@ def run_trials(
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     get_protocol(protocol)  # validate the name eagerly
+    scenario = as_scenario(scenario)
     for fraction in fractions:
         if not 0.0 < fraction <= 1.0:
             raise AnalysisError(f"fractions must be in (0, 1], got {fraction}")
     options = dict(engine_options or {})
 
     if batch is not False:
-        eligible = isinstance(graph_or_factory, Graph) and is_batchable(protocol, options)
+        eligible = isinstance(graph_or_factory, Graph) and is_batchable(
+            protocol, options, scenario
+        )
         if (
             eligible
             and batch == "auto"
@@ -287,12 +348,18 @@ def run_trials(
                 tuple(fractions),
                 options,
                 _resolve_batch_width(batch, graph_or_factory.num_vertices),
+                scenario,
+                batch == "pooled",
             )
         if batch != "auto":
             reason = (
                 "graph factories run one trial per graph"
                 if not isinstance(graph_or_factory, Graph)
-                else f"protocol {protocol!r} with options {sorted(options)} has no batched kernel"
+                else (
+                    f"protocol {protocol!r} with options {sorted(options)} and "
+                    f"scenario {scenario.spec() if scenario is not None else None!r} "
+                    "has no batched kernel"
+                )
             )
             raise AnalysisError(f"batch={batch!r} was requested but {reason}")
 
@@ -312,12 +379,18 @@ def run_trials(
         if graph_name is None:
             graph_name = graph.name
             num_vertices = graph.num_vertices
-        trial_source = _resolve_source(source, graph, rng)
+        forced_source = _scenario_fixed_source(scenario, graph)
+        if forced_source is not None:
+            trial_source = forced_source
+        else:
+            trial_source = _resolve_source(source, graph, rng)
         if fixed_source is None:
             fixed_source = trial_source
         elif fixed_source != trial_source:
             fixed_source = -1
-        result = spread(graph, trial_source, protocol=protocol, seed=rng, **options)
+        result = spread(
+            graph, trial_source, protocol=protocol, seed=rng, scenario=scenario, **options
+        )
         times.append(result.spreading_time)
         for fraction in fractions:
             fraction_times[fraction].append(result.time_to_inform_fraction(fraction))
@@ -345,6 +418,7 @@ def run_adaptive_trials(
     seed: SeedLike = None,
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
+    scenario: ScenarioLike = None,
 ) -> SpreadingTimeSample:
     """Keep adding trial batches until the mean is known to the requested precision.
 
@@ -364,6 +438,7 @@ def run_adaptive_trials(
     if not 0 < relative_precision < 1:
         raise AnalysisError("relative_precision must be in (0, 1)")
     master = as_generator(seed)
+    scenario = as_scenario(scenario)
     sample = run_trials(
         graph_or_factory,
         source,
@@ -372,6 +447,7 @@ def run_adaptive_trials(
         seed=master,
         engine_options=engine_options,
         batch=batch,
+        scenario=scenario,
     )
     while sample.num_trials < max_trials:
         half_width = 1.96 * sample.standard_error()
@@ -386,6 +462,7 @@ def run_adaptive_trials(
             seed=master,
             engine_options=engine_options,
             batch=batch,
+            scenario=scenario,
         )
         sample = sample.merged_with(extra)
     return sample
@@ -399,6 +476,7 @@ def collect_results(
     trials: int,
     seed: SeedLike = None,
     engine_options: Optional[dict] = None,
+    scenario: ScenarioLike = None,
 ) -> list[SpreadingResult]:
     """Run ``trials`` simulations and return the full result objects.
 
@@ -409,8 +487,17 @@ def collect_results(
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     options = dict(engine_options or {})
+    scenario = as_scenario(scenario)
     results = []
     for rng in spawn_generators(trials, seed):
-        trial_source = _resolve_source(source, graph, rng)
-        results.append(spread(graph, trial_source, protocol=protocol, seed=rng, **options))
+        forced_source = _scenario_fixed_source(scenario, graph)
+        if forced_source is not None:
+            trial_source = forced_source
+        else:
+            trial_source = _resolve_source(source, graph, rng)
+        results.append(
+            spread(
+                graph, trial_source, protocol=protocol, seed=rng, scenario=scenario, **options
+            )
+        )
     return results

@@ -26,6 +26,7 @@ from repro.errors import AnalysisError
 from repro.graphs.base import Graph
 from repro.graphs.families import get_family
 from repro.randomness.rng import SeedLike, spawn_seeds
+from repro.scenarios.base import Scenario, ScenarioLike, as_scenario
 
 __all__ = ["ParallelTrialSpec", "run_trials_parallel", "default_worker_count"]
 
@@ -70,6 +71,10 @@ class ParallelTrialSpec:
             ``"auto"`` each worker simulates its chunk through the 2-D batch
             kernels (one vectorised job instead of a Python loop over trials)
             whenever the protocol allows it.
+        scenario: optional adversity scenario applied by every trial of the
+            chunk (pickled to the worker; the standard models and
+            :class:`~repro.scenarios.FamilyResampler` all pickle — custom
+            resampler lambdas do not).
     """
 
     protocol: str
@@ -82,6 +87,7 @@ class ParallelTrialSpec:
     graph: Optional[Graph] = None
     fractions: tuple[float, ...] = ()
     batch: Union[bool, int, str] = "auto"
+    scenario: Optional[Scenario] = None
 
 
 def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
@@ -100,6 +106,7 @@ def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
         seed=spec.trial_seed,
         fractions=spec.fractions,
         batch=spec.batch,
+        scenario=spec.scenario,
     )
 
 
@@ -114,6 +121,7 @@ def run_trials_parallel(
     num_workers: Optional[int] = None,
     fractions: Sequence[float] = (),
     batch: Union[bool, int, str] = "auto",
+    scenario: ScenarioLike = None,
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations across worker processes.
 
@@ -135,12 +143,15 @@ def run_trials_parallel(
             :func:`~repro.analysis.montecarlo.run_trials`); the default
             ``"auto"`` makes every chunk one vectorised batch job when the
             protocol allows it.
+        scenario: optional adversity scenario (or spec string) applied by
+            every trial in every worker.
 
     Returns:
         The merged :class:`SpreadingTimeSample`.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
+    scenario = as_scenario(scenario)
     workers = default_worker_count() if num_workers is None else int(num_workers)
     if workers < 1:
         raise AnalysisError(f"num_workers must be positive, got {num_workers}")
@@ -163,6 +174,7 @@ def run_trials_parallel(
                 graph=graph_or_family,
                 fractions=tuple(fractions),
                 batch=batch,
+                scenario=scenario,
             )
         else:
             if size is None:
@@ -177,6 +189,7 @@ def run_trials_parallel(
                 graph_seed=graph_seed,
                 fractions=tuple(fractions),
                 batch=batch,
+                scenario=scenario,
             )
         specs.append(spec)
 

@@ -11,9 +11,13 @@ Usage examples::
     # run every experiment with the smoke preset and save JSON/CSV artefacts
     python -m repro run-all --preset smoke --output results/
 
-    # show the registered protocols and graph families
+    # show the registered protocols, graph families, and adversity scenarios
     python -m repro protocols
     python -m repro families
+    python -m repro scenarios
+
+    # run an experiment under message loss + churn
+    python -m repro run E12 --scenario "loss:p=0.3+churn:crash_rate=0.05"
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the registered experiments")
     subparsers.add_parser("protocols", help="list the registered rumor-spreading protocols")
     subparsers.add_parser("families", help="list the registered graph families")
+    subparsers.add_parser("scenarios", help="list the registered adversity scenarios")
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1 or 1")
@@ -54,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="override the experiment's default seed")
     run_parser.add_argument("--json", action="store_true", help="print JSON instead of the text report")
     run_parser.add_argument("--output", type=Path, default=None, help="directory to save JSON/CSV artefacts")
+    run_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME[:param=val,...]",
+        help=(
+            "run the experiment under an adversity scenario, e.g. 'loss:p=0.3' or "
+            "'loss:p=0.2+churn:crash_rate=0.05' (see `scenarios`; only experiments "
+            "that accept a scenario, such as E12, support this)"
+        ),
+    )
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
@@ -95,6 +110,18 @@ def _command_families() -> int:
     return 0
 
 
+def _command_scenarios() -> int:
+    from repro.scenarios import SCENARIOS
+
+    for name in sorted(SCENARIOS):
+        spec = SCENARIOS[name]
+        print(f"{name:>20}  {spec.summary}")
+        print(f"{'':>20}  params: {spec.parameters}")
+    print()
+    print('compose with "+", e.g. --scenario "loss:p=0.2+churn:crash_rate=0.05"')
+    return 0
+
+
 def _save(results, output: Optional[Path]) -> None:
     if output is None:
         return
@@ -108,7 +135,25 @@ def _save(results, output: Optional[Path]) -> None:
 def _command_run(arguments: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
-    result = run_experiment(arguments.experiment, preset=arguments.preset, seed=arguments.seed)
+    overrides = {}
+    if arguments.scenario is not None:
+        import inspect
+
+        from repro.errors import ExperimentError
+        from repro.experiments.registry import get_experiment
+        from repro.scenarios import parse_scenario
+
+        scenario = parse_scenario(arguments.scenario)
+        spec = get_experiment(arguments.experiment)
+        if "scenario" not in inspect.signature(spec.runner).parameters:
+            raise ExperimentError(
+                f"experiment {spec.experiment_id} does not accept a scenario; "
+                "the scenario suite is E12"
+            )
+        overrides["scenario"] = scenario
+    result = run_experiment(
+        arguments.experiment, preset=arguments.preset, seed=arguments.seed, **overrides
+    )
     if arguments.json:
         print(result.to_json())
     else:
@@ -139,6 +184,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_protocols()
         if arguments.command == "families":
             return _command_families()
+        if arguments.command == "scenarios":
+            return _command_scenarios()
         if arguments.command == "run":
             return _command_run(arguments)
         if arguments.command == "run-all":

@@ -40,9 +40,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.result import ContactEvent, SpreadingResult
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProtocolError, ScenarioError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, as_generator
+from repro.scenarios.base import Scenario, ScenarioLike, as_scenario
 
 __all__ = [
     "run_asynchronous",
@@ -99,6 +100,7 @@ def run_asynchronous(
     max_time: Optional[float] = None,
     record_trace: bool = False,
     on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
 ) -> SpreadingResult:
     """Simulate one run of an asynchronous rumor spreading protocol.
 
@@ -114,15 +116,30 @@ def run_asynchronous(
         max_time: optional wall-clock (simulated time) budget; whichever of
             the two budgets is hit first stops the run.
         record_trace: record every contact as a :class:`ContactEvent`.
+            Under a scenario the trace records every attempted contact,
+            including those suppressed by loss or churn.
         on_budget_exhausted: ``"error"`` raises :class:`SimulationError` when
             the run stops before everyone is informed; ``"partial"`` returns
             the incomplete result.
+        scenario: optional adversity scenario (or spec string) from
+            :mod:`repro.scenarios`.  Message loss, node churn (state updates
+            once per unit of simulated time), dynamic graphs (resampled
+            every ``period`` time units), and heterogeneous clock rates
+            (:class:`~repro.scenarios.Delay`) all apply; runtime scenarios
+            are only supported under the ``"global"`` view (the clock-queue
+            views raise :class:`~repro.errors.ScenarioError`).
 
     Returns:
         A :class:`SpreadingResult` with continuous informing times; the
         ``steps`` field counts how many clock ticks were simulated.
     """
     _validate(graph, source, mode, view)
+    scenario = as_scenario(scenario)
+    if scenario is not None and scenario.runtime_active() and view != "global":
+        raise ScenarioError(
+            f"runtime scenarios are only supported under the 'global' asynchronous "
+            f"view, not {view!r}"
+        )
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
             f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
@@ -155,6 +172,19 @@ def run_asynchronous(
 
     rng = as_generator(seed)
     if view == "global":
+        if scenario is not None and scenario.runtime_active():
+            return _run_global_view_scenario(
+                graph,
+                source,
+                mode,
+                rng,
+                step_budget,
+                time_budget,
+                record_trace,
+                on_budget_exhausted,
+                protocol_name,
+                scenario,
+            )
         runner = _run_global_view
     elif view == "node_clocks":
         runner = _run_node_clock_view
@@ -223,6 +253,7 @@ def _build_result(
     record_trace: bool,
     on_budget_exhausted: str,
     budget_description: str,
+    total_contacts: Optional[int] = None,
 ) -> SpreadingResult:
     completed = all(math.isfinite(t) for t in informed_time)
     if not completed and on_budget_exhausted == "error":
@@ -243,7 +274,7 @@ def _build_result(
         steps=steps,
         push_infections=push_infections,
         pull_infections=pull_infections,
-        total_contacts=steps,
+        total_contacts=steps if total_contacts is None else total_contacts,
         trace=tuple(trace) if record_trace else None,
     )
 
@@ -333,6 +364,163 @@ def _run_global_view(
         record_trace,
         on_budget_exhausted,
         f"{step_budget} steps / time {time_budget}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# View 1 under an adversity scenario (kept separate so the unperturbed hot
+# path above stays byte-for-byte identical to the PR-1 pinned draw order)
+# ---------------------------------------------------------------------- #
+def _run_global_view_scenario(
+    graph: Graph,
+    source: int,
+    mode: str,
+    rng: np.random.Generator,
+    step_budget: int,
+    time_budget: float,
+    record_trace: bool,
+    on_budget_exhausted: str,
+    protocol_name: str,
+    scenario: Scenario,
+) -> SpreadingResult:
+    """The global view with loss / churn / dynamic-graph / delay effects.
+
+    Per-trial randomness order (mirrored exactly by the batched kernel in
+    :mod:`repro.core.batch_engine`):
+
+    1. ``Delay`` rates, once, before any tick randomness;
+    2. per refill chunk: exponential gaps, caller draws (``integers`` without
+       delay, uniforms with), neighbor uniforms, loss uniforms (if lossy);
+    3. interleaved at consumption time: one ``rng.random(n)`` churn update
+       per unit-time boundary crossed, and the resampler's own draws at each
+       dynamic-graph period boundary (churn before resample on ties).
+    """
+    n = graph.num_vertices
+    current_graph = graph
+    adjacency = graph.adjacency
+    degrees = graph.degrees
+
+    loss_prob = scenario.loss_prob
+    churn = scenario.churn
+    dynamic = scenario.dynamic
+    delay = scenario.delay
+
+    cum_rates = None
+    total_rate = float(n)
+    if delay is not None:
+        rates = delay.draw_rates(graph, rng)
+        cum_rates = np.cumsum(rates)
+        total_rate = float(cum_rates[-1])
+    scale = 1.0 / total_rate  # mean gap of the superposed clock
+
+    up: Optional[np.ndarray] = np.ones(n, dtype=bool) if churn is not None else None
+    next_churn = 1.0 if churn is not None else math.inf
+    next_resample = float(dynamic.period) if dynamic is not None else math.inf
+
+    informed = [False] * n
+    informed[source] = True
+    informed_time = [math.inf] * n
+    informed_time[source] = 0.0
+    parent = [-1] * n
+    kind: list[Optional[str]] = [None] * n
+    kind[source] = "source"
+
+    push_infections = 0
+    pull_infections = 0
+    trace: list[ContactEvent] = []
+
+    now = 0.0
+    steps = 0
+    total_contacts = 0
+    num_informed = 1
+    batch_size = 4096
+
+    while num_informed < n and steps < step_budget and now <= time_budget:
+        remaining = step_budget - steps
+        this_batch = min(batch_size, remaining)
+        gaps = rng.exponential(scale, this_batch).tolist()
+        if delay is not None:
+            caller_draws = rng.random(this_batch).tolist()
+        else:
+            caller_draws = rng.integers(0, n, this_batch).tolist()
+        neighbor_uniforms = rng.random(this_batch).tolist()
+        loss_uniforms = rng.random(this_batch).tolist() if loss_prob > 0.0 else None
+        for index in range(this_batch):
+            now += gaps[index]
+            if now > time_budget:
+                break
+            # Boundaries crossed in (previous tick, now] fire before the
+            # exchange at `now`, in chronological order.
+            while True:
+                boundary = min(next_churn, next_resample)
+                if boundary > now:
+                    break
+                if next_churn <= next_resample:
+                    up = churn.step(up, rng.random(n))
+                    next_churn += 1.0
+                else:
+                    current_graph = dynamic.resample(current_graph, rng)
+                    adjacency = current_graph.adjacency
+                    degrees = current_graph.degrees
+                    next_resample += float(dynamic.period)
+            steps += 1
+            if cum_rates is not None:
+                caller = min(
+                    int(np.searchsorted(cum_rates, caller_draws[index] * total_rate, side="right")),
+                    n - 1,
+                )
+            else:
+                caller = caller_draws[index]
+            degree = degrees[caller]
+            callee = adjacency[caller][min(int(neighbor_uniforms[index] * degree), degree - 1)]
+            if up is None or up[caller]:
+                # A crashed caller initiates nothing (matching the sync
+                # engine's contact accounting); lost messages still count —
+                # the contact happened, the payload didn't arrive.
+                total_contacts += 1
+            suppressed = (
+                loss_uniforms is not None and loss_uniforms[index] < loss_prob
+            ) or (up is not None and not (up[caller] and up[callee]))
+            if suppressed:
+                informed_vertex, event_kind = None, None
+            else:
+                informed_vertex, event_kind = _exchange(
+                    mode, caller, callee, informed, informed_time, parent, kind, now
+                )
+            if event_kind == "push":
+                push_infections += 1
+                num_informed += 1
+            elif event_kind == "pull":
+                pull_infections += 1
+                num_informed += 1
+            if record_trace:
+                trace.append(
+                    ContactEvent(
+                        time=now,
+                        caller=caller,
+                        callee=callee,
+                        informed=informed_vertex,
+                        kind=event_kind,
+                    )
+                )
+            if num_informed == n:
+                break
+
+    return _build_result(
+        protocol_name,
+        graph,
+        source,
+        informed_time,
+        parent,
+        kind,
+        steps,
+        push_infections,
+        pull_infections,
+        trace,
+        record_trace,
+        on_budget_exhausted,
+        f"{step_budget} steps / time {time_budget} under {scenario.spec()}",
+        total_contacts=total_contacts,
     )
 
 

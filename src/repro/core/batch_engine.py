@@ -30,6 +30,23 @@ trial with generator ``g`` produces bit-for-bit the same informing times as
 a serial run seeded with ``g`` — the batch dimension is a pure throughput
 optimization, testable trial-for-trial with spawned seeds.
 
+**Adversity scenarios.**  Both kernels accept the ``scenario=`` argument of
+:mod:`repro.scenarios` and implement the perturbations as vectorised
+``(B, n)`` masks, consuming per-trial scenario randomness in the same
+documented order as the serial engines (resample → churn → contacts → loss;
+``Delay`` rates once at trial start), so fixed-seed serial/batch agreement
+holds under scenarios too.  The synchronous kernel covers loss, churn, and
+dynamic graphs (per-trial stacked CSR rebuilt at each period boundary); the
+asynchronous kernel covers loss, churn, and delay (per-trial graph
+processes do not vectorise across trials, so dynamic-graph async runs fall
+back to the serial engine — see :func:`is_batchable`).
+
+**Pooled RNG mode.**  Passing ``pooled_rng=`` replaces the per-trial
+generators with one shared generator drawing whole ``(B, n)`` matrices at
+once.  This halves the Python-level draw overhead for small ``n`` but gives
+up serial equivalence: pooled samples agree with per-trial samples only *in
+distribution* (checked by a KS test in the suite).
+
 The output is a times-only :class:`~repro.core.result.BatchTimes` record:
 batched runs never build parents, infection kinds, or traces.  Callers that
 need those (coupling experiments, trace debugging) use the serial engines.
@@ -42,12 +59,13 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.core.async_engine import ASYNC_MODES, default_max_steps
-from repro.core.flatgraph import flat_adjacency
+from repro.core.flatgraph import FlatAdjacency, flat_adjacency
 from repro.core.result import BatchTimes
 from repro.core.sync_engine import SYNC_MODES, default_max_rounds
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProtocolError, ScenarioError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, spawn_generators
+from repro.scenarios.base import ScenarioLike, as_scenario
 
 __all__ = [
     "run_batch",
@@ -77,21 +95,33 @@ _ASYNC_OPTIONS = frozenset({"max_steps", "max_time", "view", "on_budget_exhauste
 _ASYNC_CHUNK = 4096
 
 
-def is_batchable(protocol: str, engine_options: Optional[dict] = None) -> bool:
-    """Whether ``protocol`` (with these engine options) has a batched kernel.
+def is_batchable(
+    protocol: str,
+    engine_options: Optional[dict] = None,
+    scenario: ScenarioLike = None,
+) -> bool:
+    """Whether ``protocol`` (with these options and scenario) has a batched kernel.
 
     Batched kernels cover the six realistic protocols (synchronous and
     asynchronous push / pull / push–pull, the latter under the ``"global"``
     view only) and the times-only options; anything needing parents, traces,
     auxiliary processes, or the clock-queue views falls back to the serial
-    engines.
+    engines.  Scenarios batch except for a :class:`~repro.scenarios.Delay`
+    on a synchronous protocol (invalid everywhere — the serial engine raises
+    the descriptive error) and a dynamic graph on an asynchronous protocol
+    (per-trial graph processes do not vectorise across trials).
     """
     options = dict(engine_options or {})
     if options.pop("record_trace", False):
         return False
+    scenario = as_scenario(scenario)
     if protocol in SYNC_BATCH_PROTOCOLS:
+        if scenario is not None and scenario.delay is not None:
+            return False
         return set(options) <= _SYNC_OPTIONS
     if protocol in ASYNC_BATCH_PROTOCOLS:
+        if scenario is not None and scenario.dynamic is not None:
+            return False
         if options.get("view", "global") != "global":
             return False
         return set(options) <= _ASYNC_OPTIONS
@@ -107,30 +137,40 @@ def _prepare(
     trials: Optional[int],
     seed: SeedLike,
     on_budget_exhausted: str,
-) -> tuple[np.ndarray, list[np.random.Generator]]:
-    """Validate inputs and normalise (sources, rngs) to per-trial sequences."""
+    pooled_rng: Optional[np.random.Generator] = None,
+) -> tuple[np.ndarray, Optional[list[np.random.Generator]]]:
+    """Validate inputs and normalise (sources, rngs) to per-trial sequences.
+
+    In pooled mode (``pooled_rng`` given) no per-trial generators exist and
+    the second return value is ``None``.
+    """
     if mode not in valid_modes:
         raise ProtocolError(f"unknown mode {mode!r}; expected one of {valid_modes}")
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
             f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
         )
+    if pooled_rng is not None and rngs is not None:
+        raise ProtocolError("pass either per-trial rngs or a pooled_rng, not both")
     if np.ndim(sources) == 0:
         batch = len(rngs) if rngs is not None else trials
         if batch is None:
             raise ProtocolError(
-                "with a scalar source, pass per-trial rngs or an explicit trials count"
+                "with a scalar source, pass per-trial rngs, a pooled_rng with an "
+                "explicit trials count, or an explicit trials count"
             )
         source_array = np.full(int(batch), int(sources), dtype=np.int64)
     else:
         source_array = np.asarray(sources, dtype=np.int64)
     if source_array.size < 1:
         raise ProtocolError("a batch needs at least one trial")
-    if rngs is None:
+    if pooled_rng is not None:
+        generators = None
+    elif rngs is None:
         generators = spawn_generators(source_array.size, seed)
     else:
         generators = list(rngs)
-    if len(generators) != source_array.size:
+    if generators is not None and len(generators) != source_array.size:
         raise ProtocolError(
             f"got {source_array.size} sources but {len(generators)} generators"
         )
@@ -200,18 +240,25 @@ def run_synchronous_batch(
     max_rounds: Optional[int] = None,
     record_times: bool = True,
     on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
+    pooled_rng: Optional[np.random.Generator] = None,
 ) -> BatchTimes:
     """Simulate a batch of synchronous rumor-spreading trials at once.
 
     Args:
-        graph: the (connected) graph shared by every trial.
+        graph: the (connected) graph shared by every trial (the *initial*
+            graph under a dynamic-graph scenario).
         sources: per-trial source vertices (length ``B``), or a single vertex
-            id used by all trials.
+            id used by all trials.  Note scenario source strategies are
+            applied by :func:`repro.core.protocols.spread` and
+            :func:`repro.analysis.montecarlo.run_trials`; this kernel always
+            uses the sources it is given.
         mode: ``"push"``, ``"pull"``, or ``"push-pull"``.
         rngs: per-trial generators (length ``B``).  Trial ``i`` consumes
             randomness from ``rngs[i]`` exactly as a serial
             :func:`~repro.core.sync_engine.run_synchronous` call would, so
-            fixed-seed results agree trial-for-trial with the serial engine.
+            fixed-seed results agree trial-for-trial with the serial engine
+            (scenarios included).
         trials: batch size when ``sources`` is a scalar and ``rngs`` is not
             given.
         seed: master seed used to spawn per-trial generators when ``rngs``
@@ -224,13 +271,31 @@ def run_synchronous_batch(
         on_budget_exhausted: ``"error"`` raises :class:`SimulationError` if
             any trial fails to complete; ``"partial"`` marks such trials
             incomplete instead.
+        scenario: optional adversity scenario; loss, churn, and dynamic
+            graphs apply (``Delay`` raises — synchronous rounds have no
+            clocks).
+        pooled_rng: one shared generator replacing the per-trial ones (no
+            serial equivalence; distribution-level agreement only).
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with round-valued times.
     """
     source_array, generators = _prepare(
-        graph, sources, mode, SYNC_MODES, rngs, trials, seed, on_budget_exhausted
+        graph, sources, mode, SYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
     )
+    scenario = as_scenario(scenario)
+    loss_prob = 0.0
+    churn = None
+    dynamic = None
+    if scenario is not None:
+        if scenario.delay is not None:
+            raise ScenarioError(
+                "Delay skews asynchronous clock rates; synchronous rounds have no "
+                "clocks to slow down — use an asynchronous protocol"
+            )
+        loss_prob = scenario.loss_prob
+        churn = scenario.churn
+        dynamic = scenario.dynamic
     protocol_name = _SYNC_MODE_NAMES[mode]
     n = graph.num_vertices
     batch = source_array.size
@@ -260,7 +325,7 @@ def run_synchronous_batch(
     # per-round cost (and stop consuming randomness, like a serial run that
     # returned).
     live_ids = np.arange(batch, dtype=np.int64)
-    live_rngs = list(generators)
+    live_rngs = list(generators) if generators is not None else []
     informed_live = np.zeros((batch, n), dtype=bool)
     informed_live[live_ids, source_array] = True
     informed_live_count = np.ones(batch, dtype=np.int64)
@@ -288,30 +353,94 @@ def run_synchronous_batch(
     # (live, n) arrays; the whole round works in that flat address space.
     row_offsets = (np.arange(batch, dtype=idx_dtype) * idx_dtype(n))[:, None]
 
+    # Scenario state: per-trial up/down churn matrix, draw buffers for the
+    # churn and loss uniforms, and — under a dynamic graph — per-trial
+    # current graphs with a stacked CSR built at each resample boundary
+    # (degrees and flat start offsets per (trial, vertex) into one
+    # concatenated neighbor array).  All compacted alongside the live set.
+    up_live = np.ones((batch, n), dtype=bool) if churn is not None else None
+    churn_buf = np.empty((batch, n)) if churn is not None else None
+    loss_buf = np.empty((batch, n)) if loss_prob > 0.0 else None
+    current_graphs: Optional[list[Graph]] = [graph] * batch if dynamic is not None else None
+    stacked: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+    row_offsets_wide = (
+        (np.arange(batch, dtype=np.int64) * n)[:, None] if dynamic is not None else None
+    )
+
     round_index = 0
     while live_ids.size and round_index < budget:
         round_index += 1
         live = live_ids.size
+        # Scenario randomness order per trial (matching the serial engine):
+        # graph resample, churn update, contacts, loss flips.
+        if dynamic is not None and round_index > 1 and (round_index - 1) % dynamic.period == 0:
+            for i in range(live):
+                rng_i = pooled_rng if pooled_rng is not None else live_rngs[i]
+                current_graphs[i] = dynamic.resample(current_graphs[i], rng_i)
+            flats = [FlatAdjacency(g) for g in current_graphs[:live]]
+            degrees_st = np.stack([f.degrees for f in flats])
+            indices_cat = np.concatenate([f.indices for f in flats])
+            bases = np.zeros(live, dtype=np.int64)
+            np.cumsum([f.indices.size for f in flats[:-1]], out=bases[1:])
+            start_st = np.stack(
+                [f.indptr[:-1] + base for f, base in zip(flats, bases)]
+            )
+            stacked = (degrees_st, start_st, indices_cat)
+        if churn is not None:
+            churn_draws = churn_buf[:live]
+            if pooled_rng is not None:
+                pooled_rng.random(out=churn_draws)
+            else:
+                for i in range(live):
+                    live_rngs[i].random(out=churn_draws[i])
+            up_live = churn.step(up_live, churn_draws)
         draws = scratch[:live]
-        for i in range(live):
-            # One rng.random(n) per live trial per round — the exact draw the
-            # serial engine makes, so per-trial streams stay aligned.
-            live_rngs[i].random(out=draws[i])
-        # Contact selection, identical arithmetic to
-        # FlatAdjacency.random_neighbors_all but on narrow dtypes (the
-        # unsafe cast truncates toward zero exactly like .astype, and the
-        # 'clip' take mode skips bounds checks on indices that are in range
-        # by construction).
-        offsets = offsets_buf[:live]
-        np.multiply(draws, degrees_nw, out=offsets, casting="unsafe")
-        np.minimum(offsets, max_offset_nw, out=offsets)
-        offsets += start_nw
-        contact_flat = contact_buf[:live]
-        np.take(indices_nw, offsets, out=contact_flat, mode="clip")
-        contact_flat += row_offsets[:live]  # flat index of each contacted vertex
+        if pooled_rng is not None:
+            pooled_rng.random(out=draws)
+        else:
+            for i in range(live):
+                # One rng.random(n) per live trial per round — the exact draw
+                # the serial engine makes, so per-trial streams stay aligned.
+                live_rngs[i].random(out=draws[i])
+        if stacked is not None:
+            # Per-trial graphs: same contact arithmetic against the stacked
+            # CSR (start offsets already absolute into the concatenation).
+            degrees_st, start_st, indices_cat = stacked
+            offsets_wide = (draws * degrees_st).astype(np.int64)
+            np.minimum(offsets_wide, degrees_st - 1, out=offsets_wide)
+            offsets_wide += start_st
+            contact_flat = indices_cat[offsets_wide]
+            contact_flat += row_offsets_wide[:live]
+        else:
+            # Contact selection, identical arithmetic to
+            # FlatAdjacency.random_neighbors_all but on narrow dtypes (the
+            # unsafe cast truncates toward zero exactly like .astype, and the
+            # 'clip' take mode skips bounds checks on indices that are in
+            # range by construction).
+            offsets = offsets_buf[:live]
+            np.multiply(draws, degrees_nw, out=offsets, casting="unsafe")
+            np.minimum(offsets, max_offset_nw, out=offsets)
+            offsets += start_nw
+            contact_flat = contact_buf[:live]
+            np.take(indices_nw, offsets, out=contact_flat, mode="clip")
+            contact_flat += row_offsets[:live]  # flat index of each contacted vertex
         informed_flat = informed_live.reshape(-1)
         contacted_informed = contacted_buf[:live]
         np.take(informed_flat, contact_flat, out=contacted_informed, mode="clip")
+        exchange_ok = None
+        if churn is not None:
+            # Both endpoints must be up: crashed vertices neither initiate
+            # nor answer.
+            exchange_ok = up_live & np.take(up_live.reshape(-1), contact_flat, mode="clip")
+        if loss_prob > 0.0:
+            loss_draws = loss_buf[:live]
+            if pooled_rng is not None:
+                pooled_rng.random(out=loss_draws)
+            else:
+                for i in range(live):
+                    live_rngs[i].random(out=loss_draws[i])
+            kept = loss_draws >= loss_prob
+            exchange_ok = kept if exchange_ok is None else exchange_ok & kept
 
         # Everything below reads the round-start snapshot of the informed
         # set before mutating it.  A flat position is its own "caller"
@@ -323,16 +452,25 @@ def run_synchronous_batch(
         push_targets = None
         if push_allowed:
             push_mask = np.greater(informed_live, contacted_informed, out=push_buf[:live])
+            if exchange_ok is not None:
+                push_mask &= exchange_ok
             push_targets = contact_flat[push_mask]
         if times_live is not None:
             times_flat = times_live.reshape(-1)
             if pull_allowed:
                 pull_mask = np.less(informed_live, contacted_informed, out=pull_buf[:live])
+                if exchange_ok is not None:
+                    pull_mask &= exchange_ok
                 np.copyto(times_live, float(round_index), where=pull_mask)
             if push_targets is not None:
                 times_flat[push_targets] = float(round_index)
         if pull_allowed:
-            informed_live |= contacted_informed
+            if exchange_ok is None:
+                informed_live |= contacted_informed
+            else:
+                informed_live |= np.logical_and(
+                    contacted_informed, exchange_ok, out=pull_buf[:live]
+                )
         if push_targets is not None:
             informed_flat[push_targets] = True
 
@@ -351,7 +489,16 @@ def run_synchronous_batch(
             if times_live is not None:
                 times_live = times_live[keep]
             informed_live_count = informed_live_count[keep]
-            live_rngs = [live_rngs[i] for i in keep]
+            if pooled_rng is None:
+                live_rngs = [live_rngs[i] for i in keep]
+            if up_live is not None:
+                up_live = up_live[keep]
+            if current_graphs is not None:
+                current_graphs = [current_graphs[i] for i in keep]
+            if stacked is not None:
+                # The concatenated neighbor array keeps dead segments until
+                # the next rebuild; the kept start offsets stay valid.
+                stacked = (stacked[0][keep], stacked[1][keep], stacked[2])
             live_ids = live_ids[keep]
 
     if live_ids.size:
@@ -394,6 +541,8 @@ def run_asynchronous_batch(
     max_time: Optional[float] = None,
     record_times: bool = True,
     on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
+    pooled_rng: Optional[np.random.Generator] = None,
 ) -> BatchTimes:
     """Simulate a batch of asynchronous trials under the ``"global"`` view.
 
@@ -403,7 +552,9 @@ def run_asynchronous_batch(
     Per-trial randomness is drawn from ``rngs[i]`` in chunks of the same
     sizes and order as the serial
     :func:`~repro.core.async_engine.run_asynchronous` global view, so
-    fixed-seed results agree trial-for-trial with the serial engine.
+    fixed-seed results agree trial-for-trial with the serial engine —
+    scenarios included (loss, churn, and delay batch; a dynamic graph does
+    not and raises :class:`~repro.errors.ScenarioError` here).
 
     Args: as :func:`run_synchronous_batch`, with the asynchronous budgets
         ``max_steps`` (clock ticks) and ``max_time`` (simulated time).
@@ -412,8 +563,21 @@ def run_asynchronous_batch(
         A :class:`~repro.core.result.BatchTimes` with continuous times.
     """
     source_array, generators = _prepare(
-        graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted
+        graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
     )
+    scenario = as_scenario(scenario)
+    loss_prob = 0.0
+    churn = None
+    delay = None
+    if scenario is not None:
+        if scenario.dynamic is not None:
+            raise ScenarioError(
+                "dynamic-graph scenarios do not batch for asynchronous protocols "
+                "(per-trial graph processes); use the serial engine"
+            )
+        loss_prob = scenario.loss_prob
+        churn = scenario.churn
+        delay = scenario.delay
     protocol_name = _ASYNC_MODE_NAMES[mode]
     n = graph.num_vertices
     batch = source_array.size
@@ -437,6 +601,25 @@ def run_asynchronous_batch(
     finite_time_budget = np.isfinite(time_budget)
     scale = 1.0 / n  # mean gap of the rate-n global clock
 
+    # Delay scenario: per-trial vertex rates drawn at trial start (the first
+    # randomness each trial consumes, matching the serial engine), with the
+    # cumulative-rate tables used to resolve weighted caller draws.
+    rates_cum = None
+    rates_total = None
+    scales = None
+    if delay is not None:
+        rates = np.stack(
+            [
+                delay.draw_rates(
+                    graph, pooled_rng if pooled_rng is not None else generators[b]
+                )
+                for b in range(batch)
+            ]
+        )
+        rates_cum = np.cumsum(rates, axis=1)
+        rates_total = rates_cum[:, -1].copy()
+        scales = 1.0 / rates_total  # per-trial mean gap of the superposed clock
+
     informed = np.zeros((batch, n), dtype=bool)
     trial_rows = np.arange(batch, dtype=np.int64)
     informed[trial_rows, source_array] = True
@@ -451,6 +634,13 @@ def run_asynchronous_batch(
     completed = np.zeros(batch, dtype=bool)
     completion_time = np.full(batch, np.inf)
 
+    # Scenario state: churn matrices indexed by absolute trial row (this
+    # kernel masks rows instead of compacting them) plus a loss-uniform
+    # buffer mirroring the serial chunk order (gaps, callers, neighbor
+    # uniforms, loss uniforms).
+    up = np.ones((batch, n), dtype=bool) if churn is not None else None
+    next_churn = np.ones(batch) if churn is not None else None
+
     # Per-trial randomness buffers mirroring the serial engine's chunked
     # draws: refilled (exponential gaps, callers, neighbor uniforms — in that
     # order) whenever exhausted, with chunk size min(4096, remaining budget).
@@ -459,6 +649,7 @@ def run_asynchronous_batch(
     gaps = np.empty((batch, _ASYNC_CHUNK))
     callers = np.empty((batch, _ASYNC_CHUNK), dtype=np.int32)
     nbr_uniforms = np.empty((batch, _ASYNC_CHUNK))
+    loss_uniforms = np.empty((batch, _ASYNC_CHUNK)) if loss_prob > 0.0 else None
     positions = np.zeros(batch, dtype=np.int64)
     buffer_lengths = np.zeros(batch, dtype=np.int64)
 
@@ -475,10 +666,27 @@ def run_asynchronous_batch(
                     live[b] = False
                     continue
                 chunk = min(_ASYNC_CHUNK, remaining)
-                rng = generators[b]
-                gaps[b, :chunk] = rng.exponential(scale, chunk)
-                callers[b, :chunk] = rng.integers(0, n, chunk)
+                rng = pooled_rng if pooled_rng is not None else generators[b]
+                gaps[b, :chunk] = rng.exponential(
+                    scale if scales is None else scales[b], chunk
+                )
+                if rates_cum is not None:
+                    # Weighted caller selection: resolve the whole chunk of
+                    # uniforms against the trial's cumulative rates now (the
+                    # draw order is what serial equivalence pins, not when
+                    # the uniforms are transformed).
+                    caller_uniforms = rng.random(chunk)
+                    callers[b, :chunk] = np.minimum(
+                        np.searchsorted(
+                            rates_cum[b], caller_uniforms * rates_total[b], side="right"
+                        ),
+                        n - 1,
+                    )
+                else:
+                    callers[b, :chunk] = rng.integers(0, n, chunk)
                 nbr_uniforms[b, :chunk] = rng.random(chunk)
+                if loss_uniforms is not None:
+                    loss_uniforms[b, :chunk] = rng.random(chunk)
                 buffer_lengths[b] = chunk
                 positions[b] = 0
             rows = rows[live[rows]]
@@ -489,6 +697,7 @@ def run_asynchronous_batch(
         gap = gaps[rows, cursor]
         caller = callers[rows, cursor].astype(np.int64)
         uniform = nbr_uniforms[rows, cursor]
+        lost = loss_uniforms[rows, cursor] < loss_prob if loss_uniforms is not None else None
         positions[rows] = cursor + 1
         tick_time = now[rows] + gap
         now[rows] = tick_time
@@ -502,9 +711,23 @@ def run_asynchronous_batch(
                 caller = caller[keep]
                 uniform = uniform[keep]
                 tick_time = tick_time[keep]
+                if lost is not None:
+                    lost = lost[keep]
                 if rows.size == 0:
                     rows = np.flatnonzero(live)
                     continue
+        if next_churn is not None:
+            # Churn epochs at integer times: every boundary crossed in
+            # (previous tick, now] updates the trial's up/down states before
+            # the exchange at `now` (drawing rng.random(n) per epoch, the
+            # same interleaved draws the serial engine makes).
+            crossing = tick_time >= next_churn[rows]
+            if crossing.any():
+                for b, t in zip(rows[crossing], tick_time[crossing]):
+                    rng = pooled_rng if pooled_rng is not None else generators[b]
+                    while next_churn[b] <= t:
+                        up[b] = churn.step(up[b], rng.random(n))
+                        next_churn[b] += 1.0
         steps[rows] += 1
 
         offsets = (uniform * degrees_nw[caller]).astype(np.int64)
@@ -526,6 +749,11 @@ def run_asynchronous_batch(
         else:
             active = ~caller_informed & callee_informed
             targets = caller
+        if lost is not None:
+            active &= ~lost
+        if up is not None:
+            # Crashed endpoints suppress the exchange in either direction.
+            active &= up[rows, caller] & up[rows, callee]
         if active.any():
             active_rows = rows[active]
             active_targets = targets[active]
@@ -575,6 +803,8 @@ def run_batch(
     trials: Optional[int] = None,
     seed: SeedLike = None,
     record_times: bool = True,
+    scenario: ScenarioLike = None,
+    pooled_rng: Optional[np.random.Generator] = None,
     **options,
 ) -> BatchTimes:
     """Run a batch of trials of any batchable protocol.
@@ -583,7 +813,12 @@ def run_batch(
     on the canonical protocol name to the synchronous or asynchronous batch
     kernel.  ``options`` are forwarded to the kernel (``max_rounds`` /
     ``max_steps`` / ``max_time`` / ``on_budget_exhausted``; the asynchronous
-    ``view`` option is accepted but must be ``"global"``).
+    ``view`` option is accepted but must be ``"global"``).  ``scenario``
+    applies a :mod:`repro.scenarios` adversity model; note that source
+    strategies are *not* applied here (``sources`` is explicit — use
+    :func:`~repro.analysis.montecarlo.run_trials` or
+    :func:`~repro.core.protocols.spread` for that).  ``pooled_rng`` switches
+    to the pooled single-generator mode (see the module docstring).
     """
     if protocol in SYNC_BATCH_PROTOCOLS:
         return run_synchronous_batch(
@@ -594,6 +829,8 @@ def run_batch(
             trials=trials,
             seed=seed,
             record_times=record_times,
+            scenario=scenario,
+            pooled_rng=pooled_rng,
             **options,
         )
     if protocol in ASYNC_BATCH_PROTOCOLS:
@@ -610,6 +847,8 @@ def run_batch(
             trials=trials,
             seed=seed,
             record_times=record_times,
+            scenario=scenario,
+            pooled_rng=pooled_rng,
             **options,
         )
     raise ProtocolError(

@@ -21,6 +21,22 @@ Canonical names (matching the paper's notation):
 ``ppx``    auxiliary process of Definition 5 (analysis device)
 ``ppy``    auxiliary process of Definition 7 (analysis device)
 ========  ===========================================================
+
+Every call also accepts a ``scenario=`` argument (a
+:class:`repro.scenarios.Scenario` or a spec string like ``"loss:p=0.3"``)
+applying composable adversity models.  Scenario support by protocol group:
+
+====================  =====  =====  =======  ======  ==============
+scenario              sync   async  ppx/ppy  batch   notes
+====================  =====  =====  =======  ======  ==============
+``loss``              yes    yes    no       yes     per-exchange drop
+``churn``             yes    yes    no       yes     state updates once per round / time unit
+``dynamic``           yes    yes    no       sync    async batch falls back to the serial engine
+``adversarial-source`` yes   yes    yes      yes     deterministic; overrides ``source``
+``delay``             no     yes    no       yes     clock rates are an async-only notion
+====================  =====  =====  =======  ======  ==============
+
+Asynchronous runtime scenarios require the default ``"global"`` view.
 """
 
 from __future__ import annotations
@@ -32,9 +48,10 @@ from repro.core.async_engine import run_asynchronous
 from repro.core.aux_processes import run_auxiliary_process
 from repro.core.result import SpreadingResult
 from repro.core.sync_engine import run_synchronous
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ScenarioError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike
+from repro.scenarios.base import ScenarioLike, as_scenario, scenario_source
 
 __all__ = [
     "ProtocolSpec",
@@ -69,15 +86,33 @@ class ProtocolSpec:
 
 
 def _sync_runner(mode: str) -> Callable[..., SpreadingResult]:
-    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
-        return run_synchronous(graph, source, mode=mode, seed=seed, **options)
+    def run(
+        graph: Graph,
+        source: int,
+        *,
+        seed: SeedLike = None,
+        scenario: ScenarioLike = None,
+        **options,
+    ) -> SpreadingResult:
+        return run_synchronous(
+            graph, source, mode=mode, seed=seed, scenario=scenario, **options
+        )
 
     return run
 
 
 def _async_runner(mode: str) -> Callable[..., SpreadingResult]:
-    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
-        return run_asynchronous(graph, source, mode=mode, seed=seed, **options)
+    def run(
+        graph: Graph,
+        source: int,
+        *,
+        seed: SeedLike = None,
+        scenario: ScenarioLike = None,
+        **options,
+    ) -> SpreadingResult:
+        return run_asynchronous(
+            graph, source, mode=mode, seed=seed, scenario=scenario, **options
+        )
 
     return run
 
@@ -184,15 +219,22 @@ def spread(
     *,
     protocol: str = "pp",
     seed: SeedLike = None,
+    scenario: ScenarioLike = None,
     **options,
 ) -> SpreadingResult:
     """Run one rumor-spreading simulation.
 
     Args:
         graph: the (connected) graph to spread on.
-        source: the initially informed vertex.
+        source: the initially informed vertex.  An
+            :class:`~repro.scenarios.AdversarialSource` component in the
+            scenario overrides this argument.
         protocol: a canonical protocol name (see module docstring).
         seed: RNG seed or generator.
+        scenario: optional adversity scenario from :mod:`repro.scenarios`
+            (a :class:`~repro.scenarios.Scenario` or a spec string such as
+            ``"loss:p=0.3"``).  See the table in the module docstring for
+            which scenarios each protocol supports.
         **options: engine-specific options forwarded to the underlying
             runner (``max_rounds``, ``max_steps``, ``max_time``, ``view``,
             ``record_trace``, ``on_budget_exhausted``).
@@ -201,4 +243,14 @@ def spread(
         The :class:`~repro.core.result.SpreadingResult` of the run.
     """
     spec = get_protocol(protocol)
+    scenario = as_scenario(scenario)
+    if scenario is not None:
+        source = scenario_source(scenario, graph, source)
+        if scenario.runtime_active():
+            if not spec.realistic:
+                raise ScenarioError(
+                    f"protocol {protocol!r} is an analysis-only process; runtime "
+                    "scenarios (loss, churn, dynamic graphs, delay) do not apply"
+                )
+            return spec.runner(graph, source, seed=seed, scenario=scenario, **options)
     return spec.runner(graph, source, seed=seed, **options)

@@ -31,11 +31,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.flatgraph import flat_adjacency
+from repro.core.flatgraph import FlatAdjacency, flat_adjacency
 from repro.core.result import ContactEvent, SpreadingResult
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProtocolError, ScenarioError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, as_generator
+from repro.scenarios.base import ScenarioLike, as_scenario
 
 __all__ = [
     "run_synchronous",
@@ -81,6 +82,7 @@ def run_synchronous(
     max_rounds: Optional[int] = None,
     record_trace: bool = False,
     on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
 ) -> SpreadingResult:
     """Simulate one run of a synchronous rumor spreading protocol.
 
@@ -92,15 +94,37 @@ def run_synchronous(
         max_rounds: round budget; defaults to :func:`default_max_rounds`.
         record_trace: record every contact as a :class:`ContactEvent` (slow
             and memory heavy; intended for debugging and coupling tests).
+            Under a scenario the trace records every *attempted* contact,
+            including those suppressed by loss or churn.
         on_budget_exhausted: ``"error"`` raises :class:`SimulationError` when
             the budget runs out before everyone is informed; ``"partial"``
             returns the incomplete result instead.
+        scenario: optional adversity scenario (or spec string) from
+            :mod:`repro.scenarios`; message loss, node churn, and dynamic
+            graphs apply to synchronous protocols.  Per round the engine
+            draws, in this order: graph resample (at a period boundary),
+            churn state update (``rng.random(n)``), contact selection
+            (``rng.random(n)``), loss coin flips (``rng.random(n)``) — the
+            batch kernel consumes per-trial randomness identically.
 
     Returns:
         A :class:`SpreadingResult`; informing times are round numbers
         (the source has time 0).
     """
     _validate(graph, source, mode)
+    scenario = as_scenario(scenario)
+    loss_prob = 0.0
+    churn = None
+    dynamic = None
+    if scenario is not None:
+        if scenario.delay is not None:
+            raise ScenarioError(
+                "Delay skews asynchronous clock rates; synchronous rounds have no "
+                "clocks to slow down — use an asynchronous protocol"
+            )
+        loss_prob = scenario.loss_prob
+        churn = scenario.churn
+        dynamic = scenario.dynamic
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
             f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
@@ -147,11 +171,31 @@ def run_synchronous(
             trace=tuple(trace) if record_trace else None,
         )
 
+    current_graph = graph
+    up = np.ones(n, dtype=bool) if churn is not None else None
+
     num_informed = 1
     while num_informed < n and rounds_executed < budget:
         rounds_executed += 1
+        # Scenario randomness order (see the `scenario` arg docs): graph
+        # resample, churn update, contacts, loss flips.
+        if dynamic is not None and rounds_executed > 1 and (rounds_executed - 1) % dynamic.period == 0:
+            current_graph = dynamic.resample(current_graph, rng)
+            flat = FlatAdjacency(current_graph)
+        if churn is not None:
+            up = churn.step(up, rng.random(n))
         contacts = flat.random_neighbors_all(rng.random(n))
-        total_contacts += n
+        exchange_ok = None
+        if churn is not None:
+            # Both endpoints must be up: crashed vertices neither initiate
+            # nor answer.
+            exchange_ok = up & up[contacts]
+            total_contacts += int(np.count_nonzero(up))
+        else:
+            total_contacts += n
+        if loss_prob > 0.0:
+            kept = rng.random(n) >= loss_prob
+            exchange_ok = kept if exchange_ok is None else exchange_ok & kept
         informed_before = informed  # the snapshot used for this round's decisions
         contacted_informed = informed_before[contacts]
 
@@ -159,6 +203,8 @@ def run_synchronous(
         if mode in ("pull", "push-pull"):
             # Uninformed caller v contacting an informed callee pulls the rumor.
             new_by_pull = (~informed_before) & contacted_informed
+            if exchange_ok is not None:
+                new_by_pull &= exchange_ok
 
         new_by_push = np.zeros(n, dtype=bool)
         push_sources = np.empty(0, dtype=np.int64)
@@ -166,6 +212,8 @@ def run_synchronous(
         if mode in ("push", "push-pull"):
             # Informed caller v contacting an uninformed callee pushes the rumor.
             pusher_mask = informed_before & ~informed_before[contacts]
+            if exchange_ok is not None:
+                pusher_mask &= exchange_ok
             push_sources = all_vertices[pusher_mask]
             push_targets = contacts[pusher_mask]
             # A vertex may be pushed to by several callers; keep the first

@@ -15,6 +15,8 @@ specific subclasses communicate which subsystem rejected the input:
   inputs (empty samples, impossible quantiles, ...).
 * :class:`ExperimentError` — the experiment harness was asked for an unknown
   experiment or given an invalid configuration.
+* :class:`ScenarioError` — an adversity scenario (message loss, churn, ...)
+  was configured, composed, or applied to a protocol incorrectly.
 """
 
 from __future__ import annotations
@@ -50,3 +52,7 @@ class ExperimentError(ReproError):
 
 class CouplingError(ReproError):
     """A coupling construction was driven with inconsistent inputs."""
+
+
+class ScenarioError(ReproError):
+    """An adversity scenario was configured or combined incorrectly."""

@@ -18,6 +18,7 @@ from repro.experiments import (
     coupling_checks,
     gap_graphs,
     regular_push_identity,
+    scenarios,
     social,
     star,
     theorem1,
@@ -123,6 +124,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "Regular graphs: async push ~ 2 x async push-pull",
         "On regular graphs T(push-a) is distributed as 2*T(pp-a)",
         regular_push_identity.run,
+    ),
+    "E12": ExperimentSpec(
+        "E12",
+        "Adversity scenarios: loss/churn spreading-time blowup",
+        "Perturbed spreading times dominate the clean ones; blowup grows with loss rate",
+        scenarios.run,
     ),
 }
 

@@ -1,0 +1,553 @@
+"""Composable adversity scenarios for rumor-spreading simulations.
+
+The paper's model assumes a static graph with perfectly reliable exchanges.
+Real gossip deployments face none of those luxuries, so this module defines
+*perturbation models* that every protocol engine understands:
+
+* :class:`MessageLoss` — each push/pull exchange is independently dropped;
+* :class:`NodeChurn` — vertices crash and recover; a crashed vertex neither
+  initiates contacts nor answers them (it keeps the rumor while down);
+* :class:`DynamicGraph` — the communication graph is re-drawn from a family
+  every ``period`` rounds (synchronous) or time units (asynchronous);
+* :class:`AdversarialSource` — the source is placed at the worst-case vertex
+  by degree or eccentricity instead of where the caller asked;
+* :class:`Delay` — heterogeneous clock rates for the asynchronous engines
+  (slow and fast vertices instead of identical rate-1 Poisson clocks).
+
+Scenarios compose with ``|`` (or :func:`compose`) as long as each
+perturbation category appears at most once, e.g.::
+
+    scenario = MessageLoss(0.2) | NodeChurn(0.05, 0.5)
+    spread(graph, 0, protocol="pp", seed=1, scenario=scenario)
+
+**Randomness discipline.**  Every engine consumes scenario randomness from
+the per-trial generator in one documented order so the serial engines and
+the 2-D batch kernels stay bit-for-bit equivalent trial-for-trial:
+
+1. graph resampling (at a :class:`DynamicGraph` boundary),
+2. churn state update (one uniform per vertex),
+3. contact selection (the unperturbed engines' own draws),
+4. loss coin flips (one uniform per contact).
+
+:class:`Delay` draws its per-vertex rates once at trial start, before any
+round/tick randomness; :class:`AdversarialSource` is deterministic and
+consumes no randomness at all.
+
+The synchronous model updates churn state once per round; the asynchronous
+model updates it once per unit of simulated time (which a synchronous round
+is), so one ``(crash_rate, recovery_rate)`` pair means the same thing in
+both models.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.graphs.base import Graph
+
+__all__ = [
+    "Scenario",
+    "MessageLoss",
+    "NodeChurn",
+    "DynamicGraph",
+    "AdversarialSource",
+    "Delay",
+    "ComposedScenario",
+    "compose",
+    "as_scenario",
+    "scenario_source",
+    "select_adversarial_source",
+    "FamilyResampler",
+    "SOURCE_STRATEGIES",
+    "ScenarioLike",
+]
+
+#: Signature of a :class:`DynamicGraph` resampler: maps the current graph and
+#: the trial's generator to the next graph (same vertex count, no isolated
+#: vertices; connectivity is *not* required — only the union over time is).
+Resampler = Callable[[Graph, np.random.Generator], Graph]
+
+#: Valid :class:`AdversarialSource` strategies.
+SOURCE_STRATEGIES = ("max_degree", "min_degree", "max_eccentricity", "min_eccentricity")
+
+
+class Scenario:
+    """Base class of all adversity scenarios.
+
+    A scenario is a bundle of up to five orthogonal perturbation
+    *categories*; each concrete model fills exactly one and composition
+    merges them.  Engines read the category accessors (:attr:`loss_prob`,
+    :attr:`churn`, :attr:`dynamic`, :attr:`delay`) and ignore the categories
+    they do not implement support for — unsupported combinations raise
+    :class:`~repro.errors.ScenarioError` instead of being silently dropped.
+    """
+
+    #: Probability that a single exchange is lost (0 = reliable).
+    loss_prob: float = 0.0
+
+    @property
+    def churn(self) -> Optional["NodeChurn"]:
+        """The churn component, if any."""
+        return None
+
+    @property
+    def dynamic(self) -> Optional["DynamicGraph"]:
+        """The dynamic-graph component, if any."""
+        return None
+
+    @property
+    def delay(self) -> Optional["Delay"]:
+        """The heterogeneous-clock component, if any."""
+        return None
+
+    @property
+    def source_strategy(self) -> Optional[str]:
+        """The adversarial source-placement strategy, if any."""
+        return None
+
+    def components(self) -> tuple["Scenario", ...]:
+        """The atomic scenarios this one is composed of."""
+        return (self,)
+
+    def runtime_active(self) -> bool:
+        """Whether the scenario perturbs the simulation itself.
+
+        :class:`AdversarialSource` only changes the starting vertex, so a
+        pure source scenario is runtime-inert and runs on every engine
+        (including the analysis-only auxiliary processes).
+        """
+        return (
+            self.loss_prob > 0.0
+            or self.churn is not None
+            or self.dynamic is not None
+            or self.delay is not None
+        )
+
+    def spec(self) -> str:
+        """Canonical ``name:param=value,...`` form (round-trips through the CLI)."""
+        raise NotImplementedError
+
+    def __or__(self, other: "Scenario") -> "Scenario":
+        return compose(self, other)
+
+    def __repr__(self) -> str:
+        return f"<scenario {self.spec()}>"
+
+
+def _check_probability(name: str, value: float, *, allow_one: bool = False) -> float:
+    value = float(value)
+    upper_ok = value <= 1.0 if allow_one else value < 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1]" if allow_one else "[0, 1)"
+        raise ScenarioError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+@dataclass(frozen=True, repr=False)
+class MessageLoss(Scenario):
+    """Each exchange is independently lost with probability ``p``.
+
+    The caller still spends its contact (the coupon is consumed), but the
+    rumor is not transmitted in either direction — the lossy analogue of a
+    dropped packet.  ``p`` must be in ``[0, 1)``; with ``p = 1`` the rumor
+    could never spread.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        _check_probability("loss probability p", self.p)
+
+    @property
+    def loss_prob(self) -> float:  # type: ignore[override]
+        return self.p
+
+    def spec(self) -> str:
+        return f"loss:p={self.p:g}"
+
+
+@dataclass(frozen=True, repr=False)
+class NodeChurn(Scenario):
+    """Vertices crash and recover; crashed vertices are silent.
+
+    At every churn epoch (each synchronous round / each unit of asynchronous
+    time) every up vertex crashes with probability ``crash_rate`` and every
+    down vertex recovers with probability ``recovery_rate``, independently.
+    A crashed vertex neither initiates contacts nor answers them, but keeps
+    the rumor if it already had it.  All vertices start up.
+
+    With ``recovery_rate = 0`` crashes are permanent and spreading can stall
+    forever; pair that setting with ``on_budget_exhausted="partial"``.
+    """
+
+    crash_rate: float
+    recovery_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_probability("crash_rate", self.crash_rate)
+        _check_probability("recovery_rate", self.recovery_rate, allow_one=True)
+
+    @property
+    def churn(self) -> Optional["NodeChurn"]:  # type: ignore[override]
+        return self
+
+    def step(self, up: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Advance the up/down state one epoch given one uniform per vertex.
+
+        The single definition of the transition every engine uses — the
+        serial/batch fixed-seed equivalence contract depends on all code
+        paths applying the identical comparison to the identical draws.
+        """
+        return np.where(up, draws >= self.crash_rate, draws < self.recovery_rate)
+
+    def spec(self) -> str:
+        return f"churn:crash_rate={self.crash_rate:g},recovery_rate={self.recovery_rate:g}"
+
+
+@dataclass(frozen=True, repr=False)
+class DynamicGraph(Scenario):
+    """Re-draw the communication graph every ``period`` rounds / time units.
+
+    ``resampler(current_graph, rng)`` must return a graph on the *same*
+    vertex set with no isolated vertices; individual samples need not be
+    connected (the rumor spreads over the union of the graph process).  The
+    graph handed to the engine is used for the first period, then the
+    resampler takes over.  Use :class:`FamilyResampler` to redraw from a
+    registered graph family.
+    """
+
+    resampler: Resampler
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if not callable(self.resampler):
+            raise ScenarioError(
+                f"resampler must be callable (graph, rng) -> Graph, got {self.resampler!r}"
+            )
+        try:
+            period = int(self.period)
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"period must be a positive integer, got {self.period!r}"
+            ) from None
+        if period != self.period or period < 1:
+            raise ScenarioError(f"period must be a positive integer, got {self.period!r}")
+        object.__setattr__(self, "period", period)
+
+    @property
+    def dynamic(self) -> Optional["DynamicGraph"]:  # type: ignore[override]
+        return self
+
+    def resample(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        """Draw the next graph and validate it against the engine's needs."""
+        candidate = self.resampler(graph, rng)
+        if not isinstance(candidate, Graph):
+            raise ScenarioError(
+                f"resampler returned {type(candidate).__name__}, expected a Graph"
+            )
+        if candidate.num_vertices != graph.num_vertices:
+            raise ScenarioError(
+                f"resampler changed the vertex count ({graph.num_vertices} -> "
+                f"{candidate.num_vertices}); dynamic graphs must keep the vertex set"
+            )
+        if candidate.num_vertices > 1 and candidate.min_degree() < 1:
+            raise ScenarioError(
+                f"resampled graph {candidate.name} has an isolated vertex; "
+                "every vertex needs at least one neighbor to contact"
+            )
+        return candidate
+
+    def spec(self) -> str:
+        label = getattr(self.resampler, "family_name", None) or getattr(
+            self.resampler, "__name__", "custom"
+        )
+        return f"dynamic:family={label},period={self.period}"
+
+
+@dataclass(frozen=True, repr=False)
+class AdversarialSource(Scenario):
+    """Place the source at the worst-case vertex instead of where asked.
+
+    Strategies (ties broken towards the smallest vertex id):
+
+    * ``"max_degree"`` / ``"min_degree"`` — the hub / the most isolated
+      vertex (min-degree sources are the slow case for push on stars);
+    * ``"max_eccentricity"`` — a peripheral vertex, maximising the
+      diameter-driven lower bound ``dist(u, v)``;
+    * ``"min_eccentricity"`` — the graph center (the *best* placement; useful
+      as the optimistic baseline of a placement sweep).
+
+    Overrides the ``source`` argument of :func:`repro.core.protocols.spread`
+    and :func:`repro.analysis.montecarlo.run_trials`; consumes no randomness.
+    """
+
+    strategy: str = "max_eccentricity"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in SOURCE_STRATEGIES:
+            raise ScenarioError(
+                f"unknown source strategy {self.strategy!r}; "
+                f"expected one of {SOURCE_STRATEGIES}"
+            )
+
+    @property
+    def source_strategy(self) -> Optional[str]:  # type: ignore[override]
+        return self.strategy
+
+    def spec(self) -> str:
+        return f"adversarial-source:strategy={self.strategy}"
+
+
+@dataclass(frozen=True, repr=False)
+class Delay(Scenario):
+    """Heterogeneous Poisson clock rates for the asynchronous engines.
+
+    Every vertex ``v`` ticks at its own rate ``r_v`` instead of rate 1.
+    Either pass explicit per-vertex ``rates``, or let each trial draw
+    ``r_v ~ Uniform[low, high]`` from its own generator at trial start.
+    Only meaningful for the asynchronous protocols; the synchronous engines
+    reject it (rounds have no clocks to skew).
+    """
+
+    low: float = 0.5
+    high: float = 2.0
+    rates: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.rates is not None:
+            values = tuple(float(r) for r in self.rates)
+            if not values or min(values) <= 0.0:
+                raise ScenarioError("explicit rates must be a non-empty positive sequence")
+            object.__setattr__(self, "rates", values)
+        else:
+            if not (0.0 < float(self.low) <= float(self.high)):
+                raise ScenarioError(
+                    f"need 0 < low <= high for the rate range, got [{self.low}, {self.high}]"
+                )
+
+    @property
+    def delay(self) -> Optional["Delay"]:  # type: ignore[override]
+        return self
+
+    def draw_rates(self, graph: Graph, rng: np.random.Generator) -> np.ndarray:
+        """Per-vertex clock rates for one trial (consumes ``rng.random(n)``
+        only when the rates are drawn rather than given)."""
+        n = graph.num_vertices
+        if self.rates is not None:
+            if len(self.rates) != n:
+                raise ScenarioError(
+                    f"explicit rates have length {len(self.rates)} but the graph "
+                    f"has {n} vertices"
+                )
+            return np.asarray(self.rates, dtype=float)
+        return self.low + (self.high - self.low) * rng.random(n)
+
+    def spec(self) -> str:
+        if self.rates is not None:
+            return f"delay:rates=<{len(self.rates)} fixed>"
+        return f"delay:low={self.low:g},high={self.high:g}"
+
+
+class ComposedScenario(Scenario):
+    """Several atomic scenarios applied together (built by ``|``).
+
+    Each perturbation category may appear at most once; composing two
+    scenarios of the same category raises :class:`ScenarioError` (there is
+    no meaningful way to, say, apply two loss probabilities — compose the
+    probability arithmetic yourself instead).
+    """
+
+    def __init__(self, parts: Sequence[Scenario]) -> None:
+        flattened: list[Scenario] = []
+        for part in parts:
+            if not isinstance(part, Scenario):
+                raise ScenarioError(f"cannot compose non-scenario {part!r}")
+            flattened.extend(part.components())
+        if len(flattened) < 2:
+            raise ScenarioError("a composition needs at least two scenarios")
+        categories = [_category(part) for part in flattened]
+        for category in categories:
+            if categories.count(category) > 1:
+                raise ScenarioError(
+                    f"duplicate {category!r} component in composition; each "
+                    "perturbation category may appear at most once"
+                )
+        self._parts = tuple(flattened)
+
+    def components(self) -> tuple[Scenario, ...]:
+        return self._parts
+
+    def _find(self, category: str) -> Optional[Scenario]:
+        for part in self._parts:
+            if _category(part) == category:
+                return part
+        return None
+
+    @property
+    def loss_prob(self) -> float:  # type: ignore[override]
+        part = self._find("loss")
+        return part.loss_prob if part is not None else 0.0
+
+    @property
+    def churn(self) -> Optional[NodeChurn]:
+        part = self._find("churn")
+        return part.churn if part is not None else None
+
+    @property
+    def dynamic(self) -> Optional[DynamicGraph]:
+        part = self._find("dynamic")
+        return part.dynamic if part is not None else None
+
+    @property
+    def delay(self) -> Optional[Delay]:
+        part = self._find("delay")
+        return part.delay if part is not None else None
+
+    @property
+    def source_strategy(self) -> Optional[str]:
+        part = self._find("adversarial-source")
+        return part.source_strategy if part is not None else None
+
+    def spec(self) -> str:
+        return "+".join(part.spec() for part in self._parts)
+
+
+def _category(scenario: Scenario) -> str:
+    if scenario.loss_prob > 0.0 or isinstance(scenario, MessageLoss):
+        return "loss"
+    if scenario.churn is not None:
+        return "churn"
+    if scenario.dynamic is not None:
+        return "dynamic"
+    if scenario.delay is not None:
+        return "delay"
+    if scenario.source_strategy is not None:
+        return "adversarial-source"
+    return type(scenario).__name__
+
+
+def compose(*scenarios: Scenario) -> Scenario:
+    """Combine scenarios into one (the function form of the ``|`` operator)."""
+    if not scenarios:
+        raise ScenarioError("compose() needs at least one scenario")
+    if len(scenarios) == 1:
+        return scenarios[0]
+    return ComposedScenario(scenarios)
+
+
+#: Anything accepted where a scenario is expected: a :class:`Scenario`, a
+#: CLI-style spec string like ``"loss:p=0.3"``, or ``None``.
+ScenarioLike = Union[Scenario, str, None]
+
+
+def as_scenario(scenario: ScenarioLike) -> Optional[Scenario]:
+    """Normalise a scenario argument; parses CLI-style spec strings."""
+    if scenario is None or isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, str):
+        from repro.scenarios.registry import parse_scenario
+
+        return parse_scenario(scenario)
+    raise ScenarioError(
+        f"expected a Scenario, a spec string, or None, got {type(scenario).__name__}"
+    )
+
+
+class FamilyResampler:
+    """A picklable :class:`DynamicGraph` resampler drawing from a graph family.
+
+    ``FamilyResampler("erdos_renyi")(graph, rng)`` builds a fresh family
+    member of the current vertex count, seeded from the trial's generator.
+    The family must realise the requested size exactly (``erdos_renyi``,
+    ``random_regular_4``, ``cycle``, ``complete``, ... do; families that
+    round the size, like ``hypercube``, will be rejected at resample time).
+    """
+
+    __slots__ = ("family_name",)
+
+    def __init__(self, family_name: str) -> None:
+        from repro.graphs.families import get_family
+
+        get_family(family_name)  # validate eagerly
+        self.family_name = family_name
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        from repro.graphs.families import get_family
+
+        seed = int(rng.integers(0, 2**63 - 1))
+        return get_family(self.family_name).build(graph.num_vertices, seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FamilyResampler({self.family_name!r})"
+
+
+# ---------------------------------------------------------------------- #
+# Adversarial source selection
+# ---------------------------------------------------------------------- #
+# Eccentricity-based strategies cost n BFS traversals; memoise per (graph,
+# strategy) so Monte Carlo drivers that resolve the source per trial do not
+# recompute them.  Keyed by graph identity with weakref liveness checks,
+# mirroring repro.core.flatgraph's cache discipline.
+_SOURCE_CACHE: dict[tuple[int, str], tuple[weakref.ref, int]] = {}
+_SOURCE_CACHE_LIMIT = 128
+
+
+def select_adversarial_source(graph: Graph, strategy: str) -> int:
+    """The vertex an :class:`AdversarialSource` strategy picks on ``graph``."""
+    if strategy not in SOURCE_STRATEGIES:
+        raise ScenarioError(
+            f"unknown source strategy {strategy!r}; expected one of {SOURCE_STRATEGIES}"
+        )
+    key = (id(graph), strategy)
+    cached = _SOURCE_CACHE.get(key)
+    if cached is not None:
+        graph_ref, vertex = cached
+        if graph_ref() is graph:
+            # Refresh recency (dicts preserve insertion order) so eviction
+            # drops the least-recently-used entry, not the oldest-inserted.
+            del _SOURCE_CACHE[key]
+            _SOURCE_CACHE[key] = cached
+            return vertex
+        del _SOURCE_CACHE[key]
+
+    degrees = graph.degrees
+    if strategy == "max_degree":
+        vertex = max(graph.vertices, key=lambda v: (degrees[v], -v))
+    elif strategy == "min_degree":
+        vertex = min(graph.vertices, key=lambda v: (degrees[v], v))
+    else:
+        # Eccentricity strategies need a connected graph (the engines require
+        # connectivity anyway; this just surfaces the error earlier).
+        eccentricities = [graph.eccentricity(v) for v in graph.vertices]
+        if strategy == "max_eccentricity":
+            vertex = max(graph.vertices, key=lambda v: (eccentricities[v], -v))
+        else:
+            vertex = min(graph.vertices, key=lambda v: (eccentricities[v], v))
+
+    if len(_SOURCE_CACHE) >= _SOURCE_CACHE_LIMIT:
+        dead = [k for k, (ref, _) in _SOURCE_CACHE.items() if ref() is None]
+        for k in dead:
+            del _SOURCE_CACHE[k]
+        while len(_SOURCE_CACHE) >= _SOURCE_CACHE_LIMIT:
+            _SOURCE_CACHE.pop(next(iter(_SOURCE_CACHE)))
+    _SOURCE_CACHE[key] = (weakref.ref(graph), int(vertex))
+    return int(vertex)
+
+
+def scenario_source(
+    scenario: Optional[Scenario], graph: Graph, requested: Union[int, str]
+) -> Union[int, str]:
+    """Apply a scenario's source strategy, if any, to the requested source.
+
+    Returns the adversarially chosen vertex when the scenario carries an
+    :class:`AdversarialSource` component (the requested source — including
+    ``"random"`` — is overridden), otherwise the request unchanged.
+    """
+    if scenario is None or scenario.source_strategy is None:
+        return requested
+    return select_adversarial_source(graph, scenario.source_strategy)

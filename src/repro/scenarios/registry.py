@@ -1,0 +1,171 @@
+"""Scenario registry: named, parameterised adversity models.
+
+The registry is what ``python -m repro scenarios`` lists and what the CLI's
+``run --scenario NAME[:param=value,...]`` option parses.  Several scenarios
+compose in one spec string with ``+``::
+
+    loss:p=0.3
+    churn:crash_rate=0.1,recovery_rate=0.5
+    dynamic:family=erdos_renyi,period=4
+    adversarial-source:strategy=max_eccentricity
+    delay:low=0.25,high=4
+    loss:p=0.2+churn:crash_rate=0.05
+
+Parameter values are coerced ``int`` → ``float`` → ``str`` in that order, so
+``period=4`` arrives as an integer and ``family=erdos_renyi`` as a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.errors import ScenarioError
+from repro.scenarios.base import (
+    AdversarialSource,
+    Delay,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+    NodeChurn,
+    Scenario,
+    compose,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "SCENARIOS",
+    "available_scenarios",
+    "get_scenario_spec",
+    "build_scenario",
+    "parse_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Registry entry for one scenario model.
+
+    Attributes:
+        name: registry key (the ``NAME`` part of a CLI spec).
+        summary: one-line human readable description.
+        parameters: human readable parameter list with defaults, shown by
+            ``python -m repro scenarios``.
+        factory: callable building the scenario from keyword parameters.
+    """
+
+    name: str
+    summary: str
+    parameters: str
+    factory: Callable[..., Scenario]
+
+
+def _dynamic_factory(family: str = "erdos_renyi", period: int = 1) -> DynamicGraph:
+    return DynamicGraph(FamilyResampler(str(family)), period=int(period))
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "loss": ScenarioSpec(
+        name="loss",
+        summary="every push/pull exchange is independently dropped with probability p",
+        parameters="p (required, in [0, 1))",
+        factory=MessageLoss,
+    ),
+    "churn": ScenarioSpec(
+        name="churn",
+        summary="vertices crash and recover each round/time unit; crashed vertices are silent",
+        parameters="crash_rate (required, in [0, 1)), recovery_rate (default 0.5)",
+        factory=NodeChurn,
+    ),
+    "dynamic": ScenarioSpec(
+        name="dynamic",
+        summary="re-draw the graph from a registered family every `period` rounds/time units",
+        parameters="family (default 'erdos_renyi'), period (default 1)",
+        factory=_dynamic_factory,
+    ),
+    "adversarial-source": ScenarioSpec(
+        name="adversarial-source",
+        summary="place the source at the worst-case vertex by degree or eccentricity",
+        parameters=(
+            "strategy (default 'max_eccentricity'; one of max_degree, min_degree, "
+            "max_eccentricity, min_eccentricity)"
+        ),
+        factory=AdversarialSource,
+    ),
+    "delay": ScenarioSpec(
+        name="delay",
+        summary="heterogeneous async clock rates: each vertex ticks at rate ~ Uniform[low, high]",
+        parameters="low (default 0.5), high (default 2.0)",
+        factory=Delay,
+    ),
+}
+
+
+def available_scenarios() -> list[str]:
+    """Sorted list of registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario_spec(name: str) -> ScenarioSpec:
+    """Look up a registry entry; raises with the list of valid names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def build_scenario(name: str, **params) -> Scenario:
+    """Instantiate a registered scenario from keyword parameters."""
+    spec = get_scenario_spec(name)
+    try:
+        return spec.factory(**params)
+    except (TypeError, ValueError) as error:
+        # TypeError: unknown/missing parameter names; ValueError: values the
+        # factory's numeric coercions reject (e.g. p="abc").
+        raise ScenarioError(
+            f"bad parameters for scenario {name!r} (expected: {spec.parameters}): {error}"
+        ) from None
+
+
+def _coerce(value: str) -> Union[int, float, str]:
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _parse_one(part: str) -> Scenario:
+    name, _, params_text = part.partition(":")
+    name = name.strip()
+    if not name:
+        raise ScenarioError(f"empty scenario name in spec {part!r}")
+    params: dict[str, Union[int, float, str]] = {}
+    if params_text.strip():
+        for item in params_text.split(","):
+            key, separator, value = item.partition("=")
+            if not separator or not key.strip() or not value.strip():
+                raise ScenarioError(
+                    f"bad scenario parameter {item!r} in {part!r}; "
+                    "expected param=value"
+                )
+            params[key.strip()] = _coerce(value.strip())
+    return build_scenario(name, **params)
+
+
+def parse_scenario(spec: str) -> Scenario:
+    """Parse a ``NAME[:param=value,...][+NAME...]`` spec string.
+
+    >>> parse_scenario("loss:p=0.3").loss_prob
+    0.3
+    >>> parse_scenario("loss:p=0.2+churn:crash_rate=0.1").churn.crash_rate
+    0.1
+    """
+    text = spec.strip()
+    if not text:
+        raise ScenarioError("empty scenario spec")
+    parts = [_parse_one(part) for part in text.split("+")]
+    return compose(*parts)

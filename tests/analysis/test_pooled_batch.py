@@ -1,0 +1,99 @@
+"""Tests for the pooled-RNG batch mode (``batch="pooled"``).
+
+Pooled mode shares one generator across the whole batch instead of spawning
+one per trial, so it cannot reproduce serial runs bit-for-bit — the contract
+is *distributional* equality with the per-trial modes, checked here with
+two-sample Kolmogorov–Smirnov tests, plus the usual reproducibility and
+dispatch properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.montecarlo import run_trials
+from repro.core.batch_engine import run_batch
+from repro.errors import AnalysisError, ProtocolError
+from repro.graphs import complete_graph, star_graph
+from repro.graphs.random_graphs import random_regular_graph
+from repro.randomness.rng import spawn_generators
+from repro.scenarios import MessageLoss
+
+
+class TestPooledDispatch:
+    def test_pooled_runs_and_is_reproducible(self):
+        graph = complete_graph(24)
+        a = run_trials(graph, 0, "pp", trials=40, seed=9, batch="pooled")
+        b = run_trials(graph, 0, "pp", trials=40, seed=9, batch="pooled")
+        assert a.num_trials == 40
+        assert a.times == b.times  # same seed -> same pooled stream
+
+    def test_pooled_differs_from_per_trial_stream(self):
+        # Same seed, different stream discipline: agreement would be a
+        # one-in-astronomical coincidence, and silently identical streams
+        # would mean pooled mode is not actually pooled.
+        graph = complete_graph(24)
+        pooled = run_trials(graph, 0, "pp", trials=40, seed=9, batch="pooled")
+        spawned = run_trials(graph, 0, "pp", trials=40, seed=9, batch=True)
+        assert pooled.times != spawned.times
+
+    def test_pooled_random_sources_and_fractions(self):
+        graph = star_graph(16)
+        sample = run_trials(
+            graph, "random", "pp", trials=30, seed=3, batch="pooled", fractions=(0.5,)
+        )
+        assert sample.num_trials == 30
+        assert len(sample.fraction_times[0.5]) == 30
+
+    def test_pooled_rejects_unbatchable_settings(self):
+        graph = star_graph(12)
+        with pytest.raises(AnalysisError):
+            run_trials(graph, 1, "ppx", trials=4, seed=1, batch="pooled")
+
+        def factory(rng):
+            return complete_graph(12)
+
+        with pytest.raises(AnalysisError):
+            run_trials(factory, 0, "pp", trials=4, seed=1, batch="pooled")
+
+    def test_kernel_rejects_both_rngs_and_pooled_rng(self):
+        graph = star_graph(8)
+        with pytest.raises(ProtocolError):
+            run_batch(
+                graph,
+                [0, 1],
+                "pp",
+                rngs=spawn_generators(2, 0),
+                pooled_rng=np.random.default_rng(0),
+            )
+
+
+class TestPooledDistribution:
+    """KS checks: pooled and per-trial modes sample the same law."""
+
+    @pytest.mark.parametrize("protocol", ["pp", "pp-a"])
+    def test_pooled_matches_per_trial_distribution(self, protocol):
+        graph = random_regular_graph(32, 4, seed=1)
+        trials = 400
+        pooled = run_trials(graph, 0, protocol, trials=trials, seed=101, batch="pooled")
+        spawned = run_trials(graph, 0, protocol, trials=trials, seed=202, batch=True)
+        result = scipy_stats.ks_2samp(pooled.as_array(), spawned.as_array())
+        assert result.pvalue > 0.01, (
+            f"pooled vs per-trial {protocol} KS p-value {result.pvalue:.4f} "
+            "(distributions should agree)"
+        )
+
+    def test_pooled_matches_per_trial_under_scenario(self):
+        graph = complete_graph(24)
+        trials = 400
+        scenario = MessageLoss(0.3)
+        pooled = run_trials(
+            graph, 0, "pp", trials=trials, seed=11, batch="pooled", scenario=scenario
+        )
+        spawned = run_trials(
+            graph, 0, "pp", trials=trials, seed=22, batch=True, scenario=scenario
+        )
+        result = scipy_stats.ks_2samp(pooled.as_array(), spawned.as_array())
+        assert result.pvalue > 0.01

@@ -16,6 +16,7 @@ from repro.experiments import (
     coupling_checks,
     gap_graphs,
     regular_push_identity,
+    scenarios,
     social,
     star,
     theorem1,
@@ -130,6 +131,27 @@ class TestRegularPushIdentityExperiment:
         assert result.experiment_id == "E11"
         assert result.conclusion("identity_holds_on_regular_graphs") is True
         assert result.conclusion("star_contrast_p_value") < 0.05
+
+
+class TestScenariosExperiment:
+    def test_blowups_behave(self):
+        result = scenarios.run("smoke", seed=13, sizes=[32])
+        assert result.experiment_id == "E12"
+        assert result.conclusion("adversity_never_helps") is True
+        assert result.conclusion("loss_blowup_monotone") is True
+        assert result.conclusion("max_blowup") >= 1.0
+        labels = {row["scenario"] for row in result.rows}
+        assert "baseline" in labels and "loss 0.3" in labels
+
+    def test_single_scenario_override(self):
+        from repro.scenarios import MessageLoss
+
+        result = scenarios.run(
+            "smoke", seed=13, sizes=[32], protocols=["pp"], scenario=MessageLoss(0.3)
+        )
+        labels = [row["scenario"] for row in result.rows]
+        assert set(labels) == {"baseline", "loss:p=0.3"}
+        assert result.conclusion("max_blowup") >= 1.0
 
 
 class TestExperimentResultsRenderable:

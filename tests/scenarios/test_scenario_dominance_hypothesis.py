@@ -1,0 +1,76 @@
+"""Property tests: adversity never speeds the rumor up.
+
+Dropping exchanges (loss) or silencing vertices (churn) can only delay
+infections, so the perturbed spreading time must stochastically dominate the
+unperturbed one: ``P[T_clean > t] <= P[T_scenario > t]`` for every ``t``.
+There is no per-trial coupling to test (the perturbed run consumes extra
+randomness), so the check is statistical: the conservative one-sided
+Kolmogorov–Smirnov criterion of :mod:`repro.randomness.dominance` over
+moderately sized batched samples, plus a mean ordering with slack.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.montecarlo import run_trials
+from repro.graphs import complete_graph, star_graph
+from repro.randomness.dominance import dominates_with_confidence
+from repro.scenarios import MessageLoss, NodeChurn
+
+TRIALS = 150
+
+
+def _sample(graph, protocol, scenario, seed):
+    return run_trials(
+        graph, 0, protocol, trials=TRIALS, seed=seed, batch=True, scenario=scenario
+    ).as_array()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    p=st.floats(min_value=0.1, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lossy_sync_times_dominate_clean(p, seed):
+    graph = complete_graph(16)
+    clean = _sample(graph, "pp", None, seed)
+    lossy = _sample(graph, "pp", MessageLoss(p), seed + 1)
+    assert dominates_with_confidence(clean, lossy)
+    assert lossy.mean() >= clean.mean() * 0.95
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    p=st.floats(min_value=0.15, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lossy_async_times_dominate_clean(p, seed):
+    graph = star_graph(16)
+    clean = _sample(graph, "pp-a", None, seed)
+    lossy = _sample(graph, "pp-a", MessageLoss(p), seed + 1)
+    assert dominates_with_confidence(clean, lossy)
+    assert lossy.mean() >= clean.mean() * 0.95
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    crash=st.floats(min_value=0.05, max_value=0.3),
+    recovery=st.floats(min_value=0.3, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_churny_times_dominate_clean(crash, recovery, seed):
+    graph = complete_graph(16)
+    clean = _sample(graph, "pp", None, seed)
+    churny = _sample(graph, "pp", NodeChurn(crash, recovery), seed + 1)
+    assert dominates_with_confidence(clean, churny)
+    assert churny.mean() >= clean.mean() * 0.95
+
+
+def test_heavier_loss_dominates_lighter_loss():
+    graph = complete_graph(16)
+    light = _sample(graph, "pp", MessageLoss(0.1), 5)
+    heavy = _sample(graph, "pp", MessageLoss(0.5), 6)
+    assert dominates_with_confidence(light, heavy)
+    assert heavy.mean() > light.mean()

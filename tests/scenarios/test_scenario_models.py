@@ -1,0 +1,197 @@
+"""Unit tests for the scenario models, composition, and the registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.graphs import complete_graph, path_graph, star_graph
+from repro.graphs.base import Graph
+from repro.scenarios import (
+    AdversarialSource,
+    Delay,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+    NodeChurn,
+    available_scenarios,
+    as_scenario,
+    build_scenario,
+    compose,
+    parse_scenario,
+    select_adversarial_source,
+)
+
+
+class TestModelValidation:
+    def test_loss_probability_range(self):
+        assert MessageLoss(0.0).loss_prob == 0.0
+        assert MessageLoss(0.99).loss_prob == 0.99
+        with pytest.raises(ScenarioError):
+            MessageLoss(1.0)
+        with pytest.raises(ScenarioError):
+            MessageLoss(-0.1)
+
+    def test_churn_rate_ranges(self):
+        churn = NodeChurn(0.2)
+        assert churn.recovery_rate == 0.5  # default
+        NodeChurn(0.0, 1.0)  # extremes allowed
+        with pytest.raises(ScenarioError):
+            NodeChurn(1.0, 0.5)
+        with pytest.raises(ScenarioError):
+            NodeChurn(0.2, 1.5)
+
+    def test_dynamic_validation(self):
+        with pytest.raises(ScenarioError):
+            DynamicGraph("not-callable")
+        with pytest.raises(ScenarioError):
+            DynamicGraph(lambda g, rng: g, period=0)
+        with pytest.raises(ScenarioError):
+            DynamicGraph(lambda g, rng: g, period=2.5)  # silently truncating would lie
+        with pytest.raises(ScenarioError):
+            DynamicGraph(lambda g, rng: g, period="soon")
+        assert DynamicGraph(lambda g, rng: g, period=2.0).period == 2
+
+    def test_dynamic_resample_rejects_bad_graphs(self):
+        rng = np.random.default_rng(0)
+        grow = DynamicGraph(lambda g, r: star_graph(g.num_vertices + 1))
+        with pytest.raises(ScenarioError, match="vertex count"):
+            grow.resample(star_graph(8), rng)
+        isolate = DynamicGraph(lambda g, r: Graph(g.num_vertices, [(0, 1)]))
+        with pytest.raises(ScenarioError, match="isolated"):
+            isolate.resample(star_graph(8), rng)
+        not_a_graph = DynamicGraph(lambda g, r: 42)
+        with pytest.raises(ScenarioError, match="expected a Graph"):
+            not_a_graph.resample(star_graph(8), rng)
+
+    def test_adversarial_source_strategy_names(self):
+        AdversarialSource("max_degree")
+        with pytest.raises(ScenarioError):
+            AdversarialSource("loudest")
+
+    def test_delay_validation(self):
+        Delay(low=0.5, high=2.0)
+        Delay(rates=(1.0, 2.0, 3.0))
+        with pytest.raises(ScenarioError):
+            Delay(low=0.0, high=1.0)
+        with pytest.raises(ScenarioError):
+            Delay(low=2.0, high=1.0)
+        with pytest.raises(ScenarioError):
+            Delay(rates=(1.0, -1.0))
+
+    def test_delay_rates_length_checked_at_draw_time(self):
+        delay = Delay(rates=(1.0, 2.0))
+        with pytest.raises(ScenarioError, match="length"):
+            delay.draw_rates(star_graph(8), np.random.default_rng(0))
+
+    def test_delay_fixed_rates_consume_no_randomness(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        Delay(rates=(1.0,) * 8).draw_rates(star_graph(8), rng)
+        assert rng.bit_generator.state == before
+
+
+class TestComposition:
+    def test_pipe_composes_categories(self):
+        scenario = MessageLoss(0.2) | NodeChurn(0.1, 0.6) | AdversarialSource("max_degree")
+        assert scenario.loss_prob == 0.2
+        assert scenario.churn.crash_rate == 0.1
+        assert scenario.source_strategy == "max_degree"
+        assert scenario.dynamic is None and scenario.delay is None
+        assert len(scenario.components()) == 3
+
+    def test_duplicate_category_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            MessageLoss(0.1) | MessageLoss(0.2)
+        with pytest.raises(ScenarioError, match="duplicate"):
+            (MessageLoss(0.1) | NodeChurn(0.2)) | NodeChurn(0.3)
+
+    def test_compose_function(self):
+        assert compose(MessageLoss(0.1)) is not None
+        assert compose(MessageLoss(0.1), NodeChurn(0.2)).loss_prob == 0.1
+        with pytest.raises(ScenarioError):
+            compose()
+
+    def test_runtime_active(self):
+        assert MessageLoss(0.1).runtime_active()
+        assert not AdversarialSource("max_degree").runtime_active()
+        assert (MessageLoss(0.1) | AdversarialSource("max_degree")).runtime_active()
+
+
+class TestRegistryAndParsing:
+    def test_at_least_five_scenarios_registered(self):
+        names = available_scenarios()
+        assert len(names) >= 5
+        assert {"loss", "churn", "dynamic", "adversarial-source", "delay"} <= set(names)
+
+    def test_build_scenario_rejects_bad_parameters(self):
+        with pytest.raises(ScenarioError, match="expected"):
+            build_scenario("loss", q=0.3)
+        with pytest.raises(ScenarioError, match="available"):
+            build_scenario("meteor-strike")
+
+    def test_parse_round_trips_spec_strings(self):
+        for spec in [
+            "loss:p=0.3",
+            "churn:crash_rate=0.1,recovery_rate=0.6",
+            "adversarial-source:strategy=min_degree",
+            "delay:low=0.25,high=4",
+            "loss:p=0.2+churn:crash_rate=0.05,recovery_rate=0.5",
+        ]:
+            assert parse_scenario(spec).spec() == spec
+
+    def test_parse_errors(self):
+        with pytest.raises(ScenarioError):
+            parse_scenario("")
+        with pytest.raises(ScenarioError):
+            parse_scenario("loss:p")
+        with pytest.raises(ScenarioError):
+            parse_scenario("loss:0.3")
+        # Non-numeric values surface as ScenarioError, not a raw ValueError.
+        with pytest.raises(ScenarioError, match="bad parameters"):
+            parse_scenario("loss:p=abc")
+        with pytest.raises(ScenarioError, match="bad parameters"):
+            parse_scenario("dynamic:period=soon")
+
+    def test_as_scenario_accepts_strings_and_none(self):
+        assert as_scenario(None) is None
+        assert as_scenario("loss:p=0.5").loss_prob == 0.5
+        scenario = MessageLoss(0.5)
+        assert as_scenario(scenario) is scenario
+        with pytest.raises(ScenarioError):
+            as_scenario(1.5)
+
+    def test_standard_scenarios_pickle(self):
+        scenario = parse_scenario("loss:p=0.2+churn:crash_rate=0.1+dynamic:family=erdos_renyi")
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.spec() == scenario.spec()
+
+
+class TestAdversarialSourceSelection:
+    def test_star_strategies(self):
+        star = star_graph(16)  # center 0, leaves 1..15
+        assert select_adversarial_source(star, "max_degree") == 0
+        assert select_adversarial_source(star, "min_degree") == 1
+        assert select_adversarial_source(star, "max_eccentricity") == 1
+        assert select_adversarial_source(star, "min_eccentricity") == 0
+
+    def test_path_eccentricity_strategies(self):
+        path = path_graph(9)
+        assert select_adversarial_source(path, "max_eccentricity") == 0  # endpoint
+        assert select_adversarial_source(path, "min_eccentricity") == 4  # midpoint
+
+    def test_ties_break_to_smallest_id(self):
+        clique = complete_graph(8)
+        for strategy in ("max_degree", "min_degree", "max_eccentricity", "min_eccentricity"):
+            assert select_adversarial_source(clique, strategy) == 0
+
+    def test_family_resampler_validates_and_pickles(self):
+        resampler = FamilyResampler("erdos_renyi")
+        graph = resampler(complete_graph(12), np.random.default_rng(0))
+        assert graph.num_vertices == 12
+        assert pickle.loads(pickle.dumps(resampler)).family_name == "erdos_renyi"
+        with pytest.raises(Exception):
+            FamilyResampler("no_such_family")

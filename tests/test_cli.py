@@ -43,6 +43,14 @@ class TestListCommands:
         output = capsys.readouterr().out
         assert "hypercube" in output and "preferential_attachment" in output
 
+    def test_list_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("loss", "churn", "dynamic", "adversarial-source", "delay"):
+            assert name in output
+        # at least 5 registered models, each on its own summary line
+        assert sum(1 for line in output.splitlines() if "params:" in line) >= 5
+
 
 class TestRunCommand:
     def test_run_star_experiment_text(self, capsys):
@@ -65,4 +73,21 @@ class TestRunCommand:
 
     def test_unknown_experiment_returns_error_code(self, capsys):
         assert main(["run", "E99", "--preset", "smoke"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_scenario_experiment_with_override(self, capsys):
+        exit_code = main(
+            ["run", "E12", "--preset", "smoke", "--seed", "3", "--scenario", "loss:p=0.4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "loss:p=0.4" in output
+        assert "blowup" in output
+
+    def test_scenario_rejected_for_experiments_without_support(self, capsys):
+        assert main(["run", "E4", "--preset", "smoke", "--scenario", "loss:p=0.3"]) == 2
+        assert "does not accept a scenario" in capsys.readouterr().err
+
+    def test_bad_scenario_spec_returns_error_code(self, capsys):
+        assert main(["run", "E12", "--preset", "smoke", "--scenario", "loss:p"]) == 2
         assert "error:" in capsys.readouterr().err

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.experiments",
     "repro.reporting",
+    "repro.scenarios",
 ]
 
 
@@ -59,6 +60,7 @@ def test_error_hierarchy_rooted_at_repro_error():
         "AnalysisError",
         "ExperimentError",
         "CouplingError",
+        "ScenarioError",
     ):
         exception_type = getattr(errors, name)
         assert issubclass(exception_type, errors.ReproError)
