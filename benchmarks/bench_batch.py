@@ -22,6 +22,12 @@ batched path at least 5x *today's* serial scenario loop
 (``test_batched_scenario_speedup_over_serial`` — a stricter reference than
 the frozen seed baseline, since the serial engine itself is vectorised
 per-round), so scenario sweeps never silently fall off the fast path.
+
+The auxiliary-process benchmarks gate the PR-3 kernels the same way:
+``test_batched_aux_speedup_over_serial`` asserts batched ``ppx``/``ppy`` at
+least 5x today's serial aux engine on the 1024-vertex random regular graph
+(while double-checking the fixed-seed sample equality), so the Theorem-1
+suites can rely on the fast path staying fast.
 """
 
 from __future__ import annotations
@@ -52,6 +58,12 @@ SCENARIO_TRIALS = {"smoke": 192, "quick": 384, "full": 1024}
 
 #: The lossy workload: 30% of exchanges dropped.
 LOSSY = MessageLoss(0.3)
+
+#: Trials for the auxiliary-process (ppx/ppy) gate.  The serial aux engine
+#: pays per-pulling-vertex Python loops plus full SpreadingResult
+#: materialization, so a modest trial count gives a stable signal on the
+#: 1024-vertex graph.
+AUX_TRIALS = {"smoke": 24, "quick": 64, "full": 192}
 
 
 @pytest.fixture(scope="module")
@@ -250,6 +262,67 @@ def test_batched_scenario_speedup_over_serial(bench_preset, scenario_graph):
     )
     assert speedup >= 5.0, (
         f"batched scenario path is only {speedup:.2f}x today's serial scenario loop "
+        f"({serial:.0f} vs {batched:.0f} trials/s)"
+    )
+
+
+def test_serial_aux_throughput(benchmark, bench_preset, bench_graph):
+    trials = AUX_TRIALS[bench_preset]
+    sample = benchmark.pedantic(
+        run_trials,
+        args=(bench_graph, 0, "ppx"),
+        kwargs=dict(trials=trials, seed=5, batch=False),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert sample.num_trials == trials
+
+
+def test_batched_aux_throughput(benchmark, bench_preset, bench_graph):
+    trials = AUX_TRIALS[bench_preset]
+    sample = benchmark.pedantic(
+        run_trials,
+        args=(bench_graph, 0, "ppx"),
+        kwargs=dict(trials=trials, seed=5, batch="auto"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert sample.num_trials == trials
+
+
+@pytest.mark.parametrize("variant", ["ppx", "ppy"])
+def test_batched_aux_speedup_over_serial(bench_preset, bench_graph, variant):
+    """The PR-3 gate: batched ppx/ppy >= 5x the serial aux engine on the
+    1024-vertex random regular graph (and exactly seed-equivalent to it)."""
+    trials = AUX_TRIALS[bench_preset]
+    # Warm both paths (flat adjacency cache, allocator).
+    run_trials(bench_graph, 0, variant, trials=4, seed=0, batch=False)
+    run_trials(bench_graph, 0, variant, trials=4, seed=0, batch="auto")
+
+    serial_sample = {}
+    batched_sample = {}
+    serial = _throughput(
+        lambda: serial_sample.setdefault(
+            "s", run_trials(bench_graph, 0, variant, trials=trials, seed=5, batch=False)
+        ),
+        trials,
+    )
+    batched = _throughput(
+        lambda: batched_sample.setdefault(
+            "b", run_trials(bench_graph, 0, variant, trials=trials, seed=5, batch="auto")
+        ),
+        trials,
+    )
+    assert serial_sample["s"].times == batched_sample["b"].times  # exact equivalence
+    speedup = batched / serial
+    print(
+        f"\nserial {variant} {serial:.0f} trials/s, batched {variant} {batched:.0f} "
+        f"trials/s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batched {variant} path is only {speedup:.2f}x the serial aux engine "
         f"({serial:.0f} vs {batched:.0f} trials/s)"
     )
 

@@ -4,6 +4,12 @@ Regenerates the E1 table (DESIGN.md per-experiment index) and asserts the
 qualitative shape of the claim: the empirical constant
 ``T_{1/n}(pp-a) / (T_{1/n}(pp) + ln n)`` stays below a universal constant on
 every family in the suite.
+
+Since the batched aux/view kernels landed, E1's Monte Carlo sweeps run
+through the 2-D batch kernels end-to-end (``theorem1.run(batch=True)`` is
+the default) — exactly seed-equivalent to the serial path, so the table is
+unchanged and this file doubles as the batched-experiment timing entry.
+The engine-level >= 5x aux throughput gate lives in ``bench_batch.py``.
 """
 
 from __future__ import annotations
@@ -18,3 +24,21 @@ def test_theorem1_experiment(run_once, bench_preset):
     # Every row individually respects a generous universal constant.
     for row in result.rows:
         assert row["c1 = async/(sync+ln n)"] < 4.0
+
+
+def test_theorem1_smallest_cell_batched_equals_serial(bench_preset):
+    """The dispatch-mode knob is a pure throughput knob: one E1-style cell
+    rerun serially reproduces the batched sweep's sample exactly."""
+    from repro.analysis.comparison import sweep_family
+
+    batched = sweep_family(
+        "complete", ["pp", "pp-a"], sizes=(16,), trials=8, seed=20160725, batch=True
+    )
+    serial = sweep_family(
+        "complete", ["pp", "pp-a"], sizes=(16,), trials=8, seed=20160725, batch=False
+    )
+    for protocol in ("pp", "pp-a"):
+        assert (
+            batched.comparisons[0].measurement(protocol).sample.times
+            == serial.comparisons[0].measurement(protocol).sample.times
+        )

@@ -32,3 +32,23 @@ def test_async_engine_view_cost(benchmark, view):
 
     result = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
     assert result.completed
+
+
+@pytest.mark.parametrize("view", ["global", "node_clocks", "edge_clocks"])
+def test_batched_view_cost(benchmark, view):
+    """Companion ablation: the batched kernels' per-view cost on the same
+    workload (128 trials at once; the clock-queue views pay per-tick scalar
+    draws for serial equivalence, so their batched win is smaller than the
+    global view's)."""
+    from repro.core.batch_engine import run_batch
+
+    graph = hypercube_graph(8)
+    batched = benchmark.pedantic(
+        run_batch,
+        args=(graph, 0, "pp-a"),
+        kwargs=dict(trials=128, seed=1, view=view, record_times=False),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert batched.completed.all()

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.montecarlo import SpreadingTimeSample, run_trials
+from repro.analysis.montecarlo import BatchSpec, SpreadingTimeSample, run_trials
 from repro.analysis.quantiles import high_probability_time
 from repro.analysis.statistics import MeanEstimate, RatioEstimate, bootstrap_ratio_of_means, summarize
 from repro.errors import AnalysisError
@@ -115,8 +115,14 @@ def measure_protocol(
     trials: int,
     seed: SeedLike = None,
     engine_options: Optional[dict] = None,
+    batch: BatchSpec = "auto",
 ) -> ProtocolMeasurement:
-    """Run trials of one protocol on one graph and summarise them."""
+    """Run trials of one protocol on one graph and summarise them.
+
+    ``batch`` is the dispatch mode of
+    :func:`~repro.analysis.montecarlo.run_trials`; every mode produces an
+    identical sample for the same seed, so it is a pure throughput knob.
+    """
     sample = run_trials(
         graph,
         source,
@@ -124,6 +130,7 @@ def measure_protocol(
         trials=trials,
         seed=seed,
         engine_options=engine_options,
+        batch=batch,
     )
     return ProtocolMeasurement(
         protocol=protocol,
@@ -144,6 +151,7 @@ def compare_protocols_on_graph(
     seed: SeedLike = None,
     ratios: Sequence[tuple[str, str]] = (),
     engine_options: Optional[dict] = None,
+    batch: BatchSpec = "auto",
 ) -> GraphComparison:
     """Measure several protocols on one graph and compute requested mean ratios.
 
@@ -156,6 +164,9 @@ def compare_protocols_on_graph(
         ratios: pairs ``(numerator_protocol, denominator_protocol)`` whose
             ratio of mean spreading times should be estimated.
         engine_options: forwarded to the engines.
+        batch: Monte Carlo batch dispatch mode (seed-for-seed identical
+            samples in every mode; see
+            :func:`~repro.analysis.montecarlo.run_trials`).
 
     Returns:
         A :class:`GraphComparison`.
@@ -172,6 +183,7 @@ def compare_protocols_on_graph(
             trials=trials,
             seed=protocol_rng,
             engine_options=engine_options,
+            batch=batch,
         )
     ratio_estimates: dict[str, RatioEstimate] = {}
     for numerator, denominator in ratios:
@@ -203,6 +215,7 @@ def sweep_family(
     seed: SeedLike = None,
     ratios: Sequence[tuple[str, str]] = (),
     engine_options: Optional[dict] = None,
+    batch: BatchSpec = "auto",
 ) -> FamilySweep:
     """Measure a set of protocols on a graph family over a size sweep.
 
@@ -233,6 +246,7 @@ def sweep_family(
                 seed=comparison_rng,
                 ratios=ratios,
                 engine_options=engine_options,
+                batch=batch,
             )
         )
     return FamilySweep(

@@ -24,7 +24,12 @@ half-width of the mean's confidence interval drops below a target.
 (no traces, no per-vertex detail) on a fixed graph, :func:`run_trials`
 dispatches to the 2-D batch kernels in :mod:`repro.core.batch_engine`,
 which simulate whole blocks of trials as ``(B, n)`` NumPy arrays and skip
-:class:`~repro.core.result.SpreadingResult` materialization entirely.  The
+:class:`~repro.core.result.SpreadingResult` materialization entirely.  All
+eight protocols batch — the six realistic ones (the asynchronous trio under
+any of the three views, including the ``node_clocks``/``edge_clocks`` clock
+queues) and the auxiliary processes ``ppx``/``ppy``.  The single
+"can this setting batch?" predicate all runners share is
+:func:`batch_dispatch_decision`.  The
 batch kernels consume per-trial randomness in exactly the serial engines'
 order, so ``run_trials(..., batch=True)`` and ``run_trials(...,
 batch=False)`` return identical samples for the same seed — the ``batch``
@@ -66,6 +71,7 @@ __all__ = [
     "run_trials",
     "run_adaptive_trials",
     "collect_results",
+    "batch_dispatch_decision",
     "DEFAULT_BATCH_WIDTH",
 ]
 
@@ -194,6 +200,69 @@ def _scenario_fixed_source(scenario: Optional[Scenario], graph: Graph) -> Option
     if scenario is None or scenario.source_strategy is None:
         return None
     return select_adversarial_source(graph, scenario.source_strategy)
+
+
+def batch_dispatch_decision(
+    protocol: str,
+    engine_options: Optional[dict] = None,
+    scenario: ScenarioLike = None,
+    batch: BatchSpec = "auto",
+    trials: Optional[int] = None,
+    *,
+    fixed_graph: bool = True,
+) -> tuple[bool, Optional[str]]:
+    """The one "can this (protocol, options, scenario) setting batch?" predicate.
+
+    Shared by :func:`run_trials`, :func:`run_adaptive_trials`, and
+    :func:`repro.analysis.parallel.run_trials_parallel`, so the dispatch
+    policy cannot drift between the three runners.
+
+    Args:
+        protocol: canonical protocol name.
+        engine_options: engine options the trials will run with (the
+            asynchronous ``view`` lives here).
+        scenario: optional adversity scenario (or spec string).
+        batch: the runner's ``batch`` argument.
+        trials: number of trials the caller intends to run (used by the
+            ``"auto"`` narrow-asynchronous-batch heuristic; pass ``None`` to
+            skip that check).
+        fixed_graph: whether the trials share one fixed graph — graph
+            factories run one trial per graph and never batch.
+
+    Returns:
+        ``(use_batch, reason)``: whether to dispatch to the batch kernels,
+        and — when not — a human-readable reason (used verbatim in the
+        error raised when batching was explicitly forced).
+    """
+    if batch is False:
+        return False, "batch=False forces the serial path"
+    options = dict(engine_options or {})
+    scenario = as_scenario(scenario)
+    if not fixed_graph:
+        return False, "graph factories run one trial per graph"
+    if not is_batchable(protocol, options, scenario):
+        return False, (
+            f"protocol {protocol!r} with options {sorted(options)} and "
+            f"scenario {scenario.spec() if scenario is not None else None!r} "
+            "has no batched kernel"
+        )
+    if (
+        batch == "auto"
+        and not get_protocol(protocol).synchronous
+        and trials is not None
+        and trials < ASYNC_AUTO_MIN_TRIALS
+    ):
+        # Narrow async batches lose to the serial engine.
+        return False, (
+            f"auto mode runs fewer than {ASYNC_AUTO_MIN_TRIALS} asynchronous "
+            "trials through the serial engine"
+        )
+    return True, None
+
+
+def _forced_batch_error(batch: BatchSpec, reason: Optional[str]) -> AnalysisError:
+    """The one error raised when an explicitly forced batch mode cannot run."""
+    return AnalysisError(f"batch={batch!r} was requested but {reason}")
 
 
 def _run_trials_batched(
@@ -328,17 +397,15 @@ def run_trials(
     options = dict(engine_options or {})
 
     if batch is not False:
-        eligible = isinstance(graph_or_factory, Graph) and is_batchable(
-            protocol, options, scenario
+        use_batch, reason = batch_dispatch_decision(
+            protocol,
+            options,
+            scenario,
+            batch,
+            trials,
+            fixed_graph=isinstance(graph_or_factory, Graph),
         )
-        if (
-            eligible
-            and batch == "auto"
-            and not get_protocol(protocol).synchronous
-            and trials < ASYNC_AUTO_MIN_TRIALS
-        ):
-            eligible = False  # narrow async batches lose to the serial engine
-        if eligible:
+        if use_batch:
             return _run_trials_batched(
                 graph_or_factory,
                 source,
@@ -352,16 +419,7 @@ def run_trials(
                 batch == "pooled",
             )
         if batch != "auto":
-            reason = (
-                "graph factories run one trial per graph"
-                if not isinstance(graph_or_factory, Graph)
-                else (
-                    f"protocol {protocol!r} with options {sorted(options)} and "
-                    f"scenario {scenario.spec() if scenario is not None else None!r} "
-                    "has no batched kernel"
-                )
-            )
-            raise AnalysisError(f"batch={batch!r} was requested but {reason}")
+            raise _forced_batch_error(batch, reason)
 
     generators = spawn_generators(trials, seed)
 
@@ -439,6 +497,20 @@ def run_adaptive_trials(
         raise AnalysisError("relative_precision must be in (0, 1)")
     master = as_generator(seed)
     scenario = as_scenario(scenario)
+    if batch not in (False, "auto"):
+        # Fail fast on an impossible forced-batch setting before running any
+        # refinement blocks (the same shared predicate run_trials dispatches
+        # on — see batch_dispatch_decision).
+        use_batch, reason = batch_dispatch_decision(
+            protocol,
+            engine_options,
+            scenario,
+            batch,
+            None,
+            fixed_graph=isinstance(graph_or_factory, Graph),
+        )
+        if not use_batch:
+            raise _forced_batch_error(batch, reason)
     sample = run_trials(
         graph_or_factory,
         source,

@@ -21,7 +21,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.analysis.montecarlo import SpreadingTimeSample, run_trials
+from repro.analysis.montecarlo import (
+    SpreadingTimeSample,
+    _forced_batch_error,
+    batch_dispatch_decision,
+    run_trials,
+)
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
 from repro.graphs.families import get_family
@@ -152,6 +157,17 @@ def run_trials_parallel(
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     scenario = as_scenario(scenario)
+    if batch not in (False, "auto"):
+        # Fail fast in the parent on an impossible forced-batch setting
+        # instead of surfacing the error from inside a worker process.
+        # Workers always run on a concrete graph (families are built there),
+        # hence fixed_graph=True; the shared predicate is the same one
+        # run_trials dispatches on.
+        use_batch, reason = batch_dispatch_decision(
+            protocol, None, scenario, batch, None, fixed_graph=True
+        )
+        if not use_batch:
+            raise _forced_batch_error(batch, reason)
     workers = default_worker_count() if num_workers is None else int(num_workers)
     if workers < 1:
         raise AnalysisError(f"num_workers must be positive, got {num_workers}")

@@ -35,6 +35,9 @@ from repro.graphs.families import FAMILIES
 
 __all__ = ["build_parser", "main"]
 
+#: ``--batch`` flag value -> ``run_trials`` batch dispatch mode.
+_BATCH_MODES = {"auto": "auto", "off": False, "on": True, "pooled": "pooled"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
@@ -67,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
             "run the experiment under an adversity scenario, e.g. 'loss:p=0.3' or "
             "'loss:p=0.2+churn:crash_rate=0.05' (see `scenarios`; only experiments "
             "that accept a scenario, such as E12, support this)"
+        ),
+    )
+    run_parser.add_argument(
+        "--batch",
+        choices=sorted(_BATCH_MODES),
+        default=None,
+        help=(
+            "Monte Carlo dispatch mode for experiments that accept one (e.g. E1): "
+            "'on' forces the 2-D batch kernels, 'off' forces the serial loop, "
+            "'auto' batches when the setting allows it, 'pooled' shares one "
+            "generator per batch.  All but 'pooled' are seed-for-seed identical."
         ),
     )
 
@@ -132,25 +146,38 @@ def _save(results, output: Optional[Path]) -> None:
         print(f"wrote {path}")
 
 
+def _require_runner_param(experiment: str, param: str, hint: str) -> None:
+    """Raise unless the experiment's runner accepts the named keyword."""
+    import inspect
+
+    from repro.errors import ExperimentError
+    from repro.experiments.registry import get_experiment
+
+    spec = get_experiment(experiment)
+    if param not in inspect.signature(spec.runner).parameters:
+        raise ExperimentError(
+            f"experiment {spec.experiment_id} does not accept a {hint}"
+        )
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
     overrides = {}
     if arguments.scenario is not None:
-        import inspect
-
-        from repro.errors import ExperimentError
-        from repro.experiments.registry import get_experiment
         from repro.scenarios import parse_scenario
 
-        scenario = parse_scenario(arguments.scenario)
-        spec = get_experiment(arguments.experiment)
-        if "scenario" not in inspect.signature(spec.runner).parameters:
-            raise ExperimentError(
-                f"experiment {spec.experiment_id} does not accept a scenario; "
-                "the scenario suite is E12"
-            )
-        overrides["scenario"] = scenario
+        _require_runner_param(
+            arguments.experiment, "scenario", "scenario; the scenario suite is E12"
+        )
+        overrides["scenario"] = parse_scenario(arguments.scenario)
+    if arguments.batch is not None:
+        _require_runner_param(
+            arguments.experiment,
+            "batch",
+            "batch mode; the batched Monte Carlo suite is E1",
+        )
+        overrides["batch"] = _BATCH_MODES[arguments.batch]
     result = run_experiment(
         arguments.experiment, preset=arguments.preset, seed=arguments.seed, **overrides
     )

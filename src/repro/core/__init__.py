@@ -8,6 +8,7 @@ from repro.core.async_engine import (
 )
 from repro.core.aux_processes import (
     AUX_VARIANTS,
+    pull_probabilities,
     pull_probability,
     run_auxiliary_process,
     run_ppx,
@@ -15,10 +16,14 @@ from repro.core.aux_processes import (
 )
 from repro.core.batch_engine import (
     ASYNC_BATCH_PROTOCOLS,
+    AUX_BATCH_PROTOCOLS,
+    CLOCK_VIEWS,
     SYNC_BATCH_PROTOCOLS,
     is_batchable,
     run_asynchronous_batch,
+    run_auxiliary_batch,
     run_batch,
+    run_clock_view_batch,
     run_synchronous_batch,
 )
 from repro.core.flatgraph import FlatAdjacency, flat_adjacency
@@ -45,13 +50,18 @@ __all__ = [
     "default_max_steps",
     "run_asynchronous",
     "ASYNC_BATCH_PROTOCOLS",
+    "AUX_BATCH_PROTOCOLS",
+    "CLOCK_VIEWS",
     "SYNC_BATCH_PROTOCOLS",
     "is_batchable",
     "run_asynchronous_batch",
+    "run_auxiliary_batch",
     "run_batch",
+    "run_clock_view_batch",
     "run_synchronous_batch",
     "BatchTimes",
     "AUX_VARIANTS",
+    "pull_probabilities",
     "pull_probability",
     "run_auxiliary_process",
     "run_ppx",

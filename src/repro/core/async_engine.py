@@ -25,10 +25,13 @@ precisely the facts the paper quotes.
 
 As with the synchronous engine, this module simulates one trial with full
 :class:`~repro.core.result.SpreadingResult` bookkeeping; times-only Monte
-Carlo runs of the ``"global"`` view should go through
-:mod:`repro.core.batch_engine`, which batches the tick loop across trials
-and reproduces this engine's results trial-for-trial for the same
-per-trial generators.
+Carlo runs of any view should go through :mod:`repro.core.batch_engine` —
+:func:`~repro.core.batch_engine.run_asynchronous_batch` batches the
+``"global"`` tick loop and
+:func:`~repro.core.batch_engine.run_clock_view_batch` batches the
+``"node_clocks"``/``"edge_clocks"`` priority queues as per-row argmin
+next-event tables — reproducing this engine's results trial-for-trial for
+the same per-trial generators.
 """
 
 from __future__ import annotations

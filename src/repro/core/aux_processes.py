@@ -19,11 +19,18 @@ check the two domination lemmas that the upper-bound proof chains together:
 
 Both engines use the informed set from the *start* of the round for every
 decision, mirroring the synchronous engine.
+
+This module simulates one trial with full
+:class:`~repro.core.result.SpreadingResult` bookkeeping; times-only Monte
+Carlo runs should go through
+:func:`repro.core.batch_engine.run_auxiliary_batch`, which simulates whole
+``(B, n)`` blocks of trials at once, shares this module's
+:func:`pull_probabilities`, and reproduces this engine's informing times
+trial-for-trial for the same per-trial generators.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np
@@ -35,7 +42,14 @@ from repro.errors import ProtocolError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, as_generator
 
-__all__ = ["run_ppx", "run_ppy", "run_auxiliary_process", "AUX_VARIANTS"]
+__all__ = [
+    "run_ppx",
+    "run_ppy",
+    "run_auxiliary_process",
+    "pull_probability",
+    "pull_probabilities",
+    "AUX_VARIANTS",
+]
 
 #: Valid auxiliary process names.
 AUX_VARIANTS = ("ppx", "ppy")
@@ -57,12 +71,45 @@ def pull_probability(variant: str, informed_neighbors: int, degree: int) -> floa
         raise ProtocolError(f"unknown auxiliary variant {variant!r}; expected one of {AUX_VARIANTS}")
     if degree <= 0:
         raise ProtocolError("pull probability undefined for an isolated vertex")
-    k = informed_neighbors
-    if k <= 0:
-        return 0.0
-    if variant == "ppx" and k >= degree / 2.0:
-        return 1.0
-    return 1.0 - math.exp(-2.0 * k / degree)
+    # Delegate to the vectorised formula so the scalar reference is
+    # bit-for-bit the engines' probability (numpy's exp and libm's may
+    # differ in the last ulp).
+    return float(
+        pull_probabilities(
+            variant,
+            np.asarray([informed_neighbors], dtype=np.int64),
+            np.asarray([degree], dtype=np.int64),
+        )[0]
+    )
+
+
+def pull_probabilities(
+    variant: str, informed_neighbors: np.ndarray, degrees: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`pull_probability` over per-vertex count/degree arrays.
+
+    Both the serial round loop and the batched ``(B, n)`` kernel compute
+    their pull probabilities through this one function, so the two paths
+    cannot drift apart.  Entries with ``k <= 0`` get probability zero.
+
+    Args:
+        variant: ``"ppx"`` or ``"ppy"``.
+        informed_neighbors: integer array of informed-neighbor counts ``k``.
+        degrees: matching array of (positive) vertex degrees.
+
+    Returns:
+        A float array of per-vertex pull probabilities, same shape.
+    """
+    if variant not in AUX_VARIANTS:
+        raise ProtocolError(f"unknown auxiliary variant {variant!r}; expected one of {AUX_VARIANTS}")
+    k = np.asarray(informed_neighbors)
+    degrees = np.asarray(degrees)
+    if degrees.size and degrees.min() <= 0:
+        raise ProtocolError("pull probability undefined for an isolated vertex")
+    probabilities = 1.0 - np.exp(-2.0 * k / degrees)
+    if variant == "ppx":
+        probabilities = np.where(k >= degrees / 2.0, 1.0, probabilities)
+    return np.where(k > 0, probabilities, 0.0)
 
 
 def run_auxiliary_process(
@@ -156,12 +203,7 @@ def run_auxiliary_process(
         candidate_mask = counts > 0
         candidates = uninformed_ids[candidate_mask]
         candidate_counts = counts[candidate_mask]
-        candidate_degrees = degrees[candidates]
-        probabilities = 1.0 - np.exp(-2.0 * candidate_counts / candidate_degrees)
-        if variant == "ppx":
-            probabilities = np.where(
-                candidate_counts >= candidate_degrees / 2.0, 1.0, probabilities
-            )
+        probabilities = pull_probabilities(variant, candidate_counts, degrees[candidates])
         pulls = rng.random(candidates.size) < probabilities
         pulling_vertices = candidates[pulls]
         pull_parents = np.empty(pulling_vertices.size, dtype=np.int64)

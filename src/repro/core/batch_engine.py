@@ -20,15 +20,29 @@ The kernels in this module instead simulate ``B`` trials *simultaneously* as
   view of the asynchronous model: per-trial exponential time accumulators
   advance all live trials by one Poisson tick per iteration, with the rumor
   exchange vectorised across trials.
+* :func:`run_clock_view_batch` serves the ``"node_clocks"`` and
+  ``"edge_clocks"`` views: the serial priority queue becomes a
+  ``(B, #clocks)`` next-tick matrix whose per-row ``argmin`` is the next
+  event (identical to the heap pop — continuous tick times tie with
+  probability zero), so batched next-event simulation stays exact.
+* :func:`run_auxiliary_batch` batches the analysis-only processes
+  ``ppx``/``ppy`` of Definitions 5 and 7: informed-neighbor counts are a
+  ``(B, n)`` integer matrix and the per-vertex pull probabilities come from
+  the shared vectorised
+  :func:`~repro.core.aux_processes.pull_probabilities`.
 
 **Exact serial equivalence.**  Each trial owns its own
 :class:`numpy.random.Generator` and the kernels consume randomness from it
 in *exactly* the order the serial engines do (``rng.random(n)`` per
 synchronous round while live; ``exponential``/``integers``/``random`` chunks
-of the same sizes for the asynchronous global view).  Consequently a batched
-trial with generator ``g`` produces bit-for-bit the same informing times as
-a serial run seeded with ``g`` — the batch dimension is a pure throughput
-optimization, testable trial-for-trial with spawned seeds.
+of the same sizes for the asynchronous global view; per-tick scalar draws
+for the clock-queue views; push/pull uniform blocks plus parent draws for
+``ppx``/``ppy``).  Consequently a batched trial with generator ``g``
+produces bit-for-bit the same informing times as a serial run seeded with
+``g`` — the batch dimension is a pure throughput optimization, testable
+trial-for-trial with spawned seeds (the shared harness in
+``tests/helpers/equivalence.py`` pins exactly this contract for every
+kernel).
 
 **Adversity scenarios.**  Both kernels accept the ``scenario=`` argument of
 :mod:`repro.scenarios` and implement the perturbations as vectorised
@@ -58,7 +72,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.async_engine import ASYNC_MODES, default_max_steps
+from repro.core.async_engine import ASYNC_MODES, ASYNC_VIEWS, default_max_steps
+from repro.core.aux_processes import AUX_VARIANTS, pull_probabilities
 from repro.core.flatgraph import FlatAdjacency, flat_adjacency
 from repro.core.result import BatchTimes
 from repro.core.sync_engine import SYNC_MODES, default_max_rounds
@@ -71,16 +86,27 @@ __all__ = [
     "run_batch",
     "run_synchronous_batch",
     "run_asynchronous_batch",
+    "run_auxiliary_batch",
+    "run_clock_view_batch",
     "is_batchable",
     "SYNC_BATCH_PROTOCOLS",
     "ASYNC_BATCH_PROTOCOLS",
+    "AUX_BATCH_PROTOCOLS",
+    "CLOCK_VIEWS",
 ]
 
 #: Canonical protocol name -> synchronous engine mode.
 SYNC_BATCH_PROTOCOLS = {"pp": "push-pull", "push": "push", "pull": "pull"}
 
-#: Canonical protocol name -> asynchronous engine mode (``"global"`` view).
+#: Canonical protocol name -> asynchronous engine mode (all three views).
 ASYNC_BATCH_PROTOCOLS = {"pp-a": "push-pull", "push-a": "push", "pull-a": "pull"}
+
+#: Auxiliary processes with a batched kernel (protocol name == variant).
+AUX_BATCH_PROTOCOLS = ("ppx", "ppy")
+
+#: The clock-queue asynchronous views served by :func:`run_clock_view_batch`
+#: (the ``"global"`` view has its own kernel, :func:`run_asynchronous_batch`).
+CLOCK_VIEWS = ("node_clocks", "edge_clocks")
 
 _SYNC_MODE_NAMES = {"push": "push", "pull": "pull", "push-pull": "pp"}
 _ASYNC_MODE_NAMES = {"push": "push-a", "pull": "pull-a", "push-pull": "pp-a"}
@@ -88,6 +114,7 @@ _ASYNC_MODE_NAMES = {"push": "push-a", "pull": "pull-a", "push-pull": "pp-a"}
 #: Engine options each batched kernel understands (beyond ``record_times``).
 _SYNC_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
 _ASYNC_OPTIONS = frozenset({"max_steps", "max_time", "view", "on_budget_exhausted"})
+_AUX_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
 
 #: Chunk size of the serial asynchronous global-view engine; the batched
 #: kernel must refill per-trial randomness buffers in chunks of exactly this
@@ -103,13 +130,15 @@ def is_batchable(
     """Whether ``protocol`` (with these options and scenario) has a batched kernel.
 
     Batched kernels cover the six realistic protocols (synchronous and
-    asynchronous push / pull / push–pull, the latter under the ``"global"``
-    view only) and the times-only options; anything needing parents, traces,
-    auxiliary processes, or the clock-queue views falls back to the serial
-    engines.  Scenarios batch except for a :class:`~repro.scenarios.Delay`
-    on a synchronous protocol (invalid everywhere — the serial engine raises
-    the descriptive error) and a dynamic graph on an asynchronous protocol
-    (per-trial graph processes do not vectorise across trials).
+    asynchronous push / pull / push–pull under all three asynchronous
+    views), the auxiliary processes ``ppx``/``ppy``, and the times-only
+    options; anything needing parents or traces falls back to the serial
+    engines.  Scenarios batch except where the serial engine itself rejects
+    the combination — a :class:`~repro.scenarios.Delay` on a synchronous
+    protocol, any runtime scenario on an auxiliary process or under a
+    clock-queue view (the serial engines raise the descriptive errors) —
+    and a dynamic graph on an asynchronous protocol (per-trial graph
+    processes do not vectorise across trials).
     """
     options = dict(engine_options or {})
     if options.pop("record_trace", False):
@@ -119,10 +148,18 @@ def is_batchable(
         if scenario is not None and scenario.delay is not None:
             return False
         return set(options) <= _SYNC_OPTIONS
-    if protocol in ASYNC_BATCH_PROTOCOLS:
-        if scenario is not None and scenario.dynamic is not None:
+    if protocol in AUX_BATCH_PROTOCOLS:
+        if scenario is not None and scenario.runtime_active():
             return False
-        if options.get("view", "global") != "global":
+        return set(options) <= _AUX_OPTIONS
+    if protocol in ASYNC_BATCH_PROTOCOLS:
+        view = options.get("view", "global")
+        if view not in ASYNC_VIEWS:
+            return False
+        if view == "global":
+            if scenario is not None and scenario.dynamic is not None:
+                return False
+        elif scenario is not None and scenario.runtime_active():
             return False
         return set(options) <= _ASYNC_OPTIONS
     return False
@@ -792,6 +829,434 @@ def run_asynchronous_batch(
 
 
 # ---------------------------------------------------------------------- #
+# Auxiliary-process batch kernel (ppx / ppy)
+# ---------------------------------------------------------------------- #
+def _bump_neighbor_counts(
+    counts_flat: np.ndarray,
+    rows: np.ndarray,
+    verts: np.ndarray,
+    flat: FlatAdjacency,
+    n: int,
+) -> None:
+    """``counts_flat[r * n + w] += 1`` for every neighbor ``w`` of each ``(r, v)``.
+
+    The vectorised equivalent of the serial engine's "for each newly informed
+    vertex, bump every neighbor's informed count" loop, across batch rows.
+    """
+    degs = flat.degrees[verts]
+    total = int(degs.sum())
+    if total == 0:
+        return
+    stops = np.cumsum(degs)
+    within = np.arange(total, dtype=np.int64) - np.repeat(stops - degs, degs)
+    neighbors = flat.indices[np.repeat(flat.indptr[verts], degs) + within]
+    np.add.at(counts_flat, np.repeat(rows, degs) * n + neighbors, 1)
+
+
+def run_auxiliary_batch(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    *,
+    variant: str = "ppx",
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    trials: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+    record_times: bool = True,
+    on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
+    pooled_rng: Optional[np.random.Generator] = None,
+) -> BatchTimes:
+    """Simulate a batch of auxiliary-process (``ppx``/``ppy``) trials at once.
+
+    The ``(B, n)`` generalization of
+    :func:`~repro.core.aux_processes.run_auxiliary_process`: per-vertex
+    informed-neighbor counts are maintained as a batched integer matrix, the
+    pull probabilities come from the shared vectorised
+    :func:`~repro.core.aux_processes.pull_probabilities`, and the push/pull
+    commits are scatter operations across all live trials.
+
+    Per-trial randomness is consumed in exactly the serial engine's order —
+    one ``random(k_informed)`` push block, one ``random(k_candidates)`` pull
+    block, then one bounded-integer parent draw per pulling vertex (the
+    chosen parent never affects informing times, but the draw must happen to
+    keep the streams aligned) — so fixed-seed results agree trial-for-trial
+    with the serial engine.  ``pooled_rng`` switches to the shared-generator
+    mode (distributional agreement only; the parent draws are skipped).
+
+    Runtime scenarios (loss, churn, dynamic graphs, delay) do not apply to
+    the analysis-only processes and raise :class:`ScenarioError`, matching
+    :func:`repro.core.protocols.spread`.
+
+    Args: as :func:`run_synchronous_batch`, plus ``variant`` (``"ppx"`` or
+        ``"ppy"``).
+
+    Returns:
+        A :class:`~repro.core.result.BatchTimes` with round-valued times.
+    """
+    source_array, generators = _prepare(
+        graph, sources, variant, AUX_VARIANTS, rngs, trials, seed, on_budget_exhausted, pooled_rng
+    )
+    scenario = as_scenario(scenario)
+    if scenario is not None and scenario.runtime_active():
+        raise ScenarioError(
+            f"protocol {variant!r} is an analysis-only process; runtime "
+            "scenarios (loss, churn, dynamic graphs, delay) do not apply"
+        )
+    n = graph.num_vertices
+    batch = source_array.size
+    budget = default_max_rounds(n) if max_rounds is None else int(max_rounds)
+    if budget < 0:
+        raise ProtocolError(f"max_rounds must be non-negative, got {max_rounds}")
+    if n == 1:
+        return _trivial_batch(variant, graph, source_array, record_times, True)
+
+    flat = flat_adjacency(graph)
+    degrees = flat.degrees
+
+    # Live-trial working set, compacted as trials finish (see the
+    # synchronous kernel): finished trials stop consuming randomness.
+    live_ids = np.arange(batch, dtype=np.int64)
+    live_rngs = list(generators) if generators is not None else []
+    informed_live = np.zeros((batch, n), dtype=bool)
+    informed_live[live_ids, source_array] = True
+    informed_live_count = np.ones(batch, dtype=np.int64)
+    times_live = None
+    final_times = None
+    if record_times:
+        times_live = np.full((batch, n), np.inf)
+        times_live[live_ids, source_array] = 0.0
+        final_times = np.empty((batch, n))
+    # nbr_count[i, v] = |{w in Γ(v): w informed}| in trial i (round start).
+    nbr_count = np.zeros((batch, n), dtype=np.int64)
+    _bump_neighbor_counts(nbr_count.reshape(-1), live_ids, source_array, flat, n)
+
+    final_rounds = np.zeros(batch, dtype=np.int64)
+    final_informed_count = np.full(batch, n, dtype=np.int64)
+    completed = np.zeros(batch, dtype=bool)
+    completion_time = np.full(batch, np.inf)
+
+    round_index = 0
+    while live_ids.size and round_index < budget:
+        round_index += 1
+        live = live_ids.size
+
+        # --- Push half: every informed vertex contacts a random neighbor. ---
+        rows_p, verts_p = np.nonzero(informed_live)  # row-major = serial's vertex order
+        push_u = np.empty(rows_p.size)
+        if pooled_rng is not None:
+            pooled_rng.random(out=push_u)
+        else:
+            stop = 0
+            for i in range(live):
+                # One rng.random(k_informed) per live trial per round — the
+                # exact draw the serial engine makes.
+                start, stop = stop, stop + int(informed_live_count[i])
+                live_rngs[i].random(out=push_u[start:stop])
+        contacts = flat.random_neighbors(verts_p, push_u)
+        informed_flat = informed_live.reshape(-1)
+        hit = ~informed_flat[rows_p * n + contacts]
+        push_rows = rows_p[hit]
+        push_verts = contacts[hit]
+
+        # --- Pull half: uninformed vertices pull with the variant's probability. ---
+        rows_c, verts_c = np.nonzero(~informed_live & (nbr_count > 0))
+        cand_counts = np.bincount(rows_c, minlength=live)
+        pull_u = np.empty(rows_c.size)
+        if pooled_rng is not None:
+            pooled_rng.random(out=pull_u)
+        else:
+            stop = 0
+            for i in range(live):
+                start, stop = stop, stop + int(cand_counts[i])
+                live_rngs[i].random(out=pull_u[start:stop])
+        k = nbr_count[rows_c, verts_c]
+        pulled = pull_u < pull_probabilities(variant, k, degrees[verts_c])
+        pull_rows = rows_c[pulled]
+        pull_verts = verts_c[pulled]
+        if pooled_rng is None and pull_rows.size:
+            # The serial engine draws a uniform informed parent per pulling
+            # vertex (rng.integers(k)); informing times never depend on the
+            # choice, but the draws must be consumed for stream alignment.
+            bounds = k[pulled]
+            pull_counts = np.bincount(pull_rows, minlength=live)
+            stop = 0
+            for i in range(live):
+                start, stop = stop, stop + int(pull_counts[i])
+                if stop > start:
+                    live_rngs[i].integers(0, bounds[start:stop])
+
+        # --- Commit: pulls and pushes both stamp this round's timestamp. ---
+        new_mask = np.zeros((live, n), dtype=bool)
+        new_mask[pull_rows, pull_verts] = True
+        new_mask[push_rows, push_verts] = True
+        if times_live is not None:
+            times_live[new_mask] = float(round_index)
+        informed_live |= new_mask
+        rows_n, verts_n = np.nonzero(new_mask)
+        _bump_neighbor_counts(nbr_count.reshape(-1), rows_n, verts_n, flat, n)
+        informed_live_count = informed_live.sum(axis=1)
+
+        finished = informed_live_count == n
+        if finished.any():
+            done = np.flatnonzero(finished)
+            done_ids = live_ids[done]
+            completed[done_ids] = True
+            completion_time[done_ids] = float(round_index)
+            final_rounds[done_ids] = round_index
+            if times_live is not None:
+                final_times[done_ids] = times_live[done]
+            keep = np.flatnonzero(~finished)
+            informed_live = informed_live[keep]
+            nbr_count = nbr_count[keep]
+            if times_live is not None:
+                times_live = times_live[keep]
+            informed_live_count = informed_live_count[keep]
+            if pooled_rng is None:
+                live_rngs = [live_rngs[i] for i in keep]
+            live_ids = live_ids[keep]
+
+    if live_ids.size:
+        final_rounds[live_ids] = round_index
+        final_informed_count[live_ids] = informed_live_count
+        if times_live is not None:
+            final_times[live_ids] = times_live
+
+    if not completed.all() and on_budget_exhausted == "error":
+        _raise_incomplete(variant, graph, final_informed_count, completed, f"{budget} rounds")
+
+    return BatchTimes(
+        protocol=variant,
+        graph_name=graph.name,
+        num_vertices=n,
+        sources=source_array,
+        completed=completed,
+        completion_time=completion_time,
+        informed_time=final_times,
+        rounds=final_rounds,
+        steps=None,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Clock-queue asynchronous views (node_clocks / edge_clocks)
+# ---------------------------------------------------------------------- #
+def run_clock_view_batch(
+    graph: Graph,
+    sources: Union[int, Sequence[int], np.ndarray],
+    *,
+    mode: str = "push-pull",
+    view: str = "node_clocks",
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    trials: Optional[int] = None,
+    seed: SeedLike = None,
+    max_steps: Optional[int] = None,
+    max_time: Optional[float] = None,
+    record_times: bool = True,
+    on_budget_exhausted: str = "error",
+    scenario: ScenarioLike = None,
+    pooled_rng: Optional[np.random.Generator] = None,
+) -> BatchTimes:
+    """Simulate a batch of asynchronous trials under a clock-queue view.
+
+    The serial engine realises the ``"node_clocks"`` and ``"edge_clocks"``
+    views with a priority queue of next-tick times; the batched kernel keeps
+    the same next-tick table as a ``(B, #clocks)`` matrix and replaces the
+    heap pop with a vectorised per-row ``argmin`` — with continuous tick
+    times the minimum entry *is* the heap's next event (ties have measure
+    zero, and both resolutions pick the lowest index), so the event sequence
+    is identical.  Every loop iteration advances all live trials by one
+    tick, with the rumor exchange vectorised across trials.
+
+    Per-trial randomness follows the serial draw order exactly: the initial
+    next-tick table is one ``exponential`` block per trial (``n`` rate-1
+    clocks for ``node_clocks``; one rate-``1/deg(v)`` clock per ordered
+    adjacent pair, in the serial pair order, for ``edge_clocks``), then per
+    tick one neighbor uniform plus one reschedule exponential
+    (``node_clocks``) or just the reschedule (``edge_clocks``), so
+    fixed-seed results agree trial-for-trial with
+    :func:`~repro.core.async_engine.run_asynchronous`.
+
+    Runtime scenarios are only supported under the ``"global"`` view (the
+    serial engines raise the same error).
+
+    Args: as :func:`run_asynchronous_batch`, plus ``view``.
+
+    Returns:
+        A :class:`~repro.core.result.BatchTimes` with continuous times.
+    """
+    if view not in CLOCK_VIEWS:
+        raise ProtocolError(
+            f"run_clock_view_batch serves the views {CLOCK_VIEWS}, got {view!r}"
+        )
+    scenario = as_scenario(scenario)
+    if scenario is not None and scenario.runtime_active():
+        raise ScenarioError(
+            f"runtime scenarios are only supported under the 'global' asynchronous "
+            f"view, not {view!r}"
+        )
+    source_array, generators = _prepare(
+        graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
+    )
+    protocol_name = _ASYNC_MODE_NAMES[mode]
+    n = graph.num_vertices
+    batch = source_array.size
+    step_budget = default_max_steps(n) if max_steps is None else int(max_steps)
+    if step_budget < 0:
+        raise ProtocolError(f"max_steps must be non-negative, got {max_steps}")
+    time_budget = np.inf if max_time is None else float(max_time)
+    if time_budget < 0:
+        raise ProtocolError(f"max_time must be non-negative, got {max_time}")
+    if n == 1:
+        return _trivial_batch(protocol_name, graph, source_array, record_times, False)
+
+    flat = flat_adjacency(graph)
+    degrees = flat.degrees
+    node_view = view == "node_clocks"
+    pair_caller = pair_callee = pair_scale = None
+    if node_view:
+        # One rate-1 clock per vertex: the first ticks are the serial
+        # engine's initial rng.exponential(1.0, n) block.
+        next_tick = np.empty((batch, n))
+        if pooled_rng is not None:
+            next_tick[:] = pooled_rng.exponential(1.0, (batch, n))
+        else:
+            for b in range(batch):
+                next_tick[b] = generators[b].exponential(1.0, n)
+    else:
+        # One clock per ordered pair (v, w) with rate 1/deg(v).  The pair
+        # order (v ascending, neighbors in adjacency order) is exactly the
+        # flat CSR layout, and a single array-scale exponential call draws
+        # the same stream as the serial engine's per-pair scalar draws.
+        pair_caller = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        pair_callee = flat.indices
+        pair_scale = degrees[pair_caller].astype(float)
+        next_tick = np.empty((batch, pair_scale.size))
+        if pooled_rng is not None:
+            next_tick[:] = pooled_rng.exponential(pair_scale, (batch, pair_scale.size))
+        else:
+            for b in range(batch):
+                next_tick[b] = generators[b].exponential(pair_scale)
+
+    informed = np.zeros((batch, n), dtype=bool)
+    trial_rows = np.arange(batch, dtype=np.int64)
+    informed[trial_rows, source_array] = True
+    num_informed = np.ones(batch, dtype=np.int64)
+    times = None
+    if record_times:
+        times = np.full((batch, n), np.inf)
+        times[trial_rows, source_array] = 0.0
+    now = np.zeros(batch)
+    steps = np.zeros(batch, dtype=np.int64)
+    completed = np.zeros(batch, dtype=bool)
+    completion_time = np.full(batch, np.inf)
+    finite_time_budget = np.isfinite(time_budget)
+    mode_pp = mode == "push-pull"
+    push_allowed = mode in ("push", "push-pull")
+
+    live = num_informed < n
+    while True:
+        rows = np.flatnonzero(live)
+        if rows.size == 0:
+            break
+        # The serial while-condition checks the step budget before each pop.
+        exhausted = steps[rows] >= step_budget
+        if exhausted.any():
+            live[rows[exhausted]] = False
+            rows = rows[~exhausted]
+            if rows.size == 0:
+                break
+        idx = np.argmin(next_tick[rows], axis=1)
+        tick_time = next_tick[rows, idx]
+        if finite_time_budget:
+            # Serial pops the over-budget event and stops without drawing.
+            over = tick_time > time_budget
+            if over.any():
+                live[rows[over]] = False
+                keep = ~over
+                rows = rows[keep]
+                idx = idx[keep]
+                tick_time = tick_time[keep]
+                if rows.size == 0:
+                    continue
+        steps[rows] += 1
+        now[rows] = tick_time
+        if node_view:
+            caller = idx
+            u = np.empty(rows.size)
+            resched = np.empty(rows.size)
+            if pooled_rng is not None:
+                u[:] = pooled_rng.random(rows.size)
+                resched[:] = pooled_rng.exponential(1.0, rows.size)
+            else:
+                for j, b in enumerate(rows):
+                    rng = generators[b]
+                    # One neighbor uniform then one reschedule exponential
+                    # per tick — the serial per-step draw order.
+                    u[j] = rng.random()
+                    resched[j] = rng.exponential(1.0)
+            deg = degrees[caller]
+            offsets = (u * deg).astype(np.int64)
+            np.minimum(offsets, deg - 1, out=offsets)
+            callee = flat.indices[flat.indptr[caller] + offsets]
+            next_tick[rows, caller] = tick_time + resched
+        else:
+            caller = pair_caller[idx]
+            callee = pair_callee[idx]
+            resched = np.empty(rows.size)
+            if pooled_rng is not None:
+                resched[:] = pooled_rng.exponential(pair_scale[idx])
+            else:
+                for j, b in enumerate(rows):
+                    resched[j] = generators[b].exponential(pair_scale[idx[j]])
+            next_tick[rows, idx] = tick_time + resched
+
+        caller_informed = informed[rows, caller]
+        callee_informed = informed[rows, callee]
+        if mode_pp:
+            active = caller_informed != callee_informed
+            targets = np.where(caller_informed, callee, caller)
+        elif push_allowed:
+            active = caller_informed & ~callee_informed
+            targets = callee
+        else:
+            active = ~caller_informed & callee_informed
+            targets = caller
+        if active.any():
+            active_rows = rows[active]
+            active_targets = targets[active]
+            informed[active_rows, active_targets] = True
+            if times is not None:
+                times[active_rows, active_targets] = tick_time[active]
+            num_informed[active_rows] += 1
+            done = active_rows[num_informed[active_rows] == n]
+            if done.size:
+                completed[done] = True
+                completion_time[done] = now[done]
+                live[done] = False
+
+    if not completed.all() and on_budget_exhausted == "error":
+        _raise_incomplete(
+            protocol_name,
+            graph,
+            num_informed,
+            completed,
+            f"{step_budget} steps / time {time_budget}",
+        )
+    return BatchTimes(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=n,
+        sources=source_array,
+        completed=completed,
+        completion_time=completion_time,
+        informed_time=times,
+        rounds=None,
+        steps=steps,
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Uniform entry point
 # ---------------------------------------------------------------------- #
 def run_batch(
@@ -810,16 +1275,29 @@ def run_batch(
     """Run a batch of trials of any batchable protocol.
 
     The batched analogue of :func:`repro.core.protocols.spread`: dispatches
-    on the canonical protocol name to the synchronous or asynchronous batch
-    kernel.  ``options`` are forwarded to the kernel (``max_rounds`` /
-    ``max_steps`` / ``max_time`` / ``on_budget_exhausted``; the asynchronous
-    ``view`` option is accepted but must be ``"global"``).  ``scenario``
-    applies a :mod:`repro.scenarios` adversity model; note that source
-    strategies are *not* applied here (``sources`` is explicit — use
+    on the canonical protocol name to the synchronous, asynchronous (any of
+    the three views), or auxiliary-process batch kernel.  ``options`` are
+    forwarded to the kernel (``max_rounds`` / ``max_steps`` / ``max_time`` /
+    ``view`` / ``on_budget_exhausted``).  ``scenario`` applies a
+    :mod:`repro.scenarios` adversity model; note that source strategies are
+    *not* applied here (``sources`` is explicit — use
     :func:`~repro.analysis.montecarlo.run_trials` or
     :func:`~repro.core.protocols.spread` for that).  ``pooled_rng`` switches
     to the pooled single-generator mode (see the module docstring).
     """
+    if protocol in AUX_BATCH_PROTOCOLS:
+        return run_auxiliary_batch(
+            graph,
+            sources,
+            variant=protocol,
+            rngs=rngs,
+            trials=trials,
+            seed=seed,
+            record_times=record_times,
+            scenario=scenario,
+            pooled_rng=pooled_rng,
+            **options,
+        )
     if protocol in SYNC_BATCH_PROTOCOLS:
         return run_synchronous_batch(
             graph,
@@ -835,9 +1313,23 @@ def run_batch(
         )
     if protocol in ASYNC_BATCH_PROTOCOLS:
         view = options.pop("view", "global")
+        if view in CLOCK_VIEWS:
+            return run_clock_view_batch(
+                graph,
+                sources,
+                mode=ASYNC_BATCH_PROTOCOLS[protocol],
+                view=view,
+                rngs=rngs,
+                trials=trials,
+                seed=seed,
+                record_times=record_times,
+                scenario=scenario,
+                pooled_rng=pooled_rng,
+                **options,
+            )
         if view != "global":
             raise ProtocolError(
-                f"batched asynchronous runs support only the 'global' view, got {view!r}"
+                f"unknown asynchronous view {view!r}; expected one of {ASYNC_VIEWS}"
             )
         return run_asynchronous_batch(
             graph,
@@ -853,5 +1345,5 @@ def run_batch(
         )
     raise ProtocolError(
         f"protocol {protocol!r} has no batched kernel; batchable protocols: "
-        f"{sorted(SYNC_BATCH_PROTOCOLS) + sorted(ASYNC_BATCH_PROTOCOLS)}"
+        f"{sorted(SYNC_BATCH_PROTOCOLS) + sorted(ASYNC_BATCH_PROTOCOLS) + sorted(AUX_BATCH_PROTOCOLS)}"
     )

@@ -37,6 +37,20 @@ scenario              sync   async  ppx/ppy  batch   notes
 ====================  =====  =====  =======  ======  ==============
 
 Asynchronous runtime scenarios require the default ``"global"`` view.
+
+Every protocol also has a times-only batched ``(B, n)`` kernel in
+:mod:`repro.core.batch_engine`, exactly seed-equivalent to the serial
+engines (``batch`` column: which scenario categories stay on the fast path
+there).  Batched kernel coverage by protocol group and asynchronous view:
+
+==================  ============  =====================================
+protocol group      batch kernel  runtime scenarios on the batched path
+==================  ============  =====================================
+sync pp/push/pull   yes           loss, churn, dynamic
+async ``global``    yes           loss, churn, delay
+async clock views   yes           none (serial engine rejects them too)
+``ppx``/``ppy``     yes           none (analysis-only processes)
+==================  ============  =====================================
 """
 
 from __future__ import annotations

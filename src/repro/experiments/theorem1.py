@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.bounds import acan_multiplicative_upper_bound, theorem1_constant
 from repro.analysis.comparison import sweep_family
+from repro.analysis.montecarlo import BatchSpec
 from repro.experiments.presets import get_preset
 from repro.experiments.records import ExperimentResult
 from repro.randomness.rng import SeedLike
@@ -51,6 +52,7 @@ def run(
     seed: SeedLike = 20160725,
     families: Optional[Sequence[str]] = None,
     sizes: Optional[Sequence[int]] = None,
+    batch: BatchSpec = True,
 ) -> ExperimentResult:
     """Run experiment E1 and return its result table.
 
@@ -59,6 +61,12 @@ def run(
         seed: master seed.
         families: override the default family list.
         sizes: override the preset's size sweep.
+        batch: Monte Carlo dispatch mode.  The default ``True`` forces every
+            sweep through the 2-D batch kernels (``pp`` and ``pp-a`` always
+            batch), which is exactly seed-equivalent to the serial path and
+            keeps even small presets off the per-trial Python loop; pass
+            ``False`` to force serial runs or ``"auto"``/``"pooled"`` for
+            the other :func:`~repro.analysis.montecarlo.run_trials` modes.
     """
     config = get_preset(preset)
     family_names = tuple(families) if families is not None else DEFAULT_FAMILIES
@@ -76,6 +84,7 @@ def run(
             sizes=size_sweep,
             trials=config.trials,
             seed=seed,
+            batch=batch,
         )
         constants_for_family: list[float] = []
         for comparison in sweep.comparisons:

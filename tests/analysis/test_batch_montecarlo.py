@@ -1,19 +1,25 @@
 """Tests for the batched fast path of the Monte Carlo trial runners.
 
-Covers the dispatch policy of ``run_trials(batch=...)``, fixed-seed
-per-trial agreement between the batched and serial paths, a two-sample
-Kolmogorov–Smirnov sanity check on larger independently-seeded samples, and
-the worker-count environment override.
+Covers the dispatch policy of ``run_trials(batch=...)`` (including the
+shared :func:`~repro.analysis.montecarlo.batch_dispatch_decision`
+predicate), fixed-seed per-trial agreement between the batched and serial
+paths via the shared harness, a two-sample Kolmogorov–Smirnov sanity check
+on larger independently-seeded samples, and the worker-count environment
+override.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from scipy import stats as scipy_stats
 
+from helpers.equivalence import assert_same_distribution, assert_trials_paths_agree
 from repro.analysis import montecarlo
-from repro.analysis.montecarlo import run_adaptive_trials, run_trials
+from repro.analysis.montecarlo import (
+    batch_dispatch_decision,
+    run_adaptive_trials,
+    run_trials,
+)
 from repro.analysis.parallel import default_worker_count, run_trials_parallel
 from repro.errors import AnalysisError
 from repro.graphs import complete_graph, star_graph
@@ -24,37 +30,35 @@ from repro.graphs.random_graphs import (
 
 
 class TestBatchDispatch:
-    @pytest.mark.parametrize("protocol", ["pp", "push", "pull", "pp-a", "push-a", "pull-a"])
+    @pytest.mark.parametrize(
+        "protocol", ["pp", "push", "pull", "pp-a", "push-a", "pull-a", "ppx", "ppy"]
+    )
     def test_fixed_seed_per_trial_agreement(self, protocol):
         graph = random_regular_graph(48, 4, seed=2)
-        serial = run_trials(graph, 0, protocol, trials=24, seed=31, batch=False)
-        batched = run_trials(graph, 0, protocol, trials=24, seed=31, batch=True)
-        assert serial.times == batched.times
-        assert serial.source == batched.source
-        assert serial.graph_name == batched.graph_name
+        assert_trials_paths_agree(graph, 0, protocol, trials=24, seed=31)
+
+    @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
+    def test_fixed_seed_agreement_clock_views(self, view):
+        graph = random_regular_graph(48, 4, seed=2)
+        assert_trials_paths_agree(
+            graph, 0, "pp-a", trials=16, seed=31, engine_options={"view": view}
+        )
 
     def test_agreement_with_random_sources_and_fractions(self):
         graph = complete_graph(20)
-        kwargs = dict(trials=16, seed=7, fractions=(0.5, 0.9))
-        serial = run_trials(graph, "random", "pp", batch=False, **kwargs)
-        batched = run_trials(graph, "random", "pp", batch=True, **kwargs)
-        assert serial.times == batched.times
-        assert serial.fraction_times == batched.fraction_times
-        assert serial.source == batched.source
+        assert_trials_paths_agree(
+            graph, "random", "pp", trials=16, seed=7, fractions=(0.5, 0.9)
+        )
 
     def test_agreement_across_chunk_boundaries(self):
         graph = star_graph(16)
-        serial = run_trials(graph, 1, "pp", trials=23, seed=5, batch=False)
         # Width 7 forces uneven chunks (7 + 7 + 7 + 2).
-        batched = run_trials(graph, 1, "pp", trials=23, seed=5, batch=7)
-        assert serial.times == batched.times
+        assert_trials_paths_agree(graph, 1, "pp", trials=23, seed=5, batch=7)
 
     def test_auto_falls_back_for_unbatchable_settings(self):
         graph = star_graph(12)
-        # Analysis-only protocols and traced runs have no batched kernel but
-        # must keep working through the serial path.
-        sample = run_trials(graph, 1, "ppx", trials=4, seed=1)
-        assert sample.num_trials == 4
+        # Traced runs have no batched kernel but must keep working through
+        # the serial path.
         sample = run_trials(
             graph, 1, "pp", trials=3, seed=1, engine_options={"record_trace": True}
         )
@@ -62,8 +66,6 @@ class TestBatchDispatch:
 
     def test_forced_batch_rejects_unbatchable_settings(self):
         graph = star_graph(12)
-        with pytest.raises(AnalysisError):
-            run_trials(graph, 1, "ppx", trials=4, seed=1, batch=True)
         with pytest.raises(AnalysisError):
             run_trials(
                 graph,
@@ -82,6 +84,27 @@ class TestBatchDispatch:
             run_trials(factory, 0, "pp", trials=4, seed=1, batch=True)
         with pytest.raises(AnalysisError):
             run_trials(graph, 1, "pp", trials=4, seed=1, batch=0)
+
+    def test_dispatch_decision_is_the_shared_predicate(self):
+        """The one (protocol, options, scenario) eligibility helper behind
+        run_trials, run_adaptive_trials, and run_trials_parallel."""
+        ok, reason = batch_dispatch_decision("pp", None, None, True, 4)
+        assert ok and reason is None
+        ok, reason = batch_dispatch_decision("ppx", None, None, True, 4)
+        assert ok  # the aux processes now batch
+        ok, reason = batch_dispatch_decision(
+            "pp", {"record_trace": True}, None, True, 4
+        )
+        assert not ok and "no batched kernel" in reason
+        ok, reason = batch_dispatch_decision("pp", None, None, True, 4, fixed_graph=False)
+        assert not ok and "factories" in reason
+        # The auto heuristic only applies to narrow asynchronous runs.
+        ok, reason = batch_dispatch_decision("pp-a", None, None, "auto", 4)
+        assert not ok and "asynchronous" in reason
+        ok, _ = batch_dispatch_decision("pp-a", None, None, True, 4)
+        assert ok
+        ok, _ = batch_dispatch_decision("pp", None, None, "auto", 4)
+        assert ok
 
     def test_factory_mode_still_works_under_auto(self):
         def factory(rng):
@@ -120,9 +143,16 @@ class TestBatchDispatch:
         batched = run_adaptive_trials(graph, 0, "pp", batch=True, **kwargs)
         assert serial.times == batched.times
 
+    def test_adaptive_trials_reject_forced_batch_eagerly(self):
+        def factory(rng):
+            return connected_erdos_renyi_graph(16, seed=rng)
+
+        with pytest.raises(AnalysisError):
+            run_adaptive_trials(factory, 0, "pp", batch=True, seed=1)
+
 
 class TestDistributionSanity:
-    @pytest.mark.parametrize("protocol", ["pp", "pp-a"])
+    @pytest.mark.parametrize("protocol", ["pp", "pp-a", "ppx"])
     def test_kolmogorov_smirnov_between_independent_seeds(self, protocol):
         """Batched and serial samples from *different* seeds are draws from
         the same spreading-time distribution; a two-sample KS test should
@@ -130,9 +160,8 @@ class TestDistributionSanity:
         graph = random_regular_graph(64, 4, seed=9)
         batched = run_trials(graph, 0, protocol, trials=400, seed=101, batch=True)
         serial = run_trials(graph, 0, protocol, trials=400, seed=202, batch=False)
-        test = scipy_stats.ks_2samp(batched.as_array(), serial.as_array())
-        assert test.pvalue > 1e-4, (
-            f"KS rejected equality of batched/serial {protocol} distributions: {test}"
+        assert_same_distribution(
+            batched.as_array(), serial.as_array(), label=f"batched/serial {protocol}"
         )
 
 
@@ -157,6 +186,22 @@ class TestParallelPlumbing:
         a = run_trials_parallel(graph, 1, "pp", trials=10, seed=3, num_workers=1, batch=False)
         b = run_trials_parallel(graph, 1, "pp", trials=10, seed=3, num_workers=1, batch=True)
         assert a.times == b.times
+
+    def test_parallel_rejects_forced_batch_in_the_parent(self):
+        """A forced-batch setting with no kernel fails fast before any
+        worker processes are spawned (the shared dispatch predicate)."""
+        graph = star_graph(16)
+        with pytest.raises(AnalysisError):
+            run_trials_parallel(
+                graph,
+                1,
+                "pp",
+                trials=10,
+                seed=3,
+                num_workers=1,
+                batch=True,
+                scenario="delay:low=0.5,high=2.0",
+            )
 
     def test_numpy_sample_roundtrip(self):
         sample = run_trials(star_graph(16), 1, "pp", trials=8, seed=1, batch=True)

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 from scipy import stats as scipy_stats
 
+from helpers.equivalence import assert_same_distribution
 from repro.analysis.montecarlo import run_trials
 from repro.core.batch_engine import run_batch
 from repro.errors import AnalysisError, ProtocolError
@@ -50,7 +51,15 @@ class TestPooledDispatch:
     def test_pooled_rejects_unbatchable_settings(self):
         graph = star_graph(12)
         with pytest.raises(AnalysisError):
-            run_trials(graph, 1, "ppx", trials=4, seed=1, batch="pooled")
+            run_trials(
+                graph,
+                1,
+                "pp",
+                trials=4,
+                seed=1,
+                batch="pooled",
+                engine_options={"record_trace": True},
+            )
 
         def factory(rng):
             return complete_graph(12)
@@ -83,6 +92,45 @@ class TestPooledDistribution:
         assert result.pvalue > 0.01, (
             f"pooled vs per-trial {protocol} KS p-value {result.pvalue:.4f} "
             "(distributions should agree)"
+        )
+
+    @pytest.mark.parametrize("variant", ["ppx", "ppy"])
+    def test_pooled_matches_per_trial_on_aux_processes(self, variant):
+        graph = random_regular_graph(32, 4, seed=1)
+        trials = 400
+        pooled = run_trials(graph, 0, variant, trials=trials, seed=101, batch="pooled")
+        spawned = run_trials(graph, 0, variant, trials=trials, seed=202, batch=True)
+        assert_same_distribution(
+            pooled.as_array(),
+            spawned.as_array(),
+            min_pvalue=0.01,
+            label=f"pooled vs per-trial {variant}",
+        )
+
+    def test_pooled_aux_is_reproducible_and_distinct_from_spawned(self):
+        graph = complete_graph(20)
+        a = run_trials(graph, 0, "ppx", trials=30, seed=9, batch="pooled")
+        b = run_trials(graph, 0, "ppx", trials=30, seed=9, batch="pooled")
+        assert a.times == b.times
+        spawned = run_trials(graph, 0, "ppx", trials=30, seed=9, batch=True)
+        assert a.times != spawned.times  # pooled mode really pools
+
+    @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
+    def test_pooled_matches_per_trial_on_clock_views(self, view):
+        graph = random_regular_graph(24, 4, seed=3)
+        trials = 300
+        options = {"view": view}
+        pooled = run_trials(
+            graph, 0, "pp-a", trials=trials, seed=7, batch="pooled", engine_options=options
+        )
+        spawned = run_trials(
+            graph, 0, "pp-a", trials=trials, seed=77, batch=True, engine_options=options
+        )
+        assert_same_distribution(
+            pooled.as_array(),
+            spawned.as_array(),
+            min_pvalue=0.01,
+            label=f"pooled vs per-trial {view} view",
         )
 
     def test_pooled_matches_per_trial_under_scenario(self):

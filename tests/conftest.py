@@ -1,8 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also puts ``tests/`` itself on ``sys.path`` so suites anywhere in the tree
+can import the shared serial-vs-batch equivalence harness as
+``from helpers.equivalence import ...`` regardless of pytest's rootdir
+insertion rules.
+"""
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.graphs import (
     complete_graph,

@@ -1,0 +1,143 @@
+"""Hypothesis property tests for the auxiliary processes.
+
+Properties of :func:`~repro.core.aux_processes.pull_probability` straight
+from Definitions 5 and 7 — values in ``[0, 1]``, monotonicity in the
+informed-neighbor count ``k``, the ``ppx`` half-degree forcing threshold,
+``ppx >= ppy`` pointwise — plus agreement of the vectorised
+:func:`~repro.core.aux_processes.pull_probabilities` with the scalar
+reference, and stochastic-dominance checks between the batched and serial
+completion-time samples (fixed-seed equality makes mutual weak dominance a
+theorem; an independent-seed pair must still dominate empirically within
+KS tolerance because the laws coincide).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aux_processes import pull_probabilities, pull_probability
+from repro.core.batch_engine import run_batch
+from repro.graphs import complete_graph, star_graph
+from repro.graphs.random_graphs import random_regular_graph
+from repro.randomness.dominance import dominates_empirically
+from repro.randomness.rng import spawn_generators
+
+VARIANTS = ("ppx", "ppy")
+
+
+class TestPullProbabilityProperties:
+    @settings(max_examples=200)
+    @given(
+        variant=st.sampled_from(VARIANTS),
+        degree=st.integers(min_value=1, max_value=500),
+        data=st.data(),
+    )
+    def test_bounded_in_unit_interval(self, variant, degree, data):
+        k = data.draw(st.integers(min_value=0, max_value=degree))
+        p = pull_probability(variant, k, degree)
+        assert 0.0 <= p <= 1.0
+        if k == 0:
+            assert p == 0.0
+        else:
+            assert p > 0.0
+
+    @settings(max_examples=200)
+    @given(
+        variant=st.sampled_from(VARIANTS),
+        degree=st.integers(min_value=2, max_value=500),
+        data=st.data(),
+    )
+    def test_monotone_in_informed_neighbors(self, variant, degree, data):
+        k = data.draw(st.integers(min_value=0, max_value=degree - 1))
+        assert pull_probability(variant, k + 1, degree) >= pull_probability(
+            variant, k, degree
+        )
+
+    @settings(max_examples=200)
+    @given(degree=st.integers(min_value=1, max_value=500), data=st.data())
+    def test_ppx_half_degree_threshold(self, degree, data):
+        k = data.draw(st.integers(min_value=1, max_value=degree))
+        p = pull_probability("ppx", k, degree)
+        if k >= degree / 2.0:
+            assert p == 1.0
+        else:
+            assert p == pytest.approx(1.0 - math.exp(-2.0 * k / degree))
+            assert p < 1.0
+
+    @settings(max_examples=200)
+    @given(degree=st.integers(min_value=1, max_value=500), data=st.data())
+    def test_ppx_dominates_ppy_pointwise(self, degree, data):
+        """ppx only ever adds forced pulls on top of ppy's probability."""
+        k = data.draw(st.integers(min_value=0, max_value=degree))
+        assert pull_probability("ppx", k, degree) >= pull_probability("ppy", k, degree)
+
+    @settings(max_examples=100)
+    @given(
+        variant=st.sampled_from(VARIANTS),
+        degrees=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=16),
+        data=st.data(),
+    )
+    def test_vectorised_matches_scalar_reference(self, variant, degrees, data):
+        counts = [
+            data.draw(st.integers(min_value=0, max_value=d), label=f"k<= {d}")
+            for d in degrees
+        ]
+        vector = pull_probabilities(
+            variant, np.asarray(counts), np.asarray(degrees, dtype=np.int64)
+        )
+        scalar = [pull_probability(variant, k, d) for k, d in zip(counts, degrees)]
+        assert vector.tolist() == scalar  # bit-for-bit, not approx
+
+
+class TestBatchedSerialDominance:
+    """Stochastic-dominance view of the serial/batch contract: with shared
+    per-trial generators the samples are equal (hence dominate each other);
+    with independent seeds the common law still has to make the empirical
+    dominance check pass in both directions."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        variant=st.sampled_from(VARIANTS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_fixed_seed_mutual_dominance(self, variant, seed):
+        from repro.core.protocols import spread
+
+        graph = complete_graph(16)
+        trials = 12
+        batched = run_batch(
+            graph, 0, variant, rngs=spawn_generators(trials, seed)
+        ).spreading_times()
+        serial = [
+            spread(graph, 0, protocol=variant, seed=rng).spreading_time
+            for rng in spawn_generators(trials, seed)
+        ]
+        assert batched.tolist() == serial
+        assert dominates_empirically(batched.tolist(), serial).holds
+        assert dominates_empirically(serial, batched.tolist()).holds
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        variant=st.sampled_from(VARIANTS),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_independent_seed_dominance_within_tolerance(self, variant, seed):
+        graph = star_graph(16)
+        batched = run_batch(graph, 1, variant, trials=80, seed=seed).spreading_times()
+        serial = run_batch(graph, 1, variant, trials=80, seed=seed + 10**9).spreading_times()
+        # Same law sampled twice: each sample weakly dominates the other up
+        # to the dominance check's built-in statistical tolerance.
+        assert dominates_empirically(batched.tolist(), serial.tolist()).holds
+        assert dominates_empirically(serial.tolist(), batched.tolist()).holds
+
+    def test_lemma6_batched_ppx_dominated_by_pp(self):
+        """Lemma 6 on the batched kernels: T(ppx) ≼ T(pp)."""
+        graph = random_regular_graph(32, 4, seed=3)
+        ppx = run_batch(graph, 0, "ppx", trials=120, seed=11).spreading_times()
+        pp = run_batch(graph, 0, "pp", trials=120, seed=22).spreading_times()
+        assert dominates_empirically(ppx.tolist(), pp.tolist()).holds

@@ -41,6 +41,14 @@ class TestPullProbability:
         with pytest.raises(ProtocolError):
             pull_probability("ppx", 1, 0)
 
+    def test_vectorised_validation_matches_scalar(self):
+        from repro.core.aux_processes import pull_probabilities
+
+        with pytest.raises(ProtocolError):
+            pull_probabilities("ppz", np.array([1]), np.array([4]))
+        with pytest.raises(ProtocolError):
+            pull_probabilities("ppx", np.array([1, 2]), np.array([4, 0]))
+
 
 class TestRunAuxiliaryProcess:
     def test_unknown_variant_rejected(self, small_star):

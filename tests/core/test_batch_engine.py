@@ -169,21 +169,26 @@ class TestValidation:
 
     def test_unbatchable_protocol_rejected(self):
         with pytest.raises(ProtocolError):
-            run_batch(star_graph(8), 0, "ppx", trials=2, seed=0)
+            run_batch(star_graph(8), 0, "no-such-protocol", trials=2, seed=0)
 
-    def test_non_global_view_rejected(self):
+    def test_unknown_view_rejected(self):
         with pytest.raises(ProtocolError):
-            run_batch(star_graph(8), 0, "pp-a", trials=2, seed=0, view="node_clocks")
+            run_batch(star_graph(8), 0, "pp-a", trials=2, seed=0, view="smoke")
 
     def test_is_batchable_matrix(self):
         assert is_batchable("pp")
         assert is_batchable("pp-a")
         assert is_batchable("pp-a", {"view": "global", "max_steps": 10})
-        assert not is_batchable("ppx")
-        assert not is_batchable("ppy")
+        assert is_batchable("ppx")
+        assert is_batchable("ppy")
+        assert is_batchable("ppx", {"max_rounds": 10})
+        assert is_batchable("pp-a", {"view": "node_clocks"})
+        assert is_batchable("pp-a", {"view": "edge_clocks", "max_time": 2.0})
         assert not is_batchable("pp", {"record_trace": True})
-        assert not is_batchable("pp-a", {"view": "edge_clocks"})
+        assert not is_batchable("ppx", {"record_trace": True})
+        assert not is_batchable("pp-a", {"view": "smoke"})  # unknown view
         assert not is_batchable("pp", {"max_steps": 10})  # async option on sync
+        assert not is_batchable("ppx", {"max_steps": 10})  # async option on aux
 
 
 class TestBatchTimesRecord:

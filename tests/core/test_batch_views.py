@@ -1,0 +1,159 @@
+"""Tests for the batched clock-queue views (``node_clocks``/``edge_clocks``).
+
+Trial-for-trial serial agreement is pinned by the shared registry gate
+(``tests/core/test_kernel_equivalence.py``); this file covers the
+view-specific dispatch policy, the scenario fallback rules (runtime
+scenarios are global-view-only on *both* paths — never a silent
+divergence), and the distributional equivalence of the three asynchronous
+views on small graphs (the paper's Section 2 claim, now checked on the
+batched kernels themselves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers.equivalence import assert_same_distribution, assert_trials_paths_agree
+from repro.analysis import montecarlo
+from repro.analysis.montecarlo import ASYNC_AUTO_MIN_TRIALS, run_trials
+from repro.core.async_engine import ASYNC_VIEWS
+from repro.core.batch_engine import is_batchable, run_batch, run_clock_view_batch
+from repro.errors import AnalysisError, ProtocolError, ScenarioError
+from repro.graphs import complete_graph, star_graph
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import random_regular_graph
+from repro.scenarios import Delay, MessageLoss
+
+CLOCK_VIEWS = ["node_clocks", "edge_clocks"]
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_forced_batch_agrees_with_serial(self, view):
+        graph = complete_graph(16)
+        assert_trials_paths_agree(
+            graph, "random", "pp-a", trials=10, seed=3,
+            engine_options={"view": view}, fractions=(0.5,),
+        )
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_auto_threshold_applies_to_clock_views(self, view, monkeypatch):
+        """Narrow async runs stay serial under auto, views included."""
+        calls = []
+        real_run_batch = montecarlo.run_batch
+
+        def counting_run_batch(*args, **kwargs):
+            calls.append(args)
+            return real_run_batch(*args, **kwargs)
+
+        monkeypatch.setattr(montecarlo, "run_batch", counting_run_batch)
+        graph = complete_graph(12)
+        options = {"view": view}
+        run_trials(graph, 0, "pp-a", trials=8, seed=1, engine_options=options)
+        assert calls == []  # narrow: serial
+        run_trials(graph, 0, "pp-a", trials=8, seed=1, batch=True, engine_options=options)
+        assert len(calls) == 1  # forced: batched
+        assert 8 < ASYNC_AUTO_MIN_TRIALS
+
+
+class TestScenarioFallback:
+    """Runtime scenarios are global-view-only; the batched path must reject
+    or fall back exactly like the serial engine — never silently diverge."""
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    @pytest.mark.parametrize("scenario", [MessageLoss(0.2), Delay(low=0.5, high=2.0)])
+    def test_kernel_rejects_runtime_scenarios(self, view, scenario):
+        with pytest.raises(ScenarioError, match="global"):
+            run_clock_view_batch(
+                complete_graph(8), 0, view=view, trials=2, seed=0, scenario=scenario
+            )
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_auto_falls_back_and_both_paths_raise_identically(self, view):
+        graph = complete_graph(8)
+        options = {"view": view}
+        assert not is_batchable("pp-a", options, MessageLoss(0.2))
+        for batch in ("auto", False):
+            with pytest.raises(ScenarioError, match="global"):
+                run_trials(
+                    graph, 0, "pp-a", trials=2, seed=0,
+                    batch=batch, engine_options=options, scenario=MessageLoss(0.2),
+                )
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_forced_batch_with_runtime_scenario_rejected(self, view):
+        with pytest.raises(AnalysisError):
+            run_trials(
+                complete_graph(8), 0, "pp-a", trials=2, seed=0,
+                batch=True, engine_options={"view": view}, scenario=MessageLoss(0.2),
+            )
+
+
+class TestKernelBehaviour:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            run_clock_view_batch(star_graph(8), 0, view="global", trials=2, seed=0)
+        with pytest.raises(ProtocolError):
+            run_clock_view_batch(star_graph(8), 0, view="node_clocks", mode="smoke", trials=2, seed=0)
+        disconnected = Graph(4, [(0, 1), (2, 3)], name="two-edges")
+        with pytest.raises(ProtocolError):
+            run_clock_view_batch(disconnected, 0, view="edge_clocks", trials=2, seed=0)
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_trivial_single_vertex_graph(self, view):
+        batched = run_batch(Graph(1, [], name="dot"), 0, "pp-a", trials=3, seed=0, view=view)
+        assert batched.completed.all()
+        assert (batched.completion_time == 0.0).all()
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_zero_step_budget_is_incomplete_not_hung(self, view):
+        batched = run_clock_view_batch(
+            star_graph(8), 1, view=view, trials=3, seed=1,
+            max_steps=0, on_budget_exhausted="partial",
+        )
+        assert not batched.completed.any()
+        assert (batched.steps == 0).all()
+
+    @pytest.mark.parametrize("view", CLOCK_VIEWS)
+    def test_steps_match_serial(self, view):
+        from repro.core.protocols import spread
+        from repro.randomness.rng import spawn_generators
+
+        graph = random_regular_graph(24, 3, seed=2)
+        batched = run_batch(
+            graph, [0] * 4, "pp-a", rngs=spawn_generators(4, 7), view=view
+        )
+        for i, rng in enumerate(spawn_generators(4, 7)):
+            serial = spread(graph, 0, protocol="pp-a", seed=rng, view=view)
+            assert batched.steps[i] == serial.steps
+
+
+class TestThreeViewAgreement:
+    """The paper's Section 2: the three asynchronous views describe the same
+    process.  Checked distributionally on the batched kernels themselves."""
+
+    @pytest.mark.parametrize("mode_protocol", ["pp-a", "push-a"])
+    def test_views_agree_distributionally(self, mode_protocol):
+        graph = random_regular_graph(24, 4, seed=9)
+        samples = {}
+        for seed_offset, view in enumerate(ASYNC_VIEWS):
+            sample = run_trials(
+                graph, 0, mode_protocol, trials=300, seed=500 + seed_offset,
+                batch=True, engine_options={"view": view},
+            )
+            samples[view] = sample.as_array()
+        for view_a, view_b in [
+            ("global", "node_clocks"),
+            ("global", "edge_clocks"),
+            ("node_clocks", "edge_clocks"),
+        ]:
+            assert_same_distribution(
+                samples[view_a],
+                samples[view_b],
+                min_pvalue=1e-3,
+                label=f"{mode_protocol}: {view_a} vs {view_b}",
+            )
+        # Sanity: the views really simulate the same time scale.
+        means = [float(np.mean(s)) for s in samples.values()]
+        assert max(means) < 2.5 * min(means)

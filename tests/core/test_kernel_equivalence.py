@@ -1,0 +1,40 @@
+"""The registry-driven serial-vs-batch equivalence gate.
+
+Every batched kernel registers its settings in
+``tests/helpers/equivalence.KERNEL_CASES``; this suite replays each one
+through the shared trial-for-trial assertion.  A kernel that is not in the
+registry is not covered by the gate — add cases when adding kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers.equivalence import KERNEL_CASES, assert_kernel_case, case_ids
+from repro.core.batch_engine import (
+    ASYNC_BATCH_PROTOCOLS,
+    AUX_BATCH_PROTOCOLS,
+    CLOCK_VIEWS,
+    SYNC_BATCH_PROTOCOLS,
+)
+
+
+@pytest.mark.parametrize("case", KERNEL_CASES, ids=case_ids(KERNEL_CASES))
+def test_registered_kernel_matches_serial(case):
+    assert_kernel_case(case)
+
+
+def test_registry_covers_every_batched_kernel():
+    """Every protocol (and every asynchronous view) with a batched kernel
+    must have at least one registered equivalence case."""
+    covered_protocols = {case.protocol for case in KERNEL_CASES}
+    expected = (
+        set(SYNC_BATCH_PROTOCOLS) | set(ASYNC_BATCH_PROTOCOLS) | set(AUX_BATCH_PROTOCOLS)
+    )
+    assert expected <= covered_protocols
+    covered_views = {
+        case.options().get("view", "global")
+        for case in KERNEL_CASES
+        if case.protocol in ASYNC_BATCH_PROTOCOLS
+    }
+    assert {"global", *CLOCK_VIEWS} <= covered_views

@@ -1,0 +1,1 @@
+"""Shared test helpers (importable via the path hook in tests/conftest.py)."""

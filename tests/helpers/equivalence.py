@@ -1,0 +1,297 @@
+"""The shared serial-vs-batch equivalence harness.
+
+The batch kernels' central contract — a batched trial that consumes
+generator ``g`` reproduces, bit-for-bit, the informing times of a serial
+engine run seeded with ``g`` — must hold for *every* kernel, scenario, and
+option combination that claims a batched fast path.  Before this harness the
+agreement checks were copy-pasted across ``tests/core/test_batch_engine.py``,
+``tests/analysis/test_batch_montecarlo.py`` and
+``tests/scenarios/test_scenario_equivalence.py``; now there is one set of
+assertion helpers and one registry of kernel settings.
+
+Usage:
+
+* **Kernel-level**: :func:`assert_batch_matches_serial` runs
+  :func:`repro.core.batch_engine.run_batch` against per-trial serial
+  :func:`repro.core.protocols.spread` calls with identically spawned
+  generators and compares informing times, completion flags, and spreading
+  times trial-for-trial.
+* **Dispatcher-level**: :func:`assert_trials_paths_agree` compares whole
+  :func:`repro.analysis.montecarlo.run_trials` samples between
+  ``batch=False`` and a batched mode (times, sources, and coverage
+  fractions).
+* **Registry**: every batched kernel registers representative settings in
+  :data:`KERNEL_CASES` via :func:`register_case`;
+  ``tests/core/test_kernel_equivalence.py`` parametrizes over the registry,
+  so adding a kernel to the registry *is* adding it to the equivalence
+  gate.  Distribution-level checks share :func:`assert_same_distribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from scipy import stats as scipy_stats
+
+from repro.analysis.montecarlo import run_trials
+from repro.core.batch_engine import run_batch
+from repro.core.protocols import spread
+from repro.graphs import complete_graph, cycle_graph, star_graph
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import random_regular_graph
+from repro.randomness.rng import spawn_generators
+from repro.scenarios import (
+    Delay,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+    NodeChurn,
+)
+
+__all__ = [
+    "KernelCase",
+    "KERNEL_CASES",
+    "register_case",
+    "case_ids",
+    "assert_batch_matches_serial",
+    "assert_kernel_case",
+    "assert_trials_paths_agree",
+    "assert_same_distribution",
+]
+
+
+# --------------------------------------------------------------------- #
+# Assertion helpers
+# --------------------------------------------------------------------- #
+def assert_batch_matches_serial(graph, sources, protocol, seed, *, scenario=None, **options):
+    """Batched kernel vs per-trial serial engine, trial-for-trial.
+
+    Spawns the same per-trial generators for both paths; any divergence in
+    informing times, completion flags, or spreading times fails with the
+    offending trial index.
+    """
+    batched = run_batch(
+        graph,
+        sources,
+        protocol,
+        rngs=spawn_generators(len(sources), seed),
+        scenario=scenario,
+        **options,
+    )
+    for i, rng in enumerate(spawn_generators(len(sources), seed)):
+        serial = spread(
+            graph, sources[i], protocol=protocol, seed=rng, scenario=scenario, **options
+        )
+        assert tuple(batched.informed_time[i]) == serial.informed_time, (
+            f"trial {i} of {protocol} on {graph.name} diverged from the serial engine"
+        )
+        assert bool(batched.completed[i]) == serial.completed
+        assert batched.completion_time[i] == serial.spreading_time
+    return batched
+
+
+def assert_trials_paths_agree(
+    graph_or_factory,
+    source,
+    protocol,
+    *,
+    trials,
+    seed,
+    batch=True,
+    scenario=None,
+    engine_options=None,
+    fractions=(),
+):
+    """``run_trials(batch=False)`` vs a batched mode: identical samples.
+
+    Returns the two samples (serial first) for extra assertions.
+    """
+    kwargs = dict(
+        trials=trials,
+        seed=seed,
+        scenario=scenario,
+        engine_options=engine_options,
+        fractions=fractions,
+    )
+    serial = run_trials(graph_or_factory, source, protocol, batch=False, **kwargs)
+    batched = run_trials(graph_or_factory, source, protocol, batch=batch, **kwargs)
+    assert serial.times == batched.times
+    assert serial.source == batched.source
+    assert serial.graph_name == batched.graph_name
+    assert serial.fraction_times == batched.fraction_times
+    return serial, batched
+
+
+def assert_same_distribution(values_a, values_b, *, min_pvalue=1e-4, label=""):
+    """Two-sample Kolmogorov–Smirnov check at a generous level."""
+    test = scipy_stats.ks_2samp(values_a, values_b)
+    assert test.pvalue > min_pvalue, (
+        f"KS rejected distributional equality{f' ({label})' if label else ''}: {test}"
+    )
+    return test
+
+
+# --------------------------------------------------------------------- #
+# The kernel registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelCase:
+    """One registered (kernel, graph, scenario, options) equivalence setting.
+
+    ``graph_builder`` is a zero-argument callable so registration stays
+    cheap at import time; ``engine_options`` is a tuple of items to keep the
+    case hashable for pytest parametrization.
+    """
+
+    id: str
+    protocol: str
+    graph_builder: Callable[[], Graph]
+    sources: tuple[int, ...]
+    seed: int
+    scenario: Optional[Any] = None
+    engine_options: tuple[tuple[str, Any], ...] = ()
+
+    def options(self) -> dict:
+        return dict(self.engine_options)
+
+
+KERNEL_CASES: list[KernelCase] = []
+
+
+def register_case(
+    id: str,
+    protocol: str,
+    graph_builder: Callable[[], Graph],
+    sources,
+    seed: int,
+    *,
+    scenario=None,
+    **engine_options,
+) -> KernelCase:
+    """Register a kernel setting in the shared equivalence gate."""
+    case = KernelCase(
+        id=id,
+        protocol=protocol,
+        graph_builder=graph_builder,
+        sources=tuple(int(s) for s in sources),
+        seed=seed,
+        scenario=scenario,
+        engine_options=tuple(sorted(engine_options.items())),
+    )
+    KERNEL_CASES.append(case)
+    return case
+
+
+def case_ids(cases) -> list[str]:
+    return [case.id for case in cases]
+
+
+def assert_kernel_case(case: KernelCase):
+    """Run one registered case through the trial-for-trial gate."""
+    return assert_batch_matches_serial(
+        case.graph_builder(),
+        list(case.sources),
+        case.protocol,
+        case.seed,
+        scenario=case.scenario,
+        **case.options(),
+    )
+
+
+def _rr32():
+    return random_regular_graph(32, 4, seed=5)
+
+
+def _rr24():
+    return random_regular_graph(24, 3, seed=2)
+
+
+# --- PR-1 kernels: synchronous and asynchronous-global ----------------- #
+for _protocol in ("pp", "push", "pull"):
+    register_case(f"sync-{_protocol}", _protocol, _rr32, (1, 0, 2, 3, 0), 123)
+for _protocol in ("pp-a", "push-a", "pull-a"):
+    register_case(f"global-{_protocol}", _protocol, _rr32, (1, 0, 2, 3, 0), 123)
+register_case(
+    "sync-partial-budget",
+    "push",
+    lambda: star_graph(32),
+    (1,) * 5,
+    11,
+    max_rounds=3,
+    on_budget_exhausted="partial",
+)
+register_case(
+    "global-step-budget",
+    "pp-a",
+    lambda: star_graph(24),
+    (1,) * 4,
+    13,
+    max_steps=40,
+    on_budget_exhausted="partial",
+)
+
+# --- PR-2: adversity scenarios on the batched path --------------------- #
+register_case("sync-loss", "pp", _rr32, (1, 0, 2), 9, scenario=MessageLoss(0.3))
+register_case("global-loss", "pp-a", _rr32, (1, 0, 2), 9, scenario=MessageLoss(0.3))
+register_case(
+    "sync-loss-churn",
+    "pull",
+    _rr24,
+    (0,) * 4,
+    7,
+    scenario=MessageLoss(0.2) | NodeChurn(0.1, 0.6),
+)
+register_case(
+    "sync-dynamic",
+    "pp",
+    lambda: complete_graph(16),
+    (0, 1, 2),
+    31,
+    scenario=DynamicGraph(FamilyResampler("erdos_renyi"), period=2),
+)
+register_case(
+    "global-delay", "push-a", _rr24, (0, 1, 2), 15, scenario=Delay(low=0.25, high=3.0)
+)
+
+# --- PR-3 kernels: clock-queue views and auxiliary processes ----------- #
+for _view in ("node_clocks", "edge_clocks"):
+    for _protocol in ("pp-a", "push-a", "pull-a"):
+        register_case(
+            f"{_view}-{_protocol}", _protocol, _rr32, (1, 0, 2), 55, view=_view
+        )
+    register_case(
+        f"{_view}-step-budget",
+        "pp-a",
+        lambda: star_graph(16),
+        (1,) * 3,
+        13,
+        view=_view,
+        max_steps=40,
+        on_budget_exhausted="partial",
+    )
+    register_case(
+        f"{_view}-time-budget",
+        "pp-a",
+        lambda: complete_graph(12),
+        (0,) * 3,
+        17,
+        view=_view,
+        max_time=1.5,
+        on_budget_exhausted="partial",
+    )
+for _variant in ("ppx", "ppy"):
+    register_case(f"aux-{_variant}-regular", _variant, _rr32, (0, 1, 2, 3, 0), 123)
+    register_case(f"aux-{_variant}-star", _variant, lambda: star_graph(24), (1, 0, 2), 7)
+    register_case(
+        f"aux-{_variant}-complete", _variant, lambda: complete_graph(16), (0,) * 4, 9
+    )
+register_case(
+    "aux-round-budget",
+    "ppy",
+    lambda: cycle_graph(20),
+    (0, 5),
+    11,
+    max_rounds=8,
+    on_budget_exhausted="partial",
+)

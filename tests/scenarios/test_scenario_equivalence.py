@@ -5,8 +5,9 @@ serial run seeded with ``g`` bit-for-bit — must survive every scenario that
 claims a batched kernel: the scenario draws (churn updates, loss flips,
 resampler and delay-rate draws) follow one documented per-trial order in
 both code paths.  These tests check that trial-for-trial through both the
-kernel API and the ``run_trials`` dispatcher, plus the dispatch policy for
-the scenarios that do *not* batch.
+kernel API (via the shared harness in ``tests/helpers/equivalence.py``)
+and the ``run_trials`` dispatcher, plus the dispatch policy for the
+scenarios that do *not* batch.
 """
 
 from __future__ import annotations
@@ -14,13 +15,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from helpers.equivalence import assert_batch_matches_serial, assert_trials_paths_agree
 from repro.analysis.montecarlo import run_trials
-from repro.core.batch_engine import is_batchable, run_batch
-from repro.core.protocols import spread
+from repro.core.batch_engine import is_batchable
 from repro.errors import AnalysisError, ScenarioError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.random_graphs import random_regular_graph
-from repro.randomness.rng import spawn_generators
 from repro.scenarios import (
     AdversarialSource,
     Delay,
@@ -34,61 +34,45 @@ SYNC_PROTOCOLS = ["pp", "push", "pull"]
 ASYNC_PROTOCOLS = ["pp-a", "push-a", "pull-a"]
 
 
-def assert_batch_matches_serial(graph, sources, protocol, scenario, seed, **options):
-    batched = run_batch(
-        graph,
-        sources,
-        protocol,
-        rngs=spawn_generators(len(sources), seed),
-        scenario=scenario,
-        **options,
-    )
-    for i, rng in enumerate(spawn_generators(len(sources), seed)):
-        serial = spread(
-            graph, sources[i], protocol=protocol, seed=rng, scenario=scenario, **options
-        )
-        assert tuple(batched.informed_time[i]) == serial.informed_time
-        assert bool(batched.completed[i]) == serial.completed
-        assert batched.completion_time[i] == serial.spreading_time
-
-
 class TestKernelEquivalence:
     @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS + ASYNC_PROTOCOLS)
     def test_message_loss(self, protocol):
         graph = random_regular_graph(32, 4, seed=5)
-        assert_batch_matches_serial(graph, [1, 0, 2, 3, 0], protocol, MessageLoss(0.3), 123)
+        assert_batch_matches_serial(
+            graph, [1, 0, 2, 3, 0], protocol, 123, scenario=MessageLoss(0.3)
+        )
 
     @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS + ASYNC_PROTOCOLS)
     def test_node_churn(self, protocol):
         graph = complete_graph(16)
         assert_batch_matches_serial(
-            graph, [0, 1, 2, 3], protocol, NodeChurn(0.2, 0.5), 77
+            graph, [0, 1, 2, 3], protocol, 77, scenario=NodeChurn(0.2, 0.5)
         )
 
     @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
     def test_loss_and_churn_composed(self, protocol):
         graph = random_regular_graph(24, 3, seed=2)
         assert_batch_matches_serial(
-            graph, [0] * 5, protocol, MessageLoss(0.2) | NodeChurn(0.1, 0.6), 9
+            graph, [0] * 5, protocol, 9, scenario=MessageLoss(0.2) | NodeChurn(0.1, 0.6)
         )
 
     @pytest.mark.parametrize("period", [1, 3])
     def test_dynamic_graph_sync(self, period):
         graph = complete_graph(16)
         scenario = DynamicGraph(FamilyResampler("erdos_renyi"), period=period)
-        assert_batch_matches_serial(graph, [0, 1, 2, 3], "pp", scenario, 31)
+        assert_batch_matches_serial(graph, [0, 1, 2, 3], "pp", 31, scenario=scenario)
 
     @pytest.mark.parametrize("protocol", ASYNC_PROTOCOLS)
     def test_delay_async(self, protocol):
         graph = random_regular_graph(24, 3, seed=4)
         assert_batch_matches_serial(
-            graph, [0, 1, 2], protocol, Delay(low=0.25, high=3.0), 15
+            graph, [0, 1, 2], protocol, 15, scenario=Delay(low=0.25, high=3.0)
         )
 
     def test_everything_composed_async(self):
         graph = complete_graph(16)
         scenario = MessageLoss(0.2) | NodeChurn(0.1, 0.6) | Delay(low=0.5, high=2.0)
-        assert_batch_matches_serial(graph, [0, 1, 2, 3], "pp-a", scenario, 57)
+        assert_batch_matches_serial(graph, [0, 1, 2, 3], "pp-a", 57, scenario=scenario)
 
     def test_partial_budgets_match_under_churn(self):
         graph = star_graph(24)
@@ -96,8 +80,8 @@ class TestKernelEquivalence:
             graph,
             [1] * 5,
             "push",
-            NodeChurn(0.3, 0.2),
             11,
+            scenario=NodeChurn(0.3, 0.2),
             max_rounds=40,
             on_budget_exhausted="partial",
         )
@@ -117,26 +101,17 @@ class TestRunTrialsDispatch:
     )
     def test_serial_and_batched_samples_identical(self, protocol, scenario):
         graph = random_regular_graph(32, 4, seed=7)
-        serial = run_trials(
-            graph, 0, protocol, trials=16, seed=21, batch=False, scenario=scenario
+        assert_trials_paths_agree(
+            graph, 0, protocol, trials=16, seed=21, scenario=scenario
         )
-        batched = run_trials(
-            graph, 0, protocol, trials=16, seed=21, batch=True, scenario=scenario
-        )
-        assert serial.times == batched.times
-        assert serial.source == batched.source
 
     def test_adversarial_source_overrides_both_paths(self):
         graph = star_graph(16)
         scenario = MessageLoss(0.2) | AdversarialSource("max_degree")
-        serial = run_trials(
-            graph, "random", "pp", trials=10, seed=3, batch=False, scenario=scenario
-        )
-        batched = run_trials(
-            graph, "random", "pp", trials=10, seed=3, batch=True, scenario=scenario
+        serial, batched = assert_trials_paths_agree(
+            graph, "random", "pp", trials=10, seed=3, scenario=scenario
         )
         assert serial.source == batched.source == 0  # the hub, despite "random"
-        assert serial.times == batched.times
 
     def test_async_dynamic_falls_back_to_serial(self):
         scenario = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
@@ -165,10 +140,15 @@ class TestRunTrialsDispatch:
 
     def test_fractions_recorded_under_scenarios(self):
         graph = complete_graph(20)
-        kwargs = dict(trials=12, seed=7, fractions=(0.5, 0.9), scenario=MessageLoss(0.25))
-        serial = run_trials(graph, 0, "pp", batch=False, **kwargs)
-        batched = run_trials(graph, 0, "pp", batch=True, **kwargs)
-        assert serial.fraction_times == batched.fraction_times
+        assert_trials_paths_agree(
+            graph,
+            0,
+            "pp",
+            trials=12,
+            seed=7,
+            fractions=(0.5, 0.9),
+            scenario=MessageLoss(0.25),
+        )
 
     def test_unperturbed_runs_are_untouched_by_scenario_plumbing(self):
         graph = random_regular_graph(32, 4, seed=2)

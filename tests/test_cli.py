@@ -20,6 +20,14 @@ class TestParser:
         assert arguments.experiment == "E4"
         assert arguments.preset == "smoke"
         assert arguments.json is True
+        assert arguments.batch is None
+
+    def test_batch_flag_parses(self):
+        for value in ("auto", "off", "on", "pooled"):
+            arguments = build_parser().parse_args(["run", "E1", "--batch", value])
+            assert arguments.batch == value
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--batch", "sideways"])
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -87,6 +95,10 @@ class TestRunCommand:
     def test_scenario_rejected_for_experiments_without_support(self, capsys):
         assert main(["run", "E4", "--preset", "smoke", "--scenario", "loss:p=0.3"]) == 2
         assert "does not accept a scenario" in capsys.readouterr().err
+
+    def test_batch_rejected_for_experiments_without_support(self, capsys):
+        assert main(["run", "E4", "--preset", "smoke", "--batch", "on"]) == 2
+        assert "does not accept a batch mode" in capsys.readouterr().err
 
     def test_bad_scenario_spec_returns_error_code(self, capsys):
         assert main(["run", "E12", "--preset", "smoke", "--scenario", "loss:p"]) == 2
