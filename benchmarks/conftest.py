@@ -16,11 +16,29 @@ against today's serial path and against a frozen copy of the original
 independently of experiment composition.  It also carries the hard
 ``>= 5x over the seed baseline`` assertion; the other files are
 record-only.
+
+Every gate benchmark additionally records its measured numbers through the
+``bench_record`` fixture; at session end the records are written to
+``BENCH_batch.json`` (per-benchmark wall time, the pinned baseline's wall
+time, and the speedup against it), which CI uploads as an artifact next to
+the pytest-benchmark JSON — the machine-readable perf trajectory across
+PRs.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
+
+#: Gate-benchmark records destined for BENCH_batch.json, keyed by name.
+_BENCH_JSON_RECORDS: dict[str, dict] = {}
+
+#: Written into the pytest invocation directory (the repo root in CI, where
+#: the artifact glob picks it up).
+_BENCH_JSON_NAME = "BENCH_batch.json"
 
 
 def pytest_addoption(parser):
@@ -47,3 +65,40 @@ def run_once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record one gate benchmark's measured numbers for ``BENCH_batch.json``.
+
+    Usage: ``bench_record("shared_memory_sweep", seconds=..., baseline_seconds=...,
+    speedup=..., gate=3.0, **extra)``.  ``speedup`` is measured against the
+    benchmark's *pinned* baseline (frozen seed loop, fresh-executor sweep,
+    unchunked pooled kernel, ...), so the trajectory stays comparable
+    across PRs.
+    """
+    preset = request.config.getoption("--bench-preset")
+
+    def record(name: str, *, seconds: float, speedup: float, gate: float, **extra):
+        _BENCH_JSON_RECORDS[name] = {
+            "preset": preset,
+            "seconds": round(float(seconds), 6),
+            "speedup": round(float(speedup), 3),
+            "gate": float(gate),
+            **extra,
+        }
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected gate records to ``BENCH_batch.json``."""
+    if not _BENCH_JSON_RECORDS:
+        return
+    payload = {
+        "preset": session.config.getoption("--bench-preset"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": dict(sorted(_BENCH_JSON_RECORDS.items())),
+    }
+    Path(_BENCH_JSON_NAME).write_text(json.dumps(payload, indent=2) + "\n")

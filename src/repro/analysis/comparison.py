@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analysis.montecarlo import BatchSpec, SpreadingTimeSample, run_trials
+from repro.analysis.parallel import run_trials_parallel
 from repro.analysis.quantiles import high_probability_time
 from repro.analysis.statistics import MeanEstimate, RatioEstimate, bootstrap_ratio_of_means, summarize
 from repro.errors import AnalysisError
@@ -116,22 +117,35 @@ def measure_protocol(
     seed: SeedLike = None,
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
+    parallel: bool | str = False,
+    num_workers: Optional[int] = None,
 ) -> ProtocolMeasurement:
     """Run trials of one protocol on one graph and summarise them.
 
     ``batch`` is the dispatch mode of
     :func:`~repro.analysis.montecarlo.run_trials`; every mode produces an
     identical sample for the same seed, so it is a pure throughput knob.
+
+    ``parallel`` shards the trials across the session's persistent process
+    pool via :func:`~repro.analysis.parallel.run_trials_parallel` (``True``
+    means the zero-copy ``"shared"`` transport; a string picks the
+    transport explicitly).  Unlike ``batch`` this changes the per-trial
+    seed spawning — parallel samples are reproducible but not bit-identical
+    to serial ones; sweeps that flip it should treat it as a different
+    (equally valid) random draw of the same distribution.
     """
-    sample = run_trials(
-        graph,
-        source,
-        protocol,
-        trials=trials,
-        seed=seed,
-        engine_options=engine_options,
-        batch=batch,
-    )
+    kwargs = dict(trials=trials, seed=seed, engine_options=engine_options, batch=batch)
+    if parallel:
+        sample = run_trials_parallel(
+            graph,
+            source,
+            protocol,
+            num_workers=num_workers,
+            parallel="shared" if parallel is True else str(parallel),
+            **kwargs,
+        )
+    else:
+        sample = run_trials(graph, source, protocol, **kwargs)
     return ProtocolMeasurement(
         protocol=protocol,
         graph_name=graph.name,
@@ -152,6 +166,8 @@ def compare_protocols_on_graph(
     ratios: Sequence[tuple[str, str]] = (),
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
+    parallel: bool | str = False,
+    num_workers: Optional[int] = None,
 ) -> GraphComparison:
     """Measure several protocols on one graph and compute requested mean ratios.
 
@@ -167,6 +183,9 @@ def compare_protocols_on_graph(
         batch: Monte Carlo batch dispatch mode (seed-for-seed identical
             samples in every mode; see
             :func:`~repro.analysis.montecarlo.run_trials`).
+        parallel: shard each protocol's trials across the persistent
+            process pool (see :func:`measure_protocol`).
+        num_workers: worker override for the parallel path.
 
     Returns:
         A :class:`GraphComparison`.
@@ -184,6 +203,8 @@ def compare_protocols_on_graph(
             seed=protocol_rng,
             engine_options=engine_options,
             batch=batch,
+            parallel=parallel,
+            num_workers=num_workers,
         )
     ratio_estimates: dict[str, RatioEstimate] = {}
     for numerator, denominator in ratios:
@@ -216,6 +237,8 @@ def sweep_family(
     ratios: Sequence[tuple[str, str]] = (),
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
+    parallel: bool | str = False,
+    num_workers: Optional[int] = None,
 ) -> FamilySweep:
     """Measure a set of protocols on a graph family over a size sweep.
 
@@ -226,6 +249,10 @@ def sweep_family(
     graphs — while still exercising the family; experiments that want
     averaging over the family can pass a factory to
     :func:`repro.analysis.montecarlo.run_trials` directly.
+
+    With ``parallel`` every (size, protocol) cell shards its trials across
+    the *same* persistent process pool — pool startup and the per-graph
+    shared-memory CSR segment are paid once per grid point, not per cell.
     """
     if isinstance(family, str):
         family = get_family(family)
@@ -247,6 +274,8 @@ def sweep_family(
                 ratios=ratios,
                 engine_options=engine_options,
                 batch=batch,
+                parallel=parallel,
+                num_workers=num_workers,
             )
         )
     return FamilySweep(

@@ -156,21 +156,46 @@ class SpreadingTimeSample:
             return math.inf
         return self.std / math.sqrt(self.num_trials)
 
-    def merged_with(self, other: "SpreadingTimeSample") -> "SpreadingTimeSample":
-        """Combine two samples of the same setting (used by adaptive runs)."""
-        if (self.protocol, self.num_vertices) != (other.protocol, other.num_vertices):
-            raise AnalysisError("cannot merge samples from different settings")
-        merged_fraction_times = dict(self.fraction_times)
-        for fraction, values in other.fraction_times.items():
-            merged_fraction_times[fraction] = tuple(merged_fraction_times.get(fraction, ())) + values
-        return SpreadingTimeSample(
-            protocol=self.protocol,
-            graph_name=self.graph_name,
-            num_vertices=self.num_vertices,
-            source=self.source if self.source == other.source else -1,
-            times=self.times + other.times,
+    @classmethod
+    def merged(cls, samples: Sequence["SpreadingTimeSample"]) -> "SpreadingTimeSample":
+        """Combine any number of samples of the same setting in one pass.
+
+        A single concatenation per field, so merging ``W`` worker chunks is
+        O(total trials) — unlike a chain of pairwise :meth:`merged_with`
+        calls, which re-concatenates the accumulated tuples at every step
+        (O(W * total)).  Fraction keys keep the first sample's order, then
+        first appearance; the merged source is the common source, or ``-1``
+        when the chunks disagree (or any chunk already had mixed sources).
+        """
+        samples = list(samples)
+        if not samples:
+            raise AnalysisError("cannot merge an empty sequence of samples")
+        first = samples[0]
+        for other in samples[1:]:
+            if (first.protocol, first.num_vertices) != (other.protocol, other.num_vertices):
+                raise AnalysisError("cannot merge samples from different settings")
+        merged_fraction_times: dict[float, tuple[float, ...]] = {}
+        for sample in samples:
+            for fraction in sample.fraction_times:
+                if fraction not in merged_fraction_times:
+                    merged_fraction_times[fraction] = tuple(
+                        value
+                        for s in samples
+                        for value in s.fraction_times.get(fraction, ())
+                    )
+        sources = {sample.source for sample in samples}
+        return cls(
+            protocol=first.protocol,
+            graph_name=first.graph_name,
+            num_vertices=first.num_vertices,
+            source=sources.pop() if len(sources) == 1 else -1,
+            times=tuple(time for sample in samples for time in sample.times),
             fraction_times=merged_fraction_times,
         )
+
+    def merged_with(self, other: "SpreadingTimeSample") -> "SpreadingTimeSample":
+        """Combine two samples of the same setting (used by adaptive runs)."""
+        return SpreadingTimeSample.merged([self, other])
 
 
 def _resolve_source(source: SourceSpec, graph: Graph, rng: np.random.Generator) -> int:

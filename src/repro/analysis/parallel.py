@@ -2,38 +2,66 @@
 
 Spreading-time trials are embarrassingly parallel, and the experiment suites
 run thousands of them.  :func:`run_trials_parallel` splits a trial budget
-into chunks, executes the chunks in a :class:`concurrent.futures.ProcessPoolExecutor`,
-and merges the resulting :class:`~repro.analysis.montecarlo.SpreadingTimeSample`
-objects.  Seeds are spawned from the master seed *before* dispatch, so the
-merged sample is identical in distribution (though not in order) to a serial
-run with the same total number of trials, and fully reproducible for a fixed
-``(seed, trials, num_workers)`` triple.
+into chunks, executes the chunks on the session's persistent process pool
+(:mod:`repro.analysis.pool` — created once and reused across sweep grid
+points), and merges the chunk results.  Seeds are spawned from the master
+seed *before* dispatch, so the merged sample is identical in distribution
+(though not in order) to a serial run with the same total number of trials,
+and fully reproducible for a fixed ``(seed, trials, num_workers)`` triple.
 
-Graphs are rebuilt inside each worker from a named family (or passed as a
-pickled :class:`~repro.graphs.base.Graph`, which is cheap — the object is a
-few tuples), so no shared state is needed.
+Two transports are available via the ``parallel`` argument, bit-identical
+to each other for the same ``(seed, trials, num_workers)``:
+
+* ``"shared"`` (default) — the zero-copy path.  The parent owns the
+  ``(trials,)`` spreading-time vector (and the ``(trials, len(fractions))``
+  coverage matrix) in :mod:`multiprocessing.shared_memory`; each worker
+  writes its chunk's rows directly at its offset, so merging is a single
+  array view instead of pickling samples back.  When an explicit
+  :class:`~repro.graphs.base.Graph` is passed, its CSR adjacency arrays are
+  placed in one shared segment per graph (cached across calls) and workers
+  reattach them by name — the graph is never re-pickled per chunk, and the
+  reattached arrays feed the batch kernels zero-copy.
+* ``"pickle"`` — the legacy transport: the graph is pickled into every
+  chunk spec and every worker pickles its whole
+  :class:`~repro.analysis.montecarlo.SpreadingTimeSample` back through the
+  executor.  Kept as the equivalence reference and benchmark baseline.
+
+Graphs given as a named family are rebuilt inside each worker from the
+family registry (workers never receive the graph at all in that mode).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from concurrent.futures import BrokenExecutor, wait as wait_futures
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.analysis import shm
 from repro.analysis.montecarlo import (
     SpreadingTimeSample,
     _forced_batch_error,
     batch_dispatch_decision,
     run_trials,
 )
+from repro.analysis.pool import ExecutorHandle, get_pool
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
 from repro.graphs.families import get_family
 from repro.randomness.rng import SeedLike, spawn_seeds
 from repro.scenarios.base import Scenario, ScenarioLike, as_scenario
 
-__all__ = ["ParallelTrialSpec", "run_trials_parallel", "default_worker_count"]
+__all__ = [
+    "ParallelTrialSpec",
+    "run_trials_parallel",
+    "default_worker_count",
+    "chunk_plan",
+]
+
+#: Accepted values of the ``parallel`` transport argument.
+PARALLEL_MODES = ("shared", "pickle")
 
 
 def default_worker_count() -> int:
@@ -63,7 +91,12 @@ class ParallelTrialSpec:
     Attributes:
         family_name: name of a registered graph family (mutually exclusive
             with ``graph``); the worker builds the graph itself.
-        graph: an explicit graph to run on (pickled to the worker).
+        graph: an explicit graph to run on (pickled to the worker — the
+            ``"pickle"`` transport).
+        graph_shm: name of a shared-memory CSR segment to reattach the
+            graph from (the ``"shared"`` transport; mutually exclusive with
+            ``graph``/``family_name``).
+        graph_display_name: display name restored onto the reattached graph.
         size: family size to build (required with ``family_name``).
         graph_seed: seed for building random-family graphs.
         source: source vertex or ``"random"``.
@@ -80,6 +113,8 @@ class ParallelTrialSpec:
             chunk (pickled to the worker; the standard models and
             :class:`~repro.scenarios.FamilyResampler` all pickle — custom
             resampler lambdas do not).
+        engine_options: extra engine options forwarded to ``run_trials``
+            (e.g. the asynchronous ``view``).
     """
 
     protocol: str
@@ -90,19 +125,45 @@ class ParallelTrialSpec:
     size: Optional[int] = None
     graph_seed: Optional[int] = None
     graph: Optional[Graph] = None
+    graph_shm: Optional[str] = None
+    graph_display_name: Optional[str] = None
     fractions: tuple[float, ...] = ()
     batch: Union[bool, int, str] = "auto"
     scenario: Optional[Scenario] = None
+    engine_options: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class _SharedChunkSpec:
+    """One chunk of the shared transport: where in the shared matrices to write.
+
+    ``times_name``/``fractions_name`` are segment names from
+    :func:`repro.analysis.shm.create_array`; the worker writes its chunk's
+    rows at ``[offset, offset + spec.trials)`` of the ``(total_trials,)`` /
+    ``(total_trials, len(fractions))`` arrays.
+    """
+
+    spec: ParallelTrialSpec
+    times_name: str
+    fractions_name: Optional[str]
+    offset: int
+    total_trials: int
+
+
+def _resolve_chunk_graph(spec: ParallelTrialSpec) -> Graph:
+    """Materialise the chunk's graph from whichever transport carried it."""
+    if spec.graph is not None:
+        return spec.graph
+    if spec.graph_shm is not None:
+        return shm.attach_graph(spec.graph_shm, spec.graph_display_name)
+    if spec.family_name is None or spec.size is None:
+        raise AnalysisError("a chunk needs either a graph or a (family_name, size) pair")
+    return get_family(spec.family_name).build(spec.size, seed=spec.graph_seed)
 
 
 def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
-    """Worker entry point: build the graph (if needed) and run the chunk."""
-    if spec.graph is not None:
-        graph = spec.graph
-    else:
-        if spec.family_name is None or spec.size is None:
-            raise AnalysisError("a chunk needs either a graph or a (family_name, size) pair")
-        graph = get_family(spec.family_name).build(spec.size, seed=spec.graph_seed)
+    """Worker entry point: build/attach the graph and run the chunk."""
+    graph = _resolve_chunk_graph(spec)
     return run_trials(
         graph,
         spec.source,
@@ -112,7 +173,151 @@ def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
         fractions=spec.fractions,
         batch=spec.batch,
         scenario=spec.scenario,
+        engine_options=spec.engine_options,
     )
+
+
+def _run_chunk_shared(shared: _SharedChunkSpec) -> tuple[str, int, int]:
+    """Shared-transport worker entry point.
+
+    Runs the chunk, writes its spreading times (and coverage fractions)
+    directly into the parent-owned shared matrices, and returns only tiny
+    metadata ``(graph_name, num_vertices, source)`` — no sample pickling.
+    """
+    spec = shared.spec
+    sample = _run_chunk(spec)
+    stop = shared.offset + spec.trials
+    times_segment, times = shm.attach_array(shared.times_name, (shared.total_trials,))
+    try:
+        times[shared.offset : stop] = sample.times
+    finally:
+        del times
+        times_segment.close()
+    if shared.fractions_name is not None:
+        shape = (shared.total_trials, len(spec.fractions))
+        frac_segment, matrix = shm.attach_array(shared.fractions_name, shape)
+        try:
+            for column, fraction in enumerate(spec.fractions):
+                matrix[shared.offset : stop, column] = sample.fraction_times[fraction]
+        finally:
+            del matrix
+            frac_segment.close()
+    return sample.graph_name, sample.num_vertices, sample.source
+
+
+def chunk_plan(
+    trials: int, workers: int, seed: SeedLike = None
+) -> tuple[int, list[tuple[int, int]]]:
+    """The deterministic (graph seed, per-chunk ``(size, seed)``) split.
+
+    This is the one place the parallel chunking policy lives — including
+    the bit-compatibility-critical ``min(workers, trials)`` clamp, which
+    changes how many seeds are spawned: both transports and the
+    equivalence harness (which replays the chunks through serial
+    :func:`~repro.analysis.montecarlo.run_trials` calls) derive the same
+    plan from the same ``(trials, workers, seed)`` triple, which is what
+    makes the three paths bit-identical.
+    """
+    workers = min(int(workers), int(trials))
+    graph_seed, *chunk_seeds = spawn_seeds(workers + 1, seed)
+    base, remainder = divmod(trials, workers)
+    plan = []
+    for index, chunk_seed in enumerate(chunk_seeds):
+        size = base + (1 if index < remainder else 0)
+        if size > 0:
+            plan.append((size, chunk_seed))
+    return graph_seed, plan
+
+
+def _pool_crash_error(exc: Exception) -> AnalysisError:
+    return AnalysisError(
+        "a parallel worker process crashed (the shared pool was reset and the "
+        f"next call will start fresh workers): {exc!r}"
+    )
+
+
+def _merge_shared(
+    metas: Sequence[tuple[str, int, int]],
+    times: np.ndarray,
+    fraction_matrix: Optional[np.ndarray],
+    fractions: tuple[float, ...],
+    protocol: str,
+) -> SpreadingTimeSample:
+    """Assemble the merged sample from the shared matrices (no re-concatenation)."""
+    graph_name, num_vertices, source = metas[0]
+    for _, other_n, other_source in metas[1:]:
+        if other_n != num_vertices:
+            raise AnalysisError("cannot merge samples from different settings")
+        if other_source != source:
+            source = -1
+    fraction_times: dict[float, tuple[float, ...]] = {}
+    if fraction_matrix is not None:
+        for column, fraction in enumerate(fractions):
+            fraction_times[fraction] = tuple(fraction_matrix[:, column].tolist())
+    return SpreadingTimeSample(
+        protocol=protocol,
+        graph_name=graph_name,
+        num_vertices=num_vertices,
+        source=source,
+        times=tuple(times.tolist()),
+        fraction_times=fraction_times,
+    )
+
+
+def _execute_shared(
+    handle: ExecutorHandle,
+    specs: list[ParallelTrialSpec],
+    trials: int,
+    fractions: tuple[float, ...],
+    protocol: str,
+) -> SpreadingTimeSample:
+    """Dispatch the chunks through the zero-copy shared-memory transport."""
+    times_segment = times = frac_segment = fraction_matrix = None
+    try:
+        times_segment, times = shm.create_array((trials,))
+        if fractions:
+            frac_segment, fraction_matrix = shm.create_array((trials, len(fractions)))
+        shared_specs = []
+        offset = 0
+        for spec in specs:
+            shared_specs.append(
+                _SharedChunkSpec(
+                    spec=spec,
+                    times_name=times_segment.name,
+                    fractions_name=frac_segment.name if frac_segment is not None else None,
+                    offset=offset,
+                    total_trials=trials,
+                )
+            )
+            offset += spec.trials
+        futures = []
+        try:
+            with handle.lease():
+                for shared_spec in shared_specs:
+                    # Append as each submit lands so a failure partway
+                    # through still leaves every live future visible to
+                    # the cancel/drain handler below.
+                    futures.append(handle.submit(_run_chunk_shared, shared_spec))
+                metas = [future.result() for future in futures]
+        except BrokenExecutor as exc:
+            handle.reset()
+            raise _pool_crash_error(exc) from exc
+        except BaseException:
+            # One chunk failed while others may still be queued or running:
+            # cancel what has not started and drain what has, so no worker
+            # is left writing into (or attaching) the segments the finally
+            # block below is about to unlink.
+            for future in futures:
+                future.cancel()
+            wait_futures(futures)
+            raise
+        return _merge_shared(metas, times, fraction_matrix, fractions, protocol)
+    finally:
+        del times, fraction_matrix
+        if times_segment is not None:
+            shm._unlink(times_segment)
+        if frac_segment is not None:
+            shm._unlink(frac_segment)
 
 
 def run_trials_parallel(
@@ -127,6 +332,8 @@ def run_trials_parallel(
     fractions: Sequence[float] = (),
     batch: Union[bool, int, str] = "auto",
     scenario: ScenarioLike = None,
+    engine_options: Optional[dict] = None,
+    parallel: str = "shared",
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations across worker processes.
 
@@ -142,7 +349,10 @@ def run_trials_parallel(
         num_workers: worker processes; defaults to
             :func:`default_worker_count` (CPU count, capped by the
             ``REPRO_MAX_WORKERS`` environment variable).  With one worker
-            the call degenerates to a serial :func:`run_trials`.
+            the call degenerates to an in-process serial
+            :func:`~repro.analysis.montecarlo.run_trials`.  The chunking —
+            and therefore the result — depends only on this value, never on
+            how many processes the session pool actually holds.
         fractions: coverage fractions to record per trial.
         batch: batch dispatch mode for each worker's chunk (see
             :func:`~repro.analysis.montecarlo.run_trials`); the default
@@ -150,12 +360,27 @@ def run_trials_parallel(
             protocol allows it.
         scenario: optional adversity scenario (or spec string) applied by
             every trial in every worker.
+        engine_options: extra engine options forwarded to every chunk's
+            ``run_trials`` call (e.g. ``{"view": "edge_clocks"}``).
+        parallel: result transport — ``"shared"`` (default; zero-copy
+            shared-memory matrices and CSR reattachment) or ``"pickle"``
+            (legacy sample pickling).  Both transports are bit-identical
+            for the same ``(seed, trials, num_workers)``.
 
     Returns:
         The merged :class:`SpreadingTimeSample`.
+
+    Raises:
+        AnalysisError: on invalid arguments, an impossible forced-batch
+            setting, or when a worker process crashes (the session pool is
+            reset so the next call starts fresh).
     """
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
+    if parallel not in PARALLEL_MODES:
+        raise AnalysisError(
+            f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
+        )
     scenario = as_scenario(scenario)
     if batch not in (False, "auto"):
         # Fail fast in the parent on an impossible forced-batch setting
@@ -164,23 +389,17 @@ def run_trials_parallel(
         # hence fixed_graph=True; the shared predicate is the same one
         # run_trials dispatches on.
         use_batch, reason = batch_dispatch_decision(
-            protocol, None, scenario, batch, None, fixed_graph=True
+            protocol, engine_options, scenario, batch, None, fixed_graph=True
         )
         if not use_batch:
             raise _forced_batch_error(batch, reason)
     workers = default_worker_count() if num_workers is None else int(num_workers)
     if workers < 1:
         raise AnalysisError(f"num_workers must be positive, got {num_workers}")
-    workers = min(workers, trials)
 
-    graph_seed, *chunk_seeds = spawn_seeds(workers + 1, seed)
-    base, remainder = divmod(trials, workers)
-    chunk_sizes = [base + (1 if index < remainder else 0) for index in range(workers)]
-
+    graph_seed, plan = chunk_plan(trials, workers, seed)
     specs = []
-    for chunk_size, chunk_seed in zip(chunk_sizes, chunk_seeds):
-        if chunk_size == 0:
-            continue
+    for chunk_size, chunk_seed in plan:
         if isinstance(graph_or_family, Graph):
             spec = ParallelTrialSpec(
                 protocol=protocol,
@@ -191,6 +410,7 @@ def run_trials_parallel(
                 fractions=tuple(fractions),
                 batch=batch,
                 scenario=scenario,
+                engine_options=engine_options,
             )
         else:
             if size is None:
@@ -206,15 +426,43 @@ def run_trials_parallel(
                 fractions=tuple(fractions),
                 batch=batch,
                 scenario=scenario,
+                engine_options=engine_options,
             )
         specs.append(spec)
 
     if len(specs) == 1:
-        merged = _run_chunk(specs[0])
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            samples = list(executor.map(_run_chunk, specs))
-        merged = samples[0]
-        for sample in samples[1:]:
-            merged = merged.merged_with(sample)
-    return merged
+        # One chunk: run it in-process (identical to a worker run; no pool,
+        # no transport — both parallel modes share this path).
+        return _run_chunk(specs[0])
+
+    handle = get_pool(len(specs))  # one process per chunk is all the call can use
+    if parallel == "pickle":
+        try:
+            with handle.lease():
+                samples = list(handle.map(_run_chunk, specs))
+        except BrokenExecutor as exc:
+            handle.reset()
+            raise _pool_crash_error(exc) from exc
+        return SpreadingTimeSample.merged(samples)
+
+    if isinstance(graph_or_family, Graph):
+        # Publish the CSR arrays once (cached per graph across calls) and
+        # strip the picklable graph from the specs.  The pin (taken inside
+        # share_graph's registry lock) keeps the segment out of LRU
+        # eviction while this call's chunks are queued — a concurrent
+        # sweep may register many other graphs meanwhile.
+        segment_name = shm.share_graph(graph_or_family, pin=True)
+        specs = [
+            replace(
+                spec,
+                graph=None,
+                graph_shm=segment_name,
+                graph_display_name=graph_or_family.name,
+            )
+            for spec in specs
+        ]
+        try:
+            return _execute_shared(handle, specs, trials, tuple(fractions), protocol)
+        finally:
+            shm.unpin_segment(segment_name)
+    return _execute_shared(handle, specs, trials, tuple(fractions), protocol)

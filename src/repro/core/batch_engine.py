@@ -59,7 +59,13 @@ back to the serial engine — see :func:`is_batchable`).
 generators with one shared generator drawing whole ``(B, n)`` matrices at
 once.  This halves the Python-level draw overhead for small ``n`` but gives
 up serial equivalence: pooled samples agree with per-trial samples only *in
-distribution* (checked by a KS test in the suite).
+distribution* (checked by a KS test in the suite).  For the clock-queue
+views the pooled mode goes further: freed from the serial draw order, the
+kernel pre-draws the randomness of thousands of future ticks as
+``(B, chunk)`` blocks and drops the next-tick table entirely (both views
+are the same superposed Poisson process in distribution — see
+:func:`_run_clock_view_pooled`), which removes the dominant per-tick
+argmin/draw overhead.
 
 The output is a times-only :class:`~repro.core.result.BatchTimes` record:
 batched runs never build parents, infection kinds, or traces.  Callers that
@@ -120,6 +126,10 @@ _AUX_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
 #: kernel must refill per-trial randomness buffers in chunks of exactly this
 #: size to reproduce the serial draw order.
 _ASYNC_CHUNK = 4096
+
+#: Default number of future ticks whose randomness the pooled clock-view
+#: fast path draws ahead of time as one ``(B, chunk)`` block per kind.
+_POOLED_CLOCK_CHUNK = 4096
 
 
 def is_batchable(
@@ -1041,6 +1051,166 @@ def run_auxiliary_batch(
 # ---------------------------------------------------------------------- #
 # Clock-queue asynchronous views (node_clocks / edge_clocks)
 # ---------------------------------------------------------------------- #
+def _run_clock_view_pooled(
+    graph: Graph,
+    source_array: np.ndarray,
+    mode: str,
+    pooled_rng: np.random.Generator,
+    step_budget: int,
+    time_budget: float,
+    record_times: bool,
+    on_budget_exhausted: str,
+    chunk: int,
+    protocol_name: str,
+) -> BatchTimes:
+    """The chunked pooled-RNG fast path shared by both clock-queue views.
+
+    The per-trial kernel must keep the ``(B, #clocks)`` next-tick table and
+    pay two scalar RNG draws per trial per tick, because serial draw-order
+    equivalence pins exactly that sequence.  Pooled mode only promises
+    agreement *in distribution*, and in distribution both views are the
+    same superposed Poisson process: every vertex ticks at rate 1 under
+    ``node_clocks``, and under ``edge_clocks`` each caller's pair clocks
+    (rate ``1/deg(v)`` each) also sum to rate 1 per vertex — so successive
+    events arrive with ``Exp(1/n)`` gaps, a uniformly random caller, and a
+    uniformly random neighbor as callee (the view equivalence of
+    :mod:`repro.experiments.view_equivalence`).  That lets this path
+    pre-draw the whole randomness of the next ``chunk`` ticks as three
+    ``(B, chunk)`` blocks — gaps, callers, neighbor uniforms — resolve the
+    callee matrix in one vectorised gather, and run a lean per-tick loop
+    with no RNG calls and no argmin over the next-tick table at all.
+    """
+    n = graph.num_vertices
+    batch = source_array.size
+    flat = flat_adjacency(graph)
+    degrees = flat.degrees
+    start = flat.indptr[:-1]
+    indices = flat.indices
+    mode_pp = mode == "push-pull"
+    push_allowed = mode in ("push", "push-pull")
+    finite_time_budget = np.isfinite(time_budget)
+    scale = 1.0 / n  # mean gap of the superposed rate-n tick process
+
+    informed = np.zeros((batch, n), dtype=bool)
+    trial_rows = np.arange(batch, dtype=np.int64)
+    informed[trial_rows, source_array] = True
+    num_informed = np.ones(batch, dtype=np.int64)
+    times = None
+    if record_times:
+        times = np.full((batch, n), np.inf)
+        times[trial_rows, source_array] = 0.0
+    now = np.zeros(batch)
+    steps = np.zeros(batch, dtype=np.int64)
+    completed = np.zeros(batch, dtype=bool)
+    completion_time = np.full(batch, np.inf)
+
+    live = num_informed < n
+    while True:
+        rows = np.flatnonzero(live)
+        if rows.size == 0:
+            break
+        # Live trials all hold the same tick count: every live trial
+        # executes one tick per column and leaves the set when it retires,
+        # so one scalar tracks the remaining step budget for the block.
+        executed = int(steps[rows[0]])
+        remaining = step_budget - executed
+        if remaining <= 0:
+            live[rows] = False
+            break
+        width = min(chunk, remaining)
+        gaps = pooled_rng.exponential(scale, (rows.size, width))
+        tick_times = np.cumsum(gaps, axis=1)
+        tick_times += now[rows][:, None]
+        callers = pooled_rng.integers(0, n, (rows.size, width))
+        uniforms = pooled_rng.random((rows.size, width))
+        deg = degrees[callers]
+        offsets = (uniforms * deg).astype(np.int64)
+        np.minimum(offsets, deg - 1, out=offsets)
+        callees = indices[start[callers] + offsets]
+
+        # The column loop touches `steps` only at retirement: while alive,
+        # every trial executes every column, so the count is implied by the
+        # column index (`executed + column`).  `local` (the alive block
+        # rows) is likewise rebuilt only when a retirement dirtied it.
+        alive = np.ones(rows.size, dtype=bool)
+        local = np.arange(rows.size, dtype=np.int64)
+        active_rows = rows
+        for column in range(width):
+            tick_time = tick_times[local, column]
+            if finite_time_budget:
+                # Like the serial engine: the first over-budget event is
+                # popped but not executed (no step counted).
+                over = tick_time > time_budget
+                if over.any():
+                    over_local = local[over]
+                    live[rows[over_local]] = False
+                    alive[over_local] = False
+                    steps[rows[over_local]] = executed + column
+                    local = local[~over]
+                    if local.size == 0:
+                        break
+                    active_rows = rows[local]
+                    tick_time = tick_time[~over]
+            caller = callers[local, column]
+            callee = callees[local, column]
+            caller_informed = informed[active_rows, caller]
+            callee_informed = informed[active_rows, callee]
+            if mode_pp:
+                active = caller_informed != callee_informed
+                targets = np.where(caller_informed, callee, caller)
+            elif push_allowed:
+                active = caller_informed & ~callee_informed
+                targets = callee
+            else:
+                active = ~caller_informed & callee_informed
+                targets = caller
+            if active.any():
+                hit_local = local[active]
+                hit_rows = rows[hit_local]
+                hit_targets = targets[active]
+                hit_times = tick_time[active]
+                informed[hit_rows, hit_targets] = True
+                if times is not None:
+                    times[hit_rows, hit_targets] = hit_times
+                num_informed[hit_rows] += 1
+                done = num_informed[hit_rows] == n
+                if done.any():
+                    done_local = hit_local[done]
+                    done_rows = rows[done_local]
+                    completed[done_rows] = True
+                    completion_time[done_rows] = hit_times[done]
+                    steps[done_rows] = executed + column + 1
+                    live[done_rows] = False
+                    alive[done_local] = False
+                    local = np.flatnonzero(alive)
+                    if local.size == 0:
+                        break
+                    active_rows = rows[local]
+        if local.size:
+            steps[active_rows] = executed + width
+            now[active_rows] = tick_times[local, width - 1]
+
+    if not completed.all() and on_budget_exhausted == "error":
+        _raise_incomplete(
+            protocol_name,
+            graph,
+            num_informed,
+            completed,
+            f"{step_budget} steps / time {time_budget}",
+        )
+    return BatchTimes(
+        protocol=protocol_name,
+        graph_name=graph.name,
+        num_vertices=n,
+        sources=source_array,
+        completed=completed,
+        completion_time=completion_time,
+        informed_time=times,
+        rounds=None,
+        steps=steps,
+    )
+
+
 def run_clock_view_batch(
     graph: Graph,
     sources: Union[int, Sequence[int], np.ndarray],
@@ -1056,6 +1226,7 @@ def run_clock_view_batch(
     on_budget_exhausted: str = "error",
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
+    pooled_chunk: Optional[int] = None,
 ) -> BatchTimes:
     """Simulate a batch of asynchronous trials under a clock-queue view.
 
@@ -1080,7 +1251,19 @@ def run_clock_view_batch(
     Runtime scenarios are only supported under the ``"global"`` view (the
     serial engines raise the same error).
 
-    Args: as :func:`run_asynchronous_batch`, plus ``view``.
+    **Pooled fast path.**  With ``pooled_rng`` the serial draw order no
+    longer constrains the kernel, and the per-tick scalar draws are chunked
+    into ``(B, chunk)`` blocks drawn ahead of time (see
+    :func:`_run_clock_view_pooled` — both views are, in distribution, the
+    same superposed Poisson process, so the next-tick table and its per-row
+    ``argmin`` disappear entirely).  ``pooled_chunk`` sets the block width
+    (default 4096 ticks); ``pooled_chunk=0`` keeps the legacy unchunked
+    pooled loop over the next-tick table, which draws per tick — it exists
+    as the benchmark baseline for the fast path.  Pooled samples agree with
+    the per-trial modes in distribution only (KS-tested in the suite).
+
+    Args: as :func:`run_asynchronous_batch`, plus ``view`` and
+        ``pooled_chunk``.
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with continuous times.
@@ -1107,8 +1290,31 @@ def run_clock_view_batch(
     time_budget = np.inf if max_time is None else float(max_time)
     if time_budget < 0:
         raise ProtocolError(f"max_time must be non-negative, got {max_time}")
+    if pooled_chunk is not None and pooled_chunk < 0:
+        raise ProtocolError(f"pooled_chunk must be non-negative, got {pooled_chunk}")
+    if pooled_chunk and pooled_rng is None:
+        # The chunked block draws exist only where the serial draw order
+        # does not constrain the kernel; silently running the per-trial
+        # path instead would time/benchmark the wrong kernel.
+        raise ProtocolError(
+            "pooled_chunk requires pooled_rng (the per-trial path is pinned "
+            "to the serial draw order and cannot chunk its draws)"
+        )
     if n == 1:
         return _trivial_batch(protocol_name, graph, source_array, record_times, False)
+    if pooled_rng is not None and pooled_chunk != 0:
+        return _run_clock_view_pooled(
+            graph,
+            source_array,
+            mode,
+            pooled_rng,
+            step_budget,
+            time_budget,
+            record_times,
+            on_budget_exhausted,
+            _POOLED_CLOCK_CHUNK if pooled_chunk is None else int(pooled_chunk),
+            protocol_name,
+        )
 
     flat = flat_adjacency(graph)
     degrees = flat.degrees

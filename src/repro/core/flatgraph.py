@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
-__all__ = ["FlatAdjacency", "flat_adjacency"]
+__all__ = ["FlatAdjacency", "flat_adjacency", "cache_adjacency", "uncache_adjacency"]
 
 
 class FlatAdjacency:
@@ -48,6 +48,22 @@ class FlatAdjacency:
         self.indices = indices
         self.degrees = degrees
         self.num_vertices = n
+
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray) -> "FlatAdjacency":
+        """Wrap existing CSR arrays without touching a :class:`Graph`.
+
+        The arrays are adopted as-is (no copy), so views into a
+        :mod:`multiprocessing.shared_memory` buffer stay zero-copy all the
+        way into the simulation kernels.  Degrees are derived from
+        ``indptr``.
+        """
+        flat = cls.__new__(cls)
+        flat.indptr = np.asarray(indptr, dtype=np.int64)
+        flat.indices = np.asarray(indices, dtype=np.int64)
+        flat.degrees = np.diff(flat.indptr)
+        flat.num_vertices = int(flat.indptr.size - 1)
+        return flat
 
     def random_neighbors(self, vertices: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
         """Map each vertex to a uniform random neighbor.
@@ -119,7 +135,16 @@ def flat_adjacency(graph: Graph) -> FlatAdjacency:
             _CACHE_KEEPALIVE[key] = (graph_ref, flat)
             return flat
         del _CACHE_KEEPALIVE[key]
-    flat = FlatAdjacency(graph)
+    return cache_adjacency(graph, FlatAdjacency(graph))
+
+
+def cache_adjacency(graph: Graph, flat: FlatAdjacency) -> FlatAdjacency:
+    """Insert a pre-built :class:`FlatAdjacency` into the per-graph cache.
+
+    Used by the shared-memory parallel layer to pre-seed the cache with CSR
+    arrays that are views into a shared segment, so every later
+    ``flat_adjacency(graph)`` lookup in the worker is zero-copy.
+    """
     if len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
         # Drop entries whose graphs have been collected first, then the
         # least recently used.
@@ -128,5 +153,16 @@ def flat_adjacency(graph: Graph) -> FlatAdjacency:
             del _CACHE_KEEPALIVE[k]
         while len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
             _CACHE_KEEPALIVE.pop(next(iter(_CACHE_KEEPALIVE)))
-    _CACHE_KEEPALIVE[key] = (weakref.ref(graph), flat)
+    _CACHE_KEEPALIVE[id(graph)] = (weakref.ref(graph), flat)
     return flat
+
+
+def uncache_adjacency(graph: Graph) -> None:
+    """Drop ``graph``'s cache entry (if any) immediately.
+
+    Needed by the shared-memory layer when it retires a graph whose
+    :class:`FlatAdjacency` arrays are views into a segment about to be
+    closed: the cache would otherwise keep those views (and therefore the
+    mapping) alive until eviction.
+    """
+    _CACHE_KEEPALIVE.pop(id(graph), None)

@@ -51,6 +51,28 @@ async ``global``    yes           loss, churn, delay
 async clock views   yes           none (serial engine rejects them too)
 ``ppx``/``ppy``     yes           none (analysis-only processes)
 ==================  ============  =====================================
+
+**Parallel execution.**  Above the batch kernels sits the zero-copy
+multi-process layer: :func:`repro.analysis.parallel.run_trials_parallel`
+shards a trial budget across the session's persistent process pool
+(:mod:`repro.analysis.pool`; sized by ``REPRO_MAX_WORKERS``, start method
+via ``REPRO_MP_START_METHOD``), with every protocol of the table above
+supported through the same chunked ``run_trials`` calls the serial path
+makes:
+
+=====================  ========================================================
+transport              behaviour
+=====================  ========================================================
+``parallel="shared"``  default — workers write spreading times / coverage
+                       fractions straight into parent-owned shared-memory
+                       matrices, and graphs travel once as shared CSR arrays
+``parallel="pickle"``  legacy — graph pickled per chunk, samples pickled back
+=====================  ========================================================
+
+Both transports are bit-identical for a fixed ``(seed, trials,
+num_workers)`` (pinned by the equivalence harness) and reuse one pool
+across whole experiment sweeps (``sweep_family(parallel=True)``,
+``experiments.theorem1.run(parallel=True)``, ``experiments.scenarios``).
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.montecarlo import run_trials
+from repro.analysis.parallel import run_trials_parallel
 from repro.core.protocols import is_synchronous_protocol
 from repro.experiments.presets import get_preset
 from repro.experiments.records import ExperimentResult
@@ -64,6 +65,8 @@ def run(
     sizes: Optional[Sequence[int]] = None,
     protocols: Sequence[str] = ("pp", "pp-a"),
     scenario=None,
+    parallel: bool = False,
+    num_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run experiment E12 and return its result table.
 
@@ -77,6 +80,12 @@ def run(
             the default loss/churn sweep — the table then compares just that
             scenario against the clean baseline (this is what
             ``python -m repro run E12 --scenario ...`` passes).
+        parallel: shard every cell's trials across the session's persistent
+            process pool via the zero-copy shared-memory transport; the pool
+            and the per-graph CSR segments are reused across the whole
+            (graph, protocol, scenario) grid.  Changes the per-trial seed
+            spawning (reproducible, but a different draw than serial).
+        num_workers: worker override for the parallel path.
     """
     config = get_preset(preset)
     size_sweep = tuple(sizes) if sizes is not None else config.sizes
@@ -108,16 +117,20 @@ def run(
                 continue
             baseline_mean: Optional[float] = None
             for label, cell_scenario in sweep:
-                sample = run_trials(
-                    graph,
-                    0,
-                    protocol,
+                cell_kwargs = dict(
                     trials=config.trials,
                     seed=derive_generator(seed, "scenarios", graph.name, protocol, label),
                     batch="auto",
                     scenario=cell_scenario,
                     engine_options={"on_budget_exhausted": "partial"},
                 )
+                if parallel:
+                    sample = run_trials_parallel(
+                        graph, 0, protocol,
+                        num_workers=num_workers, parallel="shared", **cell_kwargs,
+                    )
+                else:
+                    sample = run_trials(graph, 0, protocol, **cell_kwargs)
                 mean = sample.mean
                 if label == "baseline":
                     baseline_mean = mean

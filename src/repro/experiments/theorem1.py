@@ -53,6 +53,8 @@ def run(
     families: Optional[Sequence[str]] = None,
     sizes: Optional[Sequence[int]] = None,
     batch: BatchSpec = True,
+    parallel: bool = False,
+    num_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run experiment E1 and return its result table.
 
@@ -67,6 +69,13 @@ def run(
             keeps even small presets off the per-trial Python loop; pass
             ``False`` to force serial runs or ``"auto"``/``"pooled"`` for
             the other :func:`~repro.analysis.montecarlo.run_trials` modes.
+        parallel: shard every sweep cell's trials across the session's
+            persistent process pool (:mod:`repro.analysis.pool`) through the
+            zero-copy shared-memory transport — the pool and the per-graph
+            CSR segments are reused across all grid points of the sweep.
+            Changes the per-trial seed spawning (reproducible, but a
+            different draw than the serial sweep).
+        num_workers: worker override for the parallel path.
     """
     config = get_preset(preset)
     family_names = tuple(families) if families is not None else DEFAULT_FAMILIES
@@ -85,6 +94,8 @@ def run(
             trials=config.trials,
             seed=seed,
             batch=batch,
+            parallel=parallel,
+            num_workers=num_workers,
         )
         constants_for_family: list[float] = []
         for comparison in sweep.comparisons:

@@ -306,3 +306,37 @@ class Graph:
         clone._degrees = self._degrees
         clone._name = name
         return clone
+
+    @classmethod
+    def from_csr(cls, indptr, indices, *, name: Optional[str] = None) -> "Graph":
+        """Rebuild a graph from CSR adjacency arrays produced by this library.
+
+        The trusted fast-path inverse of
+        :class:`repro.core.flatgraph.FlatAdjacency`: ``indptr``/``indices``
+        must describe a valid simple undirected graph with *sorted* neighbor
+        lists (exactly what ``FlatAdjacency`` stores for any :class:`Graph`).
+        No normalization or validation is performed, so the reconstruction
+        compares equal to the original graph while skipping the
+        ``normalize_edges`` sort entirely.  Used by the shared-memory
+        parallel layer to reattach a graph in worker processes from arrays
+        placed in a :mod:`multiprocessing.shared_memory` segment.
+
+        Building the adjacency/edge tuples is still one O(n + m) pass (the
+        serial engines and ``is_connected`` need them); the shared-memory
+        layer caches the reconstruction per worker per graph, so the cost
+        is paid once per (worker, graph), not per chunk.
+        """
+        ptr = indptr.tolist() if hasattr(indptr, "tolist") else [int(p) for p in indptr]
+        idx = indices.tolist() if hasattr(indices, "tolist") else [int(w) for w in indices]
+        n = len(ptr) - 1
+        if n < 1:
+            raise GraphError("a graph needs at least one vertex")
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._adjacency = tuple(tuple(idx[ptr[v] : ptr[v + 1]]) for v in range(n))
+        graph._edges = tuple(
+            (v, w) for v in range(n) for w in graph._adjacency[v] if v < w
+        )
+        graph._degrees = tuple(ptr[v + 1] - ptr[v] for v in range(n))
+        graph._name = name
+        return graph

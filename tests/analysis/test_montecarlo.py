@@ -105,6 +105,28 @@ class TestSampleStatistics:
         with pytest.raises(AnalysisError):
             a.merged_with(b)
 
+    def test_merged_classmethod_single_pass(self):
+        chunks = [
+            SpreadingTimeSample("pp", "g", 5, 0, (1.0, 2.0), {0.5: (0.5, 1.0)}),
+            SpreadingTimeSample("pp", "g", 5, 0, (3.0,), {0.5: (2.0,)}),
+            SpreadingTimeSample("pp", "g", 5, 0, (4.0, 5.0), {0.5: (3.0, 4.0)}),
+        ]
+        merged = SpreadingTimeSample.merged(chunks)
+        assert merged.times == (1.0, 2.0, 3.0, 4.0, 5.0)
+        assert merged.fraction_times[0.5] == (0.5, 1.0, 2.0, 3.0, 4.0)
+        assert merged.source == 0  # all chunks agreed
+        # Matches the pairwise chain exactly (the O(W^2) path it replaced).
+        chained = chunks[0].merged_with(chunks[1]).merged_with(chunks[2])
+        assert merged == chained
+
+    def test_merged_classmethod_validation(self):
+        with pytest.raises(AnalysisError):
+            SpreadingTimeSample.merged([])
+        a = SpreadingTimeSample("pp", "g", 5, 0, (1.0,))
+        b = SpreadingTimeSample("pp", "g", 6, 0, (1.0,))
+        with pytest.raises(AnalysisError):
+            SpreadingTimeSample.merged([a, b])
+
 
 class TestAdaptiveTrials:
     def test_stops_when_precise_enough(self):

@@ -94,3 +94,70 @@ class TestRunTrialsParallel:
             graph, 0, "pp-a", trials=6, seed=17, num_workers=2, fractions=(0.5,)
         )
         assert len(sample.fraction_times[0.5]) == 6
+
+
+class TestTransports:
+    """The zero-copy shared transport vs the legacy pickling transport."""
+
+    def test_invalid_transport_rejected(self):
+        graph = star_graph(8)
+        with pytest.raises(AnalysisError):
+            run_trials_parallel(graph, 0, "pp", trials=4, seed=1, parallel="mmap")
+
+    def test_shared_equals_pickle_bit_for_bit(self):
+        graph = complete_graph(20)
+        kwargs = dict(trials=11, seed=23, num_workers=3, fractions=(0.5, 0.9))
+        pickled = run_trials_parallel(graph, 0, "pp", parallel="pickle", **kwargs)
+        shared = run_trials_parallel(graph, 0, "pp", parallel="shared", **kwargs)
+        assert shared.times == pickled.times
+        assert shared.fraction_times == pickled.fraction_times
+        assert shared.source == pickled.source
+        assert shared.graph_name == pickled.graph_name
+
+    def test_shared_family_mode(self):
+        sample = run_trials_parallel(
+            "erdos_renyi",
+            0,
+            "pp",
+            trials=8,
+            seed=11,
+            size=32,
+            num_workers=2,
+            parallel="shared",
+        )
+        assert sample.num_trials == 8
+        assert sample.num_vertices == 32
+
+    def test_engine_options_thread_through_workers(self):
+        graph = complete_graph(12)
+        sample = run_trials_parallel(
+            graph,
+            0,
+            "pp-a",
+            trials=6,
+            seed=9,
+            num_workers=2,
+            engine_options={"view": "node_clocks"},
+        )
+        assert sample.num_trials == 6
+
+    def test_shared_scenario_spec_string(self):
+        graph = complete_graph(16)
+        sample = run_trials_parallel(
+            graph, 0, "pp", trials=6, seed=5, num_workers=2, scenario="loss:p=0.2"
+        )
+        assert sample.num_trials == 6
+
+    def test_forced_batch_failure_raised_in_parent(self):
+        graph = complete_graph(12)
+        with pytest.raises(AnalysisError):
+            run_trials_parallel(
+                graph,
+                0,
+                "pp",
+                trials=4,
+                seed=1,
+                num_workers=2,
+                batch=True,
+                engine_options={"record_trace": True},
+            )

@@ -1,0 +1,246 @@
+"""Lifecycle and stress tests for the persistent pool + shared-memory layer.
+
+The PR-4 contracts pinned here:
+
+* the session pool is created once and reused across sweep calls (no
+  per-call executor startup);
+* teardown releases every parent-owned shared-memory segment (attaching by
+  name afterwards fails — the segment-leak regression check the CI parallel
+  smoke job runs under both fork and spawn);
+* a crashed worker surfaces as a clean :class:`AnalysisError` and the next
+  call transparently gets a fresh pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.analysis import shm
+from repro.analysis.comparison import sweep_family
+from repro.analysis.parallel import run_trials_parallel
+from repro.analysis.pool import ExecutorHandle, get_pool, shutdown_pool
+from repro.errors import AnalysisError
+from repro.graphs.random_graphs import random_regular_graph
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_session():
+    """Isolate every test from pool state left behind by other tests."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture
+def graph():
+    return random_regular_graph(48, 4, seed=3)
+
+
+class TestExecutorHandle:
+    def test_lazy_creation_and_context_manager(self):
+        with ExecutorHandle(1) as handle:
+            assert not handle.alive
+            assert handle.submit(os.getpid).result() > 0
+            assert handle.alive
+            assert handle.creations == 1
+        assert not handle.alive
+
+    def test_ensure_workers_grows_but_never_shrinks(self):
+        handle = ExecutorHandle(1)
+        handle.ensure_workers(3)
+        assert handle.max_workers == 3
+        handle.ensure_workers(2)
+        assert handle.max_workers == 3
+        handle.shutdown()
+
+    def test_growth_deferred_by_a_lease_applies_later(self):
+        handle = ExecutorHandle(1)
+        handle.executor()  # live 1-worker executor
+        with handle.lease():
+            handle.ensure_workers(2)  # deferred: a call is in flight
+            assert handle.max_workers == 2
+            assert handle._executor_workers == 1
+        # The next idle ensure_workers call (every run_trials_parallel makes
+        # one) must apply the recorded growth rather than losing it.
+        handle.ensure_workers(2)
+        assert handle.submit(os.getpid).result() > 0
+        assert handle._executor_workers == 2
+        handle.shutdown()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(AnalysisError):
+            ExecutorHandle(0)
+
+    def test_invalid_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "threads")
+        handle = ExecutorHandle(1)
+        with pytest.raises(AnalysisError):
+            handle.executor()
+
+
+class TestPoolReuse:
+    def test_pool_reused_across_sweep_calls(self, graph):
+        handle = get_pool(2)
+        for round_index in range(3):
+            sample = run_trials_parallel(
+                graph, 0, "pp", trials=8, seed=round_index, num_workers=2
+            )
+            assert sample.num_trials == 8
+        assert get_pool() is handle
+        assert handle.creations == 1  # one executor for all three sweeps
+
+    def test_pool_reused_by_family_sweeps(self):
+        handle = get_pool(2)
+        for seed in range(3):
+            sweep = sweep_family(
+                "complete",
+                ["pp"],
+                sizes=[16, 24],
+                trials=6,
+                seed=seed,
+                parallel=True,
+                num_workers=2,
+            )
+            assert len(sweep.comparisons) == 2
+        assert get_pool() is handle
+        assert handle.creations == 1
+
+    def test_shared_graph_segment_cached_across_calls(self, graph):
+        run_trials_parallel(graph, 0, "pp", trials=6, seed=1, num_workers=2)
+        assert len(shm._SHARED_GRAPHS) == 1
+        run_trials_parallel(graph, 0, "pp-a", trials=6, seed=2, num_workers=2)
+        assert len(shm._SHARED_GRAPHS) == 1  # same graph, same segment
+
+
+class TestTeardown:
+    def test_shutdown_releases_graph_segments(self, graph):
+        run_trials_parallel(graph, 0, "pp", trials=6, seed=1, num_workers=2)
+        assert len(shm._SHARED_GRAPHS) == 1
+        (_, segment), = shm._SHARED_GRAPHS.values()
+        name = segment.name
+        shutdown_pool()
+        assert not shm._SHARED_GRAPHS
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_result_segments_released_per_call(self, graph):
+        # The times/fraction segments live only for the duration of the
+        # call; only the (cached) graph segment may remain afterwards.
+        run_trials_parallel(
+            graph, 0, "pp", trials=6, seed=1, num_workers=2, fractions=(0.5,)
+        )
+        assert len(shm._SHARED_GRAPHS) == 1
+        shm.release_shared_graphs()
+        assert not shm._SHARED_GRAPHS
+
+    def test_worker_cache_eviction_releases_adjacency_views(self):
+        # Attaching more graphs than the worker cache holds must actually
+        # release the evicted segments: the flat-adjacency cache entry (the
+        # zero-copy views into the segment) has to be dropped first, or
+        # close() raises BufferError and the mapping leaks.
+        from repro.core import flatgraph
+
+        graphs = [
+            random_regular_graph(16, 3, seed=s)
+            for s in range(shm._WORKER_CACHE_LIMIT + 3)
+        ]
+        names, attached = [], []
+        for g in graphs:
+            name = shm.share_graph(g)
+            names.append(name)
+            attached.append(shm.attach_graph(name, g.name))
+        try:
+            assert len(shm._ATTACHED_GRAPHS) <= shm._WORKER_CACHE_LIMIT
+            cached_names = set(shm._ATTACHED_GRAPHS)
+            evicted = [
+                g for name, g in zip(names, attached) if name not in cached_names
+            ]
+            assert evicted  # the loop overflowed the cache
+            for g in evicted:
+                assert id(g) not in flatgraph._CACHE_KEEPALIVE
+        finally:
+            for name in list(shm._ATTACHED_GRAPHS):
+                segment, g = shm._ATTACHED_GRAPHS.pop(name)
+                flatgraph.uncache_adjacency(g)
+                del g
+                segment.close()
+
+    def test_graph_segment_lru_eviction_unlinks(self):
+        graphs = [random_regular_graph(16, 3, seed=s) for s in range(shm._GRAPH_SEGMENT_LIMIT + 2)]
+        names = []
+        for g in graphs:
+            names.append(shm.share_graph(g))
+        assert len(shm._SHARED_GRAPHS) <= shm._GRAPH_SEGMENT_LIMIT
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=names[0])  # evicted and unlinked
+        shm.release_shared_graphs()
+        for name in names[-2:]:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_pinned_segment_survives_eviction_pressure(self):
+        # A pinned segment (an in-flight call from another thread) must not
+        # be LRU-evicted by a concurrent sweep registering many graphs.
+        pinned_graph = random_regular_graph(16, 3, seed=99)
+        pinned_name = shm.share_graph(pinned_graph)
+        shm.pin_segment(pinned_name)
+        try:
+            others = [
+                random_regular_graph(16, 3, seed=s)
+                for s in range(shm._GRAPH_SEGMENT_LIMIT + 3)
+            ]
+            for g in others:
+                shm.share_graph(g)
+            attachment = shared_memory.SharedMemory(name=pinned_name)  # still alive
+            attachment.close()
+        finally:
+            shm.unpin_segment(pinned_name)
+        shm.release_shared_graphs()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=pinned_name)  # unpinned -> released
+
+    def test_full_release_defers_pinned_unlink_to_final_unpin(self):
+        # shutdown_pool()/release_shared_graphs() issued while a shared
+        # call is in flight must still release that call's segment — at
+        # the final unpin, not never.
+        g = random_regular_graph(16, 3, seed=5)
+        name = shm.share_graph(g, pin=True)
+        shm.release_shared_graphs()
+        attachment = shared_memory.SharedMemory(name=name)  # in flight: alive
+        attachment.close()
+        shm.unpin_segment(name)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)  # deferred unlink happened
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_raises_clean_analysis_error(self, graph):
+        handle = get_pool(2)
+        victim = handle.submit(os.getpid).result()
+        os.kill(victim, signal.SIGKILL)
+        # Give the executor's management thread a moment to notice.
+        deadline = time.monotonic() + 5.0
+        raised = False
+        while time.monotonic() < deadline:
+            try:
+                run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
+            except AnalysisError as exc:
+                assert "crashed" in str(exc)
+                raised = True
+                break
+            else:
+                # The call raced the crash detection; kill again and retry.
+                try:
+                    os.kill(handle.submit(os.getpid).result(), signal.SIGKILL)
+                except Exception:
+                    pass  # pool already broken; the next call surfaces it
+        assert raised, "SIGKILLed worker never surfaced as AnalysisError"
+        # The handle was reset: the next call transparently gets new workers.
+        sample = run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
+        assert sample.num_trials == 8
+        assert get_pool() is handle

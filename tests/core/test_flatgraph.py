@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.flatgraph import FlatAdjacency, flat_adjacency
+from repro.core.flatgraph import FlatAdjacency, cache_adjacency, flat_adjacency
 from repro.graphs import cycle_graph, star_graph
+from repro.graphs.base import Graph
+from repro.graphs.random_graphs import random_regular_graph
 
 
 class TestFlatAdjacency:
@@ -93,3 +95,38 @@ class TestCache:
             flat_adjacency(graph)
         assert id(hot) in module._CACHE_KEEPALIVE
         assert flat_adjacency(hot) is hot_flat
+
+
+class TestCsrRoundTrip:
+    """The shared-memory transport's trusted CSR constructors."""
+
+    def test_from_arrays_adopts_views_without_copy(self):
+        graph = random_regular_graph(24, 4, seed=7)
+        original = FlatAdjacency(graph)
+        flat = FlatAdjacency.from_arrays(original.indptr, original.indices)
+        assert flat.indptr is original.indptr  # adopted, not copied
+        assert flat.num_vertices == graph.num_vertices
+        assert np.array_equal(flat.degrees, original.degrees)
+        uniforms = np.random.default_rng(1).random(24)
+        assert np.array_equal(
+            flat.random_neighbors_all(uniforms),
+            original.random_neighbors_all(uniforms),
+        )
+
+    def test_graph_from_csr_reconstructs_equal_graph(self):
+        graph = random_regular_graph(24, 4, seed=7)
+        flat = FlatAdjacency(graph)
+        rebuilt = Graph.from_csr(flat.indptr, flat.indices, name=graph.name)
+        assert rebuilt == graph  # same vertex count and edge tuple
+        assert rebuilt.degrees == graph.degrees
+        assert rebuilt.adjacency == graph.adjacency
+        assert rebuilt.name == graph.name
+        assert rebuilt.is_connected()
+
+    def test_cache_adjacency_preseeds_the_lookup(self):
+        graph = star_graph(12)
+        flat = FlatAdjacency.from_arrays(
+            FlatAdjacency(graph).indptr, FlatAdjacency(graph).indices
+        )
+        cache_adjacency(graph, flat)
+        assert flat_adjacency(graph) is flat

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from helpers.equivalence import KERNEL_CASES, assert_kernel_case, case_ids
+from helpers.equivalence import (
+    KERNEL_CASES,
+    PARALLEL_CASES,
+    assert_kernel_case,
+    assert_parallel_case,
+    case_ids,
+)
 from repro.core.batch_engine import (
     ASYNC_BATCH_PROTOCOLS,
     AUX_BATCH_PROTOCOLS,
@@ -22,6 +28,21 @@ from repro.core.batch_engine import (
 @pytest.mark.parametrize("case", KERNEL_CASES, ids=case_ids(KERNEL_CASES))
 def test_registered_kernel_matches_serial(case):
     assert_kernel_case(case)
+
+
+@pytest.mark.parametrize("case", PARALLEL_CASES, ids=case_ids(PARALLEL_CASES))
+def test_registered_parallel_transports_agree(case):
+    """The PR-4 gate: parallel="shared" ≡ parallel="pickle" ≡ serial replay."""
+    assert_parallel_case(case)
+
+
+def test_parallel_registry_covers_both_transports():
+    """The registry must stay non-empty and exercise coverage fractions,
+    scenarios, and a non-default asynchronous view at least once."""
+    assert PARALLEL_CASES
+    assert any(case.fractions for case in PARALLEL_CASES)
+    assert any(case.scenario is not None for case in PARALLEL_CASES)
+    assert any(dict(case.engine_options).get("view") for case in PARALLEL_CASES)
 
 
 def test_registry_covers_every_batched_kernel():

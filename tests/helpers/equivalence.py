@@ -25,16 +25,23 @@ Usage:
   ``tests/core/test_kernel_equivalence.py`` parametrizes over the registry,
   so adding a kernel to the registry *is* adding it to the equivalence
   gate.  Distribution-level checks share :func:`assert_same_distribution`.
+* **Parallel transports**: :data:`PARALLEL_CASES` registers
+  :func:`repro.analysis.parallel.run_trials_parallel` settings;
+  :func:`assert_parallel_case` pins the zero-copy ``parallel="shared"``
+  transport bit-identical to the legacy ``"pickle"`` transport *and* to a
+  serial replay of the same chunk plan through
+  :func:`~repro.analysis.montecarlo.run_trials` — the PR-4 contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from scipy import stats as scipy_stats
 
-from repro.analysis.montecarlo import run_trials
+from repro.analysis.montecarlo import SpreadingTimeSample, run_trials
+from repro.analysis.parallel import chunk_plan, run_trials_parallel
 from repro.core.batch_engine import run_batch
 from repro.core.protocols import spread
 from repro.graphs import complete_graph, cycle_graph, star_graph
@@ -53,10 +60,14 @@ __all__ = [
     "KernelCase",
     "KERNEL_CASES",
     "register_case",
+    "ParallelCase",
+    "PARALLEL_CASES",
+    "register_parallel_case",
     "case_ids",
     "assert_batch_matches_serial",
     "assert_kernel_case",
     "assert_trials_paths_agree",
+    "assert_parallel_case",
     "assert_same_distribution",
 ]
 
@@ -294,4 +305,138 @@ register_case(
     11,
     max_rounds=8,
     on_budget_exhausted="partial",
+)
+
+
+# --------------------------------------------------------------------- #
+# The parallel-transport registry (PR 4)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParallelCase:
+    """One registered ``run_trials_parallel`` equivalence setting.
+
+    Replayed three ways — serial chunk replay, ``parallel="pickle"``,
+    ``parallel="shared"`` — which must produce bit-identical samples for
+    the fixed ``(seed, trials, num_workers)`` triple.
+    """
+
+    id: str
+    protocol: str
+    graph_builder: Callable[[], Graph]
+    source: Union[int, str]
+    trials: int
+    seed: int
+    num_workers: int
+    fractions: tuple[float, ...] = ()
+    batch: Any = "auto"
+    scenario: Optional[Any] = None
+    engine_options: tuple[tuple[str, Any], ...] = ()
+
+    def options(self) -> Optional[dict]:
+        return dict(self.engine_options) or None
+
+
+PARALLEL_CASES: list[ParallelCase] = []
+
+
+def register_parallel_case(
+    id: str,
+    protocol: str,
+    graph_builder: Callable[[], Graph],
+    source,
+    *,
+    trials: int,
+    seed: int,
+    num_workers: int,
+    fractions=(),
+    batch="auto",
+    scenario=None,
+    **engine_options,
+) -> ParallelCase:
+    """Register a parallel-transport setting in the shared equivalence gate."""
+    case = ParallelCase(
+        id=id,
+        protocol=protocol,
+        graph_builder=graph_builder,
+        source=source,
+        trials=int(trials),
+        seed=int(seed),
+        num_workers=int(num_workers),
+        fractions=tuple(float(f) for f in fractions),
+        batch=batch,
+        scenario=scenario,
+        engine_options=tuple(sorted(engine_options.items())),
+    )
+    PARALLEL_CASES.append(case)
+    return case
+
+
+def assert_parallel_case(case: ParallelCase):
+    """Shared transport ≡ pickling transport ≡ serial chunk replay, bit for bit."""
+    graph = case.graph_builder()
+    options = case.options()
+    # The serial reference: replay the deterministic chunk plan through
+    # plain in-process run_trials calls and merge once — no executor, no
+    # transport, exactly the work the workers do.
+    _, plan = chunk_plan(case.trials, case.num_workers, case.seed)
+    expected = SpreadingTimeSample.merged(
+        [
+            run_trials(
+                graph,
+                case.source,
+                case.protocol,
+                trials=size,
+                seed=chunk_seed,
+                fractions=case.fractions,
+                batch=case.batch,
+                scenario=case.scenario,
+                engine_options=options,
+            )
+            for size, chunk_seed in plan
+        ]
+    )
+    kwargs = dict(
+        trials=case.trials,
+        seed=case.seed,
+        num_workers=case.num_workers,
+        fractions=case.fractions,
+        batch=case.batch,
+        scenario=case.scenario,
+        engine_options=options,
+    )
+    pickled = run_trials_parallel(
+        graph, case.source, case.protocol, parallel="pickle", **kwargs
+    )
+    shared = run_trials_parallel(
+        graph, case.source, case.protocol, parallel="shared", **kwargs
+    )
+    for label, sample in (("pickle", pickled), ("shared", shared)):
+        assert sample.times == expected.times, (
+            f"parallel={label!r} diverged from the serial chunk replay for {case.id}"
+        )
+        assert sample.fraction_times == expected.fraction_times
+        assert sample.source == expected.source
+        assert sample.graph_name == expected.graph_name
+        assert sample.num_vertices == expected.num_vertices
+    return shared
+
+
+register_parallel_case(
+    "parallel-sync-pp", "pp", _rr32, 1, trials=9, seed=123, num_workers=3,
+    fractions=(0.5, 0.9),
+)
+register_parallel_case(
+    "parallel-async-global", "pp-a", _rr24, 0, trials=8, seed=17, num_workers=2
+)
+register_parallel_case(
+    "parallel-random-source", "push", lambda: star_graph(16), "random",
+    trials=7, seed=5, num_workers=2,
+)
+register_parallel_case(
+    "parallel-scenario-loss", "pp", _rr24, 0, trials=6, seed=29, num_workers=2,
+    scenario=MessageLoss(0.3),
+)
+register_parallel_case(
+    "parallel-clock-view", "pp-a", lambda: complete_graph(12), 0,
+    trials=6, seed=31, num_workers=2, view="edge_clocks",
 )
