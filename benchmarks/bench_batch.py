@@ -65,7 +65,7 @@ from repro.core.batch_engine import run_clock_view_batch
 from repro.core.flatgraph import flat_adjacency
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import spawn_generators, spawn_seeds
-from repro.scenarios import MessageLoss
+from repro.scenarios import DynamicGraph, FamilyResampler, MessageLoss
 
 #: Trials per preset; the smoke preset keeps the whole file under ~10 s.
 TRIALS = {"smoke": 96, "quick": 256, "full": 768}
@@ -96,6 +96,40 @@ SWEEP_POINTS = 16
 SWEEP_WORKERS = 2
 SWEEP_GRAPH_SIZE = 128
 SWEEP_TRIALS = {"smoke": 24, "quick": 48, "full": 96}
+
+#: The async dynamic-graph gate (PR 5): the batched tick loop with the
+#: per-trial padded CSR vs the serial per-tick Python loop (the pre-PR-5
+#: fallback for this scenario).  The resampler draws from a prebuilt pool
+#: of graphs so every trial's graph genuinely changes each period while the
+#: Python graph-construction cost — identical per trial on both paths, and
+#: easily the largest term with a family resampler — stays out of the
+#: timed region: the gate times the kernels, not the family constructor.
+#: The batch width matches the trial count (one block), where the batched
+#: tick loop's fixed per-iteration cost amortizes fully.
+DYNAMIC_GRAPH_SIZE = 256
+DYNAMIC_PERIOD = 3
+DYNAMIC_POOL = 8
+DYNAMIC_TRIALS = {"smoke": 1024, "quick": 1536, "full": 2048}
+
+
+class _PooledGraphResampler:
+    """Draw the next graph uniformly from a prebuilt pool (picklable)."""
+
+    def __init__(self, graphs):
+        self.graphs = tuple(graphs)
+        self.family_name = f"pool({len(self.graphs)})"
+
+    def __call__(self, graph, rng):
+        return self.graphs[int(rng.integers(len(self.graphs)))]
+
+
+def _dynamic_scenario():
+    pool = [
+        random_regular_graph(DYNAMIC_GRAPH_SIZE, GRAPH_DEGREE, seed=100 + index)
+        for index in range(DYNAMIC_POOL)
+    ]
+    return DynamicGraph(_PooledGraphResampler(pool), period=DYNAMIC_PERIOD)
+
 
 #: The chunked pooled clock-view gate: per-view workloads sized so the
 #: unchunked baseline's per-tick (B, #clocks) argmin is the dominant cost
@@ -385,6 +419,63 @@ def test_batched_aux_speedup_over_serial(bench_preset, bench_graph, variant, ben
     assert speedup >= 5.0, (
         f"batched {variant} path is only {speedup:.2f}x the serial aux engine "
         f"({serial:.0f} vs {batched:.0f} trials/s)"
+    )
+
+
+def test_batched_dynamic_async_speedup_over_serial(bench_preset, bench_record):
+    """The PR-5 gate: batched dynamic-graph async (per-trial padded CSR in
+    the tick loop) >= 4x the serial engine it used to fall back to — while
+    double-checking the fixed-seed sample equality."""
+    trials = DYNAMIC_TRIALS[bench_preset]
+    graph = random_regular_graph(DYNAMIC_GRAPH_SIZE, GRAPH_DEGREE, seed=1)
+    kwargs = dict(scenario=_dynamic_scenario())
+    # Warm both paths (flat adjacency cache for the whole pool, allocator).
+    run_trials(graph, 0, "pp-a", trials=8, seed=0, batch=False, **kwargs)
+    run_trials(graph, 0, "pp-a", trials=8, seed=0, batch=8, **kwargs)
+
+    # Best of two runs per path: loaded CI runners put multi-hundred-ms
+    # noise spikes on single measurements (see the PR-4 gates).
+    serial_sample = run_trials(
+        graph, 0, "pp-a", trials=trials, seed=5, batch=False, **kwargs
+    )
+    batched_sample = run_trials(
+        graph, 0, "pp-a", trials=trials, seed=5, batch=trials, **kwargs
+    )
+    assert serial_sample.times == batched_sample.times  # exact equivalence
+    serial = max(
+        _throughput(
+            lambda: run_trials(
+                graph, 0, "pp-a", trials=trials, seed=5, batch=False, **kwargs
+            ),
+            trials,
+        )
+        for _ in range(2)
+    )
+    batched = max(
+        _throughput(
+            lambda: run_trials(
+                graph, 0, "pp-a", trials=trials, seed=5, batch=trials, **kwargs
+            ),
+            trials,
+        )
+        for _ in range(2)
+    )
+    speedup = batched / serial
+    print(
+        f"\nserial dynamic async {serial:.0f} trials/s, batched {batched:.0f} "
+        f"trials/s, speedup {speedup:.2f}x"
+    )
+    bench_record(
+        "batched_dynamic_async_vs_serial",
+        seconds=trials / batched,
+        speedup=speedup,
+        gate=4.0,
+        baseline_seconds=trials / serial,
+        trials=trials,
+    )
+    assert speedup >= 4.0, (
+        f"batched dynamic-graph async path is only {speedup:.2f}x the serial "
+        f"engine ({serial:.0f} vs {batched:.0f} trials/s)"
     )
 
 

@@ -1,0 +1,77 @@
+"""A small identity-keyed LRU cache shared by the per-graph memo layers.
+
+Several modules memoise values derived from immutable :class:`Graph`
+objects — :mod:`repro.core.flatgraph` caches CSR structures,
+:mod:`repro.scenarios.base` caches adversarial source picks, and
+:mod:`repro.graphs.properties` caches all-vertex eccentricities.  All of
+them need the same discipline: key by object identity (graphs are
+immutable, so identity caching is safe), guard against ``id()`` reuse with
+a weak reference liveness check, refresh recency on hits (Python dicts
+preserve insertion order, so delete-and-reinsert keeps the dict ordered
+least-recently-used first), and evict dead entries before the oldest live
+one.  This module holds the one implementation of that discipline.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Hashable, Optional
+
+__all__ = ["IdentityLRU"]
+
+
+class IdentityLRU:
+    """A bounded LRU cache of values derived from identity-keyed owners.
+
+    Entries are keyed by ``(id(owner), key)`` and carry a weak reference to
+    the owner: a hit whose owner has been collected (and whose ``id`` was
+    reused by a new object) is discarded instead of returned.  ``None`` is
+    not a cacheable value (it is the miss sentinel).
+
+    Args:
+        limit: maximum number of entries kept alive.
+    """
+
+    __slots__ = ("_limit", "_entries")
+
+    def __init__(self, limit: int) -> None:
+        self._limit = int(limit)
+        self._entries: dict[tuple[int, Hashable], tuple[weakref.ref, Any]] = {}
+
+    def get(self, owner: Any, key: Hashable = None) -> Optional[Any]:
+        """The cached value for ``(owner, key)``, or ``None`` on a miss."""
+        full_key = (id(owner), key)
+        entry = self._entries.get(full_key)
+        if entry is None:
+            return None
+        owner_ref, value = entry
+        if owner_ref() is not owner:
+            del self._entries[full_key]
+            return None
+        # Refresh recency so eviction drops the least-recently-*used*
+        # entry, not merely the oldest-inserted one.
+        del self._entries[full_key]
+        self._entries[full_key] = entry
+        return value
+
+    def put(self, owner: Any, value: Any, key: Hashable = None) -> Any:
+        """Insert a value, evicting dead entries first and then the LRU."""
+        if len(self._entries) >= self._limit:
+            dead = [k for k, (ref, _) in self._entries.items() if ref() is None]
+            for k in dead:
+                del self._entries[k]
+            while len(self._entries) >= self._limit:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[(id(owner), key)] = (weakref.ref(owner), value)
+        return value
+
+    def pop(self, owner: Any, key: Hashable = None) -> None:
+        """Drop the entry for ``(owner, key)`` immediately, if present."""
+        self._entries.pop((id(owner), key), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, owner_id: int) -> bool:
+        """Whether any entry belongs to the owner with this ``id()``."""
+        return any(entry_id == owner_id for entry_id, _ in self._entries)

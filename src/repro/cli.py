@@ -54,7 +54,55 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the registered experiments")
     subparsers.add_parser("protocols", help="list the registered rumor-spreading protocols")
     subparsers.add_parser("families", help="list the registered graph families")
-    subparsers.add_parser("scenarios", help="list the registered adversity scenarios")
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list the registered adversity scenarios, or sweep them (`scenarios sweep`)",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command")
+    sweep_parser = scenarios_sub.add_parser(
+        "sweep",
+        help="measure blowup curves over a (family x scenario-grid) product and emit a CSV",
+    )
+    sweep_parser.add_argument(
+        "--families",
+        default="star,random_regular_4",
+        help="comma-separated registered family names (default: star,random_regular_4)",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="SPEC[;SPEC...]",
+        help=(
+            "semicolon-separated scenario specs (e.g. 'loss:p=0.1;loss:p=0.3;"
+            "burst-loss:p_gb=0.2,p_bg=0.5,p_loss_bad=0.8'); the clean baseline "
+            "is always measured (default: a loss/burst/churn grid)"
+        ),
+    )
+    sweep_parser.add_argument("--size", type=int, default=128, help="vertices per family build")
+    sweep_parser.add_argument(
+        "--protocols", default="pp,pp-a", help="comma-separated protocol names"
+    )
+    sweep_parser.add_argument(
+        "--view",
+        default="global",
+        choices=["global", "node_clocks", "edge_clocks"],
+        help="asynchronous view used by the asynchronous protocols",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=64, help="trials per cell")
+    sweep_parser.add_argument("--seed", type=int, default=20160729)
+    sweep_parser.add_argument(
+        "--output", type=Path, default=Path("scenario_sweep.csv"),
+        help="CSV path for the blowup table (default: scenario_sweep.csv)",
+    )
+    sweep_parser.add_argument(
+        "--parallel", action="store_true",
+        help="shard every cell across the session's persistent process pool",
+    )
+    sweep_parser.add_argument(
+        "--num-workers", type=int, default=None,
+        help="worker processes for --parallel (default: CPU count, REPRO_MAX_WORKERS capped)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1 or 1")
@@ -82,6 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
             "'auto' batches when the setting allows it, 'pooled' shares one "
             "generator per batch.  All but 'pooled' are seed-for-seed identical."
         ),
+    )
+    run_parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help=(
+            "shard the experiment's Monte Carlo cells across the session's "
+            "persistent process pool (experiments that accept it, e.g. E1/E12; "
+            "zero-copy shared-memory transport)"
+        ),
+    )
+    run_parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="worker processes for --parallel (default: CPU count, REPRO_MAX_WORKERS capped)",
     )
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
@@ -124,7 +187,9 @@ def _command_families() -> int:
     return 0
 
 
-def _command_scenarios() -> int:
+def _command_scenarios(arguments: argparse.Namespace) -> int:
+    if getattr(arguments, "scenarios_command", None) == "sweep":
+        return _command_scenarios_sweep(arguments)
     from repro.scenarios import SCENARIOS
 
     for name in sorted(SCENARIOS):
@@ -133,6 +198,37 @@ def _command_scenarios() -> int:
         print(f"{'':>20}  params: {spec.parameters}")
     print()
     print('compose with "+", e.g. --scenario "loss:p=0.2+churn:crash_rate=0.05"')
+    print('sweep a grid with `scenarios sweep` (see `scenarios sweep --help`)')
+    return 0
+
+
+def _command_scenarios_sweep(arguments: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import DEFAULT_SWEEP_GRID, sweep_scenarios
+
+    grid = (
+        [part for part in arguments.grid.split(";") if part.strip()]
+        if arguments.grid is not None
+        else list(DEFAULT_SWEEP_GRID)
+    )
+    rows = sweep_scenarios(
+        [name.strip() for name in arguments.families.split(",") if name.strip()],
+        grid,
+        size=arguments.size,
+        protocols=[p.strip() for p in arguments.protocols.split(",") if p.strip()],
+        view=arguments.view,
+        trials=arguments.trials,
+        seed=arguments.seed,
+        output=arguments.output,
+        # An explicit worker count implies parallel mode, matching `run`.
+        parallel=arguments.parallel or arguments.num_workers is not None,
+        num_workers=arguments.num_workers,
+    )
+    for row in rows:
+        print(
+            f"{row['family']:>20}  {row['protocol']:>6}  {row['view']:>11}  "
+            f"{row['scenario']:<44}  mean={row['mean']:9.3f}  blowup={row['blowup']:6.2f}"
+        )
+    print(f"wrote {arguments.output} ({len(rows)} rows)")
     return 0
 
 
@@ -178,6 +274,15 @@ def _command_run(arguments: argparse.Namespace) -> int:
             "batch mode; the batched Monte Carlo suite is E1",
         )
         overrides["batch"] = _BATCH_MODES[arguments.batch]
+    if arguments.parallel or arguments.num_workers is not None:
+        _require_runner_param(
+            arguments.experiment,
+            "parallel",
+            "parallel mode; parallel-capable suites include E1 and E12",
+        )
+        overrides["parallel"] = True
+        if arguments.num_workers is not None:
+            overrides["num_workers"] = arguments.num_workers
     result = run_experiment(
         arguments.experiment, preset=arguments.preset, seed=arguments.seed, **overrides
     )
@@ -212,7 +317,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if arguments.command == "families":
             return _command_families()
         if arguments.command == "scenarios":
-            return _command_scenarios()
+            return _command_scenarios(arguments)
         if arguments.command == "run":
             return _command_run(arguments)
         if arguments.command == "run-all":

@@ -125,12 +125,20 @@ def run_asynchronous(
             the run stops before everyone is informed; ``"partial"`` returns
             the incomplete result.
         scenario: optional adversity scenario (or spec string) from
-            :mod:`repro.scenarios`.  Message loss, node churn (state updates
-            once per unit of simulated time), dynamic graphs (resampled
-            every ``period`` time units), and heterogeneous clock rates
-            (:class:`~repro.scenarios.Delay`) all apply; runtime scenarios
-            are only supported under the ``"global"`` view (the clock-queue
-            views raise :class:`~repro.errors.ScenarioError`).
+            :mod:`repro.scenarios`.  Message loss (independent or bursty),
+            node churn (random or targeted; state updates once per unit of
+            simulated time), dynamic graphs (resampled every ``period``
+            time units), and heterogeneous clock rates
+            (:class:`~repro.scenarios.Delay`) all apply, under every view.
+            The single exception is a dynamic graph under ``"edge_clocks"``
+            — resampling the graph would change the per-pair clock set
+            itself, so that combination raises
+            :class:`~repro.errors.ScenarioError` (use the ``"node_clocks"``
+            or ``"global"`` view).  Under the clock-queue views churn never
+            stops a clock (a crashed vertex's clocks keep ticking; its
+            exchanges are suppressed) and ``Delay`` reweights the per-clock
+            rates (vertex ``v`` ticks at rate ``r_v``; pair ``(v, w)`` at
+            rate ``r_v / deg(v)``).
 
     Returns:
         A :class:`SpreadingResult` with continuous informing times; the
@@ -138,10 +146,15 @@ def run_asynchronous(
     """
     _validate(graph, source, mode, view)
     scenario = as_scenario(scenario)
-    if scenario is not None and scenario.runtime_active() and view != "global":
+    if (
+        scenario is not None
+        and scenario.dynamic is not None
+        and view == "edge_clocks"
+    ):
         raise ScenarioError(
-            f"runtime scenarios are only supported under the 'global' asynchronous "
-            f"view, not {view!r}"
+            "dynamic-graph scenarios are not supported under the 'edge_clocks' "
+            "view: resampling the graph would change the per-pair clock set "
+            "itself; use the 'node_clocks' or 'global' view"
         )
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
@@ -174,8 +187,11 @@ def run_asynchronous(
         )
 
     rng = as_generator(seed)
+    runtime_scenario = (
+        scenario if scenario is not None and scenario.runtime_active() else None
+    )
     if view == "global":
-        if scenario is not None and scenario.runtime_active():
+        if runtime_scenario is not None:
             return _run_global_view_scenario(
                 graph,
                 source,
@@ -186,13 +202,21 @@ def run_asynchronous(
                 record_trace,
                 on_budget_exhausted,
                 protocol_name,
-                scenario,
+                runtime_scenario,
             )
         runner = _run_global_view
-    elif view == "node_clocks":
-        runner = _run_node_clock_view
-    else:
-        runner = _run_edge_clock_view
+        return runner(
+            graph,
+            source,
+            mode,
+            rng,
+            step_budget,
+            time_budget,
+            record_trace,
+            on_budget_exhausted,
+            protocol_name,
+        )
+    runner = _run_node_clock_view if view == "node_clocks" else _run_edge_clock_view
     return runner(
         graph,
         source,
@@ -203,6 +227,7 @@ def run_asynchronous(
         record_trace,
         on_budget_exhausted,
         protocol_name,
+        runtime_scenario,
     )
 
 
@@ -393,10 +418,13 @@ def _run_global_view_scenario(
 
     1. ``Delay`` rates, once, before any tick randomness;
     2. per refill chunk: exponential gaps, caller draws (``integers`` without
-       delay, uniforms with), neighbor uniforms, loss uniforms (if lossy);
-    3. interleaved at consumption time: one ``rng.random(n)`` churn update
-       per unit-time boundary crossed, and the resampler's own draws at each
-       dynamic-graph period boundary (churn before resample on ties).
+       delay, uniforms with), neighbor uniforms, loss uniforms (if a loss or
+       burst-loss component is present);
+    3. interleaved at consumption time: per unit-time epoch boundary
+       crossed, one ``rng.random(n)`` churn update (for churn models with
+       per-epoch randomness) then one scalar burst-channel draw; and the
+       resampler's own draws at each dynamic-graph period boundary (the
+       epoch fires before a resample on ties).
     """
     n = graph.num_vertices
     current_graph = graph
@@ -404,9 +432,11 @@ def _run_global_view_scenario(
     degrees = graph.degrees
 
     loss_prob = scenario.loss_prob
+    burst = scenario.burst
     churn = scenario.churn
     dynamic = scenario.dynamic
     delay = scenario.delay
+    lossy = loss_prob > 0.0 or burst is not None
 
     cum_rates = None
     total_rate = float(n)
@@ -416,8 +446,11 @@ def _run_global_view_scenario(
         total_rate = float(cum_rates[-1])
     scale = 1.0 / total_rate  # mean gap of the superposed clock
 
-    up: Optional[np.ndarray] = np.ones(n, dtype=bool) if churn is not None else None
-    next_churn = 1.0 if churn is not None else math.inf
+    up: Optional[np.ndarray] = churn.initial_up(graph) if churn is not None else None
+    churn_updates = churn is not None and churn.epoch_draws
+    bad = False
+    current_loss = loss_prob
+    next_epoch = 1.0 if (churn_updates or burst is not None) else math.inf
     next_resample = float(dynamic.period) if dynamic is not None else math.inf
 
     informed = [False] * n
@@ -447,20 +480,25 @@ def _run_global_view_scenario(
         else:
             caller_draws = rng.integers(0, n, this_batch).tolist()
         neighbor_uniforms = rng.random(this_batch).tolist()
-        loss_uniforms = rng.random(this_batch).tolist() if loss_prob > 0.0 else None
+        loss_uniforms = rng.random(this_batch).tolist() if lossy else None
         for index in range(this_batch):
             now += gaps[index]
             if now > time_budget:
                 break
             # Boundaries crossed in (previous tick, now] fire before the
-            # exchange at `now`, in chronological order.
+            # exchange at `now`, in chronological order (epoch updates —
+            # churn then burst — before a resample on ties).
             while True:
-                boundary = min(next_churn, next_resample)
+                boundary = min(next_epoch, next_resample)
                 if boundary > now:
                     break
-                if next_churn <= next_resample:
-                    up = churn.step(up, rng.random(n))
-                    next_churn += 1.0
+                if next_epoch <= next_resample:
+                    if churn_updates:
+                        up = churn.step(up, rng.random(n))
+                    if burst is not None:
+                        bad = bool(burst.step_state(bad, rng.random()))
+                        current_loss = float(burst.loss_at(bad))
+                    next_epoch += 1.0
                 else:
                     current_graph = dynamic.resample(current_graph, rng)
                     adjacency = current_graph.adjacency
@@ -482,7 +520,7 @@ def _run_global_view_scenario(
                 # the contact happened, the payload didn't arrive.
                 total_contacts += 1
             suppressed = (
-                loss_uniforms is not None and loss_uniforms[index] < loss_prob
+                loss_uniforms is not None and loss_uniforms[index] < current_loss
             ) or (up is not None and not (up[caller] and up[callee]))
             if suppressed:
                 informed_vertex, event_kind = None, None
@@ -528,6 +566,97 @@ def _run_global_view_scenario(
 
 
 # ---------------------------------------------------------------------- #
+# Shared scenario state for the clock-queue views
+# ---------------------------------------------------------------------- #
+class _ClockScenarioState:
+    """Per-trial scenario bookkeeping shared by both clock-queue runners.
+
+    Per-trial randomness order (mirrored exactly by
+    :func:`repro.core.batch_engine.run_clock_view_batch`):
+
+    1. ``Delay`` rates, once, before the initial next-tick block;
+    2. the initial next-tick block (``rng.exponential(1 / r_v, n)`` for
+       ``node_clocks``; one per-pair block with scale ``deg(v) / r_v`` in
+       CSR pair order for ``edge_clocks``);
+    3. per tick popped at time ``now``: every boundary crossed in
+       (previous tick, now] fires chronologically — per epoch one
+       ``rng.random(n)`` churn update (for churn models with per-epoch
+       randomness) then one scalar burst draw; per dynamic-graph period
+       boundary the resampler's own draws (epoch before resample on ties;
+       clocks are never redrawn — ``node_clocks`` clocks are graph
+       independent, and ``edge_clocks`` rejects dynamic graphs);
+    4. the tick's own draws, in order: neighbor uniform (``node_clocks``
+       only), loss uniform (whenever a loss or burst-loss component is
+       present), reschedule exponential.
+    """
+
+    __slots__ = (
+        "loss_prob", "burst", "churn", "dynamic", "delay", "lossy", "rates",
+        "up", "churn_updates", "bad", "current_loss", "next_epoch",
+        "next_resample", "current_graph", "total_contacts",
+    )
+
+    def __init__(self, graph: Graph, scenario: Optional[Scenario], rng: np.random.Generator):
+        self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
+        self.burst = scenario.burst if scenario is not None else None
+        self.churn = scenario.churn if scenario is not None else None
+        self.dynamic = scenario.dynamic if scenario is not None else None
+        self.delay = scenario.delay if scenario is not None else None
+        self.lossy = self.loss_prob > 0.0 or self.burst is not None
+        # Delay rates are the first randomness the trial consumes.
+        self.rates = (
+            self.delay.draw_rates(graph, rng) if self.delay is not None else None
+        )
+        self.up = self.churn.initial_up(graph) if self.churn is not None else None
+        self.churn_updates = self.churn is not None and self.churn.epoch_draws
+        self.bad = False
+        self.current_loss = self.loss_prob
+        self.next_epoch = (
+            1.0 if (self.churn_updates or self.burst is not None) else math.inf
+        )
+        self.next_resample = (
+            float(self.dynamic.period) if self.dynamic is not None else math.inf
+        )
+        self.current_graph = graph
+        self.total_contacts = 0
+
+    def cross_boundaries(self, now: float, n: int, rng: np.random.Generator) -> bool:
+        """Fire every epoch/resample boundary in (previous tick, now].
+
+        Returns whether a resample occurred (the caller must refresh its
+        adjacency view).
+        """
+        resampled = False
+        while True:
+            boundary = min(self.next_epoch, self.next_resample)
+            if boundary > now:
+                return resampled
+            if self.next_epoch <= self.next_resample:
+                if self.churn_updates:
+                    self.up = self.churn.step(self.up, rng.random(n))
+                if self.burst is not None:
+                    self.bad = bool(self.burst.step_state(self.bad, rng.random()))
+                    self.current_loss = float(self.burst.loss_at(self.bad))
+                self.next_epoch += 1.0
+            else:
+                self.current_graph = self.dynamic.resample(self.current_graph, rng)
+                self.next_resample += float(self.dynamic.period)
+                resampled = True
+
+    def suppresses(self, caller: int, callee: int, rng: np.random.Generator) -> bool:
+        """Consume the tick's loss draw and apply the loss/churn masks.
+
+        Also maintains the caller-must-be-up contact accounting (matching
+        the global view's scenario runner).
+        """
+        if self.up is None or self.up[caller]:
+            self.total_contacts += 1
+        lost = self.lossy and rng.random() < self.current_loss
+        down = self.up is not None and not (self.up[caller] and self.up[callee])
+        return lost or down
+
+
+# ---------------------------------------------------------------------- #
 # View 2: one Poisson clock of rate 1 per vertex (priority queue)
 # ---------------------------------------------------------------------- #
 def _run_node_clock_view(
@@ -540,8 +669,10 @@ def _run_node_clock_view(
     record_trace: bool,
     on_budget_exhausted: str,
     protocol_name: str,
+    scenario: Optional[Scenario] = None,
 ) -> SpreadingResult:
     n = graph.num_vertices
+    state = _ClockScenarioState(graph, scenario, rng) if scenario is not None else None
     adjacency = graph.adjacency
     degrees = graph.degrees
 
@@ -557,7 +688,13 @@ def _run_node_clock_view(
     pull_infections = 0
     trace: list[ContactEvent] = []
 
-    first_ticks = rng.exponential(1.0, n)
+    if state is not None and state.rates is not None:
+        # Vertex v ticks at rate r_v: gaps are Exp(1 / r_v).
+        scales = 1.0 / state.rates
+        first_ticks = rng.exponential(scales)
+    else:
+        scales = None
+        first_ticks = rng.exponential(1.0, n)
     heap: list[tuple[float, int]] = [(float(first_ticks[v]), v) for v in range(n)]
     heapq.heapify(heap)
 
@@ -568,12 +705,18 @@ def _run_node_clock_view(
         now, caller = heapq.heappop(heap)
         if now > time_budget:
             break
+        if state is not None and state.cross_boundaries(now, n, rng):
+            adjacency = state.current_graph.adjacency
+            degrees = state.current_graph.degrees
         steps += 1
         degree = degrees[caller]
         callee = adjacency[caller][min(int(rng.random() * degree), degree - 1)]
-        informed_vertex, event_kind = _exchange(
-            mode, caller, callee, informed, informed_time, parent, kind, now
-        )
+        if state is not None and state.suppresses(caller, callee, rng):
+            informed_vertex, event_kind = None, None
+        else:
+            informed_vertex, event_kind = _exchange(
+                mode, caller, callee, informed, informed_time, parent, kind, now
+            )
         if event_kind == "push":
             push_infections += 1
             num_informed += 1
@@ -590,7 +733,8 @@ def _run_node_clock_view(
                     kind=event_kind,
                 )
             )
-        heapq.heappush(heap, (now + float(rng.exponential(1.0)), caller))
+        reschedule_scale = 1.0 if scales is None else float(scales[caller])
+        heapq.heappush(heap, (now + float(rng.exponential(reschedule_scale)), caller))
 
     return _build_result(
         protocol_name,
@@ -605,7 +749,9 @@ def _run_node_clock_view(
         trace,
         record_trace,
         on_budget_exhausted,
-        f"{step_budget} steps / time {time_budget}",
+        f"{step_budget} steps / time {time_budget}"
+        + (f" under {scenario.spec()}" if scenario is not None else ""),
+        total_contacts=state.total_contacts if state is not None else None,
     )
 
 
@@ -622,8 +768,10 @@ def _run_edge_clock_view(
     record_trace: bool,
     on_budget_exhausted: str,
     protocol_name: str,
+    scenario: Optional[Scenario] = None,
 ) -> SpreadingResult:
     n = graph.num_vertices
+    state = _ClockScenarioState(graph, scenario, rng) if scenario is not None else None
 
     informed = [False] * n
     informed[source] = True
@@ -638,14 +786,19 @@ def _run_edge_clock_view(
     trace: list[ContactEvent] = []
 
     # Ordered pairs (v, w) for every edge {v, w}: clock rate 1/deg(v) means
-    # the inter-tick times have mean deg(v).
+    # the inter-tick times have mean deg(v) — or deg(v)/r_v under a Delay,
+    # so v's pair clocks still superpose to v's own rate r_v.
+    rates = state.rates if state is not None else None
     ordered_pairs: list[tuple[int, int]] = []
+    pair_scales: list[float] = []
     for v in range(n):
+        scale = graph.degree(v) if rates is None else graph.degree(v) / float(rates[v])
         for w in graph.neighbors(v):
             ordered_pairs.append((v, w))
+            pair_scales.append(scale)
     heap: list[tuple[float, int]] = []
-    for index, (v, _w) in enumerate(ordered_pairs):
-        first = float(rng.exponential(graph.degree(v)))
+    for index in range(len(ordered_pairs)):
+        first = float(rng.exponential(pair_scales[index]))
         heap.append((first, index))
     heapq.heapify(heap)
 
@@ -656,11 +809,16 @@ def _run_edge_clock_view(
         now, pair_index = heapq.heappop(heap)
         if now > time_budget:
             break
+        if state is not None:
+            state.cross_boundaries(now, n, rng)  # dynamic is rejected upstream
         steps += 1
         caller, callee = ordered_pairs[pair_index]
-        informed_vertex, event_kind = _exchange(
-            mode, caller, callee, informed, informed_time, parent, kind, now
-        )
+        if state is not None and state.suppresses(caller, callee, rng):
+            informed_vertex, event_kind = None, None
+        else:
+            informed_vertex, event_kind = _exchange(
+                mode, caller, callee, informed, informed_time, parent, kind, now
+            )
         if event_kind == "push":
             push_infections += 1
             num_informed += 1
@@ -677,7 +835,9 @@ def _run_edge_clock_view(
                     kind=event_kind,
                 )
             )
-        heapq.heappush(heap, (now + float(rng.exponential(graph.degree(caller))), pair_index))
+        heapq.heappush(
+            heap, (now + float(rng.exponential(pair_scales[pair_index])), pair_index)
+        )
 
     return _build_result(
         protocol_name,
@@ -692,5 +852,7 @@ def _run_edge_clock_view(
         trace,
         record_trace,
         on_budget_exhausted,
-        f"{step_budget} steps / time {time_budget}",
+        f"{step_budget} steps / time {time_budget}"
+        + (f" under {scenario.spec()}" if scenario is not None else ""),
+        total_contacts=state.total_contacts if state is not None else None,
     )

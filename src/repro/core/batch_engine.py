@@ -44,16 +44,21 @@ trial-for-trial with spawned seeds (the shared harness in
 ``tests/helpers/equivalence.py`` pins exactly this contract for every
 kernel).
 
-**Adversity scenarios.**  Both kernels accept the ``scenario=`` argument of
-:mod:`repro.scenarios` and implement the perturbations as vectorised
+**Adversity scenarios.**  Every kernel accepts the ``scenario=`` argument
+of :mod:`repro.scenarios` and implements the perturbations as vectorised
 ``(B, n)`` masks, consuming per-trial scenario randomness in the same
-documented order as the serial engines (resample → churn → contacts → loss;
-``Delay`` rates once at trial start), so fixed-seed serial/batch agreement
-holds under scenarios too.  The synchronous kernel covers loss, churn, and
-dynamic graphs (per-trial stacked CSR rebuilt at each period boundary); the
-asynchronous kernel covers loss, churn, and delay (per-trial graph
-processes do not vectorise across trials, so dynamic-graph async runs fall
-back to the serial engine — see :func:`is_batchable`).
+documented order as the serial engines (resample → churn → burst →
+contacts → loss; ``Delay`` rates once at trial start), so fixed-seed
+serial/batch agreement holds under scenarios too.  The synchronous kernel
+covers loss (independent or bursty), churn (random or targeted), and
+dynamic graphs (one concatenated CSR rebuilt for all trials at each shared
+round boundary); the asynchronous kernels — the ``"global"`` tick loop and
+both clock-queue views — cover all of those plus ``Delay``, with dynamic
+graphs carried as a *per-trial padded* stacked CSR (:class:`_TrialGraphs`)
+whose rows are replaced independently at each trial's own period boundary.
+The single rejected combination is a dynamic graph under the
+``"edge_clocks"`` view, where the serial engine refuses too (resampling
+would change the per-pair clock set itself) — see :func:`is_batchable`.
 
 **Pooled RNG mode.**  Passing ``pooled_rng=`` replaces the per-trial
 generators with one shared generator drawing whole ``(B, n)`` matrices at
@@ -143,12 +148,11 @@ def is_batchable(
     asynchronous push / pull / push–pull under all three asynchronous
     views), the auxiliary processes ``ppx``/``ppy``, and the times-only
     options; anything needing parents or traces falls back to the serial
-    engines.  Scenarios batch except where the serial engine itself rejects
-    the combination — a :class:`~repro.scenarios.Delay` on a synchronous
-    protocol, any runtime scenario on an auxiliary process or under a
-    clock-queue view (the serial engines raise the descriptive errors) —
-    and a dynamic graph on an asynchronous protocol (per-trial graph
-    processes do not vectorise across trials).
+    engines.  Every runtime scenario batches except where the serial engine
+    itself rejects the combination (so the fallback path raises the
+    descriptive error): a :class:`~repro.scenarios.Delay` on a synchronous
+    protocol, a :class:`~repro.scenarios.DynamicGraph` under the
+    ``edge_clocks`` view, and any runtime scenario on an auxiliary process.
     """
     options = dict(engine_options or {})
     if options.pop("record_trace", False):
@@ -166,10 +170,11 @@ def is_batchable(
         view = options.get("view", "global")
         if view not in ASYNC_VIEWS:
             return False
-        if view == "global":
-            if scenario is not None and scenario.dynamic is not None:
-                return False
-        elif scenario is not None and scenario.runtime_active():
+        if (
+            view == "edge_clocks"
+            and scenario is not None
+            and scenario.dynamic is not None
+        ):
             return False
         return set(options) <= _ASYNC_OPTIONS
     return False
@@ -273,6 +278,147 @@ def _raise_incomplete(
     )
 
 
+class _TrialGraphs:
+    """Per-trial dynamic graphs as one padded ``(B, ·)`` stacked CSR.
+
+    The asynchronous kernels resample graphs at *per-trial* simulated-time
+    boundaries, so — unlike the synchronous kernel, whose rounds are global
+    and can rebuild one concatenated CSR for every trial at once — each
+    trial's CSR row must be replaceable independently.  Rows are padded to
+    a shared capacity (the widest neighbor array seen so far); a resample
+    that outgrows it grows the pad for all rows.
+
+    The arrays are kept flat — ``(B * n,)`` degree/start tables and a
+    raveled ``(B * width,)`` neighbor array — so the per-tick
+    :meth:`callees` gather is three 1-D ``np.take`` calls, the same memory
+    traffic as the static-graph fast path, instead of 2-D fancy indexing.
+    """
+
+    __slots__ = ("graphs", "num_vertices", "width", "degrees", "rel_start", "indices")
+
+    def __init__(self, graph: Graph, batch: int) -> None:
+        flat = flat_adjacency(graph)
+        self.graphs: list[Graph] = [graph] * batch
+        self.num_vertices = flat.num_vertices
+        self.width = flat.indices.size
+        self.degrees = np.tile(flat.degrees, batch)
+        self.rel_start = np.tile(flat.indptr[:-1], batch)
+        self.indices = np.tile(flat.indices, batch)
+
+    def resample(self, row: int, dynamic, rng: np.random.Generator) -> None:
+        """Replace one trial's graph (and CSR row) with a fresh sample."""
+        new_graph = dynamic.resample(self.graphs[row], rng)
+        self.graphs[row] = new_graph
+        # The identity-keyed cache matters when the resampler reuses graph
+        # objects (pool-based resamplers): the CSR rebuild collapses to a
+        # lookup plus a row memcpy.
+        flat = flat_adjacency(new_graph)
+        needed = flat.indices.size
+        if needed > self.width:
+            batch = len(self.graphs)
+            grown = np.zeros(batch * needed, dtype=self.indices.dtype)
+            view_old = self.indices.reshape(batch, self.width)
+            grown.reshape(batch, needed)[:, : self.width] = view_old
+            self.indices = grown
+            self.width = needed
+        n = self.num_vertices
+        self.degrees[row * n : (row + 1) * n] = flat.degrees
+        self.rel_start[row * n : (row + 1) * n] = flat.indptr[:-1]
+        self.indices[row * self.width : row * self.width + needed] = flat.indices
+
+    def callees(
+        self, rows: np.ndarray, callers: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """One uniform random neighbor per (trial row, caller) pair."""
+        return self.callees_at(
+            rows * self.num_vertices + callers, rows * self.width, uniforms
+        )
+
+    def callees_at(
+        self, pos: np.ndarray, row_offsets: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`callees` with the flat (row, caller) positions and per-row
+        neighbor-array offsets precomputed (hot-loop callers cache them)."""
+        deg = self.degrees.take(pos, mode="clip")
+        offsets = (uniforms * deg).astype(np.int64)
+        np.minimum(offsets, deg - 1, out=offsets)
+        offsets += self.rel_start.take(pos, mode="clip")
+        offsets += row_offsets
+        return self.indices.take(offsets, mode="clip")
+
+
+class _ScenarioParts:
+    """The per-category scenario components a batched kernel reads.
+
+    One unpack shared by the kernels so the ``lossy`` /
+    ``churn_updates`` / epoch bookkeeping cannot drift between them.
+    """
+
+    __slots__ = ("loss_prob", "burst", "churn", "dynamic", "delay", "lossy", "churn_updates")
+
+    def __init__(self, scenario) -> None:
+        self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
+        self.burst = scenario.burst if scenario is not None else None
+        self.churn = scenario.churn if scenario is not None else None
+        self.dynamic = scenario.dynamic if scenario is not None else None
+        self.delay = scenario.delay if scenario is not None else None
+        self.lossy = self.loss_prob > 0.0 or self.burst is not None
+        self.churn_updates = self.churn is not None and self.churn.epoch_draws
+
+    @property
+    def needs_epochs(self) -> bool:
+        """Whether unit-time epoch boundaries carry any state update."""
+        return self.churn_updates or self.burst is not None
+
+    def initial_up(self, graph: Graph, batch: int) -> Optional[np.ndarray]:
+        """The ``(B, n)`` up/down matrix at trial start, or ``None``."""
+        if self.churn is None:
+            return None
+        return np.tile(self.churn.initial_up(graph), (batch, 1))
+
+    def loss_threshold(self, bad: Optional[np.ndarray], rows=None) -> Union[float, np.ndarray]:
+        """Per-row loss probability (scalar without a burst component)."""
+        if self.burst is None:
+            return self.loss_prob
+        states = bad if rows is None else bad[rows]
+        return np.where(states, self.burst.p_loss_bad, self.burst.p_loss_good)
+
+    def cross_boundaries(
+        self,
+        b: int,
+        t: float,
+        rng: np.random.Generator,
+        n: int,
+        up: Optional[np.ndarray],
+        bad: Optional[np.ndarray],
+        next_epoch: Optional[np.ndarray],
+        next_resample: Optional[np.ndarray],
+        trial_graphs: Optional["_TrialGraphs"],
+    ) -> None:
+        """Fire trial ``b``'s epoch/resample boundaries up to time ``t``.
+
+        The single definition of the batched kernels' boundary interleave —
+        chronological order, epoch (churn update, then burst draw) before a
+        resample on ties — matching the serial engines' draw order exactly.
+        All three batch tick loops call this, so the equivalence-pinned
+        contract cannot drift between them.
+        """
+        while True:
+            epoch_at = next_epoch[b] if next_epoch is not None else np.inf
+            resample_at = next_resample[b] if next_resample is not None else np.inf
+            if min(epoch_at, resample_at) > t:
+                return
+            if epoch_at <= resample_at:
+                if self.churn_updates:
+                    up[b] = self.churn.step(up[b], rng.random(n))
+                if bad is not None:
+                    bad[b] = self.burst.step_state(bad[b], rng.random())
+                next_epoch[b] += 1.0
+            else:
+                trial_graphs.resample(b, self.dynamic, rng)
+                next_resample[b] += float(self.dynamic.period)
+
+
 # ---------------------------------------------------------------------- #
 # Synchronous batch kernel
 # ---------------------------------------------------------------------- #
@@ -318,9 +464,9 @@ def run_synchronous_batch(
         on_budget_exhausted: ``"error"`` raises :class:`SimulationError` if
             any trial fails to complete; ``"partial"`` marks such trials
             incomplete instead.
-        scenario: optional adversity scenario; loss, churn, and dynamic
-            graphs apply (``Delay`` raises — synchronous rounds have no
-            clocks).
+        scenario: optional adversity scenario; loss (independent or
+            bursty), churn (random or targeted), and dynamic graphs apply
+            (``Delay`` raises — synchronous rounds have no clocks).
         pooled_rng: one shared generator replacing the per-trial ones (no
             serial equivalence; distribution-level agreement only).
 
@@ -331,18 +477,16 @@ def run_synchronous_batch(
         graph, sources, mode, SYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
     )
     scenario = as_scenario(scenario)
-    loss_prob = 0.0
-    churn = None
-    dynamic = None
-    if scenario is not None:
-        if scenario.delay is not None:
-            raise ScenarioError(
-                "Delay skews asynchronous clock rates; synchronous rounds have no "
-                "clocks to slow down — use an asynchronous protocol"
-            )
-        loss_prob = scenario.loss_prob
-        churn = scenario.churn
-        dynamic = scenario.dynamic
+    if scenario is not None and scenario.delay is not None:
+        raise ScenarioError(
+            "Delay skews asynchronous clock rates; synchronous rounds have no "
+            "clocks to slow down — use an asynchronous protocol"
+        )
+    parts = _ScenarioParts(scenario)
+    loss_prob = parts.loss_prob
+    burst = parts.burst
+    churn = parts.churn
+    dynamic = parts.dynamic
     protocol_name = _SYNC_MODE_NAMES[mode]
     n = graph.num_vertices
     batch = source_array.size
@@ -401,13 +545,15 @@ def run_synchronous_batch(
     row_offsets = (np.arange(batch, dtype=idx_dtype) * idx_dtype(n))[:, None]
 
     # Scenario state: per-trial up/down churn matrix, draw buffers for the
-    # churn and loss uniforms, and — under a dynamic graph — per-trial
-    # current graphs with a stacked CSR built at each resample boundary
-    # (degrees and flat start offsets per (trial, vertex) into one
-    # concatenated neighbor array).  All compacted alongside the live set.
-    up_live = np.ones((batch, n), dtype=bool) if churn is not None else None
-    churn_buf = np.empty((batch, n)) if churn is not None else None
-    loss_buf = np.empty((batch, n)) if loss_prob > 0.0 else None
+    # churn and loss uniforms, per-trial burst channel states, and — under
+    # a dynamic graph — per-trial current graphs with a stacked CSR built
+    # at each resample boundary (degrees and flat start offsets per
+    # (trial, vertex) into one concatenated neighbor array).  All compacted
+    # alongside the live set.
+    up_live = parts.initial_up(graph, batch)
+    churn_buf = np.empty((batch, n)) if parts.churn_updates else None
+    loss_buf = np.empty((batch, n)) if parts.lossy else None
+    bad_live = np.zeros(batch, dtype=bool) if burst is not None else None
     current_graphs: Optional[list[Graph]] = [graph] * batch if dynamic is not None else None
     stacked: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
     row_offsets_wide = (
@@ -433,7 +579,7 @@ def run_synchronous_batch(
                 [f.indptr[:-1] + base for f, base in zip(flats, bases)]
             )
             stacked = (degrees_st, start_st, indices_cat)
-        if churn is not None:
+        if parts.churn_updates:
             churn_draws = churn_buf[:live]
             if pooled_rng is not None:
                 pooled_rng.random(out=churn_draws)
@@ -441,6 +587,14 @@ def run_synchronous_batch(
                 for i in range(live):
                     live_rngs[i].random(out=churn_draws[i])
             up_live = churn.step(up_live, churn_draws)
+        if burst is not None:
+            if pooled_rng is not None:
+                burst_draws = pooled_rng.random(live)
+            else:
+                # One scalar channel draw per live trial per round — the
+                # exact draw the serial engine makes.
+                burst_draws = np.array([live_rngs[i].random() for i in range(live)])
+            bad_live = burst.step_state(bad_live, burst_draws)
         draws = scratch[:live]
         if pooled_rng is not None:
             pooled_rng.random(out=draws)
@@ -479,14 +633,17 @@ def run_synchronous_batch(
             # Both endpoints must be up: crashed vertices neither initiate
             # nor answer.
             exchange_ok = up_live & np.take(up_live.reshape(-1), contact_flat, mode="clip")
-        if loss_prob > 0.0:
+        if parts.lossy:
             loss_draws = loss_buf[:live]
             if pooled_rng is not None:
                 pooled_rng.random(out=loss_draws)
             else:
                 for i in range(live):
                     live_rngs[i].random(out=loss_draws[i])
-            kept = loss_draws >= loss_prob
+            if burst is None:
+                kept = loss_draws >= loss_prob
+            else:
+                kept = loss_draws >= parts.loss_threshold(bad_live)[:, None]
             exchange_ok = kept if exchange_ok is None else exchange_ok & kept
 
         # Everything below reads the round-start snapshot of the informed
@@ -540,6 +697,8 @@ def run_synchronous_batch(
                 live_rngs = [live_rngs[i] for i in keep]
             if up_live is not None:
                 up_live = up_live[keep]
+            if bad_live is not None:
+                bad_live = bad_live[keep]
             if current_graphs is not None:
                 current_graphs = [current_graphs[i] for i in keep]
             if stacked is not None:
@@ -600,8 +759,10 @@ def run_asynchronous_batch(
     sizes and order as the serial
     :func:`~repro.core.async_engine.run_asynchronous` global view, so
     fixed-seed results agree trial-for-trial with the serial engine —
-    scenarios included (loss, churn, and delay batch; a dynamic graph does
-    not and raises :class:`~repro.errors.ScenarioError` here).
+    scenarios included (loss, burst loss, churn, targeted churn, delay,
+    and dynamic graphs all batch; dynamic graphs ride a per-trial padded
+    stacked CSR whose rows are resampled at each trial's own period
+    boundaries).
 
     Args: as :func:`run_synchronous_batch`, with the asynchronous budgets
         ``max_steps`` (clock ticks) and ``max_time`` (simulated time).
@@ -613,18 +774,10 @@ def run_asynchronous_batch(
         graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
     )
     scenario = as_scenario(scenario)
-    loss_prob = 0.0
-    churn = None
-    delay = None
-    if scenario is not None:
-        if scenario.dynamic is not None:
-            raise ScenarioError(
-                "dynamic-graph scenarios do not batch for asynchronous protocols "
-                "(per-trial graph processes); use the serial engine"
-            )
-        loss_prob = scenario.loss_prob
-        churn = scenario.churn
-        delay = scenario.delay
+    parts = _ScenarioParts(scenario)
+    burst = parts.burst
+    delay = parts.delay
+    dynamic = parts.dynamic
     protocol_name = _ASYNC_MODE_NAMES[mode]
     n = graph.num_vertices
     batch = source_array.size
@@ -642,6 +795,7 @@ def run_asynchronous_batch(
     max_offset_nw = degrees_nw - 1
     start_nw = flat.indptr[:-1].astype(np.int32)
     indices_nw = flat.indices.astype(np.int32)
+    trial_graphs = _TrialGraphs(graph, batch) if dynamic is not None else None
 
     mode_pp = mode == "push-pull"
     push_allowed = mode in ("push", "push-pull")
@@ -677,16 +831,29 @@ def run_asynchronous_batch(
         times[trial_rows, source_array] = 0.0
 
     now = np.zeros(batch)
-    steps = np.zeros(batch, dtype=np.int64)
     completed = np.zeros(batch, dtype=bool)
     completion_time = np.full(batch, np.inf)
 
-    # Scenario state: churn matrices indexed by absolute trial row (this
-    # kernel masks rows instead of compacting them) plus a loss-uniform
-    # buffer mirroring the serial chunk order (gaps, callers, neighbor
-    # uniforms, loss uniforms).
-    up = np.ones((batch, n), dtype=bool) if churn is not None else None
-    next_churn = np.ones(batch) if churn is not None else None
+    # Scenario state, indexed by absolute trial row (this kernel masks rows
+    # instead of compacting them): churn up/down matrices, burst channel
+    # states, the per-trial epoch/resample boundary clocks, and a
+    # loss-uniform buffer mirroring the serial chunk order (gaps, callers,
+    # neighbor uniforms, loss uniforms).
+    up = parts.initial_up(graph, batch)
+    bad = np.zeros(batch, dtype=bool) if burst is not None else None
+    next_epoch = np.ones(batch) if parts.needs_epochs else None
+    next_resample = (
+        np.full(batch, float(dynamic.period)) if dynamic is not None else None
+    )
+    # Scalar lower bound on the earliest pending boundary over all trials:
+    # the per-row boundary scan is skipped while every tick time is provably
+    # below it (one max-reduce instead of gathers, compares, and any()).
+    has_boundaries = next_epoch is not None or next_resample is not None
+    boundary_floor = np.inf
+    if next_epoch is not None:
+        boundary_floor = 1.0
+    if next_resample is not None:
+        boundary_floor = min(boundary_floor, float(dynamic.period))
 
     # Per-trial randomness buffers mirroring the serial engine's chunked
     # draws: refilled (exponential gaps, callers, neighbor uniforms — in that
@@ -696,93 +863,172 @@ def run_asynchronous_batch(
     gaps = np.empty((batch, _ASYNC_CHUNK))
     callers = np.empty((batch, _ASYNC_CHUNK), dtype=np.int32)
     nbr_uniforms = np.empty((batch, _ASYNC_CHUNK))
-    loss_uniforms = np.empty((batch, _ASYNC_CHUNK)) if loss_prob > 0.0 else None
+    loss_uniforms = np.empty((batch, _ASYNC_CHUNK)) if parts.lossy else None
     positions = np.zeros(batch, dtype=np.int64)
     buffer_lengths = np.zeros(batch, dtype=np.int64)
+    # Executed ticks are implied by the buffer bookkeeping — ticks consumed
+    # in retired chunks plus the in-chunk position — so the loop never pays
+    # a per-tick `steps[rows] += 1` scatter.  The one correction: a trial
+    # retired by the time budget consumed (but did not execute) its final
+    # draw, tracked in `overtime` and subtracted at the end.
+    chunk_base = np.zeros(batch, dtype=np.int64)
+    overtime = np.zeros(batch, dtype=bool) if finite_time_budget else None
+
+    # Flat views of the per-trial buffers and state matrices: the loop
+    # gathers through 1-D np.take (and scatters through flat indices),
+    # which skips the 2-D fancy-indexing machinery on the hottest lines.
+    gaps_flat = gaps.reshape(-1)
+    callers_flat = callers.reshape(-1)
+    nbr_flat = nbr_uniforms.reshape(-1)
+    loss_flat = loss_uniforms.reshape(-1) if loss_uniforms is not None else None
+    informed_flat = informed.reshape(-1)
+    times_flat = times.reshape(-1) if times is not None else None
 
     live = num_informed < n
     if step_budget == 0:
         live[:] = False
     rows = np.flatnonzero(live)
+    # Every live trial consumes exactly one buffered draw per iteration, so
+    # the earliest possible refill is a scalar countdown — the loop skips
+    # the per-iteration buffer-exhaustion scan entirely until it reaches 0.
+    ticks_until_refill = 0
+    # Index bases derived from `rows` (flat positions into the buffers and
+    # the (B, n) state), recomputed only when the live set changes.
+    pos_base = row_base = w_base = None
+    tg_width = trial_graphs.width if trial_graphs is not None else None
     while rows.size:
-        at_boundary = positions[rows] >= buffer_lengths[rows]
-        if at_boundary.any():
-            for b in rows[at_boundary]:
-                remaining = step_budget - int(steps[b])
-                if remaining <= 0:
-                    live[b] = False
-                    continue
-                chunk = min(_ASYNC_CHUNK, remaining)
-                rng = pooled_rng if pooled_rng is not None else generators[b]
-                gaps[b, :chunk] = rng.exponential(
-                    scale if scales is None else scales[b], chunk
-                )
-                if rates_cum is not None:
-                    # Weighted caller selection: resolve the whole chunk of
-                    # uniforms against the trial's cumulative rates now (the
-                    # draw order is what serial equivalence pins, not when
-                    # the uniforms are transformed).
-                    caller_uniforms = rng.random(chunk)
-                    callers[b, :chunk] = np.minimum(
-                        np.searchsorted(
-                            rates_cum[b], caller_uniforms * rates_total[b], side="right"
-                        ),
-                        n - 1,
+        if ticks_until_refill <= 0:
+            at_boundary = positions.take(rows) >= buffer_lengths.take(rows)
+            if at_boundary.any():
+                for b in rows[at_boundary]:
+                    # The exhausted chunk moves into the retired-tick count
+                    # whether or not the trial goes on; `positions` always
+                    # restarts from the head of the (possibly new) buffer.
+                    chunk_base[b] += buffer_lengths[b]
+                    positions[b] = 0
+                    buffer_lengths[b] = 0
+                    remaining = step_budget - int(chunk_base[b])
+                    if remaining <= 0:
+                        live[b] = False
+                        continue
+                    chunk = min(_ASYNC_CHUNK, remaining)
+                    rng = pooled_rng if pooled_rng is not None else generators[b]
+                    gaps[b, :chunk] = rng.exponential(
+                        scale if scales is None else scales[b], chunk
                     )
-                else:
-                    callers[b, :chunk] = rng.integers(0, n, chunk)
-                nbr_uniforms[b, :chunk] = rng.random(chunk)
-                if loss_uniforms is not None:
-                    loss_uniforms[b, :chunk] = rng.random(chunk)
-                buffer_lengths[b] = chunk
-                positions[b] = 0
-            rows = rows[live[rows]]
-            if rows.size == 0:
-                break
+                    if rates_cum is not None:
+                        # Weighted caller selection: resolve the whole chunk
+                        # of uniforms against the trial's cumulative rates
+                        # now (the draw order is what serial equivalence
+                        # pins, not when the uniforms are transformed).
+                        caller_uniforms = rng.random(chunk)
+                        callers[b, :chunk] = np.minimum(
+                            np.searchsorted(
+                                rates_cum[b],
+                                caller_uniforms * rates_total[b],
+                                side="right",
+                            ),
+                            n - 1,
+                        )
+                    else:
+                        callers[b, :chunk] = rng.integers(0, n, chunk)
+                    nbr_uniforms[b, :chunk] = rng.random(chunk)
+                    if loss_uniforms is not None:
+                        loss_uniforms[b, :chunk] = rng.random(chunk)
+                    buffer_lengths[b] = chunk
+                    positions[b] = 0
+                keep_mask = live[rows]
+                if not keep_mask.all():
+                    rows = rows[keep_mask]
+                    pos_base = None
+                if rows.size == 0:
+                    break
+            ticks_until_refill = int(
+                (buffer_lengths.take(rows) - positions.take(rows)).min()
+            )
+        ticks_until_refill -= 1
 
-        cursor = positions[rows]
-        gap = gaps[rows, cursor]
-        caller = callers[rows, cursor].astype(np.int64)
-        uniform = nbr_uniforms[rows, cursor]
-        lost = loss_uniforms[rows, cursor] < loss_prob if loss_uniforms is not None else None
+        if pos_base is None:
+            pos_base = rows * _ASYNC_CHUNK
+            row_base = rows * n
+            if trial_graphs is not None:
+                tg_width = trial_graphs.width
+                w_base = rows * tg_width
+
+        cursor = positions.take(rows)
+        pos = pos_base + cursor
+        gap = gaps_flat.take(pos, mode="clip")
+        caller = callers_flat.take(pos, mode="clip")
+        uniform = nbr_flat.take(pos, mode="clip")
+        loss_u = loss_flat.take(pos, mode="clip") if loss_flat is not None else None
         positions[rows] = cursor + 1
-        tick_time = now[rows] + gap
+        tick_time = now.take(rows) + gap
         now[rows] = tick_time
 
         if finite_time_budget:
             over_time = tick_time > time_budget
             if over_time.any():
                 live[rows[over_time]] = False
+                overtime[rows[over_time]] = True
                 keep = ~over_time
                 rows = rows[keep]
+                pos_base = pos_base[keep]
+                row_base = row_base[keep]
+                if w_base is not None:
+                    w_base = w_base[keep]
                 caller = caller[keep]
                 uniform = uniform[keep]
                 tick_time = tick_time[keep]
-                if lost is not None:
-                    lost = lost[keep]
+                if loss_u is not None:
+                    loss_u = loss_u[keep]
                 if rows.size == 0:
                     rows = np.flatnonzero(live)
+                    pos_base = None
                     continue
-        if next_churn is not None:
-            # Churn epochs at integer times: every boundary crossed in
-            # (previous tick, now] updates the trial's up/down states before
-            # the exchange at `now` (drawing rng.random(n) per epoch, the
-            # same interleaved draws the serial engine makes).
-            crossing = tick_time >= next_churn[rows]
+        if has_boundaries and float(tick_time.max()) >= boundary_floor:
+            # Boundaries at integer times (churn/burst epochs) and at
+            # dynamic-graph periods: every boundary crossed in
+            # (previous tick, now] fires before the exchange at `now`, in
+            # chronological order with the epoch first on ties — drawing
+            # the same interleaved randomness the serial engine does.
+            if next_epoch is None:
+                bound = next_resample.take(rows)
+            elif next_resample is None:
+                bound = next_epoch.take(rows)
+            else:
+                bound = np.minimum(next_epoch.take(rows), next_resample.take(rows))
+            crossing = tick_time >= bound
             if crossing.any():
                 for b, t in zip(rows[crossing], tick_time[crossing]):
                     rng = pooled_rng if pooled_rng is not None else generators[b]
-                    while next_churn[b] <= t:
-                        up[b] = churn.step(up[b], rng.random(n))
-                        next_churn[b] += 1.0
-        steps[rows] += 1
+                    parts.cross_boundaries(
+                        b, t, rng, n, up, bad, next_epoch, next_resample, trial_graphs
+                    )
+                # The floor tracks the earliest boundary still pending over
+                # the (conservatively: all) trials.
+                boundary_floor = np.inf
+                if next_epoch is not None:
+                    boundary_floor = float(next_epoch.min())
+                if next_resample is not None:
+                    boundary_floor = min(boundary_floor, float(next_resample.min()))
+        # The loss threshold depends on the burst channel state *after* the
+        # boundaries at this tick fired, so it resolves only now.
+        lost = loss_u < parts.loss_threshold(bad, rows) if loss_u is not None else None
 
-        offsets = (uniform * degrees_nw[caller]).astype(np.int64)
-        np.minimum(offsets, max_offset_nw[caller], out=offsets)
-        callee = indices_nw[start_nw[caller] + offsets].astype(np.int64)
+        caller_pos = row_base + caller
+        if trial_graphs is not None:
+            if trial_graphs.width != tg_width:  # a resample grew the pad
+                tg_width = trial_graphs.width
+                w_base = rows * tg_width
+            callee = trial_graphs.callees_at(caller_pos, w_base, uniform)
+        else:
+            offsets = (uniform * degrees_nw.take(caller, mode="clip")).astype(np.int64)
+            np.minimum(offsets, max_offset_nw.take(caller, mode="clip"), out=offsets)
+            offsets += start_nw.take(caller, mode="clip")
+            callee = indices_nw.take(offsets, mode="clip")
 
-        caller_informed = informed[rows, caller]
-        callee_informed = informed[rows, callee]
+        caller_informed = informed_flat.take(caller_pos, mode="clip")
+        callee_informed = informed_flat.take(row_base + callee, mode="clip")
         # One contact per trial per tick, so the exchange vectorises with no
         # intra-iteration conflicts: push informs the callee, pull informs
         # the caller, and in push-pull exactly the uninformed endpoint of an
@@ -803,10 +1049,10 @@ def run_asynchronous_batch(
             active &= up[rows, caller] & up[rows, callee]
         if active.any():
             active_rows = rows[active]
-            active_targets = targets[active]
-            informed[active_rows, active_targets] = True
-            if times is not None:
-                times[active_rows, active_targets] = tick_time[active]
+            active_flat = row_base[active] + targets[active]
+            informed_flat[active_flat] = True
+            if times_flat is not None:
+                times_flat[active_flat] = tick_time[active]
             num_informed[active_rows] += 1
             done = active_rows[num_informed[active_rows] == n]
             if done.size:
@@ -814,9 +1060,13 @@ def run_asynchronous_batch(
                 completion_time[done] = now[done]
                 live[done] = False
                 rows = np.flatnonzero(live)
+                pos_base = None
         # `rows` stays valid across iterations: every path that retires a
         # trial (budget boundary, overtime, completion) refreshed it above.
 
+    steps = chunk_base + positions
+    if overtime is not None:
+        steps[overtime] -= 1  # the final draw was consumed, not executed
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
             protocol_name,
@@ -1062,6 +1312,7 @@ def _run_clock_view_pooled(
     on_budget_exhausted: str,
     chunk: int,
     protocol_name: str,
+    parts: Optional["_ScenarioParts"] = None,
 ) -> BatchTimes:
     """The chunked pooled-RNG fast path shared by both clock-queue views.
 
@@ -1079,6 +1330,14 @@ def _run_clock_view_pooled(
     ``(B, chunk)`` blocks — gaps, callers, neighbor uniforms — resolve the
     callee matrix in one vectorised gather, and run a lean per-tick loop
     with no RNG calls and no argmin over the next-tick table at all.
+
+    Runtime scenarios keep the same shape: a :class:`~repro.scenarios.Delay`
+    reweights the superposition (per-trial total rate, weighted caller
+    draws resolved at block-refill time), loss/burst-loss add one uniform
+    block, and churn updates fire inside the column loop at each trial's
+    epoch boundaries.  Dynamic graphs never reach this path (the callee
+    blocks above are resolved against one fixed CSR); the dispatcher routes
+    them through the unchunked pooled table loop instead.
     """
     n = graph.num_vertices
     batch = source_array.size
@@ -1090,6 +1349,27 @@ def _run_clock_view_pooled(
     push_allowed = mode in ("push", "push-pull")
     finite_time_budget = np.isfinite(time_budget)
     scale = 1.0 / n  # mean gap of the superposed rate-n tick process
+
+    if parts is None:
+        parts = _ScenarioParts(None)
+    burst = parts.burst
+    # Under a Delay every vertex v ticks at rate r_v (node clocks) — and
+    # its edge-view pair clocks, rate r_v/deg(v) each, superpose to the
+    # same r_v — so the pooled process has per-trial total rate sum(r_v)
+    # and rate-weighted callers.
+    rates_cum = None
+    rates_total = None
+    trial_scales = None
+    if parts.delay is not None:
+        rates = np.stack(
+            [parts.delay.draw_rates(graph, pooled_rng) for _ in range(batch)]
+        )
+        rates_cum = np.cumsum(rates, axis=1)
+        rates_total = rates_cum[:, -1].copy()
+        trial_scales = 1.0 / rates_total
+    up = parts.initial_up(graph, batch)
+    bad = np.zeros(batch, dtype=bool) if burst is not None else None
+    next_epoch = np.ones(batch) if parts.needs_epochs else None
 
     informed = np.zeros((batch, n), dtype=bool)
     trial_rows = np.arange(batch, dtype=np.int64)
@@ -1118,11 +1398,28 @@ def _run_clock_view_pooled(
             live[rows] = False
             break
         width = min(chunk, remaining)
-        gaps = pooled_rng.exponential(scale, (rows.size, width))
+        if trial_scales is None:
+            gaps = pooled_rng.exponential(scale, (rows.size, width))
+        else:
+            gaps = pooled_rng.exponential(
+                trial_scales[rows][:, None], (rows.size, width)
+            )
         tick_times = np.cumsum(gaps, axis=1)
         tick_times += now[rows][:, None]
-        callers = pooled_rng.integers(0, n, (rows.size, width))
+        if rates_cum is None:
+            callers = pooled_rng.integers(0, n, (rows.size, width))
+        else:
+            caller_uniforms = pooled_rng.random((rows.size, width))
+            callers = np.empty((rows.size, width), dtype=np.int64)
+            for j, b in enumerate(rows):
+                callers[j] = np.minimum(
+                    np.searchsorted(
+                        rates_cum[b], caller_uniforms[j] * rates_total[b], side="right"
+                    ),
+                    n - 1,
+                )
         uniforms = pooled_rng.random((rows.size, width))
+        loss_block = pooled_rng.random((rows.size, width)) if parts.lossy else None
         deg = degrees[callers]
         offsets = (uniforms * deg).astype(np.int64)
         np.minimum(offsets, deg - 1, out=offsets)
@@ -1151,6 +1448,15 @@ def _run_clock_view_pooled(
                         break
                     active_rows = rows[local]
                     tick_time = tick_time[~over]
+            if next_epoch is not None:
+                # Churn/burst epochs at integer times, as in the per-trial
+                # kernel; the updates draw from the pooled generator.
+                crossing = tick_time >= next_epoch[active_rows]
+                if crossing.any():
+                    for b, t in zip(active_rows[crossing], tick_time[crossing]):
+                        parts.cross_boundaries(
+                            b, t, pooled_rng, n, up, bad, next_epoch, None, None
+                        )
             caller = callers[local, column]
             callee = callees[local, column]
             caller_informed = informed[active_rows, caller]
@@ -1164,6 +1470,12 @@ def _run_clock_view_pooled(
             else:
                 active = ~caller_informed & callee_informed
                 targets = caller
+            if loss_block is not None:
+                active &= loss_block[local, column] >= parts.loss_threshold(
+                    bad, active_rows
+                )
+            if up is not None:
+                active &= up[active_rows, caller] & up[active_rows, callee]
             if active.any():
                 hit_local = local[active]
                 hit_rows = rows[hit_local]
@@ -1239,17 +1551,23 @@ def run_clock_view_batch(
     is identical.  Every loop iteration advances all live trials by one
     tick, with the rumor exchange vectorised across trials.
 
-    Per-trial randomness follows the serial draw order exactly: the initial
-    next-tick table is one ``exponential`` block per trial (``n`` rate-1
-    clocks for ``node_clocks``; one rate-``1/deg(v)`` clock per ordered
-    adjacent pair, in the serial pair order, for ``edge_clocks``), then per
-    tick one neighbor uniform plus one reschedule exponential
-    (``node_clocks``) or just the reschedule (``edge_clocks``), so
-    fixed-seed results agree trial-for-trial with
-    :func:`~repro.core.async_engine.run_asynchronous`.
+    Per-trial randomness follows the serial draw order exactly: ``Delay``
+    rates first (when present), then the initial next-tick table as one
+    ``exponential`` block per trial (``n`` rate-``r_v`` clocks for
+    ``node_clocks``; one rate-``r_v/deg(v)`` clock per ordered adjacent
+    pair, in the serial pair order, for ``edge_clocks``), then per tick the
+    epoch/resample boundary draws crossed since the previous event followed
+    by the tick's own draws — neighbor uniform (``node_clocks`` only), loss
+    uniform (when a loss or burst-loss component is present), reschedule
+    exponential — so fixed-seed results agree trial-for-trial with
+    :func:`~repro.core.async_engine.run_asynchronous`, scenarios included.
 
-    Runtime scenarios are only supported under the ``"global"`` view (the
-    serial engines raise the same error).
+    Every runtime scenario applies under both views except a dynamic graph
+    under ``edge_clocks`` (the serial engine rejects it with the same
+    error: resampling would change the per-pair clock set itself).  Under
+    ``node_clocks`` a dynamic graph rides the per-trial padded stacked CSR
+    (:class:`_TrialGraphs`); the clocks themselves are graph independent
+    and are never redrawn.
 
     **Pooled fast path.**  With ``pooled_rng`` the serial draw order no
     longer constrains the kernel, and the per-tick scalar draws are chunked
@@ -1259,8 +1577,10 @@ def run_clock_view_batch(
     ``argmin`` disappear entirely).  ``pooled_chunk`` sets the block width
     (default 4096 ticks); ``pooled_chunk=0`` keeps the legacy unchunked
     pooled loop over the next-tick table, which draws per tick — it exists
-    as the benchmark baseline for the fast path.  Pooled samples agree with
-    the per-trial modes in distribution only (KS-tested in the suite).
+    as the benchmark baseline for the fast path.  A dynamic-graph scenario
+    also runs through the unchunked pooled loop (its pre-resolved callee
+    blocks assume a fixed graph).  Pooled samples agree with the per-trial
+    modes in distribution only (KS-tested in the suite).
 
     Args: as :func:`run_asynchronous_batch`, plus ``view`` and
         ``pooled_chunk``.
@@ -1273,11 +1593,13 @@ def run_clock_view_batch(
             f"run_clock_view_batch serves the views {CLOCK_VIEWS}, got {view!r}"
         )
     scenario = as_scenario(scenario)
-    if scenario is not None and scenario.runtime_active():
+    if scenario is not None and scenario.dynamic is not None and view == "edge_clocks":
         raise ScenarioError(
-            f"runtime scenarios are only supported under the 'global' asynchronous "
-            f"view, not {view!r}"
+            "dynamic-graph scenarios are not supported under the 'edge_clocks' "
+            "view: resampling the graph would change the per-pair clock set "
+            "itself; use the 'node_clocks' or 'global' view"
         )
+    parts = _ScenarioParts(scenario)
     source_array, generators = _prepare(
         graph, sources, mode, ASYNC_MODES, rngs, trials, seed, on_budget_exhausted, pooled_rng
     )
@@ -1302,7 +1624,7 @@ def run_clock_view_batch(
         )
     if n == 1:
         return _trivial_batch(protocol_name, graph, source_array, record_times, False)
-    if pooled_rng is not None and pooled_chunk != 0:
+    if pooled_rng is not None and pooled_chunk != 0 and parts.dynamic is None:
         return _run_clock_view_pooled(
             graph,
             source_array,
@@ -1314,35 +1636,68 @@ def run_clock_view_batch(
             on_budget_exhausted,
             _POOLED_CLOCK_CHUNK if pooled_chunk is None else int(pooled_chunk),
             protocol_name,
+            parts,
         )
 
     flat = flat_adjacency(graph)
     degrees = flat.degrees
     node_view = view == "node_clocks"
+
+    # Delay rates are the first randomness each trial consumes (before the
+    # initial next-tick block), matching the serial engine.
+    rates = None
+    node_scales = None
+    if parts.delay is not None:
+        rates = np.stack(
+            [
+                parts.delay.draw_rates(
+                    graph, pooled_rng if pooled_rng is not None else generators[b]
+                )
+                for b in range(batch)
+            ]
+        )
+        node_scales = 1.0 / rates  # (B, n): mean gap of each vertex clock
+
     pair_caller = pair_callee = pair_scale = None
     if node_view:
-        # One rate-1 clock per vertex: the first ticks are the serial
-        # engine's initial rng.exponential(1.0, n) block.
+        # One rate-r_v clock per vertex (r_v = 1 without a Delay): the
+        # first ticks are the serial engine's initial exponential block.
         next_tick = np.empty((batch, n))
         if pooled_rng is not None:
-            next_tick[:] = pooled_rng.exponential(1.0, (batch, n))
+            if node_scales is None:
+                next_tick[:] = pooled_rng.exponential(1.0, (batch, n))
+            else:
+                next_tick[:] = pooled_rng.exponential(node_scales)
         else:
             for b in range(batch):
-                next_tick[b] = generators[b].exponential(1.0, n)
+                if node_scales is None:
+                    next_tick[b] = generators[b].exponential(1.0, n)
+                else:
+                    next_tick[b] = generators[b].exponential(node_scales[b])
     else:
-        # One clock per ordered pair (v, w) with rate 1/deg(v).  The pair
+        # One clock per ordered pair (v, w) with rate r_v/deg(v).  The pair
         # order (v ascending, neighbors in adjacency order) is exactly the
         # flat CSR layout, and a single array-scale exponential call draws
         # the same stream as the serial engine's per-pair scalar draws.
         pair_caller = np.repeat(np.arange(n, dtype=np.int64), degrees)
         pair_callee = flat.indices
         pair_scale = degrees[pair_caller].astype(float)
-        next_tick = np.empty((batch, pair_scale.size))
+        if rates is not None:
+            # (B, #pairs): each trial's own rates reweight its pair clocks.
+            pair_scale = pair_scale[None, :] / rates[:, pair_caller]
+        next_tick = np.empty((batch, pair_caller.size))
         if pooled_rng is not None:
-            next_tick[:] = pooled_rng.exponential(pair_scale, (batch, pair_scale.size))
+            if rates is None:
+                next_tick[:] = pooled_rng.exponential(
+                    pair_scale, (batch, pair_caller.size)
+                )
+            else:
+                next_tick[:] = pooled_rng.exponential(pair_scale)
         else:
             for b in range(batch):
-                next_tick[b] = generators[b].exponential(pair_scale)
+                next_tick[b] = generators[b].exponential(
+                    pair_scale if rates is None else pair_scale[b]
+                )
 
     informed = np.zeros((batch, n), dtype=bool)
     trial_rows = np.arange(batch, dtype=np.int64)
@@ -1359,6 +1714,20 @@ def run_clock_view_batch(
     finite_time_budget = np.isfinite(time_budget)
     mode_pp = mode == "push-pull"
     push_allowed = mode in ("push", "push-pull")
+
+    # Scenario state, indexed by absolute trial row (rows are masked, not
+    # compacted): see run_asynchronous_batch.  Dynamic graphs only reach
+    # the node view (edge_clocks rejected above) and never touch the
+    # next-tick table — vertex clocks are graph independent.
+    burst = parts.burst
+    dynamic = parts.dynamic
+    up = parts.initial_up(graph, batch)
+    bad = np.zeros(batch, dtype=bool) if burst is not None else None
+    next_epoch = np.ones(batch) if parts.needs_epochs else None
+    next_resample = (
+        np.full(batch, float(dynamic.period)) if dynamic is not None else None
+    )
+    trial_graphs = _TrialGraphs(graph, batch) if dynamic is not None else None
 
     live = num_informed < n
     while True:
@@ -1385,36 +1754,78 @@ def run_clock_view_batch(
                 tick_time = tick_time[keep]
                 if rows.size == 0:
                     continue
+        if next_epoch is not None or next_resample is not None:
+            # Boundaries crossed in (previous event, now] fire before the
+            # exchange, chronologically, epoch before resample on ties —
+            # the serial engine's interleaved draws.
+            if next_epoch is None:
+                bound = next_resample.take(rows)
+            elif next_resample is None:
+                bound = next_epoch.take(rows)
+            else:
+                bound = np.minimum(next_epoch.take(rows), next_resample.take(rows))
+            crossing = tick_time >= bound
+            if crossing.any():
+                for b, t in zip(rows[crossing], tick_time[crossing]):
+                    rng = pooled_rng if pooled_rng is not None else generators[b]
+                    parts.cross_boundaries(
+                        b, t, rng, n, up, bad, next_epoch, next_resample, trial_graphs
+                    )
         steps[rows] += 1
         now[rows] = tick_time
+        loss_u = np.empty(rows.size) if parts.lossy else None
         if node_view:
             caller = idx
             u = np.empty(rows.size)
             resched = np.empty(rows.size)
             if pooled_rng is not None:
                 u[:] = pooled_rng.random(rows.size)
-                resched[:] = pooled_rng.exponential(1.0, rows.size)
+                if loss_u is not None:
+                    loss_u[:] = pooled_rng.random(rows.size)
+                if node_scales is None:
+                    resched[:] = pooled_rng.exponential(1.0, rows.size)
+                else:
+                    resched[:] = pooled_rng.exponential(node_scales[rows, caller])
             else:
                 for j, b in enumerate(rows):
                     rng = generators[b]
-                    # One neighbor uniform then one reschedule exponential
-                    # per tick — the serial per-step draw order.
+                    # Neighbor uniform, loss uniform (when lossy), then the
+                    # reschedule exponential — the serial per-tick order.
                     u[j] = rng.random()
-                    resched[j] = rng.exponential(1.0)
-            deg = degrees[caller]
-            offsets = (u * deg).astype(np.int64)
-            np.minimum(offsets, deg - 1, out=offsets)
-            callee = flat.indices[flat.indptr[caller] + offsets]
+                    if loss_u is not None:
+                        loss_u[j] = rng.random()
+                    resched[j] = rng.exponential(
+                        1.0 if node_scales is None else node_scales[b, caller[j]]
+                    )
+            if trial_graphs is not None:
+                callee = trial_graphs.callees(rows, caller, u)
+            else:
+                deg = degrees[caller]
+                offsets = (u * deg).astype(np.int64)
+                np.minimum(offsets, deg - 1, out=offsets)
+                callee = flat.indices[flat.indptr[caller] + offsets]
             next_tick[rows, caller] = tick_time + resched
         else:
             caller = pair_caller[idx]
             callee = pair_callee[idx]
             resched = np.empty(rows.size)
             if pooled_rng is not None:
-                resched[:] = pooled_rng.exponential(pair_scale[idx])
+                if loss_u is not None:
+                    loss_u[:] = pooled_rng.random(rows.size)
+                resched[:] = pooled_rng.exponential(
+                    pair_scale[idx] if rates is None else pair_scale[rows, idx]
+                )
             else:
                 for j, b in enumerate(rows):
-                    resched[j] = generators[b].exponential(pair_scale[idx[j]])
+                    rng = generators[b]
+                    # Loss uniform (when lossy) then the reschedule — the
+                    # serial per-tick order (no neighbor draw: the pair
+                    # determines the callee).
+                    if loss_u is not None:
+                        loss_u[j] = rng.random()
+                    resched[j] = rng.exponential(
+                        pair_scale[idx[j]] if rates is None else pair_scale[b, idx[j]]
+                    )
             next_tick[rows, idx] = tick_time + resched
 
         caller_informed = informed[rows, caller]
@@ -1428,6 +1839,11 @@ def run_clock_view_batch(
         else:
             active = ~caller_informed & callee_informed
             targets = caller
+        if loss_u is not None:
+            active &= loss_u >= parts.loss_threshold(bad, rows)
+        if up is not None:
+            # Crashed endpoints suppress the exchange in either direction.
+            active &= up[rows, caller] & up[rows, callee]
         if active.any():
             active_rows = rows[active]
             active_targets = targets[active]

@@ -13,10 +13,9 @@ Carlo driver runs thousands of trials on the same graph.
 
 from __future__ import annotations
 
-import weakref
-
 import numpy as np
 
+from repro.caching import IdentityLRU
 from repro.graphs.base import Graph
 
 __all__ = ["FlatAdjacency", "flat_adjacency", "cache_adjacency", "uncache_adjacency"]
@@ -109,11 +108,10 @@ class FlatAdjacency:
         return int(self.indices[self.indptr[vertex] + offset])
 
 
-# LRU cache of FlatAdjacency structures keyed by graph identity.  Python
-# dicts preserve insertion order, so re-inserting an entry on every hit keeps
-# the dict ordered least-recently-used first and eviction can pop the front.
-_CACHE_KEEPALIVE: dict[int, tuple[weakref.ref, FlatAdjacency]] = {}
+# LRU cache of FlatAdjacency structures keyed by graph identity (the shared
+# discipline lives in repro.caching).
 _KEEPALIVE_LIMIT = 64
+_CACHE_KEEPALIVE = IdentityLRU(_KEEPALIVE_LIMIT)
 
 
 def flat_adjacency(graph: Graph) -> FlatAdjacency:
@@ -123,18 +121,15 @@ def flat_adjacency(graph: Graph) -> FlatAdjacency:
     LRU: a hit refreshes the entry's recency) and drops entries automatically
     once their graph is garbage collected.
     """
-    key = id(graph)
-    cached = _CACHE_KEEPALIVE.get(key)
-    if cached is not None:
-        graph_ref, flat = cached
-        if graph_ref() is graph:
-            # Refresh recency: move the entry to the back of the dict so
-            # eviction drops the least-recently-*used* entry, not merely the
-            # oldest-inserted one.
-            del _CACHE_KEEPALIVE[key]
-            _CACHE_KEEPALIVE[key] = (graph_ref, flat)
-            return flat
-        del _CACHE_KEEPALIVE[key]
+    flat = _CACHE_KEEPALIVE.get(graph)
+    if flat is not None:
+        return flat
+    csr = graph.csr()
+    if csr is not None:
+        # CSR-built graphs (shared-memory worker attach) rebuild zero-copy
+        # from the adopted arrays even after a cache eviction, so the O(1)
+        # attach guarantee never degrades into a Python tuple pass.
+        return cache_adjacency(graph, FlatAdjacency.from_arrays(*csr))
     return cache_adjacency(graph, FlatAdjacency(graph))
 
 
@@ -145,16 +140,7 @@ def cache_adjacency(graph: Graph, flat: FlatAdjacency) -> FlatAdjacency:
     arrays that are views into a shared segment, so every later
     ``flat_adjacency(graph)`` lookup in the worker is zero-copy.
     """
-    if len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
-        # Drop entries whose graphs have been collected first, then the
-        # least recently used.
-        dead = [k for k, (ref, _) in _CACHE_KEEPALIVE.items() if ref() is None]
-        for k in dead:
-            del _CACHE_KEEPALIVE[k]
-        while len(_CACHE_KEEPALIVE) >= _KEEPALIVE_LIMIT:
-            _CACHE_KEEPALIVE.pop(next(iter(_CACHE_KEEPALIVE)))
-    _CACHE_KEEPALIVE[id(graph)] = (weakref.ref(graph), flat)
-    return flat
+    return _CACHE_KEEPALIVE.put(graph, flat)
 
 
 def uncache_adjacency(graph: Graph) -> None:
@@ -165,4 +151,4 @@ def uncache_adjacency(graph: Graph) -> None:
     closed: the cache would otherwise keep those views (and therefore the
     mapping) alive until eviction.
     """
-    _CACHE_KEEPALIVE.pop(id(graph), None)
+    _CACHE_KEEPALIVE.pop(graph)

@@ -30,13 +30,18 @@ applying composable adversity models.  Scenario support by protocol group:
 scenario              sync   async  ppx/ppy  batch   notes
 ====================  =====  =====  =======  ======  ==============
 ``loss``              yes    yes    no       yes     per-exchange drop
+``burst-loss``        yes    yes    no       yes     Gilbert–Elliott channel; state steps once per round / time unit
 ``churn``             yes    yes    no       yes     state updates once per round / time unit
-``dynamic``           yes    yes    no       sync    async batch falls back to the serial engine
+``targeted-churn``    yes    yes    no       yes     deterministic: top vertices by degree/eccentricity crash at trial start
+``dynamic``           yes    yes*   no       yes*    \\*every view except ``edge_clocks`` (a resample would change the pair clock set)
 ``adversarial-source`` yes   yes    yes      yes     deterministic; overrides ``source``
-``delay``             no     yes    no       yes     clock rates are an async-only notion
+``delay``             no     yes    no       yes     clock rates are an async-only notion; reweights per-clock rates under the clock views
 ====================  =====  =====  =======  ======  ==============
 
-Asynchronous runtime scenarios require the default ``"global"`` view.
+Asynchronous runtime scenarios run under **all three views** (``global``,
+``node_clocks``, ``edge_clocks``); the single exception is ``dynamic``
+under ``edge_clocks``, which raises a descriptive
+:class:`~repro.errors.ScenarioError` on every path.
 
 Every protocol also has a times-only batched ``(B, n)`` kernel in
 :mod:`repro.core.batch_engine`, exactly seed-equivalent to the serial
@@ -46,9 +51,9 @@ there).  Batched kernel coverage by protocol group and asynchronous view:
 ==================  ============  =====================================
 protocol group      batch kernel  runtime scenarios on the batched path
 ==================  ============  =====================================
-sync pp/push/pull   yes           loss, churn, dynamic
-async ``global``    yes           loss, churn, delay
-async clock views   yes           none (serial engine rejects them too)
+sync pp/push/pull   yes           loss, burst-loss, churn, targeted-churn, dynamic
+async ``global``    yes           all (dynamic rides a per-trial stacked CSR)
+async clock views   yes           all except dynamic under ``edge_clocks`` (serial engine rejects it too)
 ``ppx``/``ppy``     yes           none (analysis-only processes)
 ==================  ============  =====================================
 

@@ -100,12 +100,16 @@ def run_synchronous(
             the budget runs out before everyone is informed; ``"partial"``
             returns the incomplete result instead.
         scenario: optional adversity scenario (or spec string) from
-            :mod:`repro.scenarios`; message loss, node churn, and dynamic
-            graphs apply to synchronous protocols.  Per round the engine
-            draws, in this order: graph resample (at a period boundary),
-            churn state update (``rng.random(n)``), contact selection
-            (``rng.random(n)``), loss coin flips (``rng.random(n)``) — the
-            batch kernel consumes per-trial randomness identically.
+            :mod:`repro.scenarios`; message loss (independent or bursty),
+            node churn (random or targeted), and dynamic graphs apply to
+            synchronous protocols.  Per round the engine draws, in this
+            order: graph resample (at a period boundary), churn state
+            update (``rng.random(n)``; static churn models draw nothing),
+            burst-channel state update (``rng.random()``), contact
+            selection (``rng.random(n)``), loss coin flips
+            (``rng.random(n)``, drawn whenever a loss or burst-loss
+            component is present) — the batch kernel consumes per-trial
+            randomness identically.
 
     Returns:
         A :class:`SpreadingResult`; informing times are round numbers
@@ -114,6 +118,7 @@ def run_synchronous(
     _validate(graph, source, mode)
     scenario = as_scenario(scenario)
     loss_prob = 0.0
+    burst = None
     churn = None
     dynamic = None
     if scenario is not None:
@@ -123,8 +128,10 @@ def run_synchronous(
                 "clocks to slow down — use an asynchronous protocol"
             )
         loss_prob = scenario.loss_prob
+        burst = scenario.burst
         churn = scenario.churn
         dynamic = scenario.dynamic
+    lossy = loss_prob > 0.0 or burst is not None
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
             f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
@@ -172,18 +179,22 @@ def run_synchronous(
         )
 
     current_graph = graph
-    up = np.ones(n, dtype=bool) if churn is not None else None
+    up = churn.initial_up(graph) if churn is not None else None
+    churn_updates = churn is not None and churn.epoch_draws
+    bad = False
 
     num_informed = 1
     while num_informed < n and rounds_executed < budget:
         rounds_executed += 1
         # Scenario randomness order (see the `scenario` arg docs): graph
-        # resample, churn update, contacts, loss flips.
+        # resample, churn update, burst update, contacts, loss flips.
         if dynamic is not None and rounds_executed > 1 and (rounds_executed - 1) % dynamic.period == 0:
             current_graph = dynamic.resample(current_graph, rng)
             flat = FlatAdjacency(current_graph)
-        if churn is not None:
+        if churn_updates:
             up = churn.step(up, rng.random(n))
+        if burst is not None:
+            bad = bool(burst.step_state(bad, rng.random()))
         contacts = flat.random_neighbors_all(rng.random(n))
         exchange_ok = None
         if churn is not None:
@@ -193,8 +204,9 @@ def run_synchronous(
             total_contacts += int(np.count_nonzero(up))
         else:
             total_contacts += n
-        if loss_prob > 0.0:
-            kept = rng.random(n) >= loss_prob
+        if lossy:
+            round_loss = loss_prob if burst is None else float(burst.loss_at(bad))
+            kept = rng.random(n) >= round_loss
             exchange_ok = kept if exchange_ok is None else exchange_ok & kept
         informed_before = informed  # the snapshot used for this round's decisions
         contacted_informed = informed_before[contacts]

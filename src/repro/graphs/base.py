@@ -69,7 +69,7 @@ class Graph:
     can be handed directly to random samplers.
     """
 
-    __slots__ = ("_n", "_adjacency", "_edges", "_degrees", "_name", "__weakref__")
+    __slots__ = ("_n", "_adjacency", "_edges", "_degrees", "_name", "_csr", "__weakref__")
 
     def __init__(
         self,
@@ -90,12 +90,15 @@ class Graph:
             adjacency[u].append(v)
             adjacency[v].append(u)
         self._n = num_vertices
-        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+        self._adjacency: Optional[tuple[tuple[int, ...], ...]] = tuple(
             tuple(sorted(nbrs)) for nbrs in adjacency
         )
-        self._edges: tuple[Edge, ...] = tuple(edge_list)
-        self._degrees: tuple[int, ...] = tuple(len(nbrs) for nbrs in self._adjacency)
+        self._edges: Optional[tuple[Edge, ...]] = tuple(edge_list)
+        self._degrees: Optional[tuple[int, ...]] = tuple(
+            len(nbrs) for nbrs in self._adjacency
+        )
         self._name = name
+        self._csr = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -105,9 +108,34 @@ class Graph:
         """Number of vertices ``n``."""
         return self._n
 
+    # ------------------------------------------------------------------ #
+    # Lazy materialization for CSR-built graphs (see :meth:`from_csr`)
+    # ------------------------------------------------------------------ #
+    def _materialize(self) -> None:
+        """Build the Python adjacency/edge tuples from the stored CSR arrays.
+
+        Only CSR-built graphs can reach this (``__init__`` always builds the
+        tuples eagerly); it runs at most once per graph, on first access to
+        a tuple-backed accessor.
+        """
+        indptr, indices = self._csr
+        ptr = indptr.tolist() if hasattr(indptr, "tolist") else [int(p) for p in indptr]
+        idx = indices.tolist() if hasattr(indices, "tolist") else [int(w) for w in indices]
+        n = self._n
+        if self._adjacency is None:
+            self._adjacency = tuple(tuple(idx[ptr[v] : ptr[v + 1]]) for v in range(n))
+        if self._degrees is None:
+            self._degrees = tuple(ptr[v + 1] - ptr[v] for v in range(n))
+        if self._edges is None:
+            self._edges = tuple(
+                (v, w) for v in range(n) for w in self._adjacency[v] if v < w
+            )
+
     @property
     def num_edges(self) -> int:
         """Number of undirected edges ``|E|``."""
+        if self._edges is None:
+            return len(self._csr[1]) // 2
         return len(self._edges)
 
     @property
@@ -125,28 +153,47 @@ class Graph:
     @property
     def edges(self) -> tuple[Edge, ...]:
         """All undirected edges as ``(u, v)`` tuples with ``u < v``."""
+        if self._edges is None:
+            self._materialize()
         return self._edges
 
     @property
     def adjacency(self) -> tuple[tuple[int, ...], ...]:
         """The full adjacency structure: ``adjacency[v]`` are v's neighbors."""
+        if self._adjacency is None:
+            self._materialize()
         return self._adjacency
 
     @property
     def degrees(self) -> tuple[int, ...]:
         """Degree sequence indexed by vertex id."""
+        if self._degrees is None:
+            indptr = self._csr[0]
+            ptr = indptr.tolist() if hasattr(indptr, "tolist") else indptr
+            self._degrees = tuple(ptr[v + 1] - ptr[v] for v in range(self._n))
         return self._degrees
+
+    def csr(self):
+        """The adopted ``(indptr, indices)`` arrays of a CSR-built graph.
+
+        ``None`` for graphs built from edge lists.  Lets
+        :func:`repro.core.flatgraph.flat_adjacency` rebuild its structure
+        zero-copy on a cache miss instead of materialising the Python
+        tuples, keeping :meth:`from_csr`'s O(1)-attach guarantee structural
+        rather than dependent on a warm cache.
+        """
+        return self._csr
 
     def neighbors(self, v: int) -> tuple[int, ...]:
         """Neighbors of vertex ``v`` (sorted tuple).
 
         This is the set :math:`\\Gamma(v)` from the paper.
         """
-        return self._adjacency[v]
+        return self.adjacency[v]
 
     def degree(self, v: int) -> int:
         """Degree :math:`\\deg(v)` of vertex ``v``."""
-        return self._degrees[v]
+        return self.degrees[v]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge of the graph."""
@@ -154,7 +201,7 @@ class Graph:
             return False
         # Neighbor tuples are small for most vertices; for the occasional
         # hub, a linear scan is still cheap relative to simulation cost.
-        return v in self._adjacency[u]
+        return v in self.adjacency[u]
 
     def __contains__(self, v: object) -> bool:
         return isinstance(v, int) and 0 <= v < self._n
@@ -168,10 +215,10 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return self._n == other._n and self.edges == other.edges
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges))
+        return hash((self._n, self.edges))
 
     def __repr__(self) -> str:
         return f"Graph(name={self.name!r}, n={self._n}, m={self.num_edges})"
@@ -189,6 +236,8 @@ class Graph:
             return True
         if self.num_edges < self._n - 1:
             return False
+        if self._adjacency is None:
+            return self._csr_is_connected()
         seen = bytearray(self._n)
         stack = [0]
         seen[0] = 1
@@ -203,11 +252,40 @@ class Graph:
                     stack.append(w)
         return count == self._n
 
+    def _csr_is_connected(self) -> bool:
+        """Connectivity straight off the CSR arrays (no tuple materialization).
+
+        A level-synchronous frontier BFS in NumPy, so batch-only workers
+        (which attach graphs from shared CSR segments and never need the
+        Python adjacency) keep their O(1)-attach guarantee.
+        """
+        import numpy as np
+
+        indptr, indices = self._csr
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        seen = np.zeros(self._n, dtype=bool)
+        seen[0] = True
+        frontier = np.array([0], dtype=np.int64)
+        count = 1
+        while frontier.size:
+            degs = indptr[frontier + 1] - indptr[frontier]
+            total = int(degs.sum())
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(degs) - degs, degs
+            )
+            neighbors = indices[np.repeat(indptr[frontier], degs) + within]
+            new = np.unique(neighbors[~seen[neighbors]])
+            seen[new] = True
+            count += new.size
+            frontier = new
+        return count == self._n
+
     def connected_components(self) -> list[list[int]]:
         """Connected components as sorted vertex lists (sorted by minimum)."""
         seen = bytearray(self._n)
         components: list[list[int]] = []
-        adjacency = self._adjacency
+        adjacency = self.adjacency
         for start in range(self._n):
             if seen[start]:
                 continue
@@ -230,11 +308,11 @@ class Graph:
 
     def min_degree(self) -> int:
         """Minimum degree over all vertices."""
-        return min(self._degrees)
+        return min(self.degrees)
 
     def max_degree(self) -> int:
         """Maximum degree over all vertices."""
-        return max(self._degrees)
+        return max(self.degrees)
 
     def bfs_distances(self, source: int) -> list[int]:
         """Breadth-first-search distances from ``source``.
@@ -249,7 +327,7 @@ class Graph:
         dist = [-1] * self._n
         dist[source] = 0
         frontier = [source]
-        adjacency = self._adjacency
+        adjacency = self.adjacency
         level = 0
         while frontier:
             level += 1
@@ -282,7 +360,7 @@ class Graph:
         index = {old: new for new, old in enumerate(kept)}
         edges = [
             (index[u], index[v])
-            for u, v in self._edges
+            for u, v in self.edges
             if u in index and v in index
         ]
         return Graph(len(kept), edges, name=name)
@@ -294,7 +372,7 @@ class Graph:
         """
         if sorted(mapping) != list(range(self._n)):
             raise GraphError("mapping must be a permutation of 0..n-1")
-        edges = [(mapping[u], mapping[v]) for u, v in self._edges]
+        edges = [(mapping[u], mapping[v]) for u, v in self.edges]
         return Graph(self._n, edges, name=name or self._name)
 
     def with_name(self, name: str) -> "Graph":
@@ -305,6 +383,7 @@ class Graph:
         clone._edges = self._edges
         clone._degrees = self._degrees
         clone._name = name
+        clone._csr = self._csr
         return clone
 
     @classmethod
@@ -321,22 +400,20 @@ class Graph:
         parallel layer to reattach a graph in worker processes from arrays
         placed in a :mod:`multiprocessing.shared_memory` segment.
 
-        Building the adjacency/edge tuples is still one O(n + m) pass (the
-        serial engines and ``is_connected`` need them); the shared-memory
-        layer caches the reconstruction per worker per graph, so the cost
-        is paid once per (worker, graph), not per chunk.
+        Attaching is O(1): the arrays are adopted as-is and the Python
+        adjacency/edge tuples are materialised lazily, on the first access
+        that actually needs them.  Batch-only worker chunks — whose kernels
+        read the (cached) CSR arrays and whose connectivity check runs
+        straight off them — never pay the O(n + m) tuple pass at all.
         """
-        ptr = indptr.tolist() if hasattr(indptr, "tolist") else [int(p) for p in indptr]
-        idx = indices.tolist() if hasattr(indices, "tolist") else [int(w) for w in indices]
-        n = len(ptr) - 1
+        n = len(indptr) - 1
         if n < 1:
             raise GraphError("a graph needs at least one vertex")
         graph = cls.__new__(cls)
         graph._n = n
-        graph._adjacency = tuple(tuple(idx[ptr[v] : ptr[v + 1]]) for v in range(n))
-        graph._edges = tuple(
-            (v, w) for v in range(n) for w in graph._adjacency[v] if v < w
-        )
-        graph._degrees = tuple(ptr[v + 1] - ptr[v] for v in range(n))
+        graph._adjacency = None
+        graph._edges = None
+        graph._degrees = None
         graph._name = name
+        graph._csr = (indptr, indices)
         return graph

@@ -9,6 +9,7 @@ bit-for-bit equivalent under every scenario, and
 
 from repro.scenarios.base import (
     AdversarialSource,
+    BurstLoss,
     ComposedScenario,
     Delay,
     DynamicGraph,
@@ -18,6 +19,8 @@ from repro.scenarios.base import (
     Scenario,
     ScenarioLike,
     SOURCE_STRATEGIES,
+    TARGETED_CHURN_CRITERIA,
+    TargetedChurn,
     as_scenario,
     compose,
     scenario_source,
@@ -35,7 +38,9 @@ from repro.scenarios.registry import (
 __all__ = [
     "Scenario",
     "MessageLoss",
+    "BurstLoss",
     "NodeChurn",
+    "TargetedChurn",
     "DynamicGraph",
     "AdversarialSource",
     "Delay",
@@ -43,6 +48,7 @@ __all__ = [
     "FamilyResampler",
     "ScenarioLike",
     "SOURCE_STRATEGIES",
+    "TARGETED_CHURN_CRITERIA",
     "as_scenario",
     "compose",
     "scenario_source",

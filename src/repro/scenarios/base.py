@@ -5,8 +5,12 @@ Real gossip deployments face none of those luxuries, so this module defines
 *perturbation models* that every protocol engine understands:
 
 * :class:`MessageLoss` — each push/pull exchange is independently dropped;
+* :class:`BurstLoss` — correlated (bursty) loss: a two-state Gilbert–Elliott
+  channel whose loss probability depends on the current channel state;
 * :class:`NodeChurn` — vertices crash and recover; a crashed vertex neither
   initiates contacts nor answers them (it keeps the rumor while down);
+* :class:`TargetedChurn` — an adversary crashes the top vertices by degree
+  (or eccentricity) permanently at trial start;
 * :class:`DynamicGraph` — the communication graph is re-drawn from a family
   every ``period`` rounds (synchronous) or time units (asynchronous);
 * :class:`AdversarialSource` — the source is placed at the worst-case vertex
@@ -15,7 +19,9 @@ Real gossip deployments face none of those luxuries, so this module defines
   (slow and fast vertices instead of identical rate-1 Poisson clocks).
 
 Scenarios compose with ``|`` (or :func:`compose`) as long as each
-perturbation category appears at most once, e.g.::
+perturbation category appears at most once (:class:`BurstLoss` shares the
+loss category with :class:`MessageLoss`, :class:`TargetedChurn` the churn
+category with :class:`NodeChurn`), e.g.::
 
     scenario = MessageLoss(0.2) | NodeChurn(0.05, 0.5)
     spread(graph, 0, protocol="pp", seed=1, scenario=scenario)
@@ -25,35 +31,52 @@ the per-trial generator in one documented order so the serial engines and
 the 2-D batch kernels stay bit-for-bit equivalent trial-for-trial:
 
 1. graph resampling (at a :class:`DynamicGraph` boundary),
-2. churn state update (one uniform per vertex),
-3. contact selection (the unperturbed engines' own draws),
-4. loss coin flips (one uniform per contact).
+2. churn state update (one uniform per vertex; only for churn models with
+   per-epoch randomness — :class:`TargetedChurn` is static and draws none),
+3. burst-loss channel state update (one uniform),
+4. contact selection (the unperturbed engines' own draws),
+5. loss coin flips (one uniform per contact, drawn whenever a loss *or*
+   burst-loss component is present — even while the channel is in a
+   lossless state, so the streams stay aligned).
 
-:class:`Delay` draws its per-vertex rates once at trial start, before any
-round/tick randomness; :class:`AdversarialSource` is deterministic and
-consumes no randomness at all.
+Steps 2 and 3 happen once per *epoch* — each synchronous round, each unit
+of asynchronous simulated time — and an epoch boundary that ties with a
+resample boundary fires first.  :class:`Delay` draws its per-vertex rates
+once at trial start, before any round/tick randomness;
+:class:`AdversarialSource` and :class:`TargetedChurn` are deterministic and
+consume no randomness at all.
 
-The synchronous model updates churn state once per round; the asynchronous
-model updates it once per unit of simulated time (which a synchronous round
-is), so one ``(crash_rate, recovery_rate)`` pair means the same thing in
-both models.
+The synchronous model updates churn (and burst) state once per round; the
+asynchronous model updates it once per unit of simulated time (which a
+synchronous round is), so one ``(crash_rate, recovery_rate)`` pair means
+the same thing in both models.
+
+**Clock-queue views.**  The asynchronous ``node_clocks``/``edge_clocks``
+views support every runtime scenario except a :class:`DynamicGraph` under
+``edge_clocks`` (resampling the graph would change the per-pair clock set
+itself; use the ``node_clocks`` or ``global`` view).  Churn never stops a
+clock — a crashed vertex's clocks keep ticking, its exchanges are simply
+suppressed — and :class:`Delay` reweights the per-clock rates (vertex ``v``
+ticks at rate ``r_v``; pair ``(v, w)`` at rate ``r_v / deg(v)``).
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.caching import IdentityLRU
 from repro.errors import ScenarioError
 from repro.graphs.base import Graph
 
 __all__ = [
     "Scenario",
     "MessageLoss",
+    "BurstLoss",
     "NodeChurn",
+    "TargetedChurn",
     "DynamicGraph",
     "AdversarialSource",
     "Delay",
@@ -64,6 +87,7 @@ __all__ = [
     "select_adversarial_source",
     "FamilyResampler",
     "SOURCE_STRATEGIES",
+    "TARGETED_CHURN_CRITERIA",
     "ScenarioLike",
 ]
 
@@ -87,12 +111,19 @@ class Scenario:
     :class:`~repro.errors.ScenarioError` instead of being silently dropped.
     """
 
-    #: Probability that a single exchange is lost (0 = reliable).
+    #: Probability that a single exchange is lost (0 = reliable).  Burst
+    #: loss keeps this at 0 — its state-dependent probability is read
+    #: through :attr:`burst` instead.
     loss_prob: float = 0.0
 
     @property
-    def churn(self) -> Optional["NodeChurn"]:
-        """The churn component, if any."""
+    def burst(self) -> Optional["BurstLoss"]:
+        """The correlated (Gilbert–Elliott) loss component, if any."""
+        return None
+
+    @property
+    def churn(self) -> Optional["Scenario"]:
+        """The churn component (:class:`NodeChurn` or :class:`TargetedChurn`), if any."""
         return None
 
     @property
@@ -123,6 +154,7 @@ class Scenario:
         """
         return (
             self.loss_prob > 0.0
+            or self.burst is not None
             or self.churn is not None
             or self.dynamic is not None
             or self.delay is not None
@@ -172,6 +204,74 @@ class MessageLoss(Scenario):
 
 
 @dataclass(frozen=True, repr=False)
+class BurstLoss(Scenario):
+    """Correlated message loss: a two-state Gilbert–Elliott channel.
+
+    The channel is either *good* or *bad*; every exchange is lost with the
+    state's loss probability (``p_loss_good`` in the good state — 0 by
+    default — and ``p_loss_bad`` in the bad state).  The state is shared by
+    all vertices of a trial and steps once per epoch — each synchronous
+    round / each unit of asynchronous simulated time, the same cadence as
+    :class:`NodeChurn` — flipping good→bad with probability ``p_gb`` and
+    bad→good with probability ``p_bg``.  Trials start in the good state.
+
+    Unlike :class:`MessageLoss` (its memoryless special case), losses
+    cluster into bursts whose mean length is ``1 / p_bg`` epochs.  The
+    long-run fraction of lost exchanges is :attr:`stationary_loss_rate`.
+    ``p_bg`` must be positive so the channel always escapes the bad state;
+    ``p_loss_bad = 1`` (a total outage while bad) is allowed for the same
+    reason.  Shares the loss category with :class:`MessageLoss`, so the two
+    cannot be composed.
+    """
+
+    p_gb: float
+    p_bg: float
+    p_loss_bad: float
+    p_loss_good: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("p_gb", self.p_gb, allow_one=True)
+        _check_probability("p_bg", self.p_bg, allow_one=True)
+        if self.p_bg <= 0.0:
+            raise ScenarioError(
+                f"p_bg must be positive (the channel must escape the bad state), "
+                f"got {self.p_bg}"
+            )
+        _check_probability("p_loss_bad", self.p_loss_bad, allow_one=True)
+        _check_probability("p_loss_good", self.p_loss_good)
+
+    @property
+    def burst(self) -> Optional["BurstLoss"]:  # type: ignore[override]
+        return self
+
+    def step_state(self, bad, draws):
+        """Advance the channel state one epoch given one uniform per trial.
+
+        Works elementwise on arrays (the batched kernels' per-trial state
+        vectors) and on scalars alike; the single definition every engine
+        uses, like :meth:`NodeChurn.step`.
+        """
+        return np.where(bad, draws >= self.p_bg, draws < self.p_gb)
+
+    def loss_at(self, bad):
+        """The loss probability in the given state(s) (elementwise)."""
+        return np.where(bad, self.p_loss_bad, self.p_loss_good)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run fraction of lost exchanges (epochs weighted equally)."""
+        total = self.p_gb + self.p_bg
+        bad_fraction = self.p_gb / total
+        return bad_fraction * self.p_loss_bad + (1.0 - bad_fraction) * self.p_loss_good
+
+    def spec(self) -> str:
+        return (
+            f"burst-loss:p_gb={self.p_gb:g},p_bg={self.p_bg:g},"
+            f"p_loss_bad={self.p_loss_bad:g},p_loss_good={self.p_loss_good:g}"
+        )
+
+
+@dataclass(frozen=True, repr=False)
 class NodeChurn(Scenario):
     """Vertices crash and recover; crashed vertices are silent.
 
@@ -188,6 +288,11 @@ class NodeChurn(Scenario):
     crash_rate: float
     recovery_rate: float = 0.5
 
+    #: This churn model needs one uniform per vertex per epoch; engines gate
+    #: the per-epoch :meth:`step` draws on this flag (static models like
+    #: :class:`TargetedChurn` set it to ``False`` and are never stepped).
+    epoch_draws = True
+
     def __post_init__(self) -> None:
         _check_probability("crash_rate", self.crash_rate)
         _check_probability("recovery_rate", self.recovery_rate, allow_one=True)
@@ -195,6 +300,10 @@ class NodeChurn(Scenario):
     @property
     def churn(self) -> Optional["NodeChurn"]:  # type: ignore[override]
         return self
+
+    def initial_up(self, graph: Graph) -> np.ndarray:
+        """The up/down state at trial start: every vertex up."""
+        return np.ones(graph.num_vertices, dtype=bool)
 
     def step(self, up: np.ndarray, draws: np.ndarray) -> np.ndarray:
         """Advance the up/down state one epoch given one uniform per vertex.
@@ -207,6 +316,69 @@ class NodeChurn(Scenario):
 
     def spec(self) -> str:
         return f"churn:crash_rate={self.crash_rate:g},recovery_rate={self.recovery_rate:g}"
+
+
+#: Valid :class:`TargetedChurn` ranking criteria.
+TARGETED_CHURN_CRITERIA = ("degree", "eccentricity")
+
+
+@dataclass(frozen=True, repr=False)
+class TargetedChurn(Scenario):
+    """An adversary permanently crashes the worst-case vertices at trial start.
+
+    The top ``floor(fraction * n)`` vertices — capped at ``n - 1`` so at
+    least one vertex stays up — ranked by ``by`` (``"degree"``: hubs first;
+    ``"eccentricity"``: the periphery first; ties towards the smallest
+    vertex id) start crashed and never recover.  Crashed vertices behave exactly as under :class:`NodeChurn`
+    — silent in both directions, keeping the rumor if they somehow hold it
+    — but the state is deterministic and static, so the model consumes no
+    randomness at all.
+
+    Crashing the hubs can disconnect the live part of the graph and stall
+    spreading forever; pair aggressive fractions with
+    ``on_budget_exhausted="partial"``.  Under a :class:`DynamicGraph` the
+    targets are ranked once on the *initial* graph and stay fixed.  Shares
+    the churn category with :class:`NodeChurn`, so the two cannot compose.
+    """
+
+    fraction: float
+    by: str = "degree"
+
+    #: Static state: engines skip the per-epoch churn update entirely.
+    epoch_draws = False
+
+    def __post_init__(self) -> None:
+        _check_probability("fraction", self.fraction, allow_one=True)
+        if self.by not in TARGETED_CHURN_CRITERIA:
+            raise ScenarioError(
+                f"unknown targeting criterion {self.by!r}; "
+                f"expected one of {TARGETED_CHURN_CRITERIA}"
+            )
+
+    @property
+    def churn(self) -> Optional["TargetedChurn"]:  # type: ignore[override]
+        return self
+
+    def initial_up(self, graph: Graph) -> np.ndarray:
+        """The static up/down mask: the targeted vertices are down."""
+        n = graph.num_vertices
+        up = np.ones(n, dtype=bool)
+        crashed = min(int(self.fraction * n), n - 1)
+        if crashed > 0:
+            if self.by == "degree":
+                scores = np.asarray(graph.degrees, dtype=np.int64)
+            else:
+                from repro.graphs.properties import all_eccentricities
+
+                scores = all_eccentricities(graph)
+            # Stable sort on vertex id, then stable sort by descending
+            # score: ties resolve towards the smallest id.
+            order = np.argsort(-scores, kind="stable")
+            up[order[:crashed]] = False
+        return up
+
+    def spec(self) -> str:
+        return f"targeted-churn:fraction={self.fraction:g},by={self.by}"
 
 
 @dataclass(frozen=True, repr=False)
@@ -394,7 +566,12 @@ class ComposedScenario(Scenario):
         return part.loss_prob if part is not None else 0.0
 
     @property
-    def churn(self) -> Optional[NodeChurn]:
+    def burst(self) -> Optional[BurstLoss]:
+        part = self._find("loss")
+        return part.burst if part is not None else None
+
+    @property
+    def churn(self) -> Optional[Scenario]:
         part = self._find("churn")
         return part.churn if part is not None else None
 
@@ -418,7 +595,11 @@ class ComposedScenario(Scenario):
 
 
 def _category(scenario: Scenario) -> str:
-    if scenario.loss_prob > 0.0 or isinstance(scenario, MessageLoss):
+    if (
+        scenario.loss_prob > 0.0
+        or scenario.burst is not None
+        or isinstance(scenario, MessageLoss)
+    ):
         return "loss"
     if scenario.churn is not None:
         return "churn"
@@ -489,12 +670,10 @@ class FamilyResampler:
 # ---------------------------------------------------------------------- #
 # Adversarial source selection
 # ---------------------------------------------------------------------- #
-# Eccentricity-based strategies cost n BFS traversals; memoise per (graph,
-# strategy) so Monte Carlo drivers that resolve the source per trial do not
-# recompute them.  Keyed by graph identity with weakref liveness checks,
-# mirroring repro.core.flatgraph's cache discipline.
-_SOURCE_CACHE: dict[tuple[int, str], tuple[weakref.ref, int]] = {}
-_SOURCE_CACHE_LIMIT = 128
+# Selection scans the whole graph (and eccentricity strategies run the
+# all-sources BFS); memoise per (graph, strategy) so Monte Carlo drivers
+# that resolve the source per trial do not recompute them.
+_SOURCE_CACHE = IdentityLRU(128)
 
 
 def select_adversarial_source(graph: Graph, strategy: str) -> int:
@@ -503,17 +682,9 @@ def select_adversarial_source(graph: Graph, strategy: str) -> int:
         raise ScenarioError(
             f"unknown source strategy {strategy!r}; expected one of {SOURCE_STRATEGIES}"
         )
-    key = (id(graph), strategy)
-    cached = _SOURCE_CACHE.get(key)
+    cached = _SOURCE_CACHE.get(graph, strategy)
     if cached is not None:
-        graph_ref, vertex = cached
-        if graph_ref() is graph:
-            # Refresh recency (dicts preserve insertion order) so eviction
-            # drops the least-recently-used entry, not the oldest-inserted.
-            del _SOURCE_CACHE[key]
-            _SOURCE_CACHE[key] = cached
-            return vertex
-        del _SOURCE_CACHE[key]
+        return cached
 
     degrees = graph.degrees
     if strategy == "max_degree":
@@ -522,21 +693,19 @@ def select_adversarial_source(graph: Graph, strategy: str) -> int:
         vertex = min(graph.vertices, key=lambda v: (degrees[v], v))
     else:
         # Eccentricity strategies need a connected graph (the engines require
-        # connectivity anyway; this just surfaces the error earlier).
-        eccentricities = [graph.eccentricity(v) for v in graph.vertices]
-        if strategy == "max_eccentricity":
-            vertex = max(graph.vertices, key=lambda v: (eccentricities[v], -v))
-        else:
-            vertex = min(graph.vertices, key=lambda v: (eccentricities[v], v))
+        # connectivity anyway; this just surfaces the error earlier).  The
+        # vectorised all-sources pass (cached per graph) replaces the old
+        # one-BFS-per-vertex Python loop, which dominated wall time on
+        # 10k-vertex adversarial-source sweeps.
+        from repro.graphs.properties import all_eccentricities
 
-    if len(_SOURCE_CACHE) >= _SOURCE_CACHE_LIMIT:
-        dead = [k for k, (ref, _) in _SOURCE_CACHE.items() if ref() is None]
-        for k in dead:
-            del _SOURCE_CACHE[k]
-        while len(_SOURCE_CACHE) >= _SOURCE_CACHE_LIMIT:
-            _SOURCE_CACHE.pop(next(iter(_SOURCE_CACHE)))
-    _SOURCE_CACHE[key] = (weakref.ref(graph), int(vertex))
-    return int(vertex)
+        eccentricities = all_eccentricities(graph)
+        if strategy == "max_eccentricity":
+            vertex = int(np.argmax(eccentricities))
+        else:
+            vertex = int(np.argmin(eccentricities))
+
+    return _SOURCE_CACHE.put(graph, int(vertex), strategy)
 
 
 def scenario_source(

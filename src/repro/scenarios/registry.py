@@ -23,12 +23,14 @@ from typing import Callable, Union
 from repro.errors import ScenarioError
 from repro.scenarios.base import (
     AdversarialSource,
+    BurstLoss,
     Delay,
     DynamicGraph,
     FamilyResampler,
     MessageLoss,
     NodeChurn,
     Scenario,
+    TargetedChurn,
     compose,
 )
 
@@ -71,11 +73,34 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         parameters="p (required, in [0, 1))",
         factory=MessageLoss,
     ),
+    "burst-loss": ScenarioSpec(
+        name="burst-loss",
+        summary=(
+            "correlated (Gilbert-Elliott) loss: a good/bad channel stepping once per "
+            "round/time unit; exchanges drop with the state's loss probability"
+        ),
+        parameters=(
+            "p_gb (required, good->bad), p_bg (required, bad->good, > 0), "
+            "p_loss_bad (required, in [0, 1]), p_loss_good (default 0)"
+        ),
+        factory=BurstLoss,
+    ),
     "churn": ScenarioSpec(
         name="churn",
         summary="vertices crash and recover each round/time unit; crashed vertices are silent",
         parameters="crash_rate (required, in [0, 1)), recovery_rate (default 0.5)",
         factory=NodeChurn,
+    ),
+    "targeted-churn": ScenarioSpec(
+        name="targeted-churn",
+        summary=(
+            "an adversary permanently crashes the top floor(fraction*n) vertices "
+            "by degree or eccentricity at trial start (deterministic)"
+        ),
+        parameters=(
+            "fraction (required, in [0, 1]), by (default 'degree'; or 'eccentricity')"
+        ),
+        factory=TargetedChurn,
     ),
     "dynamic": ScenarioSpec(
         name="dynamic",

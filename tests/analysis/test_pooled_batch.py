@@ -20,7 +20,14 @@ from repro.errors import AnalysisError, ProtocolError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import spawn_generators
-from repro.scenarios import MessageLoss
+from repro.scenarios import (
+    BurstLoss,
+    Delay,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+    NodeChurn,
+)
 
 
 class TestPooledDispatch:
@@ -245,6 +252,57 @@ class TestChunkedPooledClockViews:
         )
         finished = timed.completion_time[timed.completed]
         assert (finished <= 0.4).all()
+
+    @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            MessageLoss(0.25),
+            BurstLoss(0.3, 0.5, 0.8),
+            NodeChurn(0.1, 0.5),
+            Delay(low=0.5, high=2.0),
+        ],
+        ids=lambda s: s.spec().split(":")[0],
+    )
+    def test_chunked_scenarios_match_per_trial_distribution(self, view, scenario):
+        """The pooled fast path carries every non-dynamic runtime scenario;
+        its samples must agree with the (serial-equivalent) per-trial
+        kernel in distribution."""
+        graph = random_regular_graph(24, 4, seed=3)
+        trials = 250
+        chunked = run_batch(
+            graph, 0, "pp-a", trials=trials,
+            pooled_rng=np.random.default_rng(7), view=view, scenario=scenario,
+        )
+        per_trial = run_batch(
+            graph, 0, "pp-a", trials=trials, seed=77, view=view, scenario=scenario
+        )
+        assert_same_distribution(
+            chunked.spreading_times(),
+            per_trial.spreading_times(),
+            min_pvalue=0.01,
+            label=f"chunked pooled vs per-trial {view} under {scenario.spec()}",
+        )
+
+    def test_dynamic_scenario_routes_through_the_unchunked_pooled_loop(self):
+        """Dynamic graphs cannot use the pre-resolved callee blocks; the
+        pooled dispatcher must fall back to the next-tick-table loop and
+        still agree with the per-trial kernel in distribution."""
+        scenario = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
+        graph = complete_graph(16)
+        pooled = run_batch(
+            graph, 0, "pp-a", trials=200,
+            pooled_rng=np.random.default_rng(3), view="node_clocks", scenario=scenario,
+        )
+        per_trial = run_batch(
+            graph, 0, "pp-a", trials=200, seed=5, view="node_clocks", scenario=scenario
+        )
+        assert_same_distribution(
+            pooled.spreading_times(),
+            per_trial.spreading_times(),
+            min_pvalue=0.01,
+            label="pooled dynamic fallback vs per-trial node_clocks",
+        )
 
     def test_invalid_pooled_chunk_rejected(self):
         graph = complete_graph(8)

@@ -190,6 +190,40 @@ class TestValidation:
         assert not is_batchable("pp", {"max_steps": 10})  # async option on sync
         assert not is_batchable("ppx", {"max_steps": 10})  # async option on aux
 
+    def test_is_batchable_scenario_matrix(self):
+        """Every runtime scenario batches wherever the serial engine runs
+        it; only the serial-rejected combinations fall back."""
+        from repro.scenarios import (
+            BurstLoss,
+            Delay,
+            DynamicGraph,
+            FamilyResampler,
+            MessageLoss,
+            NodeChurn,
+            TargetedChurn,
+        )
+
+        dynamic = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
+        runtime = [
+            MessageLoss(0.2),
+            BurstLoss(0.2, 0.5, 0.8),
+            NodeChurn(0.1),
+            TargetedChurn(0.1),
+        ]
+        for scenario in runtime:
+            assert is_batchable("pp", None, scenario)
+            for view in ("global", "node_clocks", "edge_clocks"):
+                assert is_batchable("pp-a", {"view": view}, scenario)
+            assert not is_batchable("ppx", None, scenario)
+        for view in ("global", "node_clocks", "edge_clocks"):
+            assert is_batchable("pp-a", {"view": view}, Delay())
+        assert not is_batchable("pp", None, Delay())  # sync has no clocks
+        assert is_batchable("pp", None, dynamic)
+        assert is_batchable("pp-a", None, dynamic)  # async dynamic batches now
+        assert is_batchable("pp-a", {"view": "node_clocks"}, dynamic)
+        # The one hole in the matrix: edge clocks cannot survive a resample.
+        assert not is_batchable("pp-a", {"view": "edge_clocks"}, dynamic)
+
 
 class TestBatchTimesRecord:
     def test_trivial_single_vertex_graph(self):

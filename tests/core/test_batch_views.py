@@ -2,11 +2,12 @@
 
 Trial-for-trial serial agreement is pinned by the shared registry gate
 (``tests/core/test_kernel_equivalence.py``); this file covers the
-view-specific dispatch policy, the scenario fallback rules (runtime
-scenarios are global-view-only on *both* paths — never a silent
-divergence), and the distributional equivalence of the three asynchronous
-views on small graphs (the paper's Section 2 claim, now checked on the
-batched kernels themselves).
+view-specific dispatch policy, the scenario eligibility matrix (every
+runtime scenario batches under both views, except a dynamic graph under
+``edge_clocks`` which *both* paths reject with the same error — never a
+silent divergence), and the distributional equivalence of the three
+asynchronous views on small graphs (the paper's Section 2 claim, now
+checked on the batched kernels themselves).
 """
 
 from __future__ import annotations
@@ -17,13 +18,21 @@ import pytest
 from helpers.equivalence import assert_same_distribution, assert_trials_paths_agree
 from repro.analysis import montecarlo
 from repro.analysis.montecarlo import ASYNC_AUTO_MIN_TRIALS, run_trials
-from repro.core.async_engine import ASYNC_VIEWS
+from repro.core.async_engine import ASYNC_VIEWS, run_asynchronous
 from repro.core.batch_engine import is_batchable, run_batch, run_clock_view_batch
 from repro.errors import AnalysisError, ProtocolError, ScenarioError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.base import Graph
 from repro.graphs.random_graphs import random_regular_graph
-from repro.scenarios import Delay, MessageLoss
+from repro.scenarios import (
+    BurstLoss,
+    Delay,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+    NodeChurn,
+    TargetedChurn,
+)
 
 CLOCK_VIEWS = ["node_clocks", "edge_clocks"]
 
@@ -57,37 +66,79 @@ class TestDispatch:
         assert 8 < ASYNC_AUTO_MIN_TRIALS
 
 
-class TestScenarioFallback:
-    """Runtime scenarios are global-view-only; the batched path must reject
-    or fall back exactly like the serial engine — never silently diverge."""
+class TestScenarioEligibility:
+    """The scenario × view matrix: every runtime scenario batches under both
+    clock views, except a dynamic graph under ``edge_clocks``, which both
+    paths reject with the same message — never a silent divergence."""
 
     @pytest.mark.parametrize("view", CLOCK_VIEWS)
-    @pytest.mark.parametrize("scenario", [MessageLoss(0.2), Delay(low=0.5, high=2.0)])
-    def test_kernel_rejects_runtime_scenarios(self, view, scenario):
-        with pytest.raises(ScenarioError, match="global"):
-            run_clock_view_batch(
-                complete_graph(8), 0, view=view, trials=2, seed=0, scenario=scenario
-            )
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            MessageLoss(0.2),
+            BurstLoss(0.3, 0.5, 0.8),
+            NodeChurn(0.1, 0.5),
+            TargetedChurn(0.2),
+            Delay(low=0.5, high=2.0),
+        ],
+        ids=lambda s: s.spec().split(":")[0],
+    )
+    def test_runtime_scenarios_are_batchable_under_clock_views(self, view, scenario):
+        assert is_batchable("pp-a", {"view": view}, scenario)
+        batched = run_clock_view_batch(
+            complete_graph(8), 4, view=view, trials=3, seed=0, scenario=scenario,
+            max_steps=300, on_budget_exhausted="partial",
+        )
+        assert batched.sources.size == 3
 
-    @pytest.mark.parametrize("view", CLOCK_VIEWS)
-    def test_auto_falls_back_and_both_paths_raise_identically(self, view):
+    def test_dynamic_is_batchable_under_node_clocks_only(self):
+        dynamic = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
+        assert is_batchable("pp-a", {"view": "node_clocks"}, dynamic)
+        assert not is_batchable("pp-a", {"view": "edge_clocks"}, dynamic)
+
+    def test_dynamic_edge_clocks_rejected_identically_on_both_paths(self):
+        """The one rejected combination; the message names the view and the
+        reason, and the serial engine and the kernel raise it verbatim."""
+        dynamic = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
+        message = (
+            r"dynamic-graph scenarios are not supported under the 'edge_clocks' "
+            r"view: resampling the graph would change the per-pair clock set"
+        )
         graph = complete_graph(8)
-        options = {"view": view}
-        assert not is_batchable("pp-a", options, MessageLoss(0.2))
-        for batch in ("auto", False):
-            with pytest.raises(ScenarioError, match="global"):
-                run_trials(
-                    graph, 0, "pp-a", trials=2, seed=0,
-                    batch=batch, engine_options=options, scenario=MessageLoss(0.2),
-                )
-
-    @pytest.mark.parametrize("view", CLOCK_VIEWS)
-    def test_forced_batch_with_runtime_scenario_rejected(self, view):
+        with pytest.raises(ScenarioError, match=message):
+            run_asynchronous(graph, 0, view="edge_clocks", seed=0, scenario=dynamic)
+        with pytest.raises(ScenarioError, match=message):
+            run_clock_view_batch(
+                graph, 0, view="edge_clocks", trials=2, seed=0, scenario=dynamic
+            )
+        # run_trials: auto falls back to the serial engine, which raises the
+        # same error; a forced batch fails fast in the dispatcher.
+        with pytest.raises(ScenarioError, match=message):
+            run_trials(
+                graph, 0, "pp-a", trials=2, seed=0,
+                batch="auto", engine_options={"view": "edge_clocks"}, scenario=dynamic,
+            )
         with pytest.raises(AnalysisError):
             run_trials(
-                complete_graph(8), 0, "pp-a", trials=2, seed=0,
+                graph, 0, "pp-a", trials=2, seed=0,
+                batch=True, engine_options={"view": "edge_clocks"}, scenario=dynamic,
+            )
+
+    def test_no_stale_global_only_rejection_message_survives(self):
+        """The pre-coverage-matrix message ("runtime scenarios are only
+        supported under the 'global' view") must be gone: these calls all
+        succeed now."""
+        graph = complete_graph(8)
+        for view in CLOCK_VIEWS:
+            result = run_asynchronous(
+                graph, 0, view=view, seed=1, scenario=MessageLoss(0.2)
+            )
+            assert result.completed
+            sample = run_trials(
+                graph, 0, "pp-a", trials=2, seed=1,
                 batch=True, engine_options={"view": view}, scenario=MessageLoss(0.2),
             )
+            assert sample.num_trials == 2
 
 
 class TestKernelBehaviour:
@@ -126,6 +177,30 @@ class TestKernelBehaviour:
         )
         for i, rng in enumerate(spawn_generators(4, 7)):
             serial = spread(graph, 0, protocol="pp-a", seed=rng, view=view)
+            assert batched.steps[i] == serial.steps
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {},
+            {"max_steps": 40, "on_budget_exhausted": "partial"},
+            {"max_time": 0.8, "on_budget_exhausted": "partial"},
+        ],
+        ids=["unbounded", "step-budget", "time-budget"],
+    )
+    def test_global_view_steps_match_serial(self, options):
+        """The global kernel's implied step count (chunk bookkeeping plus
+        the consumed-not-executed overtime correction) must equal the
+        serial engine's tick count under every budget shape."""
+        from repro.core.protocols import spread
+        from repro.randomness.rng import spawn_generators
+
+        graph = random_regular_graph(24, 3, seed=2)
+        batched = run_batch(
+            graph, [0] * 4, "pp-a", rngs=spawn_generators(4, 7), **options
+        )
+        for i, rng in enumerate(spawn_generators(4, 7)):
+            serial = spread(graph, 0, protocol="pp-a", seed=rng, **options)
             assert batched.steps[i] == serial.steps
 
 

@@ -123,6 +123,37 @@ class TestCsrRoundTrip:
         assert rebuilt.name == graph.name
         assert rebuilt.is_connected()
 
+    def test_from_csr_attach_is_lazy(self):
+        """Worker attach must be O(1): no Python adjacency/edge tuples are
+        built until an accessor actually needs them, and the structural
+        checks the batch kernels run (connectivity, edge count) work
+        straight off the CSR arrays."""
+        graph = random_regular_graph(24, 4, seed=7)
+        flat = FlatAdjacency(graph)
+        rebuilt = Graph.from_csr(flat.indptr, flat.indices, name=graph.name)
+        assert rebuilt._adjacency is None
+        assert rebuilt._edges is None
+        assert rebuilt._degrees is None
+        # The batch-only worker path: connectivity and edge counts do not
+        # materialise anything.
+        assert rebuilt.num_edges == graph.num_edges
+        assert rebuilt.is_connected()
+        assert rebuilt._adjacency is None
+        # First tuple access materialises, with plain-int contents.
+        assert rebuilt.neighbors(0) == graph.neighbors(0)
+        assert rebuilt._adjacency is not None
+        assert type(rebuilt.edges[0][0]) is int
+
+    def test_from_csr_disconnected_graph_detected_without_tuples(self):
+        # Two triangles: enough edges to defeat the m < n - 1 early exit,
+        # so the CSR-path BFS itself must find the second component.
+        disconnected = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        flat = FlatAdjacency(disconnected)
+        rebuilt = Graph.from_csr(flat.indptr, flat.indices)
+        assert not rebuilt.is_connected()
+        assert rebuilt._adjacency is None
+        assert rebuilt.connected_components() == [[0, 1, 2], [3, 4, 5]]
+
     def test_cache_adjacency_preseeds_the_lookup(self):
         graph = star_graph(12)
         flat = FlatAdjacency.from_arrays(

@@ -59,3 +59,48 @@ def test_registry_covers_every_batched_kernel():
         if case.protocol in ASYNC_BATCH_PROTOCOLS
     }
     assert {"global", *CLOCK_VIEWS} <= covered_views
+
+
+def _scenario_categories(scenario) -> set:
+    """The perturbation categories a registered case's scenario exercises."""
+    if scenario is None:
+        return set()
+    categories = set()
+    if scenario.burst is not None:
+        categories.add("burst-loss")
+    elif scenario.loss_prob > 0.0:
+        categories.add("loss")
+    churn = scenario.churn
+    if churn is not None:
+        categories.add("targeted-churn" if not churn.epoch_draws else "churn")
+    if scenario.dynamic is not None:
+        categories.add("dynamic")
+    if scenario.delay is not None:
+        categories.add("delay")
+    return categories
+
+
+def test_registry_covers_the_scenario_view_matrix():
+    """The scenario × view eligibility matrix must be pinned end to end:
+    every batchable (engine family, scenario category) combination needs at
+    least one registered trial-for-trial case.  The sole hole in the matrix
+    — dynamic graphs under ``edge_clocks`` — is rejected by both paths and
+    asserted separately in ``tests/core/test_batch_views.py``."""
+    covered: dict[str, set] = {}
+    for case in KERNEL_CASES:
+        if case.protocol in SYNC_BATCH_PROTOCOLS:
+            family = "sync"
+        elif case.protocol in ASYNC_BATCH_PROTOCOLS:
+            family = case.options().get("view", "global")
+        else:
+            continue  # aux processes reject runtime scenarios
+        covered.setdefault(family, set()).update(_scenario_categories(case.scenario))
+    expected = {
+        "sync": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic"},
+        "global": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"},
+        "node_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"},
+        "edge_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "delay"},
+    }
+    for family, categories in expected.items():
+        missing = categories - covered.get(family, set())
+        assert not missing, f"{family} is missing equivalence cases for {sorted(missing)}"

@@ -15,7 +15,9 @@ from repro.graphs import (
     path_graph,
     star_graph,
 )
+from repro.graphs.base import Graph
 from repro.graphs.properties import (
+    all_eccentricities,
     conductance_estimate,
     cut_conductance,
     cut_vertex_expansion,
@@ -24,6 +26,43 @@ from repro.graphs.properties import (
     profile_graph,
     vertex_expansion_estimate,
 )
+from repro.graphs.random_graphs import random_regular_graph
+
+
+class TestAllEccentricities:
+    """The vectorised all-sources BFS replacing the per-vertex Python loop."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            star_graph(16),
+            path_graph(9),
+            cycle_graph(11),
+            complete_graph(8),
+            barbell_graph(12),
+            hypercube_graph(4),
+            random_regular_graph(40, 3, seed=5),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_matches_per_vertex_bfs(self, graph):
+        vectorised = all_eccentricities(graph)
+        assert vectorised.tolist() == [
+            graph.eccentricity(v) for v in graph.vertices
+        ]
+
+    def test_single_vertex(self):
+        assert all_eccentricities(Graph(1, [])).tolist() == [0]
+
+    def test_disconnected_raises(self):
+        with pytest.raises(GraphError, match="connected"):
+            all_eccentricities(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_cached_per_graph_object(self):
+        graph = cycle_graph(10)
+        first = all_eccentricities(graph)
+        assert all_eccentricities(graph) is first  # cache hit
+        assert not first.flags.writeable  # the cached copy is read-only
 
 
 class TestDegreeSummary:

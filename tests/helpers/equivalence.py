@@ -49,11 +49,13 @@ from repro.graphs.base import Graph
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import spawn_generators
 from repro.scenarios import (
+    BurstLoss,
     Delay,
     DynamicGraph,
     FamilyResampler,
     MessageLoss,
     NodeChurn,
+    TargetedChurn,
 )
 
 __all__ = [
@@ -307,6 +309,94 @@ register_case(
     on_budget_exhausted="partial",
 )
 
+# --- PR-5: the full scenario × view coverage matrix --------------------- #
+# Every runtime scenario under both clock-queue views, the batched
+# asynchronous dynamic-graph path (global and node_clocks), and the
+# correlated-adversity models (BurstLoss, TargetedChurn) on every engine
+# family.  Targeted churn permanently silences its victims, so those cases
+# run with partial budgets — the partial per-vertex times must still agree
+# trial-for-trial.
+_BURST = BurstLoss(p_gb=0.3, p_bg=0.5, p_loss_bad=0.8)
+_ER_DYNAMIC = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
+
+for _view in ("node_clocks", "edge_clocks"):
+    register_case(
+        f"{_view}-loss", "pp-a", _rr24, (0, 1, 2), 21, scenario=MessageLoss(0.3), view=_view
+    )
+    register_case(
+        f"{_view}-churn", "pull-a", _rr24, (0,) * 3, 23,
+        scenario=NodeChurn(0.15, 0.5), view=_view,
+    )
+    register_case(
+        f"{_view}-delay", "push-a", _rr24, (0, 1, 2), 25,
+        scenario=Delay(low=0.25, high=3.0), view=_view,
+    )
+    register_case(
+        f"{_view}-burst-loss", "pp-a", _rr24, (0, 1), 27, scenario=_BURST, view=_view
+    )
+    register_case(
+        f"{_view}-targeted-churn", "pp-a", lambda: complete_graph(12), (3, 4), 29,
+        scenario=TargetedChurn(0.2), view=_view,
+        max_steps=400, on_budget_exhausted="partial",
+    )
+    register_case(
+        f"{_view}-loss-churn-delay", "pp-a", lambda: complete_graph(12), (0,) * 3, 31,
+        scenario=MessageLoss(0.2) | NodeChurn(0.1, 0.6) | Delay(low=0.5, high=2.0),
+        view=_view,
+    )
+register_case(
+    "node_clocks-dynamic", "pp-a", lambda: complete_graph(12), (0, 1), 33,
+    scenario=_ER_DYNAMIC, view="node_clocks",
+)
+register_case(
+    "node_clocks-dynamic-loss-churn", "push-a", lambda: complete_graph(12), (0,) * 3, 35,
+    scenario=MessageLoss(0.2) | NodeChurn(0.1, 0.5) | _ER_DYNAMIC, view="node_clocks",
+)
+register_case(
+    "global-dynamic", "pp-a", lambda: complete_graph(12), (0, 1, 2), 37,
+    scenario=_ER_DYNAMIC,
+)
+register_case(
+    # A cycle resampled into denser graphs: the per-trial padded CSR must
+    # grow its neighbor-array capacity mid-run.
+    "global-dynamic-grow", "pp-a", lambda: cycle_graph(12), (0, 1), 38,
+    scenario=DynamicGraph(FamilyResampler("erdos_renyi"), period=1),
+)
+register_case(
+    "global-time-budget-loss", "pp-a", lambda: complete_graph(12), (0,) * 3, 40,
+    scenario=MessageLoss(0.3), max_time=1.5, on_budget_exhausted="partial",
+)
+register_case(
+    "global-dynamic-delay-burst", "pp-a", lambda: complete_graph(12), (0, 1), 39,
+    scenario=_BURST | Delay(low=0.5, high=2.0) | DynamicGraph(
+        FamilyResampler("erdos_renyi"), period=3
+    ),
+)
+register_case("sync-burst-loss", "pp", _rr24, (0, 1, 2), 41, scenario=_BURST)
+register_case(
+    "sync-burst-churn", "pull", _rr24, (0,) * 3, 43,
+    scenario=BurstLoss(0.2, 0.4, 0.9, p_loss_good=0.05) | NodeChurn(0.1, 0.6),
+)
+register_case("global-burst-loss", "push-a", _rr24, (0, 1, 2), 45, scenario=_BURST)
+register_case(
+    "global-churn", "pp-a", lambda: complete_graph(16), (0, 1, 2), 46,
+    scenario=NodeChurn(0.15, 0.5),
+)
+register_case(
+    "sync-targeted-churn", "pp", lambda: complete_graph(12), (3, 4, 5), 47,
+    scenario=TargetedChurn(0.25), max_rounds=40, on_budget_exhausted="partial",
+)
+register_case(
+    "global-targeted-churn", "pp-a", lambda: complete_graph(12), (3, 4), 49,
+    scenario=TargetedChurn(0.2) | MessageLoss(0.2),
+    max_steps=400, on_budget_exhausted="partial",
+)
+register_case(
+    "sync-targeted-eccentricity", "push", lambda: star_graph(16), (1, 2), 51,
+    scenario=TargetedChurn(0.1, by="eccentricity"),
+    max_rounds=60, on_budget_exhausted="partial",
+)
+
 
 # --------------------------------------------------------------------- #
 # The parallel-transport registry (PR 4)
@@ -439,4 +529,9 @@ register_parallel_case(
 register_parallel_case(
     "parallel-clock-view", "pp-a", lambda: complete_graph(12), 0,
     trials=6, seed=31, num_workers=2, view="edge_clocks",
+)
+register_parallel_case(
+    "parallel-clock-view-scenario", "pp-a", _rr24, 0,
+    trials=6, seed=37, num_workers=2,
+    scenario=MessageLoss(0.25) | NodeChurn(0.1, 0.6), view="node_clocks",
 )

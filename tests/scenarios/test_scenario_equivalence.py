@@ -18,7 +18,7 @@ import pytest
 from helpers.equivalence import assert_batch_matches_serial, assert_trials_paths_agree
 from repro.analysis.montecarlo import run_trials
 from repro.core.batch_engine import is_batchable
-from repro.errors import AnalysisError, ScenarioError
+from repro.errors import ScenarioError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.random_graphs import random_regular_graph
 from repro.scenarios import (
@@ -113,17 +113,17 @@ class TestRunTrialsDispatch:
         )
         assert serial.source == batched.source == 0  # the hub, despite "random"
 
-    def test_async_dynamic_falls_back_to_serial(self):
+    def test_async_dynamic_dispatches_to_the_batch_kernel(self):
+        """Async dynamic-graph trials batch now (no serial fallback): a
+        forced batch succeeds and agrees with the serial path bit for bit."""
         scenario = DynamicGraph(FamilyResampler("erdos_renyi"), period=2)
-        assert not is_batchable("pp-a", None, scenario)
+        assert is_batchable("pp-a", None, scenario)
         assert is_batchable("pp", None, scenario)
+        assert is_batchable("pp-a", {"view": "node_clocks"}, scenario)
         graph = complete_graph(12)
-        sample = run_trials(
-            graph, 0, "pp-a", trials=4, seed=1, batch="auto", scenario=scenario
+        assert_trials_paths_agree(
+            graph, 0, "pp-a", trials=6, seed=1, batch=True, scenario=scenario
         )
-        assert sample.num_trials == 4
-        with pytest.raises(AnalysisError):
-            run_trials(graph, 0, "pp-a", trials=4, seed=1, batch=True, scenario=scenario)
 
     def test_sync_delay_rejected_with_clear_error(self):
         graph = complete_graph(12)

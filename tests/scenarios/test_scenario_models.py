@@ -122,10 +122,18 @@ class TestComposition:
 
 
 class TestRegistryAndParsing:
-    def test_at_least_five_scenarios_registered(self):
+    def test_all_seven_scenarios_registered(self):
         names = available_scenarios()
-        assert len(names) >= 5
-        assert {"loss", "churn", "dynamic", "adversarial-source", "delay"} <= set(names)
+        assert len(names) >= 7
+        assert {
+            "loss",
+            "burst-loss",
+            "churn",
+            "targeted-churn",
+            "dynamic",
+            "adversarial-source",
+            "delay",
+        } <= set(names)
 
     def test_build_scenario_rejects_bad_parameters(self):
         with pytest.raises(ScenarioError, match="expected"):
@@ -136,7 +144,9 @@ class TestRegistryAndParsing:
     def test_parse_round_trips_spec_strings(self):
         for spec in [
             "loss:p=0.3",
+            "burst-loss:p_gb=0.2,p_bg=0.5,p_loss_bad=0.8,p_loss_good=0",
             "churn:crash_rate=0.1,recovery_rate=0.6",
+            "targeted-churn:fraction=0.1,by=degree",
             "adversarial-source:strategy=min_degree",
             "delay:low=0.25,high=4",
             "loss:p=0.2+churn:crash_rate=0.05,recovery_rate=0.5",

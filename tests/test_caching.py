@@ -1,0 +1,66 @@
+"""Unit tests for the shared identity-keyed LRU cache."""
+
+from __future__ import annotations
+
+import gc
+
+from repro.caching import IdentityLRU
+
+
+class _Owner:
+    """A plain weakref-able key object."""
+
+
+class TestIdentityLRU:
+    def test_hit_miss_and_secondary_keys(self):
+        cache = IdentityLRU(4)
+        owner = _Owner()
+        assert cache.get(owner) is None
+        cache.put(owner, "plain")
+        cache.put(owner, "keyed", key="strategy")
+        assert cache.get(owner) == "plain"
+        assert cache.get(owner, "strategy") == "keyed"
+        assert cache.get(owner, "other") is None
+        assert len(cache) == 2
+        assert id(owner) in cache
+
+    def test_put_returns_the_value(self):
+        cache = IdentityLRU(2)
+        owner = _Owner()
+        assert cache.put(owner, 42) == 42
+
+    def test_lru_eviction_respects_recency(self):
+        cache = IdentityLRU(3)
+        owners = [_Owner() for _ in range(4)]
+        for index, owner in enumerate(owners[:3]):
+            cache.put(owner, index)
+        assert cache.get(owners[0]) == 0  # refresh: 0 is now most recent
+        cache.put(owners[3], 3)  # evicts the least recently used: owners[1]
+        assert cache.get(owners[1]) is None
+        assert cache.get(owners[0]) == 0
+        assert cache.get(owners[2]) == 2
+        assert cache.get(owners[3]) == 3
+
+    def test_dead_owners_evicted_before_live_ones(self):
+        cache = IdentityLRU(3)
+        keep = [_Owner(), _Owner()]
+        cache.put(keep[0], "a")
+        doomed = _Owner()
+        cache.put(doomed, "dead")
+        cache.put(keep[1], "b")
+        del doomed
+        gc.collect()
+        cache.put(_Owner(), "c")  # at capacity: the dead entry goes first
+        assert cache.get(keep[0]) == "a"
+        assert cache.get(keep[1]) == "b"
+
+    def test_pop_removes_only_the_requested_entry(self):
+        cache = IdentityLRU(4)
+        owner = _Owner()
+        cache.put(owner, 1)
+        cache.put(owner, 2, key="x")
+        cache.pop(owner)
+        assert cache.get(owner) is None
+        assert cache.get(owner, "x") == 2
+        cache.pop(owner, "x")
+        assert len(cache) == 0

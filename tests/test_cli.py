@@ -54,10 +54,48 @@ class TestListCommands:
     def test_list_scenarios(self, capsys):
         assert main(["scenarios"]) == 0
         output = capsys.readouterr().out
-        for name in ("loss", "churn", "dynamic", "adversarial-source", "delay"):
+        for name in (
+            "loss",
+            "burst-loss",
+            "churn",
+            "targeted-churn",
+            "dynamic",
+            "adversarial-source",
+            "delay",
+        ):
             assert name in output
-        # at least 5 registered models, each on its own summary line
-        assert sum(1 for line in output.splitlines() if "params:" in line) >= 5
+        # at least 7 registered models, each on its own summary line
+        assert sum(1 for line in output.splitlines() if "params:" in line) >= 7
+
+
+class TestScenariosSweep:
+    def test_sweep_writes_blowup_csv(self, capsys, tmp_path):
+        output = tmp_path / "sweep.csv"
+        exit_code = main(
+            [
+                "scenarios", "sweep",
+                "--families", "star",
+                "--size", "24",
+                "--protocols", "pp,pp-a",
+                "--grid", "loss:p=0.2;burst-loss:p_gb=0.2,p_bg=0.5,p_loss_bad=0.8",
+                "--view", "node_clocks",
+                "--trials", "8",
+                "--seed", "3",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "baseline" in printed and "blowup" in printed
+        lines = output.read_text().splitlines()
+        assert lines[0] == "family,n,protocol,view,scenario,mean,blowup"
+        # (1 baseline + 2 scenarios) x 2 protocols
+        assert len(lines) == 1 + 6
+        assert any(",node_clocks," in line for line in lines[1:])
+
+    def test_sweep_rejects_unknown_family(self, capsys):
+        assert main(["scenarios", "sweep", "--families", "moebius", "--trials", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestRunCommand:
@@ -99,6 +137,19 @@ class TestRunCommand:
     def test_batch_rejected_for_experiments_without_support(self, capsys):
         assert main(["run", "E4", "--preset", "smoke", "--batch", "on"]) == 2
         assert "does not accept a batch mode" in capsys.readouterr().err
+
+    def test_parallel_flags_parse(self):
+        arguments = build_parser().parse_args(
+            ["run", "E12", "--parallel", "--num-workers", "2"]
+        )
+        assert arguments.parallel is True
+        assert arguments.num_workers == 2
+        defaults = build_parser().parse_args(["run", "E12"])
+        assert defaults.parallel is False and defaults.num_workers is None
+
+    def test_parallel_rejected_for_experiments_without_support(self, capsys):
+        assert main(["run", "E4", "--preset", "smoke", "--parallel"]) == 2
+        assert "does not accept a parallel mode" in capsys.readouterr().err
 
     def test_bad_scenario_spec_returns_error_code(self, capsys):
         assert main(["run", "E12", "--preset", "smoke", "--scenario", "loss:p"]) == 2
