@@ -57,6 +57,19 @@ def bench_preset(request) -> str:
     return request.config.getoption("--bench-preset")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _warm_kernels():
+    """Pre-warm the kernel backends once per benchmark session.
+
+    Numba compiles lazily per signature; without this, the first timed
+    region of the session would absorb seconds of jit compilation and
+    poison its benchmark.  A no-op (milliseconds) on numpy-only installs.
+    """
+    from repro.core.kernels import warmup_kernels
+
+    warmup_kernels()
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run a callable exactly once under pytest-benchmark timing."""
@@ -75,15 +88,17 @@ def bench_record(request):
     speedup=..., gate=3.0, **extra)``.  ``speedup`` is measured against the
     benchmark's *pinned* baseline (frozen seed loop, fresh-executor sweep,
     unchunked pooled kernel, ...), so the trajectory stays comparable
-    across PRs.
+    across PRs.  ``seconds``/``speedup`` may be ``None`` for a gate that
+    records itself as skipped (e.g. the jit gate on a numba-free machine) —
+    a skip that leaves a trace in BENCH_batch.json instead of vanishing.
     """
     preset = request.config.getoption("--bench-preset")
 
-    def record(name: str, *, seconds: float, speedup: float, gate: float, **extra):
+    def record(name: str, *, seconds, speedup, gate: float, **extra):
         _BENCH_JSON_RECORDS[name] = {
             "preset": preset,
-            "seconds": round(float(seconds), 6),
-            "speedup": round(float(speedup), 3),
+            "seconds": None if seconds is None else round(float(seconds), 6),
+            "speedup": None if speedup is None else round(float(speedup), 3),
             "gate": float(gate),
             **extra,
         }

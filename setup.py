@@ -1,11 +1,29 @@
-"""Setuptools shim.
+"""Setuptools build configuration.
 
-The canonical build configuration lives in ``pyproject.toml``.  This file
-exists so that ``python setup.py develop`` keeps working on minimal
-environments that lack the ``wheel`` package (PEP 660 editable installs via
-``pip install -e .`` need it to build an editable wheel).
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install -e .``
+and ``python setup.py develop`` both work on the minimal environments this
+repository targets.  The base install depends on numpy/scipy only; the one
+extra, ``jit``, pulls in numba for the compiled kernel backend
+(``repro.core.kernels.jit_backend``) — without it every ``backend="jit"``
+request degrades gracefully to the reference numpy kernels.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-giakkoupis-nw16",
+    version="0.6.0",
+    description=(
+        "Reproduction of Giakkoupis, Nazari and Woelfel (PODC 2016): "
+        "randomized rumor spreading in dynamic graphs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy", "scipy"],
+    extras_require={
+        # Compiled kernel tier: `pip install -e '.[jit]'` enables
+        # backend="jit"/"auto" to run the numba @njit CSR kernels.
+        "jit": ["numba>=0.59"],
+    },
+)

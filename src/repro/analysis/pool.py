@@ -42,6 +42,25 @@ __all__ = ["ExecutorHandle", "get_pool", "shutdown_pool"]
 _START_METHODS = ("fork", "spawn", "forkserver")
 
 
+def _initialize_worker(backend: Optional[str]) -> None:
+    """Per-process pool initializer (top level, so every start method works).
+
+    Propagates the parent's kernel-backend selection (``spawn``/``forkserver``
+    children do not inherit mutated parent environments) and pre-warms the
+    kernels so a worker's first real chunk never absorbs numba's first-call
+    compilation.  Warmup failures are swallowed: a worker that cannot warm
+    up can still run, just slower on its first chunk.
+    """
+    if backend is not None:
+        os.environ["REPRO_KERNEL_BACKEND"] = backend
+    try:
+        from repro.core.kernels import warmup_kernels
+
+        warmup_kernels()
+    except Exception:
+        pass
+
+
 def _start_method() -> Optional[str]:
     """The forced multiprocessing start method, or ``None`` for the default."""
     raw = os.environ.get("REPRO_MP_START_METHOD")
@@ -94,7 +113,10 @@ class ExecutorHandle:
                 method = _start_method()
                 context = multiprocessing.get_context(method) if method else None
                 self._executor = ProcessPoolExecutor(
-                    max_workers=self.max_workers, mp_context=context
+                    max_workers=self.max_workers,
+                    mp_context=context,
+                    initializer=_initialize_worker,
+                    initargs=(os.environ.get("REPRO_KERNEL_BACKEND"),),
                 )
                 self._executor_workers = self.max_workers
                 self.creations += 1

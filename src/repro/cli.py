@@ -23,6 +23,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -103,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-workers", type=int, default=None,
         help="worker processes for --parallel (default: CPU count, REPRO_MAX_WORKERS capped)",
     )
+    sweep_parser.add_argument(
+        "--backend", choices=("auto", "numpy", "jit"), default=None,
+        help=(
+            "kernel backend for the batched engines (sets REPRO_KERNEL_BACKEND "
+            "process-wide, pool workers included): 'numpy' is the reference, "
+            "'jit' the numba-compiled loops (falls back to numpy with one "
+            "warning when numba is missing), 'auto' prefers jit when available"
+        ),
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1 or 1")
@@ -145,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for --parallel (default: CPU count, REPRO_MAX_WORKERS capped)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "jit"),
+        default=None,
+        help=(
+            "kernel backend for the batched engines (sets REPRO_KERNEL_BACKEND "
+            "process-wide, pool workers included): 'numpy' is the reference, "
+            "'jit' the numba-compiled loops (falls back to numpy with one "
+            "warning when numba is missing), 'auto' prefers jit when available"
+        ),
     )
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
@@ -202,9 +223,22 @@ def _command_scenarios(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend(backend: Optional[str]) -> None:
+    """Select the kernel backend process-wide (pool workers inherit it).
+
+    The environment variable is the one channel every consumer reads — the
+    in-process kernels via :func:`repro.core.kernels.default_backend_name`
+    and the persistent pool workers via their initializer — so the CLI flag
+    covers serial, batched, and parallel runs alike.
+    """
+    if backend is not None:
+        os.environ["REPRO_KERNEL_BACKEND"] = backend
+
+
 def _command_scenarios_sweep(arguments: argparse.Namespace) -> int:
     from repro.experiments.scenarios import DEFAULT_SWEEP_GRID, sweep_scenarios
 
+    _apply_backend(arguments.backend)
     grid = (
         [part for part in arguments.grid.split(";") if part.strip()]
         if arguments.grid is not None
@@ -259,6 +293,7 @@ def _require_runner_param(experiment: str, param: str, hint: str) -> None:
 def _command_run(arguments: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
+    _apply_backend(arguments.backend)
     overrides = {}
     if arguments.scenario is not None:
         from repro.scenarios import parse_scenario

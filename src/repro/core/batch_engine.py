@@ -72,6 +72,13 @@ are the same superposed Poisson process in distribution — see
 :func:`_run_clock_view_pooled`), which removes the dominant per-tick
 argmin/draw overhead.
 
+**Kernel backends.**  The hot loops themselves — the synchronous round
+step, the flattened asynchronous tick loop, and the pooled clock-view
+chunk consumer — live in :mod:`repro.core.kernels` with interchangeable
+``"numpy"`` and numba-compiled ``"jit"`` implementations, selected per
+call with the ``backend=`` engine option (default ``"auto"``); see the
+package docstring for the per-kernel equivalence guarantees.
+
 The output is a times-only :class:`~repro.core.result.BatchTimes` record:
 batched runs never build parents, infection kinds, or traces.  Callers that
 need those (coupling experiments, trace debugging) use the serial engines.
@@ -86,6 +93,7 @@ import numpy as np
 from repro.core.async_engine import ASYNC_MODES, ASYNC_VIEWS, default_max_steps
 from repro.core.aux_processes import AUX_VARIANTS, pull_probabilities
 from repro.core.flatgraph import FlatAdjacency, flat_adjacency
+from repro.core.kernels import AsyncState, resolve_backend
 from repro.core.result import BatchTimes
 from repro.core.sync_engine import SYNC_MODES, default_max_rounds
 from repro.errors import ProtocolError, ScenarioError, SimulationError
@@ -123,9 +131,9 @@ _SYNC_MODE_NAMES = {"push": "push", "pull": "pull", "push-pull": "pp"}
 _ASYNC_MODE_NAMES = {"push": "push-a", "pull": "pull-a", "push-pull": "pp-a"}
 
 #: Engine options each batched kernel understands (beyond ``record_times``).
-_SYNC_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
-_ASYNC_OPTIONS = frozenset({"max_steps", "max_time", "view", "on_budget_exhausted"})
-_AUX_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted"})
+_SYNC_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted", "backend"})
+_ASYNC_OPTIONS = frozenset({"max_steps", "max_time", "view", "on_budget_exhausted", "backend"})
+_AUX_OPTIONS = frozenset({"max_rounds", "on_budget_exhausted", "backend"})
 
 #: Chunk size of the serial asynchronous global-view engine; the batched
 #: kernel must refill per-trial randomness buffers in chunks of exactly this
@@ -435,6 +443,7 @@ def run_synchronous_batch(
     on_budget_exhausted: str = "error",
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> BatchTimes:
     """Simulate a batch of synchronous rumor-spreading trials at once.
 
@@ -469,6 +478,10 @@ def run_synchronous_batch(
             (``Delay`` raises — synchronous rounds have no clocks).
         pooled_rng: one shared generator replacing the per-trial ones (no
             serial equivalence; distribution-level agreement only).
+        backend: kernel backend for the round step — ``"numpy"``, ``"jit"``,
+            or ``"auto"`` (see :mod:`repro.core.kernels`; both backends are
+            bit-identical here).  ``None`` reads ``REPRO_KERNEL_BACKEND``
+            and then defaults to ``"auto"``.
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with round-valued times.
@@ -496,6 +509,7 @@ def run_synchronous_batch(
     if n == 1:
         return _trivial_batch(protocol_name, graph, source_array, record_times, True)
 
+    kern = resolve_backend(backend)
     flat = flat_adjacency(graph)
     # Narrow copies of the CSR arrays: the neighbor-sampling gathers are the
     # hottest memory traffic in the round loop.  int32 covers flat (row,
@@ -506,6 +520,7 @@ def run_synchronous_batch(
     max_offset_nw = degrees_nw - 1
     start_nw = flat.indptr[:-1].astype(idx_dtype)
     indices_nw = flat.indices.astype(idx_dtype)
+    csr_nw = (degrees_nw, max_offset_nw, start_nw, indices_nw)
 
     pull_allowed = mode in ("pull", "push-pull")
     push_allowed = mode in ("push", "push-pull")
@@ -531,18 +546,11 @@ def run_synchronous_batch(
     final_informed_count = np.full(batch, n, dtype=np.int64)
     completed = np.zeros(batch, dtype=bool)
     completion_time = np.full(batch, np.inf)
-    # Preallocated per-round working buffers (sliced to the live row count):
-    # the round loop reuses them instead of allocating ~n * live temporaries
-    # every round.
+    # Contact-draw buffer (sliced to the live row count) plus the backend's
+    # own round workspace (the numpy kernels preallocate their per-round
+    # temporaries there; the jit kernels need none).
     scratch = np.empty((batch, n))
-    offsets_buf = np.empty((batch, n), dtype=idx_dtype)
-    contact_buf = np.empty((batch, n), dtype=idx_dtype)
-    contacted_buf = np.empty((batch, n), dtype=bool)
-    pull_buf = np.empty((batch, n), dtype=bool)
-    push_buf = np.empty((batch, n), dtype=bool)
-    # Row offsets turning (row, vertex) pairs into indices of the raveled
-    # (live, n) arrays; the whole round works in that flat address space.
-    row_offsets = (np.arange(batch, dtype=idx_dtype) * idx_dtype(n))[:, None]
+    ws = kern.sync_workspace(batch, n, idx_dtype)
 
     # Scenario state: per-trial up/down churn matrix, draw buffers for the
     # churn and loss uniforms, per-trial burst channel states, and — under
@@ -603,36 +611,10 @@ def run_synchronous_batch(
                 # One rng.random(n) per live trial per round — the exact draw
                 # the serial engine makes, so per-trial streams stay aligned.
                 live_rngs[i].random(out=draws[i])
-        if stacked is not None:
-            # Per-trial graphs: same contact arithmetic against the stacked
-            # CSR (start offsets already absolute into the concatenation).
-            degrees_st, start_st, indices_cat = stacked
-            offsets_wide = (draws * degrees_st).astype(np.int64)
-            np.minimum(offsets_wide, degrees_st - 1, out=offsets_wide)
-            offsets_wide += start_st
-            contact_flat = indices_cat[offsets_wide]
-            contact_flat += row_offsets_wide[:live]
-        else:
-            # Contact selection, identical arithmetic to
-            # FlatAdjacency.random_neighbors_all but on narrow dtypes (the
-            # unsafe cast truncates toward zero exactly like .astype, and the
-            # 'clip' take mode skips bounds checks on indices that are in
-            # range by construction).
-            offsets = offsets_buf[:live]
-            np.multiply(draws, degrees_nw, out=offsets, casting="unsafe")
-            np.minimum(offsets, max_offset_nw, out=offsets)
-            offsets += start_nw
-            contact_flat = contact_buf[:live]
-            np.take(indices_nw, offsets, out=contact_flat, mode="clip")
-            contact_flat += row_offsets[:live]  # flat index of each contacted vertex
-        informed_flat = informed_live.reshape(-1)
-        contacted_informed = contacted_buf[:live]
-        np.take(informed_flat, contact_flat, out=contacted_informed, mode="clip")
-        exchange_ok = None
-        if churn is not None:
-            # Both endpoints must be up: crashed vertices neither initiate
-            # nor answer.
-            exchange_ok = up_live & np.take(up_live.reshape(-1), contact_flat, mode="clip")
+        # Loss uniforms are the round's final draw (after the contacts),
+        # resolved into the `kept` mask before the kernel runs — the draw
+        # order is what serial equivalence pins, not where the mask is used.
+        kept = None
         if parts.lossy:
             loss_draws = loss_buf[:live]
             if pooled_rng is not None:
@@ -644,41 +626,18 @@ def run_synchronous_batch(
                 kept = loss_draws >= loss_prob
             else:
                 kept = loss_draws >= parts.loss_threshold(bad_live)[:, None]
-            exchange_ok = kept if exchange_ok is None else exchange_ok & kept
-
-        # Everything below reads the round-start snapshot of the informed
-        # set before mutating it.  A flat position is its own "caller"
-        # index, so the pull update is a plain elementwise OR with the
-        # contacted statuses (a no-op on already-informed callers), and
-        # push infections scatter at the contacted positions of informed
-        # callers (a no-op on already-informed targets, so the snapshot
-        # mask `informed > contacted` drops them before the scatter).
-        push_targets = None
-        if push_allowed:
-            push_mask = np.greater(informed_live, contacted_informed, out=push_buf[:live])
-            if exchange_ok is not None:
-                push_mask &= exchange_ok
-            push_targets = contact_flat[push_mask]
-        if times_live is not None:
-            times_flat = times_live.reshape(-1)
-            if pull_allowed:
-                pull_mask = np.less(informed_live, contacted_informed, out=pull_buf[:live])
-                if exchange_ok is not None:
-                    pull_mask &= exchange_ok
-                np.copyto(times_live, float(round_index), where=pull_mask)
-            if push_targets is not None:
-                times_flat[push_targets] = float(round_index)
-        if pull_allowed:
-            if exchange_ok is None:
-                informed_live |= contacted_informed
-            else:
-                informed_live |= np.logical_and(
-                    contacted_informed, exchange_ok, out=pull_buf[:live]
-                )
-        if push_targets is not None:
-            informed_flat[push_targets] = True
-
-        informed_live_count = informed_live.sum(axis=1)
+        if stacked is not None:
+            informed_live_count = kern.sync_round_step_dynamic(
+                stacked, row_offsets_wide[:live], draws, kept, up_live,
+                informed_live, times_live, round_index,
+                push_allowed, pull_allowed, ws, informed_live_count,
+            )
+        else:
+            informed_live_count = kern.sync_round_step(
+                csr_nw, draws, kept, up_live,
+                informed_live, times_live, round_index,
+                push_allowed, pull_allowed, ws, informed_live_count,
+            )
         finished = informed_live_count == n
         if finished.any():
             done = np.flatnonzero(finished)
@@ -749,6 +708,7 @@ def run_asynchronous_batch(
     on_budget_exhausted: str = "error",
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> BatchTimes:
     """Simulate a batch of asynchronous trials under the ``"global"`` view.
 
@@ -766,6 +726,9 @@ def run_asynchronous_batch(
 
     Args: as :func:`run_synchronous_batch`, with the asynchronous budgets
         ``max_steps`` (clock ticks) and ``max_time`` (simulated time).
+        ``backend`` selects the tick-loop kernel (:mod:`repro.core.kernels`);
+        the per-trial modes are bit-identical across backends, the pooled
+        mode agrees in distribution only under ``"jit"``.
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with continuous times.
@@ -790,6 +753,7 @@ def run_asynchronous_batch(
     if n == 1:
         return _trivial_batch(protocol_name, graph, source_array, record_times, False)
 
+    kern = resolve_backend(backend)
     flat = flat_adjacency(graph)
     degrees_nw = flat.degrees.astype(np.int32)
     max_offset_nw = degrees_nw - 1
@@ -797,8 +761,6 @@ def run_asynchronous_batch(
     indices_nw = flat.indices.astype(np.int32)
     trial_graphs = _TrialGraphs(graph, batch) if dynamic is not None else None
 
-    mode_pp = mode == "push-pull"
-    push_allowed = mode in ("push", "push-pull")
     finite_time_budget = np.isfinite(time_budget)
     scale = 1.0 / n  # mean gap of the rate-n global clock
 
@@ -874,197 +836,33 @@ def run_asynchronous_batch(
     chunk_base = np.zeros(batch, dtype=np.int64)
     overtime = np.zeros(batch, dtype=bool) if finite_time_budget else None
 
-    # Flat views of the per-trial buffers and state matrices: the loop
-    # gathers through 1-D np.take (and scatters through flat indices),
-    # which skips the 2-D fancy-indexing machinery on the hottest lines.
-    gaps_flat = gaps.reshape(-1)
-    callers_flat = callers.reshape(-1)
-    nbr_flat = nbr_uniforms.reshape(-1)
-    loss_flat = loss_uniforms.reshape(-1) if loss_uniforms is not None else None
-    informed_flat = informed.reshape(-1)
-    times_flat = times.reshape(-1) if times is not None else None
-
     live = num_informed < n
     if step_budget == 0:
         live[:] = False
-    rows = np.flatnonzero(live)
-    # Every live trial consumes exactly one buffered draw per iteration, so
-    # the earliest possible refill is a scalar countdown — the loop skips
-    # the per-iteration buffer-exhaustion scan entirely until it reaches 0.
-    ticks_until_refill = 0
-    # Index bases derived from `rows` (flat positions into the buffers and
-    # the (B, n) state), recomputed only when the live set changes.
-    pos_base = row_base = w_base = None
-    tg_width = trial_graphs.width if trial_graphs is not None else None
-    while rows.size:
-        if ticks_until_refill <= 0:
-            at_boundary = positions.take(rows) >= buffer_lengths.take(rows)
-            if at_boundary.any():
-                for b in rows[at_boundary]:
-                    # The exhausted chunk moves into the retired-tick count
-                    # whether or not the trial goes on; `positions` always
-                    # restarts from the head of the (possibly new) buffer.
-                    chunk_base[b] += buffer_lengths[b]
-                    positions[b] = 0
-                    buffer_lengths[b] = 0
-                    remaining = step_budget - int(chunk_base[b])
-                    if remaining <= 0:
-                        live[b] = False
-                        continue
-                    chunk = min(_ASYNC_CHUNK, remaining)
-                    rng = pooled_rng if pooled_rng is not None else generators[b]
-                    gaps[b, :chunk] = rng.exponential(
-                        scale if scales is None else scales[b], chunk
-                    )
-                    if rates_cum is not None:
-                        # Weighted caller selection: resolve the whole chunk
-                        # of uniforms against the trial's cumulative rates
-                        # now (the draw order is what serial equivalence
-                        # pins, not when the uniforms are transformed).
-                        caller_uniforms = rng.random(chunk)
-                        callers[b, :chunk] = np.minimum(
-                            np.searchsorted(
-                                rates_cum[b],
-                                caller_uniforms * rates_total[b],
-                                side="right",
-                            ),
-                            n - 1,
-                        )
-                    else:
-                        callers[b, :chunk] = rng.integers(0, n, chunk)
-                    nbr_uniforms[b, :chunk] = rng.random(chunk)
-                    if loss_uniforms is not None:
-                        loss_uniforms[b, :chunk] = rng.random(chunk)
-                    buffer_lengths[b] = chunk
-                    positions[b] = 0
-                keep_mask = live[rows]
-                if not keep_mask.all():
-                    rows = rows[keep_mask]
-                    pos_base = None
-                if rows.size == 0:
-                    break
-            ticks_until_refill = int(
-                (buffer_lengths.take(rows) - positions.take(rows)).min()
-            )
-        ticks_until_refill -= 1
-
-        if pos_base is None:
-            pos_base = rows * _ASYNC_CHUNK
-            row_base = rows * n
-            if trial_graphs is not None:
-                tg_width = trial_graphs.width
-                w_base = rows * tg_width
-
-        cursor = positions.take(rows)
-        pos = pos_base + cursor
-        gap = gaps_flat.take(pos, mode="clip")
-        caller = callers_flat.take(pos, mode="clip")
-        uniform = nbr_flat.take(pos, mode="clip")
-        loss_u = loss_flat.take(pos, mode="clip") if loss_flat is not None else None
-        positions[rows] = cursor + 1
-        tick_time = now.take(rows) + gap
-        now[rows] = tick_time
-
-        if finite_time_budget:
-            over_time = tick_time > time_budget
-            if over_time.any():
-                live[rows[over_time]] = False
-                overtime[rows[over_time]] = True
-                keep = ~over_time
-                rows = rows[keep]
-                pos_base = pos_base[keep]
-                row_base = row_base[keep]
-                if w_base is not None:
-                    w_base = w_base[keep]
-                caller = caller[keep]
-                uniform = uniform[keep]
-                tick_time = tick_time[keep]
-                if loss_u is not None:
-                    loss_u = loss_u[keep]
-                if rows.size == 0:
-                    rows = np.flatnonzero(live)
-                    pos_base = None
-                    continue
-        if has_boundaries and float(tick_time.max()) >= boundary_floor:
-            # Boundaries at integer times (churn/burst epochs) and at
-            # dynamic-graph periods: every boundary crossed in
-            # (previous tick, now] fires before the exchange at `now`, in
-            # chronological order with the epoch first on ties — drawing
-            # the same interleaved randomness the serial engine does.
-            if next_epoch is None:
-                bound = next_resample.take(rows)
-            elif next_resample is None:
-                bound = next_epoch.take(rows)
-            else:
-                bound = np.minimum(next_epoch.take(rows), next_resample.take(rows))
-            crossing = tick_time >= bound
-            if crossing.any():
-                for b, t in zip(rows[crossing], tick_time[crossing]):
-                    rng = pooled_rng if pooled_rng is not None else generators[b]
-                    parts.cross_boundaries(
-                        b, t, rng, n, up, bad, next_epoch, next_resample, trial_graphs
-                    )
-                # The floor tracks the earliest boundary still pending over
-                # the (conservatively: all) trials.
-                boundary_floor = np.inf
-                if next_epoch is not None:
-                    boundary_floor = float(next_epoch.min())
-                if next_resample is not None:
-                    boundary_floor = min(boundary_floor, float(next_resample.min()))
-        # The loss threshold depends on the burst channel state *after* the
-        # boundaries at this tick fired, so it resolves only now.
-        lost = loss_u < parts.loss_threshold(bad, rows) if loss_u is not None else None
-
-        caller_pos = row_base + caller
-        if trial_graphs is not None:
-            if trial_graphs.width != tg_width:  # a resample grew the pad
-                tg_width = trial_graphs.width
-                w_base = rows * tg_width
-            callee = trial_graphs.callees_at(caller_pos, w_base, uniform)
-        else:
-            offsets = (uniform * degrees_nw.take(caller, mode="clip")).astype(np.int64)
-            np.minimum(offsets, max_offset_nw.take(caller, mode="clip"), out=offsets)
-            offsets += start_nw.take(caller, mode="clip")
-            callee = indices_nw.take(offsets, mode="clip")
-
-        caller_informed = informed_flat.take(caller_pos, mode="clip")
-        callee_informed = informed_flat.take(row_base + callee, mode="clip")
-        # One contact per trial per tick, so the exchange vectorises with no
-        # intra-iteration conflicts: push informs the callee, pull informs
-        # the caller, and in push-pull exactly the uninformed endpoint of an
-        # informative contact (caller_informed XOR callee_informed) learns.
-        if mode_pp:
-            active = caller_informed != callee_informed
-            targets = np.where(caller_informed, callee, caller)
-        elif push_allowed:
-            active = caller_informed & ~callee_informed
-            targets = callee
-        else:
-            active = ~caller_informed & callee_informed
-            targets = caller
-        if lost is not None:
-            active &= ~lost
-        if up is not None:
-            # Crashed endpoints suppress the exchange in either direction.
-            active &= up[rows, caller] & up[rows, callee]
-        if active.any():
-            active_rows = rows[active]
-            active_flat = row_base[active] + targets[active]
-            informed_flat[active_flat] = True
-            if times_flat is not None:
-                times_flat[active_flat] = tick_time[active]
-            num_informed[active_rows] += 1
-            done = active_rows[num_informed[active_rows] == n]
-            if done.size:
-                completed[done] = True
-                completion_time[done] = now[done]
-                live[done] = False
-                rows = np.flatnonzero(live)
-                pos_base = None
-        # `rows` stays valid across iterations: every path that retires a
-        # trial (budget boundary, overtime, completion) refreshed it above.
-
-    steps = chunk_base + positions
+    steps = np.zeros(batch, dtype=np.int64)
+    # Hand the fully-prepared working set to the selected backend's tick
+    # loop: both backends consume one identical bundle (same buffer layout,
+    # same chunked-draw protocol via AsyncState.draw_chunk), so the
+    # equivalence-pinned randomness stream is backend independent.
+    state = AsyncState(
+        n=n, batch=batch, mode=mode, chunk=_ASYNC_CHUNK,
+        step_budget=step_budget, time_budget=time_budget,
+        finite_time_budget=finite_time_budget,
+        generators=generators, pooled_rng=pooled_rng,
+        scale=scale, scales=scales, rates_cum=rates_cum, rates_total=rates_total,
+        degrees=degrees_nw, max_offset=max_offset_nw,
+        start=start_nw, indices=indices_nw, trial_graphs=trial_graphs,
+        parts=parts, up=up, bad=bad,
+        next_epoch=next_epoch, next_resample=next_resample,
+        boundary_floor=boundary_floor, has_boundaries=has_boundaries,
+        gaps=gaps, callers=callers, nbr_uniforms=nbr_uniforms,
+        loss_uniforms=loss_uniforms, positions=positions,
+        buffer_lengths=buffer_lengths, chunk_base=chunk_base,
+        informed=informed, times=times, num_informed=num_informed, now=now,
+        live=live, completed=completed, completion_time=completion_time,
+        overtime=overtime, steps=steps,
+    )
+    kern.async_tick_loop(state)
     if overtime is not None:
         steps[overtime] -= 1  # the final draw was consumed, not executed
     if not completed.all() and on_budget_exhausted == "error":
@@ -1126,6 +924,7 @@ def run_auxiliary_batch(
     on_budget_exhausted: str = "error",
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> BatchTimes:
     """Simulate a batch of auxiliary-process (``ppx``/``ppy``) trials at once.
 
@@ -1149,7 +948,10 @@ def run_auxiliary_batch(
     :func:`repro.core.protocols.spread`.
 
     Args: as :func:`run_synchronous_batch`, plus ``variant`` (``"ppx"`` or
-        ``"ppy"``).
+        ``"ppy"``).  ``backend`` is accepted for interface uniformity and
+        ignored: the auxiliary kernels have no compiled implementation
+        (their cost is dominated by the neighbor-count bookkeeping, not a
+        tick loop).
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with round-valued times.
@@ -1313,6 +1115,7 @@ def _run_clock_view_pooled(
     chunk: int,
     protocol_name: str,
     parts: Optional["_ScenarioParts"] = None,
+    kern=None,
 ) -> BatchTimes:
     """The chunked pooled-RNG fast path shared by both clock-queue views.
 
@@ -1352,6 +1155,8 @@ def _run_clock_view_pooled(
 
     if parts is None:
         parts = _ScenarioParts(None)
+    if kern is None:
+        kern = resolve_backend(None)
     burst = parts.burst
     # Under a Delay every vertex v ticks at rate r_v (node clocks) — and
     # its edge-view pair clocks, rate r_v/deg(v) each, superpose to the
@@ -1425,82 +1230,16 @@ def _run_clock_view_pooled(
         np.minimum(offsets, deg - 1, out=offsets)
         callees = indices[start[callers] + offsets]
 
-        # The column loop touches `steps` only at retirement: while alive,
-        # every trial executes every column, so the count is implied by the
-        # column index (`executed + column`).  `local` (the alive block
-        # rows) is likewise rebuilt only when a retirement dirtied it.
-        alive = np.ones(rows.size, dtype=bool)
-        local = np.arange(rows.size, dtype=np.int64)
-        active_rows = rows
-        for column in range(width):
-            tick_time = tick_times[local, column]
-            if finite_time_budget:
-                # Like the serial engine: the first over-budget event is
-                # popped but not executed (no step counted).
-                over = tick_time > time_budget
-                if over.any():
-                    over_local = local[over]
-                    live[rows[over_local]] = False
-                    alive[over_local] = False
-                    steps[rows[over_local]] = executed + column
-                    local = local[~over]
-                    if local.size == 0:
-                        break
-                    active_rows = rows[local]
-                    tick_time = tick_time[~over]
-            if next_epoch is not None:
-                # Churn/burst epochs at integer times, as in the per-trial
-                # kernel; the updates draw from the pooled generator.
-                crossing = tick_time >= next_epoch[active_rows]
-                if crossing.any():
-                    for b, t in zip(active_rows[crossing], tick_time[crossing]):
-                        parts.cross_boundaries(
-                            b, t, pooled_rng, n, up, bad, next_epoch, None, None
-                        )
-            caller = callers[local, column]
-            callee = callees[local, column]
-            caller_informed = informed[active_rows, caller]
-            callee_informed = informed[active_rows, callee]
-            if mode_pp:
-                active = caller_informed != callee_informed
-                targets = np.where(caller_informed, callee, caller)
-            elif push_allowed:
-                active = caller_informed & ~callee_informed
-                targets = callee
-            else:
-                active = ~caller_informed & callee_informed
-                targets = caller
-            if loss_block is not None:
-                active &= loss_block[local, column] >= parts.loss_threshold(
-                    bad, active_rows
-                )
-            if up is not None:
-                active &= up[active_rows, caller] & up[active_rows, callee]
-            if active.any():
-                hit_local = local[active]
-                hit_rows = rows[hit_local]
-                hit_targets = targets[active]
-                hit_times = tick_time[active]
-                informed[hit_rows, hit_targets] = True
-                if times is not None:
-                    times[hit_rows, hit_targets] = hit_times
-                num_informed[hit_rows] += 1
-                done = num_informed[hit_rows] == n
-                if done.any():
-                    done_local = hit_local[done]
-                    done_rows = rows[done_local]
-                    completed[done_rows] = True
-                    completion_time[done_rows] = hit_times[done]
-                    steps[done_rows] = executed + column + 1
-                    live[done_rows] = False
-                    alive[done_local] = False
-                    local = np.flatnonzero(alive)
-                    if local.size == 0:
-                        break
-                    active_rows = rows[local]
-        if local.size:
-            steps[active_rows] = executed + width
-            now[active_rows] = tick_times[local, width - 1]
+        # Everything random about the block is resolved; the backend's
+        # consumer walks its columns and mutates the per-trial state in
+        # place (only epoch crossings still draw, from the pooled
+        # generator — the jit backend delegates those blocks to numpy).
+        kern.clock_chunk_consume(
+            rows, executed, width, tick_times, callers, callees, loss_block,
+            informed, times, num_informed, steps, completed, completion_time,
+            live, now, n, time_budget, finite_time_budget, mode_pp,
+            push_allowed, parts, bad, up, next_epoch, pooled_rng,
+        )
 
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
@@ -1539,6 +1278,7 @@ def run_clock_view_batch(
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
     pooled_chunk: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> BatchTimes:
     """Simulate a batch of asynchronous trials under a clock-queue view.
 
@@ -1583,7 +1323,11 @@ def run_clock_view_batch(
     modes in distribution only (KS-tested in the suite).
 
     Args: as :func:`run_asynchronous_batch`, plus ``view`` and
-        ``pooled_chunk``.
+        ``pooled_chunk``.  ``backend`` applies to the chunked pooled fast
+        path only (its consumer is a :mod:`repro.core.kernels` kernel, and
+        both backends produce identical results there); the per-trial and
+        unchunked pooled table loops are pinned to the serial draw order
+        and always run the numpy path.
 
     Returns:
         A :class:`~repro.core.result.BatchTimes` with continuous times.
@@ -1637,6 +1381,7 @@ def run_clock_view_batch(
             _POOLED_CLOCK_CHUNK if pooled_chunk is None else int(pooled_chunk),
             protocol_name,
             parts,
+            kern=resolve_backend(backend),
         )
 
     flat = flat_adjacency(graph)
@@ -1900,7 +1645,7 @@ def run_batch(
     on the canonical protocol name to the synchronous, asynchronous (any of
     the three views), or auxiliary-process batch kernel.  ``options`` are
     forwarded to the kernel (``max_rounds`` / ``max_steps`` / ``max_time`` /
-    ``view`` / ``on_budget_exhausted``).  ``scenario`` applies a
+    ``view`` / ``on_budget_exhausted`` / ``backend``).  ``scenario`` applies a
     :mod:`repro.scenarios` adversity model; note that source strategies are
     *not* applied here (``sources`` is explicit — use
     :func:`~repro.analysis.montecarlo.run_trials` or

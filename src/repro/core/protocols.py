@@ -57,6 +57,27 @@ async clock views   yes           all except dynamic under ``edge_clocks`` (seri
 ``ppx``/``ppy``     yes           none (analysis-only processes)
 ==================  ============  =====================================
 
+**Kernel backends.**  The batched hot loops live in
+:mod:`repro.core.kernels` with two interchangeable implementations,
+selected by the ``backend`` engine option (also understood by
+``run_trials``/``run_trials_parallel`` ``engine_options``, the
+``REPRO_KERNEL_BACKEND`` environment variable, and the CLI ``--backend``
+flag):
+
+===========  ==========================  ===================================
+``backend``  implementation              equivalence to the serial engines
+===========  ==========================  ===================================
+``"numpy"``  vectorised reference        bit-identical (the historical
+             kernels (always available)  engine behaviour)
+``"jit"``    Numba ``@njit`` CSR loops   bit-identical in the per-trial RNG
+             (``pip install -e .[jit]``; modes and the chunked pooled clock
+             falls back to numpy with    views; KS-level (distribution-only)
+             one warning when numba is   for the pooled async global view;
+             missing)                    ``ppx``/``ppy`` have no jit kernel
+``"auto"``   ``jit`` when numba is       as the backend it resolves to
+             importable, else ``numpy``
+===========  ==========================  ===================================
+
 **Parallel execution.**  Above the batch kernels sits the zero-copy
 multi-process layer: :func:`repro.analysis.parallel.run_trials_parallel`
 shards a trial budget across the session's persistent process pool
@@ -278,11 +299,16 @@ def spread(
             which scenarios each protocol supports.
         **options: engine-specific options forwarded to the underlying
             runner (``max_rounds``, ``max_steps``, ``max_time``, ``view``,
-            ``record_trace``, ``on_budget_exhausted``).
+            ``record_trace``, ``on_budget_exhausted``).  The batch-only
+            ``backend`` option is accepted and ignored, so one options dict
+            can drive both a serial and a batched run.
 
     Returns:
         The :class:`~repro.core.result.SpreadingResult` of the run.
     """
+    # Kernel backends are a batch-engine notion (see repro.core.kernels);
+    # the serial engines have exactly one implementation.
+    options.pop("backend", None)
     spec = get_protocol(protocol)
     scenario = as_scenario(scenario)
     if scenario is not None:

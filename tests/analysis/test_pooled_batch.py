@@ -16,6 +16,7 @@ from scipy import stats as scipy_stats
 from helpers.equivalence import assert_same_distribution
 from repro.analysis.montecarlo import run_trials
 from repro.core.batch_engine import run_batch
+from repro.core.kernels import jit_backend
 from repro.errors import AnalysisError, ProtocolError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.random_graphs import random_regular_graph
@@ -28,6 +29,22 @@ from repro.scenarios import (
     MessageLoss,
     NodeChurn,
 )
+
+
+#: Kernel backends for the pooled KS suites.  Pooled async draining is the
+#: one place the jit backend is KS-only rather than bit-identical (per-trial
+#: draining reorders the shared generator's stream), so these tests are its
+#: contract; the jit legs skip cleanly when numba is unavailable.
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "jit",
+        marks=pytest.mark.skipif(
+            not jit_backend.is_available(),
+            reason="numba is not installed (and REPRO_JIT_PURE_PYTHON is unset)",
+        ),
+    ),
+]
 
 
 class TestPooledDispatch:
@@ -89,12 +106,20 @@ class TestPooledDispatch:
 class TestPooledDistribution:
     """KS checks: pooled and per-trial modes sample the same law."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("protocol", ["pp", "pp-a"])
-    def test_pooled_matches_per_trial_distribution(self, protocol):
+    def test_pooled_matches_per_trial_distribution(self, protocol, backend):
         graph = random_regular_graph(32, 4, seed=1)
         trials = 400
-        pooled = run_trials(graph, 0, protocol, trials=trials, seed=101, batch="pooled")
-        spawned = run_trials(graph, 0, protocol, trials=trials, seed=202, batch=True)
+        options = {"backend": backend}
+        pooled = run_trials(
+            graph, 0, protocol, trials=trials, seed=101, batch="pooled",
+            engine_options=options,
+        )
+        spawned = run_trials(
+            graph, 0, protocol, trials=trials, seed=202, batch=True,
+            engine_options=options,
+        )
         result = scipy_stats.ks_2samp(pooled.as_array(), spawned.as_array())
         assert result.pvalue > 0.01, (
             f"pooled vs per-trial {protocol} KS p-value {result.pvalue:.4f} "
@@ -122,11 +147,12 @@ class TestPooledDistribution:
         spawned = run_trials(graph, 0, "ppx", trials=30, seed=9, batch=True)
         assert a.times != spawned.times  # pooled mode really pools
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
-    def test_pooled_matches_per_trial_on_clock_views(self, view):
+    def test_pooled_matches_per_trial_on_clock_views(self, view, backend):
         graph = random_regular_graph(24, 4, seed=3)
         trials = 300
-        options = {"view": view}
+        options = {"view": view, "backend": backend}
         pooled = run_trials(
             graph, 0, "pp-a", trials=trials, seed=7, batch="pooled", engine_options=options
         )
@@ -163,8 +189,9 @@ class TestChunkedPooledClockViews:
     keeps the legacy unchunked pooled loop as the reference.
     """
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
-    def test_chunked_matches_unchunked_pooled_distribution(self, view):
+    def test_chunked_matches_unchunked_pooled_distribution(self, view, backend):
         graph = random_regular_graph(24, 4, seed=3)
         trials = 300
         chunked = run_batch(
@@ -174,6 +201,7 @@ class TestChunkedPooledClockViews:
             trials=trials,
             pooled_rng=np.random.default_rng(7),
             view=view,
+            backend=backend,
         )
         unchunked = run_batch(
             graph,
@@ -183,6 +211,7 @@ class TestChunkedPooledClockViews:
             pooled_rng=np.random.default_rng(8),
             view=view,
             pooled_chunk=0,
+            backend=backend,
         )
         assert_same_distribution(
             chunked.spreading_times(),
@@ -191,9 +220,10 @@ class TestChunkedPooledClockViews:
             label=f"chunked vs unchunked pooled {view}",
         )
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
     @pytest.mark.parametrize("mode_protocol", ["pp-a", "push-a", "pull-a"])
-    def test_chunked_matches_serial_distribution(self, view, mode_protocol):
+    def test_chunked_matches_serial_distribution(self, view, mode_protocol, backend):
         graph = random_regular_graph(24, 4, seed=3)
         trials = 300
         chunked = run_batch(
@@ -203,6 +233,7 @@ class TestChunkedPooledClockViews:
             trials=trials,
             pooled_rng=np.random.default_rng(7),
             view=view,
+            backend=backend,
         )
         serial = run_trials(
             graph,
@@ -253,6 +284,7 @@ class TestChunkedPooledClockViews:
         finished = timed.completion_time[timed.completed]
         assert (finished <= 0.4).all()
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("view", ["node_clocks", "edge_clocks"])
     @pytest.mark.parametrize(
         "scenario",
@@ -264,7 +296,7 @@ class TestChunkedPooledClockViews:
         ],
         ids=lambda s: s.spec().split(":")[0],
     )
-    def test_chunked_scenarios_match_per_trial_distribution(self, view, scenario):
+    def test_chunked_scenarios_match_per_trial_distribution(self, view, scenario, backend):
         """The pooled fast path carries every non-dynamic runtime scenario;
         its samples must agree with the (serial-equivalent) per-trial
         kernel in distribution."""
@@ -273,9 +305,11 @@ class TestChunkedPooledClockViews:
         chunked = run_batch(
             graph, 0, "pp-a", trials=trials,
             pooled_rng=np.random.default_rng(7), view=view, scenario=scenario,
+            backend=backend,
         )
         per_trial = run_batch(
-            graph, 0, "pp-a", trials=trials, seed=77, view=view, scenario=scenario
+            graph, 0, "pp-a", trials=trials, seed=77, view=view, scenario=scenario,
+            backend=backend,
         )
         assert_same_distribution(
             chunked.spreading_times(),

@@ -20,6 +20,7 @@ from repro.analysis import montecarlo
 from repro.analysis.montecarlo import ASYNC_AUTO_MIN_TRIALS, run_trials
 from repro.core.async_engine import ASYNC_VIEWS, run_asynchronous
 from repro.core.batch_engine import is_batchable, run_batch, run_clock_view_batch
+from repro.core.kernels import jit_backend
 from repro.errors import AnalysisError, ProtocolError, ScenarioError
 from repro.graphs import complete_graph, star_graph
 from repro.graphs.base import Graph
@@ -35,6 +36,20 @@ from repro.scenarios import (
 )
 
 CLOCK_VIEWS = ["node_clocks", "edge_clocks"]
+
+#: Kernel backends for the distributional view-agreement check (the jit leg
+#: skips cleanly when numba is unavailable; the per-trial modes are also
+#: pinned bit-identically in the registry gate).
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "jit",
+        marks=pytest.mark.skipif(
+            not jit_backend.is_available(),
+            reason="numba is not installed (and REPRO_JIT_PURE_PYTHON is unset)",
+        ),
+    ),
+]
 
 
 class TestDispatch:
@@ -208,14 +223,15 @@ class TestThreeViewAgreement:
     """The paper's Section 2: the three asynchronous views describe the same
     process.  Checked distributionally on the batched kernels themselves."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("mode_protocol", ["pp-a", "push-a"])
-    def test_views_agree_distributionally(self, mode_protocol):
+    def test_views_agree_distributionally(self, mode_protocol, backend):
         graph = random_regular_graph(24, 4, seed=9)
         samples = {}
         for seed_offset, view in enumerate(ASYNC_VIEWS):
             sample = run_trials(
                 graph, 0, mode_protocol, trials=300, seed=500 + seed_offset,
-                batch=True, engine_options={"view": view},
+                batch=True, engine_options={"view": view, "backend": backend},
             )
             samples[view] = sample.as_array()
         for view_a, view_b in [

@@ -2,8 +2,12 @@
 
 Every batched kernel registers its settings in
 ``tests/helpers/equivalence.KERNEL_CASES``; this suite replays each one
-through the shared trial-for-trial assertion.  A kernel that is not in the
-registry is not covered by the gate — add cases when adding kernels.
+through the shared trial-for-trial assertion — once per kernel backend,
+since the per-trial RNG modes promise bit-identical results under both
+``"numpy"`` and ``"jit"`` (see :mod:`repro.core.kernels`).  A kernel that
+is not in the registry is not covered by the gate — add cases when adding
+kernels.  The jit legs skip cleanly when numba is not installed (the
+default CI job stays numba-free; the ``jit-kernels`` job runs them).
 """
 
 from __future__ import annotations
@@ -23,11 +27,24 @@ from repro.core.batch_engine import (
     CLOCK_VIEWS,
     SYNC_BATCH_PROTOCOLS,
 )
+from repro.core.kernels import jit_backend
+
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "jit",
+        marks=pytest.mark.skipif(
+            not jit_backend.is_available(),
+            reason="numba is not installed (and REPRO_JIT_PURE_PYTHON is unset)",
+        ),
+    ),
+]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("case", KERNEL_CASES, ids=case_ids(KERNEL_CASES))
-def test_registered_kernel_matches_serial(case):
-    assert_kernel_case(case)
+def test_registered_kernel_matches_serial(case, backend):
+    assert_kernel_case(case, backend=backend)
 
 
 @pytest.mark.parametrize("case", PARALLEL_CASES, ids=case_ids(PARALLEL_CASES))

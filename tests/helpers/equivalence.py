@@ -77,13 +77,19 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # Assertion helpers
 # --------------------------------------------------------------------- #
-def assert_batch_matches_serial(graph, sources, protocol, seed, *, scenario=None, **options):
+def assert_batch_matches_serial(
+    graph, sources, protocol, seed, *, scenario=None, backend=None, **options
+):
     """Batched kernel vs per-trial serial engine, trial-for-trial.
 
     Spawns the same per-trial generators for both paths; any divergence in
     informing times, completion flags, or spreading times fails with the
-    offending trial index.
+    offending trial index.  ``backend`` selects the kernel backend for the
+    batched side (the serial side ignores it), so the same gate pins every
+    backend to the one serial reference.
     """
+    if backend is not None:
+        options = {**options, "backend": backend}
     batched = run_batch(
         graph,
         sources,
@@ -200,7 +206,7 @@ def case_ids(cases) -> list[str]:
     return [case.id for case in cases]
 
 
-def assert_kernel_case(case: KernelCase):
+def assert_kernel_case(case: KernelCase, backend=None):
     """Run one registered case through the trial-for-trial gate."""
     return assert_batch_matches_serial(
         case.graph_builder(),
@@ -208,6 +214,7 @@ def assert_kernel_case(case: KernelCase):
         case.protocol,
         case.seed,
         scenario=case.scenario,
+        backend=backend,
         **case.options(),
     )
 
