@@ -24,6 +24,8 @@ from repro.errors import AnalysisError
 __all__ = [
     "CoverageCurve",
     "coverage_curve",
+    "coverage_curve_from_histories",
+    "coverage_curve_from_trace",
     "compare_coverage_curves",
     "ascii_sparkline",
 ]
@@ -115,6 +117,62 @@ def coverage_curve(
         lower_fraction=tuple(float(x) for x in fractions.min(axis=0)),
         upper_fraction=tuple(float(x) for x in fractions.max(axis=0)),
         num_runs=len(results),
+    )
+
+
+def coverage_curve_from_histories(
+    protocol: str,
+    graph_name: str,
+    times: Sequence[float],
+    histories: np.ndarray,
+    num_vertices: int,
+) -> CoverageCurve:
+    """Build a :class:`CoverageCurve` from batched ``(B, T)`` coverage histories.
+
+    ``histories`` holds informed *counts* per trial and grid point — the
+    compacted output of the telemetry layer
+    (:func:`repro.telemetry.trace.coverage_histories`), derived at batch
+    speed from the kernels' ``(B, n)`` informing-time matrices.  The whole
+    aggregation is three axis-0 reductions; there is no per-trial Python
+    loop.  The arithmetic mirrors :func:`coverage_curve` exactly (divide
+    each trial's counts by ``n``, then mean/min/max across trials), so a
+    batch-sourced curve and a serial-sourced curve from the same fixed-seed
+    trials are equal float for float — they compare on the same axis.
+    """
+    matrix = np.asarray(histories, dtype=float)
+    grid = np.asarray(times, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise AnalysisError(
+            f"histories must be a non-empty (B, T) matrix, got shape {matrix.shape}"
+        )
+    if grid.ndim != 1 or grid.size != matrix.shape[1]:
+        raise AnalysisError(
+            f"times (length {grid.size}) must match the histories' "
+            f"{matrix.shape[1]} grid points"
+        )
+    if num_vertices < 1:
+        raise AnalysisError(f"num_vertices must be positive, got {num_vertices}")
+    fractions = matrix / num_vertices
+    return CoverageCurve(
+        protocol=protocol,
+        graph_name=graph_name,
+        times=tuple(float(t) for t in grid),
+        mean_fraction=tuple(float(x) for x in fractions.mean(axis=0)),
+        lower_fraction=tuple(float(x) for x in fractions.min(axis=0)),
+        upper_fraction=tuple(float(x) for x in fractions.max(axis=0)),
+        num_runs=int(matrix.shape[0]),
+    )
+
+
+def coverage_curve_from_trace(trace) -> CoverageCurve:
+    """Build a :class:`CoverageCurve` from a compacted
+    :class:`~repro.telemetry.trace.CoverageTrace`."""
+    return coverage_curve_from_histories(
+        trace.protocol or "?",
+        trace.graph_name or "?",
+        trace.times,
+        trace.histories,
+        trace.num_vertices,
     )
 
 

@@ -48,6 +48,7 @@ batched fast path whenever the scenario vectorises (see
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
@@ -65,6 +66,8 @@ from repro.scenarios.base import (
     as_scenario,
     select_adversarial_source,
 )
+from repro.telemetry.metrics import current_metrics
+from repro.telemetry.trace import CoverageRecorder, active_trace_collector
 
 __all__ = [
     "SpreadingTimeSample",
@@ -235,7 +238,8 @@ def batch_dispatch_decision(
     trials: Optional[int] = None,
     *,
     fixed_graph: bool = True,
-) -> tuple[bool, Optional[str]]:
+    trace: Optional[object] = None,
+) -> tuple[bool, str]:
     """The one "can this (protocol, options, scenario) setting batch?" predicate.
 
     Shared by :func:`run_trials`, :func:`run_adaptive_trials`, and
@@ -253,23 +257,30 @@ def batch_dispatch_decision(
             skip that check).
         fixed_graph: whether the trials share one fixed graph — graph
             factories run one trial per graph and never batch.
+        trace: the coverage recorder the trials will feed, if any.  Tracing
+            **never** changes the chosen path — coverage derives from the
+            ``(B, n)`` time matrix the batch kernels emit anyway (and from
+            the serial engines' per-trial histories on the serial path) —
+            so the argument only annotates the returned reason string.
 
     Returns:
         ``(use_batch, reason)``: whether to dispatch to the batch kernels,
-        and — when not — a human-readable reason (used verbatim in the
-        error raised when batching was explicitly forced).
+        and a human-readable reason for the decision — always present, for
+        debuggability on both outcomes (the negative reason is also used
+        verbatim in the error raised when batching was explicitly forced).
     """
+    traced = " [coverage tracing active; it never affects dispatch]" if trace is not None else ""
     if batch is False:
-        return False, "batch=False forces the serial path"
+        return False, "batch=False forces the serial path" + traced
     options = dict(engine_options or {})
     scenario = as_scenario(scenario)
     if not fixed_graph:
-        return False, "graph factories run one trial per graph"
+        return False, "graph factories run one trial per graph" + traced
     if not is_batchable(protocol, options, scenario):
         return False, (
             f"protocol {protocol!r} with options {sorted(options)} and "
             f"scenario {scenario.spec() if scenario is not None else None!r} "
-            "has no batched kernel"
+            "has no batched kernel" + traced
         )
     if (
         batch == "auto"
@@ -280,9 +291,12 @@ def batch_dispatch_decision(
         # Narrow async batches lose to the serial engine.
         return False, (
             f"auto mode runs fewer than {ASYNC_AUTO_MIN_TRIALS} asynchronous "
-            "trials through the serial engine"
+            "trials through the serial engine" + traced
         )
-    return True, None
+    return True, (
+        f"protocol {protocol!r} dispatches to the batched kernels "
+        f"(batch={batch!r})" + traced
+    )
 
 
 def _forced_batch_error(batch: BatchSpec, reason: Optional[str]) -> AnalysisError:
@@ -301,17 +315,20 @@ def _run_trials_batched(
     width: int,
     scenario: Optional[Scenario],
     pooled: bool,
+    trace: Optional[CoverageRecorder] = None,
 ) -> SpreadingTimeSample:
     """The batched fast path of :func:`run_trials`.
 
     Spawns the same per-trial generators and resolves per-trial sources with
     the same draws as the serial path, then hands blocks of ``width`` trials
     to the batch kernels.  The full ``(B, n)`` time matrix is only recorded
-    when coverage fractions were requested.  In pooled mode one shared
-    generator replaces the per-trial ones (distribution-level agreement
-    only; see :mod:`repro.core.batch_engine`).
+    when coverage fractions were requested or a coverage trace is attached
+    (the recorder ingests each block's matrix — coverage tracing at batch
+    speed, no extra randomness, no kernel changes).  In pooled mode one
+    shared generator replaces the per-trial ones (distribution-level
+    agreement only; see :mod:`repro.core.batch_engine`).
     """
-    record_times = bool(fractions)
+    record_times = bool(fractions) or trace is not None
     forced_source = _scenario_fixed_source(scenario, graph)
     pooled_rng = None
     generators = None
@@ -349,6 +366,8 @@ def _run_trials_batched(
             **options,
         )
         times.extend(block.spreading_times().tolist())
+        if trace is not None:
+            trace.record_block(block.informed_time)
         for fraction in fractions:
             fraction_values[fraction].extend(
                 block.time_to_inform_fraction(fraction).tolist()
@@ -376,6 +395,7 @@ def run_trials(
     engine_options: Optional[dict] = None,
     batch: BatchSpec = "auto",
     scenario: ScenarioLike = None,
+    trace: Optional[CoverageRecorder] = None,
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations and collect spreading times.
 
@@ -408,6 +428,15 @@ def run_trials(
         scenario: optional adversity scenario from :mod:`repro.scenarios`
             (a :class:`~repro.scenarios.Scenario` or a spec string such as
             ``"loss:p=0.3"``), applied to every trial.
+        trace: optional :class:`~repro.telemetry.trace.CoverageRecorder`
+            collecting per-trial coverage histories alongside the sample —
+            at batch speed on the batched path (the kernels' ``(B, n)``
+            time matrices), from :class:`SpreadingResult` histories on the
+            serial path.  Tracing never changes which path runs; the same
+            fixed seed yields bit-identical samples traced or not.  When
+            ``None`` and an ambient collector is active (see
+            :func:`repro.telemetry.trace.collecting_traces`), a recorder is
+            created per call and the finished trace deposited there.
 
     Returns:
         The collected :class:`SpreadingTimeSample`.
@@ -420,6 +449,14 @@ def run_trials(
         if not 0.0 < fraction <= 1.0:
             raise AnalysisError(f"fractions must be in (0, 1], got {fraction}")
     options = dict(engine_options or {})
+    collector = None
+    if trace is None:
+        collector = active_trace_collector()
+        if collector is not None and collector.spec.coverage:
+            trace = collector.recorder()
+        else:
+            collector = None
+    metrics = current_metrics()
 
     if batch is not False:
         use_batch, reason = batch_dispatch_decision(
@@ -429,24 +466,49 @@ def run_trials(
             batch,
             trials,
             fixed_graph=isinstance(graph_or_factory, Graph),
+            trace=trace,
         )
         if use_batch:
-            return _run_trials_batched(
-                graph_or_factory,
-                source,
-                protocol,
-                trials,
-                seed,
-                tuple(fractions),
-                options,
-                _resolve_batch_width(batch, graph_or_factory.num_vertices),
-                scenario,
-                batch == "pooled",
-            )
+            if metrics is not None:
+                with metrics.timer("analysis.batch_seconds"):
+                    sample = _run_trials_batched(
+                        graph_or_factory,
+                        source,
+                        protocol,
+                        trials,
+                        seed,
+                        tuple(fractions),
+                        options,
+                        _resolve_batch_width(batch, graph_or_factory.num_vertices),
+                        scenario,
+                        batch == "pooled",
+                        trace,
+                    )
+                metrics.count("analysis.trials", trials)
+            else:
+                sample = _run_trials_batched(
+                    graph_or_factory,
+                    source,
+                    protocol,
+                    trials,
+                    seed,
+                    tuple(fractions),
+                    options,
+                    _resolve_batch_width(batch, graph_or_factory.num_vertices),
+                    scenario,
+                    batch == "pooled",
+                    trace,
+                )
+            if collector is not None:
+                collector.add(
+                    trace.trace(protocol=protocol, graph_name=sample.graph_name)
+                )
+            return sample
         if batch != "auto":
             raise _forced_batch_error(batch, reason)
 
     generators = spawn_generators(trials, seed)
+    serial_started = time.perf_counter() if metrics is not None else None
 
     times: list[float] = []
     fraction_times: dict[float, list[float]] = {fraction: [] for fraction in fractions}
@@ -475,10 +537,17 @@ def run_trials(
             graph, trial_source, protocol=protocol, seed=rng, scenario=scenario, **options
         )
         times.append(result.spreading_time)
+        if trace is not None:
+            trace.record_result(result)
         for fraction in fractions:
             fraction_times[fraction].append(result.time_to_inform_fraction(fraction))
 
     assert graph_name is not None and num_vertices is not None
+    if metrics is not None:
+        metrics.add_time("analysis.serial_seconds", time.perf_counter() - serial_started)
+        metrics.count("analysis.trials", trials)
+    if collector is not None:
+        collector.add(trace.trace(protocol=protocol, graph_name=graph_name))
     return SpreadingTimeSample(
         protocol=protocol,
         graph_name=graph_name,

@@ -52,6 +52,12 @@ from repro.graphs.base import Graph
 from repro.graphs.families import get_family
 from repro.randomness.rng import SeedLike, spawn_seeds
 from repro.scenarios.base import Scenario, ScenarioLike, as_scenario
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    collecting_metrics,
+    current_metrics,
+)
+from repro.telemetry.trace import CoverageRecorder, active_trace_collector
 
 __all__ = [
     "ParallelTrialSpec",
@@ -115,6 +121,11 @@ class ParallelTrialSpec:
             resampler lambdas do not).
         engine_options: extra engine options forwarded to ``run_trials``
             (e.g. the asynchronous ``view``).
+        collect_metrics: run the chunk under a private worker-local
+            :class:`~repro.telemetry.metrics.MetricsRegistry` and return its
+            snapshot with the chunk metadata, so the parent can merge the
+            workers' counters into its own registry (the shared transport's
+            chunk-return path).
     """
 
     protocol: str
@@ -131,16 +142,23 @@ class ParallelTrialSpec:
     batch: Union[bool, int, str] = "auto"
     scenario: Optional[Scenario] = None
     engine_options: Optional[dict] = None
+    collect_metrics: bool = False
 
 
 @dataclass(frozen=True)
 class _SharedChunkSpec:
     """One chunk of the shared transport: where in the shared matrices to write.
 
-    ``times_name``/``fractions_name`` are segment names from
-    :func:`repro.analysis.shm.create_array`; the worker writes its chunk's
-    rows at ``[offset, offset + spec.trials)`` of the ``(total_trials,)`` /
-    ``(total_trials, len(fractions))`` arrays.
+    ``times_name``/``fractions_name``/``coverage_name`` are segment names
+    from :func:`repro.analysis.shm.create_array`; the worker writes its
+    chunk's rows at ``[offset, offset + spec.trials)`` of the
+    ``(total_trials,)`` / ``(total_trials, len(fractions))`` /
+    ``(total_trials, num_vertices)`` arrays.  ``coverage_name`` carries the
+    per-vertex informing-time matrix of a coverage trace (each worker runs
+    its chunk through a local
+    :class:`~repro.telemetry.trace.CoverageRecorder` and writes the
+    recorded rows at its offset; the parent ingests the assembled matrix as
+    one block).
     """
 
     spec: ParallelTrialSpec
@@ -148,6 +166,8 @@ class _SharedChunkSpec:
     fractions_name: Optional[str]
     offset: int
     total_trials: int
+    coverage_name: Optional[str] = None
+    num_vertices: Optional[int] = None
 
 
 def _resolve_chunk_graph(spec: ParallelTrialSpec) -> Graph:
@@ -161,7 +181,9 @@ def _resolve_chunk_graph(spec: ParallelTrialSpec) -> Graph:
     return get_family(spec.family_name).build(spec.size, seed=spec.graph_seed)
 
 
-def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
+def _run_chunk(
+    spec: ParallelTrialSpec, trace: Optional[CoverageRecorder] = None
+) -> SpreadingTimeSample:
     """Worker entry point: build/attach the graph and run the chunk."""
     graph = _resolve_chunk_graph(spec)
     return run_trials(
@@ -174,18 +196,37 @@ def _run_chunk(spec: ParallelTrialSpec) -> SpreadingTimeSample:
         batch=spec.batch,
         scenario=spec.scenario,
         engine_options=spec.engine_options,
+        trace=trace,
     )
 
 
-def _run_chunk_shared(shared: _SharedChunkSpec) -> tuple[str, int, int]:
+def _run_chunk_shared(
+    shared: _SharedChunkSpec,
+) -> tuple[str, int, int, Optional[dict]]:
     """Shared-transport worker entry point.
 
-    Runs the chunk, writes its spreading times (and coverage fractions)
-    directly into the parent-owned shared matrices, and returns only tiny
-    metadata ``(graph_name, num_vertices, source)`` — no sample pickling.
+    Runs the chunk, writes its spreading times (and coverage fractions /
+    per-vertex informing times) directly into the parent-owned shared
+    matrices, and returns only tiny metadata
+    ``(graph_name, num_vertices, source, metrics_snapshot)`` — no sample
+    pickling.  The metrics snapshot is ``None`` unless the parent asked for
+    worker counters via ``spec.collect_metrics``.
     """
     spec = shared.spec
-    sample = _run_chunk(spec)
+    recorder = CoverageRecorder() if shared.coverage_name is not None else None
+    snapshot: Optional[dict] = None
+    if spec.collect_metrics:
+        # The worker process has no ambient registry of its own; the chunk
+        # runs under a private one whose snapshot travels back with the
+        # metadata so the parent can merge it (telemetry stays observational:
+        # the simulation code is identical either way).
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            with registry.timer("parallel.chunk_seconds"):
+                sample = _run_chunk(spec, trace=recorder)
+        snapshot = registry.snapshot()
+    else:
+        sample = _run_chunk(spec, trace=recorder)
     stop = shared.offset + spec.trials
     times_segment, times = shm.attach_array(shared.times_name, (shared.total_trials,))
     try:
@@ -202,7 +243,15 @@ def _run_chunk_shared(shared: _SharedChunkSpec) -> tuple[str, int, int]:
         finally:
             del matrix
             frac_segment.close()
-    return sample.graph_name, sample.num_vertices, sample.source
+    if recorder is not None:
+        shape = (shared.total_trials, shared.num_vertices)
+        cov_segment, coverage = shm.attach_array(shared.coverage_name, shape)
+        try:
+            coverage[shared.offset : stop] = recorder.times_matrix()
+        finally:
+            del coverage
+            cov_segment.close()
+    return sample.graph_name, sample.num_vertices, sample.source, snapshot
 
 
 def chunk_plan(
@@ -237,19 +286,24 @@ def _pool_crash_error(exc: Exception) -> AnalysisError:
 
 
 def _merge_shared(
-    metas: Sequence[tuple[str, int, int]],
+    metas: Sequence[tuple[str, int, int, Optional[dict]]],
     times: np.ndarray,
     fraction_matrix: Optional[np.ndarray],
     fractions: tuple[float, ...],
     protocol: str,
 ) -> SpreadingTimeSample:
     """Assemble the merged sample from the shared matrices (no re-concatenation)."""
-    graph_name, num_vertices, source = metas[0]
-    for _, other_n, other_source in metas[1:]:
+    graph_name, num_vertices, source = metas[0][:3]
+    for _, other_n, other_source, _snapshot in metas[1:]:
         if other_n != num_vertices:
             raise AnalysisError("cannot merge samples from different settings")
         if other_source != source:
             source = -1
+    metrics = current_metrics()
+    if metrics is not None:
+        for meta in metas:
+            if meta[3]:
+                metrics.merge(meta[3])
     fraction_times: dict[float, tuple[float, ...]] = {}
     if fraction_matrix is not None:
         for column, fraction in enumerate(fractions):
@@ -270,13 +324,21 @@ def _execute_shared(
     trials: int,
     fractions: tuple[float, ...],
     protocol: str,
+    num_vertices: Optional[int] = None,
+    trace: Optional[CoverageRecorder] = None,
 ) -> SpreadingTimeSample:
     """Dispatch the chunks through the zero-copy shared-memory transport."""
     times_segment = times = frac_segment = fraction_matrix = None
+    cov_segment = coverage = None
     try:
         times_segment, times = shm.create_array((trials,))
         if fractions:
             frac_segment, fraction_matrix = shm.create_array((trials, len(fractions)))
+        if trace is not None:
+            # The (trials, n) informing-time matrix rides the same transport
+            # as the result arrays: each worker fills its chunk's rows and
+            # the parent ingests the assembled block below.
+            cov_segment, coverage = shm.create_array((trials, num_vertices))
         shared_specs = []
         offset = 0
         for spec in specs:
@@ -287,6 +349,8 @@ def _execute_shared(
                     fractions_name=frac_segment.name if frac_segment is not None else None,
                     offset=offset,
                     total_trials=trials,
+                    coverage_name=cov_segment.name if cov_segment is not None else None,
+                    num_vertices=num_vertices,
                 )
             )
             offset += spec.trials
@@ -311,13 +375,20 @@ def _execute_shared(
                 future.cancel()
             wait_futures(futures)
             raise
-        return _merge_shared(metas, times, fraction_matrix, fractions, protocol)
+        sample = _merge_shared(metas, times, fraction_matrix, fractions, protocol)
+        if trace is not None:
+            # record_block copies, so this happens before the finally block
+            # unlinks the segment.
+            trace.record_block(coverage)
+        return sample
     finally:
-        del times, fraction_matrix
+        del times, fraction_matrix, coverage
         if times_segment is not None:
             shm._unlink(times_segment)
         if frac_segment is not None:
             shm._unlink(frac_segment)
+        if cov_segment is not None:
+            shm._unlink(cov_segment)
 
 
 def run_trials_parallel(
@@ -334,6 +405,7 @@ def run_trials_parallel(
     scenario: ScenarioLike = None,
     engine_options: Optional[dict] = None,
     parallel: str = "shared",
+    trace: Optional[CoverageRecorder] = None,
 ) -> SpreadingTimeSample:
     """Run ``trials`` independent simulations across worker processes.
 
@@ -366,6 +438,19 @@ def run_trials_parallel(
             shared-memory matrices and CSR reattachment) or ``"pickle"``
             (legacy sample pickling).  Both transports are bit-identical
             for the same ``(seed, trials, num_workers)``.
+        trace: optional :class:`~repro.telemetry.trace.CoverageRecorder`.
+            Each worker records its chunk through a local recorder and
+            writes the per-vertex informing times into a shared
+            ``(trials, n)`` matrix; the parent ingests the assembled block
+            into ``trace``, so the recorded coverage is identical to a
+            single-process traced run at the same seed.  Requires the
+            ``"shared"`` transport and a concrete :class:`Graph` (the
+            matrix width is the vertex count).  When a metrics registry is
+            active in the parent (``collecting_metrics``), worker counters
+            are snapshotted per chunk and merged back on the same return
+            path, alongside parent-side ``parallel.chunks`` /
+            ``parallel.chunk_seconds``; the pickle transport counts chunks
+            but cannot merge worker counters.
 
     Returns:
         The merged :class:`SpreadingTimeSample`.
@@ -381,6 +466,29 @@ def run_trials_parallel(
         raise AnalysisError(
             f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
         )
+    collector = None
+    if trace is None and parallel == "shared" and isinstance(graph_or_family, Graph):
+        # Ambient tracing (collecting_traces) reaches parallel runs too,
+        # but only where explicit tracing is supported; deposit happens
+        # after the merged sample is assembled below.
+        collector = active_trace_collector()
+        if collector is not None and collector.spec.coverage:
+            trace = CoverageRecorder(collector.spec)
+        else:
+            collector = None
+    if trace is not None:
+        if parallel != "shared":
+            raise AnalysisError(
+                "coverage tracing requires the 'shared' parallel transport "
+                f"(the traced informing-time matrix rides the shared-memory "
+                f"result path), got parallel={parallel!r}"
+            )
+        if not isinstance(graph_or_family, Graph):
+            raise AnalysisError(
+                "coverage tracing requires a concrete Graph (the traced "
+                "matrix width is the vertex count); build the family graph "
+                "first and pass it directly"
+            )
     scenario = as_scenario(scenario)
     if batch not in (False, "auto"):
         # Fail fast in the parent on an impossible forced-batch setting
@@ -430,10 +538,29 @@ def run_trials_parallel(
             )
         specs.append(spec)
 
+    metrics = current_metrics()
     if len(specs) == 1:
         # One chunk: run it in-process (identical to a worker run; no pool,
-        # no transport — both parallel modes share this path).
-        return _run_chunk(specs[0])
+        # no transport — both parallel modes share this path).  The ambient
+        # metrics registry, when active, sees the chunk directly.
+        if metrics is not None:
+            metrics.count("parallel.chunks")
+            with metrics.timer("parallel.chunk_seconds"):
+                sample = _run_chunk(specs[0], trace=trace)
+        else:
+            sample = _run_chunk(specs[0], trace=trace)
+        if collector is not None:
+            collector.add(
+                trace.trace(protocol=protocol, graph_name=sample.graph_name)
+            )
+        return sample
+
+    if metrics is not None:
+        # Ask the workers to run their chunks under private registries and
+        # ship the snapshots back with the chunk metadata (shared transport
+        # merges them in _merge_shared; pickle cannot).
+        metrics.count("parallel.chunks", len(specs))
+        specs = [replace(spec, collect_metrics=True) for spec in specs]
 
     handle = get_pool(len(specs))  # one process per chunk is all the call can use
     if parallel == "pickle":
@@ -462,7 +589,20 @@ def run_trials_parallel(
             for spec in specs
         ]
         try:
-            return _execute_shared(handle, specs, trials, tuple(fractions), protocol)
+            sample = _execute_shared(
+                handle,
+                specs,
+                trials,
+                tuple(fractions),
+                protocol,
+                num_vertices=graph_or_family.num_vertices,
+                trace=trace,
+            )
         finally:
             shm.unpin_segment(segment_name)
+        if collector is not None:
+            collector.add(
+                trace.trace(protocol=protocol, graph_name=sample.graph_name)
+            )
+        return sample
     return _execute_shared(handle, specs, trials, tuple(fractions), protocol)

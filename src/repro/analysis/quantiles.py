@@ -42,6 +42,7 @@ __all__ = [
     "tail_fitted_quantile",
     "high_probability_time",
     "quantile_confidence_interval",
+    "coverage_envelope",
 ]
 
 
@@ -160,6 +161,38 @@ def high_probability_time(
     else:
         value = tail_fitted_quantile(values, level)
     return QuantileEstimate(value=value, level=level, method=method, num_samples=m)
+
+
+def coverage_envelope(
+    histories: np.ndarray,
+    num_vertices: int,
+    *,
+    levels: Sequence[float] = (0.1, 0.5, 0.9),
+) -> np.ndarray:
+    """Per-time-point coverage quantiles over a ``(B, T)`` history matrix.
+
+    ``histories`` holds informed *counts* per trial and time point (the
+    compacted output of
+    :func:`repro.telemetry.trace.coverage_histories`); the envelope is the
+    requested quantiles of the informed *fraction* across trials at each
+    time point — p10/p50/p90 by default, the telemetry layer's standard
+    compaction of a batch coverage trace.
+
+    Returns a ``(len(levels), T)`` float array.
+    """
+    matrix = np.asarray(histories, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise AnalysisError(
+            f"coverage_envelope needs a non-empty (B, T) matrix, got shape "
+            f"{matrix.shape}"
+        )
+    if num_vertices < 1:
+        raise AnalysisError(f"num_vertices must be positive, got {num_vertices}")
+    levels = tuple(levels)
+    if not levels or any(not 0.0 < q < 1.0 for q in levels):
+        raise AnalysisError(f"envelope levels must lie in (0, 1), got {levels!r}")
+    fractions = matrix / float(num_vertices)
+    return np.quantile(fractions, levels, axis=0)
 
 
 def quantile_confidence_interval(

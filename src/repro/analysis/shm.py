@@ -46,6 +46,7 @@ from repro.core.flatgraph import (
     uncache_adjacency,
 )
 from repro.graphs.base import Graph
+from repro.telemetry.metrics import current_metrics
 
 __all__ = [
     "create_array",
@@ -100,6 +101,10 @@ def create_array(shape: tuple[int, ...], dtype=np.float64) -> tuple[shared_memor
     nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
     segment = shared_memory.SharedMemory(create=True, size=nbytes)
     array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.count("shm.segments")
+        metrics.count("shm.segment_bytes", nbytes)
     return segment, array
 
 

@@ -113,6 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
             "warning when numba is missing), 'auto' prefers jit when available"
         ),
     )
+    sweep_parser.add_argument(
+        "--curves", action="store_true",
+        help=(
+            "record per-cell coverage traces on the batched kernels and emit "
+            "a per-time coverage-quantile CSV (p10/p50/p90/mean per grid time)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--curves-output", type=Path, default=None,
+        help="curve CSV path (default: <--output stem>_curves.csv)",
+    )
+    sweep_parser.add_argument(
+        "--curve-points", type=int, default=200,
+        help="coverage-grid resolution per cell trace (default: 200)",
+    )
+    sweep_parser.add_argument(
+        "--manifest", type=Path, default=None,
+        help=(
+            "write a JSONL run manifest (run_start/cell/coverage/summary "
+            "events; summarize with `telemetry summarize`)"
+        ),
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1 or 1")
@@ -167,11 +189,46 @@ def build_parser() -> argparse.ArgumentParser:
             "warning when numba is missing), 'auto' prefers jit when available"
         ),
     )
+    run_parser.add_argument(
+        "--trace",
+        choices=("coverage",),
+        default=None,
+        help=(
+            "collect coverage traces from every traced Monte Carlo call the "
+            "experiment makes (batch-speed: the (trials, n) informing-time "
+            "matrices, no per-trial loop) and print a sparkline per trace"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "collect runtime metrics (rounds, ticks, messages, backend, pool "
+            "chunks) and write a JSONL run manifest to FILE; coverage traces "
+            "from --trace ride along as coverage events"
+        ),
+    )
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
     run_all_parser.add_argument("--seed", type=int, default=None)
     run_all_parser.add_argument("--output", type=Path, default=None, help="directory to save JSON/CSV artefacts")
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry", help="inspect telemetry artefacts (`telemetry summarize`)"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize_parser = telemetry_sub.add_parser(
+        "summarize", help="aggregate a JSONL run manifest into one report"
+    )
+    summarize_parser.add_argument("manifest", type=Path, help="JSONL manifest path")
+    summarize_parser.add_argument(
+        "--json", action="store_true", help="print the aggregate as JSON"
+    )
 
     return parser
 
@@ -236,7 +293,10 @@ def _apply_backend(backend: Optional[str]) -> None:
 
 
 def _command_scenarios_sweep(arguments: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.experiments.scenarios import DEFAULT_SWEEP_GRID, sweep_scenarios
+    from repro.telemetry.metrics import MetricsRegistry, collecting_metrics
 
     _apply_backend(arguments.backend)
     grid = (
@@ -244,25 +304,43 @@ def _command_scenarios_sweep(arguments: argparse.Namespace) -> int:
         if arguments.grid is not None
         else list(DEFAULT_SWEEP_GRID)
     )
-    rows = sweep_scenarios(
-        [name.strip() for name in arguments.families.split(",") if name.strip()],
-        grid,
-        size=arguments.size,
-        protocols=[p.strip() for p in arguments.protocols.split(",") if p.strip()],
-        view=arguments.view,
-        trials=arguments.trials,
-        seed=arguments.seed,
-        output=arguments.output,
-        # An explicit worker count implies parallel mode, matching `run`.
-        parallel=arguments.parallel or arguments.num_workers is not None,
-        num_workers=arguments.num_workers,
-    )
+    with ExitStack() as stack:
+        if arguments.manifest is not None:
+            # A manifest's summary record carries the metric totals, so a
+            # registry is active for the whole sweep when one is requested.
+            stack.enter_context(collecting_metrics(MetricsRegistry()))
+        rows = sweep_scenarios(
+            [name.strip() for name in arguments.families.split(",") if name.strip()],
+            grid,
+            size=arguments.size,
+            protocols=[p.strip() for p in arguments.protocols.split(",") if p.strip()],
+            view=arguments.view,
+            trials=arguments.trials,
+            seed=arguments.seed,
+            output=arguments.output,
+            # An explicit worker count implies parallel mode, matching `run`.
+            parallel=arguments.parallel or arguments.num_workers is not None,
+            num_workers=arguments.num_workers,
+            curves=arguments.curves,
+            curves_output=arguments.curves_output,
+            curve_points=arguments.curve_points,
+            manifest=arguments.manifest,
+        )
     for row in rows:
         print(
             f"{row['family']:>20}  {row['protocol']:>6}  {row['view']:>11}  "
             f"{row['scenario']:<44}  mean={row['mean']:9.3f}  blowup={row['blowup']:6.2f}"
         )
     print(f"wrote {arguments.output} ({len(rows)} rows)")
+    if arguments.curves:
+        curves_path = (
+            arguments.curves_output
+            if arguments.curves_output is not None
+            else arguments.output.with_name(arguments.output.stem + "_curves.csv")
+        )
+        print(f"wrote {curves_path} (coverage quantile curves)")
+    if arguments.manifest is not None:
+        print(f"wrote {arguments.manifest} (run manifest)")
     return 0
 
 
@@ -291,7 +369,12 @@ def _require_runner_param(experiment: str, param: str, hint: str) -> None:
 
 
 def _command_run(arguments: argparse.Namespace) -> int:
+    import time
+    from contextlib import ExitStack
+
     from repro.experiments.registry import run_experiment
+    from repro.telemetry.metrics import MetricsRegistry, collecting_metrics
+    from repro.telemetry.trace import TraceSpec, collecting_traces
 
     _apply_backend(arguments.backend)
     overrides = {}
@@ -318,13 +401,59 @@ def _command_run(arguments: argparse.Namespace) -> int:
         overrides["parallel"] = True
         if arguments.num_workers is not None:
             overrides["num_workers"] = arguments.num_workers
-    result = run_experiment(
-        arguments.experiment, preset=arguments.preset, seed=arguments.seed, **overrides
-    )
+    registry = collector = None
+    started = time.perf_counter()
+    with ExitStack() as stack:
+        if arguments.metrics_out is not None:
+            registry = MetricsRegistry()
+            stack.enter_context(collecting_metrics(registry))
+        if arguments.trace == "coverage":
+            # Ambient tracing: every run_trials / run_trials_parallel call
+            # the experiment makes deposits a compacted coverage trace here.
+            collector = stack.enter_context(collecting_traces(TraceSpec()))
+        result = run_experiment(
+            arguments.experiment, preset=arguments.preset, seed=arguments.seed, **overrides
+        )
+    wall_seconds = time.perf_counter() - started
     if arguments.json:
         print(result.to_json())
     else:
         print(result.to_text())
+    if collector is not None:
+        from repro.analysis.curves import ascii_sparkline
+
+        print()
+        print(f"coverage traces ({len(collector.traces)}):")
+        for trace in collector.traces:
+            spark = ascii_sparkline(
+                [row["mean"] for row in trace.envelope_rows()], width=48
+            )
+            print(
+                f"  {trace.protocol:>7}  {trace.graph_name:<32} "
+                f"trials={trace.num_trials:<5} {spark}"
+            )
+    if arguments.metrics_out is not None:
+        from repro.telemetry.manifest import ManifestWriter
+
+        writer = ManifestWriter(arguments.metrics_out)
+        writer.event(
+            "run_start",
+            command="run",
+            experiment=result.experiment_id,
+            preset=arguments.preset,
+            seed=arguments.seed,
+            trace=arguments.trace,
+        )
+        if collector is not None:
+            for trace in collector.traces:
+                writer.coverage(trace)
+        writer.summary(
+            metrics=registry.snapshot(),
+            command="run",
+            experiment=result.experiment_id,
+            wall_seconds=wall_seconds,
+        )
+        print(f"wrote {arguments.metrics_out} (run manifest)")
     _save([result], arguments.output)
     return 0
 
@@ -337,6 +466,45 @@ def _command_run_all(arguments: argparse.Namespace) -> int:
         print(results[experiment_id].to_text())
         print()
     _save(list(results.values()), arguments.output)
+    return 0
+
+
+def _command_telemetry(arguments: argparse.Namespace) -> int:
+    from repro.telemetry.manifest import summarize_manifest
+
+    summary = summarize_manifest(arguments.manifest)
+    if arguments.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"manifest: {summary['path']}")
+    print("events:")
+    for kind in sorted(summary["events"]):
+        print(f"  {kind:>12}  {summary['events'][kind]}")
+    metrics = summary["metrics"]
+    if metrics["counters"]:
+        print("counters:")
+        for name in sorted(metrics["counters"]):
+            print(f"  {name:<32} {metrics['counters'][name]}")
+    if metrics["timers"]:
+        print("timers:")
+        for name in sorted(metrics["timers"]):
+            timer = metrics["timers"][name]
+            print(
+                f"  {name:<32} total={timer['seconds']:.3f}s calls={timer['count']}"
+            )
+    if metrics["gauges"]:
+        print("gauges:")
+        for name in sorted(metrics["gauges"]):
+            print(f"  {name:<32} {metrics['gauges'][name]}")
+    if summary["coverage"]:
+        print(f"coverage cells: {len(summary['coverage'])}")
+        for cell in summary["coverage"]:
+            print(
+                f"  {cell['protocol']:>7}  {cell['graph']:<32} "
+                f"n={cell['num_vertices']} trials={cell['num_trials']}"
+            )
     return 0
 
 
@@ -357,6 +525,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(arguments)
         if arguments.command == "run-all":
             return _command_run_all(arguments)
+        if arguments.command == "telemetry":
+            return _command_telemetry(arguments)
         parser.error(f"unknown command {arguments.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -100,6 +100,7 @@ from repro.errors import ProtocolError, ScenarioError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, spawn_generators
 from repro.scenarios.base import ScenarioLike, as_scenario
+from repro.telemetry.metrics import current_metrics
 
 __all__ = [
     "run_batch",
@@ -510,6 +511,9 @@ def run_synchronous_batch(
         return _trivial_batch(protocol_name, graph, source_array, record_times, True)
 
     kern = resolve_backend(backend)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.gauge("engine.backend", kern.BACKEND_NAME)
     flat = flat_adjacency(graph)
     # Narrow copies of the CSR arrays: the neighbor-sampling gathers are the
     # hottest memory traffic in the round loop.  int32 covers flat (row,
@@ -626,6 +630,11 @@ def run_synchronous_batch(
                 kept = loss_draws >= loss_prob
             else:
                 kept = loss_draws >= parts.loss_threshold(bad_live)[:, None]
+        if metrics is not None:
+            metrics.count("engine.rounds", live)
+            metrics.count("engine.messages_attempted", live * n)
+            if kept is not None:
+                metrics.count("engine.messages_lost", int(kept.size - kept.sum()))
         if stacked is not None:
             informed_live_count = kern.sync_round_step_dynamic(
                 stacked, row_offsets_wide[:live], draws, kept, up_live,
@@ -676,6 +685,12 @@ def run_synchronous_batch(
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
             protocol_name, graph, final_informed_count, completed, f"{budget} rounds"
+        )
+    if metrics is not None:
+        # Every informed vertex beyond the pre-informed sources received
+        # exactly one successful transmission.
+        metrics.count(
+            "engine.messages_delivered", int(final_informed_count.sum()) - batch
         )
 
     return BatchTimes(
@@ -754,6 +769,9 @@ def run_asynchronous_batch(
         return _trivial_batch(protocol_name, graph, source_array, record_times, False)
 
     kern = resolve_backend(backend)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.gauge("engine.backend", kern.BACKEND_NAME)
     flat = flat_adjacency(graph)
     degrees_nw = flat.degrees.astype(np.int32)
     max_offset_nw = degrees_nw - 1
@@ -865,6 +883,13 @@ def run_asynchronous_batch(
     kern.async_tick_loop(state)
     if overtime is not None:
         steps[overtime] -= 1  # the final draw was consumed, not executed
+    if metrics is not None:
+        # Delivered counts come from the backends' own drain-exit deltas
+        # (see kernels.numpy_backend / kernels.jit_backend); the totals
+        # here are budget-corrected tick counts only.
+        total_ticks = int(steps.sum())
+        metrics.count("engine.clock_ticks", total_ticks)
+        metrics.count("engine.messages_attempted", total_ticks)
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
             protocol_name,
@@ -973,6 +998,7 @@ def run_auxiliary_batch(
     if n == 1:
         return _trivial_batch(variant, graph, source_array, record_times, True)
 
+    metrics = current_metrics()
     flat = flat_adjacency(graph)
     degrees = flat.degrees
 
@@ -1002,6 +1028,8 @@ def run_auxiliary_batch(
     while live_ids.size and round_index < budget:
         round_index += 1
         live = live_ids.size
+        if metrics is not None:
+            metrics.count("engine.rounds", live)
 
         # --- Push half: every informed vertex contacts a random neighbor. ---
         rows_p, verts_p = np.nonzero(informed_live)  # row-major = serial's vertex order
@@ -1086,6 +1114,10 @@ def run_auxiliary_batch(
 
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(variant, graph, final_informed_count, completed, f"{budget} rounds")
+    if metrics is not None:
+        metrics.count(
+            "engine.messages_delivered", int(final_informed_count.sum()) - batch
+        )
 
     return BatchTimes(
         protocol=variant,
@@ -1157,6 +1189,9 @@ def _run_clock_view_pooled(
         parts = _ScenarioParts(None)
     if kern is None:
         kern = resolve_backend(None)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.gauge("engine.backend", kern.BACKEND_NAME)
     burst = parts.burst
     # Under a Delay every vertex v ticks at rate r_v (node clocks) — and
     # its edge-view pair clocks, rate r_v/deg(v) each, superpose to the
@@ -1234,12 +1269,18 @@ def _run_clock_view_pooled(
         # consumer walks its columns and mutates the per-trial state in
         # place (only epoch crossings still draw, from the pooled
         # generator — the jit backend delegates those blocks to numpy).
+        informed_before = int(num_informed.sum()) if metrics is not None else 0
         kern.clock_chunk_consume(
             rows, executed, width, tick_times, callers, callees, loss_block,
             informed, times, num_informed, steps, completed, completion_time,
             live, now, n, time_budget, finite_time_budget, mode_pp,
             push_allowed, parts, bad, up, next_epoch, pooled_rng,
         )
+        if metrics is not None:
+            metrics.count("engine.drain_returns")
+            metrics.count(
+                "engine.messages_delivered", int(num_informed.sum()) - informed_before
+            )
 
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
@@ -1249,6 +1290,10 @@ def _run_clock_view_pooled(
             completed,
             f"{step_budget} steps / time {time_budget}",
         )
+    if metrics is not None:
+        total_ticks = int(steps.sum())
+        metrics.count("engine.clock_ticks", total_ticks)
+        metrics.count("engine.messages_attempted", total_ticks)
     return BatchTimes(
         protocol=protocol_name,
         graph_name=graph.name,
@@ -1387,6 +1432,11 @@ def run_clock_view_batch(
     flat = flat_adjacency(graph)
     degrees = flat.degrees
     node_view = view == "node_clocks"
+    # The next-tick table loops are pinned to the serial draw order and
+    # always run on the numpy path (see the docstring).
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.gauge("engine.backend", "numpy")
 
     # Delay rates are the first randomness each trial consumes (before the
     # initial next-tick block), matching the serial engine.
@@ -1610,6 +1660,11 @@ def run_clock_view_batch(
             completed,
             f"{step_budget} steps / time {time_budget}",
         )
+    if metrics is not None:
+        total_ticks = int(steps.sum())
+        metrics.count("engine.clock_ticks", total_ticks)
+        metrics.count("engine.messages_attempted", total_ticks)
+        metrics.count("engine.messages_delivered", int(num_informed.sum()) - batch)
     return BatchTimes(
         protocol=protocol_name,
         graph_name=graph.name,
@@ -1652,6 +1707,9 @@ def run_batch(
     :func:`~repro.core.protocols.spread` for that).  ``pooled_rng`` switches
     to the pooled single-generator mode (see the module docstring).
     """
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.count("engine.kernel_invocations")
     if protocol in AUX_BATCH_PROTOCOLS:
         return run_auxiliary_batch(
             graph,

@@ -40,6 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.kernels import numpy_backend
+from repro.telemetry.metrics import current_metrics
 
 BACKEND_NAME = "jit"
 
@@ -333,6 +334,10 @@ def async_tick_loop(state) -> None:
     has_up = state.up is not None
     loss_arr = state.loss_uniforms if lossy else _F2
     burst = parts.burst
+    # Telemetry rides the existing status-code drain: informed-count deltas
+    # are observed Python-side at each drain return, so the compiled region
+    # and the RNG stream are untouched whether metrics are on or off.
+    metrics = current_metrics()
 
     while True:
         rows = np.flatnonzero(live)
@@ -346,6 +351,9 @@ def async_tick_loop(state) -> None:
             tg_degrees = tg_start = tg_indices = _I64
             tg_width = 0
         status = np.empty(rows.size, dtype=np.int64)
+        informed_before = (
+            int(state.num_informed[rows].sum()) if metrics is not None else 0
+        )
         _async_drain(
             rows, status, state.gaps, state.callers, state.nbr_uniforms,
             loss_arr, lossy,
@@ -357,6 +365,12 @@ def async_tick_loop(state) -> None:
             loss_thresh, up, has_up, bound, has_bound,
             state.time_budget, state.finite_time_budget, mode_code, n,
         )
+        if metrics is not None:
+            metrics.count("engine.drain_returns")
+            metrics.count(
+                "engine.messages_delivered",
+                int(state.num_informed[rows].sum()) - informed_before,
+            )
         for j in range(rows.size):
             b = int(rows[j])
             st = int(status[j])

@@ -19,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.telemetry.metrics import current_metrics
+
 BACKEND_NAME = "numpy"
 
 #: Compact the async working set only once at least this many rows retired
@@ -291,6 +293,9 @@ def async_tick_loop(state) -> None:
         return retired >= _COMPACT_MIN_RETIRED and retired * 2 >= ids.size
 
     rows = np.flatnonzero(alive)
+    # Telemetry is observational only: deliveries are counted from informed
+    # deltas the loop computes anyway, so no draw order or state changes.
+    metrics = current_metrics()
     # Every live trial consumes exactly one buffered draw per iteration, so
     # the earliest possible refill is a scalar countdown — the loop skips
     # the per-iteration buffer-exhaustion scan entirely until it reaches 0.
@@ -304,6 +309,8 @@ def async_tick_loop(state) -> None:
         if ticks_until_refill <= 0:
             at_boundary = positions.take(rows) >= buffer_lengths.take(rows)
             if at_boundary.any():
+                if metrics is not None:
+                    metrics.count("engine.drain_returns", int(at_boundary.sum()))
                 for l in rows[at_boundary]:
                     # The exhausted chunk moves into the retired-tick count
                     # whether or not the trial goes on; `positions` always
@@ -454,6 +461,8 @@ def async_tick_loop(state) -> None:
             active &= up[abs_rows, caller] & up[abs_rows, callee]
         if active.any():
             active_ids = abs_rows[active]
+            if metrics is not None:
+                metrics.count("engine.messages_delivered", int(active_ids.size))
             active_flat = row_base[active] + targets[active]
             informed_flat[active_flat] = True
             if times_flat is not None:

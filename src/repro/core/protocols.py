@@ -99,6 +99,36 @@ Both transports are bit-identical for a fixed ``(seed, trials,
 num_workers)`` (pinned by the equivalence harness) and reuse one pool
 across whole experiment sweeps (``sweep_family(parallel=True)``,
 ``experiments.theorem1.run(parallel=True)``, ``experiments.scenarios``).
+
+**Telemetry.**  The observability layer (:mod:`repro.telemetry`) threads
+through every path above with zero cost when off: coverage traces ingest
+the per-vertex informing times each engine already produces (the ``(B,
+n)`` matrices of the batch kernels under ``record_times=True``, the
+:class:`SpreadingResult` histories serially), and runtime metrics count
+rounds / ticks / messages inside the engines only while a registry is
+installed (:func:`repro.telemetry.metrics.collecting_metrics`).  Tracing
+never changes which dispatch path runs and never consumes randomness.
+Coverage-tracing support by engine, view, and backend:
+
+==================  ===============  ========  ==================================
+engine / path       views            backends  coverage trace source
+==================  ===============  ========  ==================================
+serial sync/async   all three        n/a       per-run ``SpreadingResult.informed_time``
+serial ppx/ppy      (rounds)         n/a       per-run ``SpreadingResult.informed_time``
+batched sync        (rounds)         numpy,    kernel ``(B, n)`` time matrix,
+                                     jit       fixed-seed-identical across backends
+batched async       global           numpy,    kernel ``(B, n)`` time matrix; the jit
+                                     jit       status-code drain reports metric deltas
+                                               Python-side, RNG untouched
+batched clock       node_clocks,     numpy     kernel ``(B, n)`` time matrix (table
+views               edge_clocks      (pinned)  loops are numpy-pinned; pooled chunked
+                                               path runs either backend)
+batched ppx/ppy     (rounds)         numpy     kernel ``(B, n)`` time matrix
+parallel (shared)   all of the       both      workers write per-chunk time-matrix
+                    above                      rows into one shared ``(trials, n)``
+                                               coverage matrix; metrics snapshots
+                                               merge at chunk return
+==================  ===============  ========  ==================================
 """
 
 from __future__ import annotations
@@ -114,6 +144,7 @@ from repro.errors import ProtocolError, ScenarioError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike
 from repro.scenarios.base import ScenarioLike, as_scenario, scenario_source
+from repro.telemetry.metrics import current_metrics
 
 __all__ = [
     "ProtocolSpec",
@@ -319,5 +350,32 @@ def spread(
                     f"protocol {protocol!r} is an analysis-only process; runtime "
                     "scenarios (loss, churn, dynamic graphs, delay) do not apply"
                 )
-            return spec.runner(graph, source, seed=seed, scenario=scenario, **options)
-    return spec.runner(graph, source, seed=seed, **options)
+            result = spec.runner(graph, source, seed=seed, scenario=scenario, **options)
+            _record_spread_metrics(result)
+            return result
+    result = spec.runner(graph, source, seed=seed, **options)
+    _record_spread_metrics(result)
+    return result
+
+
+def _record_spread_metrics(result: SpreadingResult) -> None:
+    """Serial run counters, derived from the result the engine built anyway.
+
+    One registry lookup per :func:`spread` call and pure field reads —
+    nothing is added to the engines' inner loops, so a serial run with
+    telemetry off pays one ``is None`` check total.
+    """
+    metrics = current_metrics()
+    if metrics is None:
+        return
+    if result.rounds is not None:
+        metrics.count("engine.rounds", result.rounds)
+    if result.steps is not None:
+        metrics.count("engine.clock_ticks", result.steps)
+        metrics.count("engine.messages_attempted", result.steps)
+    elif result.total_contacts:
+        metrics.count("engine.messages_attempted", result.total_contacts)
+    metrics.count(
+        "engine.messages_delivered",
+        result.push_infections + result.pull_infections,
+    )

@@ -24,6 +24,7 @@ exercises the vectorised scenario kernels end to end.
 from __future__ import annotations
 
 import csv
+import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -40,6 +41,15 @@ from repro.graphs.generators import star_graph
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import SeedLike, derive_generator
 from repro.scenarios.base import MessageLoss, NodeChurn, Scenario, as_scenario
+from repro.telemetry.manifest import ManifestWriter
+from repro.telemetry.metrics import current_metrics
+from repro.telemetry.trace import CoverageRecorder, TraceSpec
+
+#: Column order of the ``--curves`` CSV emitted by :func:`sweep_scenarios`.
+CURVE_FIELDS = (
+    "family", "n", "protocol", "view", "scenario",
+    "time", "p10", "p50", "p90", "mean",
+)
 
 __all__ = ["run", "sweep_scenarios", "DEFAULT_SWEEP_GRID"]
 
@@ -216,6 +226,10 @@ def sweep_scenarios(
     output: Optional[Union[str, Path]] = None,
     parallel: bool = False,
     num_workers: Optional[int] = None,
+    curves: bool = False,
+    curves_output: Optional[Union[str, Path]] = None,
+    curve_points: int = 200,
+    manifest: Optional[Union[str, Path]] = None,
 ) -> list[dict[str, object]]:
     """Blowup curves over a (family × scenario-grid) product.
 
@@ -243,6 +257,22 @@ def sweep_scenarios(
             pool (the zero-copy shared transport; one pool reused over the
             whole grid).
         num_workers: worker override for the parallel path.
+        curves: record a per-cell coverage trace and emit a per-time
+            coverage-quantile CSV (columns :data:`CURVE_FIELDS`; one row per
+            grid time per cell).  Every cell is forced onto the batched
+            kernels (``batch=True`` — seed-identical to what ``"auto"``
+            batches, but with no serial fallback), so the curves come from
+            the vectorised ``(trials, n)`` informing-time matrices, not a
+            per-trial Python loop.
+        curves_output: destination of the curve CSV; defaults to
+            ``<output-stem>_curves.csv`` next to ``output`` (one of the two
+            must be given when ``curves`` is set).
+        curve_points: coverage-grid resolution per cell trace.
+        manifest: optional JSONL manifest path — writes a ``run_start``
+            event, one ``cell`` event per measurement (with wall seconds),
+            one ``coverage`` event per traced cell, and a final ``summary``
+            record carrying the ambient metric totals (when a registry is
+            active via ``collecting_metrics``).
 
     Returns:
         The table as a list of row dicts
@@ -260,8 +290,39 @@ def sweep_scenarios(
         grid.append((scenario.spec(), scenario))
     if len(grid) < 2:
         raise AnalysisError("sweep_scenarios needs at least one scenario")
+    curves_path: Optional[Path] = None
+    if curves:
+        if curve_points < 2:
+            raise AnalysisError(f"curve_points must be >= 2, got {curve_points}")
+        if curves_output is not None:
+            curves_path = Path(curves_output)
+        elif output is not None:
+            out = Path(output)
+            curves_path = out.with_name(out.stem + "_curves.csv")
+        else:
+            raise AnalysisError(
+                "curves need a destination: pass curves_output, or output "
+                "(the curve CSV then lands next to it as <stem>_curves.csv)"
+            )
+
+    manifest_writer = ManifestWriter(manifest) if manifest is not None else None
+    sweep_started = time.perf_counter()
+    if manifest_writer is not None:
+        manifest_writer.event(
+            "run_start",
+            command="scenarios sweep",
+            families=list(families),
+            scenarios=[label for label, _ in grid[1:]],
+            size=int(size),
+            protocols=list(protocols),
+            view=view,
+            trials=int(trials),
+            parallel=bool(parallel),
+            curves=bool(curves),
+        )
 
     rows: list[dict[str, object]] = []
+    curve_rows: list[dict[str, object]] = []
     for family_name in families:
         family = get_family(family_name)  # validates the name eagerly
         graph = family.build(size, seed=size)
@@ -285,6 +346,7 @@ def sweep_scenarios(
                     # graph resample) are skipped, not errored, so one grid
                     # serves mixed protocol lists.
                     continue
+                recorder: Optional[CoverageRecorder] = None
                 cell_kwargs = dict(
                     trials=trials,
                     seed=derive_generator(
@@ -294,6 +356,15 @@ def sweep_scenarios(
                     scenario=cell_scenario,
                     engine_options=options,
                 )
+                if curves:
+                    # Force the batched kernels: "auto" would fall back to
+                    # the serial loop on small asynchronous cells, and the
+                    # curves are specified to come from the (trials, n)
+                    # batch matrices.  batch=True draws the same sample.
+                    recorder = CoverageRecorder(TraceSpec(grid_points=curve_points))
+                    cell_kwargs["batch"] = True
+                    cell_kwargs["trace"] = recorder
+                cell_started = time.perf_counter()
                 if parallel:
                     sample = run_trials_parallel(
                         graph, 0, protocol,
@@ -301,21 +372,43 @@ def sweep_scenarios(
                     )
                 else:
                     sample = run_trials(graph, 0, protocol, **cell_kwargs)
+                cell_seconds = time.perf_counter() - cell_started
                 mean = sample.mean
                 if label == "baseline":
                     baseline_mean = mean
                 blowup = mean / baseline_mean if baseline_mean else float("nan")
-                rows.append(
-                    {
-                        "family": family_name,
-                        "n": graph.num_vertices,
-                        "protocol": protocol,
-                        "view": cell_view,
-                        "scenario": label,
-                        "mean": mean,
-                        "blowup": blowup,
-                    }
-                )
+                row: dict[str, object] = {
+                    "family": family_name,
+                    "n": graph.num_vertices,
+                    "protocol": protocol,
+                    "view": cell_view,
+                    "scenario": label,
+                    "mean": mean,
+                    "blowup": blowup,
+                }
+                rows.append(row)
+                if manifest_writer is not None:
+                    manifest_writer.event("cell", wall_seconds=cell_seconds, **row)
+                if recorder is not None:
+                    trace = recorder.trace(protocol=protocol, graph_name=graph.name)
+                    for point in trace.envelope_rows():
+                        curve_rows.append(
+                            {
+                                "family": family_name,
+                                "n": graph.num_vertices,
+                                "protocol": protocol,
+                                "view": cell_view,
+                                "scenario": label,
+                                **point,
+                            }
+                        )
+                    if manifest_writer is not None:
+                        manifest_writer.coverage(
+                            trace,
+                            family=family_name,
+                            view=cell_view,
+                            scenario=label,
+                        )
 
     if output is not None:
         path = Path(output)
@@ -327,4 +420,19 @@ def sweep_scenarios(
             )
             writer.writeheader()
             writer.writerows(rows)
+    if curves_path is not None:
+        curves_path.parent.mkdir(parents=True, exist_ok=True)
+        with curves_path.open("w", newline="") as handle:
+            curve_writer = csv.DictWriter(handle, fieldnames=list(CURVE_FIELDS))
+            curve_writer.writeheader()
+            curve_writer.writerows(curve_rows)
+    if manifest_writer is not None:
+        metrics = current_metrics()
+        manifest_writer.summary(
+            metrics=metrics.snapshot() if metrics is not None else None,
+            command="scenarios sweep",
+            cells=len(rows),
+            curve_rows=len(curve_rows),
+            wall_seconds=time.perf_counter() - sweep_started,
+        )
     return rows

@@ -1,0 +1,59 @@
+"""Telemetry: coverage tracing, runtime metrics, and run manifests.
+
+Three independent, composable pieces, all free when off:
+
+* :mod:`repro.telemetry.trace` — ``TraceSpec`` / ``CoverageRecorder``:
+  per-trial coverage histories derived at batch speed from the kernels'
+  bit-identical ``(B, n)`` informing-time matrices, compacted into
+  p10/p50/p90 envelopes.
+* :mod:`repro.telemetry.metrics` — process-local counters / timers /
+  gauges with worker-snapshot merge through the shared-memory pool path.
+* :mod:`repro.telemetry.manifest` — JSONL event streams plus a summary
+  record per run, aggregated by ``repro telemetry summarize``.
+
+Quickstart::
+
+    from repro.telemetry import CoverageRecorder, collecting_metrics
+
+    recorder = CoverageRecorder()
+    with collecting_metrics() as m:
+        sample = run_trials(graph, 0, "pp", trials=256, seed=7, trace=recorder)
+    trace = recorder.trace(protocol="pp", graph_name=graph.name)
+    trace.quantile_fractions      # (3, T) p10/p50/p90 coverage envelope
+    m.snapshot()["counters"]      # rounds, messages, trials, ...
+"""
+
+from repro.telemetry.manifest import ManifestWriter, summarize_manifest
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    collecting_metrics,
+    current_metrics,
+    disable_metrics,
+    enable_metrics,
+)
+from repro.telemetry.trace import (
+    CoverageRecorder,
+    CoverageTrace,
+    TraceCollector,
+    TraceSpec,
+    active_trace_collector,
+    collecting_traces,
+    coverage_histories,
+)
+
+__all__ = [
+    "TraceSpec",
+    "CoverageRecorder",
+    "CoverageTrace",
+    "TraceCollector",
+    "active_trace_collector",
+    "collecting_traces",
+    "coverage_histories",
+    "MetricsRegistry",
+    "current_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "collecting_metrics",
+    "ManifestWriter",
+    "summarize_manifest",
+]

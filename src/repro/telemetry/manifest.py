@@ -1,0 +1,125 @@
+"""Structured run manifests: a JSONL event stream plus a summary record.
+
+A manifest is an append-only JSONL file.  Every line is one event — a
+plain dict with an ``"event"`` kind plus arbitrary JSON-safe fields —
+and by convention the last line of a completed run is an
+``"event": "summary"`` record carrying the run configuration, seed,
+backend, wall time, and the merged metric totals.  The low-level line IO
+lives in :mod:`repro.reporting.results_io` (``append_jsonl`` /
+``load_jsonl``); this module owns the event conventions and the
+aggregation behind ``repro telemetry summarize``.
+
+Event kinds written by the built-in instrumentation:
+
+* ``run_start`` — configuration of a CLI ``run`` / ``scenarios sweep``;
+* ``cell`` — one sweep grid point (family, protocol, view, scenario,
+  mean spreading time, blowup, wall seconds);
+* ``coverage`` — one compacted coverage envelope (protocol, graph,
+  trials, and per-time ``curve`` rows from
+  :meth:`~repro.telemetry.trace.CoverageTrace.envelope_rows`);
+* ``summary`` — final totals (``metrics`` holds a
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import AnalysisError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import CoverageTrace
+
+__all__ = ["ManifestWriter", "summarize_manifest"]
+
+PathLike = Union[str, Path]
+
+
+class ManifestWriter:
+    """Append events to a JSONL manifest file.
+
+    Creating the writer truncates the target (one manifest per run);
+    every :meth:`event` appends one line immediately, so a crashed run
+    leaves a readable prefix rather than nothing.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.events_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def event(self, kind: str, **fields) -> dict:
+        """Append one ``{"event": kind, **fields}`` record; returns it."""
+        from repro.reporting.results_io import append_jsonl
+
+        record = {"event": str(kind), **fields}
+        append_jsonl(self.path, record)
+        self.events_written += 1
+        return record
+
+    def coverage(self, trace: CoverageTrace, **labels) -> dict:
+        """Append one compacted coverage envelope as a ``coverage`` event."""
+        return self.event(
+            "coverage",
+            protocol=trace.protocol,
+            graph=trace.graph_name,
+            num_vertices=trace.num_vertices,
+            num_trials=trace.num_trials,
+            quantiles=list(trace.quantile_levels),
+            curve=list(trace.envelope_rows()),
+            **labels,
+        )
+
+    def summary(self, *, metrics: Optional[dict] = None, **fields) -> dict:
+        """Append the final ``summary`` record (metric totals included)."""
+        return self.event("summary", metrics=metrics, **fields)
+
+
+def summarize_manifest(path: PathLike) -> dict:
+    """Aggregate a manifest: event counts, merged metrics, coverage cells.
+
+    Returns a plain dict::
+
+        {
+          "path": ...,
+          "events": {"cell": 12, "coverage": 12, "summary": 1, ...},
+          "metrics": {"counters": ..., "timers": ..., "gauges": ...},
+          "coverage": [{"protocol": ..., "graph": ..., "num_trials": ...}],
+          "summaries": [ the raw summary records ],
+        }
+
+    Multiple ``summary`` records (e.g. a manifest concatenated across
+    runs) merge additively, mirroring
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.merge`.
+    """
+    from repro.reporting.results_io import load_jsonl
+
+    records = load_jsonl(path)
+    if not records:
+        raise AnalysisError(f"manifest {path} holds no events")
+    counts: dict[str, int] = {}
+    merged = MetricsRegistry()
+    coverage: list[dict] = []
+    summaries: list[dict] = []
+    for record in records:
+        kind = record.get("event", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "summary":
+            summaries.append(record)
+            if record.get("metrics"):
+                merged.merge(record["metrics"])
+        elif kind == "coverage":
+            coverage.append(
+                {
+                    key: record.get(key)
+                    for key in ("protocol", "graph", "num_vertices", "num_trials")
+                }
+            )
+    return {
+        "path": str(path),
+        "events": counts,
+        "metrics": merged.snapshot(),
+        "coverage": coverage,
+        "summaries": summaries,
+    }

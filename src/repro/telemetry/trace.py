@@ -1,0 +1,279 @@
+"""Coverage tracing at batch speed: ``TraceSpec`` + ``CoverageRecorder``.
+
+The paper's social-network story is about the *trajectory* of
+dissemination — how large a fraction of the graph is informed at each
+point in time — not just the time to the last vertex.  The batch kernels
+already produce, bit-for-bit identically to the serial engines (and to
+each other across backends), a ``(B, n)`` matrix of per-vertex informing
+times whenever ``record_times=True``.  Coverage at time ``t`` for trial
+``b`` is simply ``#{v : informed_time[b, v] <= t}``, so the recorder
+never touches the kernels' inner loops or RNG streams: it ingests the
+``(B, n)`` matrices the kernels emit anyway and compacts them into a
+``(B, T)`` coverage history on a shared time grid with one vectorised
+bincount/cumsum pass — no per-trial Python loop, and fixed-seed-identical
+histories across ``backend="numpy"`` and ``backend="jit"``.
+
+The grid semantics deliberately mirror
+:func:`repro.analysis.curves.coverage_curve` (same horizon, same
+``linspace``, same ``side="right"`` step-function counts), so a curve
+built from a batch trace equals the curve recomputed from serial
+:class:`~repro.core.result.SpreadingResult` histories exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "TraceSpec",
+    "CoverageRecorder",
+    "CoverageTrace",
+    "coverage_histories",
+    "TraceCollector",
+    "active_trace_collector",
+    "collecting_traces",
+]
+
+#: Default quantile levels of the compacted envelope (p10 / p50 / p90).
+DEFAULT_QUANTILES = (0.1, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """What to trace and how to compact it.
+
+    Attributes:
+        coverage: record per-trial coverage histories (the only trace kind
+            so far; the flag exists so future trace kinds compose).
+        grid_points: number of points on the shared time grid
+            (``linspace(0, horizon, grid_points)``, matching
+            :func:`~repro.analysis.curves.coverage_curve`).
+        quantiles: envelope levels compacted per time point.
+    """
+
+    coverage: bool = True
+    grid_points: int = 200
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+
+    def __post_init__(self) -> None:
+        if self.grid_points < 2:
+            raise AnalysisError(
+                f"grid_points must be at least 2, got {self.grid_points}"
+            )
+        if not self.quantiles or any(not 0.0 < q < 1.0 for q in self.quantiles):
+            raise AnalysisError(
+                f"quantile levels must lie in (0, 1), got {self.quantiles!r}"
+            )
+
+
+def coverage_histories(informed_time: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """``(B, T)`` informed counts from a ``(B, n)`` informing-time matrix.
+
+    Exact and fully vectorised: each finite time is digitised onto the
+    (sorted, shared) grid with one :func:`numpy.searchsorted` over all
+    ``B * n`` entries, histogrammed per trial with one
+    :func:`numpy.bincount`, and turned into the cumulative step function
+    with one :func:`numpy.cumsum`.  Entry ``[b, k]`` equals
+    ``#{v : informed_time[b, v] <= grid[k]}`` — the same count the serial
+    per-run ``searchsorted(sorted_times, grid, side="right")`` produces —
+    and never-informed vertices (``+inf``, and any time beyond the grid)
+    fall into a discarded overflow bin.
+    """
+    matrix = np.asarray(informed_time, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(
+            f"informed_time must be a (B, n) matrix, got shape {matrix.shape}"
+        )
+    num_trials, num_vertices = matrix.shape
+    points = int(grid.size)
+    # First grid index k with grid[k] >= t; a time t contributes to every
+    # count at k' >= k and to none below, which is exactly "t <= grid[k']".
+    bins = np.searchsorted(grid, matrix.ravel(), side="left")
+    keys = np.repeat(
+        np.arange(num_trials, dtype=np.int64) * (points + 1), num_vertices
+    )
+    keys += bins
+    hist = np.bincount(keys, minlength=num_trials * (points + 1))
+    hist = hist.reshape(num_trials, points + 1)
+    return np.cumsum(hist[:, :points], axis=1)
+
+
+@dataclass(frozen=True)
+class CoverageTrace:
+    """A compacted coverage trace: histories plus their quantile envelope.
+
+    Attributes:
+        protocol / graph_name: labels carried from the traced run.
+        num_vertices / num_trials: shape of the underlying sample.
+        times: the shared ``(T,)`` time grid.
+        histories: ``(B, T)`` informed *counts* per trial and time point.
+        quantile_levels: the envelope's levels (default p10/p50/p90).
+        quantile_fractions: ``(len(levels), T)`` informed fractions.
+        mean_fraction: ``(T,)`` mean informed fraction across trials.
+    """
+
+    protocol: Optional[str]
+    graph_name: Optional[str]
+    num_vertices: int
+    num_trials: int
+    times: np.ndarray = field(repr=False)
+    histories: np.ndarray = field(repr=False)
+    quantile_levels: tuple[float, ...]
+    quantile_fractions: np.ndarray = field(repr=False)
+    mean_fraction: np.ndarray = field(repr=False)
+
+    def envelope_rows(self) -> Iterator[dict]:
+        """One plain-dict row per time point (CSV/JSONL-friendly)."""
+        for index, t in enumerate(self.times):
+            row = {"time": float(t), "mean": float(self.mean_fraction[index])}
+            for level, values in zip(self.quantile_levels, self.quantile_fractions):
+                row[f"p{round(level * 100):02d}"] = float(values[index])
+            yield row
+
+
+class CoverageRecorder:
+    """Accumulates ``(B, n)`` informing-time blocks into one coverage trace.
+
+    The batched Monte Carlo loop feeds it each block's
+    ``BatchTimes.informed_time`` matrix; the serial loop feeds it one
+    :class:`~repro.core.result.SpreadingResult` per trial.  Both paths
+    store the raw per-vertex times, so the compaction (grid construction
+    plus :func:`coverage_histories`) happens once at :meth:`trace` time.
+    """
+
+    def __init__(self, spec: Optional[TraceSpec] = None) -> None:
+        self.spec = spec if spec is not None else TraceSpec()
+        self._blocks: list[np.ndarray] = []
+        self._num_vertices: Optional[int] = None
+
+    # -- ingestion ------------------------------------------------------ #
+    def record_block(self, informed_time) -> None:
+        """Ingest one ``(B, n)`` matrix of per-vertex informing times."""
+        block = np.array(informed_time, dtype=float)  # copy: callers reuse
+        if block.ndim != 2:
+            raise AnalysisError(
+                f"coverage blocks must be (B, n) matrices, got shape {block.shape}"
+            )
+        if self._num_vertices is None:
+            self._num_vertices = int(block.shape[1])
+        elif block.shape[1] != self._num_vertices:
+            raise AnalysisError(
+                f"coverage blocks must share one vertex count; recorder holds "
+                f"n={self._num_vertices}, block has n={block.shape[1]}"
+            )
+        self._blocks.append(block)
+
+    def record_result(self, result) -> None:
+        """Ingest one serial :class:`SpreadingResult` (a 1-trial block)."""
+        self.record_block(
+            np.asarray(result.informed_time, dtype=float)[None, :]
+        )
+
+    # -- inspection ----------------------------------------------------- #
+    @property
+    def num_trials(self) -> int:
+        return sum(block.shape[0] for block in self._blocks)
+
+    @property
+    def num_vertices(self) -> Optional[int]:
+        return self._num_vertices
+
+    def times_matrix(self) -> np.ndarray:
+        """The concatenated ``(B, n)`` matrix of everything recorded."""
+        if not self._blocks:
+            raise AnalysisError("coverage recorder holds no trials")
+        if len(self._blocks) == 1:
+            return self._blocks[0]
+        return np.concatenate(self._blocks, axis=0)
+
+    # -- compaction ----------------------------------------------------- #
+    def trace(
+        self,
+        *,
+        protocol: Optional[str] = None,
+        graph_name: Optional[str] = None,
+    ) -> CoverageTrace:
+        """Compact everything recorded into a :class:`CoverageTrace`.
+
+        Grid semantics match :func:`repro.analysis.curves.coverage_curve`:
+        horizon = the largest finite informing time over all trials
+        (floored at a tiny positive value so degenerate single-vertex runs
+        still get a grid), ``times = linspace(0, horizon, grid_points)``.
+        """
+        matrix = self.times_matrix()
+        finite = matrix[np.isfinite(matrix)]
+        horizon = float(finite.max()) if finite.size else 0.0
+        horizon = max(horizon, 1e-12)
+        grid = np.linspace(0.0, horizon, self.spec.grid_points)
+        histories = coverage_histories(matrix, grid)
+        # Envelope compaction lives in analysis.quantiles; imported lazily
+        # because analysis.quantiles imports analysis.montecarlo, which in
+        # turn instruments itself through repro.telemetry.
+        from repro.analysis.quantiles import coverage_envelope
+
+        levels = tuple(self.spec.quantiles)
+        envelope = coverage_envelope(
+            histories, int(matrix.shape[1]), levels=levels
+        )
+        # Divide before averaging: float-identical to coverage_curve's
+        # per-run `counts / n` rows, so curve equality is exact.
+        mean_fraction = (histories / float(matrix.shape[1])).mean(axis=0)
+        return CoverageTrace(
+            protocol=protocol,
+            graph_name=graph_name,
+            num_vertices=int(matrix.shape[1]),
+            num_trials=int(matrix.shape[0]),
+            times=grid,
+            histories=histories,
+            quantile_levels=levels,
+            quantile_fractions=envelope,
+            mean_fraction=mean_fraction,
+        )
+
+
+class TraceCollector:
+    """Ambient collection of coverage traces from every traced run.
+
+    Installed by :func:`collecting_traces`; while active,
+    :func:`repro.analysis.montecarlo.run_trials` calls with no explicit
+    recorder create one from :attr:`spec` and deposit the finished
+    :class:`CoverageTrace` here — the hook behind ``repro run --trace
+    coverage``, where the experiment drivers between the CLI and
+    ``run_trials`` know nothing about tracing.
+    """
+
+    def __init__(self, spec: Optional[TraceSpec] = None) -> None:
+        self.spec = spec if spec is not None else TraceSpec()
+        self.traces: list[CoverageTrace] = []
+
+    def recorder(self) -> CoverageRecorder:
+        return CoverageRecorder(self.spec)
+
+    def add(self, trace: CoverageTrace) -> None:
+        self.traces.append(trace)
+
+
+_COLLECTOR: Optional[TraceCollector] = None
+
+
+def active_trace_collector() -> Optional[TraceCollector]:
+    """The ambient collector, or ``None`` when ambient tracing is off."""
+    return _COLLECTOR
+
+
+@contextmanager
+def collecting_traces(spec: Optional[TraceSpec] = None) -> Iterator[TraceCollector]:
+    """Scoped ambient tracing: every ``run_trials`` underneath is traced."""
+    global _COLLECTOR
+    previous = _COLLECTOR
+    _COLLECTOR = TraceCollector(spec)
+    try:
+        yield _COLLECTOR
+    finally:
+        _COLLECTOR = previous

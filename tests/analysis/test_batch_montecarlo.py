@@ -89,7 +89,7 @@ class TestBatchDispatch:
         """The one (protocol, options, scenario) eligibility helper behind
         run_trials, run_adaptive_trials, and run_trials_parallel."""
         ok, reason = batch_dispatch_decision("pp", None, None, True, 4)
-        assert ok and reason is None
+        assert ok and "batched kernels" in reason
         ok, reason = batch_dispatch_decision("ppx", None, None, True, 4)
         assert ok  # the aux processes now batch
         ok, reason = batch_dispatch_decision(

@@ -1,0 +1,175 @@
+"""Run manifests, the `--curves` sweep, and the telemetry CLI verbs."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import AnalysisError
+from repro.experiments.scenarios import CURVE_FIELDS, sweep_scenarios
+from repro.graphs import cycle_graph
+from repro.reporting.results_io import append_jsonl, load_jsonl
+from repro.telemetry.manifest import ManifestWriter, summarize_manifest
+from repro.telemetry.metrics import MetricsRegistry, collecting_metrics
+from repro.telemetry.trace import CoverageRecorder
+from repro.analysis.montecarlo import run_trials
+
+
+class TestJsonlHelpers:
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        append_jsonl(path, {"event": "a", "x": 1})
+        append_jsonl(path, {"event": "b", "x": 2})
+        records = load_jsonl(path)
+        assert [record["event"] for record in records] == ["a", "b"]
+
+    def test_numpy_values_are_coerced(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "np.jsonl"
+        append_jsonl(path, {"v": np.float64(1.5), "n": np.int64(3)})
+        record = load_jsonl(path)[0]
+        assert record == {"v": 1.5, "n": 3}
+
+
+class TestManifestWriter:
+    def test_event_stream_and_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = ManifestWriter(path)
+        writer.event("run_start", command="test")
+        registry = MetricsRegistry()
+        registry.count("engine.rounds", 7)
+        writer.summary(metrics=registry.snapshot(), wall_seconds=0.5)
+        assert writer.events_written == 2
+        records = load_jsonl(path)
+        assert records[0]["event"] == "run_start"
+        assert records[-1]["event"] == "summary"
+        assert records[-1]["metrics"]["counters"]["engine.rounds"] == 7
+
+    def test_coverage_event_roundtrip(self, tmp_path):
+        graph = cycle_graph(10)
+        recorder = CoverageRecorder()
+        run_trials(graph, 0, "pp", trials=3, seed=1, trace=recorder)
+        trace = recorder.trace(protocol="pp", graph_name=graph.name)
+        path = tmp_path / "cov.jsonl"
+        writer = ManifestWriter(path)
+        record = writer.coverage(trace, scenario="baseline")
+        assert record["num_trials"] == 3 and record["scenario"] == "baseline"
+        loaded = load_jsonl(path)[0]
+        assert loaded["curve"][-1]["mean"] == 1.0
+
+    def test_summarize_merges_summaries(self, tmp_path):
+        path = tmp_path / "two.jsonl"
+        first = MetricsRegistry()
+        first.count("engine.rounds", 3)
+        second = MetricsRegistry()
+        second.count("engine.rounds", 4)
+        append_jsonl(path, {"event": "summary", "metrics": first.snapshot()})
+        append_jsonl(path, {"event": "summary", "metrics": second.snapshot()})
+        summary = summarize_manifest(path)
+        assert summary["events"]["summary"] == 2
+        assert summary["metrics"]["counters"]["engine.rounds"] == 7
+
+    def test_summarize_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(AnalysisError):
+            summarize_manifest(path)
+
+
+class TestSweepCurves:
+    def test_curves_csv_and_manifest(self, tmp_path):
+        output = tmp_path / "sweep.csv"
+        manifest = tmp_path / "sweep.jsonl"
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            rows = sweep_scenarios(
+                ["cycle"],
+                ["loss:p=0.2"],
+                size=16,
+                protocols=("pp",),
+                trials=6,
+                seed=4,
+                output=output,
+                curves=True,
+                curve_points=50,
+                manifest=manifest,
+            )
+        assert len(rows) == 2  # baseline + loss
+
+        curves_path = tmp_path / "sweep_curves.csv"
+        assert curves_path.exists()
+        with curves_path.open() as handle:
+            curve_rows = list(csv.DictReader(handle))
+        assert len(curve_rows) == 2 * 50
+        assert list(curve_rows[0]) == list(CURVE_FIELDS)
+        baseline = [row for row in curve_rows if row["scenario"] == "baseline"]
+        assert float(baseline[0]["mean"]) == pytest.approx(1 / 16)
+        assert float(baseline[-1]["mean"]) == 1.0
+        assert float(baseline[-1]["p90"]) == 1.0
+
+        records = load_jsonl(manifest)
+        kinds = [record["event"] for record in records]
+        assert kinds[0] == "run_start" and kinds[-1] == "summary"
+        assert kinds.count("cell") == 2 and kinds.count("coverage") == 2
+        summary = records[-1]
+        # The curves force the batched kernels: no serial fallback ran.
+        assert "analysis.batch_seconds" in summary["metrics"]["timers"]
+        assert "analysis.serial_seconds" not in summary["metrics"]["timers"]
+
+    def test_curves_need_a_destination(self):
+        with pytest.raises(AnalysisError, match="destination"):
+            sweep_scenarios(
+                ["cycle"], ["loss:p=0.2"], size=8, protocols=("pp",),
+                trials=2, seed=1, curves=True,
+            )
+
+
+class TestTelemetryCli:
+    def test_sweep_curves_and_summarize(self, tmp_path, capsys):
+        output = tmp_path / "cli_sweep.csv"
+        manifest = tmp_path / "cli_manifest.jsonl"
+        assert main([
+            "scenarios", "sweep",
+            "--families", "cycle",
+            "--grid", "loss:p=0.2",
+            "--size", "16",
+            "--protocols", "pp",
+            "--trials", "4",
+            "--curves",
+            "--output", str(output),
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage quantile curves" in out and "run manifest" in out
+        assert (tmp_path / "cli_sweep_curves.csv").exists()
+
+        assert main(["telemetry", "summarize", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage cells: 2" in out
+        assert "engine.rounds" in out
+
+        assert main(["telemetry", "summarize", str(manifest), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"]["cell"] == 2
+
+    def test_run_trace_and_metrics_out(self, tmp_path, capsys):
+        manifest = tmp_path / "run_manifest.jsonl"
+        assert main([
+            "run", "E1", "--preset", "smoke",
+            "--trace", "coverage",
+            "--metrics-out", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage traces" in out
+        records = load_jsonl(manifest)
+        kinds = {record["event"] for record in records}
+        assert kinds == {"run_start", "coverage", "summary"}
+        assert records[-1]["metrics"]["counters"]["analysis.trials"] > 0
+
+    def test_summarize_missing_manifest_is_an_error(self, tmp_path, capsys):
+        assert main(["telemetry", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Runtime metrics: registry semantics, engine counters, worker merging.
+
+The worker-merge test compares only *chunking-invariant* counters —
+``engine.rounds``, ``engine.clock_ticks``, ``engine.messages_attempted``,
+``engine.messages_delivered``, and ``analysis.trials`` are identical
+however the trials are split across batches or workers.  Counters like
+``engine.drain_returns`` and ``engine.kernel_invocations`` intentionally
+are not (they count kernel entries, which scale with the number of
+chunks), so they stay out of the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.analysis.parallel import chunk_plan, run_trials_parallel
+from repro.core.protocols import spread
+from repro.graphs import cycle_graph
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    collecting_metrics,
+    current_metrics,
+)
+
+INVARIANT_COUNTERS = (
+    "engine.rounds",
+    "engine.clock_ticks",
+    "engine.messages_attempted",
+    "engine.messages_delivered",
+    "analysis.trials",
+)
+
+
+class TestRegistry:
+    def test_off_by_default(self):
+        assert current_metrics() is None
+
+    def test_collecting_scopes_the_registry(self):
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            assert current_metrics() is registry
+            current_metrics().count("a", 2)
+            current_metrics().count("a")
+        assert current_metrics() is None
+        assert registry.counters["a"] == 3
+
+    def test_merge_adds_counters_and_timers(self):
+        first = MetricsRegistry()
+        first.count("x", 5)
+        first.add_time("t", 1.0)
+        first.gauge("g", "old")
+        second = MetricsRegistry()
+        second.count("x", 7)
+        second.add_time("t", 0.5)
+        second.gauge("g", "new")
+        first.merge(second.snapshot())
+        snapshot = first.snapshot()
+        assert snapshot["counters"]["x"] == 12
+        assert snapshot["timers"]["t"]["seconds"] == pytest.approx(1.5)
+        assert snapshot["timers"]["t"]["count"] == 2
+        assert snapshot["gauges"]["g"] == "new"
+
+    def test_timer_context(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        assert registry.snapshot()["timers"]["t"]["count"] == 1
+
+
+class TestEngineCounters:
+    def test_serial_spread_records(self, small_cycle):
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            result = spread(small_cycle, 0, protocol="pp", seed=3)
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.rounds"] == result.rounds
+        assert counters["engine.messages_delivered"] == (
+            result.push_infections + result.pull_infections
+        )
+
+    def test_batched_run_records(self, small_cycle):
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials(small_cycle, 0, "pp", trials=4, seed=3, batch=True)
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["engine.rounds"] > 0
+        assert counters["engine.messages_attempted"] > 0
+        assert counters["engine.kernel_invocations"] == 1
+        assert counters["analysis.trials"] == 4
+        assert "analysis.batch_seconds" in snapshot["timers"]
+        assert snapshot["gauges"]["engine.backend"] in ("numpy", "jit")
+
+    def test_async_clock_ticks(self, small_cycle):
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials(small_cycle, 0, "pp-a", trials=4, seed=3, batch=True)
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.clock_ticks"] > 0
+        # One attempted exchange per clock tick in the global async model.
+        assert counters["engine.messages_attempted"] == counters["engine.clock_ticks"]
+        assert 0 < counters["engine.messages_delivered"] <= counters["engine.clock_ticks"]
+
+    def test_batch_and_serial_agree_on_invariants(self, small_cycle):
+        by_path = {}
+        for batch in (True, False):
+            registry = MetricsRegistry()
+            with collecting_metrics(registry):
+                run_trials(small_cycle, 0, "pp", trials=5, seed=11, batch=batch)
+            by_path[batch] = registry.snapshot()["counters"]
+        for key in ("engine.rounds", "engine.messages_attempted", "analysis.trials"):
+            assert by_path[True][key] == by_path[False][key], key
+
+    def test_metrics_never_change_the_sample(self, small_cycle):
+        plain = run_trials(small_cycle, 0, "pp-a", trials=4, seed=9, batch=True)
+        with collecting_metrics(MetricsRegistry()):
+            measured = run_trials(small_cycle, 0, "pp-a", trials=4, seed=9, batch=True)
+        assert plain.times == measured.times
+
+
+class TestWorkerMerge:
+    @pytest.mark.parametrize("protocol", ["pp", "pp-a"])
+    def test_worker_merged_equals_single_process(self, protocol):
+        graph = cycle_graph(24)
+        trials, workers, seed = 12, 3, 21
+
+        merged = MetricsRegistry()
+        with collecting_metrics(merged):
+            run_trials_parallel(
+                graph, 0, protocol, trials=trials, seed=seed, num_workers=workers
+            )
+
+        _, plan = chunk_plan(trials, workers, seed)
+        local = MetricsRegistry()
+        with collecting_metrics(local):
+            for size, chunk_seed in plan:
+                run_trials(graph, 0, protocol, trials=size, seed=chunk_seed)
+
+        merged_counters = merged.snapshot()["counters"]
+        local_counters = local.snapshot()["counters"]
+        for key in INVARIANT_COUNTERS:
+            assert merged_counters.get(key) == local_counters.get(key), key
+
+    def test_parallel_bookkeeping(self):
+        graph = cycle_graph(24)
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials_parallel(graph, 0, "pp", trials=12, seed=2, num_workers=3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["parallel.chunks"] == 3
+        assert snapshot["timers"]["parallel.chunk_seconds"]["count"] == 3
+        # The shared transport's result matrices register as shm segments.
+        assert snapshot["counters"]["shm.segments"] >= 1
+        assert snapshot["counters"]["shm.segment_bytes"] > 0
