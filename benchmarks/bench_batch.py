@@ -828,3 +828,76 @@ def test_telemetry_off_overhead(bench_preset, bench_graph, bench_record, monkeyp
         f"disabled telemetry costs {(1 - speedup) * 100:.1f}% on the batched "
         f"hot path ({shipped:.4f}s vs {stubbed:.4f}s stubbed)"
     )
+
+
+# --------------------------------------------------------------------- #
+# PR-8 gate: CSR-native generation at one million vertices.  The whole
+# point of building graphs as CSR arrays end to end is that *construction*
+# stops being the wall at large n, so this gate times an E1-style workload
+# on a random regular graph at n = 10^6 (10^5 on the smoke preset):
+# configuration-model sampling + vectorised simplicity check + array-side
+# connectivity, then a short synchronous push-pull sweep through the batch
+# kernels.  Build time and tracemalloc peak are hard ceilings; the sweep
+# time is recorded for the trajectory.  d = 3 keeps the pairing model's
+# simple-sample probability at e^-2, so the fixed seed needs only a
+# handful of permutation attempts.
+# --------------------------------------------------------------------- #
+MILLION_SIZE = {"smoke": 100_000, "quick": 1_000_000, "full": 1_000_000}
+MILLION_DEGREE = 3
+MILLION_TRIALS = 4
+#: Ceilings at n = 10^6 (measured ~2.3 s / ~190 MiB on a laptop-class
+#: machine; 20x / 5x headroom for loaded CI runners).  The smoke preset's
+#: n = 10^5 run shares them — it is strictly cheaper.
+MILLION_BUILD_GATE_SECONDS = 45.0
+MILLION_PEAK_GATE_MIB = 1024.0
+
+
+def test_million_vertex_csr_build_and_sweep(bench_preset, bench_record):
+    """The PR-8 gate: build + sweep a million-vertex random regular graph."""
+    import tracemalloc
+
+    size = MILLION_SIZE[bench_preset]
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    graph = random_regular_graph(size, MILLION_DEGREE, seed=1)
+    build_seconds = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_mib = peak / 2**20
+    assert graph.num_vertices == size
+    assert graph.csr() is not None  # stayed on the lazy CSR path
+
+    # E1-style measurement: synchronous push-pull through the 2-D batch
+    # kernels (the async event loop is inherently sequential and would
+    # dominate at this n without saying anything about construction).
+    start = time.perf_counter()
+    sample = run_trials(graph, 0, "pp", trials=MILLION_TRIALS, seed=5, batch="auto")
+    sweep_seconds = time.perf_counter() - start
+    assert sample.num_trials == MILLION_TRIALS
+
+    print(
+        f"\nn={size} d={MILLION_DEGREE}: build {build_seconds:.2f}s "
+        f"(peak {peak_mib:.0f} MiB), {MILLION_TRIALS}-trial pp sweep "
+        f"{sweep_seconds:.2f}s"
+    )
+    bench_record(
+        "million_vertex_csr_build",
+        seconds=build_seconds,
+        speedup=None,
+        gate=MILLION_BUILD_GATE_SECONDS,
+        peak_mib=round(peak_mib, 1),
+        peak_gate_mib=MILLION_PEAK_GATE_MIB,
+        sweep_seconds=round(sweep_seconds, 3),
+        graph_size=size,
+        degree=MILLION_DEGREE,
+        trials=MILLION_TRIALS,
+    )
+    assert build_seconds <= MILLION_BUILD_GATE_SECONDS, (
+        f"building n={size} took {build_seconds:.1f}s "
+        f"(gate {MILLION_BUILD_GATE_SECONDS:.0f}s)"
+    )
+    assert peak_mib <= MILLION_PEAK_GATE_MIB, (
+        f"building n={size} peaked at {peak_mib:.0f} MiB "
+        f"(gate {MILLION_PEAK_GATE_MIB:.0f} MiB)"
+    )

@@ -26,8 +26,13 @@ to each other for the same ``(seed, trials, num_workers)``:
   :class:`~repro.analysis.montecarlo.SpreadingTimeSample` back through the
   executor.  Kept as the equivalence reference and benchmark baseline.
 
-Graphs given as a named family are rebuilt inside each worker from the
-family registry (workers never receive the graph at all in that mode).
+Graphs given as a named family are built **once in the parent** from the
+plan's shared graph seed and served to the workers through the same
+shared-memory CSR segment as explicit graphs (on the ``"shared"``
+transport); the ``"pickle"`` transport and the degenerate one-chunk path
+still rebuild from the family registry inside the worker.  Both are
+bit-identical: the worker-side rebuild used the identical
+``(family, size, graph_seed)`` triple.
 """
 
 from __future__ import annotations
@@ -330,15 +335,20 @@ def _execute_shared(
     """Dispatch the chunks through the zero-copy shared-memory transport."""
     times_segment = times = frac_segment = fraction_matrix = None
     cov_segment = coverage = None
+    times_pooled = frac_pooled = cov_pooled = True
     try:
-        times_segment, times = shm.create_array((trials,))
+        times_segment, times, times_pooled = shm.result_array("times", (trials,))
         if fractions:
-            frac_segment, fraction_matrix = shm.create_array((trials, len(fractions)))
+            frac_segment, fraction_matrix, frac_pooled = shm.result_array(
+                "fractions", (trials, len(fractions))
+            )
         if trace is not None:
             # The (trials, n) informing-time matrix rides the same transport
             # as the result arrays: each worker fills its chunk's rows and
             # the parent ingests the assembled block below.
-            cov_segment, coverage = shm.create_array((trials, num_vertices))
+            cov_segment, coverage, cov_pooled = shm.result_array(
+                "coverage", (trials, num_vertices)
+            )
         shared_specs = []
         offset = 0
         for spec in specs:
@@ -382,12 +392,14 @@ def _execute_shared(
             trace.record_block(coverage)
         return sample
     finally:
+        # Pooled segments belong to the enclosing sweep scope, which reuses
+        # them for the sweep's next call and unlinks them at scope exit.
         del times, fraction_matrix, coverage
-        if times_segment is not None:
+        if times_segment is not None and not times_pooled:
             shm._unlink(times_segment)
-        if frac_segment is not None:
+        if frac_segment is not None and not frac_pooled:
             shm._unlink(frac_segment)
-        if cov_segment is not None:
+        if cov_segment is not None and not cov_pooled:
             shm._unlink(cov_segment)
 
 
@@ -605,4 +617,32 @@ def run_trials_parallel(
                 trace.trace(protocol=protocol, graph_name=sample.graph_name)
             )
         return sample
-    return _execute_shared(handle, specs, trials, tuple(fractions), protocol)
+
+    # Family mode on the shared transport: build the graph ONCE in the
+    # parent — from the same shared graph seed the workers would have used,
+    # so the samples are bit-identical to the legacy rebuild-per-worker
+    # path — and serve every worker from one shared CSR segment.
+    built = get_family(str(graph_or_family)).build(int(size), seed=graph_seed)
+    segment_name = shm.share_graph(built, pin=True)
+    specs = [
+        replace(
+            spec,
+            family_name=None,
+            size=None,
+            graph_seed=None,
+            graph_shm=segment_name,
+            graph_display_name=built.name,
+        )
+        for spec in specs
+    ]
+    try:
+        return _execute_shared(
+            handle,
+            specs,
+            trials,
+            tuple(fractions),
+            protocol,
+            num_vertices=built.num_vertices,
+        )
+    finally:
+        shm.unpin_segment(segment_name)

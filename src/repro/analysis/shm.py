@@ -22,9 +22,14 @@ the executor.  This module removes both with
   name-keyed cache makes every later chunk on the same graph free.
 
 Lifecycle: segments owned by a call (result matrices) are unlinked in a
-``finally`` as soon as the sample is built; graph segments are unlinked on
-LRU eviction, at :func:`release_shared_graphs`, and by the same ``atexit``
-hook that tears down the persistent pool.  Workers attach without
+``finally`` as soon as the sample is built — unless a **sweep scope**
+(:func:`sweep_scope`) is active, in which case the result segments persist
+in a per-sweep pool keyed by role (times / fractions / coverage) and are
+reused by every call of the sweep (capacity grows monotonically; a segment
+is only replaced when a call needs more bytes than the pooled one holds),
+then unlinked together when the scope exits.  Graph segments are unlinked
+on LRU eviction, at :func:`release_shared_graphs`, and by the same
+``atexit`` hook that tears down the persistent pool.  Workers attach without
 registering with the :mod:`multiprocessing.resource_tracker` (the parent
 owns every segment), so worker exits never spuriously unlink live segments
 and interpreter shutdown stays free of "leaked shared_memory" warnings.
@@ -54,6 +59,9 @@ __all__ = [
     "share_graph",
     "attach_graph",
     "release_shared_graphs",
+    "sweep_scope",
+    "active_sweep_pool",
+    "result_array",
 ]
 
 #: Parent-side bound on simultaneously shared graph segments (a Theorem-1
@@ -115,6 +123,108 @@ def attach_array(
     segment = _attach_untracked(name)
     array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
     return segment, array
+
+
+# --------------------------------------------------------------------- #
+# Per-sweep result-segment pool
+# --------------------------------------------------------------------- #
+
+
+class _SweepSegmentPool:
+    """Role-keyed shared result segments reused across a sweep's calls.
+
+    Each role (``"times"``, ``"fractions"``, ``"coverage"``) holds at most
+    one segment; a request reuses it whenever its capacity covers the
+    requested array (``np.ndarray(shape, buffer=...)`` only needs the buffer
+    to be at least ``nbytes`` — every call overwrites all the rows it
+    reads, so stale bytes from a previous, larger call are never observed).
+    Undersized segments are unlinked and replaced.  Pools are thread-local
+    (one sweep per thread), so no locking is needed.
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self) -> None:
+        # role -> (segment, capacity in bytes)
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+
+    def array(
+        self, role: str, shape: tuple[int, ...], dtype=np.float64
+    ) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        cached = self._segments.get(role)
+        if cached is not None:
+            segment, capacity = cached
+            if capacity >= nbytes:
+                metrics = current_metrics()
+                if metrics is not None:
+                    metrics.count("shm.sweep_segment_reuses")
+                return segment, np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            del self._segments[role]
+            _unlink(segment)
+        segment, array = create_array(shape, dtype)
+        self._segments[role] = (segment, nbytes)
+        return segment, array
+
+    def release(self) -> None:
+        segments, self._segments = self._segments, {}
+        for segment, _capacity in segments.values():
+            _unlink(segment)
+
+
+_SWEEP_STATE = threading.local()
+
+
+class sweep_scope:
+    """Context manager pooling shared result segments for a whole sweep.
+
+    Inside the scope, :func:`result_array` hands out pooled segments that
+    persist across :func:`repro.analysis.parallel.run_trials_parallel`
+    calls — a Theorem-1 sweep allocates its times matrix once per sweep
+    instead of once per (size, protocol) cell.  Re-entrant: nested scopes
+    join the outermost pool, which owns the segments and unlinks them all
+    on exit.
+    """
+
+    def __init__(self) -> None:
+        self._owned: Optional[_SweepSegmentPool] = None
+
+    def __enter__(self) -> _SweepSegmentPool:
+        pool = getattr(_SWEEP_STATE, "pool", None)
+        if pool is None:
+            pool = _SweepSegmentPool()
+            _SWEEP_STATE.pool = pool
+            self._owned = pool
+        return pool
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._owned is not None:
+            _SWEEP_STATE.pool = None
+            self._owned.release()
+            self._owned = None
+
+
+def active_sweep_pool() -> Optional[_SweepSegmentPool]:
+    """The current thread's sweep pool, or ``None`` outside any scope."""
+    return getattr(_SWEEP_STATE, "pool", None)
+
+
+def result_array(
+    role: str, shape: tuple[int, ...], dtype=np.float64
+) -> tuple[shared_memory.SharedMemory, np.ndarray, bool]:
+    """A shared result array, pooled per sweep when a scope is active.
+
+    Returns ``(segment, array, pooled)``: with ``pooled=False`` the caller
+    owns the segment and must unlink it when done (exactly
+    :func:`create_array` semantics); with ``pooled=True`` the sweep scope
+    owns it and the caller must *not* unlink.
+    """
+    pool = active_sweep_pool()
+    if pool is None:
+        segment, array = create_array(shape, dtype)
+        return segment, array, False
+    segment, array = pool.array(role, shape, dtype)
+    return segment, array, True
 
 
 # --------------------------------------------------------------------- #

@@ -55,14 +55,24 @@ class IdentityLRU:
         return value
 
     def put(self, owner: Any, value: Any, key: Hashable = None) -> Any:
-        """Insert a value, evicting dead entries first and then the LRU."""
-        if len(self._entries) >= self._limit:
+        """Insert a value, evicting dead entries first and then the LRU.
+
+        Overwriting an existing ``(owner, key)`` entry never evicts anyone
+        else (the insert replaces in place) and refreshes the entry's
+        recency, exactly as a :meth:`get` hit would.
+        """
+        full_key = (id(owner), key)
+        if full_key in self._entries:
+            # Delete-and-reinsert so the overwrite moves to the MRU end;
+            # plain reassignment would keep the old dict position.
+            del self._entries[full_key]
+        elif len(self._entries) >= self._limit:
             dead = [k for k, (ref, _) in self._entries.items() if ref() is None]
             for k in dead:
                 del self._entries[k]
             while len(self._entries) >= self._limit:
                 self._entries.pop(next(iter(self._entries)))
-        self._entries[(id(owner), key)] = (weakref.ref(owner), value)
+        self._entries[full_key] = (weakref.ref(owner), value)
         return value
 
     def pop(self, owner: Any, key: Hashable = None) -> None:

@@ -164,12 +164,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--families",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "override the experiment's family sweep with a comma-separated "
+            "list of registered families (experiments that accept one, e.g. "
+            "E1; see `families`)"
+        ),
+    )
+    run_parser.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "override the preset's size sweep with a comma-separated list of "
+            "vertex counts (experiments that accept one, e.g. E1; the "
+            "CSR-native generators handle sizes up to 10^6)"
+        ),
+    )
+    run_parser.add_argument(
         "--parallel",
         action="store_true",
         help=(
             "shard the experiment's Monte Carlo cells across the session's "
             "persistent process pool (experiments that accept it, e.g. E1/E12; "
-            "zero-copy shared-memory transport)"
+            "zero-copy shared-memory transport; family graphs are built once "
+            "in the parent and served to workers over shared CSR segments)"
         ),
     )
     run_parser.add_argument(
@@ -392,6 +413,27 @@ def _command_run(arguments: argparse.Namespace) -> int:
             "batch mode; the batched Monte Carlo suite is E1",
         )
         overrides["batch"] = _BATCH_MODES[arguments.batch]
+    if arguments.families is not None:
+        _require_runner_param(
+            arguments.experiment,
+            "families",
+            "family override; the family-sweep suite is E1",
+        )
+        overrides["families"] = [
+            name.strip() for name in arguments.families.split(",") if name.strip()
+        ]
+    if arguments.sizes is not None:
+        _require_runner_param(
+            arguments.experiment,
+            "sizes",
+            "size override; the family-sweep suite is E1",
+        )
+        try:
+            overrides["sizes"] = [
+                int(token) for token in arguments.sizes.split(",") if token.strip()
+            ]
+        except ValueError as error:
+            raise SystemExit(f"--sizes expects comma-separated integers: {error}")
     if arguments.parallel or arguments.num_workers is not None:
         _require_runner_param(
             arguments.experiment,

@@ -35,6 +35,17 @@ class FlatAdjacency:
     __slots__ = ("indptr", "indices", "degrees", "num_vertices", "__weakref__")
 
     def __init__(self, graph: Graph) -> None:
+        csr = graph.csr()
+        if csr is not None:
+            # CSR-built graphs already hold the native arrays: adopt them
+            # zero-copy instead of re-deriving them through the (lazily
+            # materialised) Python neighbor tuples.
+            indptr = np.asarray(csr[0], dtype=np.int64)
+            self.indptr = indptr
+            self.indices = np.asarray(csr[1], dtype=np.int64)
+            self.degrees = np.diff(indptr)
+            self.num_vertices = int(indptr.size - 1)
+            return
         n = graph.num_vertices
         degrees = np.asarray(graph.degrees, dtype=np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)

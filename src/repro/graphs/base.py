@@ -6,9 +6,10 @@ graphs.  All protocol engines in :mod:`repro.core` operate on the
 two reasons:
 
 * **Speed** — Monte Carlo experiments draw millions of "uniform random
-  neighbor of *v*" samples.  A flat tuple-of-tuples adjacency structure with
-  integer vertex ids makes that a single indexed lookup, with no hashing and
-  no attribute-dictionary overhead.
+  neighbor of *v*" samples.  The native representation is CSR adjacency
+  (``indptr``/``indices`` arrays, adopted zero-copy via :meth:`Graph.from_csr`)
+  with integer vertex ids, so kernels index neighbor slices directly; Python
+  tuple views are materialised lazily only for code paths that ask for them.
 * **Immutability** — a :class:`Graph` is frozen after construction, so a
   single instance can safely be shared by thousands of simulation trials
   (and across processes) without defensive copying.
@@ -168,9 +169,9 @@ class Graph:
     def degrees(self) -> tuple[int, ...]:
         """Degree sequence indexed by vertex id."""
         if self._degrees is None:
-            indptr = self._csr[0]
-            ptr = indptr.tolist() if hasattr(indptr, "tolist") else indptr
-            self._degrees = tuple(ptr[v + 1] - ptr[v] for v in range(self._n))
+            import numpy as np
+
+            self._degrees = tuple(np.diff(np.asarray(self._csr[0])).tolist())
         return self._degrees
 
     def csr(self):
@@ -255,34 +256,26 @@ class Graph:
     def _csr_is_connected(self) -> bool:
         """Connectivity straight off the CSR arrays (no tuple materialization).
 
-        A level-synchronous frontier BFS in NumPy, so batch-only workers
+        Delegates to :func:`repro.graphs.csr_build.csr_is_connected` (a
+        level-synchronous frontier BFS in NumPy), so batch-only workers
         (which attach graphs from shared CSR segments and never need the
         Python adjacency) keep their O(1)-attach guarantee.
         """
-        import numpy as np
+        from repro.graphs import csr_build
 
-        indptr, indices = self._csr
-        indptr = np.asarray(indptr)
-        indices = np.asarray(indices)
-        seen = np.zeros(self._n, dtype=bool)
-        seen[0] = True
-        frontier = np.array([0], dtype=np.int64)
-        count = 1
-        while frontier.size:
-            degs = indptr[frontier + 1] - indptr[frontier]
-            total = int(degs.sum())
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(degs) - degs, degs
-            )
-            neighbors = indices[np.repeat(indptr[frontier], degs) + within]
-            new = np.unique(neighbors[~seen[neighbors]])
-            seen[new] = True
-            count += new.size
-            frontier = new
-        return count == self._n
+        return csr_build.csr_is_connected(*self._csr)
 
     def connected_components(self) -> list[list[int]]:
         """Connected components as sorted vertex lists (sorted by minimum)."""
+        if self._adjacency is None:
+            import numpy as np
+
+            from repro.graphs import csr_build
+
+            labels = csr_build.connected_component_labels(*self._csr)
+            order = np.argsort(labels, kind="stable")
+            splits = np.nonzero(np.diff(labels[order]))[0] + 1
+            return [np.sort(part).tolist() for part in np.split(order, splits)]
         seen = bytearray(self._n)
         components: list[list[int]] = []
         adjacency = self.adjacency
@@ -304,7 +297,7 @@ class Graph:
 
     def is_regular(self) -> bool:
         """Whether every vertex has the same degree."""
-        return len(set(self._degrees)) <= 1
+        return len(set(self.degrees)) <= 1
 
     def min_degree(self) -> int:
         """Minimum degree over all vertices."""

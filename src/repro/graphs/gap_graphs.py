@@ -45,7 +45,10 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import GraphGenerationError
+from repro.graphs import csr_build
 from repro.graphs.base import Graph
 from repro.graphs.generators import star_graph
 
@@ -79,19 +82,16 @@ def string_of_stars_graph(chain_length: int, bundle_size: int) -> Graph:
         raise GraphGenerationError(f"bundle_size must be >= 1, got {bundle_size}")
     num_hubs = chain_length + 1
     n = num_hubs + chain_length * bundle_size
-    edges: list[tuple[int, int]] = []
-    next_leaf = num_hubs
-    for link in range(chain_length):
-        left_hub = link
-        right_hub = link + 1
-        for _ in range(bundle_size):
-            leaf = next_leaf
-            next_leaf += 1
-            edges.append((left_hub, leaf))
-            edges.append((leaf, right_hub))
-    return Graph(
-        n,
-        edges,
+    # Leaves for link i occupy the contiguous block starting at
+    # num_hubs + i * bundle_size; each leaf joins its link's two hubs.
+    leaves = np.arange(num_hubs, n, dtype=np.int64)
+    links = (leaves - num_hubs) // bundle_size
+    heads = np.concatenate([links, leaves])
+    tails = np.concatenate([leaves, links + 1])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(
+        indptr,
+        indices,
         name=f"string_of_stars(len={chain_length}, bundle={bundle_size})",
     )
 

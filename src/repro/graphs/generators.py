@@ -17,12 +17,19 @@ implicitly:
   the additive ``log n`` term and the ``sqrt(n)`` lower-bound factor.
 
 All generators return :class:`repro.graphs.base.Graph` instances with a
-descriptive :attr:`~repro.graphs.base.Graph.name`.
+descriptive :attr:`~repro.graphs.base.Graph.name`.  The CSR adjacency arrays
+are emitted analytically (star, complete, cycle) or assembled from
+vectorised half-edge arrays via :mod:`repro.graphs.csr_build`, so graph
+construction stays array-side all the way to ``n = 10^6`` — no Python loops
+over edges, no ``normalize_edges`` sort.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import GraphGenerationError
+from repro.graphs import csr_build
 from repro.graphs.base import Graph
 
 __all__ = [
@@ -56,8 +63,14 @@ def star_graph(n: int) -> Graph:
     :math:`\\Theta(n \\log n)` rounds.
     """
     _require(n >= 2, f"a star needs at least 2 vertices, got {n}")
-    edges = [(0, v) for v in range(1, n)]
-    return Graph(n, edges, name=f"star(n={n})")
+    degrees = np.ones(n, dtype=np.int64)
+    degrees[0] = n - 1
+    indices = np.concatenate(
+        [np.arange(1, n, dtype=np.int64), np.zeros(n - 1, dtype=np.int64)]
+    )
+    return Graph.from_csr(
+        csr_build.indptr_from_degrees(degrees), indices, name=f"star(n={n})"
+    )
 
 
 def double_star_graph(leaves_per_center: int) -> Graph:
@@ -71,56 +84,82 @@ def double_star_graph(leaves_per_center: int) -> Graph:
     _require(leaves_per_center >= 1, "each center needs at least one leaf")
     k = leaves_per_center
     n = 2 + 2 * k
-    edges = [(0, 1)]
-    edges.extend((0, 2 + i) for i in range(k))
-    edges.extend((1, 2 + k + i) for i in range(k))
-    return Graph(n, edges, name=f"double_star(k={k})")
+    left = np.arange(2, 2 + k, dtype=np.int64)
+    right = np.arange(2 + k, n, dtype=np.int64)
+    heads = np.concatenate([[0], np.zeros(k, dtype=np.int64), np.ones(k, dtype=np.int64)])
+    tails = np.concatenate([[1], left, right])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"double_star(k={k})")
 
 
 def complete_graph(n: int) -> Graph:
     """The complete graph :math:`K_n`."""
     _require(n >= 1, f"a complete graph needs at least 1 vertex, got {n}")
-    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return Graph(n, edges, name=f"complete(n={n})")
+    vertex_ids = np.arange(n, dtype=np.int64)
+    mask = vertex_ids[None, :] != vertex_ids[:, None]
+    indices = np.broadcast_to(vertex_ids, (n, n))[mask]
+    degrees = np.full(n, n - 1, dtype=np.int64)
+    return Graph.from_csr(
+        csr_build.indptr_from_degrees(degrees), indices, name=f"complete(n={n})"
+    )
 
 
 def complete_bipartite_graph(a: int, b: int) -> Graph:
     """The complete bipartite graph :math:`K_{a,b}` (left part ``0..a-1``)."""
     _require(a >= 1 and b >= 1, "both parts need at least one vertex")
-    edges = [(u, a + v) for u in range(a) for v in range(b)]
-    return Graph(a + b, edges, name=f"complete_bipartite(a={a}, b={b})")
+    left_neighbors = np.arange(a, a + b, dtype=np.int64)
+    right_neighbors = np.arange(a, dtype=np.int64)
+    indices = np.concatenate([np.tile(left_neighbors, a), np.tile(right_neighbors, b)])
+    degrees = np.concatenate(
+        [np.full(a, b, dtype=np.int64), np.full(b, a, dtype=np.int64)]
+    )
+    return Graph.from_csr(
+        csr_build.indptr_from_degrees(degrees),
+        indices,
+        name=f"complete_bipartite(a={a}, b={b})",
+    )
 
 
 def path_graph(n: int) -> Graph:
     """The path on ``n`` vertices ``0 - 1 - ... - n-1``."""
     _require(n >= 1, f"a path needs at least 1 vertex, got {n}")
-    edges = [(v, v + 1) for v in range(n - 1)]
-    return Graph(n, edges, name=f"path(n={n})")
+    if n == 1:
+        return Graph.from_csr(
+            np.zeros(2, dtype=np.int64), np.empty(0, dtype=np.int64), name=f"path(n={n})"
+        )
+    heads = np.arange(n - 1, dtype=np.int64)
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, heads + 1)
+    return Graph.from_csr(indptr, indices, name=f"path(n={n})")
 
 
 def cycle_graph(n: int) -> Graph:
     """The cycle on ``n`` vertices (2-regular for ``n >= 3``)."""
     _require(n >= 3, f"a cycle needs at least 3 vertices, got {n}")
-    edges = [(v, (v + 1) % n) for v in range(n)]
-    return Graph(n, edges, name=f"cycle(n={n})")
+    vertex_ids = np.arange(n, dtype=np.int64)
+    # Sorted neighbor pairs: interior vertices see (v-1, v+1); the wrap
+    # vertices 0 and n-1 see (1, n-1) and (0, n-2) respectively.
+    neighbor_pairs = np.stack([vertex_ids - 1, vertex_ids + 1], axis=1)
+    neighbor_pairs[0] = (1, n - 1)
+    neighbor_pairs[n - 1] = (0, n - 2)
+    return Graph.from_csr(
+        csr_build.indptr_from_degrees(np.full(n, 2, dtype=np.int64)),
+        neighbor_pairs.ravel(),
+        name=f"cycle(n={n})",
+    )
 
 
 def grid_graph(rows: int, cols: int) -> Graph:
     """The ``rows x cols`` grid with 4-neighborhoods (no wrap-around)."""
     _require(rows >= 1 and cols >= 1, "grid dimensions must be positive")
     _require(rows * cols >= 2, "a grid graph needs at least 2 vertices")
-
-    def vid(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if c + 1 < cols:
-                edges.append((vid(r, c), vid(r, c + 1)))
-            if r + 1 < rows:
-                edges.append((vid(r, c), vid(r + 1, c)))
-    return Graph(rows * cols, edges, name=f"grid({rows}x{cols})")
+    n = rows * cols
+    vertex_ids = np.arange(n, dtype=np.int64)
+    right_heads = vertex_ids[vertex_ids % cols < cols - 1]
+    down_heads = vertex_ids[vertex_ids // cols < rows - 1]
+    heads = np.concatenate([right_heads, down_heads])
+    tails = np.concatenate([right_heads + 1, down_heads + cols])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"grid({rows}x{cols})")
 
 
 def torus_graph(rows: int, cols: int) -> Graph:
@@ -130,16 +169,15 @@ def torus_graph(rows: int, cols: int) -> Graph:
     wrap-arounds would create parallel edges).
     """
     _require(rows >= 3 and cols >= 3, "torus dimensions must be at least 3")
-
-    def vid(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            edges.append((vid(r, c), vid(r, (c + 1) % cols)))
-            edges.append((vid(r, c), vid((r + 1) % rows, c)))
-    return Graph(rows * cols, edges, name=f"torus({rows}x{cols})")
+    n = rows * cols
+    vertex_ids = np.arange(n, dtype=np.int64)
+    row_ids, col_ids = vertex_ids // cols, vertex_ids % cols
+    right = row_ids * cols + (col_ids + 1) % cols
+    down = ((row_ids + 1) % rows) * cols + col_ids
+    heads = np.concatenate([vertex_ids, vertex_ids])
+    tails = np.concatenate([right, down])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"torus({rows}x{cols})")
 
 
 def hypercube_graph(dimension: int) -> Graph:
@@ -153,13 +191,17 @@ def hypercube_graph(dimension: int) -> Graph:
     _require(dimension >= 1, f"hypercube dimension must be >= 1, got {dimension}")
     _require(dimension <= 24, "hypercube dimension above 24 is unreasonably large")
     n = 1 << dimension
-    edges = []
-    for v in range(n):
-        for bit in range(dimension):
-            w = v ^ (1 << bit)
-            if v < w:
-                edges.append((v, w))
-    return Graph(n, edges, name=f"hypercube(d={dimension})")
+    vertex_ids = np.arange(n, dtype=np.int64)
+    head_parts = []
+    for bit in range(dimension):
+        bit_value = np.int64(1 << bit)
+        head_parts.append(vertex_ids[(vertex_ids & bit_value) == 0])
+    heads = np.concatenate(head_parts)
+    tails = np.concatenate(
+        [part | np.int64(1 << bit) for bit, part in enumerate(head_parts)]
+    )
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"hypercube(d={dimension})")
 
 
 def binary_tree_graph(depth: int) -> Graph:
@@ -171,14 +213,22 @@ def binary_tree_graph(depth: int) -> Graph:
     _require(depth >= 0, f"depth must be non-negative, got {depth}")
     _require(depth <= 22, "binary tree depth above 22 is unreasonably large")
     n = (1 << (depth + 1)) - 1
-    edges = []
-    for v in range(n):
-        left, right = 2 * v + 1, 2 * v + 2
-        if left < n:
-            edges.append((v, left))
-        if right < n:
-            edges.append((v, right))
-    return Graph(n, edges, name=f"binary_tree(depth={depth})")
+    if n == 1:
+        return Graph.from_csr(
+            np.zeros(2, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            name=f"binary_tree(depth={depth})",
+        )
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // 2
+    indptr, indices = csr_build.csr_from_half_edges(n, parents, children)
+    return Graph.from_csr(indptr, indices, name=f"binary_tree(depth={depth})")
+
+
+def _clique_half_edges(k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Half edges of a clique on ``0..k-1`` (``u < v``)."""
+    upper_u, upper_v = np.triu_indices(k, k=1)
+    return upper_u.astype(np.int64), upper_v.astype(np.int64)
 
 
 def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
@@ -195,20 +245,19 @@ def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
     _require(bridge_length >= 0, "bridge length cannot be negative")
     k = clique_size
     n = 2 * k + bridge_length
-    edges = []
-    # Left clique: vertices 0..k-1.  Right clique: vertices k+bridge .. n-1.
-    for u in range(k):
-        for v in range(u + 1, k):
-            edges.append((u, v))
     right_offset = k + bridge_length
-    for u in range(k):
-        for v in range(u + 1, k):
-            edges.append((right_offset + u, right_offset + v))
-    # Bridge path.
-    chain = [k - 1] + [k + i for i in range(bridge_length)] + [right_offset]
-    for a, b in zip(chain, chain[1:]):
-        edges.append((a, b))
-    return Graph(n, edges, name=f"barbell(k={k}, bridge={bridge_length})")
+    clique_u, clique_v = _clique_half_edges(k)
+    # Left clique 0..k-1, right clique right_offset..n-1, and the bridge path
+    # k-1 -> (k .. k+bridge-1) -> right_offset.
+    chain = np.concatenate(
+        [[k - 1], np.arange(k, k + bridge_length, dtype=np.int64), [right_offset]]
+    )
+    heads = np.concatenate([clique_u, clique_u + right_offset, chain[:-1]])
+    tails = np.concatenate([clique_v, clique_v + right_offset, chain[1:]])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(
+        indptr, indices, name=f"barbell(k={k}, bridge={bridge_length})"
+    )
 
 
 def lollipop_graph(clique_size: int, path_length: int) -> Graph:
@@ -217,11 +266,12 @@ def lollipop_graph(clique_size: int, path_length: int) -> Graph:
     _require(path_length >= 1, "the path needs at least 1 vertex")
     k = clique_size
     n = k + path_length
-    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
-    chain = [k - 1] + [k + i for i in range(path_length)]
-    for a, b in zip(chain, chain[1:]):
-        edges.append((a, b))
-    return Graph(n, edges, name=f"lollipop(k={k}, path={path_length})")
+    clique_u, clique_v = _clique_half_edges(k)
+    chain = np.arange(k - 1, n, dtype=np.int64)
+    heads = np.concatenate([clique_u, chain[:-1]])
+    tails = np.concatenate([clique_v, chain[1:]])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"lollipop(k={k}, path={path_length})")
 
 
 def clique_chain_graph(num_cliques: int, clique_size: int) -> Graph:
@@ -237,13 +287,16 @@ def clique_chain_graph(num_cliques: int, clique_size: int) -> Graph:
     _require(clique_size >= 2, "cliques need at least 2 vertices")
     k = clique_size
     n = num_cliques * k
-    edges = []
-    for block in range(num_cliques):
-        offset = block * k
-        for u in range(k):
-            for v in range(u + 1, k):
-                edges.append((offset + u, offset + v))
-        if block + 1 < num_cliques:
-            # Connect the "last" vertex of this clique to the "first" of the next.
-            edges.append((offset + k - 1, offset + k))
-    return Graph(n, edges, name=f"clique_chain(c={num_cliques}, k={k})")
+    clique_u, clique_v = _clique_half_edges(k)
+    offsets = np.arange(num_cliques, dtype=np.int64)[:, None] * k
+    heads = (clique_u[None, :] + offsets).ravel()
+    tails = (clique_v[None, :] + offsets).ravel()
+    if num_cliques > 1:
+        # Connect the "last" vertex of each clique to the "first" of the next.
+        ports = np.arange(num_cliques - 1, dtype=np.int64) * k + (k - 1)
+        heads = np.concatenate([heads, ports])
+        tails = np.concatenate([tails, ports + 1])
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(
+        indptr, indices, name=f"clique_chain(c={num_cliques}, k={k})"
+    )

@@ -18,6 +18,15 @@ All generators take an explicit seed (or :class:`numpy.random.Generator`) so
 experiment runs are reproducible, and retry/patch the construction so that the
 returned graph is always **connected** — the theorems only apply to connected
 graphs, and a disconnected sample would make the spreading time infinite.
+
+Samplers assemble the CSR adjacency arrays directly
+(:mod:`repro.graphs.csr_build`) and return lazy
+:meth:`~repro.graphs.base.Graph.from_csr` graphs, so sampling scales to
+``n = 10^6``: :func:`erdos_renyi_graph` and :func:`chung_lu_graph` use
+geometric skip sampling (O(n + m) draws instead of one Bernoulli draw per
+vertex pair), the configuration model's simplicity check is a vectorised
+array predicate, and connectivity patching runs array-side on the CSR
+structure.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.errors import GraphGenerationError
+from repro.graphs import csr_build
 from repro.graphs.base import Graph
 from repro.randomness.rng import as_generator
 
@@ -57,6 +67,55 @@ def connectivity_threshold_probability(n: int, factor: float = 2.0) -> float:
     return min(1.0, factor * math.log(n) / n)
 
 
+def _bernoulli_positions(
+    rng: np.random.Generator, total: int, p: float
+) -> np.ndarray:
+    """Sorted indices of the successes among ``total`` Bernoulli(p) trials.
+
+    Geometric skip sampling: gaps between successive successes are iid
+    Geometric(p), so only O(p * total) uniforms are drawn — the distribution
+    is *exactly* that of ``total`` independent coin flips, without
+    materialising them.
+    """
+    if total <= 0 or p <= 0.0:
+        return np.empty(0, dtype=np.int64)
+    if p >= 1.0:
+        return np.arange(total, dtype=np.int64)
+    log_q = math.log1p(-p)
+    chunks: list[np.ndarray] = []
+    position = -1
+    while position < total - 1:
+        expected = (total - 1 - position) * p
+        size = max(256, int(expected + 4.0 * math.sqrt(expected) + 16.0))
+        # 1 - U is in (0, 1], so the log never sees zero; gap >= 1 keeps the
+        # positions strictly increasing (no duplicate edges by construction).
+        # Clamping to `total` before the int cast prevents int64 overflow
+        # when p is tiny (the true gap is "past the end" either way).
+        with np.errstate(over="ignore"):  # inf raw gaps are clamped below
+            raw = np.log1p(-rng.random(size)) / log_q
+        gaps = np.minimum(raw, float(total)).astype(np.int64) + 1
+        steps = np.cumsum(gaps) + position
+        chunks.append(steps)
+        position = int(steps[-1])
+    positions = np.concatenate(chunks)
+    return positions[positions < total]
+
+
+def _pair_index_to_edge(
+    n: int, positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map linear upper-triangle pair indices to ``(u, v)`` endpoint arrays.
+
+    Pairs are enumerated lexicographically: row ``u`` covers the
+    ``n - 1 - u`` pairs ``(u, u+1) .. (u, n-1)``.
+    """
+    row_starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(np.arange(n - 1, 0, -1, dtype=np.int64), out=row_starts[1:])
+    heads = np.searchsorted(row_starts, positions, side="right") - 1
+    tails = positions - row_starts[heads] + heads + 1
+    return heads, tails
+
+
 def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
     """A single sample of the Erdős–Rényi graph :math:`G(n, p)`.
 
@@ -68,15 +127,26 @@ def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
     if not 0.0 <= p <= 1.0:
         raise GraphGenerationError(f"edge probability must be in [0, 1], got {p}")
     rng = as_generator(seed)
-    edges: list[tuple[int, int]] = []
-    if p > 0.0 and n > 1:
-        # Vectorised upper-triangular Bernoulli sampling, row by row to keep
-        # memory linear in n rather than quadratic when p is small.
-        for u in range(n - 1):
-            row = rng.random(n - u - 1)
-            hits = np.nonzero(row < p)[0]
-            edges.extend((u, u + 1 + int(offset)) for offset in hits)
-    return Graph(n, edges, name=f"erdos_renyi(n={n}, p={p:.4g})")
+    positions = _bernoulli_positions(rng, n * (n - 1) // 2, p)
+    heads, tails = _pair_index_to_edge(n, positions)
+    indptr, indices = csr_build.csr_from_half_edges(n, heads, tails)
+    return Graph.from_csr(indptr, indices, name=f"erdos_renyi(n={n}, p={p:.4g})")
+
+
+def _patched_chain(graph: Graph, name: str) -> Graph:
+    """Connect the components of a CSR graph by a chain of single edges.
+
+    The chain joins the smallest vertex of each component to the smallest
+    vertex of the next (components ordered by smallest member) — one extra
+    edge per missing component, computed array-side.
+    """
+    indptr, indices = graph.csr()
+    labels = csr_build.connected_component_labels(indptr, indices)
+    reps = csr_build.component_representatives(labels)
+    new_indptr, new_indices = csr_build.csr_add_edges(
+        indptr, indices, reps[:-1], reps[1:]
+    )
+    return Graph.from_csr(new_indptr, new_indices, name=name)
 
 
 def connected_erdos_renyi_graph(
@@ -103,16 +173,7 @@ def connected_erdos_renyi_graph(
         attempts += 1
     if graph.is_connected():
         return graph.with_name(f"erdos_renyi_connected(n={n}, p={p:.4g})")
-    components = graph.connected_components()
-    extra = [
-        (components[i][0], components[i + 1][0]) for i in range(len(components) - 1)
-    ]
-    patched = Graph(
-        n,
-        list(graph.edges) + extra,
-        name=f"erdos_renyi_patched(n={n}, p={p:.4g})",
-    )
-    return patched
+    return _patched_chain(graph, f"erdos_renyi_patched(n={n}, p={p:.4g})")
 
 
 def random_regular_graph(
@@ -126,15 +187,17 @@ def random_regular_graph(
     Uses the configuration (pairing) model with rejection of self loops and
     parallel edges, which for constant degree produces a simple graph with
     probability bounded away from zero, and conditions the result on being
-    connected (again, an event of constant probability for ``degree >= 3``).
-    If the pairing model fails to produce a simple sample within
-    ``max_attempts`` (which becomes likely only for larger degrees), the
-    generator falls back to :func:`networkx.random_regular_graph`, whose
+    connected (an event of constant probability for ``degree >= 3``, and of
+    probability :math:`\\Theta(1/\\sqrt{n})` — a single Hamilton cycle — for
+    ``degree == 2``).  If the pairing model fails to produce a simple sample
+    within ``max_attempts`` (which becomes likely only for larger degrees),
+    the generator falls back to :func:`networkx.random_regular_graph`, whose
     pairing-with-repair algorithm succeeds for any feasible ``(n, degree)``.
 
     Raises:
-        GraphGenerationError: if ``n * degree`` is odd, ``degree >= n``, or no
-            connected sample was found.
+        GraphGenerationError: if ``n * degree`` is odd, ``degree >= n``,
+            ``degree == 1`` with ``n > 2`` (a perfect matching is never
+            connected), or no connected sample was found.
     """
     if degree < 1:
         raise GraphGenerationError(f"degree must be positive, got {degree}")
@@ -144,28 +207,31 @@ def random_regular_graph(
         raise GraphGenerationError(
             f"n * degree must be even for a {degree}-regular graph on {n} vertices"
         )
+    if degree == 1 and n > 2:
+        # A 1-regular graph is a perfect matching: n/2 disjoint edges, which
+        # is disconnected for every n > 2 — no amount of resampling helps.
+        raise GraphGenerationError(
+            f"a 1-regular graph on {n} > 2 vertices is a perfect matching "
+            "and can never be connected"
+        )
     rng = as_generator(seed)
     stubs_template = np.repeat(np.arange(n, dtype=np.int64), degree)
 
     for _ in range(max_attempts):
         stubs = rng.permutation(stubs_template)
         pairs = stubs.reshape(-1, 2)
-        edge_set: set[tuple[int, int]] = set()
-        simple = True
-        for a, b in pairs:
-            u, v = int(a), int(b)
-            if u == v:
-                simple = False
-                break
-            key = (u, v) if u < v else (v, u)
-            if key in edge_set:
-                simple = False
-                break
-            edge_set.add(key)
-        if not simple:
-            continue
-        graph = Graph(n, sorted(edge_set), name=f"random_regular(n={n}, d={degree})")
-        if degree == 1 or graph.is_connected():
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        if np.any(lo == hi):
+            continue  # self loop
+        keys = np.sort(lo * np.int64(n) + hi)
+        if keys.size > 1 and np.any(keys[1:] == keys[:-1]):
+            continue  # parallel edge
+        indptr, indices = csr_build.csr_from_half_edges(n, lo, hi)
+        graph = Graph.from_csr(
+            indptr, indices, name=f"random_regular(n={n}, d={degree})"
+        )
+        if graph.is_connected():
             return graph
 
     # Fallback: networkx's generator (pairing model with repair).  Retry a
@@ -176,10 +242,14 @@ def random_regular_graph(
     for attempt in range(50):
         nx_seed = int(rng.integers(2**31 - 1))
         nx_graph = nx.random_regular_graph(degree, n, seed=nx_seed)
-        graph = Graph(
-            n, list(nx_graph.edges()), name=f"random_regular(n={n}, d={degree})"
+        edge_array = np.asarray(list(nx_graph.edges()), dtype=np.int64)
+        indptr, indices = csr_build.csr_from_half_edges(
+            n, edge_array[:, 0], edge_array[:, 1]
         )
-        if degree <= 2 or graph.is_connected():
+        graph = Graph.from_csr(
+            indptr, indices, name=f"random_regular(n={n}, d={degree})"
+        )
+        if graph.is_connected():
             return graph
     raise GraphGenerationError(
         f"failed to sample a connected {degree}-regular graph on {n} vertices"
@@ -198,6 +268,12 @@ def chung_lu_graph(
     cited by the paper (via Fountoulakis, Panagiotou & Sauerwald) for
     ultra-fast rumor spreading in social networks.
 
+    Sampling follows the Miller–Hagberg skip algorithm: vertices are visited
+    in descending weight order, so within a row the pair probabilities are
+    non-increasing and geometric skips with rejection touch O(n + m) pairs
+    instead of all :math:`\\binom{n}{2}` — the exact pairwise distribution is
+    preserved.
+
     If ``ensure_connected`` is set, isolated components are attached to the
     highest-weight vertex by a single edge each, which preserves the degree
     profile up to lower-order terms and keeps the spreading time finite.
@@ -210,19 +286,46 @@ def chung_lu_graph(
     n = int(w.size)
     total = float(w.sum())
     rng = as_generator(seed)
-    edges: list[tuple[int, int]] = []
+    # Visit vertices in descending weight order (stable, so equal weights
+    # keep their label order); edges are mapped back through the permutation.
+    order = np.argsort(-w, kind="stable").astype(np.int64)
+    sorted_w = w[order]
+    heads: list[int] = []
+    tails: list[int] = []
     for u in range(n - 1):
-        probs = np.minimum(1.0, w[u] * w[u + 1 :] / total)
-        hits = np.nonzero(rng.random(n - u - 1) < probs)[0]
-        edges.extend((u, u + 1 + int(offset)) for offset in hits)
-    graph = Graph(n, edges, name=f"chung_lu(n={n})")
+        row_weight = float(sorted_w[u])
+        v = u + 1
+        p = min(1.0, row_weight * float(sorted_w[v]) / total)
+        while v < n and p > 0.0:
+            if p < 1.0:
+                # Skip ahead geometrically using the current (maximal)
+                # probability as the envelope; later pairs in the row are no
+                # more likely, so thinning below is exact.
+                v += int(math.log(1.0 - rng.random()) / math.log(1.0 - p))
+            if v >= n:
+                break
+            q = min(1.0, row_weight * float(sorted_w[v]) / total)
+            if rng.random() < q / p:
+                heads.append(int(order[u]))
+                tails.append(int(order[v]))
+            p = q
+            v += 1
+    indptr, indices = csr_build.csr_from_half_edges(
+        n, np.asarray(heads, dtype=np.int64), np.asarray(tails, dtype=np.int64)
+    )
+    graph = Graph.from_csr(indptr, indices, name=f"chung_lu(n={n})")
     if ensure_connected and not graph.is_connected():
+        csr = graph.csr()
+        labels = csr_build.connected_component_labels(*csr)
+        reps = csr_build.component_representatives(labels)
         hub = int(np.argmax(w))
-        extra = []
-        for component in graph.connected_components():
-            if hub not in component:
-                extra.append((hub, component[0]))
-        graph = Graph(n, list(graph.edges) + extra, name=f"chung_lu_connected(n={n})")
+        other = reps[labels[reps] != labels[hub]]
+        new_indptr, new_indices = csr_build.csr_add_edges(
+            *csr, np.full(other.size, hub, dtype=np.int64), other
+        )
+        graph = Graph.from_csr(
+            new_indptr, new_indices, name=f"chung_lu_connected(n={n})"
+        )
     return graph
 
 
@@ -273,6 +376,9 @@ def preferential_attachment_graph(
     Doerr, Fouz & Friedrich showed the asynchronous push–pull protocol is
     faster than the synchronous one — the motivating observation of the
     paper — so experiment E7 runs on these graphs.
+
+    The attachment process is inherently sequential; only the final CSR
+    assembly is vectorised.
     """
     m = edges_per_vertex
     if m < 1:
@@ -304,7 +410,13 @@ def preferential_attachment_graph(
             edges.append((t, v))
             endpoints.append(t)
             endpoints.append(v)
-    return Graph(n, edges, name=f"preferential_attachment(n={n}, m={m})")
+    edge_array = np.asarray(edges, dtype=np.int64)
+    indptr, indices = csr_build.csr_from_half_edges(
+        n, edge_array[:, 0], edge_array[:, 1]
+    )
+    return Graph.from_csr(
+        indptr, indices, name=f"preferential_attachment(n={n}, m={m})"
+    )
 
 
 def random_geometric_graph(
@@ -326,23 +438,26 @@ def random_geometric_graph(
     if radius is None:
         radius = math.sqrt(3.0 * math.log(max(n, 2)) / (math.pi * n))
     points = rng.random((n, 2))
-    edges: list[tuple[int, int]] = []
     r2 = radius * radius
+    head_parts: list[np.ndarray] = []
+    tail_parts: list[np.ndarray] = []
     for u in range(n - 1):
         delta = points[u + 1 :] - points[u]
         dist2 = np.einsum("ij,ij->i", delta, delta)
         hits = np.nonzero(dist2 <= r2)[0]
-        edges.extend((u, u + 1 + int(offset)) for offset in hits)
-    graph = Graph(n, edges, name=f"random_geometric(n={n}, r={radius:.3g})")
+        if hits.size:
+            head_parts.append(np.full(hits.size, u, dtype=np.int64))
+            tail_parts.append(u + 1 + hits.astype(np.int64))
+    indptr, indices = csr_build.csr_from_half_edges(
+        n,
+        np.concatenate(head_parts) if head_parts else np.empty(0, dtype=np.int64),
+        np.concatenate(tail_parts) if tail_parts else np.empty(0, dtype=np.int64),
+    )
+    graph = Graph.from_csr(
+        indptr, indices, name=f"random_geometric(n={n}, r={radius:.3g})"
+    )
     if not graph.is_connected():
-        components = graph.connected_components()
-        extra = [
-            (components[i][0], components[i + 1][0])
-            for i in range(len(components) - 1)
-        ]
-        graph = Graph(
-            n,
-            list(graph.edges) + extra,
-            name=f"random_geometric_patched(n={n}, r={radius:.3g})",
+        graph = _patched_chain(
+            graph, f"random_geometric_patched(n={n}, r={radius:.3g})"
         )
     return graph

@@ -160,3 +160,77 @@ class TestSubgraphAndRelabel:
         graph = Graph(3, [(0, 1)])
         with pytest.raises(GraphError):
             graph.relabeled([0, 0, 1])
+
+
+# --------------------------------------------------------------------- #
+# The CSR lazy-materialization surface: every structural query must give
+# the same answer whether the graph was built from an edge list (eager
+# Python tuples) or adopted from CSR arrays (lazy tuples).  Regression
+# guard for the class of bug where an accessor reads a `_`-prefixed slot
+# directly and finds None on the lazy path (Graph.is_regular did).
+# --------------------------------------------------------------------- #
+import numpy as np
+
+from repro.graphs import csr_build
+
+
+def _build(num_vertices, edges, via):
+    if via == "edges":
+        return Graph(num_vertices, edges)
+    heads = np.array([u for u, _ in edges], dtype=np.int64)
+    tails = np.array([v for _, v in edges], dtype=np.int64)
+    indptr, indices = csr_build.csr_from_half_edges(num_vertices, heads, tails)
+    return Graph.from_csr(indptr, indices)
+
+
+@pytest.fixture(params=["edges", "csr"])
+def via(request):
+    return request.param
+
+
+class TestStructuralQueriesBothConstructions:
+    CYCLE = (5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    SPLIT = (5, [(0, 1), (1, 2), (3, 4)])
+
+    def test_is_connected(self, via):
+        assert _build(*self.CYCLE, via).is_connected()
+        assert not _build(*self.SPLIT, via).is_connected()
+
+    def test_connected_components(self, via):
+        assert _build(*self.CYCLE, via).connected_components() == [[0, 1, 2, 3, 4]]
+        assert _build(*self.SPLIT, via).connected_components() == [[0, 1, 2], [3, 4]]
+
+    def test_eccentricity(self, via):
+        graph = _build(*self.CYCLE, via)
+        assert graph.eccentricity(0) == 2
+
+    def test_subgraph(self, via):
+        sub = _build(*self.CYCLE, via).subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert set(sub.edges) == {(0, 1), (1, 2)}
+
+    def test_eq_and_hash_across_constructions(self, via):
+        graph = _build(*self.CYCLE, via)
+        reference = Graph(*self.CYCLE)
+        assert graph == reference
+        assert hash(graph) == hash(reference)
+
+    def test_is_regular(self, via):
+        assert _build(*self.CYCLE, via).is_regular()
+        assert not _build(*self.SPLIT, via).is_regular()
+
+    def test_degrees_and_min_max(self, via):
+        graph = _build(*self.SPLIT, via)
+        assert graph.degrees == (1, 2, 1, 1, 1)
+        assert graph.min_degree() == 1
+        assert graph.max_degree() == 2
+
+
+def test_is_regular_on_from_csr_graph_regression():
+    """Graph.is_regular used to read self._degrees (None on the CSR path)
+    and raise TypeError for every from_csr-built graph."""
+    indptr, indices = csr_build.csr_from_half_edges(
+        3, np.array([0, 1, 0]), np.array([1, 2, 2])
+    )
+    graph = Graph.from_csr(indptr, indices)
+    assert graph.is_regular()

@@ -69,6 +69,23 @@ class TestRandomRegular:
         b = random_graphs.random_regular_graph(24, 3, seed=5)
         assert a.edges == b.edges
 
+    def test_degree_one_infeasible_beyond_two_vertices(self):
+        # Regression: degree == 1 used to skip the connectivity check and
+        # hand back a perfect matching, disconnected for every n > 2.
+        with pytest.raises(GraphGenerationError):
+            random_graphs.random_regular_graph(10, 1, seed=0)
+
+    def test_degree_one_on_two_vertices(self):
+        graph = random_graphs.random_regular_graph(2, 1, seed=0)
+        assert graph.edges == ((0, 1),)
+
+    def test_degree_two_is_a_single_cycle(self):
+        # Regression: the nx fallback used to accept any degree <= 2 sample
+        # (possibly a union of disjoint cycles) without checking.
+        for seed in range(6):
+            graph = random_graphs.random_regular_graph(20, 2, seed=seed)
+            assert graph.is_connected()
+
 
 class TestChungLu:
     def test_requires_positive_weights(self):

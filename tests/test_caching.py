@@ -54,6 +54,33 @@ class TestIdentityLRU:
         assert cache.get(keep[0]) == "a"
         assert cache.get(keep[1]) == "b"
 
+    def test_overwrite_at_limit_does_not_evict_another_entry(self):
+        # Regression: re-inserting an already-cached (owner, key) at the
+        # limit used to evict the LRU victim before noticing the slot was
+        # an overwrite, shrinking the cache by one live entry.
+        cache = IdentityLRU(2)
+        first, second = _Owner(), _Owner()
+        cache.put(first, "a")
+        cache.put(second, "b")
+        cache.put(second, "b2")  # overwrite, not an insertion
+        assert cache.get(first) == "a"
+        assert cache.get(second) == "b2"
+        assert len(cache) == 2
+
+    def test_overwrite_refreshes_recency(self):
+        # Regression: an overwrite used to leave the entry at its old
+        # position in the recency order, so the freshly rewritten entry
+        # could be the next eviction victim.
+        cache = IdentityLRU(2)
+        first, second, third = _Owner(), _Owner(), _Owner()
+        cache.put(first, "a")
+        cache.put(second, "b")
+        cache.put(first, "a2")  # overwrite: first is now most recent
+        cache.put(third, "c")  # evicts second, not first
+        assert cache.get(first) == "a2"
+        assert cache.get(second) is None
+        assert cache.get(third) == "c"
+
     def test_pop_removes_only_the_requested_entry(self):
         cache = IdentityLRU(4)
         owner = _Owner()
