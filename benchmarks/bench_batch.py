@@ -23,6 +23,12 @@ batched path at least 5x *today's* serial scenario loop
 the frozen seed baseline, since the serial engine itself is vectorised
 per-round), so scenario sweeps never silently fall off the fast path.
 
+The PR-9 gate (``test_batched_adaptive_scenario_speedup_over_serial``)
+repeats the scenario comparison under the composed adaptive adversary
+(``AdaptiveCrash | AdaptiveLoss`` — the E13 cell shape, mostly stalled
+partial-budget rounds) at >= 2x serial, so adaptive sweeps stay on the
+batched path too.
+
 The auxiliary-process benchmarks gate the PR-3 kernels the same way:
 ``test_batched_aux_speedup_over_serial`` asserts batched ``ppx``/``ppy`` at
 least 5x today's serial aux engine on the 1024-vertex random regular graph
@@ -74,7 +80,13 @@ from repro.core.flatgraph import flat_adjacency
 from repro.core.kernels import jit_backend, warmup_kernels
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import spawn_generators, spawn_seeds
-from repro.scenarios import DynamicGraph, FamilyResampler, MessageLoss
+from repro.scenarios import (
+    AdaptiveCrash,
+    AdaptiveLoss,
+    DynamicGraph,
+    FamilyResampler,
+    MessageLoss,
+)
 
 #: Trials per preset; the smoke preset keeps the whole file under ~10 s.
 TRIALS = {"smoke": 96, "quick": 256, "full": 768}
@@ -359,6 +371,73 @@ def test_batched_scenario_speedup_over_serial(bench_preset, scenario_graph, benc
     assert speedup >= 5.0, (
         f"batched scenario path is only {speedup:.2f}x today's serial scenario loop "
         f"({serial:.0f} vs {batched:.0f} trials/s)"
+    )
+
+
+#: The PR-9 adaptive-adversary gate: both adaptive models at once (the E13
+#: cell shape).  The crash adversary kills the source at the first epoch, so
+#: most of each trial is spent in stalled partial-budget rounds — exactly
+#: the regime E13 sweeps — where the batched path's win is amortized Python
+#: overhead, not narrower numpy work; the measured gap (~2.5x) is therefore
+#: gated at 2x, below the oblivious-scenario 5x by design, not regression.
+ADAPTIVE_SCENARIO = AdaptiveCrash(budget=4) | AdaptiveLoss(p=0.5, budget=32)
+ADAPTIVE_OPTIONS = {"max_rounds": 100, "on_budget_exhausted": "partial"}
+
+
+def test_batched_adaptive_scenario_speedup_over_serial(
+    bench_preset, scenario_graph, bench_record
+):
+    """The PR-9 gate: batched adaptive-adversary push-pull >= 2x the serial
+    loop (and exactly seed-equivalent to it)."""
+    trials = SCENARIO_TRIALS[bench_preset]
+    kwargs = dict(scenario=ADAPTIVE_SCENARIO, engine_options=ADAPTIVE_OPTIONS)
+    # Warm both paths (flat adjacency cache, allocator).
+    run_trials(scenario_graph, 0, "pp", trials=8, seed=0, batch=False, **kwargs)
+    run_trials(scenario_graph, 0, "pp", trials=8, seed=0, batch="auto", **kwargs)
+
+    serial_sample = run_trials(
+        scenario_graph, 0, "pp", trials=trials, seed=5, batch=False, **kwargs
+    )
+    batched_sample = run_trials(
+        scenario_graph, 0, "pp", trials=trials, seed=5, batch="auto", **kwargs
+    )
+    assert serial_sample.times == batched_sample.times  # exact equivalence
+
+    # Best of two runs per path: loaded CI runners spike single measurements.
+    serial = max(
+        _throughput(
+            lambda: run_trials(
+                scenario_graph, 0, "pp", trials=trials, seed=5, batch=False, **kwargs
+            ),
+            trials,
+        )
+        for _ in range(2)
+    )
+    batched = max(
+        _throughput(
+            lambda: run_trials(
+                scenario_graph, 0, "pp", trials=trials, seed=5, batch="auto", **kwargs
+            ),
+            trials,
+        )
+        for _ in range(2)
+    )
+    speedup = batched / serial
+    print(
+        f"\nserial adaptive scenario {serial:.0f} trials/s, batched "
+        f"{batched:.0f} trials/s, speedup {speedup:.2f}x"
+    )
+    bench_record(
+        "batched_adaptive_scenario_vs_serial",
+        seconds=trials / batched,
+        speedup=speedup,
+        gate=2.0,
+        baseline_seconds=trials / serial,
+        trials=trials,
+    )
+    assert speedup >= 2.0, (
+        f"batched adaptive-scenario path is only {speedup:.2f}x today's serial "
+        f"loop ({serial:.0f} vs {batched:.0f} trials/s)"
     )
 
 

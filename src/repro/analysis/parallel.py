@@ -33,12 +33,39 @@ transport); the ``"pickle"`` transport and the degenerate one-chunk path
 still rebuild from the family registry inside the worker.  Both are
 bit-identical: the worker-side rebuild used the identical
 ``(family, size, graph_seed)`` triple.
+
+**Fault tolerance.**  Chunk execution survives misbehaving workers: every
+chunk is retried with exponential backoff when its worker crashes, raises,
+or exceeds the per-chunk timeout, and a chunk whose retries are exhausted
+runs *serially in the parent* instead of failing the whole sweep.  Because
+a chunk's result is a deterministic function of its ``(chunk_seed,
+chunk_size)`` pair, a retried or fallen-back sweep is bit-identical to an
+undisturbed one.  Two environment knobs tune the policy:
+
+* ``REPRO_CHUNK_RETRIES`` — resubmissions per chunk before the serial
+  fallback (default 2; 0 falls back on the first failure).
+* ``REPRO_CHUNK_TIMEOUT`` — per-chunk result timeout in seconds (unset or
+  non-positive disables the timeout).  A timeout resets the pool, which
+  also terminates the stalled worker process.
+
+The ``REPRO_FAULT_INJECT`` hook (``crash`` | ``raise`` | ``stall``, fired
+with probability ``REPRO_FAULT_RATE``, default 1) makes workers misbehave
+on purpose; it is the CI smoke test for the machinery above and only ever
+fires inside pool workers, never in the parent.  Under an active metrics
+registry the dispatcher counts ``parallel.chunk_retries``,
+``parallel.chunk_timeouts``, and ``parallel.serial_fallbacks``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import BrokenExecutor, wait as wait_futures
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    TimeoutError as FuturesTimeout,
+    wait as wait_futures,
+)
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Sequence, Union
 
@@ -51,6 +78,7 @@ from repro.analysis.montecarlo import (
     batch_dispatch_decision,
     run_trials,
 )
+from repro.analysis import pool as pool_module
 from repro.analysis.pool import ExecutorHandle, get_pool
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
@@ -93,6 +121,70 @@ def default_worker_count() -> int:
         if limit >= 1:
             return min(limit, cpus)
     return cpus
+
+
+def _chunk_retries() -> int:
+    """Resubmissions allowed per chunk (``REPRO_CHUNK_RETRIES``, default 2)."""
+    raw = os.environ.get("REPRO_CHUNK_RETRIES")
+    if raw is None:
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        return 2
+    return max(0, value)
+
+
+def _chunk_timeout() -> Optional[float]:
+    """Per-chunk result timeout in seconds (``REPRO_CHUNK_TIMEOUT``), or None."""
+    raw = os.environ.get("REPRO_CHUNK_TIMEOUT")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+#: Valid values of the ``REPRO_FAULT_INJECT`` environment variable.
+FAULT_MODES = ("crash", "raise", "stall")
+
+
+def _maybe_inject_fault(trial_seed: int) -> None:
+    """The worker fault-injection hook (``REPRO_FAULT_INJECT``).
+
+    Fires at the top of a chunk, before any simulation work or shared-memory
+    write, with probability ``REPRO_FAULT_RATE`` (default 1) per
+    ``(chunk seed, worker pid)`` pair — deterministic for a fixed pair, so a
+    chunk resubmitted to a *different* worker re-rolls while the parent-side
+    serial fallback (where this hook never fires) guarantees termination.
+
+    * ``crash`` — hard-exit the worker process (simulates a SIGKILL / OOM
+      kill; breaks the whole executor).
+    * ``raise`` — raise :class:`AnalysisError` from the chunk.
+    * ``stall`` — sleep ``REPRO_FAULT_STALL_SECONDS`` (default 3600),
+      simulating a hung worker; only a ``REPRO_CHUNK_TIMEOUT`` recovers.
+    """
+    mode = os.environ.get("REPRO_FAULT_INJECT")
+    if not mode or not pool_module.in_worker():
+        return
+    mode = mode.strip().lower()
+    if mode not in FAULT_MODES:
+        raise AnalysisError(
+            f"REPRO_FAULT_INJECT must be one of {FAULT_MODES}, got {mode!r}"
+        )
+    try:
+        rate = float(os.environ.get("REPRO_FAULT_RATE", "1"))
+    except ValueError:
+        rate = 1.0
+    if np.random.default_rng((int(trial_seed), os.getpid())).random() >= rate:
+        return
+    if mode == "crash":
+        os._exit(13)
+    if mode == "raise":
+        raise AnalysisError(f"injected worker fault (chunk seed {trial_seed})")
+    time.sleep(float(os.environ.get("REPRO_FAULT_STALL_SECONDS", "3600")))
 
 
 @dataclass(frozen=True)
@@ -190,6 +282,7 @@ def _run_chunk(
     spec: ParallelTrialSpec, trace: Optional[CoverageRecorder] = None
 ) -> SpreadingTimeSample:
     """Worker entry point: build/attach the graph and run the chunk."""
+    _maybe_inject_fault(spec.trial_seed)
     graph = _resolve_chunk_graph(spec)
     return run_trials(
         graph,
@@ -283,11 +376,110 @@ def chunk_plan(
     return graph_seed, plan
 
 
-def _pool_crash_error(exc: Exception) -> AnalysisError:
-    return AnalysisError(
-        "a parallel worker process crashed (the shared pool was reset and the "
-        f"next call will start fresh workers): {exc!r}"
-    )
+def _dispatch_chunks(handle: ExecutorHandle, fn, chunk_specs: Sequence[Any]) -> list:
+    """Run ``fn`` over every chunk spec on the pool, tolerating worker faults.
+
+    Per chunk: up to ``REPRO_CHUNK_RETRIES`` resubmissions (with exponential
+    backoff between rounds) on a worker crash, exception, or
+    ``REPRO_CHUNK_TIMEOUT`` expiry; after retries are exhausted the chunk
+    runs serially in the parent through the very same entry point.  A crash
+    or timeout resets the pool (terminating its processes — a stalled
+    worker must not wake up later and touch recycled result segments);
+    chunks whose futures died *with* the pool are resubmitted without
+    charging their own retry budget.  Results come back in spec order, so
+    the merged sample is bit-identical to an undisturbed dispatch.
+
+    A chunk that still fails in the parent raises — a genuine chunk error
+    (as opposed to a worker fault) should surface, not loop.
+    """
+    retries = _chunk_retries()
+    timeout = _chunk_timeout()
+    metrics = current_metrics()
+    results: dict[int, Any] = {}
+    attempts = [0] * len(chunk_specs)
+    pending = list(range(len(chunk_specs)))
+    round_index = 0
+
+    def _note_failure(index: int, *, timed_out: bool = False) -> Optional[int]:
+        """Charge one attempt; return the index to requeue, or run serially."""
+        attempts[index] += 1
+        if timed_out and metrics is not None:
+            metrics.count("parallel.chunk_timeouts")
+        if attempts[index] > retries:
+            if metrics is not None:
+                metrics.count("parallel.serial_fallbacks")
+            results[index] = fn(chunk_specs[index])
+            return None
+        if metrics is not None:
+            metrics.count("parallel.chunk_retries")
+        return index
+
+    while pending:
+        if round_index > 0:
+            time.sleep(min(1.0, 0.05 * (2 ** (round_index - 1))))
+        round_index += 1
+        requeue: list[int] = []
+        with handle.lease():
+            futures: dict[int, Any] = {}
+            try:
+                try:
+                    for index in pending:
+                        futures[index] = handle.submit(fn, chunk_specs[index])
+                except BrokenExecutor:
+                    # Submission itself failed: the pool is gone.  Charge the
+                    # chunks that never got a future and reset below via the
+                    # collection loop's broken handling.
+                    handle.reset()
+                    for index in pending:
+                        if index not in futures:
+                            next_index = _note_failure(index)
+                            if next_index is not None:
+                                requeue.append(next_index)
+                broken = False
+                for index, future in futures.items():
+                    try:
+                        if broken:
+                            # The pool was reset this round; salvage results
+                            # that completed before it died, without waiting.
+                            results[index] = future.result(timeout=0)
+                        else:
+                            results[index] = future.result(timeout=timeout)
+                    except FuturesTimeout:
+                        if broken:
+                            requeue.append(index)
+                        else:
+                            broken = True
+                            handle.reset()
+                            next_index = _note_failure(index, timed_out=True)
+                            if next_index is not None:
+                                requeue.append(next_index)
+                    except (BrokenExecutor, CancelledError):
+                        if broken:
+                            # Died with the pool, through no fault of its own.
+                            requeue.append(index)
+                        else:
+                            broken = True
+                            handle.reset()
+                            next_index = _note_failure(index)
+                            if next_index is not None:
+                                requeue.append(next_index)
+                    except Exception:
+                        # The chunk itself raised; the pool is still healthy.
+                        next_index = _note_failure(index)
+                        if next_index is not None:
+                            requeue.append(next_index)
+            except BaseException:
+                # A parent-side failure (e.g. the serial fallback re-raising a
+                # genuine chunk error) while other futures may still be in
+                # flight: cancel what has not started and drain what has, so
+                # no worker is left writing into segments the caller is about
+                # to unlink.
+                for future in futures.values():
+                    future.cancel()
+                wait_futures(list(futures.values()), timeout=5.0)
+                raise
+        pending = requeue
+    return [results[index] for index in range(len(chunk_specs))]
 
 
 def _merge_shared(
@@ -364,27 +556,13 @@ def _execute_shared(
                 )
             )
             offset += spec.trials
-        futures = []
-        try:
-            with handle.lease():
-                for shared_spec in shared_specs:
-                    # Append as each submit lands so a failure partway
-                    # through still leaves every live future visible to
-                    # the cancel/drain handler below.
-                    futures.append(handle.submit(_run_chunk_shared, shared_spec))
-                metas = [future.result() for future in futures]
-        except BrokenExecutor as exc:
-            handle.reset()
-            raise _pool_crash_error(exc) from exc
-        except BaseException:
-            # One chunk failed while others may still be queued or running:
-            # cancel what has not started and drain what has, so no worker
-            # is left writing into (or attaching) the segments the finally
-            # block below is about to unlink.
-            for future in futures:
-                future.cancel()
-            wait_futures(futures)
-            raise
+        # The dispatcher retries crashed/raising/stalled chunks and, once a
+        # chunk's retries are exhausted, runs it serially in the parent —
+        # writing into the same shared rows, so a disturbed sweep's result
+        # is bit-identical to an undisturbed one.  It drains its own
+        # futures on a parent-side failure, so the finally block below can
+        # safely unlink the segments.
+        metas = _dispatch_chunks(handle, _run_chunk_shared, shared_specs)
         sample = _merge_shared(metas, times, fraction_matrix, fractions, protocol)
         if trace is not None:
             # record_block copies, so this happens before the finally block
@@ -468,9 +646,13 @@ def run_trials_parallel(
         The merged :class:`SpreadingTimeSample`.
 
     Raises:
-        AnalysisError: on invalid arguments, an impossible forced-batch
-            setting, or when a worker process crashes (the session pool is
-            reset so the next call starts fresh).
+        AnalysisError: on invalid arguments or an impossible forced-batch
+            setting.  A crashed, raising, or stalled *worker* does not
+            raise: its chunks are retried (``REPRO_CHUNK_RETRIES`` times,
+            with exponential backoff; ``REPRO_CHUNK_TIMEOUT`` bounds each
+            chunk wait) and finally run serially in the parent, so the
+            sweep completes bit-identically; only an error that reproduces
+            in the parent propagates.
     """
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
@@ -576,12 +758,7 @@ def run_trials_parallel(
 
     handle = get_pool(len(specs))  # one process per chunk is all the call can use
     if parallel == "pickle":
-        try:
-            with handle.lease():
-                samples = list(handle.map(_run_chunk, specs))
-        except BrokenExecutor as exc:
-            handle.reset()
-            raise _pool_crash_error(exc) from exc
+        samples = _dispatch_chunks(handle, _run_chunk, specs)
         return SpreadingTimeSample.merged(samples)
 
     if isinstance(graph_or_family, Graph):

@@ -36,10 +36,21 @@ from typing import Callable, Iterable, Optional
 
 from repro.errors import AnalysisError
 
-__all__ = ["ExecutorHandle", "get_pool", "shutdown_pool"]
+__all__ = ["ExecutorHandle", "get_pool", "shutdown_pool", "in_worker"]
 
 #: Valid values of the ``REPRO_MP_START_METHOD`` environment variable.
 _START_METHODS = ("fork", "spawn", "forkserver")
+
+#: ``True`` only in pool worker processes (set by the initializer).  The
+#: fault-injection hook in :mod:`repro.analysis.parallel` keys on this so an
+#: injected crash/stall can never take down the parent process (serial
+#: fallback chunks run in the parent through the very same code path).
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Whether the current process is a pool worker."""
+    return _IN_WORKER
 
 
 def _initialize_worker(backend: Optional[str]) -> None:
@@ -51,6 +62,8 @@ def _initialize_worker(backend: Optional[str]) -> None:
     compilation.  Warmup failures are swallowed: a worker that cannot warm
     up can still run, just slower on its first chunk.
     """
+    global _IN_WORKER
+    _IN_WORKER = True
     if backend is not None:
         os.environ["REPRO_KERNEL_BACKEND"] = backend
     try:
@@ -147,12 +160,25 @@ class ExecutorHandle:
         return _ExecutorLease(self)
 
     def reset(self) -> None:
-        """Discard the executor (e.g. after a worker crash broke the pool)."""
+        """Discard the executor (e.g. after a worker crash broke the pool).
+
+        Any worker processes still alive are terminated: a reset is only
+        issued for a broken or unresponsive pool, and a stalled worker left
+        running could wake up much later and write into shared-memory
+        result segments that have since been reused by another call.
+        """
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
+            processes = list(getattr(executor, "_processes", {}).values())
             # A broken pool's processes are already gone; don't block on them.
             executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                except Exception:
+                    pass
 
     def shutdown(self, wait: bool = True) -> None:
         """Tear the executor down; the next use transparently recreates it."""

@@ -149,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run the experiment under an adversity scenario, e.g. 'loss:p=0.3' or "
             "'loss:p=0.2+churn:crash_rate=0.05' (see `scenarios`; only experiments "
-            "that accept a scenario, such as E12, support this)"
+            "that accept a scenario, such as E12/E13, support this)"
         ),
     )
     run_parser.add_argument(
@@ -188,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "shard the experiment's Monte Carlo cells across the session's "
-            "persistent process pool (experiments that accept it, e.g. E1/E12; "
+            "persistent process pool (experiments that accept it, e.g. E1/E12/E13; "
             "zero-copy shared-memory transport; family graphs are built once "
             "in the parent and served to workers over shared CSR segments)"
         ),
@@ -403,7 +403,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
         from repro.scenarios import parse_scenario
 
         _require_runner_param(
-            arguments.experiment, "scenario", "scenario; the scenario suite is E12"
+            arguments.experiment, "scenario", "scenario; the scenario suites are E12/E13"
         )
         overrides["scenario"] = parse_scenario(arguments.scenario)
     if arguments.batch is not None:
@@ -438,7 +438,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
         _require_runner_param(
             arguments.experiment,
             "parallel",
-            "parallel mode; parallel-capable suites include E1 and E12",
+            "parallel mode; parallel-capable suites include E1, E12 and E13",
         )
         overrides["parallel"] = True
         if arguments.num_workers is not None:

@@ -282,6 +282,7 @@ def _build_result(
     on_budget_exhausted: str,
     budget_description: str,
     total_contacts: Optional[int] = None,
+    adversary_budget_spent: Optional[int] = None,
 ) -> SpreadingResult:
     completed = all(math.isfinite(t) for t in informed_time)
     if not completed and on_budget_exhausted == "error":
@@ -303,6 +304,7 @@ def _build_result(
         push_infections=push_infections,
         pull_infections=pull_infections,
         total_contacts=steps if total_contacts is None else total_contacts,
+        adversary_budget_spent=adversary_budget_spent,
         trace=tuple(trace) if record_trace else None,
     )
 
@@ -436,7 +438,8 @@ def _run_global_view_scenario(
     churn = scenario.churn
     dynamic = scenario.dynamic
     delay = scenario.delay
-    lossy = loss_prob > 0.0 or burst is not None
+    adaptive_loss = scenario.adaptive_loss
+    lossy = loss_prob > 0.0 or burst is not None or adaptive_loss is not None
 
     cum_rates = None
     total_rate = float(n)
@@ -448,9 +451,15 @@ def _run_global_view_scenario(
 
     up: Optional[np.ndarray] = churn.initial_up(graph) if churn is not None else None
     churn_updates = churn is not None and churn.epoch_draws
+    adaptive_churn = churn is not None and churn.adaptive
+    crash_order = churn.ranking(graph) if adaptive_churn else None
+    crash_budget = churn.budget if adaptive_churn else 0
+    jam_budget = adaptive_loss.budget if adaptive_loss is not None else 0
     bad = False
     current_loss = loss_prob
-    next_epoch = 1.0 if (churn_updates or burst is not None) else math.inf
+    next_epoch = (
+        1.0 if (churn_updates or adaptive_churn or burst is not None) else math.inf
+    )
     next_resample = float(dynamic.period) if dynamic is not None else math.inf
 
     informed = [False] * n
@@ -495,6 +504,14 @@ def _run_global_view_scenario(
                 if next_epoch <= next_resample:
                     if churn_updates:
                         up = churn.step(up, rng.random(n))
+                    elif adaptive_churn:
+                        # The adaptive adversary observes the informed set at
+                        # the epoch boundary and crashes deterministically —
+                        # no draw, so the RNG stream matches the oblivious
+                        # engines'.
+                        crash_budget -= churn.crash_step(
+                            up, np.asarray(informed, dtype=bool), crash_order, crash_budget
+                        )
                     if burst is not None:
                         bad = bool(burst.step_state(bad, rng.random()))
                         current_loss = float(burst.loss_at(bad))
@@ -519,9 +536,30 @@ def _run_global_view_scenario(
                 # engine's contact accounting); lost messages still count —
                 # the contact happened, the payload didn't arrive.
                 total_contacts += 1
-            suppressed = (
-                loss_uniforms is not None and loss_uniforms[index] < current_loss
-            ) or (up is not None and not (up[caller] and up[callee]))
+            down = up is not None and not (up[caller] and up[callee])
+            if adaptive_loss is not None:
+                # Jam only would-transmit contacts (informative direction
+                # between two up vertices); the loss uniform is consumed
+                # unconditionally so the draw order never depends on state.
+                if mode == "push-pull":
+                    informative = informed[caller] != informed[callee]
+                elif mode == "push":
+                    informative = informed[caller] and not informed[callee]
+                else:
+                    informative = not informed[caller] and informed[callee]
+                jam = (
+                    not down
+                    and informative
+                    and jam_budget > 0
+                    and loss_uniforms[index] < adaptive_loss.p
+                )
+                if jam:
+                    jam_budget -= 1
+                suppressed = down or jam
+            else:
+                suppressed = (
+                    loss_uniforms is not None and loss_uniforms[index] < current_loss
+                ) or down
             if suppressed:
                 informed_vertex, event_kind = None, None
             else:
@@ -562,6 +600,14 @@ def _run_global_view_scenario(
         on_budget_exhausted,
         f"{step_budget} steps / time {time_budget} under {scenario.spec()}",
         total_contacts=total_contacts,
+        adversary_budget_spent=(
+            (churn.budget if adaptive_churn else 0)
+            + (adaptive_loss.budget if adaptive_loss is not None else 0)
+            - crash_budget
+            - jam_budget
+        )
+        if adaptive_churn or adaptive_loss is not None
+        else None,
     )
 
 
@@ -593,26 +639,52 @@ class _ClockScenarioState:
     __slots__ = (
         "loss_prob", "burst", "churn", "dynamic", "delay", "lossy", "rates",
         "up", "churn_updates", "bad", "current_loss", "next_epoch",
-        "next_resample", "current_graph", "total_contacts",
+        "next_resample", "current_graph", "total_contacts", "mode",
+        "adaptive_loss", "adaptive_churn", "crash_order", "crash_budget",
+        "jam_budget",
     )
 
-    def __init__(self, graph: Graph, scenario: Optional[Scenario], rng: np.random.Generator):
+    def __init__(
+        self,
+        graph: Graph,
+        scenario: Optional[Scenario],
+        rng: np.random.Generator,
+        mode: str = "push-pull",
+    ):
         self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
         self.burst = scenario.burst if scenario is not None else None
         self.churn = scenario.churn if scenario is not None else None
         self.dynamic = scenario.dynamic if scenario is not None else None
         self.delay = scenario.delay if scenario is not None else None
-        self.lossy = self.loss_prob > 0.0 or self.burst is not None
+        self.adaptive_loss = (
+            scenario.adaptive_loss if scenario is not None else None
+        )
+        self.lossy = (
+            self.loss_prob > 0.0
+            or self.burst is not None
+            or self.adaptive_loss is not None
+        )
+        self.mode = mode
         # Delay rates are the first randomness the trial consumes.
         self.rates = (
             self.delay.draw_rates(graph, rng) if self.delay is not None else None
         )
         self.up = self.churn.initial_up(graph) if self.churn is not None else None
         self.churn_updates = self.churn is not None and self.churn.epoch_draws
+        self.adaptive_churn = self.churn is not None and self.churn.adaptive
+        self.crash_order = (
+            self.churn.ranking(graph) if self.adaptive_churn else None
+        )
+        self.crash_budget = self.churn.budget if self.adaptive_churn else 0
+        self.jam_budget = (
+            self.adaptive_loss.budget if self.adaptive_loss is not None else 0
+        )
         self.bad = False
         self.current_loss = self.loss_prob
         self.next_epoch = (
-            1.0 if (self.churn_updates or self.burst is not None) else math.inf
+            1.0
+            if (self.churn_updates or self.adaptive_churn or self.burst is not None)
+            else math.inf
         )
         self.next_resample = (
             float(self.dynamic.period) if self.dynamic is not None else math.inf
@@ -620,7 +692,22 @@ class _ClockScenarioState:
         self.current_graph = graph
         self.total_contacts = 0
 
-    def cross_boundaries(self, now: float, n: int, rng: np.random.Generator) -> bool:
+    def budget_spent(self) -> Optional[int]:
+        """Adaptive budget consumed so far (``None`` without adaptive parts)."""
+        if not self.adaptive_churn and self.adaptive_loss is None:
+            return None
+        initial = (self.churn.budget if self.adaptive_churn else 0) + (
+            self.adaptive_loss.budget if self.adaptive_loss is not None else 0
+        )
+        return initial - self.crash_budget - self.jam_budget
+
+    def cross_boundaries(
+        self,
+        now: float,
+        n: int,
+        rng: np.random.Generator,
+        informed: Optional[list] = None,
+    ) -> bool:
         """Fire every epoch/resample boundary in (previous tick, now].
 
         Returns whether a resample occurred (the caller must refresh its
@@ -634,6 +721,15 @@ class _ClockScenarioState:
             if self.next_epoch <= self.next_resample:
                 if self.churn_updates:
                     self.up = self.churn.step(self.up, rng.random(n))
+                elif self.adaptive_churn:
+                    # Deterministic crash on the observed informed set — no
+                    # draw, so the RNG stream matches the oblivious engines'.
+                    self.crash_budget -= self.churn.crash_step(
+                        self.up,
+                        np.asarray(informed, dtype=bool),
+                        self.crash_order,
+                        self.crash_budget,
+                    )
                 if self.burst is not None:
                     self.bad = bool(self.burst.step_state(self.bad, rng.random()))
                     self.current_loss = float(self.burst.loss_at(self.bad))
@@ -643,7 +739,13 @@ class _ClockScenarioState:
                 self.next_resample += float(self.dynamic.period)
                 resampled = True
 
-    def suppresses(self, caller: int, callee: int, rng: np.random.Generator) -> bool:
+    def suppresses(
+        self,
+        caller: int,
+        callee: int,
+        rng: np.random.Generator,
+        informed: Optional[list] = None,
+    ) -> bool:
         """Consume the tick's loss draw and apply the loss/churn masks.
 
         Also maintains the caller-must-be-up contact accounting (matching
@@ -651,8 +753,28 @@ class _ClockScenarioState:
         """
         if self.up is None or self.up[caller]:
             self.total_contacts += 1
-        lost = self.lossy and rng.random() < self.current_loss
         down = self.up is not None and not (self.up[caller] and self.up[callee])
+        if self.adaptive_loss is not None:
+            # The loss uniform is consumed unconditionally so the draw order
+            # never depends on protocol state; it only jams would-transmit
+            # contacts while budget remains.
+            draw = rng.random()
+            if self.mode == "push-pull":
+                informative = informed[caller] != informed[callee]
+            elif self.mode == "push":
+                informative = informed[caller] and not informed[callee]
+            else:
+                informative = not informed[caller] and informed[callee]
+            jam = (
+                not down
+                and informative
+                and self.jam_budget > 0
+                and draw < self.adaptive_loss.p
+            )
+            if jam:
+                self.jam_budget -= 1
+            return down or jam
+        lost = self.lossy and rng.random() < self.current_loss
         return lost or down
 
 
@@ -672,7 +794,11 @@ def _run_node_clock_view(
     scenario: Optional[Scenario] = None,
 ) -> SpreadingResult:
     n = graph.num_vertices
-    state = _ClockScenarioState(graph, scenario, rng) if scenario is not None else None
+    state = (
+        _ClockScenarioState(graph, scenario, rng, mode)
+        if scenario is not None
+        else None
+    )
     adjacency = graph.adjacency
     degrees = graph.degrees
 
@@ -705,13 +831,13 @@ def _run_node_clock_view(
         now, caller = heapq.heappop(heap)
         if now > time_budget:
             break
-        if state is not None and state.cross_boundaries(now, n, rng):
+        if state is not None and state.cross_boundaries(now, n, rng, informed):
             adjacency = state.current_graph.adjacency
             degrees = state.current_graph.degrees
         steps += 1
         degree = degrees[caller]
         callee = adjacency[caller][min(int(rng.random() * degree), degree - 1)]
-        if state is not None and state.suppresses(caller, callee, rng):
+        if state is not None and state.suppresses(caller, callee, rng, informed):
             informed_vertex, event_kind = None, None
         else:
             informed_vertex, event_kind = _exchange(
@@ -752,6 +878,7 @@ def _run_node_clock_view(
         f"{step_budget} steps / time {time_budget}"
         + (f" under {scenario.spec()}" if scenario is not None else ""),
         total_contacts=state.total_contacts if state is not None else None,
+        adversary_budget_spent=state.budget_spent() if state is not None else None,
     )
 
 
@@ -771,7 +898,11 @@ def _run_edge_clock_view(
     scenario: Optional[Scenario] = None,
 ) -> SpreadingResult:
     n = graph.num_vertices
-    state = _ClockScenarioState(graph, scenario, rng) if scenario is not None else None
+    state = (
+        _ClockScenarioState(graph, scenario, rng, mode)
+        if scenario is not None
+        else None
+    )
 
     informed = [False] * n
     informed[source] = True
@@ -810,10 +941,10 @@ def _run_edge_clock_view(
         if now > time_budget:
             break
         if state is not None:
-            state.cross_boundaries(now, n, rng)  # dynamic is rejected upstream
+            state.cross_boundaries(now, n, rng, informed)  # dynamic rejected upstream
         steps += 1
         caller, callee = ordered_pairs[pair_index]
-        if state is not None and state.suppresses(caller, callee, rng):
+        if state is not None and state.suppresses(caller, callee, rng, informed):
             informed_vertex, event_kind = None, None
         else:
             informed_vertex, event_kind = _exchange(
@@ -855,4 +986,5 @@ def _run_edge_clock_view(
         f"{step_budget} steps / time {time_budget}"
         + (f" under {scenario.spec()}" if scenario is not None else ""),
         total_contacts=state.total_contacts if state is not None else None,
+        adversary_budget_spent=state.budget_spent() if state is not None else None,
     )

@@ -50,7 +50,8 @@ of :mod:`repro.scenarios` and implements the perturbations as vectorised
 documented order as the serial engines (resample → churn → burst →
 contacts → loss; ``Delay`` rates once at trial start), so fixed-seed
 serial/batch agreement holds under scenarios too.  The synchronous kernel
-covers loss (independent or bursty), churn (random or targeted), and
+covers loss (independent or bursty), churn (random, targeted, or adaptive),
+adaptive jamming, and
 dynamic graphs (one concatenated CSR rebuilt for all trials at each shared
 round boundary); the asynchronous kernels — the ``"global"`` tick loop and
 both clock-queue views — cover all of those plus ``Delay``, with dynamic
@@ -157,7 +158,10 @@ def is_batchable(
     asynchronous push / pull / push–pull under all three asynchronous
     views), the auxiliary processes ``ppx``/``ppy``, and the times-only
     options; anything needing parents or traces falls back to the serial
-    engines.  Every runtime scenario batches except where the serial engine
+    engines.  Every runtime scenario — the adaptive adversaries
+    (:class:`~repro.scenarios.AdaptiveCrash`,
+    :class:`~repro.scenarios.AdaptiveLoss`) included — batches except where
+    the serial engine
     itself rejects the combination (so the fallback path raises the
     descriptive error): a :class:`~repro.scenarios.Delay` on a synchronous
     protocol, a :class:`~repro.scenarios.DynamicGraph` under the
@@ -363,7 +367,11 @@ class _ScenarioParts:
     ``churn_updates`` / epoch bookkeeping cannot drift between them.
     """
 
-    __slots__ = ("loss_prob", "burst", "churn", "dynamic", "delay", "lossy", "churn_updates")
+    __slots__ = (
+        "loss_prob", "burst", "churn", "dynamic", "delay", "lossy",
+        "churn_updates", "adaptive_loss", "adaptive_churn", "crash_order",
+        "crash_budget", "jam_budget", "initial_budget", "retired_budget",
+    )
 
     def __init__(self, scenario) -> None:
         self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
@@ -371,13 +379,70 @@ class _ScenarioParts:
         self.churn = scenario.churn if scenario is not None else None
         self.dynamic = scenario.dynamic if scenario is not None else None
         self.delay = scenario.delay if scenario is not None else None
-        self.lossy = self.loss_prob > 0.0 or self.burst is not None
+        self.adaptive_loss = scenario.adaptive_loss if scenario is not None else None
+        self.lossy = (
+            self.loss_prob > 0.0
+            or self.burst is not None
+            or self.adaptive_loss is not None
+        )
         self.churn_updates = self.churn is not None and self.churn.epoch_draws
+        self.adaptive_churn = self.churn is not None and self.churn.adaptive
+        # Per-trial adversary budgets, filled in by init_adaptive once the
+        # batch size is known.  Kernels that compact their live set must
+        # compact these too (compact_budgets); kernels that mask absolute
+        # rows index them directly.
+        self.crash_order = None
+        self.crash_budget = None
+        self.jam_budget = None
+        self.initial_budget = 0
+        self.retired_budget = 0
 
     @property
     def needs_epochs(self) -> bool:
         """Whether unit-time epoch boundaries carry any state update."""
-        return self.churn_updates or self.burst is not None
+        return self.churn_updates or self.adaptive_churn or self.burst is not None
+
+    @property
+    def has_adaptive(self) -> bool:
+        """Whether an adaptive adversary (crash or jam) is present."""
+        return self.adaptive_churn or self.adaptive_loss is not None
+
+    def init_adaptive(self, graph: Graph, batch: int) -> None:
+        """Allocate the per-trial adversary budgets (and the crash ranking)."""
+        if self.adaptive_churn:
+            self.crash_order = self.churn.ranking(graph)
+            self.crash_budget = np.full(batch, self.churn.budget, dtype=np.int64)
+            self.initial_budget += batch * int(self.churn.budget)
+        if self.adaptive_loss is not None:
+            self.jam_budget = np.full(
+                batch, self.adaptive_loss.budget, dtype=np.int64
+            )
+            self.initial_budget += batch * int(self.adaptive_loss.budget)
+
+    def compact_budgets(self, keep: np.ndarray) -> None:
+        """Drop finished trials' budget rows, banking their unspent budget."""
+        if self.crash_budget is not None:
+            kept_sum = int(self.crash_budget[keep].sum())
+            self.retired_budget += int(self.crash_budget.sum()) - kept_sum
+            self.crash_budget = self.crash_budget[keep]
+        if self.jam_budget is not None:
+            kept_sum = int(self.jam_budget[keep].sum())
+            self.retired_budget += int(self.jam_budget.sum()) - kept_sum
+            self.jam_budget = self.jam_budget[keep]
+
+    def budget_spent(self) -> int:
+        """Total adversary budget consumed across the batch so far."""
+        remaining = self.retired_budget
+        if self.crash_budget is not None:
+            remaining += int(self.crash_budget.sum())
+        if self.jam_budget is not None:
+            remaining += int(self.jam_budget.sum())
+        return self.initial_budget - remaining
+
+    def record_budget_spent(self, metrics) -> None:
+        """Count ``scenario.adversary_budget_spent`` when metrics are on."""
+        if metrics is not None and self.has_adaptive:
+            metrics.count("scenario.adversary_budget_spent", self.budget_spent())
 
     def initial_up(self, graph: Graph, batch: int) -> Optional[np.ndarray]:
         """The ``(B, n)`` up/down matrix at trial start, or ``None``."""
@@ -403,6 +468,7 @@ class _ScenarioParts:
         next_epoch: Optional[np.ndarray],
         next_resample: Optional[np.ndarray],
         trial_graphs: Optional["_TrialGraphs"],
+        informed: Optional[np.ndarray] = None,
     ) -> None:
         """Fire trial ``b``'s epoch/resample boundaries up to time ``t``.
 
@@ -410,7 +476,9 @@ class _ScenarioParts:
         chronological order, epoch (churn update, then burst draw) before a
         resample on ties — matching the serial engines' draw order exactly.
         All three batch tick loops call this, so the equivalence-pinned
-        contract cannot drift between them.
+        contract cannot drift between them.  ``informed`` is the ``(B, n)``
+        informed matrix an adaptive crash adversary observes (it draws
+        nothing, so the RNG stream matches the oblivious engines').
         """
         while True:
             epoch_at = next_epoch[b] if next_epoch is not None else np.inf
@@ -420,6 +488,10 @@ class _ScenarioParts:
             if epoch_at <= resample_at:
                 if self.churn_updates:
                     up[b] = self.churn.step(up[b], rng.random(n))
+                elif self.adaptive_churn:
+                    self.crash_budget[b] -= self.churn.crash_step(
+                        up[b], informed[b], self.crash_order, self.crash_budget[b]
+                    )
                 if bad is not None:
                     bad[b] = self.burst.step_state(bad[b], rng.random())
                 next_epoch[b] += 1.0
@@ -563,6 +635,7 @@ def run_synchronous_batch(
     # (trial, vertex) into one concatenated neighbor array).  All compacted
     # alongside the live set.
     up_live = parts.initial_up(graph, batch)
+    parts.init_adaptive(graph, batch)
     churn_buf = np.empty((batch, n)) if parts.churn_updates else None
     loss_buf = np.empty((batch, n)) if parts.lossy else None
     bad_live = np.zeros(batch, dtype=bool) if burst is not None else None
@@ -599,6 +672,14 @@ def run_synchronous_batch(
                 for i in range(live):
                     live_rngs[i].random(out=churn_draws[i])
             up_live = churn.step(up_live, churn_draws)
+        elif parts.adaptive_churn:
+            # Deterministic crash on each trial's round-start informed set —
+            # no draw, so the per-trial RNG streams match the oblivious
+            # kernel's exactly.
+            for i in range(live):
+                parts.crash_budget[i] -= churn.crash_step(
+                    up_live[i], informed_live[i], parts.crash_order, parts.crash_budget[i]
+                )
         if burst is not None:
             if pooled_rng is not None:
                 burst_draws = pooled_rng.random(live)
@@ -626,7 +707,39 @@ def run_synchronous_batch(
             else:
                 for i in range(live):
                     live_rngs[i].random(out=loss_draws[i])
-            if burst is None:
+            if parts.adaptive_loss is not None:
+                # Resolve the round's contacts early (the same arithmetic the
+                # kernel applies) so the jammer can see which exchanges would
+                # transmit; the budget is spent in vertex-id order per trial,
+                # matching the serial engine.
+                if stacked is not None:
+                    degrees_st, start_st, indices_cat = stacked
+                    offsets = (draws * degrees_st).astype(np.int64)
+                    np.minimum(offsets, degrees_st - 1, out=offsets)
+                    callees = indices_cat[start_st + offsets]
+                else:
+                    offsets = (draws * degrees_nw).astype(np.int64)
+                    np.minimum(offsets, max_offset_nw, out=offsets)
+                    callees = indices_nw[start_nw + offsets]
+                contacted = np.take_along_axis(informed_live, callees, axis=1)
+                if mode == "push-pull":
+                    informative = informed_live != contacted
+                elif mode == "push":
+                    informative = informed_live & ~contacted
+                else:
+                    informative = ~informed_live & contacted
+                candidate = informative
+                if up_live is not None:
+                    candidate = (
+                        candidate
+                        & up_live
+                        & np.take_along_axis(up_live, callees, axis=1)
+                    )
+                spend = candidate & (loss_draws < parts.adaptive_loss.p)
+                jam = spend & (np.cumsum(spend, axis=1) <= parts.jam_budget[:, None])
+                parts.jam_budget -= jam.sum(axis=1)
+                kept = ~jam
+            elif burst is None:
                 kept = loss_draws >= loss_prob
             else:
                 kept = loss_draws >= parts.loss_threshold(bad_live)[:, None]
@@ -667,6 +780,7 @@ def run_synchronous_batch(
                 up_live = up_live[keep]
             if bad_live is not None:
                 bad_live = bad_live[keep]
+            parts.compact_budgets(keep)
             if current_graphs is not None:
                 current_graphs = [current_graphs[i] for i in keep]
             if stacked is not None:
@@ -692,6 +806,7 @@ def run_synchronous_batch(
         metrics.count(
             "engine.messages_delivered", int(final_informed_count.sum()) - batch
         )
+    parts.record_budget_spent(metrics)
 
     return BatchTimes(
         protocol=protocol_name,
@@ -820,6 +935,7 @@ def run_asynchronous_batch(
     # loss-uniform buffer mirroring the serial chunk order (gaps, callers,
     # neighbor uniforms, loss uniforms).
     up = parts.initial_up(graph, batch)
+    parts.init_adaptive(graph, batch)
     bad = np.zeros(batch, dtype=bool) if burst is not None else None
     next_epoch = np.ones(batch) if parts.needs_epochs else None
     next_resample = (
@@ -890,6 +1006,7 @@ def run_asynchronous_batch(
         total_ticks = int(steps.sum())
         metrics.count("engine.clock_ticks", total_ticks)
         metrics.count("engine.messages_attempted", total_ticks)
+    parts.record_budget_spent(metrics)
     if not completed.all() and on_budget_exhausted == "error":
         _raise_incomplete(
             protocol_name,
@@ -1208,6 +1325,7 @@ def _run_clock_view_pooled(
         rates_total = rates_cum[:, -1].copy()
         trial_scales = 1.0 / rates_total
     up = parts.initial_up(graph, batch)
+    parts.init_adaptive(graph, batch)
     bad = np.zeros(batch, dtype=bool) if burst is not None else None
     next_epoch = np.ones(batch) if parts.needs_epochs else None
 
@@ -1294,6 +1412,7 @@ def _run_clock_view_pooled(
         total_ticks = int(steps.sum())
         metrics.count("engine.clock_ticks", total_ticks)
         metrics.count("engine.messages_attempted", total_ticks)
+    parts.record_budget_spent(metrics)
     return BatchTimes(
         protocol=protocol_name,
         graph_name=graph.name,
@@ -1517,6 +1636,7 @@ def run_clock_view_batch(
     burst = parts.burst
     dynamic = parts.dynamic
     up = parts.initial_up(graph, batch)
+    parts.init_adaptive(graph, batch)
     bad = np.zeros(batch, dtype=bool) if burst is not None else None
     next_epoch = np.ones(batch) if parts.needs_epochs else None
     next_resample = (
@@ -1564,7 +1684,8 @@ def run_clock_view_batch(
                 for b, t in zip(rows[crossing], tick_time[crossing]):
                     rng = pooled_rng if pooled_rng is not None else generators[b]
                     parts.cross_boundaries(
-                        b, t, rng, n, up, bad, next_epoch, next_resample, trial_graphs
+                        b, t, rng, n, up, bad, next_epoch, next_resample,
+                        trial_graphs, informed,
                     )
         steps[rows] += 1
         now[rows] = tick_time
@@ -1634,11 +1755,21 @@ def run_clock_view_batch(
         else:
             active = ~caller_informed & callee_informed
             targets = caller
-        if loss_u is not None:
+        if loss_u is not None and parts.adaptive_loss is None:
             active &= loss_u >= parts.loss_threshold(bad, rows)
         if up is not None:
             # Crashed endpoints suppress the exchange in either direction.
             active &= up[rows, caller] & up[rows, callee]
+        if parts.adaptive_loss is not None:
+            # At this point `active` is exactly the would-transmit mask
+            # (informative direction between two up vertices): jam those
+            # whose pre-drawn loss uniform fires, while budget remains.
+            jam = active & (loss_u < parts.adaptive_loss.p) & (
+                parts.jam_budget[rows] > 0
+            )
+            if jam.any():
+                parts.jam_budget[rows[jam]] -= 1
+                active &= ~jam
         if active.any():
             active_rows = rows[active]
             active_targets = targets[active]
@@ -1665,6 +1796,7 @@ def run_clock_view_batch(
         metrics.count("engine.clock_ticks", total_ticks)
         metrics.count("engine.messages_attempted", total_ticks)
         metrics.count("engine.messages_delivered", int(num_informed.sum()) - batch)
+    parts.record_budget_spent(metrics)
     return BatchTimes(
         protocol=protocol_name,
         graph_name=graph.name,

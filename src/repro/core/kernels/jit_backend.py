@@ -211,6 +211,7 @@ def _async_drain_impl(
     degrees, start, indices,
     use_tg, tg_degrees, tg_start, tg_indices, tg_width,
     loss_thresh, up, has_up, bound, has_bound,
+    has_adaptive, adaptive_p, jam_budget,
     time_budget, finite_time_budget, mode_code, n,
 ):
     # Advance each listed trial until it needs the Python driver: a buffer
@@ -263,9 +264,20 @@ def _async_drain_impl(
                 ok = ci and not ce
             else:
                 ok = (not ci) and ce
+            # The up-check precedes the loss-check so the adaptive jammer
+            # only sees would-transmit contacts; for plain loss the order is
+            # irrelevant (pure conjunction, the draw is consumed either way).
+            if ok and has_up and not (up[b, caller] and up[b, callee]):
+                ok = False
             if ok and has_loss and loss_uniforms[b, p - 1] < loss_thresh[b]:
                 ok = False
-            if ok and has_up and not (up[b, caller] and up[b, callee]):
+            if (
+                ok
+                and has_adaptive
+                and jam_budget[b] > 0
+                and loss_uniforms[b, p - 1] < adaptive_p
+            ):
+                jam_budget[b] -= 1
                 ok = False
             if ok:
                 if mode_code == 2:
@@ -309,7 +321,10 @@ def async_tick_loop(state) -> None:
     if not live.any():
         return
     mode_code = 2 if state.mode == "push-pull" else (0 if state.mode == "push" else 1)
-    lossy = state.loss_uniforms is not None
+    has_adaptive = parts.adaptive_loss is not None
+    adaptive_p = float(parts.adaptive_loss.p) if has_adaptive else 0.0
+    jam_budget = parts.jam_budget if has_adaptive else _I64
+    lossy = state.loss_uniforms is not None and not has_adaptive
     if lossy:
         thresh = parts.loss_threshold(state.bad)
         loss_thresh = (
@@ -332,7 +347,7 @@ def async_tick_loop(state) -> None:
     has_times = state.times is not None
     up = state.up if state.up is not None else _B2
     has_up = state.up is not None
-    loss_arr = state.loss_uniforms if lossy else _F2
+    loss_arr = state.loss_uniforms if state.loss_uniforms is not None else _F2
     burst = parts.burst
     # Telemetry rides the existing status-code drain: informed-count deltas
     # are observed Python-side at each drain return, so the compiled region
@@ -363,6 +378,7 @@ def async_tick_loop(state) -> None:
             state.degrees, state.start, state.indices,
             tg is not None, tg_degrees, tg_start, tg_indices, tg_width,
             loss_thresh, up, has_up, bound, has_bound,
+            has_adaptive, adaptive_p, jam_budget,
             state.time_budget, state.finite_time_budget, mode_code, n,
         )
         if metrics is not None:
@@ -386,6 +402,7 @@ def async_tick_loop(state) -> None:
                 parts.cross_boundaries(
                     b, t, state.rng_for(b), n, state.up, state.bad,
                     state.next_epoch, state.next_resample, tg,
+                    state.informed,
                 )
                 next_bound = np.inf
                 if state.next_epoch is not None:
@@ -417,6 +434,7 @@ def async_tick_loop(state) -> None:
 def _clock_drain_impl(
     rows, width, executed, tick_times, callers, callees,
     loss_block, has_loss, loss_prob, up, has_up,
+    has_adaptive, adaptive_p, jam_budget,
     informed, times, has_times, num_informed, steps,
     completed, completion_time, live, now,
     time_budget, finite_time_budget, mode_code, n,
@@ -442,9 +460,19 @@ def _clock_drain_impl(
                 ok = ci and not ce
             else:
                 ok = (not ci) and ce
+            # Up before loss: the adaptive jammer must only see
+            # would-transmit contacts (result-identical for plain loss).
+            if ok and has_up and not (up[b, caller] and up[b, callee]):
+                ok = False
             if ok and has_loss and loss_block[j, col] < loss_prob:
                 ok = False
-            if ok and has_up and not (up[b, caller] and up[b, callee]):
+            if (
+                ok
+                and has_adaptive
+                and jam_budget[b] > 0
+                and loss_block[j, col] < adaptive_p
+            ):
+                jam_budget[b] -= 1
                 ok = False
             if ok:
                 if mode_code == 2:
@@ -495,15 +523,19 @@ def clock_chunk_consume(
         )
         return
     mode_code = 2 if mode_pp else (0 if push_allowed else 1)
-    has_loss = loss_block is not None
+    has_adaptive = parts.adaptive_loss is not None
+    adaptive_p = float(parts.adaptive_loss.p) if has_adaptive else 0.0
+    jam_budget = parts.jam_budget if has_adaptive else _I64
+    has_loss = loss_block is not None and not has_adaptive
     # Without epochs there is no burst channel, so the threshold is the
     # scalar independent-loss probability.
     loss_prob = float(parts.loss_threshold(bad)) if has_loss else 0.0
     _clock_drain(
         rows, width, int(executed), tick_times,
         np.ascontiguousarray(callers), np.ascontiguousarray(callees),
-        loss_block if has_loss else _F2, has_loss, loss_prob,
+        loss_block if loss_block is not None else _F2, has_loss, loss_prob,
         np.ascontiguousarray(up) if up is not None else _B2, up is not None,
+        has_adaptive, adaptive_p, jam_budget,
         informed, times if times is not None else _F2, times is not None,
         num_informed, steps, completed, completion_time, live, now,
         float(time_budget), bool(finite_time_budget), mode_code, n,

@@ -415,6 +415,7 @@ def async_tick_loop(state) -> None:
                     parts.cross_boundaries(
                         int(ids[l]), t, rng, n, up, bad,
                         next_epoch, next_resample, trial_graphs,
+                        state.informed,
                     )
                 # The floor tracks the earliest boundary still pending over
                 # the (conservatively: all) trials.
@@ -424,8 +425,14 @@ def async_tick_loop(state) -> None:
                 if next_resample is not None:
                     boundary_floor = min(boundary_floor, float(next_resample.min()))
         # The loss threshold depends on the burst channel state *after* the
-        # boundaries at this tick fired, so it resolves only now.
-        lost = loss_u < parts.loss_threshold(bad, abs_rows) if loss_u is not None else None
+        # boundaries at this tick fired, so it resolves only now.  Under an
+        # adaptive jammer the uniform is judged later, against the
+        # would-transmit mask, not here.
+        lost = (
+            loss_u < parts.loss_threshold(bad, abs_rows)
+            if loss_u is not None and parts.adaptive_loss is None
+            else None
+        )
 
         caller_pos = row_base + caller
         if trial_graphs is not None:
@@ -459,6 +466,15 @@ def async_tick_loop(state) -> None:
         if up is not None:
             # Crashed endpoints suppress the exchange in either direction.
             active &= up[abs_rows, caller] & up[abs_rows, callee]
+        if parts.adaptive_loss is not None:
+            # `active` is now exactly the would-transmit mask: jam the
+            # contacts whose pre-drawn uniform fires, while budget remains.
+            jam = active & (loss_u < parts.adaptive_loss.p) & (
+                parts.jam_budget[abs_rows] > 0
+            )
+            if jam.any():
+                parts.jam_budget[abs_rows[jam]] -= 1
+                active &= ~jam
         if active.any():
             active_ids = abs_rows[active]
             if metrics is not None:
@@ -554,7 +570,8 @@ def clock_chunk_consume(
             if crossing.any():
                 for b, t in zip(active_rows[crossing], tick_time[crossing]):
                     parts.cross_boundaries(
-                        b, t, pooled_rng, n, up, bad, next_epoch, None, None
+                        b, t, pooled_rng, n, up, bad, next_epoch, None, None,
+                        informed,
                     )
         caller = callers[local, column]
         callee = callees[local, column]
@@ -569,12 +586,19 @@ def clock_chunk_consume(
         else:
             active = ~caller_informed & callee_informed
             targets = caller
-        if loss_block is not None:
+        if loss_block is not None and parts.adaptive_loss is None:
             active &= loss_block[local, column] >= parts.loss_threshold(
                 bad, active_rows
             )
         if up is not None:
             active &= up[active_rows, caller] & up[active_rows, callee]
+        if parts.adaptive_loss is not None:
+            jam = active & (loss_block[local, column] < parts.adaptive_loss.p) & (
+                parts.jam_budget[active_rows] > 0
+            )
+            if jam.any():
+                parts.jam_budget[active_rows[jam]] -= 1
+                active &= ~jam
         if active.any():
             hit_local = local[active]
             hit_rows = rows[hit_local]

@@ -33,6 +33,8 @@ scenario              sync   async  ppx/ppy  batch   notes
 ``burst-loss``        yes    yes    no       yes     Gilbert–Elliott channel; state steps once per round / time unit
 ``churn``             yes    yes    no       yes     state updates once per round / time unit
 ``targeted-churn``    yes    yes    no       yes     deterministic: top vertices by degree/eccentricity crash at trial start
+``adaptive-crash``    yes    yes    no       yes     budget-limited: each round / epoch crashes the top-``k`` *informed* vertices by degree/eccentricity until the budget is spent
+``adaptive-loss``     yes    yes    no       yes     budget-limited: drops only *informative* contacts (informed→uninformed) with probability ``p`` until the budget is spent
 ``dynamic``           yes    yes*   no       yes*    \\*every view except ``edge_clocks`` (a resample would change the pair clock set)
 ``adversarial-source`` yes   yes    yes      yes     deterministic; overrides ``source``
 ``delay``             no     yes    no       yes     clock rates are an async-only notion; reweights per-clock rates under the clock views
@@ -41,7 +43,29 @@ scenario              sync   async  ppx/ppy  batch   notes
 Asynchronous runtime scenarios run under **all three views** (``global``,
 ``node_clocks``, ``edge_clocks``); the single exception is ``dynamic``
 under ``edge_clocks``, which raises a descriptive
-:class:`~repro.errors.ScenarioError` on every path.
+:class:`~repro.errors.ScenarioError` on every path.  Scenario × view
+eligibility, in full:
+
+====================  ======  ==========  ===============  ===============
+scenario              sync    ``global``  ``node_clocks``  ``edge_clocks``
+====================  ======  ==========  ===============  ===============
+``loss``              yes     yes         yes              yes
+``burst-loss``        yes     yes         yes              yes
+``churn``             yes     yes         yes              yes
+``targeted-churn``    yes     yes         yes              yes
+``adaptive-crash``    yes     yes         yes              yes
+``adaptive-loss``     yes     yes         yes              yes
+``dynamic``           yes     yes         yes              **no**
+``adversarial-source`` yes    yes         yes              yes
+``delay``             no      no          yes              yes
+====================  ======  ==========  ===============  ===============
+
+The adaptive scenarios observe the informed set at every decision point
+(round start in sync, epoch boundary in async) and consume **no extra
+randomness**: ``adaptive-crash`` picks victims deterministically from a
+precomputed degree/eccentricity ranking, and ``adaptive-loss`` reuses the
+per-contact loss draw slot — so the batched kernels stay bit-identical to
+the serial engines with or without an adversary attached.
 
 Every protocol also has a times-only batched ``(B, n)`` kernel in
 :mod:`repro.core.batch_engine`, exactly seed-equivalent to the serial
@@ -51,7 +75,7 @@ there).  Batched kernel coverage by protocol group and asynchronous view:
 ==================  ============  =====================================
 protocol group      batch kernel  runtime scenarios on the batched path
 ==================  ============  =====================================
-sync pp/push/pull   yes           loss, burst-loss, churn, targeted-churn, dynamic
+sync pp/push/pull   yes           loss, burst-loss, churn, targeted-churn, adaptive-crash, adaptive-loss, dynamic
 async ``global``    yes           all (dynamic rides a per-trial stacked CSR)
 async clock views   yes           all except dynamic under ``edge_clocks`` (serial engine rejects it too)
 ``ppx``/``ppy``     yes           none (analysis-only processes)
@@ -379,3 +403,7 @@ def _record_spread_metrics(result: SpreadingResult) -> None:
         "engine.messages_delivered",
         result.push_infections + result.pull_infections,
     )
+    if result.adversary_budget_spent is not None:
+        metrics.count(
+            "scenario.adversary_budget_spent", result.adversary_budget_spent
+        )

@@ -71,6 +71,10 @@ class SpreadingResult:
         push_infections / pull_infections: how many vertices learned the
             rumor via push / pull.
         total_contacts: total number of communications simulated.
+        adversary_budget_spent: budget units an adaptive adversary
+            (:class:`~repro.scenarios.AdaptiveCrash` /
+            :class:`~repro.scenarios.AdaptiveLoss`) consumed during the run
+            (``None`` when no adaptive scenario component was active).
         trace: optional list of every contact (only populated when the
             engine was asked to record a trace; traces are large).
     """
@@ -88,6 +92,7 @@ class SpreadingResult:
     push_infections: int = 0
     pull_infections: int = 0
     total_contacts: int = 0
+    adversary_budget_spent: Optional[int] = None
     trace: Optional[tuple[ContactEvent, ...]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #

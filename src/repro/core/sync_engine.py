@@ -131,7 +131,8 @@ def run_synchronous(
         burst = scenario.burst
         churn = scenario.churn
         dynamic = scenario.dynamic
-    lossy = loss_prob > 0.0 or burst is not None
+    adaptive_loss = scenario.adaptive_loss if scenario is not None else None
+    lossy = loss_prob > 0.0 or burst is not None or adaptive_loss is not None
     if on_budget_exhausted not in ("error", "partial"):
         raise ProtocolError(
             f"on_budget_exhausted must be 'error' or 'partial', got {on_budget_exhausted!r}"
@@ -181,6 +182,10 @@ def run_synchronous(
     current_graph = graph
     up = churn.initial_up(graph) if churn is not None else None
     churn_updates = churn is not None and churn.epoch_draws
+    adaptive_churn = churn is not None and churn.adaptive
+    crash_order = churn.ranking(graph) if adaptive_churn else None
+    crash_budget = churn.budget if adaptive_churn else 0
+    jam_budget = adaptive_loss.budget if adaptive_loss is not None else 0
     bad = False
 
     num_informed = 1
@@ -193,6 +198,11 @@ def run_synchronous(
             flat = FlatAdjacency(current_graph)
         if churn_updates:
             up = churn.step(up, rng.random(n))
+        elif adaptive_churn:
+            # The adaptive adversary observes the round-start informed set
+            # and crashes deterministically — no draw, so the RNG stream is
+            # identical to the unperturbed engine's.
+            crash_budget -= churn.crash_step(up, informed, crash_order, crash_budget)
         if burst is not None:
             bad = bool(burst.step_state(bad, rng.random()))
         contacts = flat.random_neighbors_all(rng.random(n))
@@ -205,8 +215,28 @@ def run_synchronous(
         else:
             total_contacts += n
         if lossy:
-            round_loss = loss_prob if burst is None else float(burst.loss_at(bad))
-            kept = rng.random(n) >= round_loss
+            loss_draws = rng.random(n)
+            if adaptive_loss is not None:
+                # Jam only contacts that would transmit: an informative
+                # contact in an allowed direction between two up vertices.
+                # The budget is spent in vertex-id order within the round.
+                contacted = informed[contacts]
+                if mode == "push-pull":
+                    informative = informed != contacted
+                elif mode == "push":
+                    informative = informed & ~contacted
+                else:
+                    informative = ~informed & contacted
+                candidate = (
+                    informative if exchange_ok is None else informative & exchange_ok
+                )
+                spend = candidate & (loss_draws < adaptive_loss.p)
+                jam = spend & (np.cumsum(spend) <= jam_budget)
+                jam_budget -= int(jam.sum())
+                kept = ~jam
+            else:
+                round_loss = loss_prob if burst is None else float(burst.loss_at(bad))
+                kept = loss_draws >= round_loss
             exchange_ok = kept if exchange_ok is None else exchange_ok & kept
         informed_before = informed  # the snapshot used for this round's decisions
         contacted_informed = informed_before[contacts]
@@ -287,6 +317,13 @@ def run_synchronous(
             f"vertices within {budget} rounds"
         )
 
+    adversary_budget_spent = None
+    if adaptive_churn or adaptive_loss is not None:
+        initial_budget = (churn.budget if adaptive_churn else 0) + (
+            adaptive_loss.budget if adaptive_loss is not None else 0
+        )
+        adversary_budget_spent = initial_budget - crash_budget - jam_budget
+
     return SpreadingResult(
         protocol=protocol_name,
         graph_name=graph.name,
@@ -300,5 +337,6 @@ def run_synchronous(
         push_infections=push_infections,
         pull_infections=pull_infections,
         total_contacts=total_contacts,
+        adversary_budget_spent=adversary_budget_spent,
         trace=tuple(trace) if record_trace else None,
     )

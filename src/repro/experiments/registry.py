@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    adaptive,
     block_counts,
     classical,
     corollary3,
@@ -130,6 +131,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "Adversity scenarios: loss/churn spreading-time blowup",
         "Perturbed spreading times dominate the clean ones; blowup grows with loss rate",
         scenarios.run,
+    ),
+    "E13": ExperimentSpec(
+        "E13",
+        "Adaptive adversaries: blowup vs oblivious baselines at equal budget",
+        "An informed-set-observing adversary amplifies spreading time beyond any "
+        "equal-budget oblivious adversary, increasingly with budget",
+        adaptive.run,
     ),
 }
 

@@ -8,6 +8,8 @@ bit-for-bit equivalent under every scenario, and
 """
 
 from repro.scenarios.base import (
+    AdaptiveCrash,
+    AdaptiveLoss,
     AdversarialSource,
     BurstLoss,
     ComposedScenario,
@@ -41,6 +43,8 @@ __all__ = [
     "BurstLoss",
     "NodeChurn",
     "TargetedChurn",
+    "AdaptiveCrash",
+    "AdaptiveLoss",
     "DynamicGraph",
     "AdversarialSource",
     "Delay",

@@ -16,7 +16,15 @@ Real gossip deployments face none of those luxuries, so this module defines
 * :class:`AdversarialSource` — the source is placed at the worst-case vertex
   by degree or eccentricity instead of where the caller asked;
 * :class:`Delay` — heterogeneous clock rates for the asynchronous engines
-  (slow and fast vertices instead of identical rate-1 Poisson clocks).
+  (slow and fast vertices instead of identical rate-1 Poisson clocks);
+* :class:`AdaptiveCrash` — a budget-limited *adaptive* adversary that
+  observes the informed set at every epoch and permanently crashes the
+  top-``k`` currently-informed vertices by degree or eccentricity until
+  its crash budget is spent;
+* :class:`AdaptiveLoss` — a budget-limited adaptive jammer that
+  concentrates loss on exchanges leaving the informed frontier: only
+  contacts that would actually transmit the rumor are jammed (with
+  probability ``p``, one unit of budget per jam).
 
 Scenarios compose with ``|`` (or :func:`compose`) as long as each
 perturbation category appears at most once (:class:`BurstLoss` shares the
@@ -45,6 +53,18 @@ resample boundary fires first.  :class:`Delay` draws its per-vertex rates
 once at trial start, before any round/tick randomness;
 :class:`AdversarialSource` and :class:`TargetedChurn` are deterministic and
 consume no randomness at all.
+
+**Adaptive adversaries.**  :class:`AdaptiveCrash` and :class:`AdaptiveLoss`
+*observe* protocol state (the informed masks the engines expose at every
+epoch/contact) but are carefully slotted into the existing randomness
+discipline so fixed-seed serial/batch equivalence is preserved:
+:class:`AdaptiveCrash` consumes **no randomness** — it is a deterministic
+function of the observed informed set, fired in the churn-update slot of
+step 2 (its churn epochs activate the epoch boundaries without drawing) —
+and :class:`AdaptiveLoss` consumes exactly the per-contact loss uniform of
+step 5 (the same draw an oblivious :class:`MessageLoss` would make),
+spending one unit of budget per suppressed would-transmit exchange, in
+vertex order within a synchronous round.
 
 The synchronous model updates churn (and burst) state once per round; the
 asynchronous model updates it once per unit of simulated time (which a
@@ -77,6 +97,8 @@ __all__ = [
     "BurstLoss",
     "NodeChurn",
     "TargetedChurn",
+    "AdaptiveCrash",
+    "AdaptiveLoss",
     "DynamicGraph",
     "AdversarialSource",
     "Delay",
@@ -116,9 +138,21 @@ class Scenario:
     #: through :attr:`burst` instead.
     loss_prob: float = 0.0
 
+    #: Whether the churn component adapts to the observed informed set.
+    #: ``True`` only on :class:`AdaptiveCrash`; engines use it to activate
+    #: epoch boundaries for a churn model whose update draws nothing
+    #: (``epoch_draws`` stays ``False`` so the random-churn draw slot is
+    #: untouched).
+    adaptive = False
+
     @property
     def burst(self) -> Optional["BurstLoss"]:
         """The correlated (Gilbert–Elliott) loss component, if any."""
+        return None
+
+    @property
+    def adaptive_loss(self) -> Optional["AdaptiveLoss"]:
+        """The adaptive (budget-limited, frontier-targeting) loss component."""
         return None
 
     @property
@@ -155,6 +189,7 @@ class Scenario:
         return (
             self.loss_prob > 0.0
             or self.burst is not None
+            or self.adaptive_loss is not None
             or self.churn is not None
             or self.dynamic is not None
             or self.delay is not None
@@ -381,6 +416,152 @@ class TargetedChurn(Scenario):
         return f"targeted-churn:fraction={self.fraction:g},by={self.by}"
 
 
+# Adaptive-crash vertex rankings scan the whole graph (and the
+# eccentricity criterion runs the all-sources BFS); memoise per
+# (graph, criterion) like the adversarial-source cache below.
+_RANKING_CACHE = IdentityLRU(128)
+
+
+def _priority_order(graph: Graph, by: str) -> np.ndarray:
+    """Vertices of ``graph`` sorted by descending ``by``-score, ties towards
+    the smallest id — the shared crash-priority ranking of the targeting
+    adversaries."""
+    cached = _RANKING_CACHE.get(graph, by)
+    if cached is not None:
+        return cached
+    if by == "degree":
+        scores = np.asarray(graph.degrees, dtype=np.int64)
+    else:
+        from repro.graphs.properties import all_eccentricities
+
+        scores = all_eccentricities(graph)
+    order = np.argsort(-scores, kind="stable")
+    return _RANKING_CACHE.put(graph, order, by)
+
+
+@dataclass(frozen=True, repr=False)
+class AdaptiveCrash(Scenario):
+    """A budget-limited adversary crashing the top informed vertices per epoch.
+
+    At every epoch (each synchronous round / each unit of asynchronous
+    simulated time, *before* the round's contacts) the adversary observes
+    the informed set and permanently crashes up to ``k`` currently-up,
+    currently-informed vertices — highest ``by``-score first (``"degree"``:
+    hubs; ``"eccentricity"``: the periphery; ties towards the smallest id,
+    ranked once on the initial graph) — until ``budget`` total crashes have
+    been spent.  Crashed vertices behave exactly as under
+    :class:`NodeChurn`: silent in both directions, keeping the rumor.
+
+    Unlike every oblivious scenario the crash schedule depends on protocol
+    state, but the model consumes **no randomness** — it is a deterministic
+    function of the observed informed masks — so fixed-seed serial/batch
+    equivalence holds with unchanged RNG streams.  Crashing informed hubs
+    can stall spreading entirely; pair aggressive budgets with
+    ``on_budget_exhausted="partial"``.  Shares the churn category with
+    :class:`NodeChurn`/:class:`TargetedChurn` (composes with loss, dynamic,
+    delay, and adversarial-source components, including
+    :class:`AdaptiveLoss`).
+    """
+
+    budget: int
+    k: int = 1
+    by: str = "degree"
+
+    #: Consumes no per-epoch randomness (the churn-update draw slot stays
+    #: empty) …
+    epoch_draws = False
+    #: … but the epoch boundaries must fire so the crash schedule advances.
+    adaptive = True
+
+    def __post_init__(self) -> None:
+        budget = int(self.budget)
+        k = int(self.k)
+        if budget != self.budget or budget < 0:
+            raise ScenarioError(f"budget must be a non-negative integer, got {self.budget!r}")
+        if k != self.k or k < 1:
+            raise ScenarioError(f"k must be a positive integer, got {self.k!r}")
+        if self.by not in TARGETED_CHURN_CRITERIA:
+            raise ScenarioError(
+                f"unknown targeting criterion {self.by!r}; "
+                f"expected one of {TARGETED_CHURN_CRITERIA}"
+            )
+        object.__setattr__(self, "budget", budget)
+        object.__setattr__(self, "k", k)
+
+    @property
+    def churn(self) -> Optional["AdaptiveCrash"]:  # type: ignore[override]
+        return self
+
+    def initial_up(self, graph: Graph) -> np.ndarray:
+        """Every vertex starts up; crashes only happen at epoch boundaries."""
+        return np.ones(graph.num_vertices, dtype=bool)
+
+    def ranking(self, graph: Graph) -> np.ndarray:
+        """The static crash-priority order (computed once per graph)."""
+        return _priority_order(graph, self.by)
+
+    def crash_step(
+        self, up: np.ndarray, informed: np.ndarray, order: np.ndarray, budget: int
+    ) -> int:
+        """Fire one epoch: crash up to ``min(k, budget)`` informed vertices.
+
+        Mutates ``up`` in place and returns how many crashes were spent —
+        the single definition of the adaptive transition every engine uses
+        (the serial/batch equivalence contract, like :meth:`NodeChurn.step`).
+        ``informed`` is the informed mask observed at the epoch boundary;
+        ``order`` the precomputed :meth:`ranking`.
+        """
+        if budget <= 0:
+            return 0
+        limit = min(self.k, int(budget))
+        victims = order[informed[order] & up[order]][:limit]
+        if victims.size:
+            up[victims] = False
+        return int(victims.size)
+
+    def spec(self) -> str:
+        return f"adaptive-crash:budget={self.budget},k={self.k},by={self.by}"
+
+
+@dataclass(frozen=True, repr=False)
+class AdaptiveLoss(Scenario):
+    """A budget-limited jammer concentrating loss on the informed frontier.
+
+    Where :class:`MessageLoss` drops every exchange with probability ``p``,
+    this adversary observes each contact and spends its jam budget only on
+    exchanges that would actually transmit the rumor — an informative
+    contact (exactly one endpoint informed, in a direction the protocol
+    allows) between two up vertices.  Each such contact is jammed with
+    probability ``p`` while budget remains, and every jam spends one unit;
+    all other contacts are never dropped.  Within a synchronous round the
+    budget is spent in vertex-id order.
+
+    The jam coin reuses the oblivious loss draw slot (one uniform per
+    contact whenever a loss component is present), so fixed-seed
+    serial/batch equivalence holds with unchanged RNG streams.  Shares the
+    loss category with :class:`MessageLoss`/:class:`BurstLoss` (composes
+    with churn — including :class:`AdaptiveCrash` — dynamic, delay, and
+    adversarial-source components).
+    """
+
+    p: float
+    budget: int
+
+    def __post_init__(self) -> None:
+        _check_probability("jam probability p", self.p, allow_one=True)
+        budget = int(self.budget)
+        if budget != self.budget or budget < 0:
+            raise ScenarioError(f"budget must be a non-negative integer, got {self.budget!r}")
+        object.__setattr__(self, "budget", budget)
+
+    @property
+    def adaptive_loss(self) -> Optional["AdaptiveLoss"]:  # type: ignore[override]
+        return self
+
+    def spec(self) -> str:
+        return f"adaptive-loss:p={self.p:g},budget={self.budget}"
+
+
 @dataclass(frozen=True, repr=False)
 class DynamicGraph(Scenario):
     """Re-draw the communication graph every ``period`` rounds / time units.
@@ -571,6 +752,11 @@ class ComposedScenario(Scenario):
         return part.burst if part is not None else None
 
     @property
+    def adaptive_loss(self) -> Optional[AdaptiveLoss]:
+        part = self._find("loss")
+        return part.adaptive_loss if part is not None else None
+
+    @property
     def churn(self) -> Optional[Scenario]:
         part = self._find("churn")
         return part.churn if part is not None else None
@@ -598,6 +784,7 @@ def _category(scenario: Scenario) -> str:
     if (
         scenario.loss_prob > 0.0
         or scenario.burst is not None
+        or scenario.adaptive_loss is not None
         or isinstance(scenario, MessageLoss)
     ):
         return "loss"

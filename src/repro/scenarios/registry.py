@@ -22,6 +22,8 @@ from typing import Callable, Union
 
 from repro.errors import ScenarioError
 from repro.scenarios.base import (
+    AdaptiveCrash,
+    AdaptiveLoss,
     AdversarialSource,
     BurstLoss,
     Delay,
@@ -101,6 +103,29 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "fraction (required, in [0, 1]), by (default 'degree'; or 'eccentricity')"
         ),
         factory=TargetedChurn,
+    ),
+    "adaptive-crash": ScenarioSpec(
+        name="adaptive-crash",
+        summary=(
+            "a budget-limited adaptive adversary observes the informed set each "
+            "round/time unit and permanently crashes the top-k informed vertices "
+            "by degree or eccentricity until the budget is spent"
+        ),
+        parameters=(
+            "budget (required, total crashes >= 0), k (default 1, crashes per "
+            "epoch), by (default 'degree'; or 'eccentricity')"
+        ),
+        factory=AdaptiveCrash,
+    ),
+    "adaptive-loss": ScenarioSpec(
+        name="adaptive-loss",
+        summary=(
+            "a budget-limited adaptive jammer drops only exchanges that would "
+            "transmit the rumor (probability p per would-transmit contact, one "
+            "budget unit per jam)"
+        ),
+        parameters="p (required, in [0, 1]), budget (required, total jams >= 0)",
+        factory=AdaptiveLoss,
     ),
     "dynamic": ScenarioSpec(
         name="dynamic",

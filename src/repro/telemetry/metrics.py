@@ -39,6 +39,14 @@ Metric name conventions used by the built-in instrumentation:
 ``analysis.serial_seconds`` (timer)       wall time inside the serial path
 ``parallel.chunks``                       pool chunks dispatched
 ``parallel.chunk_seconds`` (timer)        per-chunk worker wall time
+``parallel.chunk_retries``                chunk resubmissions after a worker
+                                          crash, raise, or timeout
+``parallel.chunk_timeouts``               chunks whose worker exceeded
+                                          ``REPRO_CHUNK_TIMEOUT``
+``parallel.serial_fallbacks``             chunks run serially in the parent
+                                          after retries were exhausted
+``scenario.adversary_budget_spent``       adaptive-adversary budget units
+                                          consumed (crashes + jammed contacts)
 ``shm.segments``                          shared-memory segments created
 ``shm.segment_bytes``                     bytes placed in shared segments
 ``engine.backend`` (gauge)                kernel backend that actually ran

@@ -7,8 +7,10 @@ The PR-4 contracts pinned here:
 * teardown releases every parent-owned shared-memory segment (attaching by
   name afterwards fails — the segment-leak regression check the CI parallel
   smoke job runs under both fork and spawn);
-* a crashed worker surfaces as a clean :class:`AnalysisError` and the next
-  call transparently gets a fresh pool.
+* a crashed worker never fails the sweep: the affected chunks are retried
+  on a fresh pool (and run serially in the parent once retries are
+  exhausted), so the result is bit-identical to an undisturbed run.
+  Fault-injection stress tests live in ``test_fault_tolerance.py``.
 """
 
 from __future__ import annotations
@@ -219,28 +221,22 @@ class TestTeardown:
 
 
 class TestWorkerCrash:
-    def test_crashed_worker_raises_clean_analysis_error(self, graph):
+    def test_sigkilled_worker_self_heals_bit_identically(self, graph):
+        # The baseline: an undisturbed parallel sweep.  Chunk results are a
+        # deterministic function of (chunk_seed, chunk_size), so a sweep
+        # that loses workers mid-flight must still reproduce it exactly.
+        expected = run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
+        shutdown_pool()
+
         handle = get_pool(2)
         victim = handle.submit(os.getpid).result()
         os.kill(victim, signal.SIGKILL)
         # Give the executor's management thread a moment to notice.
-        deadline = time.monotonic() + 5.0
-        raised = False
-        while time.monotonic() < deadline:
-            try:
-                run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
-            except AnalysisError as exc:
-                assert "crashed" in str(exc)
-                raised = True
-                break
-            else:
-                # The call raced the crash detection; kill again and retry.
-                try:
-                    os.kill(handle.submit(os.getpid).result(), signal.SIGKILL)
-                except Exception:
-                    pass  # pool already broken; the next call surfaces it
-        assert raised, "SIGKILLed worker never surfaced as AnalysisError"
-        # The handle was reset: the next call transparently gets new workers.
+        time.sleep(0.2)
         sample = run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
+        assert sample.times == expected.times
         assert sample.num_trials == 8
+        # The handle survived the reset and keeps serving subsequent calls.
         assert get_pool() is handle
+        again = run_trials_parallel(graph, 0, "pp", trials=8, seed=3, num_workers=2)
+        assert again.times == expected.times

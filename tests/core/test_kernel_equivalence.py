@@ -85,11 +85,18 @@ def _scenario_categories(scenario) -> set:
     categories = set()
     if scenario.burst is not None:
         categories.add("burst-loss")
+    elif scenario.adaptive_loss is not None:
+        categories.add("adaptive-loss")
     elif scenario.loss_prob > 0.0:
         categories.add("loss")
     churn = scenario.churn
     if churn is not None:
-        categories.add("targeted-churn" if not churn.epoch_draws else "churn")
+        if churn.adaptive:
+            categories.add("adaptive-crash")
+        elif churn.epoch_draws:
+            categories.add("churn")
+        else:
+            categories.add("targeted-churn")
     if scenario.dynamic is not None:
         categories.add("dynamic")
     if scenario.delay is not None:
@@ -112,11 +119,15 @@ def test_registry_covers_the_scenario_view_matrix():
         else:
             continue  # aux processes reject runtime scenarios
         covered.setdefault(family, set()).update(_scenario_categories(case.scenario))
+    adaptive = {"adaptive-crash", "adaptive-loss"}
     expected = {
-        "sync": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic"},
-        "global": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"},
-        "node_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"},
-        "edge_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "delay"},
+        "sync": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic"} | adaptive,
+        "global": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"}
+        | adaptive,
+        "node_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "dynamic", "delay"}
+        | adaptive,
+        "edge_clocks": {"loss", "burst-loss", "churn", "targeted-churn", "delay"}
+        | adaptive,
     }
     for family, categories in expected.items():
         missing = categories - covered.get(family, set())

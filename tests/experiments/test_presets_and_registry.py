@@ -36,13 +36,14 @@ class TestRegistry:
     def test_expected_experiment_ids(self):
         ids = available_experiments()
         assert ids[0] == "E1"
-        assert ids[-1] == "E12"
-        assert len(ids) == 12
+        assert ids[-1] == "E13"
+        assert len(ids) == 13
 
     def test_ids_cover_design_doc_index(self):
         # E1..E11 reproduce DESIGN.md's per-claim index; E12 is the
-        # adversity-scenario robustness suite added on top.
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+        # adversity-scenario robustness suite added on top, E13 the
+        # adaptive-adversary suite.
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
 
     def test_get_experiment_accepts_plain_numbers(self):
         assert get_experiment("3").experiment_id == "E3"

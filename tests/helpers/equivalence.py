@@ -49,6 +49,8 @@ from repro.graphs.base import Graph
 from repro.graphs.random_graphs import random_regular_graph
 from repro.randomness.rng import spawn_generators
 from repro.scenarios import (
+    AdaptiveCrash,
+    AdaptiveLoss,
     BurstLoss,
     Delay,
     DynamicGraph,
@@ -404,6 +406,54 @@ register_case(
     max_rounds=60, on_budget_exhausted="partial",
 )
 
+# --- PR-9: budget-limited adaptive adversaries -------------------------- #
+# AdaptiveCrash consumes no randomness and AdaptiveLoss reuses the oblivious
+# loss draw slot, so both must hold the bit-identical serial/batch contract
+# with unchanged RNG streams — on every engine family.  Crash cases can
+# stall the rumor permanently (that is the point of the adversary), so they
+# run with partial budgets; the partial per-vertex times must still agree.
+for _view in ("node_clocks", "edge_clocks"):
+    register_case(
+        f"{_view}-adaptive-crash", "pp-a", lambda: complete_graph(12), (0, 1), 53,
+        scenario=AdaptiveCrash(budget=3, k=2),
+        view=_view, max_steps=400, on_budget_exhausted="partial",
+    )
+    register_case(
+        f"{_view}-adaptive-loss", "push-a", _rr24, (0, 1), 55,
+        scenario=AdaptiveLoss(p=0.9, budget=5), view=_view,
+    )
+register_case(
+    "sync-adaptive-crash", "pp", lambda: star_graph(16), (1, 2, 0), 57,
+    scenario=AdaptiveCrash(budget=2),
+    max_rounds=40, on_budget_exhausted="partial",
+)
+register_case(
+    "sync-adaptive-loss", "push", _rr24, (0, 1, 2), 59,
+    scenario=AdaptiveLoss(p=0.8, budget=6),
+)
+register_case(
+    "global-adaptive-crash", "pp-a", lambda: star_graph(16), (1, 0), 61,
+    scenario=AdaptiveCrash(budget=2, by="eccentricity"),
+    max_time=12.0, on_budget_exhausted="partial",
+)
+register_case(
+    "global-adaptive-loss", "pull-a", _rr24, (0, 1), 63,
+    scenario=AdaptiveLoss(p=1.0, budget=8),
+)
+register_case(
+    # Both adaptive models at once: the crash schedule shifts the informed
+    # frontier the jammer observes, so this pins their interleaving.
+    "sync-adaptive-crash-loss", "pp", lambda: complete_graph(12), (0,) * 3, 65,
+    scenario=AdaptiveCrash(budget=2) | AdaptiveLoss(p=0.7, budget=4),
+    max_rounds=60, on_budget_exhausted="partial",
+)
+register_case(
+    "node_clocks-adaptive-composed", "pp-a", lambda: complete_graph(12), (0, 1), 67,
+    scenario=AdaptiveLoss(p=0.6, budget=5) | NodeChurn(0.1, 0.6)
+    | Delay(low=0.5, high=2.0),
+    view="node_clocks",
+)
+
 
 # --------------------------------------------------------------------- #
 # The parallel-transport registry (PR 4)
@@ -541,4 +591,17 @@ register_parallel_case(
     "parallel-clock-view-scenario", "pp-a", _rr24, 0,
     trials=6, seed=37, num_workers=2,
     scenario=MessageLoss(0.25) | NodeChurn(0.1, 0.6), view="node_clocks",
+)
+register_parallel_case(
+    # PR-9: the adaptive adversary's per-trial budgets must shard cleanly
+    # across pool chunks (each worker sees only its chunk's informed masks).
+    "parallel-adaptive-crash", "pp", lambda: star_graph(16), 0,
+    trials=6, seed=41, num_workers=2, batch=True,
+    scenario=AdaptiveCrash(budget=2),
+    max_rounds=40, on_budget_exhausted="partial",
+)
+register_parallel_case(
+    "parallel-adaptive-loss", "pp-a", _rr24, 0,
+    trials=6, seed=43, num_workers=2,
+    scenario=AdaptiveLoss(p=0.9, budget=6), view="node_clocks",
 )

@@ -1,0 +1,232 @@
+"""Unit and behavioural tests for the budget-limited adaptive adversaries.
+
+The trial-for-trial serial/batch agreement of :class:`AdaptiveCrash` and
+:class:`AdaptiveLoss` is pinned by the shared registry gate
+(``tests/core/test_kernel_equivalence.py``); this module covers the model
+semantics themselves — validation, spec round-trips, the single
+:meth:`AdaptiveCrash.crash_step` transition, composition rules, budget
+accounting through the telemetry counter, and the dominance property the
+E13 experiment measures: at equal budget, an adversary that *observes* the
+informed set is never better for the rumor than one that strikes blindly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.core.protocols import spread
+from repro.errors import ScenarioError
+from repro.graphs import complete_graph, star_graph
+from repro.graphs.gap_graphs import async_favoring_gap_graph
+from repro.scenarios import (
+    AdaptiveCrash,
+    AdaptiveLoss,
+    MessageLoss,
+    NodeChurn,
+    TargetedChurn,
+    parse_scenario,
+)
+from repro.telemetry.metrics import MetricsRegistry, collecting_metrics
+from repro.telemetry.trace import CoverageRecorder, TraceSpec
+
+
+class TestValidation:
+    def test_crash_budget_and_k(self):
+        assert AdaptiveCrash(budget=0).budget == 0  # inert adversary allowed
+        assert AdaptiveCrash(budget=3.0).budget == 3  # exact float coerced
+        with pytest.raises(ScenarioError):
+            AdaptiveCrash(budget=-1)
+        with pytest.raises(ScenarioError):
+            AdaptiveCrash(budget=2.5)
+        with pytest.raises(ScenarioError):
+            AdaptiveCrash(budget=2, k=0)
+        with pytest.raises(ScenarioError):
+            AdaptiveCrash(budget=2, by="centrality")
+
+    def test_loss_probability_and_budget(self):
+        assert AdaptiveLoss(p=1.0, budget=4).p == 1.0  # p=1 allowed (unlike loss)
+        with pytest.raises(ScenarioError):
+            AdaptiveLoss(p=1.5, budget=4)
+        with pytest.raises(ScenarioError):
+            AdaptiveLoss(p=0.5, budget=-2)
+
+    def test_randomness_contract_flags(self):
+        # The serial/batch equivalence design hangs off these two flags:
+        # the crash adversary draws nothing but needs epoch boundaries.
+        crash = AdaptiveCrash(budget=2)
+        assert crash.adaptive
+        assert not crash.epoch_draws
+        assert crash.churn is crash
+        loss = AdaptiveLoss(p=0.5, budget=2)
+        assert loss.adaptive_loss is loss
+        assert loss.loss_prob == 0.0  # the oblivious slot stays empty
+
+
+class TestSpecsAndParsing:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "adaptive-crash:budget=2,k=1,by=degree",
+            "adaptive-crash:budget=5,k=3,by=eccentricity",
+            "adaptive-loss:p=0.8,budget=12",
+            "adaptive-crash:budget=1,k=1,by=degree+adaptive-loss:p=1,budget=4",
+        ],
+    )
+    def test_specs_round_trip(self, spec):
+        assert parse_scenario(spec).spec() == spec
+
+    def test_runtime_active(self):
+        assert AdaptiveCrash(budget=1).runtime_active()
+        assert AdaptiveLoss(p=0.5, budget=1).runtime_active()
+
+    def test_analysis_only_protocols_reject(self):
+        with pytest.raises(ScenarioError, match="analysis-only"):
+            run_trials(
+                complete_graph(8), 0, "ppx", trials=2, seed=0,
+                scenario=AdaptiveCrash(budget=1),
+            )
+
+
+class TestComposition:
+    def test_shares_churn_category(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            AdaptiveCrash(budget=1) | NodeChurn(0.1)
+        with pytest.raises(ScenarioError, match="duplicate"):
+            AdaptiveCrash(budget=1) | TargetedChurn(0.1)
+
+    def test_shares_loss_category(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            AdaptiveLoss(p=0.5, budget=2) | MessageLoss(0.1)
+
+    def test_crash_and_loss_compose(self):
+        composed = AdaptiveCrash(budget=1) | AdaptiveLoss(p=0.5, budget=2)
+        assert composed.churn.adaptive
+        assert composed.adaptive_loss.budget == 2
+
+
+class TestCrashStep:
+    def test_crashes_top_informed_up_vertices(self):
+        graph = star_graph(8)  # hub 0 has the highest degree
+        crash = AdaptiveCrash(budget=10, k=2)
+        order = crash.ranking(graph)
+        assert order[0] == 0
+        up = crash.initial_up(graph)
+        informed = np.zeros(8, dtype=bool)
+        informed[[0, 3, 5]] = True
+        spent = crash.crash_step(up, informed, order, budget=10)
+        assert spent == 2
+        assert not up[0] and not up[3]  # hub first, then smallest informed id
+        assert up[5]  # k=2 spent before reaching it
+
+    def test_respects_remaining_budget_and_skips_down_vertices(self):
+        graph = star_graph(8)
+        crash = AdaptiveCrash(budget=10, k=3)
+        order = crash.ranking(graph)
+        up = crash.initial_up(graph)
+        up[0] = False  # the hub is already down: no double-spend on it
+        informed = np.ones(8, dtype=bool)
+        assert crash.crash_step(up, informed, order, budget=1) == 1
+        assert not up[1]  # highest-priority *up* informed vertex
+        assert crash.crash_step(up, informed, order, budget=0) == 0
+
+    def test_uninformed_vertices_are_safe(self):
+        graph = complete_graph(6)
+        crash = AdaptiveCrash(budget=6, k=6)
+        up = crash.initial_up(graph)
+        informed = np.zeros(6, dtype=bool)
+        assert crash.crash_step(up, informed, crash.ranking(graph), budget=6) == 0
+        assert up.all()
+
+
+class TestBudgetAccounting:
+    def test_crash_budget_counter_bounded(self):
+        trials, budget = 6, 2
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials(
+                star_graph(16), 1, "pp", trials=trials, seed=5, batch=True,
+                scenario=AdaptiveCrash(budget=budget),
+                engine_options={"max_rounds": 40, "on_budget_exhausted": "partial"},
+            )
+        spent = registry.snapshot()["counters"]["scenario.adversary_budget_spent"]
+        assert 0 < spent <= trials * budget
+
+    def test_jam_budget_counter_bounded(self):
+        trials, budget = 6, 3
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials(
+                complete_graph(12), 0, "pp-a", trials=trials, seed=7, batch=True,
+                scenario=AdaptiveLoss(p=1.0, budget=budget),
+            )
+        spent = registry.snapshot()["counters"]["scenario.adversary_budget_spent"]
+        assert 0 < spent <= trials * budget
+
+    def test_budgets_are_per_trial(self):
+        # With p=1 and a tiny clique every trial should exhaust the jam
+        # budget — the counter must scale with trials, not be shared.
+        budget = 2
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            run_trials(
+                complete_graph(8), 0, "pp", trials=4, seed=9, batch=True,
+                scenario=AdaptiveLoss(p=1.0, budget=budget),
+            )
+        spent = registry.snapshot()["counters"]["scenario.adversary_budget_spent"]
+        assert spent == 4 * budget
+
+    def test_serial_engine_spends_too(self):
+        registry = MetricsRegistry()
+        with collecting_metrics(registry):
+            spread(
+                star_graph(12), 1, protocol="pp", seed=3,
+                scenario=AdaptiveCrash(budget=1),
+                max_rounds=30, on_budget_exhausted="partial",
+            )
+        assert registry.snapshot()["counters"]["scenario.adversary_budget_spent"] == 1
+
+
+def _final_coverage(graph, protocol, scenario, seed, **options) -> float:
+    recorder = CoverageRecorder(TraceSpec(grid_points=60))
+    run_trials(
+        graph, 0, protocol, trials=40, seed=seed, batch=True,
+        scenario=scenario, trace=recorder, engine_options=options,
+    )
+    trace = recorder.trace(protocol=protocol, graph_name=graph.name)
+    return float(trace.mean_fraction[-1])
+
+
+class TestDominance:
+    """Observing the informed set never helps the rumor: adaptive crash is
+    at least as damaging as random churn at equal budget.  Stated on final
+    mean coverage at a bounded horizon (stalled runs have infinite means),
+    with a small slack for Monte Carlo noise — on the hub-dominated
+    topologies where adaptivity actually matters."""
+
+    @pytest.mark.parametrize("protocol", ["pp", "pp-a"])
+    @pytest.mark.parametrize(
+        "graph_builder", [lambda: star_graph(32), lambda: async_favoring_gap_graph(32)]
+    )
+    @pytest.mark.parametrize("budget", [1, 3])
+    def test_adaptive_crash_never_faster_than_random_churn(
+        self, graph_builder, protocol, budget
+    ):
+        graph = graph_builder()
+        options = (
+            {"max_rounds": 120} if protocol == "pp" else {"max_time": 24.0}
+        )
+        options["on_budget_exhausted"] = "partial"
+        adaptive = _final_coverage(
+            graph, protocol, AdaptiveCrash(budget=budget), seed=101, **options
+        )
+        random_churn = _final_coverage(
+            graph, protocol,
+            NodeChurn(crash_rate=budget / graph.num_vertices, recovery_rate=0.0),
+            seed=101, **options,
+        )
+        assert adaptive <= random_churn + 0.05
+        assert math.isfinite(adaptive)

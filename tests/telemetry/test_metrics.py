@@ -153,3 +153,63 @@ class TestWorkerMerge:
         # The shared transport's result matrices register as shm segments.
         assert snapshot["counters"]["shm.segments"] >= 1
         assert snapshot["counters"]["shm.segment_bytes"] > 0
+        # An undisturbed sweep records none of the fault-recovery counters.
+        for name in (
+            "parallel.chunk_retries",
+            "parallel.chunk_timeouts",
+            "parallel.serial_fallbacks",
+        ):
+            assert name not in snapshot["counters"]
+
+
+class TestAdversaryBudgetCounter:
+    """``scenario.adversary_budget_spent`` is chunking-invariant: budgets
+    are per trial, so serial, batched, and worker-merged parallel runs must
+    report the same total spend for the same seed and trial split."""
+
+    def _kwargs(self):
+        from repro.scenarios import AdaptiveCrash
+
+        return dict(
+            trials=8,
+            seed=31,
+            scenario=AdaptiveCrash(budget=2),
+            engine_options={"max_rounds": 60, "on_budget_exhausted": "partial"},
+        )
+
+    def test_batch_and_serial_agree(self):
+        graph = cycle_graph(24)
+        spent = {}
+        for batch in (True, False):
+            registry = MetricsRegistry()
+            with collecting_metrics(registry):
+                run_trials(graph, 0, "pp", batch=batch, **self._kwargs())
+            spent[batch] = registry.snapshot()["counters"][
+                "scenario.adversary_budget_spent"
+            ]
+        assert spent[True] == spent[False] > 0
+
+    def test_worker_merged_equals_single_process(self):
+        graph = cycle_graph(24)
+        kwargs = self._kwargs()
+        workers = 3
+
+        merged = MetricsRegistry()
+        with collecting_metrics(merged):
+            run_trials_parallel(graph, 0, "pp", num_workers=workers, **kwargs)
+
+        _, plan = chunk_plan(kwargs["trials"], workers, kwargs["seed"])
+        local = MetricsRegistry()
+        with collecting_metrics(local):
+            for size, chunk_seed in plan:
+                run_trials(
+                    graph, 0, "pp", trials=size, seed=chunk_seed,
+                    scenario=kwargs["scenario"],
+                    engine_options=kwargs["engine_options"],
+                )
+
+        key = "scenario.adversary_budget_spent"
+        assert merged.snapshot()["counters"][key] == (
+            local.snapshot()["counters"][key]
+        )
+        assert merged.snapshot()["counters"][key] > 0
