@@ -1,8 +1,10 @@
 """Setuptools build configuration.
 
-Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install -e .``
-and ``python setup.py develop`` both work on the minimal environments this
-repository targets.  The base install depends on numpy/scipy only; the one
+Kept as a plain ``setup.py`` so ``pip install -e .`` and ``python setup.py
+develop`` both work on the minimal environments this repository targets.
+The sibling ``pyproject.toml`` carries *tool* configuration only (ruff,
+mypy, mutmut) and deliberately declares no ``[project]``/``[build-system]``
+tables, so this file remains the single build authority.  The base install depends on numpy/scipy only; the one
 extra, ``jit``, pulls in numba for the compiled kernel backend
 (``repro.core.kernels.jit_backend``) — without it every ``backend="jit"``
 request degrades gracefully to the reference numpy kernels.

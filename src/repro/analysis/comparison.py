@@ -8,12 +8,9 @@ the table renderers and benchmarks consume.
 
 from __future__ import annotations
 
-import math
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
-
-import numpy as np
 
 from repro.analysis import shm
 from repro.analysis.montecarlo import BatchSpec, SpreadingTimeSample, run_trials

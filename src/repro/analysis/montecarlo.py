@@ -59,7 +59,12 @@ from repro.core.protocols import get_protocol, spread
 from repro.core.result import SpreadingResult
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
-from repro.randomness.rng import SeedLike, as_generator, spawn_generators
+from repro.randomness.rng import (
+    SeedLike,
+    as_generator,
+    draw_order_critical,
+    spawn_generators,
+)
 from repro.scenarios.base import (
     Scenario,
     ScenarioLike,
@@ -304,6 +309,7 @@ def _forced_batch_error(batch: BatchSpec, reason: Optional[str]) -> AnalysisErro
     return AnalysisError(f"batch={batch!r} was requested but {reason}")
 
 
+@draw_order_critical
 def _run_trials_batched(
     graph: Graph,
     source: SourceSpec,

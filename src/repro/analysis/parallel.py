@@ -71,6 +71,7 @@ from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import config
 from repro.analysis import shm
 from repro.analysis.montecarlo import (
     SpreadingTimeSample,
@@ -83,7 +84,7 @@ from repro.analysis.pool import ExecutorHandle, get_pool
 from repro.errors import AnalysisError
 from repro.graphs.base import Graph
 from repro.graphs.families import get_family
-from repro.randomness.rng import SeedLike, spawn_seeds
+from repro.randomness.rng import SeedLike, as_generator, spawn_seeds
 from repro.scenarios.base import Scenario, ScenarioLike, as_scenario
 from repro.telemetry.metrics import (
     MetricsRegistry,
@@ -112,7 +113,7 @@ def default_worker_count() -> int:
     clamped to it, and unparsable or non-positive values are ignored.
     """
     cpus = max(1, os.cpu_count() or 1)
-    raw = os.environ.get("REPRO_MAX_WORKERS")
+    raw = config.read_env("REPRO_MAX_WORKERS")
     if raw is not None:
         try:
             limit = int(raw)
@@ -125,26 +126,13 @@ def default_worker_count() -> int:
 
 def _chunk_retries() -> int:
     """Resubmissions allowed per chunk (``REPRO_CHUNK_RETRIES``, default 2)."""
-    raw = os.environ.get("REPRO_CHUNK_RETRIES")
-    if raw is None:
-        return 2
-    try:
-        value = int(raw)
-    except ValueError:
-        return 2
-    return max(0, value)
+    return max(0, config.read_int("REPRO_CHUNK_RETRIES", 2))
 
 
 def _chunk_timeout() -> Optional[float]:
     """Per-chunk result timeout in seconds (``REPRO_CHUNK_TIMEOUT``), or None."""
-    raw = os.environ.get("REPRO_CHUNK_TIMEOUT")
-    if raw is None:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        return None
-    return value if value > 0 else None
+    value = config.read_float("REPRO_CHUNK_TIMEOUT")
+    return value if value is not None and value > 0 else None
 
 
 #: Valid values of the ``REPRO_FAULT_INJECT`` environment variable.
@@ -166,7 +154,7 @@ def _maybe_inject_fault(trial_seed: int) -> None:
     * ``stall`` — sleep ``REPRO_FAULT_STALL_SECONDS`` (default 3600),
       simulating a hung worker; only a ``REPRO_CHUNK_TIMEOUT`` recovers.
     """
-    mode = os.environ.get("REPRO_FAULT_INJECT")
+    mode = config.read_env("REPRO_FAULT_INJECT")
     if not mode or not pool_module.in_worker():
         return
     mode = mode.strip().lower()
@@ -174,17 +162,16 @@ def _maybe_inject_fault(trial_seed: int) -> None:
         raise AnalysisError(
             f"REPRO_FAULT_INJECT must be one of {FAULT_MODES}, got {mode!r}"
         )
-    try:
-        rate = float(os.environ.get("REPRO_FAULT_RATE", "1"))
-    except ValueError:
-        rate = 1.0
-    if np.random.default_rng((int(trial_seed), os.getpid())).random() >= rate:
+    rate = config.read_float("REPRO_FAULT_RATE", 1.0)
+    fault_rng = as_generator(np.random.SeedSequence((int(trial_seed), os.getpid())))
+    if fault_rng.random() >= rate:
         return
     if mode == "crash":
         os._exit(13)
     if mode == "raise":
         raise AnalysisError(f"injected worker fault (chunk seed {trial_seed})")
-    time.sleep(float(os.environ.get("REPRO_FAULT_STALL_SECONDS", "3600")))
+    stall = config.read_float("REPRO_FAULT_STALL_SECONDS", 3600.0)
+    time.sleep(3600.0 if stall is None else stall)
 
 
 @dataclass(frozen=True)
@@ -463,11 +450,20 @@ def _dispatch_chunks(handle: ExecutorHandle, fn, chunk_specs: Sequence[Any]) -> 
                             next_index = _note_failure(index)
                             if next_index is not None:
                                 requeue.append(next_index)
+                    # A chunk runs arbitrary scenario code, so the concrete
+                    # failure types are unknowable; every error is counted,
+                    # retried, and ultimately re-raised through the serial
+                    # fallback rather than swallowed.
+                    # repro: allow[EXC001] -- fault barrier for arbitrary chunk code
                     except Exception:
                         # The chunk itself raised; the pool is still healthy.
                         next_index = _note_failure(index)
                         if next_index is not None:
                             requeue.append(next_index)
+            # Must catch KeyboardInterrupt/SystemExit too: in-flight workers
+            # have to be drained before the caller unlinks the shared-memory
+            # segments they write into; the exception is always re-raised.
+            # repro: allow[EXC001] -- drain in-flight workers before shm unlink; re-raised
             except BaseException:
                 # A parent-side failure (e.g. the serial fallback re-raising a
                 # genuine chunk error) while other futures may still be in

@@ -34,6 +34,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Optional
 
+from repro import config
 from repro.errors import AnalysisError
 
 __all__ = ["ExecutorHandle", "get_pool", "shutdown_pool", "in_worker"]
@@ -70,13 +71,14 @@ def _initialize_worker(backend: Optional[str]) -> None:
         from repro.core.kernels import warmup_kernels
 
         warmup_kernels()
+    # repro: allow[EXC001] -- best-effort warmup: a worker that cannot warm up still runs, just slower
     except Exception:
         pass
 
 
 def _start_method() -> Optional[str]:
     """The forced multiprocessing start method, or ``None`` for the default."""
-    raw = os.environ.get("REPRO_MP_START_METHOD")
+    raw = config.read_env("REPRO_MP_START_METHOD")
     if raw is None:
         return None
     method = raw.strip().lower()
@@ -129,7 +131,7 @@ class ExecutorHandle:
                     max_workers=self.max_workers,
                     mp_context=context,
                     initializer=_initialize_worker,
-                    initargs=(os.environ.get("REPRO_KERNEL_BACKEND"),),
+                    initargs=(config.read_env("REPRO_KERNEL_BACKEND"),),
                 )
                 self._executor_workers = self.max_workers
                 self.creations += 1
@@ -177,7 +179,10 @@ class ExecutorHandle:
                 try:
                     if process.is_alive():
                         process.terminate()
-                except Exception:
+                except (AttributeError, OSError, ValueError):
+                    # Already-reaped or closed process objects: is_alive() on a
+                    # closed handle raises ValueError, terminate() on a
+                    # never-started one AttributeError, kill itself OSError.
                     pass
 
     def shutdown(self, wait: bool = True) -> None:

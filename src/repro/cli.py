@@ -237,6 +237,41 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument("--seed", type=int, default=None)
     run_all_parser.add_argument("--output", type=Path, default=None, help="directory to save JSON/CSV artefacts")
 
+    devtools_parser = subparsers.add_parser(
+        "devtools",
+        help="repo-specific static analysis (`devtools lint`, `devtools knobs`)",
+    )
+    devtools_sub = devtools_parser.add_subparsers(dest="devtools_command", required=True)
+    lint_parser = devtools_sub.add_parser(
+        "lint",
+        help=(
+            "run the AST lint rules (RNG discipline, backend parity, shm "
+            "lifecycle, env-knob registry, ...) over source trees"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="lint_format",
+        help="report format on stdout (default: text)",
+    )
+    lint_parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the JSON report to this path (CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--select", default=None, metavar="CODE[,CODE...]",
+        help="restrict the run to these rule codes (e.g. RNG001,PAR001)",
+    )
+    knobs_parser = devtools_sub.add_parser(
+        "knobs", help="print the generated REPRO_* configuration-knob table"
+    )
+    knobs_parser.add_argument(
+        "--check", type=Path, default=None, metavar="README",
+        help="verify the README's generated knob table matches the registry",
+    )
+
     telemetry_parser = subparsers.add_parser(
         "telemetry", help="inspect telemetry artefacts (`telemetry summarize`)"
     )
@@ -511,6 +546,48 @@ def _command_run_all(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_devtools(arguments: argparse.Namespace) -> int:
+    if arguments.devtools_command == "knobs":
+        from repro import config
+
+        if arguments.check is not None:
+            errors = config.readme_table_errors(
+                arguments.check.read_text(encoding="utf8")
+            )
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            if not errors:
+                print(f"{arguments.check}: knob table matches the registry")
+            return 1 if errors else 0
+        print(config.markdown_table())
+        return 0
+
+    from repro.devtools import count_files, lint_paths, render_json, render_text
+
+    paths = [Path(p) for p in arguments.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    select = (
+        [code.strip() for code in arguments.select.split(",") if code.strip()]
+        if arguments.select is not None
+        else None
+    )
+    diagnostics = lint_paths(paths, select=select)
+    files_checked = count_files(paths)
+    if arguments.output is not None:
+        arguments.output.write_text(
+            render_json(diagnostics, files_checked) + "\n", encoding="utf8"
+        )
+    if arguments.lint_format == "json":
+        print(render_json(diagnostics, files_checked))
+    else:
+        print(render_text(diagnostics, files_checked))
+    return 1 if diagnostics else 0
+
+
 def _command_telemetry(arguments: argparse.Namespace) -> int:
     from repro.telemetry.manifest import summarize_manifest
 
@@ -567,6 +644,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(arguments)
         if arguments.command == "run-all":
             return _command_run_all(arguments)
+        if arguments.command == "devtools":
+            return _command_devtools(arguments)
         if arguments.command == "telemetry":
             return _command_telemetry(arguments)
         parser.error(f"unknown command {arguments.command!r}")

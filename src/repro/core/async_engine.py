@@ -503,6 +503,7 @@ def _run_global_view_scenario(
                     break
                 if next_epoch <= next_resample:
                     if churn_updates:
+                        # repro: allow[RNG002] -- epoch schedule is deterministic in time, not in drawn values; every engine fires the identical boundary interleave
                         up = churn.step(up, rng.random(n))
                     elif adaptive_churn:
                         # The adaptive adversary observes the informed set at
@@ -513,6 +514,7 @@ def _run_global_view_scenario(
                             up, np.asarray(informed, dtype=bool), crash_order, crash_budget
                         )
                     if burst is not None:
+                        # repro: allow[RNG002] -- epoch schedule is deterministic in time, not in drawn values; every engine fires the identical boundary interleave
                         bad = bool(burst.step_state(bad, rng.random()))
                         current_loss = float(burst.loss_at(bad))
                     next_epoch += 1.0
@@ -650,7 +652,7 @@ class _ClockScenarioState:
         scenario: Optional[Scenario],
         rng: np.random.Generator,
         mode: str = "push-pull",
-    ):
+    ) -> None:
         self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
         self.burst = scenario.burst if scenario is not None else None
         self.churn = scenario.churn if scenario is not None else None

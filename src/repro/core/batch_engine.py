@@ -87,6 +87,7 @@ need those (coupling experiments, trace debugging) use the serial engines.
 
 from __future__ import annotations
 
+from types import ModuleType
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -100,8 +101,8 @@ from repro.core.sync_engine import SYNC_MODES, default_max_rounds
 from repro.errors import ProtocolError, ScenarioError, SimulationError
 from repro.graphs.base import Graph
 from repro.randomness.rng import SeedLike, spawn_generators
-from repro.scenarios.base import ScenarioLike, as_scenario
-from repro.telemetry.metrics import current_metrics
+from repro.scenarios.base import DynamicGraph, Scenario, ScenarioLike, as_scenario
+from repro.telemetry.metrics import MetricsRegistry, current_metrics
 
 __all__ = [
     "run_batch",
@@ -318,7 +319,9 @@ class _TrialGraphs:
         self.rel_start = np.tile(flat.indptr[:-1], batch)
         self.indices = np.tile(flat.indices, batch)
 
-    def resample(self, row: int, dynamic, rng: np.random.Generator) -> None:
+    def resample(
+        self, row: int, dynamic: "DynamicGraph", rng: np.random.Generator
+    ) -> None:
         """Replace one trial's graph (and CSR row) with a fresh sample."""
         new_graph = dynamic.resample(self.graphs[row], rng)
         self.graphs[row] = new_graph
@@ -373,7 +376,7 @@ class _ScenarioParts:
         "crash_budget", "jam_budget", "initial_budget", "retired_budget",
     )
 
-    def __init__(self, scenario) -> None:
+    def __init__(self, scenario: Optional[Scenario]) -> None:
         self.loss_prob = scenario.loss_prob if scenario is not None else 0.0
         self.burst = scenario.burst if scenario is not None else None
         self.churn = scenario.churn if scenario is not None else None
@@ -439,7 +442,7 @@ class _ScenarioParts:
             remaining += int(self.jam_budget.sum())
         return self.initial_budget - remaining
 
-    def record_budget_spent(self, metrics) -> None:
+    def record_budget_spent(self, metrics: Optional[MetricsRegistry]) -> None:
         """Count ``scenario.adversary_budget_spent`` when metrics are on."""
         if metrics is not None and self.has_adaptive:
             metrics.count("scenario.adversary_budget_spent", self.budget_spent())
@@ -450,7 +453,9 @@ class _ScenarioParts:
             return None
         return np.tile(self.churn.initial_up(graph), (batch, 1))
 
-    def loss_threshold(self, bad: Optional[np.ndarray], rows=None) -> Union[float, np.ndarray]:
+    def loss_threshold(
+        self, bad: Optional[np.ndarray], rows: Optional[np.ndarray] = None
+    ) -> Union[float, np.ndarray]:
         """Per-row loss probability (scalar without a burst component)."""
         if self.burst is None:
             return self.loss_prob
@@ -487,12 +492,14 @@ class _ScenarioParts:
                 return
             if epoch_at <= resample_at:
                 if self.churn_updates:
+                    # repro: allow[RNG002] -- epoch schedule is deterministic in time, not in drawn values; this method IS the pinned boundary-interleave contract
                     up[b] = self.churn.step(up[b], rng.random(n))
                 elif self.adaptive_churn:
                     self.crash_budget[b] -= self.churn.crash_step(
                         up[b], informed[b], self.crash_order, self.crash_budget[b]
                     )
                 if bad is not None:
+                    # repro: allow[RNG002] -- epoch schedule is deterministic in time, not in drawn values; this method IS the pinned boundary-interleave contract
                     bad[b] = self.burst.step_state(bad[b], rng.random())
                 next_epoch[b] += 1.0
             else:
@@ -1191,6 +1198,7 @@ def run_auxiliary_batch(
             for i in range(live):
                 start, stop = stop, stop + int(pull_counts[i])
                 if stop > start:
+                    # repro: allow[RNG002] -- zero-count skip only: integers() over an empty bounds slice consumes no stream, so the guard cannot reorder draws
                     live_rngs[i].integers(0, bounds[start:stop])
 
         # --- Commit: pulls and pushes both stamp this round's timestamp. ---
@@ -1264,7 +1272,7 @@ def _run_clock_view_pooled(
     chunk: int,
     protocol_name: str,
     parts: Optional["_ScenarioParts"] = None,
-    kern=None,
+    kern: Optional[ModuleType] = None,
 ) -> BatchTimes:
     """The chunked pooled-RNG fast path shared by both clock-queue views.
 
@@ -1697,6 +1705,7 @@ def run_clock_view_batch(
             if pooled_rng is not None:
                 u[:] = pooled_rng.random(rows.size)
                 if loss_u is not None:
+                    # repro: allow[RNG002] -- loss_u is reallocated every tick but its None-ness is pinned by the loop-invariant parts.lossy; the gate fires identically each iteration
                     loss_u[:] = pooled_rng.random(rows.size)
                 if node_scales is None:
                     resched[:] = pooled_rng.exponential(1.0, rows.size)
@@ -1709,6 +1718,7 @@ def run_clock_view_batch(
                     # reschedule exponential — the serial per-tick order.
                     u[j] = rng.random()
                     if loss_u is not None:
+                        # repro: allow[RNG002] -- loss_u is reallocated every tick but its None-ness is pinned by the loop-invariant parts.lossy; the gate fires identically each iteration
                         loss_u[j] = rng.random()
                     resched[j] = rng.exponential(
                         1.0 if node_scales is None else node_scales[b, caller[j]]
@@ -1727,6 +1737,7 @@ def run_clock_view_batch(
             resched = np.empty(rows.size)
             if pooled_rng is not None:
                 if loss_u is not None:
+                    # repro: allow[RNG002] -- loss_u is reallocated every tick but its None-ness is pinned by the loop-invariant parts.lossy; the gate fires identically each iteration
                     loss_u[:] = pooled_rng.random(rows.size)
                 resched[:] = pooled_rng.exponential(
                     pair_scale[idx] if rates is None else pair_scale[rows, idx]
@@ -1738,6 +1749,7 @@ def run_clock_view_batch(
                     # serial per-tick order (no neighbor draw: the pair
                     # determines the callee).
                     if loss_u is not None:
+                        # repro: allow[RNG002] -- loss_u is reallocated every tick but its None-ness is pinned by the loop-invariant parts.lossy; the gate fires identically each iteration
                         loss_u[j] = rng.random()
                     resched[j] = rng.exponential(
                         pair_scale[idx[j]] if rates is None else pair_scale[b, idx[j]]
@@ -1824,7 +1836,7 @@ def run_batch(
     record_times: bool = True,
     scenario: ScenarioLike = None,
     pooled_rng: Optional[np.random.Generator] = None,
-    **options,
+    **options: object,
 ) -> BatchTimes:
     """Run a batch of trials of any batchable protocol.
 

@@ -40,13 +40,15 @@ environment variable and then to ``"auto"``.
 
 from __future__ import annotations
 
-import os
 import warnings
+from types import ModuleType
 from typing import Optional
 
 import numpy as np
 
+from repro import config
 from repro.errors import ProtocolError
+from repro.randomness.rng import as_generator
 
 __all__ = [
     "KERNEL_BACKENDS",
@@ -73,7 +75,7 @@ def _reset_fallback_warning() -> None:
 
 def default_backend_name() -> str:
     """The backend name used when a kernel call passes ``backend=None``."""
-    return os.environ.get(_ENV_BACKEND) or "auto"
+    return config.read_env(_ENV_BACKEND) or "auto"
 
 
 def available_backends() -> list[str]:
@@ -86,7 +88,7 @@ def available_backends() -> list[str]:
     return names
 
 
-def resolve_backend(backend: Optional[str] = None):
+def resolve_backend(backend: Optional[str] = None) -> ModuleType:
     """Resolve a backend name to its kernel module.
 
     ``None`` reads ``REPRO_KERNEL_BACKEND`` and then defaults to
@@ -148,7 +150,7 @@ def warmup_kernels(backend: Optional[str] = None) -> str:
     batch_engine.run_synchronous_batch(graph, 0, seed=0, **common)
     batch_engine.run_asynchronous_batch(graph, 0, seed=0, **common)
     batch_engine.run_clock_view_batch(
-        graph, 0, pooled_rng=np.random.default_rng(0), **common
+        graph, 0, pooled_rng=as_generator(0), **common
     )
     return resolved.BACKEND_NAME
 
@@ -187,7 +189,7 @@ class AsyncState:
         "live", "completed", "completion_time", "overtime", "steps",
     )
 
-    def __init__(self, **fields) -> None:
+    def __init__(self, **fields: object) -> None:
         for name in self.__slots__:
             setattr(self, name, fields.pop(name))
         if fields:

@@ -34,13 +34,17 @@ jit loop semantics against the equivalence harness.
 
 from __future__ import annotations
 
-import os
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro import config
 from repro.core.kernels import numpy_backend
 from repro.telemetry.metrics import current_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.batch_engine import _ScenarioParts
+    from repro.core.kernels import AsyncState
 
 BACKEND_NAME = "jit"
 
@@ -60,10 +64,10 @@ def is_compiled() -> bool:
 
 def is_available() -> bool:
     """Whether ``backend="jit"`` resolves here instead of falling back."""
-    return _HAVE_NUMBA or os.environ.get("REPRO_JIT_PURE_PYTHON", "") not in ("", "0")
+    return _HAVE_NUMBA or config.read_flag("REPRO_JIT_PURE_PYTHON")
 
 
-def _compile(fn):
+def _compile(fn: Callable[..., None]) -> Callable[..., None]:
     if _HAVE_NUMBA:
         return _njit(cache=True)(fn)
     return fn
@@ -91,10 +95,13 @@ def warmup() -> None:
 # Synchronous round step
 # ---------------------------------------------------------------------- #
 def _sync_round_impl(
-    degrees, start, indices, draws, informed,
-    times, has_times, kept, has_kept, up, has_up,
-    round_time, push_allowed, pull_allowed, counts,
-):
+    degrees: np.ndarray, start: np.ndarray, indices: np.ndarray,
+    draws: np.ndarray, informed: np.ndarray,
+    times: np.ndarray, has_times: bool, kept: np.ndarray, has_kept: bool,
+    up: np.ndarray, has_up: bool,
+    round_time: float, push_allowed: bool, pull_allowed: bool,
+    counts: np.ndarray,
+) -> None:
     live, n = draws.shape
     snapshot = np.empty(n, dtype=np.bool_)
     for i in range(live):
@@ -125,10 +132,13 @@ def _sync_round_impl(
 
 
 def _sync_round_dynamic_impl(
-    degrees, start, indices, draws, informed,
-    times, has_times, kept, has_kept, up, has_up,
-    round_time, push_allowed, pull_allowed, counts,
-):
+    degrees: np.ndarray, start: np.ndarray, indices: np.ndarray,
+    draws: np.ndarray, informed: np.ndarray,
+    times: np.ndarray, has_times: bool, kept: np.ndarray, has_kept: bool,
+    up: np.ndarray, has_up: bool,
+    round_time: float, push_allowed: bool, pull_allowed: bool,
+    counts: np.ndarray,
+) -> None:
     # As _sync_round_impl, against per-trial (live, n) degree/start tables
     # indexing one concatenated neighbor array.
     live, n = draws.shape
@@ -164,15 +174,24 @@ _sync_round = _compile(_sync_round_impl)
 _sync_round_dynamic = _compile(_sync_round_dynamic_impl)
 
 
-def sync_workspace(batch: int, n: int, idx_dtype) -> None:
+def sync_workspace(batch: int, n: int, idx_dtype: type) -> None:
     """The jit round step needs no vectorisation buffers."""
     return None
 
 
 def sync_round_step(
-    csr, draws, kept, up_live, informed_live, times_live,
-    round_index, push_allowed, pull_allowed, ws, counts,
-):
+    csr: tuple,
+    draws: np.ndarray,
+    kept: Optional[np.ndarray],
+    up_live: Optional[np.ndarray],
+    informed_live: np.ndarray,
+    times_live: Optional[np.ndarray],
+    round_index: int,
+    push_allowed: bool,
+    pull_allowed: bool,
+    ws: None,
+    counts: np.ndarray,
+) -> np.ndarray:
     degrees, _max_offset, start, indices = csr
     new_counts = counts.copy()
     _sync_round(
@@ -186,9 +205,19 @@ def sync_round_step(
 
 
 def sync_round_step_dynamic(
-    stacked, row_offsets_wide, draws, kept, up_live, informed_live, times_live,
-    round_index, push_allowed, pull_allowed, ws, counts,
-):
+    stacked: tuple,
+    row_offsets_wide: np.ndarray,
+    draws: np.ndarray,
+    kept: Optional[np.ndarray],
+    up_live: Optional[np.ndarray],
+    informed_live: np.ndarray,
+    times_live: Optional[np.ndarray],
+    round_index: int,
+    push_allowed: bool,
+    pull_allowed: bool,
+    ws: None,
+    counts: np.ndarray,
+) -> np.ndarray:
     degrees_st, start_st, indices_cat = stacked
     new_counts = counts.copy()
     _sync_round_dynamic(
@@ -205,15 +234,21 @@ def sync_round_step_dynamic(
 # Asynchronous ("global" view) tick loop
 # ---------------------------------------------------------------------- #
 def _async_drain_impl(
-    rows, status, gaps, callers, nbr_uniforms, loss_uniforms, has_loss,
-    positions, buffer_lengths, now, informed, times, has_times,
-    num_informed, completed, completion_time,
-    degrees, start, indices,
-    use_tg, tg_degrees, tg_start, tg_indices, tg_width,
-    loss_thresh, up, has_up, bound, has_bound,
-    has_adaptive, adaptive_p, jam_budget,
-    time_budget, finite_time_budget, mode_code, n,
-):
+    rows: np.ndarray, status: np.ndarray, gaps: np.ndarray,
+    callers: np.ndarray, nbr_uniforms: np.ndarray,
+    loss_uniforms: np.ndarray, has_loss: bool,
+    positions: np.ndarray, buffer_lengths: np.ndarray, now: np.ndarray,
+    informed: np.ndarray, times: np.ndarray, has_times: bool,
+    num_informed: np.ndarray, completed: np.ndarray,
+    completion_time: np.ndarray,
+    degrees: np.ndarray, start: np.ndarray, indices: np.ndarray,
+    use_tg: bool, tg_degrees: np.ndarray, tg_start: np.ndarray,
+    tg_indices: np.ndarray, tg_width: int,
+    loss_thresh: np.ndarray, up: np.ndarray, has_up: bool,
+    bound: np.ndarray, has_bound: bool,
+    has_adaptive: bool, adaptive_p: float, jam_budget: np.ndarray,
+    time_budget: float, finite_time_budget: bool, mode_code: int, n: int,
+) -> None:
     # Advance each listed trial until it needs the Python driver: a buffer
     # refill (_NEED_REFILL), a boundary crossing (_BOUNDARY — the pending
     # draw is NOT consumed, so re-entry recomputes the identical tick
@@ -303,7 +338,7 @@ def _async_drain_impl(
 _async_drain = _compile(_async_drain_impl)
 
 
-def async_tick_loop(state) -> None:
+def async_tick_loop(state: "AsyncState") -> None:
     """Drain an :class:`~repro.core.kernels.AsyncState` to completion.
 
     The compiled drain does all per-tick work; this driver handles
@@ -432,13 +467,17 @@ def async_tick_loop(state) -> None:
 # Pooled clock-view chunk consumer
 # ---------------------------------------------------------------------- #
 def _clock_drain_impl(
-    rows, width, executed, tick_times, callers, callees,
-    loss_block, has_loss, loss_prob, up, has_up,
-    has_adaptive, adaptive_p, jam_budget,
-    informed, times, has_times, num_informed, steps,
-    completed, completion_time, live, now,
-    time_budget, finite_time_budget, mode_code, n,
-):
+    rows: np.ndarray, width: int, executed: int, tick_times: np.ndarray,
+    callers: np.ndarray, callees: np.ndarray,
+    loss_block: np.ndarray, has_loss: bool, loss_prob: float,
+    up: np.ndarray, has_up: bool,
+    has_adaptive: bool, adaptive_p: float, jam_budget: np.ndarray,
+    informed: np.ndarray, times: np.ndarray, has_times: bool,
+    num_informed: np.ndarray, steps: np.ndarray,
+    completed: np.ndarray, completion_time: np.ndarray,
+    live: np.ndarray, now: np.ndarray,
+    time_budget: float, finite_time_budget: bool, mode_code: int, n: int,
+) -> None:
     for j in range(rows.shape[0]):
         b = rows[j]
         survived = True
@@ -501,10 +540,31 @@ _clock_drain = _compile(_clock_drain_impl)
 
 
 def clock_chunk_consume(
-    rows, executed, width, tick_times, callers, callees, loss_block,
-    informed, times, num_informed, steps, completed, completion_time,
-    live, now, n, time_budget, finite_time_budget, mode_pp, push_allowed,
-    parts, bad, up, next_epoch, pooled_rng,
+    rows: np.ndarray,
+    executed: int,
+    width: int,
+    tick_times: np.ndarray,
+    callers: np.ndarray,
+    callees: np.ndarray,
+    loss_block: Optional[np.ndarray],
+    informed: np.ndarray,
+    times: Optional[np.ndarray],
+    num_informed: np.ndarray,
+    steps: np.ndarray,
+    completed: np.ndarray,
+    completion_time: np.ndarray,
+    live: np.ndarray,
+    now: np.ndarray,
+    n: int,
+    time_budget: float,
+    finite_time_budget: bool,
+    mode_pp: bool,
+    push_allowed: bool,
+    parts: "_ScenarioParts",
+    bad: Optional[np.ndarray],
+    up: Optional[np.ndarray],
+    next_epoch: Optional[np.ndarray],
+    pooled_rng: Optional[np.random.Generator],
 ) -> None:
     """Consume one pre-drawn pooled block; identical results to numpy.
 

@@ -15,11 +15,15 @@ gathers per tick.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.telemetry.metrics import current_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.batch_engine import _ScenarioParts
+    from repro.core.kernels import AsyncState
 
 BACKEND_NAME = "numpy"
 
@@ -30,7 +34,7 @@ BACKEND_NAME = "numpy"
 _COMPACT_MIN_RETIRED = 32
 
 
-def warmup(state=None) -> None:
+def warmup() -> None:
     """Nothing to compile: the numpy kernels are ready at import."""
 
 
@@ -46,7 +50,7 @@ class SyncWorkspace:
 
     __slots__ = ("offsets", "contact", "contacted", "pull", "push", "row_offsets")
 
-    def __init__(self, batch: int, n: int, idx_dtype) -> None:
+    def __init__(self, batch: int, n: int, idx_dtype: type) -> None:
         self.offsets = np.empty((batch, n), dtype=idx_dtype)
         self.contact = np.empty((batch, n), dtype=idx_dtype)
         self.contacted = np.empty((batch, n), dtype=bool)
@@ -55,7 +59,7 @@ class SyncWorkspace:
         self.row_offsets = (np.arange(batch, dtype=idx_dtype) * idx_dtype(n))[:, None]
 
 
-def sync_workspace(batch: int, n: int, idx_dtype) -> SyncWorkspace:
+def sync_workspace(batch: int, n: int, idx_dtype: type) -> SyncWorkspace:
     return SyncWorkspace(batch, n, idx_dtype)
 
 
@@ -195,7 +199,7 @@ def sync_round_step_dynamic(
 # ---------------------------------------------------------------------- #
 # Asynchronous ("global" view) tick loop
 # ---------------------------------------------------------------------- #
-def async_tick_loop(state) -> None:
+def async_tick_loop(state: "AsyncState") -> None:
     """Drain an :class:`~repro.core.kernels.AsyncState` to completion.
 
     The engine's flattened tick loop, with retired trials *compacted* out
@@ -528,7 +532,7 @@ def clock_chunk_consume(
     finite_time_budget: bool,
     mode_pp: bool,
     push_allowed: bool,
-    parts,
+    parts: "_ScenarioParts",
     bad: Optional[np.ndarray],
     up: Optional[np.ndarray],
     next_epoch: Optional[np.ndarray],

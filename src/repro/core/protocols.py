@@ -158,7 +158,7 @@ parallel (shared)   all of the       both      workers write per-chunk time-matr
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.async_engine import run_asynchronous
 from repro.core.aux_processes import run_auxiliary_process
@@ -209,7 +209,7 @@ def _sync_runner(mode: str) -> Callable[..., SpreadingResult]:
         *,
         seed: SeedLike = None,
         scenario: ScenarioLike = None,
-        **options,
+        **options: object,
     ) -> SpreadingResult:
         return run_synchronous(
             graph, source, mode=mode, seed=seed, scenario=scenario, **options
@@ -225,7 +225,7 @@ def _async_runner(mode: str) -> Callable[..., SpreadingResult]:
         *,
         seed: SeedLike = None,
         scenario: ScenarioLike = None,
-        **options,
+        **options: object,
     ) -> SpreadingResult:
         return run_asynchronous(
             graph, source, mode=mode, seed=seed, scenario=scenario, **options
@@ -235,7 +235,9 @@ def _async_runner(mode: str) -> Callable[..., SpreadingResult]:
 
 
 def _aux_runner(variant: str) -> Callable[..., SpreadingResult]:
-    def run(graph: Graph, source: int, *, seed: SeedLike = None, **options) -> SpreadingResult:
+    def run(
+        graph: Graph, source: int, *, seed: SeedLike = None, **options: object
+    ) -> SpreadingResult:
         return run_auxiliary_process(graph, source, variant=variant, seed=seed, **options)
 
     return run
@@ -337,7 +339,7 @@ def spread(
     protocol: str = "pp",
     seed: SeedLike = None,
     scenario: ScenarioLike = None,
-    **options,
+    **options: object,
 ) -> SpreadingResult:
     """Run one rumor-spreading simulation.
 

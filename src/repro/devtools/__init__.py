@@ -1,0 +1,75 @@
+"""Repo-specific static analysis: prove invariants the tests can only sample.
+
+The dynamic correctness story of this reproduction — bit-identical RNG draw
+order between the serial engines and the batch kernels, numpy/jit backend
+parity, leak-free shared-memory lifecycles — is enforced by replaying a
+finite sample (``KERNEL_CASES`` / ``PARALLEL_CASES``).  This package is the
+static tier: an AST lint pass that catches the same bug classes at review
+time, before a single trial runs.
+
+Run it as::
+
+    python -m repro devtools lint src/            # human output, exit 1 on findings
+    python -m repro devtools lint src/ --format json --output LINT_report.json
+    python -m repro devtools knobs                # the generated REPRO_* knob table
+    python -m repro devtools knobs --check README.md
+
+Rule catalog
+------------
+
+========  ====================  =====================================================
+Code      Name                  Invariant proved
+========  ====================  =====================================================
+RNG001    rng-construction      ``np.random`` generator construction confined to
+                                ``repro/randomness/rng.py`` (one seeding convention).
+RNG002    conditional-draw      No generator draw behind a conditional branch of a
+                                loop in draw-order-critical code (``core/``,
+                                ``scenarios/``, or ``@draw_order_critical``).
+PAR001    backend-parity        ``jit_backend.py`` mirrors every public
+                                ``numpy_backend.py`` kernel: names, parameter
+                                order, defaults.
+LOOP001   hot-loop-purity       No Python ``for`` over vertices/trials in the
+                                designated vectorized modules.
+SHM001    shm-lifecycle         ``SharedMemory(create=True)`` is paired with
+                                ``close``/``unlink`` on a finally/teardown path.
+ENV001    env-knob-registry     Every ``REPRO_*`` environment read names a knob
+                                declared in :mod:`repro.config`.
+ENV002    env-knob-docs         Every knob declaration carries a description.
+EXC001    exception-hygiene     No broad ``except Exception``/``BaseException``
+                                outside pragma-justified recovery sites.
+PRG001    pragma-justification  ``# repro: allow[CODE]`` requires ``-- why``.
+DEV001    parse-failure         Linted file must parse.
+========  ====================  =====================================================
+
+Suppression pragma: ``# repro: allow[CODE] -- justification`` on the
+flagged line, or alone on the line above it.  The justification text is
+mandatory — an unjustified pragma is a ``PRG001`` finding and suppresses
+nothing.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import (
+    Diagnostic,
+    FileContext,
+    Rule,
+    RULES,
+    count_files,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.devtools import rules as _rules  # noqa: F401  (registers the rules)
+from repro.randomness.rng import draw_order_critical
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "count_files",
+    "draw_order_critical",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

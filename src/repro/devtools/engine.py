@@ -1,0 +1,263 @@
+"""The rule engine behind ``python -m repro devtools lint``.
+
+Plumbing only — the repo-specific rules live in
+:mod:`repro.devtools.rules`.  This module provides:
+
+* :class:`Diagnostic` — one finding: file, line, rule code, message.
+* :class:`FileContext` — a parsed file handed to every rule (path, source,
+  AST, and the path relative to the linted root, used by rules with module
+  allowlists).
+* :class:`Rule` / :func:`register` — the rule registry.  A rule is a named
+  callable ``check(ctx) -> iterable[Diagnostic]``; cross-file rules (the
+  backend-parity check) may parse sibling files themselves.
+* Suppression pragmas::
+
+      risky_call()  # repro: allow[RNG001] -- draw order pinned by test_x
+
+  A pragma suppresses matching diagnostics on its own line; written on a
+  line of its own it covers the *next* line (multi-line statements are
+  reported at their first line, so put the pragma immediately above).
+  The justification after ``--`` is required: a pragma without one is
+  itself reported as ``PRG001`` and suppresses nothing.
+* :func:`lint_paths` — walk files, run rules, apply pragmas; and the
+  ``text`` / ``json`` report formatters the CLI prints.
+
+Engine-level codes: ``PRG001`` (malformed or unjustified pragma) and
+``DEV001`` (file failed to parse).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "register",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]
+
+#: ``# repro: allow[CODE] -- justification`` (justification validated separately).
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[(?P<codes>[A-Z0-9, ]+)\]\s*(?P<rest>.*)$")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pointing at ``path:line``."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """A parsed source file, as seen by every rule."""
+
+    path: Path
+    relative: str  # forward-slash path relative to the linted root
+    source: str
+    tree: ast.AST
+    lines: List[str]
+
+    def diagnostic(self, node_or_line, code: str, message: str) -> Diagnostic:
+        line = (
+            node_or_line
+            if isinstance(node_or_line, int)
+            else getattr(node_or_line, "lineno", 1)
+        )
+        return Diagnostic(path=str(self.path), line=line, code=code, message=message)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: stable code, short name, one-line description."""
+
+    code: str
+    name: str
+    description: str
+    check: Callable[[FileContext], Iterable[Diagnostic]]
+
+
+#: The rule registry, keyed by code (populated by :mod:`repro.devtools.rules`).
+RULES: Dict[str, Rule] = {}
+
+
+def register(code: str, name: str, description: str):
+    """Decorator registering ``check(ctx)`` under ``code``."""
+
+    def decorate(check: Callable[[FileContext], Iterable[Diagnostic]]):
+        if code in RULES:
+            raise ValueError(f"rule code {code} registered twice")
+        RULES[code] = Rule(code=code, name=name, description=description, check=check)
+        return check
+
+    return decorate
+
+
+@dataclass
+class _Suppressions:
+    """Per-file pragma table: line -> set of suppressed codes."""
+
+    by_line: Dict[int, set] = field(default_factory=dict)
+    problems: List[Diagnostic] = field(default_factory=list)
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        codes = self.by_line.get(diagnostic.line, set())
+        return diagnostic.code in codes or "ALL" in codes
+
+
+def _parse_pragmas(ctx: FileContext) -> _Suppressions:
+    """Collect pragmas from real COMMENT tokens (docstring text never counts)."""
+    suppressions = _Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(ctx.source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        return suppressions
+    for line_number, column, comment in comments:
+        match = _PRAGMA.search(comment)
+        if match is None:
+            continue
+        rest = match.group("rest").strip()
+        if not rest.startswith("--") or not rest[2:].strip():
+            suppressions.problems.append(
+                ctx.diagnostic(
+                    line_number,
+                    "PRG001",
+                    "suppression pragma needs a justification: "
+                    "`# repro: allow[CODE] -- why this is safe`",
+                )
+            )
+            continue
+        codes = {code.strip() for code in match.group("codes").split(",") if code.strip()}
+        # A comment-only line covers the next line; a trailing pragma its own.
+        own_line = not ctx.lines[line_number - 1][:column].strip()
+        target = line_number + 1 if own_line else line_number
+        suppressions.by_line.setdefault(target, set()).update(codes)
+    return suppressions
+
+
+def _iter_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _relative(path: Path, roots: Sequence[Path]) -> str:
+    for root in roots:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths`` with the registered rules.
+
+    ``select`` restricts the run to the given rule codes (engine codes
+    ``PRG001``/``DEV001`` always apply).  Diagnostics come back sorted by
+    path, line, and code.
+    """
+    from repro.devtools import rules as _rules  # noqa: F401  (populates RULES)
+
+    roots = [path if path.is_dir() else path.parent for path in paths]
+    active = [
+        rule for code, rule in sorted(RULES.items()) if select is None or code in select
+    ]
+    diagnostics: List[Diagnostic] = []
+    for file_path in _iter_files(paths):
+        source = file_path.read_text(encoding="utf8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(file_path),
+                    line=error.lineno or 1,
+                    code="DEV001",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        ctx = FileContext(
+            path=file_path,
+            relative=_relative(file_path, roots),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        suppressions = _parse_pragmas(ctx)
+        diagnostics.extend(suppressions.problems)
+        for rule in active:
+            for diagnostic in rule.check(ctx):
+                if not suppressions.covers(diagnostic):
+                    diagnostics.append(diagnostic)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.code))
+    return diagnostics
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    lines = [diagnostic.format() for diagnostic in diagnostics]
+    noun = "finding" if len(diagnostics) == 1 else "findings"
+    lines.append(f"{len(diagnostics)} {noun} ({files_checked} files checked)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    from repro.devtools import rules as _rules  # noqa: F401  (populates RULES)
+
+    payload = {
+        "files_checked": files_checked,
+        "findings": [diagnostic.to_dict() for diagnostic in diagnostics],
+        "rules": {
+            code: {"name": rule.name, "description": rule.description}
+            for code, rule in sorted(RULES.items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def count_files(paths: Sequence[Path]) -> int:
+    """How many files a :func:`lint_paths` call over ``paths`` visits."""
+    return len(_iter_files(paths))

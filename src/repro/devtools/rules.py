@@ -1,0 +1,640 @@
+"""The repo-specific lint rules (see the package docstring for the catalog).
+
+Each rule proves, at AST level, an invariant the dynamic equivalence
+harness can only sample:
+
+``RNG001``
+    Generator construction (``np.random.default_rng`` / ``Generator`` /
+    ``PCG64`` / ``RandomState``) is confined to ``repro/randomness/rng.py``.
+    Everything else must route through :func:`repro.randomness.rng.as_generator`
+    and friends, so seeding conventions cannot fork.
+``RNG002``
+    In draw-order-critical scope — the :data:`DRAW_ORDER_CRITICAL_MODULES`
+    allowlist (``core/``, ``scenarios/``, ``core/kernels/``) plus any
+    function decorated ``@draw_order_critical`` — no generator draw may sit
+    behind a *data-dependent* branch nested in a loop: a conditional whose
+    test reads state rebound inside the loop.  Draws behind loop-invariant
+    configuration gates (``if pooled_rng is not None:``) execute
+    identically every iteration and pass; a draw behind simulation state
+    is exactly the "draw reordered behind an untested branch" failure mode
+    the KERNEL_CASES replay can only sample.
+``PAR001``
+    ``jit_backend.py`` must mirror its sibling ``numpy_backend.py``: every
+    public function of the reference backend exists in the jit backend
+    with identical parameter names, order, and defaults (extra jit-only
+    helpers are allowed).  Signature drift used to surface only as a
+    runtime failure.
+``LOOP001``
+    No Python-level ``for`` loop over vertices/trials in the designated
+    vectorized modules (:data:`VECTORIZED_MODULES`).  Loops over rounds,
+    ticks, or small boundary subsets are fine; loops shaped like
+    ``for v in range(n)`` / ``range(batch)`` are not.
+``SHM001``
+    A module calling ``SharedMemory(create=True)`` must also contain a
+    teardown path: ``.close()`` and ``.unlink()`` calls inside a
+    ``finally`` block or a function whose name marks it as a release path
+    (``unlink`` / ``release`` / ``teardown`` / ``shutdown`` / ``cleanup``).
+``ENV001``
+    Every environment read of a ``REPRO_*`` name — ``os.environ[...]``,
+    ``os.environ.get``, ``os.getenv``, or ``config.read_*`` — must name a
+    knob declared in the :mod:`repro.config` registry.
+``ENV002``
+    Knob declarations (``declare(...)`` / ``Knob(...)``) must carry a
+    non-empty literal description.
+``EXC001``
+    No broad ``except Exception`` / ``except BaseException`` / bare
+    ``except`` outside pragma-justified recovery sites (the fault-tolerant
+    dispatch in ``analysis/pool.py`` / ``analysis/parallel.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.devtools.engine import Diagnostic, FileContext, register
+
+__all__ = [
+    "DRAW_ORDER_CRITICAL_MODULES",
+    "VECTORIZED_MODULES",
+    "DRAW_METHODS",
+]
+
+#: Module prefixes (relative to the linted root) whose functions are all
+#: draw-order-critical for ``RNG002``.  Outside these, mark individual
+#: functions with ``@draw_order_critical`` (see :mod:`repro.randomness.rng`).
+DRAW_ORDER_CRITICAL_MODULES = (
+    "repro/core/",
+    "repro/scenarios/",
+)
+
+#: Modules designated pure-vectorized for ``LOOP001``.  The batch engine
+#: itself is *not* here: its per-trial Python loops are the documented
+#: serial-draw-order orchestration layer.  The jit backend is explicit
+#: per-vertex loops by design.
+VECTORIZED_MODULES = (
+    "repro/core/kernels/numpy_backend.py",
+    "repro/graphs/csr_build.py",
+    "repro/graphs/random_graphs.py",
+    "repro/analysis/quantiles.py",
+)
+
+#: ``numpy.random.Generator`` methods that consume the stream.
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "uniform",
+        "exponential",
+        "standard_exponential",
+        "normal",
+        "standard_normal",
+        "choice",
+        "permutation",
+        "permuted",
+        "shuffle",
+        "binomial",
+        "geometric",
+        "poisson",
+        "multinomial",
+        "bytes",
+    }
+)
+
+#: Loop bounds that mean "all vertices" or "all trials" to ``LOOP001``.
+_EXTENT_NAMES = frozenset(
+    {
+        "n",
+        "num_vertices",
+        "n_vertices",
+        "vertices",
+        "trials",
+        "num_trials",
+        "batch",
+        "live",
+        "nodes",
+        "num_nodes",
+    }
+)
+
+_RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState"})
+_RNG_CLASS_CONSTRUCTORS = frozenset({"Generator", "PCG64", "PCG64DXSM", "Philox", "MT19937"})
+_RELEASE_NAME_PARTS = ("unlink", "release", "teardown", "shutdown", "cleanup", "close")
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The identifier a draw receiver hangs off: ``live_rngs[i]`` -> ``live_rngs``."""
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_rng_receiver(name: str) -> bool:
+    lowered = name.lower()
+    return "rng" in lowered or lowered in ("generator", "gen")
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ---------------------------------------------------------------------- #
+# RNG001 — generator construction is confined to randomness/rng.py
+# ---------------------------------------------------------------------- #
+@register(
+    "RNG001",
+    "rng-construction",
+    "np.random generator construction outside repro/randomness/rng.py",
+)
+def rng_construction(ctx: FileContext) -> Iterable[Diagnostic]:
+    if ctx.relative.endswith("randomness/rng.py"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in _RNG_CONSTRUCTORS or (
+            tail in _RNG_CLASS_CONSTRUCTORS and ".random." in f".{dotted}"
+        ):
+            yield ctx.diagnostic(
+                node,
+                "RNG001",
+                f"construct generators via repro.randomness.rng, not {dotted or tail}() "
+                "(one seeding convention per repo)",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# RNG002 — no conditional draws inside loops of draw-order-critical code
+# ---------------------------------------------------------------------- #
+def _has_marker(function: ast.FunctionDef) -> bool:
+    for decorator in function.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if _dotted(target).rsplit(".", 1)[-1] == "draw_order_critical":
+            return True
+    return False
+
+
+def _bound_names(node: ast.AST) -> set:
+    """Names *rebound* inside ``node`` (subscript/attribute stores excluded).
+
+    A branch test that reads one of these inside a loop is data-dependent:
+    the condition can change between iterations, so a draw behind it can
+    execute for some trials/rounds and not others.  Tests that only read
+    loop-invariant configuration (``if pooled_rng is not None`` and such)
+    stay unflagged — every iteration makes the same decision.
+    """
+    bound: set = set()
+
+    def add(target: ast.AST) -> None:
+        # Only genuine rebindings count.  `self.up = ...` / `buf[i] = ...`
+        # mutate through a name without rebinding it, so walking into the
+        # store target would turn every `if self.config_flag:` gate into a
+        # false "data-dependent" hit.
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add(element)
+        elif isinstance(target, ast.Starred):
+            add(target.value)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets = [sub.target]
+        elif isinstance(sub, ast.For):
+            targets = [sub.target]
+        elif isinstance(sub, ast.NamedExpr):
+            targets = [sub.target]
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            targets = [sub.optional_vars]
+        else:
+            continue
+        for target in targets:
+            add(target)
+    return bound
+
+
+def _test_names(test: ast.AST) -> set:
+    return {node.id for node in ast.walk(test) if isinstance(node, ast.Name)}
+
+
+def _conditional_draws(function: ast.FunctionDef) -> Iterator[Tuple[ast.Call, str]]:
+    """Draws behind a state-dependent branch nested inside a loop."""
+
+    def check(node: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DRAW_METHODS
+            and _is_rng_receiver(_terminal_name(node.func.value))
+        ):
+            yield node, node.func.attr
+
+    def visit(
+        node: ast.AST, loop_bound: Optional[set], conditional: bool
+    ) -> Iterator[Tuple[ast.Call, str]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not function:
+                return  # nested scopes are judged on their own
+        elif conditional and loop_bound is not None:
+            yield from check(node)
+        if isinstance(node, (ast.If, ast.While)) and loop_bound is not None:
+            # The test expression itself always executes, keeping its slot
+            # in the stream; only the branch bodies are conditional.  A
+            # `while` nested in a loop is both another loop and a branch
+            # whose test typically depends on its own body.
+            inner_bound = loop_bound
+            if isinstance(node, ast.While):
+                inner_bound = loop_bound | _bound_names(node)
+            state_dependent = bool(_test_names(node.test) & inner_bound)
+            yield from visit(node.test, loop_bound, conditional)
+            branch_conditional = conditional or state_dependent
+            for stmt in node.body + node.orelse:
+                yield from visit(stmt, inner_bound, branch_conditional)
+            return
+        if isinstance(node, ast.IfExp) and loop_bound is not None:
+            state_dependent = bool(_test_names(node.test) & loop_bound)
+            yield from visit(node.test, loop_bound, conditional)
+            branch_conditional = conditional or state_dependent
+            yield from visit(node.body, loop_bound, branch_conditional)
+            yield from visit(node.orelse, loop_bound, branch_conditional)
+            return
+        new_bound = loop_bound
+        if isinstance(node, (ast.For, ast.While)):
+            new_bound = (loop_bound or set()) | _bound_names(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, new_bound, conditional)
+
+    yield from visit(function, None, False)
+
+
+@register(
+    "RNG002",
+    "conditional-draw",
+    "generator draw inside a conditional branch of a loop in draw-order-critical code",
+)
+def conditional_draw(ctx: FileContext) -> Iterable[Diagnostic]:
+    module_critical = any(
+        ctx.relative.startswith(prefix) for prefix in DRAW_ORDER_CRITICAL_MODULES
+    )
+    for function in _functions(ctx.tree):
+        if not (module_critical or _has_marker(function)):
+            continue
+        for call, method in _conditional_draws(function):
+            yield ctx.diagnostic(
+                call,
+                "RNG002",
+                f"draw `.{method}()` sits behind a data-dependent branch inside a "
+                f"loop of draw-order-critical `{function.name}`; a skipped draw "
+                "silently reorders the stream the equivalence harness pins — hoist "
+                "the draw or justify with a pragma",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# PAR001 — numpy/jit kernel backends must agree on signatures
+# ---------------------------------------------------------------------- #
+def _signature(function: ast.FunctionDef) -> dict:
+    args = function.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    defaults = [ast.dump(d) for d in args.defaults]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    kw_defaults = [None if d is None else ast.dump(d) for d in args.kw_defaults]
+    return {
+        "names": names,
+        "defaults": defaults,
+        "kwonly": kwonly,
+        "kw_defaults": kw_defaults,
+        "vararg": args.vararg.arg if args.vararg else None,
+        "kwarg": args.kwarg.arg if args.kwarg else None,
+    }
+
+
+def _public_functions(tree: ast.AST) -> dict:
+    return {
+        node.name: node
+        for node in ast.iter_child_nodes(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
+    }
+
+
+@register(
+    "PAR001",
+    "backend-parity",
+    "jit_backend.py public kernel signatures must mirror numpy_backend.py",
+)
+def backend_parity(ctx: FileContext) -> Iterable[Diagnostic]:
+    if Path(ctx.relative).name != "jit_backend.py":
+        return
+    reference_path = ctx.path.with_name("numpy_backend.py")
+    if not reference_path.exists():
+        yield ctx.diagnostic(
+            1, "PAR001", "reference backend numpy_backend.py not found next to jit_backend.py"
+        )
+        return
+    try:
+        reference_tree = ast.parse(reference_path.read_text(encoding="utf8"))
+    except SyntaxError as error:
+        yield ctx.diagnostic(
+            1, "PAR001", f"reference backend numpy_backend.py does not parse: {error.msg}"
+        )
+        return
+    reference = _public_functions(reference_tree)
+    mirror = _public_functions(ctx.tree)
+    for name, ref_fn in sorted(reference.items()):
+        if name not in mirror:
+            yield ctx.diagnostic(
+                1,
+                "PAR001",
+                f"public kernel `{name}` exists in numpy_backend.py but not here; "
+                "the engine calls both backends through one surface",
+            )
+            continue
+        ref_sig, jit_sig = _signature(ref_fn), _signature(mirror[name])
+        if ref_sig != jit_sig:
+            ref_names = ref_sig["names"] + ref_sig["kwonly"]
+            jit_names = jit_sig["names"] + jit_sig["kwonly"]
+            detail = (
+                f"parameters {jit_names} != reference {ref_names}"
+                if ref_names != jit_names
+                else "parameter defaults differ from the reference"
+            )
+            yield ctx.diagnostic(
+                mirror[name],
+                "PAR001",
+                f"`{name}` signature drifted from numpy_backend.py: {detail} "
+                "(names, order, and defaults must match)",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# LOOP001 — hot-loop purity in designated vectorized modules
+# ---------------------------------------------------------------------- #
+def _extent_names(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _is_extent_range(iterator: ast.AST) -> Optional[str]:
+    """The offending extent name if ``iterator`` spans all vertices/trials."""
+    if not (isinstance(iterator, ast.Call) and _dotted(iterator.func) == "range"):
+        return None
+    args = iterator.args
+    if not args:
+        return None
+    # range(n) / range(n - 1) / range(start, trials): judge every bound; a
+    # `len(x)` bound is judged by x's name.
+    for name in _extent_names(ast.Tuple(elts=list(args), ctx=ast.Load())):
+        if name in _EXTENT_NAMES:
+            return name
+    return None
+
+
+@register(
+    "LOOP001",
+    "hot-loop-purity",
+    "Python for-loop over vertices/trials in a designated vectorized module",
+)
+def hot_loop_purity(ctx: FileContext) -> Iterable[Diagnostic]:
+    if ctx.relative not in VECTORIZED_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        iterator: Optional[ast.AST] = None
+        if isinstance(node, ast.For):
+            iterator = node.iter
+        elif isinstance(node, ast.comprehension):
+            iterator = node.iter
+        if iterator is None:
+            continue
+        extent = _is_extent_range(iterator)
+        if extent is not None:
+            yield ctx.diagnostic(
+                getattr(node, "lineno", None) or getattr(iterator, "lineno", 1),
+                "LOOP001",
+                f"Python-level loop over `range({extent}...)` in a vectorized module; "
+                "express it as an array operation or justify with a pragma",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# SHM001 — shared-memory create sites need a teardown path in the module
+# ---------------------------------------------------------------------- #
+def _creates_segment(node: ast.Call) -> bool:
+    if _dotted(node.func).rsplit(".", 1)[-1] != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _release_sites(tree: ast.AST) -> set:
+    """Attribute-call names (`close`, `unlink`) found on a release path."""
+    found: set = set()
+
+    def record_calls(node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("close", "unlink")
+            ):
+                found.add(sub.func.attr)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Try,)):
+            for final in node.finalbody:
+                record_calls(final)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            part in node.name.lower() for part in _RELEASE_NAME_PARTS
+        ):
+            record_calls(node)
+    return found
+
+
+@register(
+    "SHM001",
+    "shm-lifecycle",
+    "SharedMemory(create=True) without a close/unlink teardown path in the module",
+)
+def shm_lifecycle(ctx: FileContext) -> Iterable[Diagnostic]:
+    create_sites = [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.Call) and _creates_segment(node)
+    ]
+    if not create_sites:
+        return
+    released = _release_sites(ctx.tree)
+    missing = {"close", "unlink"} - released
+    if not missing:
+        return
+    for site in create_sites:
+        yield ctx.diagnostic(
+            site,
+            "SHM001",
+            "SharedMemory(create=True) has no "
+            + " / ".join(f"`.{name}()`" for name in sorted(missing))
+            + " on a finally/teardown path in this module; leaked segments "
+            "outlive the process",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# ENV001 / ENV002 — the REPRO_* knob registry
+# ---------------------------------------------------------------------- #
+def _declared_knobs() -> set:
+    from repro.config import KNOBS
+
+    return set(KNOBS)
+
+
+def _env_read_name(node: ast.Call) -> Optional[ast.Constant]:
+    """The literal env-var name this call reads, if any."""
+    dotted = _dotted(node.func)
+    tail = dotted.rsplit(".", 1)[-1]
+    literal = node.args[0] if node.args else None
+    if not (isinstance(literal, ast.Constant) and isinstance(literal.value, str)):
+        return None
+    if tail == "getenv" or (tail == "get" and dotted.endswith("environ.get")):
+        return literal
+    if tail in ("read_env", "read_int", "read_float", "read_flag", "get_knob"):
+        return literal
+    return None
+
+
+@register(
+    "ENV001",
+    "env-knob-registry",
+    "read of a REPRO_* environment name not declared in repro/config.py",
+)
+def env_knob_registry(ctx: FileContext) -> Iterable[Diagnostic]:
+    if ctx.relative.endswith("repro/config.py") or ctx.relative == "repro/config.py":
+        return
+    declared = _declared_knobs()
+    for node in ast.walk(ctx.tree):
+        literal: Optional[ast.Constant] = None
+        if isinstance(node, ast.Call):
+            literal = _env_read_name(node)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and _dotted(node.value).endswith("environ")
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            literal = node.slice
+        if literal is None or not str(literal.value).startswith("REPRO_"):
+            continue
+        if literal.value not in declared:
+            yield ctx.diagnostic(
+                literal,
+                "ENV001",
+                f"environment knob {literal.value!r} is not declared in the "
+                "repro/config.py registry; declare it (with a description) "
+                "before reading it",
+            )
+
+
+@register(
+    "ENV002",
+    "env-knob-docs",
+    "knob declaration without a non-empty literal description",
+)
+def env_knob_docs(ctx: FileContext) -> Iterable[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = _dotted(node.func).rsplit(".", 1)[-1]
+        if tail not in ("declare", "Knob"):
+            continue
+        name = node.args[0] if node.args else None
+        if not (
+            isinstance(name, ast.Constant)
+            and isinstance(name.value, str)
+            and name.value.startswith("REPRO_")
+        ):
+            continue
+        description = None
+        for keyword in node.keywords:
+            if keyword.arg == "description":
+                description = keyword.value
+        if description is None and len(node.args) >= 3:
+            description = node.args[2]
+        empty_literal = isinstance(description, ast.Constant) and not str(
+            description.value or ""
+        ).strip()
+        if description is None or empty_literal:
+            yield ctx.diagnostic(
+                node,
+                "ENV002",
+                f"knob {name.value} is declared without a description; every "
+                "registry entry must document itself",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# EXC001 — broad exception handlers
+# ---------------------------------------------------------------------- #
+def _broad_types(node: ast.ExceptHandler) -> List[str]:
+    if node.type is None:
+        return ["bare except"]
+    types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    return [
+        _dotted(t)
+        for t in types
+        if _dotted(t).rsplit(".", 1)[-1] in ("Exception", "BaseException")
+    ]
+
+
+@register(
+    "EXC001",
+    "exception-hygiene",
+    "broad except Exception/BaseException outside a justified recovery site",
+)
+def exception_hygiene(ctx: FileContext) -> Iterable[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_types(node)
+        if broad:
+            label = "bare `except:`" if node.type is None else f"broad `except {broad[0]}`"
+            yield ctx.diagnostic(
+                node,
+                "EXC001",
+                f"{label} swallows unrelated failures; catch the concrete "
+                "exception types this recovery path handles, or justify the "
+                "breadth with a pragma",
+            )

@@ -292,6 +292,7 @@ def chung_lu_graph(
     sorted_w = w[order]
     heads: list[int] = []
     tails: list[int] = []
+    # repro: allow[LOOP001] -- Miller-Hagberg skip sampling is sequential over rows by construction; total work is expected O(n + m), not O(n^2)
     for u in range(n - 1):
         row_weight = float(sorted_w[u])
         v = u + 1
@@ -397,6 +398,7 @@ def preferential_attachment_graph(
             edges.append((u, v))
             endpoints.append(u)
             endpoints.append(v)
+    # repro: allow[LOOP001] -- preferential attachment grows one vertex at a time by definition: each draw depends on edges added by earlier vertices
     for v in range(seed_size, n):
         targets: set[int] = set()
         while len(targets) < m:
@@ -441,6 +443,7 @@ def random_geometric_graph(
     r2 = radius * radius
     head_parts: list[np.ndarray] = []
     tail_parts: list[np.ndarray] = []
+    # repro: allow[LOOP001] -- row-at-a-time distance computation keeps memory O(n); the inner work is a vectorized length-(n-u) slice
     for u in range(n - 1):
         delta = points[u + 1 :] - points[u]
         dist2 = np.einsum("ij,ij->i", delta, delta)

@@ -54,7 +54,9 @@ class Exponential:
         if not self.rate > 0:
             raise AnalysisError(f"exponential rate must be positive, got {self.rate}")
 
-    def sample(self, rng: SeedLike = None, size: int | None = None):
+    def sample(
+        self, rng: SeedLike = None, size: int | None = None
+    ) -> "float | np.ndarray":
         """Draw one sample (``size=None``) or an array of samples."""
         generator = as_generator(rng)
         return generator.exponential(scale=1.0 / self.rate, size=size)
@@ -94,7 +96,9 @@ class Geometric:
         if not 0 < p <= 1:
             raise AnalysisError(f"geometric success probability must be in (0, 1], got {p}")
 
-    def sample(self, rng: SeedLike = None, size: int | None = None):
+    def sample(
+        self, rng: SeedLike = None, size: int | None = None
+    ) -> "float | np.ndarray":
         generator = as_generator(rng)
         return generator.geometric(self.success_probability, size=size)
 
@@ -142,7 +146,9 @@ class NegativeBinomial:
         if not 0 < p <= 1:
             raise AnalysisError(f"success probability must be in (0, 1], got {p}")
 
-    def sample(self, rng: SeedLike = None, size: int | None = None):
+    def sample(
+        self, rng: SeedLike = None, size: int | None = None
+    ) -> "float | np.ndarray":
         generator = as_generator(rng)
         geometric_draws = generator.geometric(
             self.success_probability,
@@ -196,7 +202,9 @@ class Erlang:
         if not self.rate > 0:
             raise AnalysisError(f"Erlang rate must be positive, got {self.rate}")
 
-    def sample(self, rng: SeedLike = None, size: int | None = None):
+    def sample(
+        self, rng: SeedLike = None, size: int | None = None
+    ) -> "float | np.ndarray":
         generator = as_generator(rng)
         draws = generator.exponential(
             scale=1.0 / self.rate,

@@ -15,13 +15,14 @@ Monte Carlo experiments need three things from their randomness source:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, TypeVar, Union
 
 import numpy as np
 
 __all__ = [
     "SeedLike",
     "as_generator",
+    "draw_order_critical",
     "spawn_generators",
     "spawn_seeds",
     "derive_generator",
@@ -29,6 +30,22 @@ __all__ = [
 
 #: Anything accepted where a source of randomness is expected.
 SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def draw_order_critical(function: _F) -> _F:
+    """Mark ``function``'s RNG draw order as equivalence-pinned.
+
+    A no-op at runtime (it only sets ``__draw_order_critical__``).  The
+    static-analysis pass (:mod:`repro.devtools`, rule ``RNG002``) treats a
+    decorated function exactly like code in the ``core/`` / ``scenarios/``
+    module allowlist: a generator draw behind a data-dependent branch of a
+    loop is flagged, because a skipped or reordered draw silently shifts
+    the stream that serial/batch equivalence tests pin.
+    """
+    function.__draw_order_critical__ = True  # type: ignore[attr-defined]
+    return function
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:

@@ -49,7 +49,7 @@ class ManifestWriter:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.path.write_text("")
 
-    def event(self, kind: str, **fields) -> dict:
+    def event(self, kind: str, **fields: object) -> dict:
         """Append one ``{"event": kind, **fields}`` record; returns it."""
         from repro.reporting.results_io import append_jsonl
 
@@ -58,7 +58,7 @@ class ManifestWriter:
         self.events_written += 1
         return record
 
-    def coverage(self, trace: CoverageTrace, **labels) -> dict:
+    def coverage(self, trace: CoverageTrace, **labels: object) -> dict:
         """Append one compacted coverage envelope as a ``coverage`` event."""
         return self.event(
             "coverage",
@@ -71,7 +71,7 @@ class ManifestWriter:
             **labels,
         )
 
-    def summary(self, *, metrics: Optional[dict] = None, **fields) -> dict:
+    def summary(self, *, metrics: Optional[dict] = None, **fields: object) -> dict:
         """Append the final ``summary`` record (metric totals included)."""
         return self.event("summary", metrics=metrics, **fields)
 

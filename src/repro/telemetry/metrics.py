@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 
-def _plain(value):
+def _plain(value: object) -> object:
     """Coerce numpy scalars to plain Python numbers (JSON-safe snapshots)."""
     return value.item() if hasattr(value, "item") else value
 
@@ -91,10 +91,10 @@ class MetricsRegistry:
         self.gauges: dict[str, object] = {}
 
     # -- recording ------------------------------------------------------ #
-    def count(self, name: str, amount=1) -> None:
+    def count(self, name: str, amount: object = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + _plain(amount)
 
-    def gauge(self, name: str, value) -> None:
+    def gauge(self, name: str, value: object) -> None:
         self.gauges[name] = _plain(value)
 
     def add_time(self, name: str, seconds: float, *, count: int = 1) -> None:

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.result import SpreadingResult
 
 __all__ = [
     "TraceSpec",
@@ -153,7 +156,7 @@ class CoverageRecorder:
         self._num_vertices: Optional[int] = None
 
     # -- ingestion ------------------------------------------------------ #
-    def record_block(self, informed_time) -> None:
+    def record_block(self, informed_time: np.ndarray) -> None:
         """Ingest one ``(B, n)`` matrix of per-vertex informing times."""
         block = np.array(informed_time, dtype=float)  # copy: callers reuse
         if block.ndim != 2:
@@ -169,7 +172,7 @@ class CoverageRecorder:
             )
         self._blocks.append(block)
 
-    def record_result(self, result) -> None:
+    def record_result(self, result: "SpreadingResult") -> None:
         """Ingest one serial :class:`SpreadingResult` (a 1-trial block)."""
         self.record_block(
             np.asarray(result.informed_time, dtype=float)[None, :]

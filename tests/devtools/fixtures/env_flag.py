@@ -1,0 +1,17 @@
+"""Must-flag ENV001/ENV002: undeclared reads and an undocumented knob."""
+
+import os
+
+from repro import config
+from repro.config import declare
+
+
+def undeclared_reads():
+    a = os.environ["REPRO_NOT_A_KNOB"]  # ENV001: subscript read
+    b = os.environ.get("REPRO_ALSO_NOT_A_KNOB")  # ENV001: .get read
+    c = os.getenv("REPRO_STILL_NOT_A_KNOB")  # ENV001: getenv read
+    d = config.read_int("REPRO_TYPED_NOT_A_KNOB", 0)  # ENV001: typed helper
+    return a, b, c, d
+
+
+declare("REPRO_UNDOCUMENTED_KNOB", default=None, description="")  # ENV002

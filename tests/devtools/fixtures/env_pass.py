@@ -1,0 +1,10 @@
+"""Must-pass ENV001: declared knobs read through the typed helpers."""
+
+from repro import config
+
+
+def declared_reads():
+    backend = config.read_env("REPRO_KERNEL_BACKEND")
+    workers = config.read_env("REPRO_MAX_WORKERS")
+    retries = config.read_int("REPRO_CHUNK_RETRIES", 2)
+    return backend, workers, retries

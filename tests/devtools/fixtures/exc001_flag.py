@@ -1,0 +1,22 @@
+"""Must-flag EXC001: every shape of over-broad handler."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except Exception:  # broad
+        return None
+
+
+def swallow_harder(fn):
+    try:
+        return fn()
+    except BaseException:  # broader
+        return None
+
+
+def swallow_bare(fn):
+    try:
+        return fn()
+    except:  # bare
+        return None

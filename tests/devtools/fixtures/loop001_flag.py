@@ -1,0 +1,12 @@
+"""Must-flag LOOP001 (when placed at a VECTORIZED_MODULES path)."""
+
+
+def degrees(indptr, n):
+    out = []
+    for v in range(n):  # vertex-extent Python loop: flagged
+        out.append(indptr[v + 1] - indptr[v])
+    return out
+
+
+def totals(values, num_trials):
+    return [values[b].sum() for b in range(num_trials)]  # trial extent: flagged

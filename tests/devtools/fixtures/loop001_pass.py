@@ -1,0 +1,13 @@
+"""Must-pass LOOP001: array-shaped work plus small non-extent loops."""
+
+import numpy as np
+
+
+def degrees(indptr):
+    return np.diff(indptr)
+
+
+def converge(matrix, rounds):
+    for _ in range(rounds):  # rounds are not a vertex/trial extent
+        matrix = matrix @ matrix
+    return matrix

@@ -1,0 +1,15 @@
+"""Drifted half of the must-flag PAR001 pair.
+
+Three violations: ``sync_round_step`` renames a parameter *and* changes a
+default, and ``missing_from_jit`` does not exist here at all.
+"""
+
+BACKEND_NAME = "jit"
+
+
+def warmup():
+    pass
+
+
+def sync_round_step(adjacency, informed, draws, ws=0):
+    return informed

@@ -1,0 +1,15 @@
+"""Reference half of the must-flag PAR001 pair."""
+
+BACKEND_NAME = "numpy"
+
+
+def warmup():
+    pass
+
+
+def sync_round_step(adjacency, informed, uniforms, ws=None):
+    return informed
+
+
+def missing_from_jit(adjacency):
+    return adjacency

@@ -1,0 +1,11 @@
+"""Reference half of the must-pass PAR001 pair."""
+
+BACKEND_NAME = "numpy"
+
+
+def warmup():
+    pass
+
+
+def sync_round_step(adjacency, informed, uniforms, ws=None):
+    return informed

@@ -1,0 +1,13 @@
+"""Must-flag PRG001: a pragma without `-- justification` suppresses nothing.
+
+Expected findings: one PRG001 for the malformed pragma *and* the EXC001
+it failed to suppress.
+"""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    # repro: allow[EXC001]
+    except Exception:
+        return None

@@ -1,0 +1,15 @@
+"""Must-flag RNG001: generator construction outside randomness/rng.py."""
+
+import numpy as np
+
+
+def fresh_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def fresh_bit_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def legacy_state(seed):
+    return np.random.RandomState(seed)

@@ -1,0 +1,12 @@
+"""Must-pass RNG001: draws through the shared seeding helpers only."""
+
+from repro.randomness.rng import as_generator, spawn_generators
+
+
+def sample(seed, count):
+    rng = as_generator(seed)
+    return rng.random(count)
+
+
+def sample_streams(seed, count):
+    return [rng.random() for rng in spawn_generators(seed, count)]

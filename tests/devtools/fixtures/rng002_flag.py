@@ -1,0 +1,20 @@
+"""Must-flag RNG002: a draw behind a state-dependent branch inside a loop.
+
+``informed`` is rebound inside the loop, so the `if` gate can change
+between iterations — precisely the skipped-draw stream reordering the
+rule exists to catch.  The module path is arbitrary; the function opts in
+through the ``@draw_order_critical`` marker.
+"""
+
+from repro.randomness.rng import as_generator, draw_order_critical
+
+
+@draw_order_critical
+def spread(steps, seed):
+    rng = as_generator(seed)
+    informed = 1
+    for _ in range(steps):
+        if informed > 1:
+            informed += int(rng.random() < 0.5)  # conditional draw: flagged
+        informed = informed + 1
+    return informed

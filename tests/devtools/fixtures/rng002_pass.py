@@ -1,0 +1,31 @@
+"""Must-pass RNG002: draws that cannot reorder the stream.
+
+* a draw gated on loop-invariant configuration fires identically every
+  iteration;
+* a draw in the *test expression* of a branch always executes, keeping
+  its slot in the stream;
+* a draw behind mutated-not-rebound state (``self.flag = ...`` elsewhere)
+  reads a name never rebound in the loop, so the gate is treated as
+  configuration.
+"""
+
+from repro.randomness.rng import as_generator, draw_order_critical
+
+
+@draw_order_critical
+def spread(steps, seed, pooled_rng=None):
+    rng = as_generator(seed)
+    total = 0.0
+    for _ in range(steps):
+        if pooled_rng is not None:  # loop-invariant gate: fine
+            total += pooled_rng.random()
+        if rng.random() < 0.5:  # draw in the test itself: always executes
+            total += 1.0
+    return total
+
+
+@draw_order_critical
+def unconditional(steps, seed):
+    rng = as_generator(seed)
+    values = [rng.random() for _ in range(steps)]
+    return sum(values)

@@ -1,0 +1,15 @@
+"""Pragma suppression: the rng002_flag pattern, justified, lints clean."""
+
+from repro.randomness.rng import as_generator, draw_order_critical
+
+
+@draw_order_critical
+def spread(steps, seed):
+    rng = as_generator(seed)
+    informed = 1
+    for _ in range(steps):
+        if informed > 1:
+            # repro: allow[RNG002] -- fixture: gate schedule is deterministic here
+            informed += int(rng.random() < 0.5)
+        informed = informed + 1
+    return informed

@@ -1,0 +1,7 @@
+"""Must-flag SHM001: a created segment with no teardown path in sight."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def make_segment(nbytes):
+    return SharedMemory(create=True, size=nbytes)

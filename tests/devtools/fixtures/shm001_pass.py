@@ -1,0 +1,13 @@
+"""Must-pass SHM001: creation paired with a finally-block teardown."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def with_segment(nbytes, fill):
+    segment = SharedMemory(create=True, size=nbytes)
+    try:
+        segment.buf[:nbytes] = fill
+        return bytes(segment.buf[:nbytes])
+    finally:
+        segment.close()
+        segment.unlink()

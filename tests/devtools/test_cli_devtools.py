@@ -1,0 +1,80 @@
+"""`python -m repro devtools ...` — exit codes, reports, the knob table."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import config
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+class TestLintCommand:
+    def test_clean_path_exits_zero(self, capsys):
+        assert main(["devtools", "lint", str(FIXTURES / "rng001_pass.py")]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings (1 files checked)" in out
+
+    def test_findings_exit_one_with_rule_codes(self, capsys):
+        assert main(["devtools", "lint", str(FIXTURES / "rng001_flag.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out and "rng001_flag.py:" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["devtools", "lint", "no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_select_restricts_codes(self, capsys):
+        exit_code = main(
+            ["devtools", "lint", str(FIXTURES / "env_flag.py"), "--select", "ENV002"]
+        )
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "ENV002" in out and "ENV001" not in out
+
+    def test_json_format_and_output_report(self, capsys, tmp_path):
+        report = tmp_path / "LINT_report.json"
+        exit_code = main(
+            [
+                "devtools", "lint", str(FIXTURES / "exc001_flag.py"),
+                "--format", "json", "--output", str(report),
+            ]
+        )
+        assert exit_code == 1
+        printed = json.loads(capsys.readouterr().out)
+        saved = json.loads(report.read_text(encoding="utf8"))
+        assert printed == saved
+        assert [f["code"] for f in saved["findings"]] == ["EXC001"] * 3
+        assert saved["files_checked"] == 1
+
+    def test_shipped_tree_via_cli(self, capsys):
+        assert main(["devtools", "lint", str(SRC)]) == 0
+
+
+class TestKnobsCommand:
+    def test_prints_the_registry_table(self, capsys):
+        assert main(["devtools", "knobs"]) == 0
+        out = capsys.readouterr().out
+        assert "| Knob |" in out
+        for name in config.knob_names():
+            assert name in out
+
+    def test_check_accepts_the_shipped_readme(self, capsys):
+        assert main(["devtools", "knobs", "--check", str(README)]) == 0
+        assert "matches the registry" in capsys.readouterr().out
+
+    def test_check_rejects_a_drifted_readme(self, capsys, tmp_path):
+        drifted = tmp_path / "README.md"
+        table = config.markdown_table()
+        drifted.write_text(
+            README.read_text(encoding="utf8").replace(
+                table.splitlines()[2] + "\n", ""  # drop the first knob row
+            ),
+            encoding="utf8",
+        )
+        assert main(["devtools", "knobs", "--check", str(drifted)]) == 1
+        assert "error" in capsys.readouterr().err

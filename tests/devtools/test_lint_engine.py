@@ -1,0 +1,104 @@
+"""Engine-level behaviour: pragma placement, selection, parse failures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import lint_paths, render_json, render_text
+import json
+
+
+def lint_source(tmp_path, source, name="snippet.py", select=None):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source), encoding="utf8")
+    return lint_paths([target], select=select)
+
+
+BROAD_HANDLER = """\
+    def swallow(fn):
+        try:
+            return fn()
+        except Exception:
+            return None
+"""
+
+
+def test_trailing_pragma_covers_its_own_line(tmp_path):
+    source = BROAD_HANDLER.replace(
+        "except Exception:",
+        "except Exception:  # repro: allow[EXC001] -- test: own-line coverage",
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+def test_standalone_pragma_covers_the_next_line_only(tmp_path):
+    source = BROAD_HANDLER.replace(
+        "        except Exception:",
+        "        # repro: allow[EXC001] -- test: next-line coverage\n"
+        "        except Exception:",
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+def test_standalone_pragma_does_not_reach_past_the_next_line(tmp_path):
+    source = BROAD_HANDLER.replace(
+        "        except Exception:",
+        "        # repro: allow[EXC001] -- test: too far away\n"
+        "        # an interposed comment breaks the coverage\n"
+        "        except Exception:",
+    )
+    assert [d.code for d in lint_source(tmp_path, source)] == ["EXC001"]
+
+
+def test_pragma_allow_all_covers_any_code(tmp_path):
+    source = BROAD_HANDLER.replace(
+        "except Exception:",
+        "except Exception:  # repro: allow[ALL] -- test: blanket waiver",
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+def test_pragma_text_inside_docstrings_is_inert(tmp_path):
+    source = '''\
+    def swallow(fn):
+        """Docstrings may quote `# repro: allow[EXC001]` without effect."""
+        try:
+            return fn()
+        except Exception:
+            return None
+    '''
+    assert [d.code for d in lint_source(tmp_path, source)] == ["EXC001"]
+
+
+def test_select_restricts_rules_but_not_engine_codes(tmp_path):
+    source = BROAD_HANDLER.replace(
+        "except Exception:",
+        "except Exception:  # repro: allow[EXC001]",
+    )
+    # EXC001 deselected; the malformed pragma still reports (and the broad
+    # handler is both unreported and unsuppressed — selection wins).
+    found = lint_source(tmp_path, source, select=["RNG001"])
+    assert [d.code for d in found] == ["PRG001"]
+
+
+def test_dev001_reports_unparseable_files(tmp_path):
+    found = lint_source(tmp_path, "def broken(:\n    pass\n")
+    assert [d.code for d in found] == ["DEV001"]
+    assert "does not parse" in found[0].message
+
+
+def test_render_json_shape(tmp_path):
+    found = lint_source(tmp_path, BROAD_HANDLER)
+    payload = json.loads(render_json(found, files_checked=1))
+    assert payload["files_checked"] == 1
+    assert [f["code"] for f in payload["findings"]] == ["EXC001"]
+    assert set(payload["findings"][0]) == {"path", "line", "code", "message"}
+    assert "RNG002" in payload["rules"]
+    assert payload["rules"]["EXC001"]["name"] == "exception-hygiene"
+
+
+def test_render_text_counts(tmp_path):
+    found = lint_source(tmp_path, BROAD_HANDLER)
+    text = render_text(found, files_checked=1)
+    assert text.splitlines()[-1] == "1 finding (1 files checked)"
+    assert ": EXC001 " in text.splitlines()[0]

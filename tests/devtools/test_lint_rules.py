@@ -1,0 +1,180 @@
+"""Per-rule fixture tests for ``repro.devtools``.
+
+Every rule gets a checked-in must-flag snippet and a must-pass snippet
+(``tests/devtools/fixtures/``); path-sensitive rules (module allowlists,
+sibling-file parity) are exercised by copying the snippet to the path
+that activates the rule.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name, select=None):
+    return lint_paths([FIXTURES / name], select=select)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# -- RNG001 ------------------------------------------------------------- #
+def test_rng001_flags_generator_construction():
+    found = lint_fixture("rng001_flag.py", select=["RNG001"])
+    # 4 findings from 3 sites: Generator(PCG64(...)) flags both constructors.
+    assert codes(found) == ["RNG001"] * 4
+    assert "repro.randomness.rng" in found[0].message
+
+
+def test_rng001_passes_shared_helpers():
+    assert lint_fixture("rng001_pass.py", select=["RNG001"]) == []
+
+
+def test_rng001_exempts_the_rng_module_itself(tmp_path):
+    target = tmp_path / "repro" / "randomness" / "rng.py"
+    target.parent.mkdir(parents=True)
+    shutil.copy(FIXTURES / "rng001_flag.py", target)
+    assert lint_paths([tmp_path], select=["RNG001"]) == []
+
+
+# -- RNG002 ------------------------------------------------------------- #
+def test_rng002_flags_state_dependent_conditional_draw():
+    found = lint_fixture("rng002_flag.py", select=["RNG002"])
+    assert codes(found) == ["RNG002"]
+    assert "spread" in found[0].message
+
+
+def test_rng002_passes_invariant_gates_and_test_position_draws():
+    assert lint_fixture("rng002_pass.py", select=["RNG002"]) == []
+
+
+def test_rng002_pragma_suppresses_with_justification():
+    assert lint_fixture("rng002_pragma.py", select=["RNG002"]) == []
+
+
+def test_rng002_needs_marker_outside_allowlisted_modules(tmp_path):
+    # The same flagged pattern without @draw_order_critical and outside
+    # repro/core/ / repro/scenarios/ is not draw-order-critical scope.
+    source = (FIXTURES / "rng002_flag.py").read_text(encoding="utf8")
+    source = source.replace("@draw_order_critical\n", "")
+    target = tmp_path / "elsewhere.py"
+    target.write_text(source, encoding="utf8")
+    assert lint_paths([target], select=["RNG002"]) == []
+
+
+def test_rng002_module_allowlist_applies_without_marker(tmp_path):
+    source = (FIXTURES / "rng002_flag.py").read_text(encoding="utf8")
+    source = source.replace("@draw_order_critical\n", "")
+    target = tmp_path / "repro" / "core" / "engineish.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source, encoding="utf8")
+    assert codes(lint_paths([tmp_path], select=["RNG002"])) == ["RNG002"]
+
+
+# -- PAR001 ------------------------------------------------------------- #
+def test_par001_flags_drifted_pair():
+    found = lint_fixture("parity_flag/jit_backend.py", select=["PAR001"])
+    messages = " | ".join(d.message for d in found)
+    assert codes(found) == ["PAR001", "PAR001"]
+    assert "missing_from_jit" in messages
+    assert "sync_round_step" in messages
+
+
+def test_par001_passes_mirroring_pair():
+    assert lint_fixture("parity_pass/jit_backend.py", select=["PAR001"]) == []
+
+
+def test_par001_only_fires_on_jit_backend_files():
+    assert lint_fixture("parity_flag/numpy_backend.py", select=["PAR001"]) == []
+
+
+def test_par001_reports_missing_reference(tmp_path):
+    orphan = tmp_path / "jit_backend.py"
+    orphan.write_text("def warmup():\n    pass\n", encoding="utf8")
+    found = lint_paths([orphan], select=["PAR001"])
+    assert codes(found) == ["PAR001"]
+    assert "not found" in found[0].message
+
+
+# -- LOOP001 ------------------------------------------------------------ #
+@pytest.mark.parametrize(
+    "vectorized_path", ["repro/graphs/csr_build.py", "repro/analysis/quantiles.py"]
+)
+def test_loop001_flags_extent_loops_at_vectorized_paths(tmp_path, vectorized_path):
+    target = tmp_path / vectorized_path
+    target.parent.mkdir(parents=True)
+    shutil.copy(FIXTURES / "loop001_flag.py", target)
+    assert codes(lint_paths([tmp_path], select=["LOOP001"])) == ["LOOP001", "LOOP001"]
+
+
+def test_loop001_passes_vectorized_code(tmp_path):
+    target = tmp_path / "repro" / "graphs" / "csr_build.py"
+    target.parent.mkdir(parents=True)
+    shutil.copy(FIXTURES / "loop001_pass.py", target)
+    assert lint_paths([tmp_path], select=["LOOP001"]) == []
+
+
+def test_loop001_ignores_undesignated_modules():
+    # The flag fixture linted at its own path is outside VECTORIZED_MODULES.
+    assert lint_fixture("loop001_flag.py", select=["LOOP001"]) == []
+
+
+# -- SHM001 ------------------------------------------------------------- #
+def test_shm001_flags_leaky_creation():
+    found = lint_fixture("shm001_flag.py", select=["SHM001"])
+    assert codes(found) == ["SHM001"]
+    assert "unlink" in found[0].message
+
+
+def test_shm001_passes_finally_teardown():
+    assert lint_fixture("shm001_pass.py", select=["SHM001"]) == []
+
+
+# -- ENV001 / ENV002 ---------------------------------------------------- #
+def test_env001_flags_every_undeclared_read_shape():
+    found = lint_fixture("env_flag.py", select=["ENV001"])
+    assert codes(found) == ["ENV001"] * 4
+    flagged = {d.message.split("'")[1] for d in found}
+    assert flagged == {
+        "REPRO_NOT_A_KNOB",
+        "REPRO_ALSO_NOT_A_KNOB",
+        "REPRO_STILL_NOT_A_KNOB",
+        "REPRO_TYPED_NOT_A_KNOB",
+    }
+
+
+def test_env002_flags_undocumented_declaration():
+    found = lint_fixture("env_flag.py", select=["ENV002"])
+    assert codes(found) == ["ENV002"]
+    assert "REPRO_UNDOCUMENTED_KNOB" in found[0].message
+
+
+def test_env_rules_pass_declared_reads():
+    assert lint_fixture("env_pass.py", select=["ENV001", "ENV002"]) == []
+
+
+# -- EXC001 / PRG001 ---------------------------------------------------- #
+def test_exc001_flags_all_broad_handler_shapes():
+    found = lint_fixture("exc001_flag.py", select=["EXC001"])
+    assert codes(found) == ["EXC001"] * 3
+    labels = " | ".join(d.message for d in found)
+    assert "Exception" in labels and "BaseException" in labels and "bare" in labels
+
+
+def test_exc001_passes_narrow_and_justified_handlers():
+    assert lint_fixture("exc001_pass.py", select=["EXC001"]) == []
+
+
+def test_prg001_unjustified_pragma_reports_and_suppresses_nothing():
+    found = lint_fixture("prg001_unjustified.py")
+    # Sorted by line: the malformed pragma sits just above the handler.
+    assert codes(found) == ["PRG001", "EXC001"]
+    assert "justification" in found[0].message

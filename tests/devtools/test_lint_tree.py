@@ -1,0 +1,37 @@
+"""The shipped tree is lint-clean — the invariant the CI job enforces.
+
+This is the self-check half of the devtools contract: every rule's
+must-flag behaviour is proven against fixtures, and this module proves
+the rules hold over all of ``src/`` (with every suppression individually
+justified, or PRG001 would fire).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import count_files, lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_shipped_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(d.format() for d in findings)
+
+
+def test_the_whole_tree_is_actually_visited():
+    # Guard against the self-check silently passing on an empty walk.
+    assert count_files([SRC]) >= 70
+
+
+def test_rule_catalog_is_documented():
+    import repro.devtools as devtools
+    from repro.devtools.engine import RULES
+
+    assert set(RULES) >= {
+        "RNG001", "RNG002", "PAR001", "LOOP001",
+        "SHM001", "ENV001", "ENV002", "EXC001",
+    }
+    for code in RULES:
+        assert code in (devtools.__doc__ or ""), f"{code} missing from the catalog"
